@@ -1,0 +1,103 @@
+//! Per-impression economics: clearing prices and click-through rates.
+//!
+//! Calibrated from Table 2's actual figures — e.g. the global campaign
+//! spent $4,021.78 for 3,285,598 impressions (≈$1.22 effective CPM) and
+//! 5,424 clicks (0.165% CTR), while Pakistan cleared at ≈$2.06 CPM with
+//! an unusually high 1.38% CTR.
+
+use tlsfoe_crypto::drbg::RngCore64;
+use tlsfoe_geo::countries::{self, CountryCode};
+
+/// Economic parameters for one campaign's territory.
+#[derive(Debug, Clone, Copy)]
+pub struct Economics {
+    /// Mean clearing price per thousand impressions (USD).
+    pub cpm_usd: f64,
+    /// Click-through rate (fraction of impressions clicked).
+    pub ctr: f64,
+}
+
+impl Economics {
+    /// Economics for the global (untargeted) campaign.
+    pub fn global() -> Economics {
+        Economics {
+            cpm_usd: 1.224,
+            ctr: 0.00165,
+        }
+    }
+
+    /// Economics for a country-targeted campaign, calibrated from the
+    /// five Table-2 mini-campaigns; unlisted countries fall back to the
+    /// global parameters.
+    pub fn for_country(code: CountryCode) -> Economics {
+        let info = countries::info(code);
+        match info.code {
+            "CN" => Economics { cpm_usd: 0.582, ctr: 0.00095 },
+            "EG" => Economics { cpm_usd: 1.629, ctr: 0.00765 },
+            "PK" => Economics { cpm_usd: 2.058, ctr: 0.01379 },
+            "RU" => Economics { cpm_usd: 1.741, ctr: 0.00088 },
+            "UA" => Economics { cpm_usd: 1.071, ctr: 0.00081 },
+            _ => Economics::global(),
+        }
+    }
+
+    /// Sample one impression's clearing price in USD, capped by the
+    /// campaign's Max CPM bid ($10 in the study). Prices jitter ±30%
+    /// around the mean — real auction prices vary per placement.
+    pub fn sample_price(&self, max_cpm_usd: f64, rng: &mut dyn RngCore64) -> f64 {
+        let jitter = 0.7 + 0.6 * rng.gen_f64();
+        let cpm = (self.cpm_usd * jitter).min(max_cpm_usd);
+        cpm / 1000.0
+    }
+
+    /// Sample whether an impression is clicked.
+    pub fn sample_click(&self, rng: &mut dyn RngCore64) -> bool {
+        rng.gen_bool(self.ctr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlsfoe_crypto::drbg::Drbg;
+
+    #[test]
+    fn mean_price_near_cpm() {
+        let eco = Economics::global();
+        let mut rng = Drbg::new(1);
+        let n = 100_000;
+        let total: f64 = (0..n).map(|_| eco.sample_price(10.0, &mut rng)).sum();
+        let effective_cpm = total / n as f64 * 1000.0;
+        assert!(
+            (1.15..1.30).contains(&effective_cpm),
+            "effective CPM {effective_cpm}"
+        );
+    }
+
+    #[test]
+    fn max_cpm_caps_price() {
+        let eco = Economics { cpm_usd: 50.0, ctr: 0.001 };
+        let mut rng = Drbg::new(2);
+        for _ in 0..1000 {
+            assert!(eco.sample_price(10.0, &mut rng) <= 0.01);
+        }
+    }
+
+    #[test]
+    fn ctr_statistics() {
+        let eco = Economics::for_country(tlsfoe_geo::countries::by_code("PK").unwrap());
+        let mut rng = Drbg::new(3);
+        let n = 200_000;
+        let clicks = (0..n).filter(|_| eco.sample_click(&mut rng)).count();
+        let ctr = clicks as f64 / n as f64;
+        assert!((0.012..0.016).contains(&ctr), "PK ctr {ctr}");
+    }
+
+    #[test]
+    fn targeted_countries_have_custom_economics() {
+        let cn = Economics::for_country(tlsfoe_geo::countries::by_code("CN").unwrap());
+        assert!(cn.cpm_usd < 1.0, "China inventory was cheap");
+        let us = Economics::for_country(tlsfoe_geo::countries::by_code("US").unwrap());
+        assert_eq!(us.cpm_usd, Economics::global().cpm_usd);
+    }
+}

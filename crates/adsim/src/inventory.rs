@@ -1,0 +1,207 @@
+//! Per-country ad inventory: where a globally-targeted CPM ad lands.
+//!
+//! Google's placement algorithm exposed the paper's ad non-uniformly
+//! across countries ("Due to the targeting algorithms used by Google
+//! AdWords, our tool's exposure to these countries is not uniformly
+//! distributed", §5). The default inventory weights below reproduce the
+//! per-country *total connection* columns of Tables 3 and 7.
+
+use tlsfoe_crypto::drbg::RngCore64;
+use tlsfoe_geo::countries::{self, CountryCode};
+
+/// A sampleable country distribution for ad impressions.
+#[derive(Debug, Clone)]
+pub struct Inventory {
+    cumulative: Vec<(f64, CountryCode)>,
+    total: f64,
+}
+
+impl Inventory {
+    /// Build from explicit (country, weight) pairs.
+    pub fn from_weights(weights: &[(CountryCode, f64)]) -> Inventory {
+        assert!(!weights.is_empty(), "inventory cannot be empty");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &(code, w) in weights {
+            assert!(w >= 0.0, "negative inventory weight");
+            acc += w;
+            cumulative.push((acc, code));
+        }
+        assert!(acc > 0.0, "inventory weights sum to zero");
+        Inventory {
+            cumulative,
+            total: acc,
+        }
+    }
+
+    /// The study-1-era global inventory: weights proportional to the
+    /// per-country totals of Table 3, with the "Other" mass spread over
+    /// the synthetic tail territories.
+    pub fn study1_global() -> Inventory {
+        Self::from_table(STUDY1_TOTALS, 869_096.0)
+    }
+
+    /// The study-2-era global inventory (Table 7 totals; the targeted
+    /// mini-campaigns are handled by [`crate::campaign::Targeting`], so
+    /// these weights describe only the *global* campaign's exposure —
+    /// Table 7 minus the mass the five targeted campaigns injected).
+    pub fn study2_global() -> Inventory {
+        Self::from_table(STUDY2_GLOBAL_TOTALS, 2_200_000.0)
+    }
+
+    fn from_table(table: &[(&str, f64)], other_mass: f64) -> Inventory {
+        let mut weights: Vec<(CountryCode, f64)> = table
+            .iter()
+            .map(|&(code, w)| {
+                (
+                    countries::by_code(code)
+                        .unwrap_or_else(|| panic!("unknown country {code}")),
+                    w,
+                )
+            })
+            .collect();
+        // Spread the "Other" aggregate uniformly over tail territories.
+        let tail_start = countries::NAMED.len() as u16;
+        let per_tail = other_mass / countries::TAIL_COUNT as f64;
+        for t in 0..countries::TAIL_COUNT {
+            weights.push((CountryCode(tail_start + t), per_tail));
+        }
+        Self::from_weights(&weights)
+    }
+
+    /// Sample one impression's country.
+    pub fn sample(&self, rng: &mut dyn RngCore64) -> CountryCode {
+        let x = rng.gen_f64() * self.total;
+        let idx = self
+            .cumulative
+            .partition_point(|&(acc, _)| acc < x)
+            .min(self.cumulative.len() - 1);
+        self.cumulative[idx].1
+    }
+
+    /// Number of distinct territories with non-zero weight.
+    pub fn territories(&self) -> usize {
+        self.cumulative.len()
+    }
+}
+
+/// Table 3 "Total" column (study 1): connections per country.
+const STUDY1_TOTALS: &[(&str, f64)] = &[
+    ("US", 285_078.0),
+    ("BR", 298_618.0),
+    ("FR", 74_789.0),
+    ("GB", 259_971.0),
+    ("RO", 94_116.0),
+    ("DE", 187_805.0),
+    ("CA", 34_695.0),
+    ("TR", 65_195.0),
+    ("IN", 51_348.0),
+    ("ES", 62_569.0),
+    ("RU", 58_402.0),
+    ("IT", 129_358.0),
+    ("KR", 46_660.0),
+    ("PT", 29_799.0),
+    ("PL", 110_550.0),
+    ("UA", 61_431.0),
+    ("BE", 16_816.0),
+    ("JP", 31_751.0),
+    ("NL", 31_938.0),
+    ("TW", 61_195.0),
+];
+
+/// Table 7 "Total" column (study 2) *minus* the five targeted campaigns'
+/// contributions — i.e. what the global campaign alone reached. The
+/// targeted countries still appear with modest global-campaign exposure.
+const STUDY2_GLOBAL_TOTALS: &[(&str, f64)] = &[
+    ("CN", 120_000.0),
+    ("UA", 290_000.0),
+    ("RU", 310_000.0),
+    ("KR", 836_556.0),
+    ("EG", 85_000.0),
+    ("PK", 65_000.0),
+    ("TR", 411_962.0),
+    ("US", 385_811.0),
+    ("JP", 273_532.0),
+    ("GB", 266_873.0),
+    ("BR", 232_454.0),
+    ("TW", 186_942.0),
+    ("RO", 185_749.0),
+    ("ID", 181_971.0),
+    ("DE", 177_586.0),
+    ("IT", 145_438.0),
+    ("GR", 130_613.0),
+    ("PL", 127_806.0),
+    ("CZ", 110_170.0),
+    ("IN", 102_869.0),
+    ("FR", 80_000.0),
+    ("ES", 60_000.0),
+    ("CA", 50_000.0),
+    ("PT", 30_000.0),
+    ("BE", 20_000.0),
+    ("NL", 40_000.0),
+    ("DK", 25_000.0),
+    ("IE", 20_000.0),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlsfoe_crypto::drbg::Drbg;
+
+    #[test]
+    fn sampling_tracks_weights() {
+        let us = countries::by_code("US").unwrap();
+        let cn = countries::by_code("CN").unwrap();
+        let inv = Inventory::from_weights(&[(us, 9.0), (cn, 1.0)]);
+        let mut rng = Drbg::new(1);
+        let n = 20_000;
+        let us_hits = (0..n).filter(|_| inv.sample(&mut rng) == us).count();
+        let frac = us_hits as f64 / n as f64;
+        assert!((0.87..0.93).contains(&frac), "US fraction {frac}");
+    }
+
+    #[test]
+    fn global_inventories_cover_many_territories() {
+        assert!(Inventory::study1_global().territories() > 200);
+        assert!(Inventory::study2_global().territories() > 200);
+    }
+
+    #[test]
+    fn study1_us_brazil_dominate() {
+        // The paper: US + Brazil = large share of exposure.
+        let inv = Inventory::study1_global();
+        let mut rng = Drbg::new(2);
+        let us = countries::by_code("US").unwrap();
+        let br = countries::by_code("BR").unwrap();
+        let n = 50_000;
+        let hits = (0..n)
+            .filter(|_| {
+                let c = inv.sample(&mut rng);
+                c == us || c == br
+            })
+            .count();
+        let frac = hits as f64 / n as f64;
+        // 583k of 2.86M ≈ 20% of exposure.
+        assert!((0.15..0.27).contains(&frac), "US+BR fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inv = Inventory::study2_global();
+        let a: Vec<CountryCode> = {
+            let mut rng = Drbg::new(7);
+            (0..100).map(|_| inv.sample(&mut rng)).collect()
+        };
+        let b: Vec<CountryCode> = {
+            let mut rng = Drbg::new(7);
+            (0..100).map(|_| inv.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_inventory_panics() {
+        Inventory::from_weights(&[]);
+    }
+}

@@ -1,0 +1,30 @@
+//! # tlsfoe-adsim
+//!
+//! A Google-AdWords-style ad-delivery simulator (§4 of the paper). The
+//! study's deployment vehicle was a CPM ad campaign: every impression of
+//! the ad ran the measurement tool on one client. What the measurement
+//! pipeline therefore needs from "AdWords" is:
+//!
+//! * **reach**: how many impressions a budget buys
+//!   ([`auction`] — per-impression clearing prices),
+//! * **where** those impressions land ([`inventory`] — per-country ad
+//!   inventory weights; [`campaign`] — geo targeting with small leakage,
+//!   matching the paper's observation that targeted campaigns put their
+//!   countries at the top of Table 7 but not exclusively),
+//! * **accounting**: impressions / clicks / cost per campaign (Table 2).
+//!
+//! Economic parameters (clearing CPM and CTR per territory) are
+//! calibrated from Table 2's actual spend/impression/click figures; the
+//! simulator then *derives* campaign outcomes from budgets, so changing a
+//! budget changes reach the way it did in the field.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auction;
+pub mod campaign;
+pub mod inventory;
+
+pub use auction::Economics;
+pub use campaign::{Campaign, CampaignOutcome, Impression, Targeting};
+pub use inventory::Inventory;

@@ -1,0 +1,102 @@
+//! # tlsfoe-asn1
+//!
+//! A from-scratch DER (Distinguished Encoding Rules) encoder and decoder
+//! covering the complete subset of ASN.1 that X.509 certificates use:
+//! INTEGER, BIT STRING, OCTET STRING, NULL, OBJECT IDENTIFIER, BOOLEAN,
+//! the string types (UTF8String, PrintableString, IA5String, T61String),
+//! UTCTime/GeneralizedTime, SEQUENCE, SET and context-specific tags.
+//!
+//! The measurement pipeline needs both directions: the population
+//! simulator *mints* substitute certificates (encoder) and the report
+//! server / analyzers *parse* what clients captured (decoder). The decoder
+//! is strict about structure (lengths must be definite and exact) but
+//! deliberately tolerant about string character sets — real middleboxes
+//! emit garbage, and the paper's analysis (null issuers, odd organization
+//! strings) depends on being able to look at it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod oid;
+pub mod reader;
+pub mod writer;
+
+pub use oid::Oid;
+pub use reader::DerReader;
+pub use writer::DerWriter;
+
+/// ASN.1 tag numbers (universal class) used by X.509.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Tag {
+    Boolean = 0x01,
+    Integer = 0x02,
+    BitString = 0x03,
+    OctetString = 0x04,
+    Null = 0x05,
+    Oid = 0x06,
+    Utf8String = 0x0c,
+    Sequence = 0x30,
+    Set = 0x31,
+    PrintableString = 0x13,
+    T61String = 0x14,
+    Ia5String = 0x16,
+    UtcTime = 0x17,
+    GeneralizedTime = 0x18,
+}
+
+impl Tag {
+    /// The raw tag byte as it appears on the wire.
+    pub fn byte(self) -> u8 {
+        self as u8
+    }
+}
+
+/// Context-specific constructed tag byte (e.g. `[0]` = 0xa0) as used for
+/// X.509 `version`, `extensions`, etc.
+pub fn context_constructed(n: u8) -> u8 {
+    0xa0 | (n & 0x1f)
+}
+
+/// Context-specific primitive tag byte (e.g. SAN dNSName `[2]` = 0x82).
+pub fn context_primitive(n: u8) -> u8 {
+    0x80 | (n & 0x1f)
+}
+
+/// Errors produced while reading DER.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DerError {
+    /// Input ended before the announced length.
+    Truncated,
+    /// Found a different tag byte than required.
+    UnexpectedTag {
+        /// Tag the caller required.
+        expected: u8,
+        /// Tag actually present.
+        found: u8,
+    },
+    /// Length field was malformed (indefinite or non-minimal forms are
+    /// rejected — DER requires definite, minimal lengths).
+    BadLength,
+    /// An element's content violated its type's grammar.
+    Malformed(&'static str),
+    /// Trailing bytes remained where the grammar requires exhaustion.
+    TrailingBytes,
+}
+
+impl core::fmt::Display for DerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DerError::Truncated => write!(f, "DER input truncated"),
+            DerError::UnexpectedTag { expected, found } => {
+                write!(f, "unexpected DER tag: expected 0x{expected:02x}, found 0x{found:02x}")
+            }
+            DerError::BadLength => write!(f, "malformed DER length"),
+            DerError::Malformed(what) => write!(f, "malformed DER element: {what}"),
+            DerError::TrailingBytes => write!(f, "trailing bytes after DER element"),
+        }
+    }
+}
+
+impl std::error::Error for DerError {}

@@ -1,0 +1,229 @@
+//! OBJECT IDENTIFIER values and the registry of OIDs the workspace uses.
+
+use crate::DerError;
+
+/// An ASN.1 OBJECT IDENTIFIER, stored as its dotted-decimal arc values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Oid(pub Vec<u64>);
+
+impl Oid {
+    /// Construct from arc values, e.g. `Oid::new(&[2, 5, 4, 3])` for
+    /// `id-at-commonName`.
+    pub fn new(arcs: &[u64]) -> Self {
+        assert!(arcs.len() >= 2, "OIDs have at least two arcs");
+        Oid(arcs.to_vec())
+    }
+
+    /// Encode the OID *content* bytes (without tag/length).
+    pub fn to_der_content(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let first = self.0[0] * 40 + self.0[1];
+        push_base128(&mut out, first);
+        for &arc in &self.0[2..] {
+            push_base128(&mut out, arc);
+        }
+        out
+    }
+
+    /// Decode from content bytes (without tag/length).
+    pub fn from_der_content(bytes: &[u8]) -> Result<Self, DerError> {
+        if bytes.is_empty() {
+            return Err(DerError::Malformed("empty OID"));
+        }
+        let mut arcs = Vec::new();
+        let mut value = 0u64;
+        let mut in_arc = false;
+        for (i, &b) in bytes.iter().enumerate() {
+            if !in_arc && b == 0x80 {
+                return Err(DerError::Malformed("non-minimal OID arc"));
+            }
+            in_arc = true;
+            value = value
+                .checked_shl(7)
+                .and_then(|v| v.checked_add((b & 0x7f) as u64))
+                .ok_or(DerError::Malformed("OID arc overflow"))?;
+            if b & 0x80 == 0 {
+                if arcs.is_empty() {
+                    // First encoded value packs the first two arcs.
+                    let (a0, a1) = if value < 40 {
+                        (0, value)
+                    } else if value < 80 {
+                        (1, value - 40)
+                    } else {
+                        (2, value - 80)
+                    };
+                    arcs.push(a0);
+                    arcs.push(a1);
+                } else {
+                    arcs.push(value);
+                }
+                value = 0;
+                in_arc = false;
+            } else if i == bytes.len() - 1 {
+                return Err(DerError::Malformed("OID ends mid-arc"));
+            }
+        }
+        Ok(Oid(arcs))
+    }
+
+    /// Dotted-decimal rendering ("2.5.4.3").
+    pub fn dotted(&self) -> String {
+        self.0
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(".")
+    }
+}
+
+impl core::fmt::Display for Oid {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.dotted())
+    }
+}
+
+fn push_base128(out: &mut Vec<u8>, mut v: u64) {
+    let mut tmp = [0u8; 10];
+    let mut i = tmp.len();
+    i -= 1;
+    tmp[i] = (v & 0x7f) as u8;
+    v >>= 7;
+    while v != 0 {
+        i -= 1;
+        tmp[i] = 0x80 | (v & 0x7f) as u8;
+        v >>= 7;
+    }
+    out.extend_from_slice(&tmp[i..]);
+}
+
+/// Well-known OIDs used by the X.509 layer and analyzers.
+pub mod known {
+    use super::Oid;
+
+    /// `id-at-commonName` (2.5.4.3).
+    pub fn common_name() -> Oid {
+        Oid::new(&[2, 5, 4, 3])
+    }
+    /// `id-at-countryName` (2.5.4.6).
+    pub fn country() -> Oid {
+        Oid::new(&[2, 5, 4, 6])
+    }
+    /// `id-at-localityName` (2.5.4.7).
+    pub fn locality() -> Oid {
+        Oid::new(&[2, 5, 4, 7])
+    }
+    /// `id-at-stateOrProvinceName` (2.5.4.8).
+    pub fn state() -> Oid {
+        Oid::new(&[2, 5, 4, 8])
+    }
+    /// `id-at-organizationName` (2.5.4.10) — the paper's primary analysis field.
+    pub fn organization() -> Oid {
+        Oid::new(&[2, 5, 4, 10])
+    }
+    /// `id-at-organizationalUnitName` (2.5.4.11).
+    pub fn organizational_unit() -> Oid {
+        Oid::new(&[2, 5, 4, 11])
+    }
+    /// `emailAddress` (1.2.840.113549.1.9.1).
+    pub fn email() -> Oid {
+        Oid::new(&[1, 2, 840, 113549, 1, 9, 1])
+    }
+    /// `rsaEncryption` (1.2.840.113549.1.1.1).
+    pub fn rsa_encryption() -> Oid {
+        Oid::new(&[1, 2, 840, 113549, 1, 1, 1])
+    }
+    /// `md5WithRSAEncryption` (1.2.840.113549.1.1.4).
+    pub fn md5_with_rsa() -> Oid {
+        Oid::new(&[1, 2, 840, 113549, 1, 1, 4])
+    }
+    /// `sha1WithRSAEncryption` (1.2.840.113549.1.1.5).
+    pub fn sha1_with_rsa() -> Oid {
+        Oid::new(&[1, 2, 840, 113549, 1, 1, 5])
+    }
+    /// `sha256WithRSAEncryption` (1.2.840.113549.1.1.11).
+    pub fn sha256_with_rsa() -> Oid {
+        Oid::new(&[1, 2, 840, 113549, 1, 1, 11])
+    }
+    /// `id-ce-basicConstraints` (2.5.29.19).
+    pub fn basic_constraints() -> Oid {
+        Oid::new(&[2, 5, 29, 19])
+    }
+    /// `id-ce-keyUsage` (2.5.29.15).
+    pub fn key_usage() -> Oid {
+        Oid::new(&[2, 5, 29, 15])
+    }
+    /// `id-ce-subjectAltName` (2.5.29.17).
+    pub fn subject_alt_name() -> Oid {
+        Oid::new(&[2, 5, 29, 17])
+    }
+    /// `id-ce-subjectKeyIdentifier` (2.5.29.14).
+    pub fn subject_key_id() -> Oid {
+        Oid::new(&[2, 5, 29, 14])
+    }
+    /// `id-ce-authorityKeyIdentifier` (2.5.29.35).
+    pub fn authority_key_id() -> Oid {
+        Oid::new(&[2, 5, 29, 35])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_name_encoding() {
+        // 2.5.4.3 encodes as 55 04 03.
+        let oid = known::common_name();
+        assert_eq!(oid.to_der_content(), vec![0x55, 0x04, 0x03]);
+        assert_eq!(Oid::from_der_content(&[0x55, 0x04, 0x03]).unwrap(), oid);
+    }
+
+    #[test]
+    fn rsa_encryption_encoding() {
+        // 1.2.840.113549.1.1.1 — the classic multi-byte arc case.
+        let oid = known::rsa_encryption();
+        let expected = vec![0x2a, 0x86, 0x48, 0x86, 0xf7, 0x0d, 0x01, 0x01, 0x01];
+        assert_eq!(oid.to_der_content(), expected);
+        assert_eq!(Oid::from_der_content(&expected).unwrap(), oid);
+    }
+
+    #[test]
+    fn roundtrip_various() {
+        for arcs in [
+            vec![0u64, 0],
+            vec![1, 2, 3],
+            vec![2, 5, 29, 17],
+            vec![2, 999, 1234567890],
+            vec![1, 3, 6, 1, 4, 1, 11129, 2, 4, 2], // CT poison-ish
+        ] {
+            let oid = Oid::new(&arcs);
+            let enc = oid.to_der_content();
+            assert_eq!(Oid::from_der_content(&enc).unwrap().0, arcs);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Oid::from_der_content(&[]).is_err());
+        // Ends mid-arc (continuation bit set on final byte).
+        assert!(Oid::from_der_content(&[0x86]).is_err());
+        // Non-minimal leading 0x80.
+        assert!(Oid::from_der_content(&[0x55, 0x80, 0x04]).is_err());
+    }
+
+    #[test]
+    fn dotted_rendering() {
+        assert_eq!(known::organization().dotted(), "2.5.4.10");
+        assert_eq!(format!("{}", known::sha1_with_rsa()), "1.2.840.113549.1.1.5");
+    }
+
+    #[test]
+    fn first_arc_decoding_rules() {
+        // Encoded value 0x2a = 42 → arcs (1, 2).
+        assert_eq!(Oid::from_der_content(&[0x2a]).unwrap().0, vec![1, 2]);
+        // Encoded 0x55 = 85 → (2, 5).
+        assert_eq!(Oid::from_der_content(&[0x55]).unwrap().0, vec![2, 5]);
+        // Encoded 39 → (0, 39).
+        assert_eq!(Oid::from_der_content(&[39]).unwrap().0, vec![0, 39]);
+    }
+}

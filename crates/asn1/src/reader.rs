@@ -1,0 +1,403 @@
+//! DER decoding.
+//!
+//! [`DerReader`] is a cursor over a byte slice. Reading an element returns
+//! its content (and, for constructed types, a nested reader). Lengths must
+//! be definite and minimally encoded, as DER requires; certificates from
+//! the wire that violate this are reported as malformed — which is itself
+//! a signal the analyzers record.
+
+use crate::{DerError, Oid, Tag};
+
+/// Cursor-based DER decoder over a borrowed byte slice.
+#[derive(Debug, Clone)]
+pub struct DerReader<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+/// A decoded TLV element: its tag byte and borrowed content bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Element<'a> {
+    /// Raw tag byte.
+    pub tag: u8,
+    /// Content octets (without tag/length framing).
+    pub content: &'a [u8],
+}
+
+impl<'a> DerReader<'a> {
+    /// Create a reader over `input`.
+    pub fn new(input: &'a [u8]) -> Self {
+        DerReader { input, pos: 0 }
+    }
+
+    /// True when all input has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    /// Peek the next tag byte without consuming.
+    pub fn peek_tag(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    /// Read any element (tag + length + content).
+    pub fn read_any(&mut self) -> Result<Element<'a>, DerError> {
+        let tag = *self.input.get(self.pos).ok_or(DerError::Truncated)?;
+        self.pos += 1;
+        let len = self.read_length()?;
+        if self.remaining() < len {
+            return Err(DerError::Truncated);
+        }
+        let content = &self.input[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(Element { tag, content })
+    }
+
+    /// Read an element, requiring the given tag byte.
+    pub fn read_expected(&mut self, tag: u8) -> Result<&'a [u8], DerError> {
+        match self.peek_tag() {
+            Some(t) if t == tag => Ok(self.read_any()?.content),
+            Some(t) => Err(DerError::UnexpectedTag {
+                expected: tag,
+                found: t,
+            }),
+            None => Err(DerError::Truncated),
+        }
+    }
+
+    /// Read a SEQUENCE, returning a reader over its content.
+    pub fn read_sequence(&mut self) -> Result<DerReader<'a>, DerError> {
+        Ok(DerReader::new(self.read_expected(Tag::Sequence.byte())?))
+    }
+
+    /// Read a SET, returning a reader over its content.
+    pub fn read_set(&mut self) -> Result<DerReader<'a>, DerError> {
+        Ok(DerReader::new(self.read_expected(Tag::Set.byte())?))
+    }
+
+    /// Read a context-constructed `[n]` element if present, returning a
+    /// reader over its content.
+    pub fn read_optional_context(&mut self, n: u8) -> Result<Option<DerReader<'a>>, DerError> {
+        if self.peek_tag() == Some(crate::context_constructed(n)) {
+            let el = self.read_any()?;
+            Ok(Some(DerReader::new(el.content)))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Read an INTEGER, returning its big-endian unsigned magnitude.
+    ///
+    /// Negative INTEGERs never appear in well-formed certificates; they
+    /// are reported as malformed.
+    pub fn read_integer_unsigned(&mut self) -> Result<&'a [u8], DerError> {
+        let content = self.read_expected(Tag::Integer.byte())?;
+        if content.is_empty() {
+            return Err(DerError::Malformed("empty INTEGER"));
+        }
+        if content[0] & 0x80 != 0 {
+            return Err(DerError::Malformed("negative INTEGER"));
+        }
+        // Strip the sign-padding zero if present.
+        if content.len() > 1 && content[0] == 0 {
+            Ok(&content[1..])
+        } else {
+            Ok(content)
+        }
+    }
+
+    /// Read an INTEGER that fits in a `u64`.
+    pub fn read_integer_u64(&mut self) -> Result<u64, DerError> {
+        let mag = self.read_integer_unsigned()?;
+        if mag.len() > 8 {
+            return Err(DerError::Malformed("INTEGER exceeds u64"));
+        }
+        let mut v = 0u64;
+        for &b in mag {
+            v = (v << 8) | b as u64;
+        }
+        Ok(v)
+    }
+
+    /// Read a BOOLEAN.
+    pub fn read_boolean(&mut self) -> Result<bool, DerError> {
+        let content = self.read_expected(Tag::Boolean.byte())?;
+        match content {
+            [0x00] => Ok(false),
+            [_] => Ok(true), // DER says 0xff, but BER-ish encoders abound
+            _ => Err(DerError::Malformed("BOOLEAN length != 1")),
+        }
+    }
+
+    /// Read a BIT STRING, returning `(unused_bits, data)`.
+    pub fn read_bit_string(&mut self) -> Result<(u8, &'a [u8]), DerError> {
+        let content = self.read_expected(Tag::BitString.byte())?;
+        let (&unused, data) = content
+            .split_first()
+            .ok_or(DerError::Malformed("empty BIT STRING"))?;
+        if unused > 7 {
+            return Err(DerError::Malformed("BIT STRING unused bits > 7"));
+        }
+        Ok((unused, data))
+    }
+
+    /// Read an OCTET STRING.
+    pub fn read_octet_string(&mut self) -> Result<&'a [u8], DerError> {
+        self.read_expected(Tag::OctetString.byte())
+    }
+
+    /// Read a NULL.
+    pub fn read_null(&mut self) -> Result<(), DerError> {
+        let content = self.read_expected(Tag::Null.byte())?;
+        if content.is_empty() {
+            Ok(())
+        } else {
+            Err(DerError::Malformed("NULL with content"))
+        }
+    }
+
+    /// Read an OBJECT IDENTIFIER.
+    pub fn read_oid(&mut self) -> Result<Oid, DerError> {
+        let content = self.read_expected(Tag::Oid.byte())?;
+        Oid::from_der_content(content)
+    }
+
+    /// Read any of the directory string types as lossy UTF-8.
+    ///
+    /// Accepts UTF8String, PrintableString, IA5String and T61String —
+    /// middleboxes emit all four, and the issuer-organization analysis
+    /// must see whatever bytes they produced.
+    pub fn read_any_string(&mut self) -> Result<String, DerError> {
+        let el = self.read_any()?;
+        match el.tag {
+            t if t == Tag::Utf8String.byte()
+                || t == Tag::PrintableString.byte()
+                || t == Tag::Ia5String.byte()
+                || t == Tag::T61String.byte() =>
+            {
+                Ok(String::from_utf8_lossy(el.content).into_owned())
+            }
+            t => Err(DerError::UnexpectedTag {
+                expected: Tag::Utf8String.byte(),
+                found: t,
+            }),
+        }
+    }
+
+    /// Read a UTCTime or GeneralizedTime, returning the raw ASCII string.
+    pub fn read_time(&mut self) -> Result<String, DerError> {
+        let el = self.read_any()?;
+        if el.tag == Tag::UtcTime.byte() || el.tag == Tag::GeneralizedTime.byte() {
+            Ok(String::from_utf8_lossy(el.content).into_owned())
+        } else {
+            Err(DerError::UnexpectedTag {
+                expected: Tag::UtcTime.byte(),
+                found: el.tag,
+            })
+        }
+    }
+
+    /// Require all input to have been consumed.
+    pub fn expect_done(&self) -> Result<(), DerError> {
+        if self.is_done() {
+            Ok(())
+        } else {
+            Err(DerError::TrailingBytes)
+        }
+    }
+
+    /// Raw DER bytes of the *next* element (tag+length+content), consuming
+    /// it. Needed to re-serialize sub-structures (e.g. TBSCertificate for
+    /// signature verification) byte-exactly.
+    pub fn read_raw_tlv(&mut self) -> Result<&'a [u8], DerError> {
+        let start = self.pos;
+        self.read_any()?;
+        Ok(&self.input[start..self.pos])
+    }
+
+    /// Decode a definite, minimally-encoded length.
+    fn read_length(&mut self) -> Result<usize, DerError> {
+        let first = *self.input.get(self.pos).ok_or(DerError::Truncated)?;
+        self.pos += 1;
+        if first < 0x80 {
+            return Ok(first as usize);
+        }
+        let num_bytes = (first & 0x7f) as usize;
+        if num_bytes == 0 || num_bytes > 8 {
+            // 0x80 = indefinite (BER only); >8 can't be a sane length.
+            return Err(DerError::BadLength);
+        }
+        if self.remaining() < num_bytes {
+            return Err(DerError::Truncated);
+        }
+        let mut len = 0usize;
+        for i in 0..num_bytes {
+            len = (len << 8) | self.input[self.pos + i] as usize;
+        }
+        self.pos += num_bytes;
+        // DER minimality: long form must be necessary and have no leading zero.
+        if len < 0x80 || self.input[self.pos - num_bytes] == 0 {
+            return Err(DerError::BadLength);
+        }
+        Ok(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DerWriter;
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let mut w = DerWriter::new();
+        w.sequence(|w| {
+            w.integer_u64(777);
+            w.boolean(true);
+            w.oid(&Oid::new(&[2, 5, 4, 10]));
+            w.utf8_string("Bitdefender");
+            w.octet_string(&[1, 2, 3]);
+            w.null();
+        });
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        let mut seq = r.read_sequence().unwrap();
+        r.expect_done().unwrap();
+        assert_eq!(seq.read_integer_u64().unwrap(), 777);
+        assert!(seq.read_boolean().unwrap());
+        assert_eq!(seq.read_oid().unwrap(), Oid::new(&[2, 5, 4, 10]));
+        assert_eq!(seq.read_any_string().unwrap(), "Bitdefender");
+        assert_eq!(seq.read_octet_string().unwrap(), &[1, 2, 3]);
+        seq.read_null().unwrap();
+        seq.expect_done().unwrap();
+    }
+
+    #[test]
+    fn truncated_input() {
+        assert_eq!(DerReader::new(&[0x30]).read_any(), Err(DerError::Truncated));
+        assert_eq!(
+            DerReader::new(&[0x30, 0x05, 0x01]).read_any(),
+            Err(DerError::Truncated)
+        );
+        assert_eq!(DerReader::new(&[]).read_any(), Err(DerError::Truncated));
+    }
+
+    #[test]
+    fn rejects_indefinite_and_nonminimal_lengths() {
+        // 0x80 = indefinite length.
+        assert_eq!(
+            DerReader::new(&[0x04, 0x80, 0x00, 0x00]).read_any(),
+            Err(DerError::BadLength)
+        );
+        // 0x81 0x05 is non-minimal (5 < 0x80 fits short form).
+        assert_eq!(
+            DerReader::new(&[0x04, 0x81, 0x05, 1, 2, 3, 4, 5]).read_any(),
+            Err(DerError::BadLength)
+        );
+        // Leading zero length byte.
+        assert_eq!(
+            DerReader::new(&[0x04, 0x82, 0x00, 0x81]).read_any(),
+            Err(DerError::BadLength)
+        );
+    }
+
+    #[test]
+    fn unexpected_tag_reported() {
+        let mut w = DerWriter::new();
+        w.integer_u64(5);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        assert_eq!(
+            r.read_octet_string(),
+            Err(DerError::UnexpectedTag {
+                expected: 0x04,
+                found: 0x02
+            })
+        );
+    }
+
+    #[test]
+    fn integer_sign_stripping() {
+        // 0x00 0x80 means +128.
+        let der = [0x02, 0x02, 0x00, 0x80];
+        let mut r = DerReader::new(&der);
+        assert_eq!(r.read_integer_unsigned().unwrap(), &[0x80]);
+
+        // Negative rejected.
+        let der = [0x02, 0x01, 0x80];
+        assert!(DerReader::new(&der).read_integer_unsigned().is_err());
+
+        // Empty rejected.
+        let der = [0x02, 0x00];
+        assert!(DerReader::new(&der).read_integer_unsigned().is_err());
+    }
+
+    #[test]
+    fn integer_u64_overflow() {
+        let der = [0x02, 0x09, 0x01, 0, 0, 0, 0, 0, 0, 0, 0];
+        assert!(DerReader::new(&der).read_integer_u64().is_err());
+    }
+
+    #[test]
+    fn bit_string_unused_bits() {
+        let der = [0x03, 0x02, 0x05, 0xa0];
+        let mut r = DerReader::new(&der);
+        assert_eq!(r.read_bit_string().unwrap(), (5, &[0xa0][..]));
+
+        let bad = [0x03, 0x02, 0x09, 0xa0];
+        assert!(DerReader::new(&bad).read_bit_string().is_err());
+
+        let empty = [0x03, 0x00];
+        assert!(DerReader::new(&empty).read_bit_string().is_err());
+    }
+
+    #[test]
+    fn optional_context_present_and_absent() {
+        let mut w = DerWriter::new();
+        w.context(0, |w| w.integer_u64(2));
+        w.integer_u64(9);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        let mut ctx = r.read_optional_context(0).unwrap().unwrap();
+        assert_eq!(ctx.read_integer_u64().unwrap(), 2);
+        assert!(r.read_optional_context(3).unwrap().is_none());
+        assert_eq!(r.read_integer_u64().unwrap(), 9);
+    }
+
+    #[test]
+    fn raw_tlv_captures_framing() {
+        let mut w = DerWriter::new();
+        w.sequence(|w| w.integer_u64(1));
+        w.null();
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        let raw = r.read_raw_tlv().unwrap();
+        assert_eq!(raw, &[0x30, 0x03, 0x02, 0x01, 0x01]);
+        r.read_null().unwrap();
+        r.expect_done().unwrap();
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let der = [0x05, 0x00, 0xff];
+        let mut r = DerReader::new(&der);
+        r.read_null().unwrap();
+        assert_eq!(r.expect_done(), Err(DerError::TrailingBytes));
+    }
+
+    #[test]
+    fn time_types() {
+        let mut w = DerWriter::new();
+        w.utc_time("141008160000Z");
+        w.generalized_time("20141008160000Z");
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        assert_eq!(r.read_time().unwrap(), "141008160000Z");
+        assert_eq!(r.read_time().unwrap(), "20141008160000Z");
+    }
+}

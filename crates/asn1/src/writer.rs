@@ -1,0 +1,292 @@
+//! DER encoding.
+//!
+//! [`DerWriter`] builds DER output append-only. Nested structures
+//! (SEQUENCE, SET, …) are written through closures so tag/length framing
+//! can never be mismatched:
+//!
+//! ```
+//! use tlsfoe_asn1::{DerWriter, Oid};
+//! let mut w = DerWriter::new();
+//! w.sequence(|w| {
+//!     w.oid(&Oid::new(&[2, 5, 4, 3]));
+//!     w.utf8_string("example");
+//! });
+//! let der = w.finish();
+//! assert_eq!(der[0], 0x30); // SEQUENCE
+//! ```
+
+use crate::{Oid, Tag};
+
+/// Append-only DER encoder.
+#[derive(Debug, Default)]
+pub struct DerWriter {
+    out: Vec<u8>,
+}
+
+impl DerWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        DerWriter { out: Vec::new() }
+    }
+
+    /// Consume the writer, returning the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.out
+    }
+
+    /// Current encoded length in bytes.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// Write a complete TLV element with the given tag byte and content.
+    pub fn tlv(&mut self, tag: u8, content: &[u8]) {
+        self.out.push(tag);
+        write_len(&mut self.out, content.len());
+        self.out.extend_from_slice(content);
+    }
+
+    /// Write a constructed element whose content is produced by `f`.
+    pub fn constructed(&mut self, tag: u8, f: impl FnOnce(&mut DerWriter)) {
+        let mut inner = DerWriter::new();
+        f(&mut inner);
+        self.tlv(tag, &inner.out);
+    }
+
+    /// SEQUENCE.
+    pub fn sequence(&mut self, f: impl FnOnce(&mut DerWriter)) {
+        self.constructed(Tag::Sequence.byte(), f);
+    }
+
+    /// SET.
+    pub fn set(&mut self, f: impl FnOnce(&mut DerWriter)) {
+        self.constructed(Tag::Set.byte(), f);
+    }
+
+    /// Context-specific constructed tag `[n]`.
+    pub fn context(&mut self, n: u8, f: impl FnOnce(&mut DerWriter)) {
+        self.constructed(crate::context_constructed(n), f);
+    }
+
+    /// BOOLEAN.
+    pub fn boolean(&mut self, v: bool) {
+        self.tlv(Tag::Boolean.byte(), &[if v { 0xff } else { 0x00 }]);
+    }
+
+    /// INTEGER from big-endian unsigned magnitude bytes.
+    ///
+    /// A leading zero byte is inserted when the high bit is set, per DER's
+    /// two's-complement INTEGER rules; an empty magnitude encodes zero.
+    pub fn integer_unsigned(&mut self, magnitude_be: &[u8]) {
+        // Strip redundant leading zeros from the caller's magnitude.
+        let stripped: &[u8] = {
+            let mut s = magnitude_be;
+            while s.len() > 1 && s[0] == 0 {
+                s = &s[1..];
+            }
+            s
+        };
+        if stripped.is_empty() {
+            self.tlv(Tag::Integer.byte(), &[0]);
+        } else if stripped[0] & 0x80 != 0 {
+            let mut content = Vec::with_capacity(stripped.len() + 1);
+            content.push(0);
+            content.extend_from_slice(stripped);
+            self.tlv(Tag::Integer.byte(), &content);
+        } else {
+            self.tlv(Tag::Integer.byte(), stripped);
+        }
+    }
+
+    /// INTEGER from a `u64`.
+    pub fn integer_u64(&mut self, v: u64) {
+        self.integer_unsigned(&v.to_be_bytes());
+    }
+
+    /// BIT STRING with zero unused bits (the only form X.509 needs).
+    pub fn bit_string(&mut self, bytes: &[u8]) {
+        let mut content = Vec::with_capacity(bytes.len() + 1);
+        content.push(0); // unused-bit count
+        content.extend_from_slice(bytes);
+        self.tlv(Tag::BitString.byte(), &content);
+    }
+
+    /// BIT STRING with an explicit unused-bit count (KeyUsage needs this).
+    pub fn bit_string_unused(&mut self, bytes: &[u8], unused: u8) {
+        let mut content = Vec::with_capacity(bytes.len() + 1);
+        content.push(unused);
+        content.extend_from_slice(bytes);
+        self.tlv(Tag::BitString.byte(), &content);
+    }
+
+    /// OCTET STRING.
+    pub fn octet_string(&mut self, bytes: &[u8]) {
+        self.tlv(Tag::OctetString.byte(), bytes);
+    }
+
+    /// NULL.
+    pub fn null(&mut self) {
+        self.tlv(Tag::Null.byte(), &[]);
+    }
+
+    /// OBJECT IDENTIFIER.
+    pub fn oid(&mut self, oid: &Oid) {
+        self.tlv(Tag::Oid.byte(), &oid.to_der_content());
+    }
+
+    /// UTF8String.
+    pub fn utf8_string(&mut self, s: &str) {
+        self.tlv(Tag::Utf8String.byte(), s.as_bytes());
+    }
+
+    /// PrintableString (caller must ensure the character set; middleboxes
+    /// in the corpus do not, so no assertion here).
+    pub fn printable_string(&mut self, s: &str) {
+        self.tlv(Tag::PrintableString.byte(), s.as_bytes());
+    }
+
+    /// IA5String.
+    pub fn ia5_string(&mut self, s: &str) {
+        self.tlv(Tag::Ia5String.byte(), s.as_bytes());
+    }
+
+    /// UTCTime from a `YYMMDDHHMMSSZ` string (validity fields).
+    pub fn utc_time(&mut self, s: &str) {
+        self.tlv(Tag::UtcTime.byte(), s.as_bytes());
+    }
+
+    /// GeneralizedTime from a `YYYYMMDDHHMMSSZ` string.
+    pub fn generalized_time(&mut self, s: &str) {
+        self.tlv(Tag::GeneralizedTime.byte(), s.as_bytes());
+    }
+
+    /// Append raw pre-encoded DER (for embedding already-built elements).
+    pub fn raw(&mut self, der: &[u8]) {
+        self.out.extend_from_slice(der);
+    }
+}
+
+/// Encode a definite length in DER's minimal form.
+fn write_len(out: &mut Vec<u8>, len: usize) {
+    if len < 0x80 {
+        out.push(len as u8);
+    } else {
+        let bytes = (len as u64).to_be_bytes();
+        let skip = bytes.iter().take_while(|&&b| b == 0).count();
+        out.push(0x80 | (8 - skip) as u8);
+        out.extend_from_slice(&bytes[skip..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_and_long_lengths() {
+        let mut w = DerWriter::new();
+        w.octet_string(&[0xab; 127]);
+        let enc = w.finish();
+        assert_eq!(&enc[..2], &[0x04, 0x7f]);
+
+        let mut w = DerWriter::new();
+        w.octet_string(&[0xab; 128]);
+        let enc = w.finish();
+        assert_eq!(&enc[..3], &[0x04, 0x81, 0x80]);
+
+        let mut w = DerWriter::new();
+        w.octet_string(&vec![0u8; 300]);
+        let enc = w.finish();
+        assert_eq!(&enc[..4], &[0x04, 0x82, 0x01, 0x2c]);
+    }
+
+    #[test]
+    fn integer_sign_handling() {
+        let mut w = DerWriter::new();
+        w.integer_u64(0);
+        assert_eq!(w.finish(), vec![0x02, 0x01, 0x00]);
+
+        let mut w = DerWriter::new();
+        w.integer_u64(127);
+        assert_eq!(w.finish(), vec![0x02, 0x01, 0x7f]);
+
+        // 128 needs a leading zero so it isn't read as -128.
+        let mut w = DerWriter::new();
+        w.integer_u64(128);
+        assert_eq!(w.finish(), vec![0x02, 0x02, 0x00, 0x80]);
+
+        let mut w = DerWriter::new();
+        w.integer_u64(256);
+        assert_eq!(w.finish(), vec![0x02, 0x02, 0x01, 0x00]);
+    }
+
+    #[test]
+    fn integer_strips_redundant_leading_zeros() {
+        let mut w = DerWriter::new();
+        w.integer_unsigned(&[0x00, 0x00, 0x7f]);
+        assert_eq!(w.finish(), vec![0x02, 0x01, 0x7f]);
+    }
+
+    #[test]
+    fn nested_sequence() {
+        let mut w = DerWriter::new();
+        w.sequence(|w| {
+            w.integer_u64(1);
+            w.sequence(|w| w.null());
+        });
+        assert_eq!(
+            w.finish(),
+            vec![0x30, 0x07, 0x02, 0x01, 0x01, 0x30, 0x02, 0x05, 0x00]
+        );
+    }
+
+    #[test]
+    fn boolean_der_values() {
+        let mut w = DerWriter::new();
+        w.boolean(true);
+        w.boolean(false);
+        assert_eq!(w.finish(), vec![0x01, 0x01, 0xff, 0x01, 0x01, 0x00]);
+    }
+
+    #[test]
+    fn bit_string_prefixes_unused_count() {
+        let mut w = DerWriter::new();
+        w.bit_string(&[0xaa, 0xbb]);
+        assert_eq!(w.finish(), vec![0x03, 0x03, 0x00, 0xaa, 0xbb]);
+
+        let mut w = DerWriter::new();
+        w.bit_string_unused(&[0b1010_0000], 5);
+        assert_eq!(w.finish(), vec![0x03, 0x02, 0x05, 0xa0]);
+    }
+
+    #[test]
+    fn context_tag_bytes() {
+        let mut w = DerWriter::new();
+        w.context(0, |w| w.integer_u64(2));
+        assert_eq!(w.finish(), vec![0xa0, 0x03, 0x02, 0x01, 0x02]);
+
+        let mut w = DerWriter::new();
+        w.context(3, |w| w.null());
+        assert_eq!(w.finish(), vec![0xa3, 0x02, 0x05, 0x00]);
+    }
+
+    #[test]
+    fn strings_and_times() {
+        let mut w = DerWriter::new();
+        w.utf8_string("ab");
+        w.printable_string("cd");
+        w.ia5_string("e");
+        w.utc_time("140106000000Z");
+        let enc = w.finish();
+        assert_eq!(enc[0], 0x0c);
+        assert_eq!(enc[4], 0x13);
+        assert_eq!(enc[8], 0x16);
+        assert_eq!(enc[11], 0x17);
+        assert_eq!(&enc[13..], b"140106000000Z");
+    }
+}

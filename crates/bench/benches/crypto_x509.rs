@@ -1,0 +1,63 @@
+//! Substrate performance: digests, record codec, DER, certificate
+//! parse/build/validate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tlsfoe_crypto::drbg::Drbg;
+use tlsfoe_crypto::{md5, sha1, sha256, HashAlg, RsaKeyPair};
+use tlsfoe_tls::record::{encode_records, ContentType, ProtocolVersion, RecordParser};
+use tlsfoe_x509::verify::demo_hierarchy;
+use tlsfoe_x509::{pem, Certificate, RootStore, Time};
+
+fn bench_digests(c: &mut Criterion) {
+    let data = vec![0xabu8; 16 * 1024];
+    let mut g = c.benchmark_group("digests_16KiB");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("md5", |b| b.iter(|| md5::md5(&data)));
+    g.bench_function("sha1", |b| b.iter(|| sha1::sha1(&data)));
+    g.bench_function("sha256", |b| b.iter(|| sha256::sha256(&data)));
+    g.finish();
+}
+
+fn bench_records(c: &mut Criterion) {
+    let payload = vec![0x5au8; 4096];
+    let encoded = encode_records(ContentType::Handshake, ProtocolVersion::Tls10, &payload);
+    c.bench_function("record_encode_4KiB", |b| {
+        b.iter(|| encode_records(ContentType::Handshake, ProtocolVersion::Tls10, &payload))
+    });
+    c.bench_function("record_parse_4KiB", |b| {
+        b.iter(|| {
+            let mut p = RecordParser::new();
+            p.feed(&encoded);
+            while p.next_record().unwrap().is_some() {}
+        })
+    });
+}
+
+fn bench_certificates(c: &mut Criterion) {
+    let mut rng = Drbg::new(1);
+    let rk = RsaKeyPair::generate(1024, &mut rng).unwrap();
+    let ik = RsaKeyPair::generate(1024, &mut rng).unwrap();
+    let lk = RsaKeyPair::generate(1024, &mut rng).unwrap();
+    let (root, intermediate, leaf) = demo_hierarchy(&rk, &ik, &lk, "h.example").unwrap();
+    let leaf_der = leaf.to_der().to_vec();
+
+    c.bench_function("cert_parse", |b| {
+        b.iter(|| Certificate::from_der(&leaf_der).unwrap())
+    });
+    c.bench_function("cert_sign_sha1_1024", |b| {
+        b.iter(|| rk.sign(HashAlg::Sha1, &leaf_der).unwrap())
+    });
+    let mut store = RootStore::new();
+    store.add_factory_root(root);
+    let chain = vec![leaf.clone(), intermediate];
+    c.bench_function("chain_validate_2", |b| {
+        b.iter(|| store.validate(&chain, "h.example", Time::from_ymd(2014, 6, 1)).unwrap())
+    });
+    let pem_text = pem::encode_certificates(&chain);
+    c.bench_function("pem_decode_chain", |b| {
+        b.iter(|| pem::decode_certificates(&pem_text).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_digests, bench_records, bench_certificates);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Performance of the measurement pipeline's hot path: the partial TLS
+//! handshake (probe ↔ server over netsim), with and without a proxy
+//! on-path, plus one full impression session.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tlsfoe_core::hosts::HostCatalog;
+use tlsfoe_core::report::{Database, ReportServer};
+use tlsfoe_core::session::SessionRunner;
+use tlsfoe_crypto::drbg::Drbg;
+use tlsfoe_geo::GeoDb;
+use tlsfoe_netsim::{Ipv4, Network, NetworkConfig};
+use tlsfoe_population::model::{ClientProfile, PopulationModel, StudyEra};
+use tlsfoe_population::products::ProductId;
+use tlsfoe_tls::probe::ProbeOutcome;
+use tlsfoe_tls::server::{ServerConfig, TlsCertServer};
+use tlsfoe_tls::ProbeClient;
+
+fn bench_probe(c: &mut Criterion) {
+    let catalog = HostCatalog::study1();
+    let cfg = ServerConfig::new(catalog.hosts[0].chain.clone());
+    let host_ip = catalog.hosts[0].ip;
+    let client = Ipv4([11, 0, 0, 1]);
+
+    c.bench_function("probe_direct_handshake", |b| {
+        b.iter(|| {
+            let mut net = Network::new(NetworkConfig::default(), 1);
+            let cfg = cfg.clone();
+            net.listen(host_ip, 443, Box::new(move |_| Box::new(TlsCertServer::new(cfg.clone()))));
+            let outcome = ProbeOutcome::new();
+            net.dial_from(
+                client,
+                host_ip,
+                443,
+                Box::new(ProbeClient::new("tlsresearch.byu.edu", [1; 32], outcome.clone())),
+            )
+            .unwrap();
+            net.run();
+            assert!(outcome.borrow().chain_der.len() == 2);
+        })
+    });
+
+    let model = PopulationModel::new(StudyEra::Study1, catalog.public_roots.clone());
+    let bitdefender = ProductId(
+        model
+            .specs()
+            .iter()
+            .position(|s| s.display_name() == "Bitdefender")
+            .unwrap() as u16,
+    );
+    // Warm the substitute cache (steady-state proxy behaviour).
+    let _ = model.factory(bitdefender);
+
+    c.bench_function("probe_through_proxy", |b| {
+        b.iter(|| {
+            let mut net = Network::new(NetworkConfig::default(), 1);
+            let cfg = cfg.clone();
+            net.listen(host_ip, 443, Box::new(move |_| Box::new(TlsCertServer::new(cfg.clone()))));
+            net.install_interceptor(client, Box::new(model.make_proxy(bitdefender)));
+            let outcome = ProbeOutcome::new();
+            net.dial_from(
+                client,
+                host_ip,
+                443,
+                Box::new(ProbeClient::new("tlsresearch.byu.edu", [1; 32], outcome.clone())),
+            )
+            .unwrap();
+            net.run();
+        })
+    });
+
+    // One complete impression session (policy fetch + gated probes +
+    // report uploads) against the full study-2 catalog.
+    let catalog2 = Rc::new(HostCatalog::study2());
+    let geo = GeoDb::allocate(1000);
+    let db = Rc::new(RefCell::new(Database::new()));
+    let report = Rc::new(ReportServer::new(&catalog2, geo.clone(), db.clone()));
+    let runner = SessionRunner::new(catalog2.clone(), report);
+    let model2 = PopulationModel::new(StudyEra::Study2, catalog2.public_roots.clone());
+    let us = tlsfoe_geo::countries::by_code("US").unwrap();
+
+    c.bench_function("impression_session_clean", |b| {
+        let mut rng = Drbg::new(99);
+        let profile = ClientProfile { country: us, ip: geo.client_addr(us, 0), product: None };
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            runner.run_session(&model2, &profile, &mut rng, i)
+        })
+    });
+}
+
+criterion_group!(benches, bench_probe);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Figure 7: heat map of TLS-proxy prevalence by country (study 2).
+//! Emits the text heat map and a CSV series (stdout).
+use tlsfoe_core::tables;
+
+fn main() {
+    print!("{}", tlsfoe_bench::banner("Figure 7"));
+    let outcome = tlsfoe_bench::study2();
+    // Require a minimal per-country sample for a stable rate.
+    let min_total = (2000 / tlsfoe_bench::scale() as u64).max(50);
+    let (heatmap, csv) = tables::figure7(&outcome.db, min_total);
+    println!("{heatmap}");
+    println!("--- CSV series ---\n{csv}");
+}

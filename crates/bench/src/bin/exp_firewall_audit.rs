@@ -1,0 +1,15 @@
+//! §5.2 firewall lab audit: forged upstream certificate behind each
+//! product. Paper: Kurupira MASKS the forgery (trusted substitute);
+//! Bitdefender BLOCKS it.
+use tlsfoe_core::audit;
+use tlsfoe_core::hosts::HostCatalog;
+use tlsfoe_core::tables;
+use tlsfoe_population::model::{PopulationModel, StudyEra};
+
+fn main() {
+    print!("{}", tlsfoe_bench::banner("Firewall audit (§5.2)"));
+    let catalog = HostCatalog::study1();
+    let model = PopulationModel::new(StudyEra::Study1, catalog.public_roots.clone());
+    let rows = audit::audit_catalog(&model, audit::AUDITED_PRODUCTS);
+    print!("{}", tables::audit_table(&rows));
+}

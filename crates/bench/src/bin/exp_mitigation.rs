@@ -1,0 +1,14 @@
+//! §7 mitigation ablation (extension): which defence detects which
+//! proxy class. Quantifies the survey's qualitative claims — notably
+//! that Chrome-style pinning is bypassed by every root-injecting proxy.
+use tlsfoe_core::hosts::HostCatalog;
+use tlsfoe_mitigation::eval;
+use tlsfoe_population::model::{PopulationModel, StudyEra};
+
+fn main() {
+    print!("{}", tlsfoe_bench::banner("Mitigation ablation (§7)"));
+    let catalog = HostCatalog::study2();
+    let model = PopulationModel::new(StudyEra::Study2, catalog.public_roots.clone());
+    let rows = eval::evaluate(&model, &catalog.hosts[0].chain);
+    print!("{}", eval::render(&rows));
+}

@@ -1,0 +1,17 @@
+//! §5.2 negligence findings, study 1.
+//! Paper: 50.59% 1024-bit keys, 21 at 512 bits, 23 MD5 (21 also
+//! 512-bit), 7 at 2432 bits, 5 SHA-256, 49 forged "DigiCert Inc",
+//! 110 modified subjects (51 mismatching the host).
+use tlsfoe_core::{negligence, tables};
+
+fn main() {
+    print!("{}", tlsfoe_bench::banner("Negligence (§5.2)"));
+    // Substitute-corpus mode: interception oversampled by the scale
+    // divisor, so the corpus is paper-sized (§5.2's denominators).
+    let outcome = tlsfoe_bench::study_boosted(tlsfoe_population::model::StudyEra::Study1);
+    let cas = tlsfoe_bench::real_ca_keys();
+    let refs: Vec<(&str, &tlsfoe_crypto::RsaPublicKey)> =
+        cas.iter().map(|(n, k)| (*n, k)).collect();
+    let report = negligence::analyze(&outcome.db, &refs);
+    print!("{}", tables::negligence_report(&report));
+}

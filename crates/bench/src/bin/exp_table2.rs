@@ -1,0 +1,13 @@
+//! Table 2: second-study campaign statistics (impressions/clicks/cost).
+//! Paper: Global 3,285,598 imp / 5,424 clicks / $4,021.78; totals
+//! 5,079,298 / 11,077 / $6,090.19 (reproduce ÷ TLSFOE_SCALE).
+use tlsfoe_core::tables;
+
+fn main() {
+    print!("{}", tlsfoe_bench::banner("Table 2"));
+    let outcome = tlsfoe_bench::study2();
+    print!("{}", tables::table2(outcome));
+    println!(
+        "(paper totals at scale 1/1: 5,079,298 impressions, 11,077 clicks, $6,090.19)"
+    );
+}

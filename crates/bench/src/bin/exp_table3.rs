@@ -1,0 +1,17 @@
+//! Table 3: study-1 proxied connections by country.
+//! Paper: 11,764 / 2,861,180 = 0.41% overall; US 0.79%, FR 1.09%.
+use tlsfoe_core::{analysis, tables};
+
+fn main() {
+    print!("{}", tlsfoe_bench::banner("Table 3"));
+    let outcome = tlsfoe_bench::study1();
+    print!(
+        "{}",
+        tables::table_by_country(&outcome.db, "Table 3: Proxied connections by country (study 1)")
+    );
+    println!(
+        "\nproxied countries: {} (paper: 142); distinct proxied IPs: {} (paper: 8,589 at full scale)",
+        analysis::proxied_country_count(&outcome.db),
+        analysis::proxied_ip_count(&outcome.db)
+    );
+}

@@ -1,0 +1,9 @@
+//! Table 4: Issuer Organization values (study 1).
+//! Paper: Bitdefender 4,788; PSafe 1,200; Sendori 966; Null 829…
+use tlsfoe_core::tables;
+
+fn main() {
+    print!("{}", tlsfoe_bench::banner("Table 4"));
+    let outcome = tlsfoe_bench::study1();
+    print!("{}", tables::table4(&outcome.db));
+}

@@ -1,0 +1,13 @@
+//! Table 5: classification of claimed issuer, study 1.
+//! Paper: Business/Personal Firewall 68.86%, Organization 12.66%,
+//! Malware 8.65%, Unknown 7.14%.
+use tlsfoe_core::tables;
+
+fn main() {
+    print!("{}", tlsfoe_bench::banner("Table 5"));
+    let outcome = tlsfoe_bench::study1();
+    print!(
+        "{}",
+        tables::table_classification(&outcome.db, "Table 5: Classification of claimed issuer (study 1)")
+    );
+}

@@ -1,0 +1,13 @@
+//! Table 6: classification of claimed issuer, study 2.
+//! Paper: firewalls 74.42%, Unknown 10.75% (up from 7.14%), Malware
+//! 5.06% (down from 8.65%), Telecom 0.88% (new).
+use tlsfoe_core::tables;
+
+fn main() {
+    print!("{}", tlsfoe_bench::banner("Table 6"));
+    let outcome = tlsfoe_bench::study2();
+    print!(
+        "{}",
+        tables::table_classification(&outcome.db, "Table 6: Classification of claimed issuer (study 2)")
+    );
+}

@@ -1,0 +1,17 @@
+//! Table 7: study-2 connections tested by country.
+//! Paper: China 0.02% (exceptionally low), US 0.86%, Romania 1.19%,
+//! total 50,761 / 12,314,756 = 0.41%.
+use tlsfoe_core::{analysis, tables};
+
+fn main() {
+    print!("{}", tlsfoe_bench::banner("Table 7"));
+    let outcome = tlsfoe_bench::study2();
+    print!(
+        "{}",
+        tables::table_by_country(&outcome.db, "Table 7: Connections tested by country (study 2)")
+    );
+    println!(
+        "\nproxied countries: {} (paper: 147)",
+        analysis::proxied_country_count(&outcome.db)
+    );
+}

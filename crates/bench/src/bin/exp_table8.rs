@@ -1,0 +1,10 @@
+//! Table 8: proxied connections by host type.
+//! Paper: Popular 0.41%, Business 0.42%, Pornographic 0.41%, Authors'
+//! 0.42% — near-identical, i.e. no blacklisting by host type.
+use tlsfoe_core::tables;
+
+fn main() {
+    print!("{}", tlsfoe_bench::banner("Table 8"));
+    let outcome = tlsfoe_bench::study2();
+    print!("{}", tables::table8(&outcome.db));
+}

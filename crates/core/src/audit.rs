@@ -1,0 +1,220 @@
+//! The §5.2 firewall lab audit.
+//!
+//! The authors installed each common interception product on a lab
+//! machine, put their own attacking TLS proxy (serving certificates
+//! signed by an untrusted CA) upstream of it, and observed what reached
+//! the browser. This module automates that experiment for every product
+//! in the catalog: an attacker host serves a forged (self-signed)
+//! certificate; the product's proxy sits on the client path; the probe
+//! records what the client actually receives.
+
+
+use tlsfoe_netsim::{Ipv4, Network, NetworkConfig};
+use tlsfoe_population::keys;
+use tlsfoe_population::model::PopulationModel;
+use tlsfoe_population::products::ProductId;
+use tlsfoe_tls::probe::{ProbeOutcome, ProbeState};
+use tlsfoe_tls::server::{ServerConfig, TlsCertServer};
+use tlsfoe_tls::ProbeClient;
+use tlsfoe_x509::name::NameBuilder;
+use tlsfoe_x509::{Certificate, CertificateBuilder};
+
+/// What the client experienced behind the audited product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditVerdict {
+    /// Connection blocked — the product protected the user (Bitdefender).
+    Blocked,
+    /// The forged certificate was replaced by one the victim trusts —
+    /// the product *masked* the attack (Kurupira's vulnerability).
+    MaskedTrusted,
+    /// The product re-signed blindly; the victim sees the product's cert
+    /// (attack succeeds through the product's MitM).
+    ResignedBlindly,
+    /// No product installed: the forged certificate arrived untouched
+    /// and the browser would warn.
+    UntrustedWarning,
+}
+
+/// One product's audit result.
+#[derive(Debug, Clone)]
+pub struct AuditRow {
+    /// Product display name.
+    pub product: &'static str,
+    /// Outcome.
+    pub verdict: AuditVerdict,
+}
+
+const VICTIM_HOST: &str = "victim-bank.example";
+
+fn attacker_chain() -> Vec<Certificate> {
+    let key = keys::keypair(880_001, 1024);
+    vec![CertificateBuilder::new()
+        .subject(NameBuilder::new().common_name(VICTIM_HOST).build())
+        .san_dns(&[VICTIM_HOST])
+        .self_sign(&key)
+        .expect("attacker cert")]
+}
+
+/// Audit a single product (None = bare client, control condition).
+pub fn audit_product(model: &PopulationModel, product: Option<ProductId>) -> AuditVerdict {
+    let mut net = Network::new(NetworkConfig::default(), 5150);
+    let attacker_ip = Ipv4([203, 0, 113, 66]);
+    let client_ip = Ipv4([11, 9, 9, 9]);
+    let cfg = ServerConfig::new(attacker_chain());
+    net.listen(
+        attacker_ip,
+        443,
+        Box::new(move |_| Box::new(TlsCertServer::new(cfg.clone()))),
+    );
+    if let Some(pid) = product {
+        net.install_interceptor(client_ip, Box::new(model.make_proxy(pid)));
+    }
+    let outcome = ProbeOutcome::new();
+    net.dial_from(
+        client_ip,
+        attacker_ip,
+        443,
+        Box::new(ProbeClient::new(VICTIM_HOST, [7u8; 32], outcome.clone())),
+    )
+    .expect("attacker listening");
+    net.run();
+
+    let o = outcome.borrow();
+    if o.state != ProbeState::Done {
+        return AuditVerdict::Blocked;
+    }
+    let leaf = Certificate::from_der(&o.chain_der[0]).expect("captured cert parses");
+
+    match product {
+        None => AuditVerdict::UntrustedWarning,
+        Some(pid) => {
+            // Would the victim's root store (factory roots + the
+            // product's injected root) accept what arrived?
+            let profile = tlsfoe_population::model::ClientProfile {
+                country: tlsfoe_geo::countries::by_code("US").expect("US registered"),
+                ip: client_ip,
+                product: Some(pid),
+            };
+            let store = model.client_root_store(&profile);
+            let chain: Vec<Certificate> = o
+                .chain_der
+                .iter()
+                .filter_map(|d| Certificate::from_der(d).ok())
+                .collect();
+            let trusted = store.validate(&chain, VICTIM_HOST, model.now()).is_ok();
+            let product_issued = leaf.tbs.issuer == model.factory(pid).root_cert().tbs.subject;
+            match (trusted, product_issued) {
+                (true, true) => {
+                    // Product re-signed the attacker's cert with its own
+                    // trusted root. Whether that's "masking" depends on
+                    // whether it checked upstream at all.
+                    match model.specs()[pid.0 as usize].upstream_policy {
+                        tlsfoe_population::products::UpstreamPolicy::MaskInvalid => {
+                            AuditVerdict::MaskedTrusted
+                        }
+                        _ => AuditVerdict::ResignedBlindly,
+                    }
+                }
+                _ => AuditVerdict::UntrustedWarning,
+            }
+        }
+    }
+}
+
+/// Audit the named products (the §5.2 lab set) plus the bare-client
+/// control.
+pub fn audit_catalog(model: &PopulationModel, products: &[&str]) -> Vec<AuditRow> {
+    let mut rows = vec![AuditRow {
+        product: "(no product)",
+        verdict: audit_product(model, None),
+    }];
+    for name in products {
+        let pid = model
+            .specs()
+            .iter()
+            .position(|s| s.display_name() == *name)
+            .map(|i| ProductId(i as u16));
+        if let Some(pid) = pid {
+            rows.push(AuditRow {
+                product: model.specs()[pid.0 as usize].display_name(),
+                verdict: audit_product(model, Some(pid)),
+            });
+        }
+    }
+    rows
+}
+
+/// The products the paper audited by hand.
+pub const AUDITED_PRODUCTS: &[&str] = &[
+    "Bitdefender",
+    "Kurupira.NET",
+    "PSafe Tecnologia S.A.",
+    "ESET spol. s r. o.",
+    "Kaspersky Lab ZAO",
+    "Qustodio",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hosts::HostCatalog;
+    use tlsfoe_population::model::StudyEra;
+
+    fn model() -> PopulationModel {
+        let catalog = HostCatalog::study1();
+        PopulationModel::new(StudyEra::Study1, catalog.public_roots.clone())
+    }
+
+    #[test]
+    fn bare_client_sees_untrusted_warning() {
+        assert_eq!(audit_product(&model(), None), AuditVerdict::UntrustedWarning);
+    }
+
+    #[test]
+    fn bitdefender_blocks() {
+        let m = model();
+        let pid = ProductId(
+            m.specs()
+                .iter()
+                .position(|s| s.display_name() == "Bitdefender")
+                .unwrap() as u16,
+        );
+        assert_eq!(audit_product(&m, Some(pid)), AuditVerdict::Blocked);
+    }
+
+    #[test]
+    fn kurupira_masks() {
+        let m = model();
+        let pid = ProductId(
+            m.specs()
+                .iter()
+                .position(|s| s.display_name() == "Kurupira.NET")
+                .unwrap() as u16,
+        );
+        assert_eq!(audit_product(&m, Some(pid)), AuditVerdict::MaskedTrusted);
+    }
+
+    #[test]
+    fn blind_products_resign() {
+        let m = model();
+        let pid = ProductId(
+            m.specs()
+                .iter()
+                .position(|s| s.display_name() == "ESET spol. s r. o.")
+                .unwrap() as u16,
+        );
+        assert_eq!(audit_product(&m, Some(pid)), AuditVerdict::ResignedBlindly);
+    }
+
+    #[test]
+    fn audit_table_includes_control_and_products() {
+        let m = model();
+        let rows = audit_catalog(&m, AUDITED_PRODUCTS);
+        assert_eq!(rows.len(), AUDITED_PRODUCTS.len() + 1);
+        assert_eq!(rows[0].verdict, AuditVerdict::UntrustedWarning);
+        let kurupira = rows.iter().find(|r| r.product == "Kurupira.NET").unwrap();
+        assert_eq!(kurupira.verdict, AuditVerdict::MaskedTrusted);
+        let bd = rows.iter().find(|r| r.product == "Bitdefender").unwrap();
+        assert_eq!(bd.verdict, AuditVerdict::Blocked);
+    }
+}

@@ -1,0 +1,205 @@
+//! The claimed-issuer classifier (Tables 5 and 6).
+//!
+//! The paper's authors classified substitute certificates by manually
+//! inspecting issuer fields and researching each organization on the
+//! web. This module is that research distilled into a rule base: exact
+//! product knowledge first, then structural heuristics, then `Unknown` —
+//! mirroring how the Unknown bucket in the paper collects everything the
+//! authors could not identify. It intentionally does *not* look at the
+//! ground-truth population catalog.
+
+use tlsfoe_population::products::ProxyCategory;
+
+/// Known firewall / security products (web research, §5.1).
+const FIREWALLS: &[&str] = &[
+    "Bitdefender",
+    "PSafe Tecnologia S.A.",
+    "ESET spol. s r. o.",
+    "Kaspersky Lab ZAO",
+    "Fortinet",
+    "Kurupira.NET",
+    "NordNet",
+    "Sophos Web Appliance",
+    "Cisco IronPort",
+    "Barracuda Networks",
+];
+
+const BUSINESS_FIREWALLS: &[&str] = &["Southern Company Services", "Blue Coat Systems"];
+
+const PERSONAL_FIREWALLS: &[&str] = &["Outpost Personal Firewall"];
+
+const PARENTAL: &[&str] = &["Qustodio", "ContentWatch, Inc.", "NetSpark, Inc."];
+
+/// Known malware families (§5.1 + §6.4) and spam-industry operators.
+const MALWARE: &[&str] = &[
+    "Sendori, Inc",
+    "WebMakerPlus Ltd",
+    "IopFailZeroAccessCreate",
+    "Sweesh LTD",
+    "AtomPark Software Inc",
+    "Objectify Media Inc",
+    "Superfish, Inc.",
+    "WiredTools LTD",
+    "Internet Widgits Pty Ltd",
+    "ImpressX OU",
+];
+
+/// Telecom operators observed in study 2 (§6.1).
+const TELECOM: &[&str] = &["LG UPLUS", "Turk Telekom Gateway", "Claro Servicios"];
+
+/// Real certificate authorities whose names appear in forged issuers.
+const CERT_AUTHORITIES: &[&str] = &["DigiCert Inc", "GeoTrust Inc", "VeriSign, Inc."];
+
+/// Classify a substitute certificate's claimed issuer.
+///
+/// `org` / `cn` are the Issuer Organization and Issuer Common Name of the
+/// substitute certificate, exactly as captured.
+pub fn classify(org: Option<&str>, cn: Option<&str>) -> ProxyCategory {
+    let fields = [org, cn];
+    let matches_list = |list: &[&str]| {
+        fields
+            .iter()
+            .flatten()
+            .any(|f| list.iter().any(|k| f == k))
+    };
+
+    if matches_list(MALWARE) {
+        return ProxyCategory::Malware;
+    }
+    if matches_list(FIREWALLS) {
+        return ProxyCategory::BusinessPersonalFirewall;
+    }
+    if matches_list(BUSINESS_FIREWALLS) {
+        return ProxyCategory::BusinessFirewall;
+    }
+    if matches_list(PERSONAL_FIREWALLS) {
+        return ProxyCategory::PersonalFirewall;
+    }
+    if matches_list(PARENTAL) {
+        return ProxyCategory::ParentalControl;
+    }
+    if matches_list(TELECOM) {
+        return ProxyCategory::Telecom;
+    }
+    if matches_list(CERT_AUTHORITIES) {
+        return ProxyCategory::CertificateAuthority;
+    }
+
+    // Null/blank issuer: straight to Unknown (7% of study 1).
+    let org_str = org.unwrap_or("").trim();
+    let cn_str = cn.unwrap_or("").trim();
+    if org_str.is_empty() && cn_str.is_empty() {
+        return ProxyCategory::Unknown;
+    }
+
+    // Structural heuristics, mirroring the authors' manual buckets.
+    let text = format!("{org_str} {cn_str}");
+    let lower = text.to_lowercase();
+    if ["school", "university", "district", "academy", "college"]
+        .iter()
+        .any(|k| lower.contains(k))
+    {
+        return ProxyCategory::School;
+    }
+    if ["telecom", "telekom", "uplus", "cable", "wireless", "mobile"]
+        .iter()
+        .any(|k| lower.contains(k))
+    {
+        return ProxyCategory::Telecom;
+    }
+    // Corporate-looking names → Organization (Lawrence Livermore,
+    // Lincoln Financial, POSCO, Target, IBRD, "DSP", …).
+    if [
+        "inc", "corp", "ltd", "llc", "group", "company", "laboratory", "financial",
+        "holdings", "trust", "systems", "manufacturing", "services", "department",
+    ]
+    .iter()
+    .any(|k| lower.contains(k))
+        || text.chars().filter(|c| c.is_uppercase()).count() >= 2 && text.len() <= 12
+    {
+        return ProxyCategory::Organization;
+    }
+    ProxyCategory::Unknown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_products_classified() {
+        assert_eq!(
+            classify(Some("Bitdefender"), Some("Bitdefender")),
+            ProxyCategory::BusinessPersonalFirewall
+        );
+        assert_eq!(
+            classify(Some("Sendori, Inc"), None),
+            ProxyCategory::Malware
+        );
+        assert_eq!(
+            classify(Some("Superfish, Inc."), None),
+            ProxyCategory::Malware
+        );
+        assert_eq!(classify(Some("Qustodio"), None), ProxyCategory::ParentalControl);
+        assert_eq!(classify(Some("LG UPLUS"), None), ProxyCategory::Telecom);
+        assert_eq!(
+            classify(Some("DigiCert Inc"), Some("DigiCert High Assurance CA-3")),
+            ProxyCategory::CertificateAuthority
+        );
+    }
+
+    #[test]
+    fn iopfail_identified_by_cn_only() {
+        // The malware self-identifies only in the Issuer Common Name.
+        assert_eq!(
+            classify(None, Some("IopFailZeroAccessCreate")),
+            ProxyCategory::Malware
+        );
+    }
+
+    #[test]
+    fn null_issuer_is_unknown() {
+        assert_eq!(classify(None, None), ProxyCategory::Unknown);
+        assert_eq!(classify(Some(""), Some("  ")), ProxyCategory::Unknown);
+    }
+
+    #[test]
+    fn heuristic_buckets() {
+        assert_eq!(
+            classify(Some("Unified School District 12"), None),
+            ProxyCategory::School
+        );
+        assert_eq!(
+            classify(Some("State University Network Services"), None),
+            ProxyCategory::School
+        );
+        assert_eq!(
+            classify(Some("Lawrence Livermore National Laboratory"), None),
+            ProxyCategory::Organization
+        );
+        assert_eq!(
+            classify(Some("Lincoln Financial Group"), None),
+            ProxyCategory::Organization
+        );
+        assert_eq!(classify(None, Some("DSP")), ProxyCategory::Organization);
+        assert_eq!(
+            classify(Some("Acme Industrial Holdings"), None),
+            ProxyCategory::Organization
+        );
+    }
+
+    #[test]
+    fn opaque_strings_stay_unknown() {
+        assert_eq!(classify(Some("kowsar"), None), ProxyCategory::Unknown);
+        assert_eq!(classify(Some("gateway"), Some("gateway")), ProxyCategory::Unknown);
+    }
+
+    #[test]
+    fn malware_takes_priority_over_corporate_suffix() {
+        // "Objectify Media Inc" contains "Inc" but is known malware.
+        assert_eq!(
+            classify(Some("Objectify Media Inc"), None),
+            ProxyCategory::Malware
+        );
+    }
+}

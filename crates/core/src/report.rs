@@ -1,0 +1,335 @@
+//! The reporting server and measurement database.
+//!
+//! This is the server half of §3: it receives each client's concatenated
+//! PEM upload, parses it, compares the captured leaf byte-for-byte with
+//! the authoritative certificate for the probed host, geolocates the
+//! reporting IP, and appends a [`MeasurementRecord`].
+//!
+//! Records keep a slim summary for matched (un-proxied) probes and the
+//! full substitute evidence — including the raw DER chain — for
+//! mismatches, which is what every downstream analyzer consumes.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use tlsfoe_geo::countries::CountryCode;
+use tlsfoe_geo::GeoDb;
+use tlsfoe_netsim::net::DialInfo;
+use tlsfoe_netsim::Ipv4;
+use tlsfoe_x509::cert::SignatureAlgorithm;
+use tlsfoe_x509::{pem, Certificate};
+
+use crate::hosts::{HostCatalog, HostCategory};
+use crate::http::{HttpPostServer, PostRequest};
+
+/// Evidence extracted from a substitute (mismatching) chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubstituteInfo {
+    /// Issuer Organization field (None = null/absent — itself a finding).
+    pub issuer_org: Option<String>,
+    /// Issuer Common Name field.
+    pub issuer_cn: Option<String>,
+    /// Leaf public-key size in bits.
+    pub key_bits: usize,
+    /// Signature algorithm of the leaf.
+    pub sig_alg: SignatureAlgorithm,
+    /// Leaf subject CN.
+    pub subject_cn: Option<String>,
+    /// Whether the leaf's subject/SAN covers the probed host.
+    pub covers_host: bool,
+    /// SHA-256 over the leaf's public-key bytes (shared-key clustering).
+    pub leaf_key_fp: [u8; 32],
+    /// The full captured DER chain, leaf first.
+    pub chain_der: Vec<Vec<u8>>,
+}
+
+/// One completed measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasurementRecord {
+    /// Reporting client address.
+    pub client_ip: Ipv4,
+    /// Geolocated country (None if the IP is outside the database).
+    pub country: Option<CountryCode>,
+    /// Probed hostname.
+    pub host: &'static str,
+    /// Probed host category.
+    pub category: HostCategory,
+    /// True when the captured leaf differed from the authoritative one.
+    pub proxied: bool,
+    /// Substitute evidence (present iff `proxied`).
+    pub substitute: Option<SubstituteInfo>,
+}
+
+/// The measurement database.
+#[derive(Debug, Default)]
+pub struct Database {
+    /// All records, ingestion order.
+    pub records: Vec<MeasurementRecord>,
+    /// Uploads that failed to parse (malformed PEM/DER) — counted, kept
+    /// out of the analysis like the paper's unsuccessful measurements.
+    pub malformed_uploads: u64,
+}
+
+impl Database {
+    /// New empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Total successful measurements.
+    pub fn total(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Proxied measurements.
+    pub fn proxied(&self) -> u64 {
+        self.records.iter().filter(|r| r.proxied).count() as u64
+    }
+
+    /// Overall proxied fraction (the paper's headline 0.41%).
+    pub fn proxied_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.proxied() as f64 / self.total() as f64
+        }
+    }
+
+    /// Merge another database (for sharded studies).
+    pub fn merge(&mut self, other: Database) {
+        self.records.extend(other.records);
+        self.malformed_uploads += other.malformed_uploads;
+    }
+
+    /// Serialize all records as JSON lines (the persisted dataset the
+    /// paper promised on its website).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            let sub = r.substitute.as_ref().map(|s| {
+                serde_json::json!({
+                    "issuer_org": s.issuer_org,
+                    "issuer_cn": s.issuer_cn,
+                    "key_bits": s.key_bits,
+                    "sig_alg": s.sig_alg.name(),
+                    "subject_cn": s.subject_cn,
+                    "covers_host": s.covers_host,
+                    "leaf_key_fp": hex(&s.leaf_key_fp),
+                })
+            });
+            let v = serde_json::json!({
+                "client_ip": r.client_ip.to_string(),
+                "country": r.country.map(|c| tlsfoe_geo::countries::info(c).code),
+                "host": r.host,
+                "category": r.category.label(),
+                "proxied": r.proxied,
+                "substitute": sub,
+            });
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// The reporting server: authoritative chains + geolocation + database.
+pub struct ReportServer {
+    authoritative: HashMap<&'static str, (Vec<u8>, &'static str, HostCategory)>,
+    geo: GeoDb,
+    db: Rc<RefCell<Database>>,
+}
+
+impl ReportServer {
+    /// Create for a host catalog.
+    pub fn new(catalog: &HostCatalog, geo: GeoDb, db: Rc<RefCell<Database>>) -> ReportServer {
+        let authoritative = catalog
+            .hosts
+            .iter()
+            .map(|h| {
+                (
+                    h.name,
+                    (h.chain[0].to_der().to_vec(), h.name, h.category),
+                )
+            })
+            .collect();
+        ReportServer {
+            authoritative,
+            geo,
+            db,
+        }
+    }
+
+    /// The shared database handle.
+    pub fn db(&self) -> Rc<RefCell<Database>> {
+        self.db.clone()
+    }
+
+    /// Process one upload: `path` is `/report?host=NAME`, `body` is the
+    /// concatenated PEM chain the probe captured.
+    pub fn ingest(&self, client_ip: Ipv4, path: &str, body: &[u8]) {
+        let Some(host_name) = path.split("host=").nth(1) else {
+            self.db.borrow_mut().malformed_uploads += 1;
+            return;
+        };
+        let Some(&(ref auth_leaf, host, category)) = self.authoritative.get(host_name) else {
+            self.db.borrow_mut().malformed_uploads += 1;
+            return;
+        };
+        let text = String::from_utf8_lossy(body);
+        let chain = match pem::decode_certificates(&text) {
+            Ok(chain) if !chain.is_empty() => chain,
+            _ => {
+                self.db.borrow_mut().malformed_uploads += 1;
+                return;
+            }
+        };
+
+        let proxied = chain[0].to_der() != auth_leaf.as_slice();
+        let substitute = if proxied {
+            Some(extract_substitute(&chain, host))
+        } else {
+            None
+        };
+        self.db.borrow_mut().records.push(MeasurementRecord {
+            client_ip,
+            country: self.geo.lookup(client_ip),
+            host,
+            category,
+            proxied,
+            substitute,
+        });
+    }
+
+    /// Build a netsim listener factory serving this report server over
+    /// HTTP POST. The server is wrapped in `Rc` so every accepted
+    /// connection shares the same database.
+    pub fn listener(self: Rc<Self>) -> tlsfoe_netsim::net::ListenerFactory {
+        Box::new(move |info: DialInfo| {
+            let server = self.clone();
+            Box::new(HttpPostServer::new(move |req: PostRequest| {
+                server.ingest(info.client, &req.path, &req.body);
+            }))
+        })
+    }
+}
+
+/// Pull the analyzer-relevant fields out of a substitute chain.
+fn extract_substitute(chain: &[Certificate], host: &str) -> SubstituteInfo {
+    let leaf = &chain[0];
+    let spki_bytes = leaf.tbs.spki.key.n.to_bytes_be();
+    SubstituteInfo {
+        issuer_org: leaf.tbs.issuer.organization().map(str::to_string),
+        issuer_cn: leaf.tbs.issuer.common_name().map(str::to_string),
+        key_bits: leaf.key_bits(),
+        sig_alg: leaf.signature_alg,
+        subject_cn: leaf.tbs.subject.common_name().map(str::to_string),
+        covers_host: leaf.matches_host(host),
+        leaf_key_fp: tlsfoe_crypto::sha256::sha256(&spki_bytes),
+        chain_der: chain.iter().map(|c| c.to_der().to_vec()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Rc<ReportServer>, Rc<RefCell<Database>>, HostCatalog) {
+        let catalog = HostCatalog::study2();
+        let db = Rc::new(RefCell::new(Database::new()));
+        let server = Rc::new(ReportServer::new(
+            &catalog,
+            GeoDb::allocate(1000),
+            db.clone(),
+        ));
+        (server, db, catalog)
+    }
+
+    fn client() -> Ipv4 {
+        // First address of the first country block.
+        Ipv4([11, 0, 0, 0])
+    }
+
+    #[test]
+    fn matching_upload_recorded_unproxied() {
+        let (server, db, catalog) = setup();
+        let body = pem::encode_certificates(&catalog.hosts[0].chain).into_bytes();
+        server.ingest(client(), "/report?host=tlsresearch.byu.edu", &body);
+        let db = db.borrow();
+        assert_eq!(db.total(), 1);
+        assert_eq!(db.proxied(), 0);
+        let r = &db.records[0];
+        assert_eq!(r.host, "tlsresearch.byu.edu");
+        assert!(r.country.is_some());
+        assert!(r.substitute.is_none());
+    }
+
+    #[test]
+    fn mismatching_upload_recorded_proxied_with_evidence() {
+        let (server, db, catalog) = setup();
+        // Upload qq.com's cert claiming it came from the authors' host.
+        let body = pem::encode_certificates(&catalog.host("qq.com").unwrap().chain).into_bytes();
+        server.ingest(client(), "/report?host=tlsresearch.byu.edu", &body);
+        let db = db.borrow();
+        assert_eq!(db.proxied(), 1);
+        let sub = db.records[0].substitute.as_ref().unwrap();
+        assert_eq!(sub.issuer_org.as_deref(), Some("DigiCert Inc"));
+        assert_eq!(sub.key_bits, 2048);
+        assert!(!sub.covers_host, "qq.com cert must not cover byu host");
+        assert_eq!(sub.chain_der.len(), 2);
+    }
+
+    #[test]
+    fn garbage_uploads_counted_malformed() {
+        let (server, db, _) = setup();
+        server.ingest(client(), "/report?host=tlsresearch.byu.edu", b"not pem");
+        server.ingest(client(), "/report?host=unknown.example", b"");
+        server.ingest(client(), "/nonsense", b"");
+        let db = db.borrow();
+        assert_eq!(db.total(), 0);
+        assert_eq!(db.malformed_uploads, 3);
+    }
+
+    #[test]
+    fn geolocation_resolves_client_country() {
+        let (server, db, catalog) = setup();
+        let geo = GeoDb::allocate(1000);
+        let us = tlsfoe_geo::countries::by_code("US").unwrap();
+        let us_ip = geo.client_addr(us, 7);
+        let body = pem::encode_certificates(&catalog.hosts[0].chain).into_bytes();
+        server.ingest(us_ip, "/report?host=tlsresearch.byu.edu", &body);
+        assert_eq!(db.borrow().records[0].country, Some(us));
+    }
+
+    #[test]
+    fn database_merge_and_rate() {
+        let (server, db, catalog) = setup();
+        let good = pem::encode_certificates(&catalog.hosts[0].chain).into_bytes();
+        let bad = pem::encode_certificates(&catalog.host("qq.com").unwrap().chain).into_bytes();
+        for _ in 0..99 {
+            server.ingest(client(), "/report?host=tlsresearch.byu.edu", &good);
+        }
+        server.ingest(client(), "/report?host=tlsresearch.byu.edu", &bad);
+        let mut merged = Database::new();
+        merged.merge(db.replace(Database::new()));
+        assert_eq!(merged.total(), 100);
+        assert_eq!(merged.proxied(), 1);
+        assert!((merged.proxied_rate() - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jsonl_export_roundtrips_through_serde() {
+        let (server, db, catalog) = setup();
+        let bad = pem::encode_certificates(&catalog.host("qq.com").unwrap().chain).into_bytes();
+        server.ingest(client(), "/report?host=tlsresearch.byu.edu", &bad);
+        let jsonl = db.borrow().to_jsonl();
+        let v: serde_json::Value = serde_json::from_str(jsonl.lines().next().unwrap()).unwrap();
+        assert_eq!(v["proxied"], true);
+        assert_eq!(v["substitute"]["issuer_org"], "DigiCert Inc");
+        assert_eq!(v["host"], "tlsresearch.byu.edu");
+    }
+}

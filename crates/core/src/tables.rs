@@ -1,0 +1,272 @@
+//! Text renderers that lay each table out the way the paper prints it.
+
+use crate::analysis;
+use crate::audit::{AuditRow, AuditVerdict};
+use crate::hosts::TABLE1;
+use crate::malware::MalwareReport;
+use crate::negligence::NegligenceReport;
+use crate::report::Database;
+use crate::study::StudyOutcome;
+
+fn pct(p: f64) -> String {
+    format!("{:.2}%", p * 100.0)
+}
+
+/// Table 1: second-study websites probed.
+pub fn table1() -> String {
+    let mut out = String::from("Table 1: Second Study Websites Probed\n");
+    for cat in [
+        crate::hosts::HostCategory::Popular,
+        crate::hosts::HostCategory::Business,
+        crate::hosts::HostCategory::Pornographic,
+        crate::hosts::HostCategory::Authors,
+    ] {
+        let names: Vec<&str> = TABLE1
+            .iter()
+            .filter(|(_, c)| *c == cat)
+            .map(|(n, _)| *n)
+            .collect();
+        out.push_str(&format!("  {:<14} {}\n", cat.label(), names.join(", ")));
+    }
+    out
+}
+
+/// Table 2: campaign statistics.
+pub fn table2(outcome: &StudyOutcome) -> String {
+    let mut out = String::from(
+        "Table 2: Campaign Statistics\n  Campaign     Impressions     Clicks       Cost\n",
+    );
+    let mut ti = 0u64;
+    let mut tc = 0u64;
+    let mut tcost = 0.0;
+    for c in &outcome.campaigns {
+        out.push_str(&format!(
+            "  {:<12} {:>11} {:>10} {:>10.2}\n",
+            c.name, c.impressions, c.clicks, c.cost_usd
+        ));
+        ti += c.impressions;
+        tc += c.clicks;
+        tcost += c.cost_usd;
+    }
+    out.push_str(&format!(
+        "  {:<12} {:>11} {:>10} {:>10.2}\n",
+        "Total", ti, tc, tcost
+    ));
+    out
+}
+
+/// Tables 3 and 7: proxied connections by country.
+pub fn table_by_country(db: &Database, title: &str) -> String {
+    let (rows, other, total) = analysis::by_country(db, 20);
+    let mut out = format!(
+        "{title}\n  Rank Country        Proxied      Total   Percent\n"
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let name = r.country.map(analysis::country_name).unwrap_or("?");
+        out.push_str(&format!(
+            "  {:>4} {:<14} {:>7} {:>10}   {:>7}\n",
+            i + 1,
+            name,
+            r.proxied,
+            r.total,
+            pct(r.percent())
+        ));
+    }
+    out.push_str(&format!(
+        "       {:<14} {:>7} {:>10}   {:>7}\n",
+        "Other",
+        other.proxied,
+        other.total,
+        pct(other.percent())
+    ));
+    out.push_str(&format!(
+        "       {:<14} {:>7} {:>10}   {:>7}\n",
+        "Total",
+        total.proxied,
+        total.total,
+        pct(total.percent())
+    ));
+    out
+}
+
+/// Table 4: Issuer Organization field values.
+pub fn table4(db: &Database) -> String {
+    let (rows, other) = analysis::issuer_orgs(db, 20);
+    let mut out =
+        String::from("Table 4: Issuer Organization field values\n  Rank Issuer Organization                      Connections\n");
+    for (i, (org, n)) in rows.iter().enumerate() {
+        out.push_str(&format!("  {:>4} {:<40} {:>8}\n", i + 1, org, n));
+    }
+    out.push_str(&format!("       {:<40} {:>8}\n", "Other", other));
+    out
+}
+
+/// Tables 5 / 6: classification of claimed issuer.
+pub fn table_classification(db: &Database, title: &str) -> String {
+    let rows = analysis::classification(db);
+    let total: u64 = rows.iter().map(|(_, n)| n).sum();
+    let mut out = format!("{title}\n  Proxy Type                    Connections   Percent\n");
+    for (cat, n) in rows {
+        let share = if total > 0 { n as f64 / total as f64 } else { 0.0 };
+        out.push_str(&format!(
+            "  {:<28} {:>12}   {:>7}\n",
+            cat.label(),
+            n,
+            pct(share)
+        ));
+    }
+    out
+}
+
+/// Table 8: proxied connection breakdown by host type.
+pub fn table8(db: &Database) -> String {
+    let rows = analysis::by_host_type(db);
+    let mut out = String::from(
+        "Table 8: Proxied connection breakdown by host type\n  Website Type    Connections    Proxied   Percent Proxied\n",
+    );
+    for (cat, proxied, total) in rows {
+        let rate = if total > 0 { proxied as f64 / total as f64 } else { 0.0 };
+        out.push_str(&format!(
+            "  {:<14} {:>12} {:>10}   {:>7}\n",
+            cat.label(),
+            total,
+            proxied,
+            pct(rate)
+        ));
+    }
+    out
+}
+
+/// Figure 7: country heat map (text rendering + CSV series).
+pub fn figure7(db: &Database, min_total: u64) -> (String, String) {
+    let series = analysis::fig7_series(db, min_total);
+    let rendered = tlsfoe_geo::render_heatmap(&series);
+    let mut csv = String::from("country,rate\n");
+    let mut sorted = series.clone();
+    sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite rates"));
+    for (code, rate) in sorted {
+        csv.push_str(&format!(
+            "{},{:.6}\n",
+            tlsfoe_geo::countries::info(code).code,
+            rate
+        ));
+    }
+    (rendered, csv)
+}
+
+/// §5.2 negligence findings.
+pub fn negligence_report(rep: &NegligenceReport) -> String {
+    let mut out = String::from("Negligent behavior (§5.2)\n");
+    out.push_str(&format!("  substitutes analyzed: {}\n", rep.substitutes));
+    out.push_str("  public key sizes:\n");
+    for (bits, n) in &rep.key_sizes {
+        out.push_str(&format!(
+            "    {:>5} bits: {:>7}  ({})\n",
+            bits,
+            n,
+            pct(rep.key_share(*bits))
+        ));
+    }
+    out.push_str(&format!(
+        "  MD5-signed: {} ({} also 512-bit)\n",
+        rep.md5_signed, rep.md5_and_512
+    ));
+    out.push_str(&format!("  SHA-256-signed: {}\n", rep.sha256_signed));
+    out.push_str(&format!(
+        "  forged CA issuer strings: {}\n",
+        rep.forged_ca_issuer
+    ));
+    out.push_str(&format!(
+        "  subject modifications: {} total ({} mismatch host; {} wildcard-IP, {} wrong-domain)\n",
+        rep.subject_modifications(),
+        rep.subject_mismatch,
+        rep.wildcard_ip_subjects,
+        rep.wrong_domain_subjects
+    ));
+    out
+}
+
+/// §5.1/§6.4 malware findings.
+pub fn malware_report(rep: &MalwareReport) -> String {
+    let mut out = String::from("Malware findings (§5.1, §6.4)\n  Known families:\n");
+    for f in &rep.families {
+        out.push_str(&format!(
+            "    {:<28} {:>6} connections, {:>3} countries, {:>5} IPs\n",
+            f.name, f.connections, f.countries, f.ips
+        ));
+    }
+    out.push_str(&format!(
+        "  total malware connections: {}\n  Spam operators:\n",
+        rep.malware_connections()
+    ));
+    for f in &rep.spam {
+        out.push_str(&format!(
+            "    {:<28} {:>6} connections\n",
+            f.name, f.connections
+        ));
+    }
+    out.push_str("  Shared-key clusters:\n");
+    for c in &rep.shared_keys {
+        out.push_str(&format!(
+            "    {:<28} one {}-bit key across {} connections in {} countries\n",
+            c.issuer, c.key_bits, c.connections, c.countries
+        ));
+    }
+    out.push_str("  Distribution anomalies:\n");
+    for a in &rep.anomalies {
+        out.push_str(&format!(
+            "    {:<28} {:?}: {} connections, {} IPs, {} countries\n",
+            a.issuer, a.kind, a.connections, a.ips, a.countries
+        ));
+    }
+    out
+}
+
+/// §5.2 firewall audit.
+pub fn audit_table(rows: &[AuditRow]) -> String {
+    let mut out = String::from(
+        "Firewall audit (§5.2): forged upstream certificate behind each product\n",
+    );
+    for r in rows {
+        let verdict = match r.verdict {
+            AuditVerdict::Blocked => "BLOCKED (protects the user)",
+            AuditVerdict::MaskedTrusted => "MASKED — forged cert replaced by trusted one (!)",
+            AuditVerdict::ResignedBlindly => "re-signed blindly (MitM passes through)",
+            AuditVerdict::UntrustedWarning => "browser warning (untrusted)",
+        };
+        out.push_str(&format!("  {:<28} {}\n", r.product, verdict));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_categories() {
+        let t = table1();
+        assert!(t.contains("qq.com"));
+        assert!(t.contains("pornclipstv.com"));
+        assert!(t.contains("airdroid.com"));
+        assert!(t.contains("tlsresearch.byu.edu"));
+    }
+
+    #[test]
+    fn empty_db_tables_render() {
+        let db = Database::new();
+        assert!(table_by_country(&db, "Table 3").contains("Total"));
+        assert!(table4(&db).contains("Other"));
+        assert!(table_classification(&db, "Table 5").contains("Malware"));
+        assert!(table8(&db).is_char_boundary(0));
+        let (heat, csv) = figure7(&db, 1);
+        assert!(heat.contains("Figure 7"));
+        assert_eq!(csv.lines().count(), 1);
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.0041), "0.41%");
+        assert_eq!(pct(0.0), "0.00%");
+    }
+}

@@ -1,0 +1,96 @@
+//! HMAC (RFC 2104) over any of the workspace digest algorithms.
+//!
+//! Used by the deterministic random bit generator ([`crate::drbg`]) in
+//! HMAC-DRBG style, and available to the TLS layer for PRF-like needs.
+
+use crate::HashAlg;
+
+/// Compute `HMAC(key, message)` with the given hash algorithm.
+///
+/// Keys longer than the block size (64 bytes for all three supported
+/// algorithms) are first hashed, per RFC 2104.
+pub fn hmac(alg: HashAlg, key: &[u8], message: &[u8]) -> Vec<u8> {
+    const BLOCK: usize = 64;
+    let mut key_block = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let kd = alg.digest(key);
+        key_block[..kd.len()].copy_from_slice(&kd);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+    let mut inner = Vec::with_capacity(BLOCK + message.len());
+    inner.extend_from_slice(&ipad);
+    inner.extend_from_slice(message);
+    let inner_digest = alg.digest(&inner);
+    let mut outer = Vec::with_capacity(BLOCK + inner_digest.len());
+    outer.extend_from_slice(&opad);
+    outer.extend_from_slice(&inner_digest);
+    alg.digest(&outer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 2202 (MD5/SHA-1) and RFC 4231 (SHA-256) test vectors.
+    #[test]
+    fn rfc2202_md5() {
+        assert_eq!(
+            hex(&hmac(HashAlg::Md5, &[0x0b; 16], b"Hi There")),
+            "9294727a3638bb1c13f48ef8158bfc9d"
+        );
+        assert_eq!(
+            hex(&hmac(HashAlg::Md5, b"Jefe", b"what do ya want for nothing?")),
+            "750c783e6ab0b503eaa86e310a5db738"
+        );
+    }
+
+    #[test]
+    fn rfc2202_sha1() {
+        assert_eq!(
+            hex(&hmac(HashAlg::Sha1, &[0x0b; 20], b"Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        );
+        assert_eq!(
+            hex(&hmac(HashAlg::Sha1, b"Jefe", b"what do ya want for nothing?")),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        );
+    }
+
+    #[test]
+    fn rfc4231_sha256() {
+        assert_eq!(
+            hex(&hmac(HashAlg::Sha256, &[0x0b; 20], b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        assert_eq!(
+            hex(&hmac(
+                HashAlg::Sha256,
+                b"Jefe",
+                b"what do ya want for nothing?"
+            )),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn long_key_is_hashed() {
+        // A key longer than the block size must behave like its digest.
+        let long_key = vec![0xaau8; 100];
+        let hashed_key = HashAlg::Sha256.digest(&long_key);
+        assert_eq!(
+            hmac(HashAlg::Sha256, &long_key, b"msg"),
+            hmac(HashAlg::Sha256, &hashed_key, b"msg")
+        );
+    }
+}

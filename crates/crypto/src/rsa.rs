@@ -1,0 +1,375 @@
+//! RSA key generation and PKCS#1 v1.5 signatures.
+//!
+//! The paper's certificate corpus contains RSA keys of 512, 1024, 2048 and
+//! even 2432 bits (§5.2). Key generation here supports any size ≥ 256 bits
+//! so the negligence analyzer can be exercised against real signatures at
+//! every size the paper observed — including the single shared 512-bit key
+//! of the `IopFailZeroAccessCreate` malware.
+//!
+//! Signatures are RSASSA-PKCS1-v1_5 (RFC 8017 §8.2) with proper DER
+//! `DigestInfo` prefixes for MD5, SHA-1 and SHA-256.
+
+use crate::bigint::Ubig;
+use crate::drbg::RngCore64;
+use crate::{CryptoError, HashAlg};
+
+/// Public RSA key: modulus and exponent.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RsaPublicKey {
+    /// Modulus `n`.
+    pub n: Ubig,
+    /// Public exponent `e` (65537 for all generated keys).
+    pub e: Ubig,
+}
+
+/// RSA key pair (public part plus private exponent and factors).
+#[derive(Debug, Clone)]
+pub struct RsaKeyPair {
+    /// The public half.
+    pub public: RsaPublicKey,
+    /// Private exponent `d`.
+    pub d: Ubig,
+    /// Prime factor `p`.
+    pub p: Ubig,
+    /// Prime factor `q`.
+    pub q: Ubig,
+}
+
+/// DER DigestInfo prefixes per RFC 8017 §9.2 note 1.
+fn digest_info_prefix(alg: HashAlg) -> &'static [u8] {
+    match alg {
+        HashAlg::Md5 => &[
+            0x30, 0x20, 0x30, 0x0c, 0x06, 0x08, 0x2a, 0x86, 0x48, 0x86, 0xf7, 0x0d, 0x02, 0x05,
+            0x05, 0x00, 0x04, 0x10,
+        ],
+        HashAlg::Sha1 => &[
+            0x30, 0x21, 0x30, 0x09, 0x06, 0x05, 0x2b, 0x0e, 0x03, 0x02, 0x1a, 0x05, 0x00, 0x04,
+            0x14,
+        ],
+        HashAlg::Sha256 => &[
+            0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02,
+            0x01, 0x05, 0x00, 0x04, 0x20,
+        ],
+    }
+}
+
+const FIRST_PRIMES: [u64; 60] = [
+    3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283,
+];
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+pub fn is_probable_prime(n: &Ubig, rounds: usize, rng: &mut dyn RngCore64) -> bool {
+    if n.is_zero() || n.is_one() {
+        return false;
+    }
+    let two = Ubig::from_u64(2);
+    if n == &two {
+        return true;
+    }
+    if !n.is_odd() {
+        return false;
+    }
+    // Trial division by small primes.
+    for &p in &FIRST_PRIMES {
+        let pb = Ubig::from_u64(p);
+        if n == &pb {
+            return true;
+        }
+        if n.rem(&pb).expect("nonzero divisor").is_zero() {
+            return false;
+        }
+    }
+    // Write n-1 = d * 2^r with d odd.
+    let n_minus_1 = n.sub(&Ubig::one());
+    let mut d = n_minus_1.clone();
+    let mut r = 0usize;
+    while !d.is_odd() {
+        d = d.shr(1);
+        r += 1;
+    }
+    let byte_len = (n.bit_len() + 7) / 8;
+    'witness: for _ in 0..rounds {
+        // Random base a in [2, n-2].
+        let a = loop {
+            let mut bytes = vec![0u8; byte_len];
+            rng.fill_bytes(&mut bytes);
+            let a = Ubig::from_bytes_be(&bytes)
+                .rem(&n_minus_1)
+                .expect("nonzero divisor");
+            if a > Ubig::one() {
+                break a;
+            }
+        };
+        let mut x = a.modpow(&d, n).expect("nonzero modulus");
+        if x.is_one() || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..r.saturating_sub(1) {
+            x = x.mulmod(&x, n).expect("nonzero modulus");
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generate a random prime with exactly `bits` bits.
+pub fn gen_prime(bits: usize, rng: &mut dyn RngCore64) -> Result<Ubig, CryptoError> {
+    assert!(bits >= 16, "prime sizes below 16 bits are not supported");
+    let byte_len = (bits + 7) / 8;
+    // MR round count per FIPS 186-4-ish guidance; generous for small sizes.
+    let rounds = if bits >= 1024 { 5 } else { 16 };
+    for _ in 0..100_000 {
+        let mut bytes = vec![0u8; byte_len];
+        rng.fill_bytes(&mut bytes);
+        let mut candidate = Ubig::from_bytes_be(&bytes);
+        // Force exact bit length: clear any excess high bits, set the top
+        // two bits (so p*q has full size) and the low bit (odd).
+        candidate = candidate.rem(&Ubig::one().shl(bits)).expect("nonzero");
+        candidate.set_bit(bits - 1);
+        candidate.set_bit(bits - 2);
+        candidate.set_bit(0);
+        if is_probable_prime(&candidate, rounds, rng) {
+            return Ok(candidate);
+        }
+    }
+    Err(CryptoError::PrimeGenFailed)
+}
+
+impl RsaKeyPair {
+    /// Generate an RSA key pair with a `bits`-bit modulus and `e = 65537`.
+    ///
+    /// Deterministic given the RNG state — the population simulator relies
+    /// on this to give each interception product a stable root key.
+    pub fn generate(bits: usize, rng: &mut dyn RngCore64) -> Result<Self, CryptoError> {
+        assert!(bits >= 256, "modulus sizes below 256 bits are not supported");
+        let e = Ubig::from_u64(65537);
+        loop {
+            let p = gen_prime(bits / 2, rng)?;
+            let q = gen_prime(bits - bits / 2, rng)?;
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            if n.bit_len() != bits {
+                continue;
+            }
+            let phi = p.sub(&Ubig::one()).mul(&q.sub(&Ubig::one()));
+            let d = match e.modinv(&phi) {
+                Ok(d) => d,
+                Err(_) => continue, // e not coprime with phi; rare — retry
+            };
+            return Ok(RsaKeyPair {
+                public: RsaPublicKey { n, e },
+                d,
+                p,
+                q,
+            });
+        }
+    }
+
+    /// Modulus size in bits (the paper's "public key size").
+    pub fn bits(&self) -> usize {
+        self.public.n.bit_len()
+    }
+
+    /// Sign `message` with RSASSA-PKCS1-v1_5 using `alg` as digest.
+    ///
+    /// Returns the signature as a big-endian byte string exactly as long
+    /// as the modulus.
+    pub fn sign(&self, alg: HashAlg, message: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let k = (self.public.n.bit_len() + 7) / 8;
+        let em = pkcs1v15_encode(alg, message, k)?;
+        let m = Ubig::from_bytes_be(&em);
+        if m >= self.public.n {
+            return Err(CryptoError::MessageTooLong);
+        }
+        let s = m.modpow(&self.d, &self.public.n)?;
+        s.to_bytes_be_padded(k).ok_or(CryptoError::MessageTooLong)
+    }
+}
+
+impl RsaPublicKey {
+    /// Modulus size in bits.
+    pub fn bits(&self) -> usize {
+        self.n.bit_len()
+    }
+
+    /// Verify an RSASSA-PKCS1-v1_5 signature over `message`.
+    pub fn verify(
+        &self,
+        alg: HashAlg,
+        message: &[u8],
+        signature: &[u8],
+    ) -> Result<(), CryptoError> {
+        let k = (self.n.bit_len() + 7) / 8;
+        if signature.len() != k {
+            return Err(CryptoError::BadSignature);
+        }
+        let s = Ubig::from_bytes_be(signature);
+        if s >= self.n {
+            return Err(CryptoError::BadSignature);
+        }
+        let m = s.modpow(&self.e, &self.n)?;
+        let em = m
+            .to_bytes_be_padded(k)
+            .ok_or(CryptoError::BadSignature)?;
+        let expected = pkcs1v15_encode(alg, message, k)?;
+        if em == expected {
+            Ok(())
+        } else {
+            Err(CryptoError::BadSignature)
+        }
+    }
+}
+
+/// EMSA-PKCS1-v1_5 encoding: `0x00 0x01 FF..FF 0x00 DigestInfo || digest`.
+fn pkcs1v15_encode(alg: HashAlg, message: &[u8], k: usize) -> Result<Vec<u8>, CryptoError> {
+    let digest = alg.digest(message);
+    let prefix = digest_info_prefix(alg);
+    let t_len = prefix.len() + digest.len();
+    if k < t_len + 11 {
+        return Err(CryptoError::InvalidKey("modulus too small for digest"));
+    }
+    let mut em = Vec::with_capacity(k);
+    em.push(0x00);
+    em.push(0x01);
+    em.resize(k - t_len - 1, 0xff);
+    em.push(0x00);
+    em.extend_from_slice(prefix);
+    em.extend_from_slice(&digest);
+    Ok(em)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drbg::Drbg;
+
+    #[test]
+    fn small_primes_recognized() {
+        let mut rng = Drbg::new(1);
+        for p in [2u64, 3, 5, 7, 11, 13, 257, 65537, 1_000_000_007] {
+            assert!(
+                is_probable_prime(&Ubig::from_u64(p), 16, &mut rng),
+                "{p} should be prime"
+            );
+        }
+        for c in [0u64, 1, 4, 9, 15, 21, 255, 65535, 1_000_000_008] {
+            assert!(
+                !is_probable_prime(&Ubig::from_u64(c), 16, &mut rng),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // 561, 1105, 1729 are Carmichael numbers (fool Fermat, not MR).
+        let mut rng = Drbg::new(2);
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601] {
+            assert!(
+                !is_probable_prime(&Ubig::from_u64(c), 16, &mut rng),
+                "Carmichael {c} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn gen_prime_exact_bits() {
+        let mut rng = Drbg::new(3);
+        for bits in [64usize, 128, 256] {
+            let p = gen_prime(bits, &mut rng).unwrap();
+            assert_eq!(p.bit_len(), bits);
+            assert!(p.is_odd());
+        }
+    }
+
+    #[test]
+    fn keygen_sign_verify_roundtrip() {
+        let mut rng = Drbg::new(4);
+        let key = RsaKeyPair::generate(512, &mut rng).unwrap();
+        assert_eq!(key.bits(), 512);
+        for alg in [HashAlg::Md5, HashAlg::Sha1, HashAlg::Sha256] {
+            let sig = key.sign(alg, b"hello certificate").unwrap();
+            assert_eq!(sig.len(), 64);
+            key.public.verify(alg, b"hello certificate", &sig).unwrap();
+            // Tampered message fails.
+            assert_eq!(
+                key.public.verify(alg, b"hello certificatf", &sig),
+                Err(CryptoError::BadSignature)
+            );
+        }
+    }
+
+    #[test]
+    fn tampered_signature_fails() {
+        let mut rng = Drbg::new(5);
+        let key = RsaKeyPair::generate(512, &mut rng).unwrap();
+        let mut sig = key.sign(HashAlg::Sha256, b"msg").unwrap();
+        sig[10] ^= 0x01;
+        assert_eq!(
+            key.public.verify(HashAlg::Sha256, b"msg", &sig),
+            Err(CryptoError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let mut rng = Drbg::new(6);
+        let key1 = RsaKeyPair::generate(512, &mut rng).unwrap();
+        let key2 = RsaKeyPair::generate(512, &mut rng).unwrap();
+        let sig = key1.sign(HashAlg::Sha1, b"msg").unwrap();
+        assert!(key2.public.verify(HashAlg::Sha1, b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn wrong_hash_alg_fails() {
+        let mut rng = Drbg::new(7);
+        let key = RsaKeyPair::generate(512, &mut rng).unwrap();
+        let sig = key.sign(HashAlg::Sha1, b"msg").unwrap();
+        assert!(key.public.verify(HashAlg::Sha256, b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn wrong_length_signature_rejected() {
+        let mut rng = Drbg::new(8);
+        let key = RsaKeyPair::generate(512, &mut rng).unwrap();
+        assert!(key.public.verify(HashAlg::Sha1, b"msg", &[0u8; 63]).is_err());
+        assert!(key.public.verify(HashAlg::Sha1, b"msg", &[]).is_err());
+    }
+
+    #[test]
+    fn rsa_identity_on_raw_values() {
+        // m^(e*d) ≡ m (mod n) for a handful of raw representatives.
+        let mut rng = Drbg::new(9);
+        let key = RsaKeyPair::generate(256, &mut rng).unwrap();
+        for v in [2u64, 3, 12345, 0xdead_beef] {
+            let m = Ubig::from_u64(v);
+            let c = m.modpow(&key.public.e, &key.public.n).unwrap();
+            let back = c.modpow(&key.d, &key.public.n).unwrap();
+            assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn deterministic_keygen() {
+        let k1 = RsaKeyPair::generate(256, &mut Drbg::new(42)).unwrap();
+        let k2 = RsaKeyPair::generate(256, &mut Drbg::new(42)).unwrap();
+        assert_eq!(k1.public, k2.public);
+    }
+
+    #[test]
+    fn modulus_too_small_for_digest() {
+        let mut rng = Drbg::new(10);
+        let key = RsaKeyPair::generate(256, &mut rng).unwrap();
+        // SHA-256 DigestInfo (51 bytes) + 11 > 32-byte modulus.
+        assert!(key.sign(HashAlg::Sha256, b"x").is_err());
+        // MD5 (34 bytes + 11 = 45 > 32) also too big; SHA-1 too.
+        assert!(key.sign(HashAlg::Sha1, b"x").is_err());
+    }
+}

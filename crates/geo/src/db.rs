@@ -1,0 +1,115 @@
+//! The GeoIP database: block allocation and reverse lookup.
+
+use tlsfoe_netsim::addr::{Block, Ipv4};
+
+use crate::countries::{self, CountryCode};
+
+/// Deterministic IP-block allocator + reverse lookup database.
+///
+/// Each registered territory receives one contiguous block sized by the
+/// caller (clients are then numbered within their country's block). The
+/// reverse lookup is a binary search over block bases — the same
+/// country-granularity answer MaxMind GeoLite gave the paper's reporting
+/// server.
+#[derive(Debug, Clone)]
+pub struct GeoDb {
+    // (base_u32, size, country), sorted by base.
+    blocks: Vec<(u32, u32, CountryCode)>,
+}
+
+impl GeoDb {
+    /// Allocate `block_size` addresses per territory, starting at
+    /// 11.0.0.0 (clear of the simulator's well-known server range
+    /// 203.0.113.0/24 and the test range 198.51.100.0/24).
+    pub fn allocate(block_size: u32) -> GeoDb {
+        assert!(block_size > 0, "block size must be positive");
+        let mut blocks = Vec::new();
+        let mut base = Ipv4([11, 0, 0, 0]).as_u32();
+        for code in countries::all_codes() {
+            blocks.push((base, block_size, code));
+            base = base
+                .checked_add(block_size)
+                .expect("address space exhausted");
+        }
+        GeoDb { blocks }
+    }
+
+    /// The block allocated to `country`.
+    pub fn block(&self, country: CountryCode) -> Block {
+        let (base, size, _) = self.blocks[country.0 as usize];
+        Block::new(Ipv4::from_u32(base), size)
+    }
+
+    /// The `i`-th client address of `country`.
+    pub fn client_addr(&self, country: CountryCode, i: u32) -> Ipv4 {
+        self.block(country).addr(i)
+    }
+
+    /// Geolocate an address to its territory.
+    pub fn lookup(&self, ip: Ipv4) -> Option<CountryCode> {
+        let v = ip.as_u32();
+        let idx = self.blocks.partition_point(|&(base, _, _)| base <= v);
+        if idx == 0 {
+            return None;
+        }
+        let (base, size, code) = self.blocks[idx - 1];
+        if v - base < size {
+            Some(code)
+        } else {
+            None
+        }
+    }
+
+    /// Number of territories in the database.
+    pub fn territories(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::countries::by_code;
+
+    #[test]
+    fn lookup_roundtrip_all_countries() {
+        let db = GeoDb::allocate(1000);
+        for code in countries::all_codes() {
+            for i in [0u32, 1, 999] {
+                let ip = db.client_addr(code, i);
+                assert_eq!(db.lookup(ip), Some(code), "ip {ip}");
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_outside_blocks_is_none() {
+        let db = GeoDb::allocate(100);
+        assert_eq!(db.lookup(Ipv4([10, 255, 255, 255])), None);
+        assert_eq!(db.lookup(Ipv4([203, 0, 113, 1])), None);
+        assert_eq!(db.lookup(Ipv4([0, 0, 0, 1])), None);
+    }
+
+    #[test]
+    fn blocks_are_disjoint_and_ordered() {
+        let db = GeoDb::allocate(500);
+        for w in db.blocks.windows(2) {
+            assert!(w[0].0 + w[0].1 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn named_country_blocks_distinct() {
+        let db = GeoDb::allocate(10);
+        let us = db.block(by_code("US").unwrap());
+        let cn = db.block(by_code("CN").unwrap());
+        assert!(!us.contains(cn.addr(0)));
+        assert!(!cn.contains(us.addr(0)));
+    }
+
+    #[test]
+    fn territory_count_preserved() {
+        let db = GeoDb::allocate(10);
+        assert_eq!(db.territories(), countries::territory_count() as usize);
+    }
+}

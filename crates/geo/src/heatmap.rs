@@ -1,0 +1,134 @@
+//! Figure-7 heat-map binning and rendering.
+//!
+//! The paper's Figure 7 is a world choropleth of per-country TLS-proxy
+//! prevalence ("Highest = 12% proxy rate, lowest = 0%"). Without a map
+//! projection to print, the faithful reproduction of the *data artifact*
+//! is (a) the full (country, rate) series and (b) a binned legend view;
+//! [`render_heatmap`] emits both as text, and the bench harness also
+//! writes the series as CSV for external plotting.
+
+use crate::countries::{self, CountryCode};
+
+/// One prevalence bin of the choropleth legend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeatBin {
+    /// Inclusive lower bound of the bin (fraction, e.g. 0.004 = 0.4%).
+    pub lo: f64,
+    /// Exclusive upper bound.
+    pub hi: f64,
+    /// Countries falling in the bin.
+    pub members: Vec<CountryCode>,
+}
+
+/// Bin boundaries chosen to span the paper's observed range (0–12%).
+pub const BIN_EDGES: [f64; 7] = [0.0, 0.0005, 0.001, 0.002, 0.004, 0.008, 0.12];
+
+/// Bin a (country → rate) series into the legend bins.
+pub fn bin_rates(rates: &[(CountryCode, f64)]) -> Vec<HeatBin> {
+    let mut bins: Vec<HeatBin> = BIN_EDGES
+        .windows(2)
+        .map(|w| HeatBin {
+            lo: w[0],
+            hi: w[1],
+            members: Vec::new(),
+        })
+        .collect();
+    for &(code, rate) in rates {
+        let idx = bins
+            .iter()
+            .position(|b| rate >= b.lo && rate < b.hi)
+            .unwrap_or(bins.len() - 1);
+        bins[idx].members.push(code);
+    }
+    bins
+}
+
+/// Render the heat map as text: a shaded per-country strip plus the
+/// binned legend (▁▂▃▄▅▆█ by prevalence).
+pub fn render_heatmap(rates: &[(CountryCode, f64)]) -> String {
+    const SHADES: [char; 6] = ['▁', '▂', '▃', '▅', '▆', '█'];
+    let mut sorted: Vec<(CountryCode, f64)> = rates.to_vec();
+    sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("rates are finite"));
+
+    let mut out = String::new();
+    out.push_str("TLS proxy prevalence by country (Figure 7)\n");
+    out.push_str("highest → lowest; shade = legend bin\n\n");
+    for (code, rate) in &sorted {
+        let bin = BIN_EDGES
+            .windows(2)
+            .position(|w| *rate >= w[0] && *rate < w[1])
+            .unwrap_or(SHADES.len() - 1)
+            .min(SHADES.len() - 1);
+        let info = countries::info(*code);
+        out.push_str(&format!(
+            "{} {:<14} {:>7.3}%\n",
+            SHADES[bin],
+            info.name,
+            rate * 100.0
+        ));
+    }
+    out.push('\n');
+    for (i, w) in BIN_EDGES.windows(2).enumerate() {
+        out.push_str(&format!(
+            "{} [{:.2}%, {:.2}%)\n",
+            SHADES[i.min(SHADES.len() - 1)],
+            w[0] * 100.0,
+            w[1] * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::countries::by_code;
+
+    #[test]
+    fn binning_respects_edges() {
+        let us = by_code("US").unwrap();
+        let cn = by_code("CN").unwrap();
+        let bins = bin_rates(&[(us, 0.0086), (cn, 0.0002)]);
+        // US (0.86%) lands in the top bin, CN (0.02%) in the lowest.
+        assert!(bins.last().unwrap().members.contains(&us));
+        assert!(bins[0].members.contains(&cn));
+    }
+
+    #[test]
+    fn every_rate_lands_in_exactly_one_bin() {
+        let rates: Vec<(CountryCode, f64)> = (0..20)
+            .map(|i| (CountryCode(i), i as f64 * 0.0005))
+            .collect();
+        let bins = bin_rates(&rates);
+        let total: usize = bins.iter().map(|b| b.members.len()).sum();
+        assert_eq!(total, rates.len());
+    }
+
+    #[test]
+    fn render_contains_all_countries() {
+        let us = by_code("US").unwrap();
+        let cn = by_code("CN").unwrap();
+        let text = render_heatmap(&[(us, 0.0086), (cn, 0.0002)]);
+        assert!(text.contains("US"));
+        assert!(text.contains("China"));
+        assert!(text.contains("0.860%"));
+        assert!(text.contains("0.020%"));
+    }
+
+    #[test]
+    fn render_sorted_descending() {
+        let us = by_code("US").unwrap();
+        let cn = by_code("CN").unwrap();
+        let text = render_heatmap(&[(cn, 0.0002), (us, 0.0086)]);
+        let us_pos = text.find("US").unwrap();
+        let cn_pos = text.find("China").unwrap();
+        assert!(us_pos < cn_pos, "US (higher rate) should come first");
+    }
+
+    #[test]
+    fn out_of_range_rate_clamps_to_top_bin() {
+        let us = by_code("US").unwrap();
+        let bins = bin_rates(&[(us, 0.5)]); // 50% — above all edges
+        assert!(bins.last().unwrap().members.contains(&us));
+    }
+}

@@ -1,0 +1,21 @@
+//! # tlsfoe-geo
+//!
+//! The synthetic stand-in for MaxMind GeoLite (§4 of the paper): a
+//! country registry, deterministic per-country IPv4 block allocation, an
+//! address→country lookup database, and the binning used to render the
+//! Figure-7 prevalence heat map.
+//!
+//! The paper records each reporting client's IP address and geolocates it
+//! to country granularity; our report server does exactly the same via
+//! [`GeoDb::lookup`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod countries;
+pub mod db;
+pub mod heatmap;
+
+pub use countries::{Country, CountryCode};
+pub use db::GeoDb;
+pub use heatmap::{render_heatmap, HeatBin};

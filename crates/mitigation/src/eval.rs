@@ -1,0 +1,230 @@
+//! The mitigation ablation: which §7 defence detects which proxy class.
+//!
+//! For every interception product in the catalog, mint its substitute
+//! chain for a victim host and ask each mitigation whether it fires:
+//!
+//! * strict pinning (TACK-style),
+//! * Chrome-style pinning (bypassed by locally injected roots),
+//! * multi-path notary probing,
+//! * CT inclusion-proof requirement.
+//!
+//! The §7 qualitative claims become checkable: Chrome-style pins miss
+//! *every* root-injecting proxy; notaries and CT catch all of them;
+//! none of these distinguishes benevolent from malicious interception.
+
+use std::rc::Rc;
+
+use tlsfoe_population::model::{ClientProfile, PopulationModel};
+use tlsfoe_population::products::ProductId;
+use tlsfoe_netsim::Ipv4;
+use tlsfoe_x509::Certificate;
+
+use crate::ctlog::CtLog;
+use crate::notary::{Notary, NotaryVerdict};
+use crate::pinning::{PinPolicy, PinStore, PinVerdict};
+
+/// Did a mitigation flag the interception?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MitigationVerdict {
+    /// Interception detected/blocked.
+    Detected,
+    /// Interception proceeded unnoticed.
+    Missed,
+}
+
+/// One product's row in the ablation table.
+#[derive(Debug, Clone)]
+pub struct EvalRow {
+    /// Product name.
+    pub product: &'static str,
+    /// Whether the product is malware (ground truth, for the summary).
+    pub is_malware: bool,
+    /// Strict (TACK-style) pinning.
+    pub strict_pin: MitigationVerdict,
+    /// Chrome-style pinning with the local-root bypass.
+    pub chrome_pin: MitigationVerdict,
+    /// Multi-path notary.
+    pub notary: MitigationVerdict,
+    /// CT inclusion-proof requirement.
+    pub ct: MitigationVerdict,
+}
+
+const VICTIM_HOST: &str = "tlsresearch.byu.edu";
+
+/// Evaluate every product present in `model`'s era.
+///
+/// `genuine_chain` is the host's real chain (leaf first); it is pinned,
+/// CT-logged, and what notaries observe.
+pub fn evaluate(model: &PopulationModel, genuine_chain: &[Certificate]) -> Vec<EvalRow> {
+    let genuine_leaf = &genuine_chain[0];
+
+    // CT log containing the genuine certificate (and some unrelated ones
+    // so the tree isn't trivial).
+    let mut log = CtLog::new();
+    let genuine_idx = log.append(genuine_leaf);
+    let root = log.root();
+    let genuine_proof = log.prove_inclusion(genuine_idx);
+    assert!(CtLog::verify_inclusion(genuine_leaf, &genuine_proof, &root));
+
+    // Notary observations: clean-path vantage points see the genuine leaf.
+    let notary = Notary::new(5, 0.6);
+    let observations: Vec<Vec<u8>> = (0..5).map(|_| genuine_leaf.to_der().to_vec()).collect();
+
+    let mut rows = Vec::new();
+    let active: Vec<ProductId> = (0..model.specs().len() as u16).map(ProductId).collect();
+    for pid in active {
+        let spec = &model.specs()[pid.0 as usize];
+        let factory = model.factory(pid);
+        let substitute =
+            factory.substitute_chain(VICTIM_HOST, Ipv4([203, 0, 113, 10]), Some(genuine_leaf));
+
+        // The victim's root store has the product's injected root.
+        let profile = ClientProfile {
+            country: tlsfoe_geo::countries::by_code("US").expect("US registered"),
+            ip: Ipv4([11, 0, 0, 5]),
+            product: Some(pid),
+        };
+        let victim_roots = Rc::new(model.client_root_store(&profile));
+
+        // Strict pin.
+        let mut strict = PinStore::new(PinPolicy::Strict);
+        strict.preload(VICTIM_HOST, genuine_leaf);
+        let strict_pin = match strict.check(VICTIM_HOST, &substitute, &victim_roots) {
+            PinVerdict::Ok | PinVerdict::NoPin | PinVerdict::BypassedByLocalRoot => {
+                MitigationVerdict::Missed
+            }
+            PinVerdict::Violation => MitigationVerdict::Detected,
+        };
+
+        // Chrome pin.
+        let mut chrome = PinStore::new(PinPolicy::BypassLocalRoots);
+        chrome.preload(VICTIM_HOST, genuine_leaf);
+        let chrome_pin = match chrome.check(VICTIM_HOST, &substitute, &victim_roots) {
+            PinVerdict::Violation => MitigationVerdict::Detected,
+            _ => MitigationVerdict::Missed,
+        };
+
+        // Notary.
+        let notary_verdict = match notary.verdict(&substitute[0], &observations) {
+            NotaryVerdict::ClientPathMitm => MitigationVerdict::Detected,
+            _ => MitigationVerdict::Missed,
+        };
+
+        // CT: the client requires an inclusion proof for what it saw.
+        let ct = if log.contains(&substitute[0]) {
+            MitigationVerdict::Missed
+        } else {
+            MitigationVerdict::Detected
+        };
+
+        rows.push(EvalRow {
+            product: spec.display_name(),
+            is_malware: spec.category == tlsfoe_population::products::ProxyCategory::Malware,
+            strict_pin,
+            chrome_pin,
+            notary: notary_verdict,
+            ct,
+        });
+    }
+    rows
+}
+
+/// Render the ablation as text.
+pub fn render(rows: &[EvalRow]) -> String {
+    let mark = |v: MitigationVerdict| match v {
+        MitigationVerdict::Detected => "detect",
+        MitigationVerdict::Missed => "MISS",
+    };
+    let mut out = String::from(
+        "Mitigation ablation (§7)\n  Product                          strict-pin  chrome-pin  notary  CT\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "  {:<32} {:>10}  {:>10}  {:>6}  {:>6}\n",
+            r.product,
+            mark(r.strict_pin),
+            mark(r.chrome_pin),
+            mark(r.notary),
+            mark(r.ct)
+        ));
+    }
+    let missed_by_chrome = rows
+        .iter()
+        .filter(|r| r.chrome_pin == MitigationVerdict::Missed)
+        .count();
+    out.push_str(&format!(
+        "  chrome-style pinning misses {missed_by_chrome}/{} proxies (local-root bypass, §7)\n",
+        rows.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlsfoe_population::keys;
+    use tlsfoe_population::model::StudyEra;
+    use tlsfoe_x509::{CertificateBuilder, NameBuilder, RootStore};
+
+    fn setup() -> (PopulationModel, Vec<Certificate>) {
+        let ca = keys::keypair(720_001, 1024);
+        let ca_name = NameBuilder::new().organization("DigiCert Inc").build();
+        let ca_cert = CertificateBuilder::new()
+            .subject(ca_name.clone())
+            .ca(None)
+            .self_sign(&ca)
+            .unwrap();
+        let leaf_key = keys::keypair(720_002, 1024);
+        let leaf = CertificateBuilder::new()
+            .issuer(ca_name)
+            .subject(NameBuilder::new().common_name(VICTIM_HOST).build())
+            .san_dns(&[VICTIM_HOST])
+            .sign(&leaf_key.public, &ca)
+            .unwrap();
+        let mut roots = RootStore::new();
+        roots.add_factory_root(ca_cert.clone());
+        let model = PopulationModel::new(StudyEra::Study2, Rc::new(roots));
+        (model, vec![leaf, ca_cert])
+    }
+
+    #[test]
+    fn chrome_pins_miss_all_root_injectors_but_strict_catches_them() {
+        let (model, chain) = setup();
+        let rows = evaluate(&model, &chain);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            // Every product in the catalog injects a root, so Chrome-style
+            // pinning is always bypassed (§7's caveat)...
+            assert_eq!(r.chrome_pin, MitigationVerdict::Missed, "{}", r.product);
+            // ...while strict pinning, notaries and CT catch every one.
+            assert_eq!(r.strict_pin, MitigationVerdict::Detected, "{}", r.product);
+            assert_eq!(r.notary, MitigationVerdict::Detected, "{}", r.product);
+            assert_eq!(r.ct, MitigationVerdict::Detected, "{}", r.product);
+        }
+    }
+
+    #[test]
+    fn no_mitigation_distinguishes_benevolent_from_malicious() {
+        // The paper's core point: detection ≠ classification. Malware and
+        // benevolent firewalls get identical mitigation verdicts.
+        let (model, chain) = setup();
+        let rows = evaluate(&model, &chain);
+        let malware: Vec<_> = rows.iter().filter(|r| r.is_malware).collect();
+        let benign: Vec<_> = rows.iter().filter(|r| !r.is_malware).collect();
+        assert!(!malware.is_empty() && !benign.is_empty());
+        for (m, b) in malware.iter().zip(benign.iter()) {
+            assert_eq!(m.strict_pin, b.strict_pin);
+            assert_eq!(m.notary, b.notary);
+            assert_eq!(m.ct, b.ct);
+        }
+    }
+
+    #[test]
+    fn render_mentions_bypass() {
+        let (model, chain) = setup();
+        let rows = evaluate(&model, &chain);
+        let text = render(&rows);
+        assert!(text.contains("local-root bypass"));
+        assert!(text.contains("Bitdefender"));
+    }
+}

@@ -1,0 +1,31 @@
+//! # tlsfoe-mitigation
+//!
+//! §7 of the paper surveys mitigation families against TLS MitM; this
+//! crate makes that survey *executable* against the same simulated proxy
+//! population the studies measure:
+//!
+//! * [`pinning`] — certificate pinning (Google's HSTS-pinning draft):
+//!   trust-on-first-use key pins, plus the preload list. Includes the
+//!   §7 caveat that makes proxies invisible to Chrome-style pinning:
+//!   *locally installed roots bypass pins*,
+//! * [`notary`] — multi-path probing (Perspectives / Convergence /
+//!   DoubleCheck): compare the certificate seen by the client with what
+//!   independent vantage points see,
+//! * [`ctlog`] — a Certificate-Transparency-style append-only Merkle
+//!   log (RFC 6962) with inclusion and consistency proofs; a certificate
+//!   missing from the log flags interception,
+//! * [`eval`] — the ablation: which mitigation detects which proxy
+//!   class, reproducing §7's qualitative claims quantitatively.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ctlog;
+pub mod eval;
+pub mod notary;
+pub mod pinning;
+
+pub use ctlog::CtLog;
+pub use eval::{evaluate, EvalRow, MitigationVerdict};
+pub use notary::Notary;
+pub use pinning::PinStore;

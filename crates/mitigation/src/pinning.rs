@@ -1,0 +1,250 @@
+//! Certificate pinning (§7: Evans & Palmer's HSTS-pinning draft, TACK).
+//!
+//! A pin binds a hostname to a set of acceptable public keys. Two modes
+//! matter for the paper's analysis:
+//!
+//! * **strict pins** (TACK-style): any key not in the pin set fails —
+//!   detects every TLS proxy, benevolent or not;
+//! * **Chrome-style pins**: pins are *bypassed* when the chain anchors
+//!   at a locally-installed (injected) root — "Chrome also trusts any
+//!   locally installed trusted roots, so benevolent proxies and malware
+//!   can circumvent the pinning process" (§7). This mode detects rogue
+//!   *CA-issued* substitutes but none of the root-injection proxies the
+//!   studies found.
+
+use std::collections::HashMap;
+
+use tlsfoe_crypto::sha256::sha256;
+use tlsfoe_x509::verify::RootOrigin;
+use tlsfoe_x509::{Certificate, RootStore};
+
+/// How pins interact with locally installed roots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PinPolicy {
+    /// Pins always apply (TACK-style).
+    Strict,
+    /// Pins are bypassed for chains anchoring at injected local roots
+    /// (Chrome's behaviour, per §7).
+    BypassLocalRoots,
+}
+
+/// Result of a pin check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PinVerdict {
+    /// Key matches a pin.
+    Ok,
+    /// No pin recorded for this host (TOFU: pin now).
+    NoPin,
+    /// Key differs from the pin — interception (or key rotation).
+    Violation,
+    /// Pin would have fired, but the chain anchors at a local root and
+    /// policy bypasses it.
+    BypassedByLocalRoot,
+}
+
+/// A key-pin store (preloaded + trust-on-first-use).
+#[derive(Debug, Default)]
+pub struct PinStore {
+    pins: HashMap<String, [u8; 32]>,
+    policy: PinPolicy,
+}
+
+impl Default for PinPolicy {
+    fn default() -> Self {
+        PinPolicy::Strict
+    }
+}
+
+fn key_fingerprint(cert: &Certificate) -> [u8; 32] {
+    sha256(&cert.tbs.spki.key.n.to_bytes_be())
+}
+
+impl PinStore {
+    /// Empty store with the given policy.
+    pub fn new(policy: PinPolicy) -> PinStore {
+        PinStore {
+            pins: HashMap::new(),
+            policy,
+        }
+    }
+
+    /// Preload a pin (Chrome ships Google's pins — §7's TOFU exemption).
+    pub fn preload(&mut self, host: &str, cert: &Certificate) {
+        self.pins.insert(host.to_string(), key_fingerprint(cert));
+    }
+
+    /// Number of pinned hosts.
+    pub fn len(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// True when no pins are stored.
+    pub fn is_empty(&self) -> bool {
+        self.pins.is_empty()
+    }
+
+    /// Check a presented chain for `host`, learning on first use.
+    ///
+    /// `client_roots` is the *client's* root store — needed to apply the
+    /// Chrome bypass (the injected-root question).
+    pub fn check(
+        &mut self,
+        host: &str,
+        chain: &[Certificate],
+        client_roots: &RootStore,
+    ) -> PinVerdict {
+        let Some(leaf) = chain.first() else {
+            return PinVerdict::Violation;
+        };
+        let fp = key_fingerprint(leaf);
+        match self.pins.get(host) {
+            None => {
+                self.pins.insert(host.to_string(), fp);
+                PinVerdict::NoPin
+            }
+            Some(&pinned) if pinned == fp => PinVerdict::Ok,
+            Some(_) => {
+                if self.policy == PinPolicy::BypassLocalRoots
+                    && anchors_at_injected_root(chain, client_roots)
+                {
+                    PinVerdict::BypassedByLocalRoot
+                } else {
+                    PinVerdict::Violation
+                }
+            }
+        }
+    }
+}
+
+/// Does this chain anchor at a root the user (or software on the user's
+/// machine) injected post-install?
+fn anchors_at_injected_root(chain: &[Certificate], roots: &RootStore) -> bool {
+    let Some(top) = chain.last() else { return false };
+    roots.iter().any(|(root, origin)| {
+        origin == RootOrigin::Injected
+            && (root.to_der() == top.to_der()
+                || (root.tbs.subject == top.tbs.issuer
+                    && top.verify_signature_with(&root.tbs.spki.key).is_ok()))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlsfoe_crypto::drbg::Drbg;
+    use tlsfoe_crypto::RsaKeyPair;
+    use tlsfoe_x509::{CertificateBuilder, NameBuilder};
+
+    fn key(seed: u64) -> RsaKeyPair {
+        RsaKeyPair::generate(512, &mut Drbg::new(seed)).unwrap()
+    }
+
+    fn leaf(host: &str, k: &RsaKeyPair) -> Certificate {
+        CertificateBuilder::new()
+            .subject(NameBuilder::new().common_name(host).build())
+            .san_dns(&[host])
+            .self_sign(k)
+            .unwrap()
+    }
+
+    /// A proxy-substituted chain: leaf signed by the proxy root.
+    fn proxy_chain(host: &str, proxy: &RsaKeyPair, leaf_key: &RsaKeyPair) -> Vec<Certificate> {
+        let proxy_name = NameBuilder::new().organization("ProxyCo").build();
+        let root = CertificateBuilder::new()
+            .subject(proxy_name.clone())
+            .ca(None)
+            .self_sign(proxy)
+            .unwrap();
+        let sub = CertificateBuilder::new()
+            .issuer(proxy_name)
+            .subject(NameBuilder::new().common_name(host).build())
+            .san_dns(&[host])
+            .sign(&leaf_key.public, proxy)
+            .unwrap();
+        vec![sub, root]
+    }
+
+    #[test]
+    fn tofu_then_ok_then_violation() {
+        let mut store = PinStore::new(PinPolicy::Strict);
+        let genuine = leaf("h.example", &key(1));
+        let roots = RootStore::new();
+        assert_eq!(
+            store.check("h.example", &[genuine.clone()], &roots),
+            PinVerdict::NoPin
+        );
+        assert_eq!(
+            store.check("h.example", &[genuine], &roots),
+            PinVerdict::Ok
+        );
+        let substitute = leaf("h.example", &key(2));
+        assert_eq!(
+            store.check("h.example", &[substitute], &roots),
+            PinVerdict::Violation
+        );
+    }
+
+    #[test]
+    fn preloaded_pin_skips_tofu() {
+        let mut store = PinStore::new(PinPolicy::Strict);
+        let genuine = leaf("www.google.com", &key(3));
+        store.preload("www.google.com", &genuine);
+        let substitute = leaf("www.google.com", &key(4));
+        assert_eq!(
+            store.check("www.google.com", &[substitute], &RootStore::new()),
+            PinVerdict::Violation
+        );
+    }
+
+    #[test]
+    fn chrome_bypass_for_injected_roots() {
+        // The §7 caveat: proxies with injected roots evade Chrome pins.
+        let mut store = PinStore::new(PinPolicy::BypassLocalRoots);
+        let genuine = leaf("h.example", &key(5));
+        store.preload("h.example", &genuine);
+
+        let proxy = key(6);
+        let chain = proxy_chain("h.example", &proxy, &key(7));
+        let mut victim_roots = RootStore::new();
+        victim_roots.inject_root(chain[1].clone());
+
+        assert_eq!(
+            store.check("h.example", &chain, &victim_roots),
+            PinVerdict::BypassedByLocalRoot
+        );
+
+        // Strict policy on the same chain: caught.
+        let mut strict = PinStore::new(PinPolicy::Strict);
+        strict.preload("h.example", &genuine);
+        assert_eq!(
+            strict.check("h.example", &chain, &victim_roots),
+            PinVerdict::Violation
+        );
+    }
+
+    #[test]
+    fn bypass_requires_injected_not_factory_root() {
+        let mut store = PinStore::new(PinPolicy::BypassLocalRoots);
+        let genuine = leaf("h.example", &key(8));
+        store.preload("h.example", &genuine);
+        let proxy = key(9);
+        let chain = proxy_chain("h.example", &proxy, &key(10));
+        // Root present but FACTORY-origin (e.g. a rogue public CA):
+        // Chrome-style pins still fire.
+        let mut roots = RootStore::new();
+        roots.add_factory_root(chain[1].clone());
+        assert_eq!(
+            store.check("h.example", &chain, &roots),
+            PinVerdict::Violation
+        );
+    }
+
+    #[test]
+    fn empty_chain_is_violation() {
+        let mut store = PinStore::new(PinPolicy::Strict);
+        assert_eq!(
+            store.check("h.example", &[], &RootStore::new()),
+            PinVerdict::Violation
+        );
+    }
+}

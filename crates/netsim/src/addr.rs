@@ -1,0 +1,123 @@
+//! IPv4 addresses and CIDR-ish blocks.
+//!
+//! The geolocation database (`tlsfoe-geo`) allocates one block per
+//! country; the population model hands each simulated client an address
+//! from its country's block, and the report server geolocates reports by
+//! looking the address back up — the same MaxMind-GeoLite flow the paper
+//! used (§4).
+
+/// An IPv4 address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Ipv4(pub [u8; 4]);
+
+impl Ipv4 {
+    /// Construct from a `u32` in network order.
+    pub fn from_u32(v: u32) -> Self {
+        Ipv4(v.to_be_bytes())
+    }
+
+    /// The address as a `u32`.
+    pub fn as_u32(self) -> u32 {
+        u32::from_be_bytes(self.0)
+    }
+
+    /// Parse dotted-decimal.
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut out = [0u8; 4];
+        let mut parts = s.split('.');
+        for slot in &mut out {
+            *slot = parts.next()?.parse().ok()?;
+        }
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(Ipv4(out))
+    }
+}
+
+impl core::fmt::Display for Ipv4 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}.{}.{}.{}", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+/// A contiguous address block `[base, base + size)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Block {
+    /// First address of the block.
+    pub base: Ipv4,
+    /// Number of addresses in the block.
+    pub size: u32,
+}
+
+impl Block {
+    /// Construct a block.
+    pub fn new(base: Ipv4, size: u32) -> Self {
+        Block { base, size }
+    }
+
+    /// The `i`-th address of the block (panics if out of range).
+    pub fn addr(&self, i: u32) -> Ipv4 {
+        assert!(i < self.size, "address index out of block");
+        Ipv4::from_u32(self.base.as_u32() + i)
+    }
+
+    /// Does the block contain `ip`?
+    pub fn contains(&self, ip: Ipv4) -> bool {
+        let v = ip.as_u32();
+        let b = self.base.as_u32();
+        v >= b && (v - b) < self.size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_roundtrip() {
+        let ip = Ipv4([10, 1, 2, 3]);
+        assert_eq!(Ipv4::from_u32(ip.as_u32()), ip);
+        assert_eq!(Ipv4::from_u32(0), Ipv4([0, 0, 0, 0]));
+        assert_eq!(Ipv4::from_u32(u32::MAX), Ipv4([255, 255, 255, 255]));
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!(Ipv4::parse("192.168.0.1"), Some(Ipv4([192, 168, 0, 1])));
+        assert_eq!(Ipv4::parse("1.2.3"), None);
+        assert_eq!(Ipv4::parse("1.2.3.4.5"), None);
+        assert_eq!(Ipv4::parse("1.2.3.256"), None);
+        assert_eq!(Ipv4([8, 8, 8, 8]).to_string(), "8.8.8.8");
+    }
+
+    #[test]
+    fn block_addressing() {
+        let b = Block::new(Ipv4([100, 0, 0, 0]), 256);
+        assert_eq!(b.addr(0), Ipv4([100, 0, 0, 0]));
+        assert_eq!(b.addr(255), Ipv4([100, 0, 0, 255]));
+        assert!(b.contains(Ipv4([100, 0, 0, 42])));
+        assert!(!b.contains(Ipv4([100, 0, 1, 0])));
+        assert!(!b.contains(Ipv4([99, 255, 255, 255])));
+    }
+
+    #[test]
+    fn block_spans_octet_boundary() {
+        let b = Block::new(Ipv4([10, 0, 0, 250]), 10);
+        assert_eq!(b.addr(6), Ipv4([10, 0, 1, 0]));
+        assert!(b.contains(Ipv4([10, 0, 1, 3])));
+        assert!(!b.contains(Ipv4([10, 0, 1, 4])));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of block")]
+    fn block_out_of_range_panics() {
+        Block::new(Ipv4([10, 0, 0, 0]), 4).addr(4);
+    }
+
+    #[test]
+    fn ordering_matches_numeric() {
+        assert!(Ipv4([1, 0, 0, 0]) < Ipv4([2, 0, 0, 0]));
+        assert!(Ipv4([10, 0, 0, 1]) < Ipv4([10, 0, 1, 0]));
+    }
+}

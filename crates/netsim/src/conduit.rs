@@ -1,0 +1,127 @@
+//! Endpoint state machines and their I/O context.
+//!
+//! A [`Conduit`] is one endpoint of one connection — the simulator's
+//! equivalent of a socket owner. All I/O is callback-driven, mirroring
+//! the event-driven style of embedded TCP/IP stacks: the network calls
+//! `on_open` / `on_data` / `on_close`, and the conduit reacts through the
+//! [`IoCtx`] it is handed (send bytes, dial further connections, close).
+//!
+//! Multi-connection actors — a TLS proxy holds a client-side and an
+//! upstream connection; a measurement probe runs a policy fetch, many TLS
+//! probes and a report upload — are built from several conduits sharing
+//! state through `Rc<RefCell<…>>`, which is safe because the simulator is
+//! strictly single-threaded and never re-enters a conduit.
+
+use crate::addr::Ipv4;
+use crate::net::Network;
+
+/// Identifies one side of one connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConnToken(pub(crate) usize);
+
+/// Why a dial attempt failed synchronously.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DialError {
+    /// Nothing listens at the destination address/port.
+    Refused,
+    /// A captive portal on the client's path blocks this port (§3.1: the
+    /// paper serves its socket-policy file on port 80 precisely to evade
+    /// these).
+    PortBlocked,
+}
+
+impl core::fmt::Display for DialError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DialError::Refused => write!(f, "connection refused"),
+            DialError::PortBlocked => write!(f, "port blocked by captive portal"),
+        }
+    }
+}
+
+impl std::error::Error for DialError {}
+
+/// An endpoint state machine.
+pub trait Conduit {
+    /// The connection is established (three-way handshake done).
+    fn on_open(&mut self, io: &mut IoCtx<'_>);
+
+    /// Bytes arrived from the peer.
+    fn on_data(&mut self, data: &[u8], io: &mut IoCtx<'_>);
+
+    /// The peer closed (or the network tore the connection down).
+    fn on_close(&mut self, _io: &mut IoCtx<'_>) {}
+}
+
+/// The capabilities a conduit has while handling an event.
+///
+/// Borrowed mutably from the [`Network`]; all operations are queued as
+/// future events, so no callback ever re-enters another conduit.
+pub struct IoCtx<'a> {
+    pub(crate) net: &'a mut Network,
+    pub(crate) current: ConnToken,
+}
+
+impl IoCtx<'_> {
+    /// Virtual time, in microseconds since simulation start.
+    pub fn now_us(&self) -> u64 {
+        self.net.now_us()
+    }
+
+    /// The token of the connection side this event belongs to.
+    pub fn token(&self) -> ConnToken {
+        self.current
+    }
+
+    /// Send bytes to the peer of the current connection.
+    pub fn send(&mut self, bytes: &[u8]) {
+        let tok = self.current;
+        self.net.queue_send(tok, bytes);
+    }
+
+    /// Send bytes on another connection this actor owns (e.g. a proxy
+    /// relaying from its client side to its upstream side).
+    pub fn send_on(&mut self, token: ConnToken, bytes: &[u8]) {
+        self.net.queue_send(token, bytes);
+    }
+
+    /// Close the current connection.
+    pub fn close(&mut self) {
+        let tok = self.current;
+        self.net.queue_close(tok);
+    }
+
+    /// Close another owned connection.
+    pub fn close_on(&mut self, token: ConnToken) {
+        self.net.queue_close(token);
+    }
+
+    /// Dial a new connection from this actor to `(dst, port)`.
+    ///
+    /// Dials made from within a conduit bypass the client's interceptor
+    /// chain — they model the middlebox's own upstream traffic (a TLS
+    /// proxy does not intercept itself).
+    pub fn dial(
+        &mut self,
+        dst: Ipv4,
+        port: u16,
+        conduit: Box<dyn Conduit>,
+    ) -> Result<ConnToken, DialError> {
+        self.net.dial_internal(None, dst, port, conduit)
+    }
+
+    /// Dial a new connection announcing `src` as the originating address
+    /// (still bypassing interceptor chains — this models follow-up
+    /// connections from the same client process, e.g. the measurement
+    /// tool's report upload, where the acceptor must see the client's
+    /// real address).
+    pub fn dial_with_source(
+        &mut self,
+        src: Ipv4,
+        dst: Ipv4,
+        port: u16,
+        conduit: Box<dyn Conduit>,
+    ) -> Result<ConnToken, DialError> {
+        self.net.dial_announced(src, dst, port, conduit)
+    }
+}

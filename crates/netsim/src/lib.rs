@@ -1,0 +1,36 @@
+//! # tlsfoe-netsim
+//!
+//! A deterministic, event-driven network simulator in the spirit of
+//! smoltcp: no threads, no wall clock, no hidden state. It provides what
+//! the measurement study needs from "the Internet":
+//!
+//! * [`addr`] — IPv4 addresses and address blocks,
+//! * [`conduit`] — the [`conduit::Conduit`] trait: an endpoint state
+//!   machine driven by `on_open` / `on_data` / `on_close` callbacks,
+//! * [`net`] — the [`net::Network`]: listeners, dialing, per-client
+//!   interceptor chains (TLS proxies!), latency, loss and captive
+//!   portals, all advanced by one deterministic event loop,
+//! * [`policy`] — the Flash socket-policy-file service the paper's tool
+//!   depends on (§3.1), plus the client-side policy fetch logic.
+//!
+//! The key design decision: **interception is a property of the client's
+//! path**, mirroring reality. When a client dials out, the network walks
+//! the client's interceptor chain; an interceptor may claim the
+//! connection, at which point it owns the client-facing endpoint and may
+//! dial upstream itself (exactly Figure 3 of the paper). Interceptors
+//! that decide — after peeking at the ClientHello — not to intercept can
+//! splice the two sides together transparently, which is how whitelists
+//! (§6.3) behave on the wire.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod conduit;
+pub mod net;
+pub mod policy;
+
+pub use addr::Ipv4;
+pub use conduit::{Conduit, ConnToken, IoCtx};
+pub use net::{DialError, LinkProfile, Network, NetworkConfig};
+pub use policy::{PolicyFetchResult, PolicyServer, SOCKET_POLICY_BODY};

@@ -1,0 +1,669 @@
+//! The network: listeners, interceptors, links and the event loop.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use tlsfoe_crypto::drbg::{Drbg, RngCore64};
+
+use crate::addr::Ipv4;
+use crate::conduit::{Conduit, ConnToken, IoCtx};
+
+pub use crate::conduit::DialError;
+
+/// Information about an incoming connection, handed to listener factories
+/// and interceptors.
+#[derive(Debug, Clone, Copy)]
+pub struct DialInfo {
+    /// The originating client address (as seen by the acceptor).
+    pub client: Ipv4,
+    /// Destination address dialed.
+    pub dst: Ipv4,
+    /// Destination port dialed.
+    pub port: u16,
+}
+
+/// Factory producing an accepting conduit for each inbound connection.
+pub type ListenerFactory = Box<dyn FnMut(DialInfo) -> Box<dyn Conduit>>;
+
+/// A middlebox installed on a client's path.
+///
+/// This is the simulator-level hook that every TLS proxy in the study
+/// plugs into. `claims` is consulted when the *client* dials out;
+/// returning `true` terminates the client's connection at the interceptor
+/// instead of the destination (Figure 3). The interceptor's conduit can
+/// then dial the real destination itself via [`IoCtx::dial`].
+pub trait Interceptor {
+    /// Whether to claim a client connection to `(dst, port)`.
+    fn claims(&self, dst: Ipv4, port: u16) -> bool;
+
+    /// Produce the client-facing conduit for a claimed connection.
+    fn accept(&mut self, info: DialInfo) -> Box<dyn Conduit>;
+}
+
+/// Per-client link characteristics.
+#[derive(Debug, Clone)]
+pub struct LinkProfile {
+    /// One-way latency in microseconds.
+    pub latency_us: u64,
+    /// Probability that a delivery is lost (connection then stalls and the
+    /// probe times out — measured studies lose clients this way; the
+    /// paper's §4.2 notes not all served clients completed all probes).
+    pub loss: f64,
+    /// Ports a captive portal on this path blocks (empty = none). The
+    /// paper serves its policy file on port 80 to survive exactly these.
+    pub blocked_ports: Vec<u16>,
+}
+
+impl Default for LinkProfile {
+    fn default() -> Self {
+        LinkProfile {
+            latency_us: 20_000, // 20 ms one-way
+            loss: 0.0,
+            blocked_ports: Vec::new(),
+        }
+    }
+}
+
+/// Global simulator configuration.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Link profile used when a client has no specific profile.
+    pub default_link: LinkProfile,
+    /// Hard cap on processed events (guards against accidental livelock;
+    /// generous — a full probe session is a few dozen events).
+    pub max_events: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            default_link: LinkProfile::default(),
+            max_events: 50_000_000,
+        }
+    }
+}
+
+enum EventKind {
+    Open(ConnToken),
+    Data(ConnToken, Vec<u8>),
+    Close(ConnToken),
+}
+
+struct Event {
+    time_us: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_us == other.time_us && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time_us, self.seq).cmp(&(other.time_us, other.seq))
+    }
+}
+
+struct Side {
+    conduit: Option<Box<dyn Conduit>>,
+    peer: ConnToken,
+    latency_us: u64,
+    loss: f64,
+    open: bool,
+}
+
+/// The deterministic event-driven network.
+pub struct Network {
+    config: NetworkConfig,
+    now_us: u64,
+    seq: u64,
+    events: BinaryHeap<Reverse<Event>>,
+    sides: Vec<Side>,
+    listeners: HashMap<(Ipv4, u16), ListenerFactory>,
+    interceptors: HashMap<Ipv4, Box<dyn Interceptor>>,
+    links: HashMap<Ipv4, LinkProfile>,
+    rng: Drbg,
+    processed: u64,
+}
+
+impl Network {
+    /// Create a network with the given configuration and RNG seed (the
+    /// seed drives loss sampling only; topology is explicit).
+    pub fn new(config: NetworkConfig, seed: u64) -> Self {
+        Network {
+            config,
+            now_us: 0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            sides: Vec::new(),
+            listeners: HashMap::new(),
+            interceptors: HashMap::new(),
+            links: HashMap::new(),
+            rng: Drbg::new(seed).fork("netsim"),
+            processed: 0,
+        }
+    }
+
+    /// Current virtual time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Register a listener at `(addr, port)`.
+    pub fn listen(&mut self, addr: Ipv4, port: u16, factory: ListenerFactory) {
+        self.listeners.insert((addr, port), factory);
+    }
+
+    /// Remove a listener.
+    pub fn unlisten(&mut self, addr: Ipv4, port: u16) {
+        self.listeners.remove(&(addr, port));
+    }
+
+    /// Install an interceptor on `client`'s path (at most one per client;
+    /// the corpus never shows stacked proxies from one vantage point).
+    pub fn install_interceptor(&mut self, client: Ipv4, interceptor: Box<dyn Interceptor>) {
+        self.interceptors.insert(client, interceptor);
+    }
+
+    /// Remove the interceptor from `client`'s path.
+    pub fn remove_interceptor(&mut self, client: Ipv4) {
+        self.interceptors.remove(&client);
+    }
+
+    /// Set the link profile for a client address.
+    pub fn set_link(&mut self, client: Ipv4, link: LinkProfile) {
+        self.links.insert(client, link);
+    }
+
+    fn link_for(&self, client: Ipv4) -> LinkProfile {
+        self.links
+            .get(&client)
+            .cloned()
+            .unwrap_or_else(|| self.config.default_link.clone())
+    }
+
+    /// Dial from a *client host* — the entry point the measurement tool
+    /// uses. The client's interceptor chain and captive-portal rules
+    /// apply. Returns the client-side token.
+    pub fn dial_from(
+        &mut self,
+        client: Ipv4,
+        dst: Ipv4,
+        port: u16,
+        conduit: Box<dyn Conduit>,
+    ) -> Result<ConnToken, DialError> {
+        self.dial_internal(Some(client), dst, port, conduit)
+    }
+
+    /// Conduit-originated dial that announces an explicit source address
+    /// but does not traverse the source's interceptor chain.
+    pub(crate) fn dial_announced(
+        &mut self,
+        src: Ipv4,
+        dst: Ipv4,
+        port: u16,
+        conduit: Box<dyn Conduit>,
+    ) -> Result<ConnToken, DialError> {
+        let info = DialInfo { client: src, dst, port };
+        let acceptor = self.accept_from_listener(info)?;
+        self.connect_pair(self.link_for(src), conduit, acceptor)
+    }
+
+    pub(crate) fn dial_internal(
+        &mut self,
+        client: Option<Ipv4>,
+        dst: Ipv4,
+        port: u16,
+        conduit: Box<dyn Conduit>,
+    ) -> Result<ConnToken, DialError> {
+        let link = self.link_for(client.unwrap_or(dst));
+        if client.is_some() && link.blocked_ports.contains(&port) {
+            return Err(DialError::PortBlocked);
+        }
+        let info = DialInfo {
+            client: client.unwrap_or(Ipv4([0, 0, 0, 0])),
+            dst,
+            port,
+        };
+
+        // Interceptor chain applies to client-originated dials only.
+        let acceptor: Box<dyn Conduit> = if let Some(c) = client {
+            let claimed = self
+                .interceptors
+                .get(&c)
+                .is_some_and(|i| i.claims(dst, port));
+            if claimed {
+                self.interceptors
+                    .get_mut(&c)
+                    .expect("interceptor present")
+                    .accept(info)
+            } else {
+                self.accept_from_listener(info)?
+            }
+        } else {
+            self.accept_from_listener(info)?
+        };
+
+        self.connect_pair(link, conduit, acceptor)
+    }
+
+    fn connect_pair(
+        &mut self,
+        link: LinkProfile,
+        initiator: Box<dyn Conduit>,
+        acceptor: Box<dyn Conduit>,
+    ) -> Result<ConnToken, DialError> {
+        let a = ConnToken(self.sides.len());
+        let b = ConnToken(self.sides.len() + 1);
+        self.sides.push(Side {
+            conduit: Some(initiator),
+            peer: b,
+            latency_us: link.latency_us,
+            loss: link.loss,
+            open: true,
+        });
+        self.sides.push(Side {
+            conduit: Some(acceptor),
+            peer: a,
+            latency_us: link.latency_us,
+            loss: link.loss,
+            open: true,
+        });
+        // Acceptor learns of the connection after one RTT/2; the initiator
+        // after a full RTT (SYN → SYN/ACK).
+        let lat = link.latency_us;
+        self.push_event(lat, EventKind::Open(b));
+        self.push_event(2 * lat, EventKind::Open(a));
+        Ok(a)
+    }
+
+    fn accept_from_listener(&mut self, info: DialInfo) -> Result<Box<dyn Conduit>, DialError> {
+        match self.listeners.get_mut(&(info.dst, info.port)) {
+            Some(factory) => Ok(factory(info)),
+            None => Err(DialError::Refused),
+        }
+    }
+
+    fn push_event(&mut self, delay_us: u64, kind: EventKind) {
+        let ev = Event {
+            time_us: self.now_us + delay_us,
+            seq: self.seq,
+            kind,
+        };
+        self.seq += 1;
+        self.events.push(Reverse(ev));
+    }
+
+    pub(crate) fn queue_send(&mut self, from: ConnToken, bytes: &[u8]) {
+        let side = &self.sides[from.0];
+        if !side.open {
+            return;
+        }
+        let peer = side.peer;
+        let lat = side.latency_us;
+        let lost = side.loss > 0.0 && self.rng.gen_bool(side.loss);
+        if lost {
+            return; // silently dropped; peer stalls (probe times out)
+        }
+        self.push_event(lat, EventKind::Data(peer, bytes.to_vec()));
+    }
+
+    pub(crate) fn queue_close(&mut self, from: ConnToken) {
+        let side = &mut self.sides[from.0];
+        if !side.open {
+            return;
+        }
+        side.open = false;
+        let peer = side.peer;
+        let lat = side.latency_us;
+        self.push_event(lat, EventKind::Close(peer));
+    }
+
+    /// Run until quiescence (no pending events) or the event cap.
+    ///
+    /// Returns the number of events processed in this call.
+    pub fn run(&mut self) -> u64 {
+        let mut n = 0;
+        while let Some(Reverse(ev)) = self.events.pop() {
+            self.now_us = ev.time_us;
+            self.processed += 1;
+            n += 1;
+            if self.processed > self.config.max_events {
+                panic!(
+                    "netsim exceeded max_events={} — livelocked conduit?",
+                    self.config.max_events
+                );
+            }
+            match ev.kind {
+                EventKind::Open(tok) => self.deliver_open(tok),
+                EventKind::Data(tok, bytes) => self.deliver_data(tok, &bytes),
+                EventKind::Close(tok) => self.deliver_close(tok),
+            }
+        }
+        n
+    }
+
+    fn with_conduit(&mut self, tok: ConnToken, f: impl FnOnce(&mut dyn Conduit, &mut IoCtx<'_>)) {
+        // Temporarily take the conduit out so callbacks can borrow the
+        // network mutably; events queued by the callback cannot touch the
+        // slot because all effects are deferred through the event queue.
+        let Some(mut conduit) = self.sides[tok.0].conduit.take() else {
+            return;
+        };
+        {
+            let mut io = IoCtx {
+                net: self,
+                current: tok,
+            };
+            f(conduit.as_mut(), &mut io);
+        }
+        // The slot may have been marked closed meanwhile; keep the conduit
+        // anyway until its Close event is delivered.
+        self.sides[tok.0].conduit = Some(conduit);
+    }
+
+    fn deliver_open(&mut self, tok: ConnToken) {
+        if !self.sides[tok.0].open {
+            return;
+        }
+        self.with_conduit(tok, |c, io| c.on_open(io));
+    }
+
+    fn deliver_data(&mut self, tok: ConnToken, bytes: &[u8]) {
+        if !self.sides[tok.0].open {
+            return;
+        }
+        self.with_conduit(tok, |c, io| c.on_data(bytes, io));
+    }
+
+    fn deliver_close(&mut self, tok: ConnToken) {
+        if !self.sides[tok.0].open {
+            // Already closed from this side; just drop the conduit.
+            self.sides[tok.0].conduit = None;
+            return;
+        }
+        self.sides[tok.0].open = false;
+        self.with_conduit(tok, |c, io| c.on_close(io));
+        self.sides[tok.0].conduit = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Echo server: sends back whatever it receives, uppercased.
+    struct EchoAcceptor;
+    impl Conduit for EchoAcceptor {
+        fn on_open(&mut self, _io: &mut IoCtx<'_>) {}
+        fn on_data(&mut self, data: &[u8], io: &mut IoCtx<'_>) {
+            let up: Vec<u8> = data.iter().map(|b| b.to_ascii_uppercase()).collect();
+            io.send(&up);
+        }
+    }
+
+    /// Client: sends a greeting on open, records the reply, closes.
+    struct Client {
+        log: Rc<RefCell<Vec<String>>>,
+    }
+    impl Conduit for Client {
+        fn on_open(&mut self, io: &mut IoCtx<'_>) {
+            io.send(b"hello");
+        }
+        fn on_data(&mut self, data: &[u8], io: &mut IoCtx<'_>) {
+            self.log
+                .borrow_mut()
+                .push(String::from_utf8_lossy(data).into_owned());
+            io.close();
+        }
+        fn on_close(&mut self, _io: &mut IoCtx<'_>) {
+            self.log.borrow_mut().push("closed".into());
+        }
+    }
+
+    fn server_ip() -> Ipv4 {
+        Ipv4([203, 0, 113, 1])
+    }
+    fn client_ip() -> Ipv4 {
+        Ipv4([198, 51, 100, 7])
+    }
+
+    #[test]
+    fn request_response_roundtrip() {
+        let mut net = Network::new(NetworkConfig::default(), 1);
+        net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        net.dial_from(
+            client_ip(),
+            server_ip(),
+            80,
+            Box::new(Client { log: log.clone() }),
+        )
+        .unwrap();
+        net.run();
+        assert_eq!(log.borrow().as_slice(), ["HELLO".to_string()]);
+    }
+
+    #[test]
+    fn refused_when_no_listener() {
+        let mut net = Network::new(NetworkConfig::default(), 1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let err = net
+            .dial_from(client_ip(), server_ip(), 443, Box::new(Client { log }))
+            .unwrap_err();
+        assert_eq!(err, DialError::Refused);
+    }
+
+    #[test]
+    fn captive_portal_blocks_ports() {
+        let mut net = Network::new(NetworkConfig::default(), 1);
+        net.listen(server_ip(), 843, Box::new(|_| Box::new(EchoAcceptor)));
+        net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
+        net.set_link(
+            client_ip(),
+            LinkProfile {
+                blocked_ports: vec![843],
+                ..LinkProfile::default()
+            },
+        );
+        let log = Rc::new(RefCell::new(Vec::new()));
+        // Port 843 (classic Flash policy port) blocked...
+        assert_eq!(
+            net.dial_from(client_ip(), server_ip(), 843, Box::new(Client { log: log.clone() }))
+                .unwrap_err(),
+            DialError::PortBlocked
+        );
+        // ...but port 80 works — the paper's §3.1 design decision.
+        net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() }))
+            .unwrap();
+        net.run();
+        assert_eq!(log.borrow()[0], "HELLO");
+    }
+
+    #[test]
+    fn virtual_time_advances_by_latency() {
+        let mut net = Network::new(NetworkConfig::default(), 1);
+        net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log }))
+            .unwrap();
+        net.run();
+        // open(2L) + send(L) + reply(L) = 4 × 20ms = 80 ms min.
+        assert!(net.now_us() >= 80_000, "now = {}", net.now_us());
+    }
+
+    #[test]
+    fn loss_stalls_the_exchange() {
+        let mut net = Network::new(NetworkConfig::default(), 2);
+        net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
+        net.set_link(
+            client_ip(),
+            LinkProfile {
+                loss: 1.0, // every delivery dropped
+                ..LinkProfile::default()
+            },
+        );
+        let log = Rc::new(RefCell::new(Vec::new()));
+        net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() }))
+            .unwrap();
+        net.run();
+        assert!(log.borrow().is_empty(), "reply should have been lost");
+    }
+
+    /// An interceptor that claims port-80 connections and answers itself
+    /// (a degenerate "proxy" — enough to test path interposition).
+    struct FakeProxy;
+    impl Interceptor for FakeProxy {
+        fn claims(&self, _dst: Ipv4, port: u16) -> bool {
+            port == 80
+        }
+        fn accept(&mut self, _info: DialInfo) -> Box<dyn Conduit> {
+            struct ProxySide;
+            impl Conduit for ProxySide {
+                fn on_open(&mut self, _io: &mut IoCtx<'_>) {}
+                fn on_data(&mut self, _data: &[u8], io: &mut IoCtx<'_>) {
+                    io.send(b"intercepted");
+                }
+            }
+            Box::new(ProxySide)
+        }
+    }
+
+    #[test]
+    fn interceptor_claims_client_dials() {
+        let mut net = Network::new(NetworkConfig::default(), 3);
+        net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
+        net.install_interceptor(client_ip(), Box::new(FakeProxy));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() }))
+            .unwrap();
+        net.run();
+        assert_eq!(log.borrow()[0], "intercepted");
+    }
+
+    #[test]
+    fn other_clients_not_intercepted() {
+        let mut net = Network::new(NetworkConfig::default(), 3);
+        net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
+        net.install_interceptor(client_ip(), Box::new(FakeProxy));
+        let other = Ipv4([198, 51, 100, 99]);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        net.dial_from(other, server_ip(), 80, Box::new(Client { log: log.clone() }))
+            .unwrap();
+        net.run();
+        assert_eq!(log.borrow()[0], "HELLO");
+    }
+
+    #[test]
+    fn conduit_dials_bypass_interceptor() {
+        // A conduit-originated dial (modeling the proxy's upstream leg)
+        // must not be re-intercepted, or proxies would loop forever.
+        struct Relay {
+            log: Rc<RefCell<Vec<String>>>,
+        }
+        impl Conduit for Relay {
+            fn on_open(&mut self, io: &mut IoCtx<'_>) {
+                // Dial upstream from inside a conduit.
+                let log = self.log.clone();
+                io.dial(server_ip(), 80, Box::new(Client { log })).unwrap();
+            }
+            fn on_data(&mut self, _data: &[u8], _io: &mut IoCtx<'_>) {}
+        }
+
+        let mut net = Network::new(NetworkConfig::default(), 4);
+        net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
+        net.install_interceptor(client_ip(), Box::new(FakeProxy));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        // The Relay is dialed directly (not via dial_from), then dials out.
+        net.listen(server_ip(), 9999, {
+            let log = log.clone();
+            Box::new(move |_| Box::new(Relay { log: log.clone() }))
+        });
+        struct Kick;
+        impl Conduit for Kick {
+            fn on_open(&mut self, _io: &mut IoCtx<'_>) {}
+            fn on_data(&mut self, _d: &[u8], _io: &mut IoCtx<'_>) {}
+        }
+        net.dial_from(Ipv4([1, 1, 1, 1]), server_ip(), 9999, Box::new(Kick))
+            .unwrap();
+        net.run();
+        assert_eq!(log.borrow()[0], "HELLO", "upstream leg must reach the real server");
+    }
+
+    #[test]
+    fn close_notifies_peer() {
+        struct Closer;
+        impl Conduit for Closer {
+            fn on_open(&mut self, io: &mut IoCtx<'_>) {
+                io.close();
+            }
+            fn on_data(&mut self, _d: &[u8], _io: &mut IoCtx<'_>) {}
+        }
+        struct Watcher {
+            closed: Rc<RefCell<bool>>,
+        }
+        impl Conduit for Watcher {
+            fn on_open(&mut self, _io: &mut IoCtx<'_>) {}
+            fn on_data(&mut self, _d: &[u8], _io: &mut IoCtx<'_>) {}
+            fn on_close(&mut self, _io: &mut IoCtx<'_>) {
+                *self.closed.borrow_mut() = true;
+            }
+        }
+        let closed = Rc::new(RefCell::new(false));
+        let mut net = Network::new(NetworkConfig::default(), 5);
+        net.listen(server_ip(), 80, {
+            let closed = closed.clone();
+            Box::new(move |_| Box::new(Watcher { closed: closed.clone() }))
+        });
+        net.dial_from(client_ip(), server_ip(), 80, Box::new(Closer))
+            .unwrap();
+        net.run();
+        assert!(*closed.borrow());
+    }
+
+    #[test]
+    fn sends_after_close_are_dropped() {
+        struct SendAfterClose;
+        impl Conduit for SendAfterClose {
+            fn on_open(&mut self, io: &mut IoCtx<'_>) {
+                io.close();
+                io.send(b"too late");
+            }
+            fn on_data(&mut self, _d: &[u8], _io: &mut IoCtx<'_>) {}
+        }
+        let got = Rc::new(RefCell::new(Vec::<u8>::new()));
+        struct Sink {
+            got: Rc<RefCell<Vec<u8>>>,
+        }
+        impl Conduit for Sink {
+            fn on_open(&mut self, _io: &mut IoCtx<'_>) {}
+            fn on_data(&mut self, d: &[u8], _io: &mut IoCtx<'_>) {
+                self.got.borrow_mut().extend_from_slice(d);
+            }
+        }
+        let mut net = Network::new(NetworkConfig::default(), 6);
+        net.listen(server_ip(), 80, {
+            let got = got.clone();
+            Box::new(move |_| Box::new(Sink { got: got.clone() }))
+        });
+        net.dial_from(client_ip(), server_ip(), 80, Box::new(SendAfterClose))
+            .unwrap();
+        net.run();
+        assert!(got.borrow().is_empty());
+    }
+}

@@ -1,0 +1,211 @@
+//! Flash socket-policy service (§3.1 of the paper).
+//!
+//! The Flash runtime refuses raw TCP connections unless the target host
+//! serves a permissive "socket policy file". The paper (a) hosts its own
+//! policy file on port 80 so captive portals don't break measurements,
+//! and (b) selects its 17 third-party probe targets by scanning the Alexa
+//! top million for hosts with permissive policies (Table 1).
+//!
+//! This module implements both halves: [`PolicyServer`] (the serving
+//! conduit) and [`PolicyClient`] (the probing conduit), speaking the real
+//! Flash policy protocol: the client sends `<policy-file-request/>\0`,
+//! the server answers with an XML policy document, NUL-terminated.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::conduit::{Conduit, IoCtx};
+
+/// The permissive policy body the study's servers publish: any domain may
+/// connect to port 443 (and 80, where the policy itself is served).
+pub const SOCKET_POLICY_BODY: &str = r#"<?xml version="1.0"?>
+<cross-domain-policy>
+  <allow-access-from domain="*" to-ports="80,443"/>
+</cross-domain-policy>"#;
+
+/// The exact request bytes the Flash runtime emits.
+pub const POLICY_REQUEST: &[u8] = b"<policy-file-request/>\0";
+
+/// Outcome of a policy probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyFetchResult {
+    /// Not yet resolved.
+    Pending,
+    /// Host served a permissive policy covering port 443.
+    Permissive,
+    /// Host served a policy that does not cover port 443.
+    Restrictive,
+    /// Host closed without answering (or garbage).
+    NoPolicy,
+}
+
+/// Server-side conduit answering policy requests.
+pub struct PolicyServer {
+    /// The policy body to serve.
+    body: &'static str,
+    buf: Vec<u8>,
+}
+
+impl PolicyServer {
+    /// A server with the study's permissive policy.
+    pub fn permissive() -> Self {
+        PolicyServer {
+            body: SOCKET_POLICY_BODY,
+            buf: Vec::new(),
+        }
+    }
+
+    /// A server with a restrictive policy (no port 443) — used to model
+    /// Alexa hosts that had policies but not permissive ones.
+    pub fn restrictive() -> Self {
+        PolicyServer {
+            body: r#"<?xml version="1.0"?>
+<cross-domain-policy>
+  <allow-access-from domain="self.example" to-ports="8080"/>
+</cross-domain-policy>"#,
+            buf: Vec::new(),
+        }
+    }
+}
+
+impl Conduit for PolicyServer {
+    fn on_open(&mut self, _io: &mut IoCtx<'_>) {}
+
+    fn on_data(&mut self, data: &[u8], io: &mut IoCtx<'_>) {
+        self.buf.extend_from_slice(data);
+        if self.buf.ends_with(b"\0") {
+            if self.buf.as_slice() == POLICY_REQUEST {
+                let mut reply = self.body.as_bytes().to_vec();
+                reply.push(0);
+                io.send(&reply);
+            }
+            io.close();
+        }
+    }
+}
+
+/// Client-side conduit: sends the policy request, classifies the answer
+/// into the shared [`PolicyFetchResult`] slot.
+pub struct PolicyClient {
+    result: Rc<RefCell<PolicyFetchResult>>,
+    buf: Vec<u8>,
+}
+
+impl PolicyClient {
+    /// Create a client writing its outcome into `result`.
+    pub fn new(result: Rc<RefCell<PolicyFetchResult>>) -> Self {
+        PolicyClient {
+            result,
+            buf: Vec::new(),
+        }
+    }
+
+    fn classify(&self) -> PolicyFetchResult {
+        let text = String::from_utf8_lossy(&self.buf);
+        if !text.contains("<cross-domain-policy>") {
+            return PolicyFetchResult::NoPolicy;
+        }
+        // Permissive = wildcard domain AND port 443 allowed.
+        let permissive = text.contains(r#"domain="*""#)
+            && text
+                .split("to-ports=\"")
+                .nth(1)
+                .and_then(|rest| rest.split('"').next())
+                .is_some_and(|ports| ports.split(',').any(|p| p.trim() == "443"));
+        if permissive {
+            PolicyFetchResult::Permissive
+        } else {
+            PolicyFetchResult::Restrictive
+        }
+    }
+}
+
+impl Conduit for PolicyClient {
+    fn on_open(&mut self, io: &mut IoCtx<'_>) {
+        io.send(POLICY_REQUEST);
+    }
+
+    fn on_data(&mut self, data: &[u8], io: &mut IoCtx<'_>) {
+        self.buf.extend_from_slice(data);
+        if self.buf.ends_with(b"\0") {
+            self.buf.pop();
+            *self.result.borrow_mut() = self.classify();
+            io.close();
+        }
+    }
+
+    fn on_close(&mut self, _io: &mut IoCtx<'_>) {
+        let mut r = self.result.borrow_mut();
+        if *r == PolicyFetchResult::Pending {
+            *r = self.classify();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Ipv4;
+    use crate::net::{Network, NetworkConfig};
+
+    fn fetch(server: fn() -> PolicyServer) -> PolicyFetchResult {
+        let mut net = Network::new(NetworkConfig::default(), 1);
+        let srv = Ipv4([203, 0, 113, 1]);
+        net.listen(srv, 80, Box::new(move |_| Box::new(server())));
+        let result = Rc::new(RefCell::new(PolicyFetchResult::Pending));
+        net.dial_from(
+            Ipv4([198, 51, 100, 1]),
+            srv,
+            80,
+            Box::new(PolicyClient::new(result.clone())),
+        )
+        .unwrap();
+        net.run();
+        Rc::try_unwrap(result).unwrap().into_inner()
+    }
+
+    #[test]
+    fn permissive_policy_detected() {
+        assert_eq!(fetch(PolicyServer::permissive), PolicyFetchResult::Permissive);
+    }
+
+    #[test]
+    fn restrictive_policy_detected() {
+        assert_eq!(fetch(PolicyServer::restrictive), PolicyFetchResult::Restrictive);
+    }
+
+    #[test]
+    fn no_policy_when_server_closes_silently() {
+        struct Mute;
+        impl Conduit for Mute {
+            fn on_open(&mut self, _io: &mut IoCtx<'_>) {}
+            fn on_data(&mut self, _d: &[u8], io: &mut IoCtx<'_>) {
+                io.close();
+            }
+        }
+        let mut net = Network::new(NetworkConfig::default(), 1);
+        let srv = Ipv4([203, 0, 113, 1]);
+        net.listen(srv, 80, Box::new(|_| Box::new(Mute)));
+        let result = Rc::new(RefCell::new(PolicyFetchResult::Pending));
+        net.dial_from(
+            Ipv4([198, 51, 100, 1]),
+            srv,
+            80,
+            Box::new(PolicyClient::new(result.clone())),
+        )
+        .unwrap();
+        net.run();
+        assert_eq!(*result.borrow(), PolicyFetchResult::NoPolicy);
+    }
+
+    #[test]
+    fn policy_body_is_valid_for_443() {
+        assert!(SOCKET_POLICY_BODY.contains("443"));
+        assert!(SOCKET_POLICY_BODY.contains(r#"domain="*""#));
+    }
+
+    #[test]
+    fn request_constant_is_nul_terminated() {
+        assert_eq!(POLICY_REQUEST.last(), Some(&0u8));
+    }
+}

@@ -1,0 +1,370 @@
+//! Substitute-certificate minting.
+//!
+//! A [`SubstituteFactory`] is one product's certificate machinery: its
+//! injected root CA and the leaf substitutes it mints per probed host —
+//! with all the behaviours the paper catalogued (issuer forgery, key-size
+//! downgrades, MD5 signatures, subject mutations, shared leaf keys).
+//! Substitutes are cached per host, as real proxies cache them per site.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use tlsfoe_crypto::RsaKeyPair;
+use tlsfoe_netsim::Ipv4;
+use tlsfoe_x509::ext::Extension;
+use tlsfoe_x509::name::{DistinguishedName, NameBuilder};
+use tlsfoe_x509::time::Time;
+use tlsfoe_x509::{Certificate, CertificateBuilder};
+
+use crate::keys;
+use crate::products::{ProductId, ProductSpec, SubjectStyle};
+
+/// Number of leaf keys in a non-shared product's pool. Real products
+/// reuse a few keys across installs; the IopFail malware's pool size is
+/// forced to 1 (its defining fingerprint).
+const LEAF_POOL: u16 = 3;
+
+/// One product's certificate mint.
+pub struct SubstituteFactory {
+    /// The product this factory belongs to.
+    pub product: ProductId,
+    spec: ProductSpec,
+    root_key: RsaKeyPair,
+    root_cert: Certificate,
+    leaf_pool: u16,
+    leaf_keys: RefCell<HashMap<u16, RsaKeyPair>>,
+    cache: RefCell<HashMap<String, Vec<Certificate>>>,
+    serial_counter: RefCell<u64>,
+}
+
+impl SubstituteFactory {
+    /// Build the factory (generates/loads the product's key material).
+    pub fn new(product: ProductId, spec: ProductSpec) -> SubstituteFactory {
+        let root_key = keys::keypair(keys::root_seed(product.0), 2048);
+        let root_name = issuer_name(&spec, None);
+        let root_cert = CertificateBuilder::new()
+            .serial_u64(product.0 as u64 + 1)
+            .subject(root_name)
+            .validity(Time::from_ymd(2012, 1, 1), Time::from_ymd(2022, 1, 1))
+            .ca(None)
+            .self_sign(&root_key)
+            .expect("root self-sign");
+        let leaf_pool = if spec.shared_leaf_key { 1 } else { LEAF_POOL };
+        SubstituteFactory {
+            product,
+            spec,
+            root_key,
+            root_cert,
+            leaf_pool,
+            leaf_keys: RefCell::new(HashMap::new()),
+            cache: RefCell::new(HashMap::new()),
+            serial_counter: RefCell::new(1),
+        }
+    }
+
+    /// The product's behaviour spec.
+    pub fn spec(&self) -> &ProductSpec {
+        &self.spec
+    }
+
+    /// The root certificate this product injects into victim root stores
+    /// (Figure 2c's "New Injected Root").
+    pub fn root_cert(&self) -> &Certificate {
+        &self.root_cert
+    }
+
+    /// The root's public key (the key that actually signs substitutes —
+    /// even for issuer-forging products).
+    pub fn root_public(&self) -> &tlsfoe_crypto::RsaPublicKey {
+        &self.root_key.public
+    }
+
+    /// Mint (or fetch from cache) the substitute chain for `host`.
+    ///
+    /// `upstream_leaf` — the genuine certificate the proxy fetched from
+    /// the real server; used by issuer-copying products (the forged
+    /// "DigiCert Inc" issuers copied our original's issuer, §5.2).
+    /// `dst` — destination IP, used by wildcard-IP-subject products.
+    pub fn substitute_chain(
+        &self,
+        host: &str,
+        dst: Ipv4,
+        upstream_leaf: Option<&Certificate>,
+    ) -> Vec<Certificate> {
+        if let Some(chain) = self.cache.borrow().get(host) {
+            return chain.clone();
+        }
+        let chain = self.mint(host, dst, upstream_leaf);
+        self.cache
+            .borrow_mut()
+            .insert(host.to_string(), chain.clone());
+        chain
+    }
+
+    /// Number of distinct substitute chains minted so far.
+    pub fn minted(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    fn mint(
+        &self,
+        host: &str,
+        dst: Ipv4,
+        upstream_leaf: Option<&Certificate>,
+    ) -> Vec<Certificate> {
+        let issuer = issuer_name(&self.spec, upstream_leaf);
+        let (subject, san): (DistinguishedName, Vec<String>) = match self.spec.subject_style {
+            SubjectStyle::Exact => (
+                NameBuilder::new().common_name(host).build(),
+                vec![host.to_string()],
+            ),
+            SubjectStyle::WildcardIpSubnet => {
+                // Wildcard over the destination's /24 — covers the subnet
+                // only, not the hostname (the §5.2 mismatch).
+                let pattern = format!("*.{}.{}.{}", dst.0[0], dst.0[1], dst.0[2]);
+                (
+                    NameBuilder::new().common_name(&pattern).build(),
+                    vec![pattern],
+                )
+            }
+            SubjectStyle::WrongDomain(domain) => (
+                NameBuilder::new().common_name(domain).build(),
+                vec![domain.to_string()],
+            ),
+            SubjectStyle::Tweaked => (
+                NameBuilder::new()
+                    .organizational_unit("content-filtered")
+                    .common_name(host)
+                    .build(),
+                vec![host.to_string()],
+            ),
+        };
+
+        // Leaf key: pooled by host hash (stable), or the single shared
+        // key. Generated lazily — most sessions touch one key per product.
+        let key_idx = (fnv(host) % self.leaf_pool as u64) as u16;
+        let leaf_key = self
+            .leaf_keys
+            .borrow_mut()
+            .entry(key_idx)
+            .or_insert_with(|| {
+                keys::keypair(keys::leaf_seed(self.product.0, key_idx), self.spec.key_bits)
+            })
+            .clone();
+
+        let serial = {
+            let mut c = self.serial_counter.borrow_mut();
+            *c += 1;
+            *c
+        };
+        let mut builder = CertificateBuilder::new()
+            .serial_u64(serial ^ (fnv(host) << 8))
+            .signature_alg(self.spec.sig_alg)
+            .issuer(issuer)
+            .subject(subject)
+            .validity(Time::from_ymd(2013, 6, 1), Time::from_ymd(2016, 6, 1))
+            .extension(Extension::BasicConstraints {
+                ca: false,
+                path_len: None,
+            });
+        let san_refs: Vec<&str> = san.iter().map(|s| s.as_str()).collect();
+        builder = builder.san_dns(&san_refs);
+        let leaf = builder
+            .sign(&leaf_key.public, &self.root_key)
+            .expect("substitute sign");
+        vec![leaf, self.root_cert.clone()]
+    }
+}
+
+/// The issuer DN a product writes into substitutes (and its root subject).
+fn issuer_name(spec: &ProductSpec, upstream_leaf: Option<&Certificate>) -> DistinguishedName {
+    if spec.copy_issuer {
+        if let Some(up) = upstream_leaf {
+            return up.tbs.issuer.clone();
+        }
+    }
+    let mut b = NameBuilder::new();
+    if let Some(org) = spec.issuer_org {
+        b = b.organization(org);
+    }
+    if let Some(cn) = spec.issuer_cn {
+        b = b.common_name(cn);
+    }
+    b.build()
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in s.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::products::{catalog, SubjectStyle};
+    use tlsfoe_x509::cert::SignatureAlgorithm;
+    use tlsfoe_x509::RootStore;
+
+    fn factory_for(name: &str) -> SubstituteFactory {
+        let specs = catalog();
+        let (i, spec) = specs
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.display_name() == name)
+            .unwrap_or_else(|| panic!("{name} not in catalog"));
+        SubstituteFactory::new(ProductId(i as u16), spec.clone())
+    }
+
+    fn dst() -> Ipv4 {
+        Ipv4([203, 0, 113, 7])
+    }
+
+    #[test]
+    fn substitute_validates_against_injected_root() {
+        let f = factory_for("Bitdefender");
+        let chain = f.substitute_chain("tlsresearch.byu.edu", dst(), None);
+        assert_eq!(chain.len(), 2);
+        let mut store = RootStore::new();
+        store.inject_root(f.root_cert().clone());
+        store
+            .validate(&chain, "tlsresearch.byu.edu", Time::from_ymd(2014, 6, 1))
+            .unwrap();
+    }
+
+    #[test]
+    fn substitute_rejected_without_injected_root() {
+        let f = factory_for("Bitdefender");
+        let chain = f.substitute_chain("tlsresearch.byu.edu", dst(), None);
+        let store = RootStore::new();
+        assert!(store
+            .validate(&chain, "tlsresearch.byu.edu", Time::from_ymd(2014, 6, 1))
+            .is_err());
+    }
+
+    #[test]
+    fn caching_returns_identical_chain() {
+        let f = factory_for("Bitdefender");
+        let a = f.substitute_chain("h.example", dst(), None);
+        let b = f.substitute_chain("h.example", dst(), None);
+        assert_eq!(a[0].to_der(), b[0].to_der());
+        assert_eq!(f.minted(), 1);
+        f.substitute_chain("other.example", dst(), None);
+        assert_eq!(f.minted(), 2);
+    }
+
+    #[test]
+    fn issuer_org_matches_spec() {
+        let f = factory_for("Bitdefender");
+        let chain = f.substitute_chain("h.example", dst(), None);
+        assert_eq!(chain[0].tbs.issuer.organization(), Some("Bitdefender"));
+        assert_eq!(chain[0].key_bits(), 1024); // the §5.2 downgrade
+    }
+
+    #[test]
+    fn null_issuer_product_mints_empty_issuer() {
+        let f = factory_for("Null");
+        let chain = f.substitute_chain("h.example", dst(), None);
+        assert!(chain[0].tbs.issuer.is_empty());
+    }
+
+    #[test]
+    fn iopfail_shares_one_512bit_md5_key() {
+        let f = factory_for("IopFailZeroAccessCreate");
+        let a = f.substitute_chain("a.example", dst(), None);
+        let b = f.substitute_chain("b.example", dst(), None);
+        assert_eq!(a[0].key_bits(), 512);
+        assert_eq!(a[0].signature_alg, SignatureAlgorithm::Md5WithRsa);
+        // Same public key on every substitute — the paper's fingerprint.
+        assert_eq!(a[0].tbs.spki.key, b[0].tbs.spki.key);
+        assert_eq!(
+            a[0].tbs.issuer.common_name(),
+            Some("IopFailZeroAccessCreate")
+        );
+        assert_eq!(a[0].tbs.issuer.organization(), None);
+    }
+
+    #[test]
+    fn non_shared_products_use_multiple_leaf_keys() {
+        let f = factory_for("Bitdefender");
+        let hosts = ["a.example", "b.example", "c.example", "d.example", "e.example",
+                     "f.example", "g.example", "h.example"];
+        let mut keys = std::collections::HashSet::new();
+        for h in hosts {
+            keys.insert(format!("{:?}", f.substitute_chain(h, dst(), None)[0].tbs.spki.key));
+        }
+        assert!(keys.len() > 1, "expected key pool > 1, got {}", keys.len());
+    }
+
+    #[test]
+    fn digicert_forger_copies_upstream_issuer() {
+        // Build a fake upstream cert issued by "DigiCert High Assurance
+        // CA-3" and check the forger copies that issuer verbatim.
+        let upstream_ca = keys::keypair(999_001, 512);
+        let upstream_leaf_key = keys::keypair(999_002, 512);
+        let issuer = NameBuilder::new()
+            .country("US")
+            .organization("DigiCert Inc")
+            .common_name("DigiCert High Assurance CA-3")
+            .build();
+        let upstream = CertificateBuilder::new()
+            .issuer(issuer.clone())
+            .subject(NameBuilder::new().common_name("tlsresearch.byu.edu").build())
+            .san_dns(&["tlsresearch.byu.edu"])
+            .sign(&upstream_leaf_key.public, &upstream_ca)
+            .unwrap();
+
+        let f = factory_for("DigiCert Inc");
+        let chain = f.substitute_chain("tlsresearch.byu.edu", dst(), Some(&upstream));
+        assert_eq!(chain[0].tbs.issuer, issuer, "issuer must be copied verbatim");
+        // But the signature is NOT DigiCert's — it's the proxy's root.
+        assert!(chain[0].verify_signature_with(&upstream_ca.public).is_err());
+        assert!(chain[0].verify_signature_with(&f.root_public().clone()).is_ok());
+    }
+
+    #[test]
+    fn wildcard_ip_subject_covers_subnet_not_host() {
+        let f = factory_for("PerimeterWatch");
+        assert_eq!(f.spec().subject_style, SubjectStyle::WildcardIpSubnet);
+        let chain = f.substitute_chain("h.example", Ipv4([203, 0, 113, 9]), None);
+        let leaf = &chain[0];
+        assert!(!leaf.matches_host("h.example"), "wildcard-IP subject must mismatch");
+        assert!(leaf.tbs.subject.common_name().unwrap().starts_with("*.203.0.113"));
+    }
+
+    #[test]
+    fn wrong_domain_products_issue_for_other_domains() {
+        let f = factory_for("Misissued Relay A");
+        let chain = f.substitute_chain("tlsresearch.byu.edu", dst(), None);
+        assert!(chain[0].matches_host("mail.google.com"));
+        assert!(!chain[0].matches_host("tlsresearch.byu.edu"));
+    }
+
+    #[test]
+    fn tweaked_subject_still_matches_host() {
+        let f = factory_for("Annotating Middlebox");
+        let chain = f.substitute_chain("h.example", dst(), None);
+        assert!(chain[0].matches_host("h.example"));
+        assert_eq!(
+            chain[0].tbs.subject.organizational_unit(),
+            Some("content-filtered")
+        );
+    }
+
+    #[test]
+    fn overachiever_has_2432_bit_key() {
+        let f = factory_for("Overachiever Security");
+        let chain = f.substitute_chain("h.example", dst(), None);
+        assert_eq!(chain[0].key_bits(), 2432);
+    }
+
+    #[test]
+    fn sha256_product_signs_sha256() {
+        let f = factory_for("ModernTLS Gateway");
+        let chain = f.substitute_chain("h.example", dst(), None);
+        assert_eq!(chain[0].signature_alg, SignatureAlgorithm::Sha256WithRsa);
+    }
+}

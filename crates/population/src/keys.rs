@@ -1,0 +1,77 @@
+//! Deterministic, process-cached key material.
+//!
+//! Every product's root key and leaf-key pool is derived from a stable
+//! seed, so the same catalog always mints byte-identical certificates.
+//! Generation is cached process-wide because RSA keygen is the only
+//! expensive operation in the simulator and tests/benches share products.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use tlsfoe_crypto::drbg::Drbg;
+use tlsfoe_crypto::RsaKeyPair;
+
+fn cache() -> &'static Mutex<HashMap<(u64, usize), RsaKeyPair>> {
+    static CACHE: OnceLock<Mutex<HashMap<(u64, usize), RsaKeyPair>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Get (or generate) the deterministic key for `(seed, bits)`.
+pub fn keypair(seed: u64, bits: usize) -> RsaKeyPair {
+    let key = (seed, bits);
+    if let Some(k) = cache().lock().expect("key cache poisoned").get(&key) {
+        return k.clone();
+    }
+    let generated = RsaKeyPair::generate(bits, &mut Drbg::new(seed.wrapping_mul(0x9e37_79b9)))
+        .expect("RSA keygen failed");
+    cache()
+        .lock()
+        .expect("key cache poisoned")
+        .insert(key, generated.clone());
+    generated
+}
+
+/// Seed namespace for a product's root (CA) key.
+pub fn root_seed(product_index: u16) -> u64 {
+    0x524f_4f54_0000_0000 | product_index as u64
+}
+
+/// Seed namespace for a product's `i`-th leaf key.
+pub fn leaf_seed(product_index: u16, i: u16) -> u64 {
+    0x4c45_4146_0000_0000 | ((product_index as u64) << 16) | i as u64
+}
+
+/// Seed namespace for legitimate web-server keys (per host index).
+pub fn server_seed(host_index: u16) -> u64 {
+    0x5345_5256_0000_0000 | host_index as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_and_deterministic() {
+        let a = keypair(42, 512);
+        let b = keypair(42, 512);
+        assert_eq!(a.public, b.public);
+        let c = keypair(43, 512);
+        assert_ne!(a.public, c.public);
+    }
+
+    #[test]
+    fn different_sizes_different_keys() {
+        let a = keypair(7, 512);
+        let b = keypair(7, 768);
+        assert_eq!(a.bits(), 512);
+        assert_eq!(b.bits(), 768);
+    }
+
+    #[test]
+    fn seed_namespaces_disjoint() {
+        assert_ne!(root_seed(1), leaf_seed(1, 0));
+        assert_ne!(leaf_seed(1, 0), leaf_seed(1, 1));
+        assert_ne!(leaf_seed(1, 0), leaf_seed(2, 0));
+        assert_ne!(root_seed(3), server_seed(3));
+    }
+}

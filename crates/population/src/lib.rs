@@ -1,0 +1,38 @@
+//! # tlsfoe-population
+//!
+//! The generative model of "who is out there": every interception product
+//! the paper observed, with its measured behaviour, plus per-country
+//! prevalence. This crate is the simulation's *ground truth* — the
+//! measurement pipeline in `tlsfoe-core` must recover these parameters
+//! through real TLS handshakes, exactly as the field study recovered the
+//! real population's parameters through real ad impressions.
+//!
+//! * [`products`] — the catalog: Bitdefender, PSafe, Sendori, Kurupira,
+//!   Superfish, `IopFailZeroAccessCreate`, null-issuer ghosts, telecoms…
+//!   each with category, prevalence weights for both studies, and
+//!   certificate-minting behaviour (key size, signature hash, issuer
+//!   forgery, subject mutation, shared keys),
+//! * [`keys`] — deterministic per-product key material (cached; the
+//!   IopFail malware's single shared 512-bit leaf key lives here),
+//! * [`factory`] — substitute-certificate minting per product behaviour,
+//! * [`proxy`] — the actual TLS proxy: a netsim [`tlsfoe_netsim::net::Interceptor`]
+//!   that terminates TLS client-side with a substitute chain, optionally
+//!   validates upstream (Bitdefender blocks forged upstreams; Kurupira
+//!   masks them — §5.2), and transparently splices whitelisted hosts
+//!   (§6.3),
+//! * [`model`] — per-country interception rates and client sampling for
+//!   study 1 and study 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod factory;
+pub mod keys;
+pub mod model;
+pub mod products;
+pub mod proxy;
+
+pub use factory::SubstituteFactory;
+pub use model::{ClientProfile, PopulationModel, StudyEra};
+pub use products::{ProductId, ProductSpec, ProxyCategory, UpstreamPolicy};
+pub use proxy::TlsProxy;

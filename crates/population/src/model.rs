@@ -1,0 +1,394 @@
+//! The population model: who runs what, where.
+//!
+//! Encodes the paper's measured marginals as generative parameters:
+//! per-country interception rates (the "Percent" columns of Tables 3
+//! and 7) and the product mix (Table 4 weights with geographic biases).
+//! The measurement pipeline must *recover* these numbers end-to-end.
+
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use tlsfoe_crypto::drbg::RngCore64;
+use tlsfoe_geo::countries::{self, CountryCode};
+use tlsfoe_netsim::Ipv4;
+use tlsfoe_x509::time::Time;
+use tlsfoe_x509::RootStore;
+
+use crate::factory::SubstituteFactory;
+use crate::products::{self, CountryBias, ProductId, ProductSpec};
+use crate::proxy::TlsProxy;
+
+/// Which study's population parameters to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StudyEra {
+    /// January 2014: one probed host, global exposure.
+    Study1,
+    /// October 2014: 18 hosts, global + five targeted countries.
+    Study2,
+}
+
+/// The five targeted countries of study 2.
+pub const TARGETED: [&str; 5] = ["CN", "UA", "RU", "EG", "PK"];
+
+/// One sampled client.
+#[derive(Debug, Clone)]
+pub struct ClientProfile {
+    /// The client's country.
+    pub country: CountryCode,
+    /// The client's IP (from its country's geo block).
+    pub ip: Ipv4,
+    /// Interception product on this client's path, if any.
+    pub product: Option<ProductId>,
+}
+
+/// The generative population model.
+pub struct PopulationModel {
+    era: StudyEra,
+    specs: Vec<ProductSpec>,
+    factories: Vec<std::cell::RefCell<Option<Rc<SubstituteFactory>>>>,
+    /// Mega-popular hosts that whitelist-capable products skip.
+    popular_whitelist: Rc<HashSet<String>>,
+    /// Trust store interception products use to validate upstream.
+    public_roots: Rc<RootStore>,
+    /// Validation time for proxies.
+    now: Time,
+}
+
+impl PopulationModel {
+    /// Build the model for an era.
+    ///
+    /// `public_roots` is the simulated web-PKI root set (products like
+    /// Bitdefender validate upstream chains against it).
+    pub fn new(era: StudyEra, public_roots: Rc<RootStore>) -> PopulationModel {
+        let specs = products::catalog();
+        let factories = specs.iter().map(|_| std::cell::RefCell::new(None)).collect();
+        let mut popular = HashSet::new();
+        // The Facebook-class hosts of the era (none of the paper's 18
+        // probe targets are in this class — §6.3's key point).
+        for host in [
+            "facebook.com",
+            "www.facebook.com",
+            "google.com",
+            "www.google.com",
+            "youtube.com",
+            "twitter.com",
+        ] {
+            popular.insert(host.to_string());
+        }
+        PopulationModel {
+            era,
+            specs,
+            factories,
+            popular_whitelist: Rc::new(popular),
+            public_roots,
+            now: match era {
+                StudyEra::Study1 => Time::from_ymd(2014, 1, 15),
+                StudyEra::Study2 => Time::from_ymd(2014, 10, 10),
+            },
+        }
+    }
+
+    /// The product catalog in use.
+    pub fn specs(&self) -> &[ProductSpec] {
+        &self.specs
+    }
+
+    /// The era's validation timestamp.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The mega-popular host set (for baseline experiments).
+    pub fn popular_hosts(&self) -> Rc<HashSet<String>> {
+        self.popular_whitelist.clone()
+    }
+
+    /// Per-country interception probability — the ground truth the study
+    /// estimates. Values are the Percent columns of Table 3 / Table 7.
+    pub fn proxy_rate(&self, country: CountryCode) -> f64 {
+        let code = countries::info(country).code;
+        let named: &[(&str, f64)] = match self.era {
+            StudyEra::Study1 => &[
+                ("US", 0.0079), ("BR", 0.0068), ("FR", 0.0109), ("GB", 0.0029),
+                ("RO", 0.0074), ("DE", 0.0027), ("CA", 0.0087), ("TR", 0.0046),
+                ("IN", 0.0059), ("ES", 0.0036), ("RU", 0.0038), ("IT", 0.0015),
+                ("KR", 0.0042), ("PT", 0.0062), ("PL", 0.0016), ("UA", 0.0026),
+                ("BE", 0.0081), ("JP", 0.0035), ("NL", 0.0033), ("TW", 0.0017),
+            ],
+            StudyEra::Study2 => &[
+                ("CN", 0.0002), ("UA", 0.0027), ("RU", 0.0040), ("KR", 0.0021),
+                ("EG", 0.0056), ("PK", 0.0041), ("TR", 0.0048), ("US", 0.0086),
+                ("JP", 0.0074), ("GB", 0.0077), ("BR", 0.0081), ("TW", 0.0028),
+                ("RO", 0.0119), ("ID", 0.0044), ("DE", 0.0061), ("IT", 0.0050),
+                ("GR", 0.0040), ("PL", 0.0036), ("CZ", 0.0031), ("IN", 0.0070),
+            ],
+        };
+        for &(c, r) in named {
+            if c == code {
+                return r;
+            }
+        }
+        // "Other" rows: 0.23% (study 1) / 0.70% (study 2).
+        match self.era {
+            StudyEra::Study1 => 0.0023,
+            StudyEra::Study2 => 0.0070,
+        }
+    }
+
+    /// Product weight for this era, adjusted by geographic bias.
+    fn weight(&self, spec: &ProductSpec, country: CountryCode) -> f64 {
+        let base = match self.era {
+            StudyEra::Study1 => spec.w1,
+            StudyEra::Study2 => spec.w2,
+        };
+        if base == 0.0 {
+            return 0.0;
+        }
+        let code = countries::info(country).code;
+        match spec.bias {
+            CountryBias::Global => base,
+            CountryBias::Boost(c, mult) => {
+                if c == "targeted" {
+                    if TARGETED.contains(&code) {
+                        base * mult
+                    } else {
+                        base
+                    }
+                } else if c == code {
+                    base * mult
+                } else {
+                    base
+                }
+            }
+            CountryBias::Only(c) => {
+                if c == code {
+                    base * 1000.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Sample which product intercepts a client in `country` (given that
+    /// interception occurs).
+    pub fn sample_product(&self, country: CountryCode, rng: &mut dyn RngCore64) -> ProductId {
+        let weights: Vec<f64> = self
+            .specs
+            .iter()
+            .map(|s| self.weight(s, country))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        debug_assert!(total > 0.0, "no products available for era");
+        let mut x = rng.gen_f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            x -= w;
+            if x <= 0.0 {
+                return ProductId(i as u16);
+            }
+        }
+        ProductId((self.specs.len() - 1) as u16)
+    }
+
+    /// Sample a full client profile.
+    pub fn sample_client(
+        &self,
+        country: CountryCode,
+        ip: Ipv4,
+        rng: &mut dyn RngCore64,
+    ) -> ClientProfile {
+        let product = if rng.gen_bool(self.proxy_rate(country)) {
+            Some(self.sample_product(country, rng))
+        } else {
+            None
+        };
+        ClientProfile {
+            country,
+            ip,
+            product,
+        }
+    }
+
+    /// True when the product operates from a single egress address (a
+    /// corporate NAT — the "DSP" pattern: 204 connections, one Irish
+    /// IP). Country-locked *telecoms* (LG UPLUS) intercept their own
+    /// subscribers and therefore appear from many addresses.
+    pub fn is_single_origin(&self, product: ProductId) -> bool {
+        let spec = &self.specs[product.0 as usize];
+        matches!(spec.bias, CountryBias::Only(_))
+            && spec.category == crate::products::ProxyCategory::Organization
+    }
+
+    /// The (lazily built, shared) substitute factory for a product.
+    pub fn factory(&self, product: ProductId) -> Rc<SubstituteFactory> {
+        let slot = &self.factories[product.0 as usize];
+        if slot.borrow().is_none() {
+            let f = Rc::new(SubstituteFactory::new(
+                product,
+                self.specs[product.0 as usize].clone(),
+            ));
+            *slot.borrow_mut() = Some(f);
+        }
+        slot.borrow().as_ref().expect("factory just built").clone()
+    }
+
+    /// Build the interceptor to install for a client running `product`.
+    pub fn make_proxy(&self, product: ProductId) -> TlsProxy {
+        let spec = &self.specs[product.0 as usize];
+        let whitelist = if spec.whitelists_popular {
+            self.popular_whitelist.clone()
+        } else {
+            Rc::new(HashSet::new())
+        };
+        TlsProxy::new(
+            self.factory(product),
+            self.public_roots.clone(),
+            whitelist,
+            self.now,
+        )
+    }
+
+    /// The root store for a client: factory roots plus, if intercepted,
+    /// the product's injected root (Figure 2c).
+    pub fn client_root_store(&self, profile: &ClientProfile) -> RootStore {
+        let mut store = RootStore::new();
+        for (cert, _) in self.public_roots.iter().map(|(c, o)| (c.clone(), o)) {
+            store.add_factory_root(cert);
+        }
+        if let Some(pid) = profile.product {
+            store.inject_root(self.factory(pid).root_cert().clone());
+        }
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlsfoe_crypto::drbg::Drbg;
+    use tlsfoe_geo::countries::by_code;
+
+    fn model(era: StudyEra) -> PopulationModel {
+        PopulationModel::new(era, Rc::new(RootStore::new()))
+    }
+
+    #[test]
+    fn rates_match_paper_tables() {
+        let m1 = model(StudyEra::Study1);
+        assert_eq!(m1.proxy_rate(by_code("US").unwrap()), 0.0079);
+        assert_eq!(m1.proxy_rate(by_code("FR").unwrap()), 0.0109);
+        assert_eq!(m1.proxy_rate(CountryCode(200)), 0.0023); // tail
+
+        let m2 = model(StudyEra::Study2);
+        assert_eq!(m2.proxy_rate(by_code("CN").unwrap()), 0.0002);
+        assert_eq!(m2.proxy_rate(by_code("RO").unwrap()), 0.0119);
+        assert_eq!(m2.proxy_rate(CountryCode(200)), 0.0070);
+    }
+
+    #[test]
+    fn china_has_exceptionally_low_rate() {
+        let m2 = model(StudyEra::Study2);
+        let cn = m2.proxy_rate(by_code("CN").unwrap());
+        let us = m2.proxy_rate(by_code("US").unwrap());
+        assert!(us / cn > 40.0, "US {us} vs CN {cn}");
+    }
+
+    #[test]
+    fn sampling_recovers_rate() {
+        let m = model(StudyEra::Study1);
+        let us = by_code("US").unwrap();
+        let mut rng = Drbg::new(1);
+        let n = 200_000;
+        let proxied = (0..n)
+            .filter(|_| {
+                m.sample_client(us, Ipv4([11, 0, 0, 1]), &mut rng)
+                    .product
+                    .is_some()
+            })
+            .count();
+        let rate = proxied as f64 / n as f64;
+        assert!((0.006..0.010).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn study1_never_samples_study2_only_products() {
+        let m = model(StudyEra::Study1);
+        let us = by_code("US").unwrap();
+        let mut rng = Drbg::new(2);
+        for _ in 0..2000 {
+            let pid = m.sample_product(us, &mut rng);
+            let spec = &m.specs()[pid.0 as usize];
+            assert!(spec.w1 > 0.0, "{} sampled in study 1", spec.display_name());
+        }
+    }
+
+    #[test]
+    fn psafe_is_brazil_heavy() {
+        let m = model(StudyEra::Study1);
+        let br = by_code("BR").unwrap();
+        let gb = by_code("GB").unwrap();
+        let mut rng = Drbg::new(3);
+        let count = |country, rng: &mut Drbg| {
+            (0..3000)
+                .filter(|_| {
+                    let pid = m.sample_product(country, rng);
+                    m.specs()[pid.0 as usize].display_name() == "PSafe Tecnologia S.A."
+                })
+                .count()
+        };
+        let in_br = count(br, &mut rng);
+        let in_gb = count(gb, &mut rng);
+        assert!(
+            in_br > 3 * in_gb.max(1),
+            "PSafe: BR {in_br} vs GB {in_gb}"
+        );
+    }
+
+    #[test]
+    fn dsp_only_in_ireland() {
+        let m = model(StudyEra::Study2);
+        let ie = by_code("IE").unwrap();
+        let us = by_code("US").unwrap();
+        let mut rng = Drbg::new(4);
+        let mut seen_in_ie = false;
+        for _ in 0..5000 {
+            let pid = m.sample_product(ie, &mut rng);
+            if m.specs()[pid.0 as usize].issuer_cn == Some("DSP") {
+                seen_in_ie = true;
+                break;
+            }
+        }
+        assert!(seen_in_ie, "DSP should dominate Irish interceptions");
+        for _ in 0..5000 {
+            let pid = m.sample_product(us, &mut rng);
+            assert_ne!(
+                m.specs()[pid.0 as usize].issuer_cn,
+                Some("DSP"),
+                "DSP must not appear outside IE"
+            );
+        }
+    }
+
+    #[test]
+    fn client_store_gains_injected_root_when_proxied() {
+        let m = model(StudyEra::Study1);
+        let profile = ClientProfile {
+            country: by_code("US").unwrap(),
+            ip: Ipv4([11, 0, 0, 1]),
+            product: Some(ProductId(0)),
+        };
+        let store = m.client_root_store(&profile);
+        assert!(store.has_injected_roots());
+
+        let clean = ClientProfile { product: None, ..profile };
+        assert!(!m.client_root_store(&clean).has_injected_roots());
+    }
+
+    #[test]
+    fn factories_are_shared() {
+        let m = model(StudyEra::Study1);
+        let a = m.factory(ProductId(0));
+        let b = m.factory(ProductId(0));
+        assert!(Rc::ptr_eq(&a, &b));
+    }
+}

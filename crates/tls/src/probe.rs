@@ -1,0 +1,346 @@
+//! The measurement probe (§3.2 of the paper).
+//!
+//! [`ProbeClient`] reproduces the Flash tool's behaviour byte for byte:
+//!
+//! 1. send a ClientHello (with SNI) to the target,
+//! 2. collect ServerHello and the **complete Certificate message** —
+//!    including multi-certificate chains,
+//! 3. abort: send a close_notify alert and close the connection — no key
+//!    exchange, no ChangeCipherSpec,
+//! 4. leave the captured chain in a shared [`ProbeOutcome`] cell for the
+//!    reporting stage.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tlsfoe_netsim::{Conduit, IoCtx};
+
+use crate::cipher::CipherSuite;
+use crate::handshake::{Alert, ClientHello, HandshakeMsg, HandshakeParser};
+use crate::record::{encode_records, ContentType, ProtocolVersion, RecordParser};
+
+/// Probe lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeState {
+    /// Dialed, nothing received yet.
+    Started,
+    /// ServerHello received.
+    GotServerHello,
+    /// Certificate captured; handshake aborted. Terminal success.
+    Done,
+    /// Connection closed / errored before a certificate was captured.
+    Failed,
+}
+
+/// Shared result cell, filled in by the probe conduit.
+#[derive(Debug)]
+pub struct ProbeOutcome {
+    /// Lifecycle state.
+    pub state: ProbeState,
+    /// Negotiated version from ServerHello.
+    pub server_version: Option<ProtocolVersion>,
+    /// Selected cipher suite from ServerHello.
+    pub cipher_suite: Option<CipherSuite>,
+    /// Captured DER chain, leaf first.
+    pub chain_der: Vec<Vec<u8>>,
+    /// Virtual time (µs) when the certificate was captured.
+    pub completed_at_us: Option<u64>,
+}
+
+impl ProbeOutcome {
+    /// Fresh pending outcome.
+    pub fn new() -> Rc<RefCell<ProbeOutcome>> {
+        Rc::new(RefCell::new(ProbeOutcome {
+            state: ProbeState::Started,
+            server_version: None,
+            cipher_suite: None,
+            chain_der: Vec::new(),
+            completed_at_us: None,
+        }))
+    }
+}
+
+/// The probing conduit.
+pub struct ProbeClient {
+    host: String,
+    version: ProtocolVersion,
+    random: [u8; 32],
+    outcome: Rc<RefCell<ProbeOutcome>>,
+    records: RecordParser,
+    handshakes: HandshakeParser,
+}
+
+impl ProbeClient {
+    /// Create a probe for `host` (used as SNI), writing into `outcome`.
+    ///
+    /// `random` seeds the ClientHello randomness — callers derive it from
+    /// the experiment DRBG for reproducibility.
+    pub fn new(host: &str, random: [u8; 32], outcome: Rc<RefCell<ProbeOutcome>>) -> Self {
+        ProbeClient {
+            host: host.to_string(),
+            version: ProtocolVersion::Tls10,
+            random,
+            outcome,
+            records: RecordParser::new(),
+            handshakes: HandshakeParser::new(),
+        }
+    }
+
+    /// Override the offered protocol version.
+    pub fn with_version(mut self, version: ProtocolVersion) -> Self {
+        self.version = version;
+        self
+    }
+
+    fn fail(&mut self) {
+        let mut o = self.outcome.borrow_mut();
+        if o.state != ProbeState::Done {
+            o.state = ProbeState::Failed;
+        }
+    }
+}
+
+impl Conduit for ProbeClient {
+    fn on_open(&mut self, io: &mut IoCtx<'_>) {
+        let hello = HandshakeMsg::ClientHello(ClientHello {
+            version: self.version,
+            random: self.random,
+            session_id: Vec::new(),
+            cipher_suites: CipherSuite::default_client_offer(),
+            server_name: Some(self.host.clone()),
+        })
+        .encode();
+        io.send(&encode_records(ContentType::Handshake, self.version, &hello));
+    }
+
+    fn on_data(&mut self, data: &[u8], io: &mut IoCtx<'_>) {
+        self.records.feed(data);
+        loop {
+            match self.records.next_record() {
+                Ok(Some(rec)) => match rec.content_type {
+                    ContentType::Handshake => {
+                        self.handshakes.feed(&rec.payload);
+                        loop {
+                            match self.handshakes.next_message() {
+                                Ok(Some(HandshakeMsg::ServerHello(sh))) => {
+                                    let mut o = self.outcome.borrow_mut();
+                                    o.state = ProbeState::GotServerHello;
+                                    o.server_version = Some(sh.version);
+                                    o.cipher_suite = Some(sh.cipher_suite);
+                                }
+                                Ok(Some(HandshakeMsg::Certificate(cm))) => {
+                                    {
+                                        let mut o = self.outcome.borrow_mut();
+                                        o.chain_der = cm.chain;
+                                        o.state = ProbeState::Done;
+                                        o.completed_at_us = Some(io.now_us());
+                                    }
+                                    // §3.2: abort the handshake and close.
+                                    io.send(&encode_records(
+                                        ContentType::Alert,
+                                        self.version,
+                                        &Alert::close_notify().encode(),
+                                    ));
+                                    io.close();
+                                    return;
+                                }
+                                Ok(Some(_)) => {}
+                                Ok(None) => break,
+                                Err(_) => {
+                                    self.fail();
+                                    io.close();
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                    ContentType::Alert => {
+                        self.fail();
+                        io.close();
+                        return;
+                    }
+                    _ => {}
+                },
+                Ok(None) => break,
+                Err(_) => {
+                    self.fail();
+                    io.close();
+                    return;
+                }
+            }
+        }
+    }
+
+    fn on_close(&mut self, _io: &mut IoCtx<'_>) {
+        self.fail();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServerConfig, TlsCertServer};
+    use tlsfoe_crypto::drbg::Drbg;
+    use tlsfoe_crypto::RsaKeyPair;
+    use tlsfoe_netsim::{Ipv4, Network, NetworkConfig};
+    use tlsfoe_x509::{Certificate, CertificateBuilder, NameBuilder};
+
+    fn server_chain(host: &str, seed: u64) -> Vec<Certificate> {
+        let ca = RsaKeyPair::generate(512, &mut Drbg::new(seed)).unwrap();
+        let leaf_key = RsaKeyPair::generate(512, &mut Drbg::new(seed + 1)).unwrap();
+        let ca_name = NameBuilder::new().organization("DigiCert Inc").build();
+        let ca_cert = CertificateBuilder::new()
+            .subject(ca_name.clone())
+            .ca(None)
+            .self_sign(&ca)
+            .unwrap();
+        let leaf = CertificateBuilder::new()
+            .issuer(ca_name)
+            .subject(NameBuilder::new().common_name(host).build())
+            .san_dns(&[host])
+            .sign(&leaf_key.public, &ca)
+            .unwrap();
+        vec![leaf, ca_cert]
+    }
+
+    #[test]
+    fn end_to_end_probe_captures_chain() {
+        let mut net = Network::new(NetworkConfig::default(), 1);
+        let srv = Ipv4([203, 0, 113, 1]);
+        let chain = server_chain("tlsresearch.byu.edu", 300);
+        let expected: Vec<Vec<u8>> = chain.iter().map(|c| c.to_der().to_vec()).collect();
+        let cfg = ServerConfig::new(chain);
+        net.listen(srv, 443, Box::new(move |_| Box::new(TlsCertServer::new(cfg.clone()))));
+
+        let outcome = ProbeOutcome::new();
+        net.dial_from(
+            Ipv4([198, 51, 100, 1]),
+            srv,
+            443,
+            Box::new(ProbeClient::new(
+                "tlsresearch.byu.edu",
+                [3u8; 32],
+                outcome.clone(),
+            )),
+        )
+        .unwrap();
+        net.run();
+
+        let o = outcome.borrow();
+        assert_eq!(o.state, ProbeState::Done);
+        assert_eq!(o.server_version, Some(ProtocolVersion::Tls10));
+        assert_eq!(o.chain_der, expected);
+        assert!(o.completed_at_us.is_some());
+        // The captured leaf parses and names the right host.
+        let leaf = Certificate::from_der(&o.chain_der[0]).unwrap();
+        assert!(leaf.matches_host("tlsresearch.byu.edu"));
+    }
+
+    #[test]
+    fn probe_fails_when_nothing_listens_is_a_dial_error() {
+        let mut net = Network::new(NetworkConfig::default(), 1);
+        let outcome = ProbeOutcome::new();
+        let err = net.dial_from(
+            Ipv4([198, 51, 100, 1]),
+            Ipv4([203, 0, 113, 9]),
+            443,
+            Box::new(ProbeClient::new("x", [0u8; 32], outcome.clone())),
+        );
+        assert!(err.is_err());
+        assert_eq!(outcome.borrow().state, ProbeState::Started);
+    }
+
+    #[test]
+    fn probe_fails_on_server_that_closes() {
+        struct SlamDoor;
+        impl Conduit for SlamDoor {
+            fn on_open(&mut self, _io: &mut IoCtx<'_>) {}
+            fn on_data(&mut self, _d: &[u8], io: &mut IoCtx<'_>) {
+                io.close();
+            }
+        }
+        let mut net = Network::new(NetworkConfig::default(), 1);
+        let srv = Ipv4([203, 0, 113, 1]);
+        net.listen(srv, 443, Box::new(|_| Box::new(SlamDoor)));
+        let outcome = ProbeOutcome::new();
+        net.dial_from(
+            Ipv4([198, 51, 100, 1]),
+            srv,
+            443,
+            Box::new(ProbeClient::new("x", [0u8; 32], outcome.clone())),
+        )
+        .unwrap();
+        net.run();
+        assert_eq!(outcome.borrow().state, ProbeState::Failed);
+    }
+
+    #[test]
+    fn probe_aborts_before_key_exchange() {
+        // The server session must observe an Alert (close_notify) right
+        // after serving its flight — i.e. the probe never continues.
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct RecordingServer {
+            inner: TlsCertServer,
+            saw_alert: Rc<RefCell<bool>>,
+        }
+        impl Conduit for RecordingServer {
+            fn on_open(&mut self, io: &mut IoCtx<'_>) {
+                self.inner.on_open(io);
+            }
+            fn on_data(&mut self, data: &[u8], io: &mut IoCtx<'_>) {
+                if data.first() == Some(&(ContentType::Alert as u8)) {
+                    *self.saw_alert.borrow_mut() = true;
+                }
+                self.inner.on_data(data, io);
+            }
+        }
+
+        let mut net = Network::new(NetworkConfig::default(), 1);
+        let srv = Ipv4([203, 0, 113, 1]);
+        let cfg = ServerConfig::new(server_chain("h.example", 310));
+        let saw_alert = Rc::new(RefCell::new(false));
+        net.listen(srv, 443, {
+            let saw_alert = saw_alert.clone();
+            Box::new(move |_| {
+                Box::new(RecordingServer {
+                    inner: TlsCertServer::new(cfg.clone()),
+                    saw_alert: saw_alert.clone(),
+                })
+            })
+        });
+        let outcome = ProbeOutcome::new();
+        net.dial_from(
+            Ipv4([198, 51, 100, 1]),
+            srv,
+            443,
+            Box::new(ProbeClient::new("h.example", [1u8; 32], outcome.clone())),
+        )
+        .unwrap();
+        net.run();
+        assert_eq!(outcome.borrow().state, ProbeState::Done);
+        assert!(*saw_alert.borrow(), "probe must abort with an alert");
+    }
+
+    #[test]
+    fn tls12_probe_negotiates_tls12() {
+        let mut net = Network::new(NetworkConfig::default(), 1);
+        let srv = Ipv4([203, 0, 113, 1]);
+        let cfg = ServerConfig::new(server_chain("h.example", 320));
+        net.listen(srv, 443, Box::new(move |_| Box::new(TlsCertServer::new(cfg.clone()))));
+        let outcome = ProbeOutcome::new();
+        net.dial_from(
+            Ipv4([198, 51, 100, 1]),
+            srv,
+            443,
+            Box::new(
+                ProbeClient::new("h.example", [1u8; 32], outcome.clone())
+                    .with_version(ProtocolVersion::Tls12),
+            ),
+        )
+        .unwrap();
+        net.run();
+        assert_eq!(outcome.borrow().server_version, Some(ProtocolVersion::Tls12));
+    }
+}

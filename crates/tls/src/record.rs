@@ -1,0 +1,255 @@
+//! The TLS record layer (RFC 5246 §6.2): framing, fragmentation and
+//! streaming reassembly.
+
+use crate::wire::{WireReader, WireWriter};
+use crate::TlsError;
+
+/// Maximum record payload (2^14).
+pub const MAX_RECORD_PAYLOAD: usize = 1 << 14;
+
+/// TLS record content types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ContentType {
+    /// ChangeCipherSpec (20) — never reached by the aborting probe.
+    ChangeCipherSpec = 20,
+    /// Alert (21).
+    Alert = 21,
+    /// Handshake (22).
+    Handshake = 22,
+    /// ApplicationData (23).
+    ApplicationData = 23,
+}
+
+impl ContentType {
+    /// Parse from the wire byte.
+    pub fn from_u8(v: u8) -> Result<Self, TlsError> {
+        match v {
+            20 => Ok(ContentType::ChangeCipherSpec),
+            21 => Ok(ContentType::Alert),
+            22 => Ok(ContentType::Handshake),
+            23 => Ok(ContentType::ApplicationData),
+            _ => Err(TlsError::Malformed("unknown record content type")),
+        }
+    }
+}
+
+/// Protocol versions of the measurement era.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProtocolVersion {
+    /// SSL 3.0 (3,0) — obsolete but still seen in 2014.
+    Ssl30,
+    /// TLS 1.0 (3,1) — what Flash 9's Socket-based handshake spoke.
+    Tls10,
+    /// TLS 1.1 (3,2).
+    Tls11,
+    /// TLS 1.2 (3,3).
+    Tls12,
+}
+
+impl ProtocolVersion {
+    /// (major, minor) wire bytes.
+    pub fn bytes(self) -> (u8, u8) {
+        match self {
+            ProtocolVersion::Ssl30 => (3, 0),
+            ProtocolVersion::Tls10 => (3, 1),
+            ProtocolVersion::Tls11 => (3, 2),
+            ProtocolVersion::Tls12 => (3, 3),
+        }
+    }
+
+    /// Parse from wire bytes.
+    pub fn from_bytes(major: u8, minor: u8) -> Result<Self, TlsError> {
+        match (major, minor) {
+            (3, 0) => Ok(ProtocolVersion::Ssl30),
+            (3, 1) => Ok(ProtocolVersion::Tls10),
+            (3, 2) => Ok(ProtocolVersion::Tls11),
+            (3, 3) => Ok(ProtocolVersion::Tls12),
+            _ => Err(TlsError::BadVersion(major, minor)),
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolVersion::Ssl30 => "SSLv3",
+            ProtocolVersion::Tls10 => "TLSv1.0",
+            ProtocolVersion::Tls11 => "TLSv1.1",
+            ProtocolVersion::Tls12 => "TLSv1.2",
+        }
+    }
+}
+
+/// A reassembled record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Content type.
+    pub content_type: ContentType,
+    /// Record-layer version.
+    pub version: ProtocolVersion,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Frame `payload` as one or more records (fragmenting at 2^14).
+pub fn encode_records(
+    content_type: ContentType,
+    version: ProtocolVersion,
+    payload: &[u8],
+) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    let (major, minor) = version.bytes();
+    let mut chunks: Vec<&[u8]> = payload.chunks(MAX_RECORD_PAYLOAD).collect();
+    if chunks.is_empty() {
+        chunks.push(&[]);
+    }
+    for chunk in chunks {
+        w.u8(content_type as u8);
+        w.u8(major);
+        w.u8(minor);
+        w.vec16(chunk);
+    }
+    w.finish()
+}
+
+/// Streaming record reassembler: feed arbitrary byte chunks, pop complete
+/// records.
+#[derive(Debug, Default)]
+pub struct RecordParser {
+    buf: Vec<u8>,
+}
+
+impl RecordParser {
+    /// New empty parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed received bytes.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes currently buffered (un-parsed).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pop the next complete record, if any.
+    pub fn next_record(&mut self) -> Result<Option<Record>, TlsError> {
+        if self.buf.len() < 5 {
+            return Ok(None);
+        }
+        let mut r = WireReader::new(&self.buf);
+        let ct = ContentType::from_u8(r.u8()?)?;
+        let major = r.u8()?;
+        let minor = r.u8()?;
+        let version = ProtocolVersion::from_bytes(major, minor)?;
+        let len = r.u16()? as usize;
+        if len > MAX_RECORD_PAYLOAD + 2048 {
+            return Err(TlsError::RecordOverflow);
+        }
+        if r.remaining() < len {
+            return Ok(None);
+        }
+        let payload = r.take(len)?.to_vec();
+        let consumed = 5 + len;
+        self.buf.drain(..consumed);
+        Ok(Some(Record {
+            content_type: ct,
+            version,
+            payload,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_record_roundtrip() {
+        let enc = encode_records(ContentType::Handshake, ProtocolVersion::Tls10, b"hello");
+        assert_eq!(&enc[..5], &[22, 3, 1, 0, 5]);
+        let mut p = RecordParser::new();
+        p.feed(&enc);
+        let rec = p.next_record().unwrap().unwrap();
+        assert_eq!(rec.content_type, ContentType::Handshake);
+        assert_eq!(rec.version, ProtocolVersion::Tls10);
+        assert_eq!(rec.payload, b"hello");
+        assert!(p.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn fragmentation_and_reassembly() {
+        // 40000 bytes → 3 records (16384 + 16384 + 7232).
+        let payload = vec![0x5au8; 40_000];
+        let enc = encode_records(ContentType::Handshake, ProtocolVersion::Tls12, &payload);
+        let mut p = RecordParser::new();
+        // Feed in awkward chunk sizes.
+        for chunk in enc.chunks(1000) {
+            p.feed(chunk);
+        }
+        let mut total = Vec::new();
+        let mut count = 0;
+        while let Some(rec) = p.next_record().unwrap() {
+            total.extend_from_slice(&rec.payload);
+            count += 1;
+        }
+        assert_eq!(count, 3);
+        assert_eq!(total, payload);
+    }
+
+    #[test]
+    fn partial_header_returns_none() {
+        let mut p = RecordParser::new();
+        p.feed(&[22, 3, 1]);
+        assert_eq!(p.next_record().unwrap(), None);
+        p.feed(&[0, 1]);
+        assert_eq!(p.next_record().unwrap(), None); // body missing
+        p.feed(&[0xff]);
+        assert!(p.next_record().unwrap().is_some());
+    }
+
+    #[test]
+    fn empty_payload_produces_one_record() {
+        let enc = encode_records(ContentType::Alert, ProtocolVersion::Tls10, &[]);
+        let mut p = RecordParser::new();
+        p.feed(&enc);
+        let rec = p.next_record().unwrap().unwrap();
+        assert!(rec.payload.is_empty());
+    }
+
+    #[test]
+    fn unknown_content_type_rejected() {
+        let mut p = RecordParser::new();
+        p.feed(&[99, 3, 1, 0, 0]);
+        assert!(p.next_record().is_err());
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut p = RecordParser::new();
+        p.feed(&[22, 9, 9, 0, 0]);
+        assert_eq!(p.next_record(), Err(TlsError::BadVersion(9, 9)));
+    }
+
+    #[test]
+    fn version_codec() {
+        for v in [
+            ProtocolVersion::Ssl30,
+            ProtocolVersion::Tls10,
+            ProtocolVersion::Tls11,
+            ProtocolVersion::Tls12,
+        ] {
+            let (maj, min) = v.bytes();
+            assert_eq!(ProtocolVersion::from_bytes(maj, min).unwrap(), v);
+        }
+        assert!(ProtocolVersion::from_bytes(2, 0).is_err());
+    }
+
+    #[test]
+    fn version_ordering() {
+        assert!(ProtocolVersion::Ssl30 < ProtocolVersion::Tls12);
+    }
+}

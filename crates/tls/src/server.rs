@@ -1,0 +1,187 @@
+//! The serving side: answer a ClientHello with ServerHello +
+//! Certificate + ServerHelloDone.
+//!
+//! Every probed host in the study (the authors' server and the 17
+//! Table-1 sites) runs a [`TlsCertServer`]; interception products embed
+//! the same responder for their client-facing leg, just with a substitute
+//! chain.
+
+use std::rc::Rc;
+
+use tlsfoe_netsim::{Conduit, IoCtx};
+use tlsfoe_x509::Certificate;
+
+use crate::cipher::CipherSuite;
+use crate::handshake::{Alert, CertificateMsg, HandshakeMsg, HandshakeParser, ServerHello};
+use crate::record::{encode_records, ContentType, ProtocolVersion, RecordParser};
+
+/// Immutable per-host serving configuration, shared by all sessions.
+#[derive(Debug)]
+pub struct ServerConfig {
+    /// Chain to present, leaf first.
+    pub chain: Vec<Certificate>,
+    /// Cipher suite to select.
+    pub cipher_suite: CipherSuite,
+    /// Server random (fixed per config; the probe never checks freshness
+    /// and determinism keeps experiments reproducible).
+    pub server_random: [u8; 32],
+}
+
+impl ServerConfig {
+    /// Config serving `chain` with the era's default RSA suite.
+    pub fn new(chain: Vec<Certificate>) -> Rc<ServerConfig> {
+        Rc::new(ServerConfig {
+            chain,
+            cipher_suite: CipherSuite::RSA_AES_128_CBC_SHA,
+            server_random: [0x42; 32],
+        })
+    }
+
+    /// Encode the ServerHello → Certificate → ServerHelloDone flight for
+    /// the given negotiated version.
+    pub fn hello_flight(&self, version: ProtocolVersion) -> Vec<u8> {
+        let mut handshake = HandshakeMsg::ServerHello(ServerHello {
+            version,
+            random: self.server_random,
+            session_id: vec![0xab; 8],
+            cipher_suite: self.cipher_suite,
+        })
+        .encode();
+        handshake.extend(
+            HandshakeMsg::Certificate(CertificateMsg {
+                chain: self.chain.iter().map(|c| c.to_der().to_vec()).collect(),
+            })
+            .encode(),
+        );
+        handshake.extend(HandshakeMsg::ServerHelloDone.encode());
+        encode_records(ContentType::Handshake, version, &handshake)
+    }
+}
+
+/// One server-side handshake session.
+pub struct TlsCertServer {
+    config: Rc<ServerConfig>,
+    records: RecordParser,
+    handshakes: HandshakeParser,
+    answered: bool,
+}
+
+impl TlsCertServer {
+    /// New session over the shared config.
+    pub fn new(config: Rc<ServerConfig>) -> Self {
+        TlsCertServer {
+            config,
+            records: RecordParser::new(),
+            handshakes: HandshakeParser::new(),
+            answered: false,
+        }
+    }
+}
+
+impl Conduit for TlsCertServer {
+    fn on_open(&mut self, _io: &mut IoCtx<'_>) {}
+
+    fn on_data(&mut self, data: &[u8], io: &mut IoCtx<'_>) {
+        self.records.feed(data);
+        loop {
+            match self.records.next_record() {
+                Ok(Some(rec)) => match rec.content_type {
+                    ContentType::Handshake => {
+                        self.handshakes.feed(&rec.payload);
+                        loop {
+                            match self.handshakes.next_message() {
+                                Ok(Some(HandshakeMsg::ClientHello(ch))) if !self.answered => {
+                                    self.answered = true;
+                                    // Negotiate: accept the client's version
+                                    // (all era versions serve identically
+                                    // for a certificate probe).
+                                    io.send(&self.config.hello_flight(ch.version));
+                                }
+                                Ok(Some(_)) => {} // ignore everything else
+                                Ok(None) => break,
+                                Err(_) => {
+                                    io.send(&encode_records(
+                                        ContentType::Alert,
+                                        ProtocolVersion::Tls10,
+                                        &Alert {
+                                            level: crate::handshake::AlertLevel::Fatal,
+                                            description: 50, // decode_error
+                                        }
+                                        .encode(),
+                                    ));
+                                    io.close();
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                    ContentType::Alert => {
+                        // close_notify or abort from the probe.
+                        io.close();
+                        return;
+                    }
+                    _ => {}
+                },
+                Ok(None) => break,
+                Err(_) => {
+                    io.close();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlsfoe_crypto::drbg::Drbg;
+    use tlsfoe_crypto::RsaKeyPair;
+    use tlsfoe_x509::{CertificateBuilder, NameBuilder};
+
+    fn chain() -> Vec<Certificate> {
+        let key = RsaKeyPair::generate(512, &mut Drbg::new(77)).unwrap();
+        vec![CertificateBuilder::new()
+            .subject(NameBuilder::new().common_name("h.example").build())
+            .self_sign(&key)
+            .unwrap()]
+    }
+
+    #[test]
+    fn hello_flight_parses_back() {
+        let cfg = ServerConfig::new(chain());
+        let flight = cfg.hello_flight(ProtocolVersion::Tls10);
+        let mut rp = RecordParser::new();
+        rp.feed(&flight);
+        let mut hp = HandshakeParser::new();
+        while let Some(rec) = rp.next_record().unwrap() {
+            assert_eq!(rec.content_type, ContentType::Handshake);
+            hp.feed(&rec.payload);
+        }
+        assert!(matches!(
+            hp.next_message().unwrap(),
+            Some(HandshakeMsg::ServerHello(_))
+        ));
+        match hp.next_message().unwrap() {
+            Some(HandshakeMsg::Certificate(c)) => {
+                assert_eq!(c.chain.len(), 1);
+                let cert = Certificate::from_der(&c.chain[0]).unwrap();
+                assert_eq!(cert.tbs.subject.common_name(), Some("h.example"));
+            }
+            other => panic!("expected Certificate, got {other:?}"),
+        }
+        assert_eq!(hp.next_message().unwrap(), Some(HandshakeMsg::ServerHelloDone));
+    }
+
+    #[test]
+    fn flight_respects_client_version() {
+        let cfg = ServerConfig::new(chain());
+        for v in [ProtocolVersion::Tls10, ProtocolVersion::Tls12] {
+            let flight = cfg.hello_flight(v);
+            let mut rp = RecordParser::new();
+            rp.feed(&flight);
+            let rec = rp.next_record().unwrap().unwrap();
+            assert_eq!(rec.version, v);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Big-endian primitive codec shared by every TLS message type.
+//!
+//! TLS vectors are length-prefixed with 1-, 2- or 3-byte lengths; this
+//! module provides a writer over `BytesMut` and a borrowing reader with
+//! exact truncation semantics.
+
+use crate::TlsError;
+use bytes::{BufMut, BytesMut};
+
+/// Append-only writer for TLS structures.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: BytesMut,
+}
+
+impl WireWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        WireWriter { buf: BytesMut::new() }
+    }
+
+    /// Finish, returning the raw bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Write one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Write a big-endian u16.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.put_u16(v);
+    }
+
+    /// Write a big-endian 24-bit value (panics if it doesn't fit).
+    pub fn u24(&mut self, v: u32) {
+        assert!(v < (1 << 24), "u24 overflow");
+        self.buf.put_u8((v >> 16) as u8);
+        self.buf.put_u16(v as u16);
+    }
+
+    /// Write raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.put_slice(v);
+    }
+
+    /// Write a vector with a 1-byte length prefix.
+    pub fn vec8(&mut self, v: &[u8]) {
+        assert!(v.len() <= u8::MAX as usize, "vec8 overflow");
+        self.u8(v.len() as u8);
+        self.bytes(v);
+    }
+
+    /// Write a vector with a 2-byte length prefix.
+    pub fn vec16(&mut self, v: &[u8]) {
+        assert!(v.len() <= u16::MAX as usize, "vec16 overflow");
+        self.u16(v.len() as u16);
+        self.bytes(v);
+    }
+
+    /// Write a vector with a 3-byte length prefix.
+    pub fn vec24(&mut self, v: &[u8]) {
+        self.u24(v.len() as u32);
+        self.bytes(v);
+    }
+
+    /// Write a length-prefixed body produced by a closure (2-byte length).
+    pub fn with_len16(&mut self, f: impl FnOnce(&mut WireWriter)) {
+        let mut inner = WireWriter::new();
+        f(&mut inner);
+        self.vec16(&inner.finish());
+    }
+
+    /// Write a length-prefixed body produced by a closure (3-byte length).
+    pub fn with_len24(&mut self, f: impl FnOnce(&mut WireWriter)) {
+        let mut inner = WireWriter::new();
+        f(&mut inner);
+        self.vec24(&inner.finish());
+    }
+}
+
+/// Borrowing reader with exact truncation semantics.
+#[derive(Debug, Clone)]
+pub struct WireReader<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Create a reader over `input`.
+    pub fn new(input: &'a [u8]) -> Self {
+        WireReader { input, pos: 0 }
+    }
+
+    /// Bytes left.
+    pub fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    /// True when fully consumed.
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, TlsError> {
+        let v = *self.input.get(self.pos).ok_or(TlsError::Truncated)?;
+        self.pos += 1;
+        Ok(v)
+    }
+
+    /// Read a big-endian u16.
+    pub fn u16(&mut self) -> Result<u16, TlsError> {
+        Ok(((self.u8()? as u16) << 8) | self.u8()? as u16)
+    }
+
+    /// Read a big-endian 24-bit value.
+    pub fn u24(&mut self) -> Result<u32, TlsError> {
+        Ok(((self.u8()? as u32) << 16) | self.u16()? as u32)
+    }
+
+    /// Read exactly `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], TlsError> {
+        if self.remaining() < n {
+            return Err(TlsError::Truncated);
+        }
+        let out = &self.input[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read a 1-byte-length-prefixed vector.
+    pub fn vec8(&mut self) -> Result<&'a [u8], TlsError> {
+        let n = self.u8()? as usize;
+        self.take(n)
+    }
+
+    /// Read a 2-byte-length-prefixed vector.
+    pub fn vec16(&mut self) -> Result<&'a [u8], TlsError> {
+        let n = self.u16()? as usize;
+        self.take(n)
+    }
+
+    /// Read a 3-byte-length-prefixed vector.
+    pub fn vec24(&mut self) -> Result<&'a [u8], TlsError> {
+        let n = self.u24()? as usize;
+        self.take(n)
+    }
+
+    /// Require all bytes consumed.
+    pub fn expect_done(&self) -> Result<(), TlsError> {
+        if self.is_done() {
+            Ok(())
+        } else {
+            Err(TlsError::Malformed("trailing bytes"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = WireWriter::new();
+        w.u8(0xab);
+        w.u16(0x1234);
+        w.u24(0x00de_adbe);
+        w.bytes(&[1, 2, 3]);
+        let out = w.finish();
+        let mut r = WireReader::new(&out);
+        assert_eq!(r.u8().unwrap(), 0xab);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u24().unwrap(), 0x00de_adbe);
+        assert_eq!(r.take(3).unwrap(), &[1, 2, 3]);
+        r.expect_done().unwrap();
+    }
+
+    #[test]
+    fn vectors_roundtrip() {
+        let mut w = WireWriter::new();
+        w.vec8(b"ab");
+        w.vec16(b"cdef");
+        w.vec24(b"ghi");
+        let out = w.finish();
+        let mut r = WireReader::new(&out);
+        assert_eq!(r.vec8().unwrap(), b"ab");
+        assert_eq!(r.vec16().unwrap(), b"cdef");
+        assert_eq!(r.vec24().unwrap(), b"ghi");
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut r = WireReader::new(&[0x05, 1, 2]);
+        assert_eq!(r.vec8(), Err(TlsError::Truncated));
+        let mut r = WireReader::new(&[]);
+        assert_eq!(r.u8(), Err(TlsError::Truncated));
+        let mut r = WireReader::new(&[0x01]);
+        assert_eq!(r.u16(), Err(TlsError::Truncated));
+    }
+
+    #[test]
+    fn closure_length_framing() {
+        let mut w = WireWriter::new();
+        w.with_len24(|w| {
+            w.u16(0xbeef);
+        });
+        assert_eq!(w.finish(), vec![0, 0, 2, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn trailing_bytes_flagged() {
+        let mut r = WireReader::new(&[1, 2]);
+        r.u8().unwrap();
+        assert!(r.expect_done().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "u24 overflow")]
+    fn u24_overflow_panics() {
+        WireWriter::new().u24(1 << 24);
+    }
+}

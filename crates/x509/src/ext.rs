@@ -1,0 +1,335 @@
+//! X.509 v3 extensions.
+//!
+//! Only the extensions that actually occur in the paper's corpus are
+//! modelled structurally (BasicConstraints, KeyUsage, SubjectAltName,
+//! Subject/Authority Key Identifier); anything else is carried as a raw
+//! (OID, critical, value) triple so parsing never loses data.
+
+use crate::X509Error;
+use tlsfoe_asn1::{oid::known, DerReader, DerWriter, Oid, Tag};
+
+/// A single X.509 v3 extension, with the known ones decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Extension {
+    /// BasicConstraints: `cA` flag and optional path length.
+    BasicConstraints {
+        /// Whether this certificate may act as a CA.
+        ca: bool,
+        /// Maximum number of intermediate CAs below this one.
+        path_len: Option<u64>,
+    },
+    /// KeyUsage bit string (first byte of the bit field, MSB first).
+    KeyUsage {
+        /// Raw key-usage bits; bit 5 (0x04 in byte 0) is keyCertSign.
+        bits: u16,
+    },
+    /// SubjectAltName limited to dNSName and iPAddress entries — the two
+    /// forms the paper's subject-mutation analysis cares about (§5.2
+    /// found wildcarded IP subjects and wrong-domain SANs).
+    SubjectAltName {
+        /// dNSName entries.
+        dns: Vec<String>,
+        /// iPAddress entries, rendered dotted-decimal.
+        ips: Vec<String>,
+    },
+    /// SubjectKeyIdentifier (opaque key hash).
+    SubjectKeyId(Vec<u8>),
+    /// AuthorityKeyIdentifier (keyIdentifier form only).
+    AuthorityKeyId(Vec<u8>),
+    /// Anything else, preserved raw.
+    Unknown {
+        /// Extension OID.
+        oid: Oid,
+        /// Criticality flag.
+        critical: bool,
+        /// Raw extnValue contents (inside the OCTET STRING).
+        value: Vec<u8>,
+    },
+}
+
+impl Extension {
+    /// KeyUsage bit for digitalSignature.
+    pub const KU_DIGITAL_SIGNATURE: u16 = 0x8000;
+    /// KeyUsage bit for keyEncipherment.
+    pub const KU_KEY_ENCIPHERMENT: u16 = 0x2000;
+    /// KeyUsage bit for keyCertSign.
+    pub const KU_KEY_CERT_SIGN: u16 = 0x0400;
+    /// KeyUsage bit for cRLSign.
+    pub const KU_CRL_SIGN: u16 = 0x0200;
+
+    /// The extension's OID.
+    pub fn oid(&self) -> Oid {
+        match self {
+            Extension::BasicConstraints { .. } => known::basic_constraints(),
+            Extension::KeyUsage { .. } => known::key_usage(),
+            Extension::SubjectAltName { .. } => known::subject_alt_name(),
+            Extension::SubjectKeyId(_) => known::subject_key_id(),
+            Extension::AuthorityKeyId(_) => known::authority_key_id(),
+            Extension::Unknown { oid, .. } => oid.clone(),
+        }
+    }
+
+    /// Whether this extension is marked critical when we encode it.
+    fn critical(&self) -> bool {
+        matches!(
+            self,
+            Extension::BasicConstraints { .. } | Extension::KeyUsage { .. }
+        )
+    }
+
+    /// Encode the extnValue content bytes (the DER that goes inside the
+    /// OCTET STRING).
+    fn value_der(&self) -> Vec<u8> {
+        let mut w = DerWriter::new();
+        match self {
+            Extension::BasicConstraints { ca, path_len } => {
+                w.sequence(|w| {
+                    if *ca {
+                        w.boolean(true);
+                    }
+                    if let Some(pl) = path_len {
+                        w.integer_u64(*pl);
+                    }
+                });
+            }
+            Extension::KeyUsage { bits } => {
+                // Encode as BIT STRING, trimming trailing zero bytes.
+                let bytes = bits.to_be_bytes();
+                if bytes[1] == 0 {
+                    let unused = bytes[0].trailing_zeros().min(7) as u8;
+                    w.bit_string_unused(&bytes[..1], unused);
+                } else {
+                    let unused = bytes[1].trailing_zeros().min(7) as u8;
+                    w.bit_string_unused(&bytes, unused);
+                }
+            }
+            Extension::SubjectAltName { dns, ips } => {
+                w.sequence(|w| {
+                    for name in dns {
+                        // dNSName is context tag [2], primitive.
+                        w.tlv(tlsfoe_asn1::context_primitive(2), name.as_bytes());
+                    }
+                    for ip in ips {
+                        let octets = parse_ipv4(ip).unwrap_or([0, 0, 0, 0]);
+                        // iPAddress is context tag [7], primitive.
+                        w.tlv(tlsfoe_asn1::context_primitive(7), &octets);
+                    }
+                });
+            }
+            Extension::SubjectKeyId(id) => {
+                w.octet_string(id);
+            }
+            Extension::AuthorityKeyId(id) => {
+                // AuthorityKeyIdentifier ::= SEQUENCE { keyIdentifier [0] }
+                w.sequence(|w| {
+                    w.tlv(tlsfoe_asn1::context_primitive(0), id);
+                });
+            }
+            Extension::Unknown { value, .. } => {
+                return value.clone();
+            }
+        }
+        w.finish()
+    }
+
+    /// Write this extension as the RFC 5280 `Extension` SEQUENCE.
+    pub fn write_der(&self, w: &mut DerWriter) {
+        let critical = match self {
+            Extension::Unknown { critical, .. } => *critical,
+            other => other.critical(),
+        };
+        w.sequence(|w| {
+            w.oid(&self.oid());
+            if critical {
+                w.boolean(true);
+            }
+            w.octet_string(&self.value_der());
+        });
+    }
+
+    /// Parse one `Extension` SEQUENCE.
+    pub fn read_der(r: &mut DerReader<'_>) -> Result<Extension, X509Error> {
+        let mut seq = r.read_sequence()?;
+        let oid = seq.read_oid()?;
+        let critical = if seq.peek_tag() == Some(Tag::Boolean.byte()) {
+            seq.read_boolean()?
+        } else {
+            false
+        };
+        let value = seq.read_octet_string()?;
+
+        if oid == known::basic_constraints() {
+            let mut r = DerReader::new(value);
+            let mut inner = r.read_sequence()?;
+            let ca = if inner.peek_tag() == Some(Tag::Boolean.byte()) {
+                inner.read_boolean()?
+            } else {
+                false
+            };
+            let path_len = if inner.peek_tag() == Some(Tag::Integer.byte()) {
+                Some(inner.read_integer_u64()?)
+            } else {
+                None
+            };
+            Ok(Extension::BasicConstraints { ca, path_len })
+        } else if oid == known::key_usage() {
+            let mut r = DerReader::new(value);
+            let (_, data) = r.read_bit_string()?;
+            let mut bits = 0u16;
+            if !data.is_empty() {
+                bits |= (data[0] as u16) << 8;
+            }
+            if data.len() > 1 {
+                bits |= data[1] as u16;
+            }
+            Ok(Extension::KeyUsage { bits })
+        } else if oid == known::subject_alt_name() {
+            let mut r = DerReader::new(value);
+            let mut inner = r.read_sequence()?;
+            let mut dns = Vec::new();
+            let mut ips = Vec::new();
+            while !inner.is_done() {
+                let el = inner.read_any()?;
+                if el.tag == tlsfoe_asn1::context_primitive(2) {
+                    dns.push(String::from_utf8_lossy(el.content).into_owned());
+                } else if el.tag == tlsfoe_asn1::context_primitive(7) && el.content.len() == 4 {
+                    ips.push(format!(
+                        "{}.{}.{}.{}",
+                        el.content[0], el.content[1], el.content[2], el.content[3]
+                    ));
+                }
+                // Other GeneralName forms are skipped (none in corpus).
+            }
+            Ok(Extension::SubjectAltName { dns, ips })
+        } else if oid == known::subject_key_id() {
+            let mut r = DerReader::new(value);
+            Ok(Extension::SubjectKeyId(r.read_octet_string()?.to_vec()))
+        } else if oid == known::authority_key_id() {
+            let mut r = DerReader::new(value);
+            let mut inner = r.read_sequence()?;
+            if inner.peek_tag() == Some(tlsfoe_asn1::context_primitive(0)) {
+                let el = inner.read_any()?;
+                Ok(Extension::AuthorityKeyId(el.content.to_vec()))
+            } else {
+                Ok(Extension::Unknown {
+                    oid,
+                    critical,
+                    value: value.to_vec(),
+                })
+            }
+        } else {
+            Ok(Extension::Unknown {
+                oid,
+                critical,
+                value: value.to_vec(),
+            })
+        }
+    }
+}
+
+fn parse_ipv4(s: &str) -> Option<[u8; 4]> {
+    let mut parts = s.split('.');
+    let mut out = [0u8; 4];
+    for slot in &mut out {
+        *slot = parts.next()?.parse().ok()?;
+    }
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(ext: &Extension) -> Extension {
+        let mut w = DerWriter::new();
+        ext.write_der(&mut w);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        let back = Extension::read_der(&mut r).unwrap();
+        r.expect_done().unwrap();
+        back
+    }
+
+    #[test]
+    fn basic_constraints_roundtrip() {
+        for ext in [
+            Extension::BasicConstraints { ca: true, path_len: None },
+            Extension::BasicConstraints { ca: true, path_len: Some(0) },
+            Extension::BasicConstraints { ca: false, path_len: None },
+        ] {
+            assert_eq!(roundtrip(&ext), ext);
+        }
+    }
+
+    #[test]
+    fn key_usage_roundtrip() {
+        for bits in [
+            Extension::KU_DIGITAL_SIGNATURE | Extension::KU_KEY_ENCIPHERMENT,
+            Extension::KU_KEY_CERT_SIGN | Extension::KU_CRL_SIGN,
+            0x8000u16,
+            0x0001u16,
+        ] {
+            let ext = Extension::KeyUsage { bits };
+            assert_eq!(roundtrip(&ext), ext);
+        }
+    }
+
+    #[test]
+    fn san_roundtrip() {
+        let ext = Extension::SubjectAltName {
+            dns: vec!["tlsresearch.byu.edu".into(), "*.byu.edu".into()],
+            ips: vec!["10.1.2.3".into()],
+        };
+        assert_eq!(roundtrip(&ext), ext);
+    }
+
+    #[test]
+    fn san_empty() {
+        let ext = Extension::SubjectAltName { dns: vec![], ips: vec![] };
+        assert_eq!(roundtrip(&ext), ext);
+    }
+
+    #[test]
+    fn key_ids_roundtrip() {
+        let ski = Extension::SubjectKeyId(vec![0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(roundtrip(&ski), ski);
+        let aki = Extension::AuthorityKeyId(vec![1, 2, 3]);
+        assert_eq!(roundtrip(&aki), aki);
+    }
+
+    #[test]
+    fn unknown_preserved() {
+        let ext = Extension::Unknown {
+            oid: Oid::new(&[1, 3, 6, 1, 4, 1, 99999, 1]),
+            critical: true,
+            value: vec![0x05, 0x00],
+        };
+        assert_eq!(roundtrip(&ext), ext);
+    }
+
+    #[test]
+    fn criticality_flags() {
+        // BasicConstraints encodes critical=true; SAN does not.
+        let mut w = DerWriter::new();
+        Extension::BasicConstraints { ca: true, path_len: None }.write_der(&mut w);
+        let der = w.finish();
+        assert!(der.windows(3).any(|w| w == [0x01, 0x01, 0xff]));
+
+        let mut w = DerWriter::new();
+        Extension::SubjectAltName { dns: vec!["a".into()], ips: vec![] }.write_der(&mut w);
+        let der = w.finish();
+        assert!(!der.windows(3).any(|w| w == [0x01, 0x01, 0xff]));
+    }
+
+    #[test]
+    fn ipv4_parsing() {
+        assert_eq!(parse_ipv4("1.2.3.4"), Some([1, 2, 3, 4]));
+        assert_eq!(parse_ipv4("255.255.255.0"), Some([255, 255, 255, 0]));
+        assert_eq!(parse_ipv4("1.2.3"), None);
+        assert_eq!(parse_ipv4("1.2.3.4.5"), None);
+        assert_eq!(parse_ipv4("1.2.3.999"), None);
+    }
+}

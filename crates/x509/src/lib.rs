@@ -1,0 +1,78 @@
+//! # tlsfoe-x509
+//!
+//! X.509 v3 certificates built on [`tlsfoe_asn1`] and [`tlsfoe_crypto`]:
+//!
+//! * [`name`] — distinguished names (the Issuer Organization field is the
+//!   paper's primary analysis dimension),
+//! * [`time`] — validity timestamps and UTCTime/GeneralizedTime codecs,
+//! * [`cert`] — `TBSCertificate` / `Certificate` parsing and serialization
+//!   (byte-exact, so chains can be compared and signatures verified),
+//! * [`builder`] — certificate minting, used both by the "legitimate CA"
+//!   and by every simulated interception product,
+//! * [`verify`] — chain validation against a [`verify::RootStore`],
+//!   including the root-injection behaviour that makes TLS proxies
+//!   invisible to browsers (paper §2, Figure 2c),
+//! * [`ext`] — the v3 extensions the corpus uses,
+//! * [`pem`] — base64/PEM armor; the original Flash tool POSTed PEM
+//!   concatenations back to the reporting server (§3.2), and ours does
+//!   the same.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod cert;
+pub mod ext;
+pub mod name;
+pub mod pem;
+pub mod time;
+pub mod verify;
+
+pub use builder::CertificateBuilder;
+pub use cert::{Certificate, SignatureAlgorithm, SubjectPublicKeyInfo};
+pub use name::{DistinguishedName, NameBuilder};
+pub use time::Time;
+pub use verify::{RootStore, ValidationError};
+
+/// Errors produced by the X.509 layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum X509Error {
+    /// DER-level problem.
+    Der(tlsfoe_asn1::DerError),
+    /// Crypto-level problem.
+    Crypto(tlsfoe_crypto::CryptoError),
+    /// Structure decoded but violated X.509 grammar.
+    Malformed(&'static str),
+    /// PEM armor problem.
+    Pem(&'static str),
+    /// Unsupported algorithm identifier.
+    UnsupportedAlgorithm(String),
+}
+
+impl From<tlsfoe_asn1::DerError> for X509Error {
+    fn from(e: tlsfoe_asn1::DerError) -> Self {
+        X509Error::Der(e)
+    }
+}
+
+impl From<tlsfoe_crypto::CryptoError> for X509Error {
+    fn from(e: tlsfoe_crypto::CryptoError) -> Self {
+        X509Error::Crypto(e)
+    }
+}
+
+impl core::fmt::Display for X509Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            X509Error::Der(e) => write!(f, "DER error: {e}"),
+            X509Error::Crypto(e) => write!(f, "crypto error: {e}"),
+            X509Error::Malformed(what) => write!(f, "malformed certificate: {what}"),
+            X509Error::Pem(what) => write!(f, "PEM error: {what}"),
+            X509Error::UnsupportedAlgorithm(oid) => {
+                write!(f, "unsupported algorithm: {oid}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for X509Error {}

@@ -1,0 +1,301 @@
+//! X.501 distinguished names.
+//!
+//! A [`DistinguishedName`] is an ordered list of (attribute-type,
+//! attribute-value) pairs — one attribute per RDN, which is what every
+//! certificate in the corpus uses. The paper's core analysis reads the
+//! **Issuer Organization** (`O=`), **Organizational Unit** (`OU=`) and
+//! **Common Name** (`CN=`) attributes of substitute certificates, so those
+//! have dedicated accessors. Null/absent organizations (7% of study-1
+//! proxies!) are represented simply by the attribute being missing.
+
+use crate::X509Error;
+use tlsfoe_asn1::{oid::known, DerReader, DerWriter, Oid};
+
+/// An ordered X.501 name: a sequence of single-attribute RDNs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct DistinguishedName {
+    /// The (type, value) pairs in encoding order.
+    pub attrs: Vec<(Oid, String)>,
+}
+
+impl DistinguishedName {
+    /// The empty name (used by some malware — flagged by analyzers).
+    pub fn empty() -> Self {
+        DistinguishedName { attrs: Vec::new() }
+    }
+
+    /// First value of the given attribute type, if present.
+    pub fn get(&self, oid: &Oid) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(o, _)| o == oid)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// `CN=` value.
+    pub fn common_name(&self) -> Option<&str> {
+        self.get(&known::common_name())
+    }
+
+    /// `O=` value — the paper's Issuer Organization field.
+    pub fn organization(&self) -> Option<&str> {
+        self.get(&known::organization())
+    }
+
+    /// `OU=` value.
+    pub fn organizational_unit(&self) -> Option<&str> {
+        self.get(&known::organizational_unit())
+    }
+
+    /// `C=` value.
+    pub fn country(&self) -> Option<&str> {
+        self.get(&known::country())
+    }
+
+    /// True if the name carries no attributes at all.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// DER-encode as `RDNSequence`.
+    pub fn write_der(&self, w: &mut DerWriter) {
+        w.sequence(|w| {
+            for (oid, value) in &self.attrs {
+                w.set(|w| {
+                    w.sequence(|w| {
+                        w.oid(oid);
+                        // PrintableString for pure printable ASCII, else
+                        // UTF8String — matching OpenSSL's default choice.
+                        if value.bytes().all(is_printable_string_char) {
+                            w.printable_string(value);
+                        } else {
+                            w.utf8_string(value);
+                        }
+                    });
+                });
+            }
+        });
+    }
+
+    /// Parse from an `RDNSequence`.
+    pub fn read_der(r: &mut DerReader<'_>) -> Result<Self, X509Error> {
+        let mut seq = r.read_sequence()?;
+        let mut attrs = Vec::new();
+        while !seq.is_done() {
+            let mut set = seq.read_set()?;
+            // DER SETs can technically hold several attributes; take all.
+            while !set.is_done() {
+                let mut atv = set.read_sequence()?;
+                let oid = atv.read_oid()?;
+                let value = atv.read_any_string()?;
+                attrs.push((oid, value));
+            }
+        }
+        Ok(DistinguishedName { attrs })
+    }
+}
+
+fn is_printable_string_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b" '()+,-./:=?".contains(&b)
+}
+
+impl core::fmt::Display for DistinguishedName {
+    /// OpenSSL-style one-line rendering: `C=US, O=DigiCert Inc, CN=...`.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.attrs.is_empty() {
+            return write!(f, "<empty>");
+        }
+        let mut first = true;
+        for (oid, value) in &self.attrs {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            let label = short_label(oid);
+            match label {
+                Some(l) => write!(f, "{l}={value}")?,
+                None => write!(f, "{}={value}", oid.dotted())?,
+            }
+        }
+        Ok(())
+    }
+}
+
+fn short_label(oid: &Oid) -> Option<&'static str> {
+    let o = oid;
+    if *o == known::common_name() {
+        Some("CN")
+    } else if *o == known::country() {
+        Some("C")
+    } else if *o == known::locality() {
+        Some("L")
+    } else if *o == known::state() {
+        Some("ST")
+    } else if *o == known::organization() {
+        Some("O")
+    } else if *o == known::organizational_unit() {
+        Some("OU")
+    } else if *o == known::email() {
+        Some("emailAddress")
+    } else {
+        None
+    }
+}
+
+/// Fluent constructor for [`DistinguishedName`].
+///
+/// ```
+/// use tlsfoe_x509::NameBuilder;
+/// let dn = NameBuilder::new()
+///     .country("US")
+///     .organization("DigiCert Inc")
+///     .common_name("DigiCert High Assurance CA-3")
+///     .build();
+/// assert_eq!(dn.organization(), Some("DigiCert Inc"));
+/// ```
+#[derive(Debug, Default)]
+pub struct NameBuilder {
+    attrs: Vec<(Oid, String)>,
+}
+
+impl NameBuilder {
+    /// Start an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `C=`.
+    pub fn country(mut self, v: &str) -> Self {
+        self.attrs.push((known::country(), v.to_string()));
+        self
+    }
+
+    /// Add `ST=`.
+    pub fn state(mut self, v: &str) -> Self {
+        self.attrs.push((known::state(), v.to_string()));
+        self
+    }
+
+    /// Add `L=`.
+    pub fn locality(mut self, v: &str) -> Self {
+        self.attrs.push((known::locality(), v.to_string()));
+        self
+    }
+
+    /// Add `O=`.
+    pub fn organization(mut self, v: &str) -> Self {
+        self.attrs.push((known::organization(), v.to_string()));
+        self
+    }
+
+    /// Add `OU=`.
+    pub fn organizational_unit(mut self, v: &str) -> Self {
+        self.attrs
+            .push((known::organizational_unit(), v.to_string()));
+        self
+    }
+
+    /// Add `CN=`.
+    pub fn common_name(mut self, v: &str) -> Self {
+        self.attrs.push((known::common_name(), v.to_string()));
+        self
+    }
+
+    /// Add an arbitrary attribute.
+    pub fn attr(mut self, oid: Oid, v: &str) -> Self {
+        self.attrs.push((oid, v.to_string()));
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> DistinguishedName {
+        DistinguishedName { attrs: self.attrs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DistinguishedName {
+        NameBuilder::new()
+            .country("US")
+            .organization("Bitdefender")
+            .organizational_unit("Bitdefender SSL Proxy")
+            .common_name("tlsresearch.byu.edu")
+            .build()
+    }
+
+    #[test]
+    fn accessors() {
+        let dn = sample();
+        assert_eq!(dn.country(), Some("US"));
+        assert_eq!(dn.organization(), Some("Bitdefender"));
+        assert_eq!(dn.organizational_unit(), Some("Bitdefender SSL Proxy"));
+        assert_eq!(dn.common_name(), Some("tlsresearch.byu.edu"));
+        assert!(!dn.is_empty());
+        assert!(DistinguishedName::empty().is_empty());
+        assert_eq!(DistinguishedName::empty().organization(), None);
+    }
+
+    #[test]
+    fn der_roundtrip() {
+        let dn = sample();
+        let mut w = DerWriter::new();
+        dn.write_der(&mut w);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        let back = DistinguishedName::read_der(&mut r).unwrap();
+        assert_eq!(back, dn);
+    }
+
+    #[test]
+    fn der_roundtrip_empty() {
+        let dn = DistinguishedName::empty();
+        let mut w = DerWriter::new();
+        dn.write_der(&mut w);
+        let der = w.finish();
+        assert_eq!(der, vec![0x30, 0x00]);
+        let mut r = DerReader::new(&der);
+        assert_eq!(DistinguishedName::read_der(&mut r).unwrap(), dn);
+    }
+
+    #[test]
+    fn non_ascii_uses_utf8string() {
+        let dn = NameBuilder::new().organization("PSafe Tecnologia S.A. ™").build();
+        let mut w = DerWriter::new();
+        dn.write_der(&mut w);
+        let der = w.finish();
+        // Find a UTF8String tag (0x0c) inside.
+        assert!(der.contains(&0x0c));
+        let mut r = DerReader::new(&der);
+        let back = DistinguishedName::read_der(&mut r).unwrap();
+        assert_eq!(back.organization(), Some("PSafe Tecnologia S.A. ™"));
+    }
+
+    #[test]
+    fn display_openssl_style() {
+        assert_eq!(
+            sample().to_string(),
+            "C=US, O=Bitdefender, OU=Bitdefender SSL Proxy, CN=tlsresearch.byu.edu"
+        );
+        assert_eq!(DistinguishedName::empty().to_string(), "<empty>");
+    }
+
+    #[test]
+    fn unknown_oid_displayed_dotted() {
+        let dn = NameBuilder::new()
+            .attr(Oid::new(&[1, 2, 3, 4]), "x")
+            .build();
+        assert_eq!(dn.to_string(), "1.2.3.4=x");
+    }
+
+    #[test]
+    fn duplicate_attribute_returns_first() {
+        let dn = NameBuilder::new()
+            .organization("First")
+            .organization("Second")
+            .build();
+        assert_eq!(dn.organization(), Some("First"));
+    }
+}

@@ -1,0 +1,211 @@
+//! PEM armor and base64, from scratch.
+//!
+//! The original Flash measurement tool concatenated every captured
+//! certificate in PEM format and POSTed the result to the reporting
+//! server (§3.2); [`encode_certificates`] / [`decode_certificates`]
+//! implement that exact wire format for our probe reports.
+
+use crate::cert::Certificate;
+use crate::X509Error;
+
+const B64_ALPHABET: &[u8; 64] =
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Base64-encode (standard alphabet, with padding).
+pub fn base64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(B64_ALPHABET[(triple >> 18) as usize & 0x3f] as char);
+        out.push(B64_ALPHABET[(triple >> 12) as usize & 0x3f] as char);
+        out.push(if chunk.len() > 1 {
+            B64_ALPHABET[(triple >> 6) as usize & 0x3f] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            B64_ALPHABET[triple as usize & 0x3f] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+fn b64_value(c: u8) -> Option<u32> {
+    match c {
+        b'A'..=b'Z' => Some((c - b'A') as u32),
+        b'a'..=b'z' => Some((c - b'a' + 26) as u32),
+        b'0'..=b'9' => Some((c - b'0' + 52) as u32),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Base64-decode, ignoring ASCII whitespace.
+pub fn base64_decode(text: &str) -> Result<Vec<u8>, X509Error> {
+    let mut out = Vec::with_capacity(text.len() / 4 * 3);
+    let mut acc = 0u32;
+    let mut bits = 0u32;
+    let mut padding = 0usize;
+    for &c in text.as_bytes() {
+        if c.is_ascii_whitespace() {
+            continue;
+        }
+        if c == b'=' {
+            padding += 1;
+            continue;
+        }
+        if padding > 0 {
+            return Err(X509Error::Pem("data after base64 padding"));
+        }
+        let v = b64_value(c).ok_or(X509Error::Pem("invalid base64 character"))?;
+        acc = (acc << 6) | v;
+        bits += 6;
+        if bits >= 8 {
+            bits -= 8;
+            out.push((acc >> bits) as u8);
+        }
+    }
+    if padding > 2 {
+        return Err(X509Error::Pem("too much base64 padding"));
+    }
+    Ok(out)
+}
+
+/// Wrap DER bytes in `-----BEGIN CERTIFICATE-----` armor with 64-column
+/// body lines.
+pub fn pem_encode(der: &[u8]) -> String {
+    let b64 = base64_encode(der);
+    let mut out = String::with_capacity(b64.len() + 64);
+    out.push_str("-----BEGIN CERTIFICATE-----\n");
+    for chunk in b64.as_bytes().chunks(64) {
+        out.push_str(core::str::from_utf8(chunk).expect("base64 is ASCII"));
+        out.push('\n');
+    }
+    out.push_str("-----END CERTIFICATE-----\n");
+    out
+}
+
+/// Extract every PEM certificate block from `text`, returning DER blobs.
+pub fn pem_decode_all(text: &str) -> Result<Vec<Vec<u8>>, X509Error> {
+    const BEGIN: &str = "-----BEGIN CERTIFICATE-----";
+    const END: &str = "-----END CERTIFICATE-----";
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(start) = rest.find(BEGIN) {
+        let after_begin = &rest[start + BEGIN.len()..];
+        let end = after_begin
+            .find(END)
+            .ok_or(X509Error::Pem("BEGIN without matching END"))?;
+        out.push(base64_decode(&after_begin[..end])?);
+        rest = &after_begin[end + END.len()..];
+    }
+    Ok(out)
+}
+
+/// Encode a chain as concatenated PEM — the probe's report body format.
+pub fn encode_certificates(chain: &[Certificate]) -> String {
+    chain.iter().map(|c| pem_encode(c.to_der())).collect()
+}
+
+/// Decode a concatenated-PEM report body back into certificates.
+pub fn decode_certificates(text: &str) -> Result<Vec<Certificate>, X509Error> {
+    pem_decode_all(text)?
+        .into_iter()
+        .map(|der| Certificate::from_der(&der))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CertificateBuilder;
+    use crate::name::NameBuilder;
+    use tlsfoe_crypto::drbg::Drbg;
+    use tlsfoe_crypto::RsaKeyPair;
+
+    #[test]
+    fn base64_rfc4648_vectors() {
+        assert_eq!(base64_encode(b""), "");
+        assert_eq!(base64_encode(b"f"), "Zg==");
+        assert_eq!(base64_encode(b"fo"), "Zm8=");
+        assert_eq!(base64_encode(b"foo"), "Zm9v");
+        assert_eq!(base64_encode(b"foob"), "Zm9vYg==");
+        assert_eq!(base64_encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn base64_decode_vectors() {
+        assert_eq!(base64_decode("").unwrap(), b"");
+        assert_eq!(base64_decode("Zg==").unwrap(), b"f");
+        assert_eq!(base64_decode("Zm9vYmFy").unwrap(), b"foobar");
+        assert_eq!(base64_decode("Zm9v\nYmFy").unwrap(), b"foobar");
+        assert!(base64_decode("Z!==").is_err());
+        assert!(base64_decode("Zg==Zg").is_err());
+    }
+
+    #[test]
+    fn base64_roundtrip_binary() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(base64_decode(&base64_encode(&data)).unwrap(), data);
+        for len in 0..20 {
+            let d = vec![0xabu8; len];
+            assert_eq!(base64_decode(&base64_encode(&d)).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn pem_armor_roundtrip() {
+        let der = vec![0x30, 0x03, 0x02, 0x01, 0x05];
+        let pem = pem_encode(&der);
+        assert!(pem.starts_with("-----BEGIN CERTIFICATE-----\n"));
+        assert!(pem.ends_with("-----END CERTIFICATE-----\n"));
+        let blocks = pem_decode_all(&pem).unwrap();
+        assert_eq!(blocks, vec![der]);
+    }
+
+    #[test]
+    fn long_body_wraps_at_64_columns() {
+        let der = vec![0x5a; 200];
+        let pem = pem_encode(&der);
+        for line in pem.lines() {
+            assert!(line.len() <= 64 || line.starts_with("-----"));
+        }
+        assert_eq!(pem_decode_all(&pem).unwrap()[0], der);
+    }
+
+    #[test]
+    fn certificate_chain_roundtrip() {
+        let key = RsaKeyPair::generate(512, &mut Drbg::new(200)).unwrap();
+        let a = CertificateBuilder::new()
+            .subject(NameBuilder::new().common_name("a").build())
+            .self_sign(&key)
+            .unwrap();
+        let b = CertificateBuilder::new()
+            .serial_u64(2)
+            .subject(NameBuilder::new().common_name("b").build())
+            .self_sign(&key)
+            .unwrap();
+        let report = encode_certificates(&[a.clone(), b.clone()]);
+        let parsed = decode_certificates(&report).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], a);
+        assert_eq!(parsed[1], b);
+    }
+
+    #[test]
+    fn unterminated_block_rejected() {
+        assert!(pem_decode_all("-----BEGIN CERTIFICATE-----\nZm9v\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_yields_no_blocks() {
+        assert!(pem_decode_all("no pem here").unwrap().is_empty());
+    }
+}

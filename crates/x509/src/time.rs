@@ -1,0 +1,262 @@
+//! Certificate validity timestamps.
+//!
+//! [`Time`] is seconds since the Unix epoch (UTC). Conversions to and from
+//! the calendar use Howard Hinnant's `days_from_civil` algorithms, so no
+//! external time crate is needed and the simulator's clock arithmetic is
+//! exact. DER encoding follows RFC 5280: UTCTime for years in
+//! [1950, 2050), GeneralizedTime outside.
+
+use crate::X509Error;
+use tlsfoe_asn1::{DerReader, DerWriter};
+
+/// A point in time: seconds since 1970-01-01T00:00:00Z.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub i64);
+
+/// Broken-down UTC calendar time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Civil {
+    /// Full year (e.g. 2014).
+    pub year: i64,
+    /// Month 1–12.
+    pub month: u8,
+    /// Day of month 1–31.
+    pub day: u8,
+    /// Hour 0–23.
+    pub hour: u8,
+    /// Minute 0–59.
+    pub minute: u8,
+    /// Second 0–59.
+    pub second: u8,
+}
+
+/// Days since the epoch for a civil date (Hinnant's algorithm).
+fn days_from_civil(y: i64, m: u8, d: u8) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (m as i64 + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146097 + doe - 719468
+}
+
+/// Civil date for days since the epoch (Hinnant's algorithm).
+fn civil_from_days(z: i64) -> (i64, u8, u8) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097;
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u8;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+impl Time {
+    /// Build from a UTC calendar date/time.
+    pub fn from_ymd_hms(year: i64, month: u8, day: u8, hour: u8, minute: u8, second: u8) -> Self {
+        let days = days_from_civil(year, month, day);
+        Time(days * 86400 + hour as i64 * 3600 + minute as i64 * 60 + second as i64)
+    }
+
+    /// Convenience: midnight UTC on a date.
+    pub fn from_ymd(year: i64, month: u8, day: u8) -> Self {
+        Self::from_ymd_hms(year, month, day, 0, 0, 0)
+    }
+
+    /// Break down into calendar components.
+    pub fn civil(self) -> Civil {
+        let days = self.0.div_euclid(86400);
+        let secs = self.0.rem_euclid(86400);
+        let (year, month, day) = civil_from_days(days);
+        Civil {
+            year,
+            month,
+            day,
+            hour: (secs / 3600) as u8,
+            minute: (secs % 3600 / 60) as u8,
+            second: (secs % 60) as u8,
+        }
+    }
+
+    /// Add a number of days.
+    pub fn plus_days(self, days: i64) -> Time {
+        Time(self.0 + days * 86400)
+    }
+
+    /// Add a number of seconds.
+    pub fn plus_seconds(self, secs: i64) -> Time {
+        Time(self.0 + secs)
+    }
+
+    /// Write as DER (UTCTime within [1950,2050), else GeneralizedTime).
+    pub fn write_der(self, w: &mut DerWriter) {
+        let c = self.civil();
+        if (1950..2050).contains(&c.year) {
+            let yy = c.year % 100;
+            w.utc_time(&format!(
+                "{:02}{:02}{:02}{:02}{:02}{:02}Z",
+                yy, c.month, c.day, c.hour, c.minute, c.second
+            ));
+        } else {
+            w.generalized_time(&format!(
+                "{:04}{:02}{:02}{:02}{:02}{:02}Z",
+                c.year, c.month, c.day, c.hour, c.minute, c.second
+            ));
+        }
+    }
+
+    /// Parse from a DER time element.
+    pub fn read_der(r: &mut DerReader<'_>) -> Result<Time, X509Error> {
+        let s = r.read_time()?;
+        Self::parse_ascii(&s)
+    }
+
+    /// Parse `YYMMDDHHMMSSZ` (UTCTime) or `YYYYMMDDHHMMSSZ`
+    /// (GeneralizedTime).
+    pub fn parse_ascii(s: &str) -> Result<Time, X509Error> {
+        let bytes = s.as_bytes();
+        let (year, rest): (i64, &[u8]) = match bytes.len() {
+            13 if bytes[12] == b'Z' => {
+                let yy = parse_2(&bytes[0..2])? as i64;
+                // RFC 5280: two-digit years 00-49 are 20xx, 50-99 are 19xx.
+                let year = if yy < 50 { 2000 + yy } else { 1900 + yy };
+                (year, &bytes[2..12])
+            }
+            15 if bytes[14] == b'Z' => {
+                let y = parse_2(&bytes[0..2])? as i64 * 100 + parse_2(&bytes[2..4])? as i64;
+                (y, &bytes[4..14])
+            }
+            _ => return Err(X509Error::Malformed("bad time string length")),
+        };
+        let month = parse_2(&rest[0..2])?;
+        let day = parse_2(&rest[2..4])?;
+        let hour = parse_2(&rest[4..6])?;
+        let minute = parse_2(&rest[6..8])?;
+        let second = parse_2(&rest[8..10])?;
+        if !(1..=12).contains(&month) || !(1..=31).contains(&day) || hour > 23 || minute > 59
+            || second > 60
+        {
+            return Err(X509Error::Malformed("time component out of range"));
+        }
+        Ok(Time::from_ymd_hms(year, month, day, hour, minute, second))
+    }
+}
+
+fn parse_2(b: &[u8]) -> Result<u8, X509Error> {
+    if b.len() != 2 || !b[0].is_ascii_digit() || !b[1].is_ascii_digit() {
+        return Err(X509Error::Malformed("non-digit in time"));
+    }
+    Ok((b[0] - b'0') * 10 + (b[1] - b'0'))
+}
+
+impl core::fmt::Display for Time {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let c = self.civil();
+        write!(
+            f,
+            "{:04}-{:02}-{:02}T{:02}:{:02}:{:02}Z",
+            c.year, c.month, c.day, c.hour, c.minute, c.second
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_1970() {
+        let c = Time(0).civil();
+        assert_eq!((c.year, c.month, c.day), (1970, 1, 1));
+        assert_eq!((c.hour, c.minute, c.second), (0, 0, 0));
+    }
+
+    #[test]
+    fn known_timestamps() {
+        // 2014-01-06 00:00:00 UTC = 1388966400 (study 1 start).
+        assert_eq!(Time::from_ymd(2014, 1, 6).0, 1_388_966_400);
+        // 2014-10-08 16:00:00 MDT = 22:00 UTC (study 2 start).
+        assert_eq!(Time::from_ymd_hms(2014, 10, 8, 22, 0, 0).0, 1_412_805_600);
+    }
+
+    #[test]
+    fn civil_roundtrip_across_leap_years() {
+        for &(y, m, d) in &[
+            (1999i64, 12u8, 31u8),
+            (2000, 2, 29),
+            (2014, 1, 6),
+            (2014, 10, 15),
+            (2016, 2, 29),
+            (2100, 3, 1),
+            (1950, 1, 1),
+        ] {
+            let t = Time::from_ymd(y, m, d);
+            let c = t.civil();
+            assert_eq!((c.year, c.month, c.day), (y, m, d));
+        }
+    }
+
+    #[test]
+    fn der_roundtrip_utctime() {
+        let t = Time::from_ymd_hms(2014, 10, 8, 16, 30, 5);
+        let mut w = DerWriter::new();
+        t.write_der(&mut w);
+        let der = w.finish();
+        assert_eq!(der[0], 0x17); // UTCTime
+        let mut r = DerReader::new(&der);
+        assert_eq!(Time::read_der(&mut r).unwrap(), t);
+    }
+
+    #[test]
+    fn der_roundtrip_generalized() {
+        let t = Time::from_ymd(2060, 6, 1);
+        let mut w = DerWriter::new();
+        t.write_der(&mut w);
+        let der = w.finish();
+        assert_eq!(der[0], 0x18); // GeneralizedTime
+        let mut r = DerReader::new(&der);
+        assert_eq!(Time::read_der(&mut r).unwrap(), t);
+    }
+
+    #[test]
+    fn two_digit_year_pivot() {
+        // 49 → 2049, 50 → 1950 per RFC 5280.
+        let t49 = Time::parse_ascii("490101000000Z").unwrap();
+        assert_eq!(t49.civil().year, 2049);
+        let t50 = Time::parse_ascii("500101000000Z").unwrap();
+        assert_eq!(t50.civil().year, 1950);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Time::parse_ascii("not a time").is_err());
+        assert!(Time::parse_ascii("141306000000Z").is_err()); // month 13
+        assert!(Time::parse_ascii("1410010000000").is_err()); // no Z
+        assert!(Time::parse_ascii("14100100000aZ").is_err()); // non-digit
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::from_ymd(2014, 1, 6);
+        assert_eq!(t.plus_days(24), Time::from_ymd(2014, 1, 30));
+        assert_eq!(t.plus_seconds(3600).civil().hour, 1);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(
+            Time::from_ymd_hms(2014, 10, 8, 22, 0, 0).to_string(),
+            "2014-10-08T22:00:00Z"
+        );
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time::from_ymd(2014, 1, 6) < Time::from_ymd(2014, 10, 8));
+        assert!(Time(0) < Time(1));
+    }
+}

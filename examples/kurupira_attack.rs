@@ -1,0 +1,56 @@
+//! The Kurupira attack (§5.2): a parental filter that *masks* forged
+//! certificates, letting an attacker MitM its users invisibly.
+//!
+//! Walks through the paper's lab finding step by step:
+//! 1. an attacker MitMs the path with a self-signed certificate —
+//!    a bare client's browser would warn;
+//! 2. behind Kurupira, the filter fetches the forged upstream cert,
+//!    does NOT validate it, and re-signs with its own (victim-trusted)
+//!    root — the warning disappears;
+//! 3. behind Bitdefender, the same attack is blocked outright.
+//!
+//! Run: `cargo run --release --example kurupira_attack`
+
+use tlsfoe::core::audit::{audit_product, AuditVerdict};
+use tlsfoe::core::hosts::HostCatalog;
+use tlsfoe::population::model::{PopulationModel, StudyEra};
+use tlsfoe::population::products::ProductId;
+
+fn product(model: &PopulationModel, name: &str) -> ProductId {
+    ProductId(
+        model
+            .specs()
+            .iter()
+            .position(|s| s.display_name() == name)
+            .unwrap_or_else(|| panic!("{name} not in catalog")) as u16,
+    )
+}
+
+fn main() {
+    let catalog = HostCatalog::study1();
+    let model = PopulationModel::new(StudyEra::Study1, catalog.public_roots.clone());
+
+    println!("scenario: an attacker MitMs victim-bank.example with a self-signed cert\n");
+
+    let bare = audit_product(&model, None);
+    println!("bare client:        {:?} — the browser warns, attack visible", bare);
+    assert_eq!(bare, AuditVerdict::UntrustedWarning);
+
+    let kurupira = audit_product(&model, Some(product(&model, "Kurupira.NET")));
+    println!(
+        "behind Kurupira:    {:?} — forged cert replaced by a TRUSTED one; the attack is invisible (!)",
+        kurupira
+    );
+    assert_eq!(kurupira, AuditVerdict::MaskedTrusted);
+
+    let bitdefender = audit_product(&model, Some(product(&model, "Bitdefender")));
+    println!(
+        "behind Bitdefender: {:?} — connection refused; the user is protected",
+        bitdefender
+    );
+    assert_eq!(bitdefender, AuditVerdict::Blocked);
+
+    println!(
+        "\n=> the same MitM mechanism yields opposite security outcomes depending on\n   the product's upstream-validation policy — the paper's friend-or-foe point."
+    );
+}

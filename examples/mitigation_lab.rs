@@ -1,0 +1,82 @@
+//! Mitigation lab (§7 as an executable survey): pit certificate
+//! pinning, multi-path notaries and a CT-style log against a live
+//! TLS proxy, interactively showing what each defence sees.
+//!
+//! Run: `cargo run --release --example mitigation_lab`
+
+use std::rc::Rc;
+
+use tlsfoe::core::hosts::HostCatalog;
+use tlsfoe::mitigation::ctlog::CtLog;
+use tlsfoe::mitigation::notary::{Notary, NotaryVerdict};
+use tlsfoe::mitigation::pinning::{PinPolicy, PinStore, PinVerdict};
+use tlsfoe::netsim::Ipv4;
+use tlsfoe::population::model::{ClientProfile, PopulationModel, StudyEra};
+use tlsfoe::population::products::ProductId;
+
+fn main() {
+    let catalog = HostCatalog::study2();
+    let model = PopulationModel::new(StudyEra::Study2, catalog.public_roots.clone());
+    let host = &catalog.hosts[0];
+    let genuine = &host.chain[0];
+
+    // A Superfish-infected client (the ad-injecting malware of §6.4).
+    let superfish = ProductId(
+        model
+            .specs()
+            .iter()
+            .position(|s| s.display_name() == "Superfish, Inc.")
+            .expect("catalog product") as u16,
+    );
+    let factory = model.factory(superfish);
+    let substitute = factory.substitute_chain(host.name, host.ip, Some(genuine));
+    let victim = ClientProfile {
+        country: tlsfoe::geo::countries::by_code("US").expect("US registered"),
+        ip: Ipv4([11, 0, 0, 8]),
+        product: Some(superfish),
+    };
+    let victim_roots = Rc::new(model.client_root_store(&victim));
+
+    println!("victim sees:  {}", substitute[0]);
+    println!("genuine cert: {genuine}\n");
+
+    // Browser chain validation on the victim machine: the lock appears.
+    victim_roots
+        .validate(&substitute, host.name, model.now())
+        .expect("victim's browser shows the lock — that's the problem");
+    println!("victim's browser: VALID (lock icon) — interception invisible\n");
+
+    // 1. Strict pinning.
+    let mut strict = PinStore::new(PinPolicy::Strict);
+    strict.preload(host.name, genuine);
+    let v = strict.check(host.name, &substitute, &victim_roots);
+    println!("strict pin (TACK-style):   {v:?}");
+    assert_eq!(v, PinVerdict::Violation);
+
+    // 2. Chrome-style pinning — bypassed by the injected root (§7).
+    let mut chrome = PinStore::new(PinPolicy::BypassLocalRoots);
+    chrome.preload(host.name, genuine);
+    let v = chrome.check(host.name, &substitute, &victim_roots);
+    println!("chrome pin (local bypass): {v:?}  <- the §7 loophole");
+    assert_eq!(v, PinVerdict::BypassedByLocalRoot);
+
+    // 3. Multi-path notary: vantage points see the genuine cert.
+    let notary = Notary::new(5, 0.6);
+    let observations: Vec<Vec<u8>> = (0..5).map(|_| genuine.to_der().to_vec()).collect();
+    let v = notary.verdict(&substitute[0], &observations);
+    println!("multi-path notary:         {v:?}");
+    assert_eq!(v, NotaryVerdict::ClientPathMitm);
+
+    // 4. CT-style log: the substitute was never logged.
+    let mut log = CtLog::new();
+    let idx = log.append(genuine);
+    let proof = log.prove_inclusion(idx);
+    assert!(CtLog::verify_inclusion(genuine, &proof, &log.root()));
+    println!(
+        "CT log:                    genuine logged+proved; substitute in log? {}",
+        log.contains(&substitute[0])
+    );
+    assert!(!log.contains(&substitute[0]));
+
+    println!("\n=> every defence except Chrome-style pinning catches the proxy;\n   none of them can tell a benevolent firewall from Superfish.");
+}

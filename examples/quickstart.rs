@@ -1,0 +1,88 @@
+//! Quickstart: detect a TLS proxy in five steps.
+//!
+//! Builds a tiny world — one HTTPS server with a legitimate certificate,
+//! one client running an SSL-scanning firewall — runs the paper's
+//! measurement probe from the client, and shows the certificate
+//! mismatch that reveals the proxy.
+//!
+//! Run: `cargo run --example quickstart`
+
+use std::rc::Rc;
+
+use tlsfoe::netsim::{Ipv4, Network, NetworkConfig};
+use tlsfoe::population::model::{PopulationModel, StudyEra};
+use tlsfoe::population::products::ProductId;
+use tlsfoe::tls::probe::{ProbeOutcome, ProbeState};
+use tlsfoe::tls::server::{ServerConfig, TlsCertServer};
+use tlsfoe::tls::ProbeClient;
+use tlsfoe::x509::{Certificate, NameBuilder, CertificateBuilder, RootStore};
+use tlsfoe::crypto::drbg::Drbg;
+use tlsfoe::crypto::RsaKeyPair;
+
+fn main() {
+    // 1. A legitimate web PKI: CA root + a server certificate.
+    let mut rng = Drbg::new(7);
+    let ca_key = RsaKeyPair::generate(1024, &mut rng).expect("CA keygen");
+    let leaf_key = RsaKeyPair::generate(1024, &mut rng).expect("leaf keygen");
+    let ca_name = NameBuilder::new().organization("Demo Root CA").build();
+    let ca_cert = CertificateBuilder::new()
+        .subject(ca_name.clone())
+        .ca(None)
+        .self_sign(&ca_key)
+        .expect("CA cert");
+    let server_cert = CertificateBuilder::new()
+        .issuer(ca_name)
+        .subject(NameBuilder::new().common_name("bank.example").build())
+        .san_dns(&["bank.example"])
+        .sign(&leaf_key.public, &ca_key)
+        .expect("server cert");
+    let mut roots = RootStore::new();
+    roots.add_factory_root(ca_cert.clone());
+
+    // 2. A network with that server listening on 443.
+    let mut net = Network::new(NetworkConfig::default(), 1);
+    let server_ip = Ipv4([203, 0, 113, 1]);
+    let client_ip = Ipv4([11, 0, 0, 1]);
+    let config = ServerConfig::new(vec![server_cert.clone(), ca_cert]);
+    net.listen(server_ip, 443, Box::new(move |_| Box::new(TlsCertServer::new(config.clone()))));
+
+    // 3. Install an interception product on the client's path — here
+    //    Bitdefender's SSL-scanning feature from the paper's catalog.
+    let model = PopulationModel::new(StudyEra::Study1, Rc::new(roots));
+    let bitdefender = ProductId(
+        model
+            .specs()
+            .iter()
+            .position(|s| s.display_name() == "Bitdefender")
+            .expect("catalog product") as u16,
+    );
+    net.install_interceptor(client_ip, Box::new(model.make_proxy(bitdefender)));
+
+    // 4. Run the paper's probe: ClientHello → capture Certificate → abort.
+    let outcome = ProbeOutcome::new();
+    net.dial_from(
+        client_ip,
+        server_ip,
+        443,
+        Box::new(ProbeClient::new("bank.example", [42; 32], outcome.clone())),
+    )
+    .expect("server reachable");
+    net.run();
+
+    // 5. Compare what the client saw with what the server serves.
+    let o = outcome.borrow();
+    assert_eq!(o.state, ProbeState::Done, "probe must complete");
+    let captured = Certificate::from_der(&o.chain_der[0]).expect("captured cert parses");
+    println!("authoritative certificate: {server_cert}");
+    println!("client actually received:  {captured}");
+    if captured.to_der() != server_cert.to_der() {
+        println!("\n=> MISMATCH: this connection is TLS-proxied!");
+        println!(
+            "   substitute issuer organization: {:?}",
+            captured.tbs.issuer.organization()
+        );
+        println!("   substitute key size: {} bits", captured.key_bits());
+    } else {
+        println!("\n=> certificates match; no proxy on path");
+    }
+}

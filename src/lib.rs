@@ -1,0 +1,26 @@
+//! # tlsfoe — "TLS Proxies: Friend or Foe?" reproduction
+//!
+//! Umbrella crate re-exporting every subsystem of the workspace, so that
+//! examples, integration tests and downstream users can depend on a single
+//! crate:
+//!
+//! ```
+//! use tlsfoe::crypto::HashAlg;
+//! assert_eq!(HashAlg::Sha256.digest_len(), 32);
+//! ```
+//!
+//! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
+//! the paper-vs-measured record of every reproduced table and figure.
+
+#![forbid(unsafe_code)]
+
+pub use tlsfoe_adsim as adsim;
+pub use tlsfoe_asn1 as asn1;
+pub use tlsfoe_core as core;
+pub use tlsfoe_crypto as crypto;
+pub use tlsfoe_geo as geo;
+pub use tlsfoe_mitigation as mitigation;
+pub use tlsfoe_netsim as netsim;
+pub use tlsfoe_population as population;
+pub use tlsfoe_tls as tls;
+pub use tlsfoe_x509 as x509;

@@ -1,0 +1,200 @@
+//! Property-based tests (proptest) over the workspace's core data
+//! structures and codecs: bignum arithmetic, base64/PEM, DER framing,
+//! TLS record reassembly, time conversion and hostname matching.
+
+use proptest::prelude::*;
+
+use tlsfoe::crypto::bigint::Ubig;
+use tlsfoe::tls::record::{encode_records, ContentType, ProtocolVersion, RecordParser};
+use tlsfoe::x509::cert::host_matches_pattern;
+use tlsfoe::x509::pem;
+use tlsfoe::x509::Time;
+use tlsfoe_asn1::{DerReader, DerWriter};
+
+proptest! {
+    // ---- bignum vs u128 reference semantics -------------------------------
+
+    #[test]
+    fn ubig_add_matches_u128(a in 0u128..u128::MAX / 2, b in 0u128..u128::MAX / 2) {
+        let ua = Ubig::from_bytes_be(&a.to_be_bytes());
+        let ub = Ubig::from_bytes_be(&b.to_be_bytes());
+        let sum = ua.add(&ub);
+        prop_assert_eq!(sum, Ubig::from_bytes_be(&(a + b).to_be_bytes()));
+    }
+
+    #[test]
+    fn ubig_mul_matches_u128(a in 0u64.., b in 0u64..) {
+        let ua = Ubig::from_u64(a);
+        let ub = Ubig::from_u64(b);
+        let prod = ua.mul(&ub);
+        let expected = (a as u128) * (b as u128);
+        prop_assert_eq!(prod, Ubig::from_bytes_be(&expected.to_be_bytes()));
+    }
+
+    #[test]
+    fn ubig_div_rem_reconstructs(a in any::<u128>(), b in 1u128..) {
+        let ua = Ubig::from_bytes_be(&a.to_be_bytes());
+        let ub = Ubig::from_bytes_be(&b.to_be_bytes());
+        let (q, r) = ua.div_rem(&ub).unwrap();
+        prop_assert!(r < ub);
+        prop_assert_eq!(q.mul(&ub).add(&r), ua);
+    }
+
+    #[test]
+    fn ubig_div_rem_reconstructs_multilimb(a in proptest::collection::vec(any::<u8>(), 1..64),
+                                           b in proptest::collection::vec(any::<u8>(), 1..32)) {
+        let ua = Ubig::from_bytes_be(&a);
+        let ub = Ubig::from_bytes_be(&b);
+        prop_assume!(!ub.is_zero());
+        let (q, r) = ua.div_rem(&ub).unwrap();
+        prop_assert!(r < ub);
+        prop_assert_eq!(q.mul(&ub).add(&r), ua);
+    }
+
+    #[test]
+    fn ubig_bytes_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..100)) {
+        let n = Ubig::from_bytes_be(&bytes);
+        let back = Ubig::from_bytes_be(&n.to_bytes_be());
+        prop_assert_eq!(n, back);
+    }
+
+    #[test]
+    fn ubig_shift_roundtrip(v in any::<u128>(), shift in 0usize..200) {
+        let n = Ubig::from_bytes_be(&v.to_be_bytes());
+        prop_assert_eq!(n.shl(shift).shr(shift), n);
+    }
+
+    #[test]
+    fn ubig_modpow_fermat_holds(a in 2u64..10_000) {
+        // a^(p-1) ≡ 1 (mod p) for prime p not dividing a.
+        let p = Ubig::from_u64(1_000_003);
+        let base = Ubig::from_u64(a % 1_000_003);
+        prop_assume!(!base.is_zero());
+        let one = base.modpow(&Ubig::from_u64(1_000_002), &p).unwrap();
+        prop_assert_eq!(one, Ubig::one());
+    }
+
+    // ---- base64 / PEM ------------------------------------------------------
+
+    #[test]
+    fn base64_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..500)) {
+        let enc = pem::base64_encode(&data);
+        prop_assert_eq!(pem::base64_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn pem_roundtrip(data in proptest::collection::vec(any::<u8>(), 1..300)) {
+        let armored = pem::pem_encode(&data);
+        let blocks = pem::pem_decode_all(&armored).unwrap();
+        prop_assert_eq!(blocks, vec![data]);
+    }
+
+    // ---- DER framing --------------------------------------------------------
+
+    #[test]
+    fn der_octet_string_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..1000)) {
+        let mut w = DerWriter::new();
+        w.octet_string(&data);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        prop_assert_eq!(r.read_octet_string().unwrap(), data.as_slice());
+        r.expect_done().unwrap();
+    }
+
+    #[test]
+    fn der_integer_roundtrip(v in any::<u64>()) {
+        let mut w = DerWriter::new();
+        w.integer_u64(v);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        prop_assert_eq!(r.read_integer_u64().unwrap(), v);
+    }
+
+    #[test]
+    fn der_reader_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+        // Fuzz the decoder: any byte soup must produce Ok or Err, never
+        // a panic or an infinite loop.
+        let mut r = DerReader::new(&data);
+        for _ in 0..50 {
+            if r.read_any().is_err() || r.is_done() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn der_string_roundtrip(s in "[ -~]{0,100}") {
+        let mut w = DerWriter::new();
+        w.utf8_string(&s);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        prop_assert_eq!(r.read_any_string().unwrap(), s);
+    }
+
+    // ---- TLS record layer ----------------------------------------------------
+
+    #[test]
+    fn record_reassembly_any_chunking(payload in proptest::collection::vec(any::<u8>(), 0..5000),
+                                      chunk in 1usize..600) {
+        let enc = encode_records(ContentType::Handshake, ProtocolVersion::Tls10, &payload);
+        let mut p = RecordParser::new();
+        let mut got = Vec::new();
+        for piece in enc.chunks(chunk) {
+            p.feed(piece);
+            while let Some(rec) = p.next_record().unwrap() {
+                got.extend_from_slice(&rec.payload);
+            }
+        }
+        prop_assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn record_parser_never_panics(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let mut p = RecordParser::new();
+        p.feed(&data);
+        for _ in 0..20 {
+            match p.next_record() {
+                Ok(Some(_)) => continue,
+                _ => break,
+            }
+        }
+    }
+
+    // ---- Time -------------------------------------------------------------------
+
+    #[test]
+    fn time_civil_roundtrip(secs in -2_000_000_000i64..4_000_000_000i64) {
+        let t = Time(secs);
+        let c = t.civil();
+        let back = Time::from_ymd_hms(c.year, c.month, c.day, c.hour, c.minute, c.second);
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn time_der_roundtrip(secs in 0i64..2_500_000_000i64) {
+        let t = Time(secs);
+        let mut w = DerWriter::new();
+        t.write_der(&mut w);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        prop_assert_eq!(Time::read_der(&mut r).unwrap(), t);
+    }
+
+    // ---- hostname matching ---------------------------------------------------------
+
+    #[test]
+    fn exact_host_always_matches_itself(host in "[a-z]{1,10}(\\.[a-z]{1,10}){0,3}") {
+        prop_assert!(host_matches_pattern(&host, &host));
+    }
+
+    #[test]
+    fn wildcard_matches_single_label(label in "[a-z]{1,10}", suffix in "[a-z]{1,8}\\.[a-z]{2,4}") {
+        let pattern = format!("*.{suffix}");
+        let host = format!("{label}.{suffix}");
+        prop_assert!(host_matches_pattern(&pattern, &host));
+        // …but not the bare suffix, and not two labels deep.
+        prop_assert!(!host_matches_pattern(&pattern, &suffix));
+        let deep = format!("a.{label}.{suffix}");
+        prop_assert!(!host_matches_pattern(&pattern, &deep));
+    }
+}
