@@ -20,10 +20,7 @@ pub struct Economics {
 impl Economics {
     /// Economics for the global (untargeted) campaign.
     pub fn global() -> Economics {
-        Economics {
-            cpm_usd: 1.224,
-            ctr: 0.00165,
-        }
+        Economics { cpm_usd: 1.224, ctr: 0.00165 }
     }
 
     /// Economics for a country-targeted campaign, calibrated from the
@@ -68,10 +65,7 @@ mod tests {
         let n = 100_000;
         let total: f64 = (0..n).map(|_| eco.sample_price(10.0, &mut rng)).sum();
         let effective_cpm = total / n as f64 * 1000.0;
-        assert!(
-            (1.15..1.30).contains(&effective_cpm),
-            "effective CPM {effective_cpm}"
-        );
+        assert!((1.15..1.30).contains(&effective_cpm), "effective CPM {effective_cpm}");
     }
 
     #[test]

@@ -138,28 +138,31 @@ impl Campaign {
                 cost += price;
                 let clicked = eco.sample_click(rng);
                 clicks += clicked as u64;
-                impressions.push(Impression {
-                    country,
-                    day,
-                    clicked,
-                });
+                impressions.push(Impression { country, day, clicked });
             }
         }
-        CampaignOutcome {
-            name: self.name.clone(),
-            impressions,
-            clicks,
-            cost_usd: cost,
-        }
+        CampaignOutcome { name: self.name.clone(), impressions, clicks, cost_usd: cost }
     }
 }
 
 /// The study-1 keyword list (§4.1).
 pub fn study1_keywords() -> Vec<String> {
     [
-        "Nelson Mandela", "Sports", "Basketball", "NSA", "Internet", "Freedom",
-        "Paul Walker", "Security", "LeBron James", "Haiyan", "Snowden",
-        "PlayStation 4", "Miley Cyrus", "Xbox One", "iPhone 5s",
+        "Nelson Mandela",
+        "Sports",
+        "Basketball",
+        "NSA",
+        "Internet",
+        "Freedom",
+        "Paul Walker",
+        "Security",
+        "LeBron James",
+        "Haiyan",
+        "Snowden",
+        "PlayStation 4",
+        "Miley Cyrus",
+        "Xbox One",
+        "iPhone 5s",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -169,11 +172,26 @@ pub fn study1_keywords() -> Vec<String> {
 /// The study-2 keyword list (§4.2).
 pub fn study2_keywords() -> Vec<String> {
     [
-        "Nelson Mandela", "Sports", "Internet Security", "Basketball", "Football",
-        "Freedom", "NCAA", "Paul Walker", "Boston Marathon", "Election",
-        "North Korea", "Harlem Shake", "PlayStation 4", "Royal Baby",
-        "Cory Monteith", "iPhone 6", "iPhone 5s", "Samsung Galaxy S4",
-        "iPhone 6 Plus", "TLS Proxies",
+        "Nelson Mandela",
+        "Sports",
+        "Internet Security",
+        "Basketball",
+        "Football",
+        "Freedom",
+        "NCAA",
+        "Paul Walker",
+        "Boston Marathon",
+        "Election",
+        "North Korea",
+        "Harlem Shake",
+        "PlayStation 4",
+        "Royal Baby",
+        "Cory Monteith",
+        "iPhone 6",
+        "iPhone 5s",
+        "Samsung Galaxy S4",
+        "iPhone 6 Plus",
+        "TLS Proxies",
     ]
     .iter()
     .map(|s| s.to_string())

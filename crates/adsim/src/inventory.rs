@@ -28,10 +28,7 @@ impl Inventory {
             cumulative.push((acc, code));
         }
         assert!(acc > 0.0, "inventory weights sum to zero");
-        Inventory {
-            cumulative,
-            total: acc,
-        }
+        Inventory { cumulative, total: acc }
     }
 
     /// The study-1-era global inventory: weights proportional to the
@@ -53,11 +50,7 @@ impl Inventory {
         let mut weights: Vec<(CountryCode, f64)> = table
             .iter()
             .map(|&(code, w)| {
-                (
-                    countries::by_code(code)
-                        .unwrap_or_else(|| panic!("unknown country {code}")),
-                    w,
-                )
+                (countries::by_code(code).unwrap_or_else(|| panic!("unknown country {code}")), w)
             })
             .collect();
         // Spread the "Other" aggregate uniformly over tail territories.
@@ -72,10 +65,8 @@ impl Inventory {
     /// Sample one impression's country.
     pub fn sample(&self, rng: &mut dyn RngCore64) -> CountryCode {
         let x = rng.gen_f64() * self.total;
-        let idx = self
-            .cumulative
-            .partition_point(|&(acc, _)| acc < x)
-            .min(self.cumulative.len() - 1);
+        let idx =
+            self.cumulative.partition_point(|&(acc, _)| acc < x).min(self.cumulative.len() - 1);
         self.cumulative[idx].1
     }
 

@@ -68,11 +68,7 @@ impl Oid {
 
     /// Dotted-decimal rendering ("2.5.4.3").
     pub fn dotted(&self) -> String {
-        self.0
-            .iter()
-            .map(|a| a.to_string())
-            .collect::<Vec<_>>()
-            .join(".")
+        self.0.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(".")
     }
 }
 

@@ -62,10 +62,7 @@ impl<'a> DerReader<'a> {
     pub fn read_expected(&mut self, tag: u8) -> Result<&'a [u8], DerError> {
         match self.peek_tag() {
             Some(t) if t == tag => Ok(self.read_any()?.content),
-            Some(t) => Err(DerError::UnexpectedTag {
-                expected: tag,
-                found: t,
-            }),
+            Some(t) => Err(DerError::UnexpectedTag { expected: tag, found: t }),
             None => Err(DerError::Truncated),
         }
     }
@@ -137,9 +134,8 @@ impl<'a> DerReader<'a> {
     /// Read a BIT STRING, returning `(unused_bits, data)`.
     pub fn read_bit_string(&mut self) -> Result<(u8, &'a [u8]), DerError> {
         let content = self.read_expected(Tag::BitString.byte())?;
-        let (&unused, data) = content
-            .split_first()
-            .ok_or(DerError::Malformed("empty BIT STRING"))?;
+        let (&unused, data) =
+            content.split_first().ok_or(DerError::Malformed("empty BIT STRING"))?;
         if unused > 7 {
             return Err(DerError::Malformed("BIT STRING unused bits > 7"));
         }
@@ -182,10 +178,7 @@ impl<'a> DerReader<'a> {
             {
                 Ok(String::from_utf8_lossy(el.content).into_owned())
             }
-            t => Err(DerError::UnexpectedTag {
-                expected: Tag::Utf8String.byte(),
-                found: t,
-            }),
+            t => Err(DerError::UnexpectedTag { expected: Tag::Utf8String.byte(), found: t }),
         }
     }
 
@@ -195,10 +188,7 @@ impl<'a> DerReader<'a> {
         if el.tag == Tag::UtcTime.byte() || el.tag == Tag::GeneralizedTime.byte() {
             Ok(String::from_utf8_lossy(el.content).into_owned())
         } else {
-            Err(DerError::UnexpectedTag {
-                expected: Tag::UtcTime.byte(),
-                found: el.tag,
-            })
+            Err(DerError::UnexpectedTag { expected: Tag::UtcTime.byte(), found: el.tag })
         }
     }
 
@@ -280,30 +270,21 @@ mod tests {
     #[test]
     fn truncated_input() {
         assert_eq!(DerReader::new(&[0x30]).read_any(), Err(DerError::Truncated));
-        assert_eq!(
-            DerReader::new(&[0x30, 0x05, 0x01]).read_any(),
-            Err(DerError::Truncated)
-        );
+        assert_eq!(DerReader::new(&[0x30, 0x05, 0x01]).read_any(), Err(DerError::Truncated));
         assert_eq!(DerReader::new(&[]).read_any(), Err(DerError::Truncated));
     }
 
     #[test]
     fn rejects_indefinite_and_nonminimal_lengths() {
         // 0x80 = indefinite length.
-        assert_eq!(
-            DerReader::new(&[0x04, 0x80, 0x00, 0x00]).read_any(),
-            Err(DerError::BadLength)
-        );
+        assert_eq!(DerReader::new(&[0x04, 0x80, 0x00, 0x00]).read_any(), Err(DerError::BadLength));
         // 0x81 0x05 is non-minimal (5 < 0x80 fits short form).
         assert_eq!(
             DerReader::new(&[0x04, 0x81, 0x05, 1, 2, 3, 4, 5]).read_any(),
             Err(DerError::BadLength)
         );
         // Leading zero length byte.
-        assert_eq!(
-            DerReader::new(&[0x04, 0x82, 0x00, 0x81]).read_any(),
-            Err(DerError::BadLength)
-        );
+        assert_eq!(DerReader::new(&[0x04, 0x82, 0x00, 0x81]).read_any(), Err(DerError::BadLength));
     }
 
     #[test]
@@ -314,10 +295,7 @@ mod tests {
         let mut r = DerReader::new(&der);
         assert_eq!(
             r.read_octet_string(),
-            Err(DerError::UnexpectedTag {
-                expected: 0x04,
-                found: 0x02
-            })
+            Err(DerError::UnexpectedTag { expected: 0x04, found: 0x02 })
         );
     }
 

@@ -239,10 +239,7 @@ mod tests {
             w.integer_u64(1);
             w.sequence(|w| w.null());
         });
-        assert_eq!(
-            w.finish(),
-            vec![0x30, 0x07, 0x02, 0x01, 0x01, 0x30, 0x02, 0x05, 0x00]
-        );
+        assert_eq!(w.finish(), vec![0x30, 0x07, 0x02, 0x01, 0x01, 0x30, 0x02, 0x05, 0x00]);
     }
 
     #[test]

@@ -1,9 +1,11 @@
-//! Substrate performance: digests, record codec, DER, certificate
-//! parse/build/validate.
+//! Substrate performance: bignum exponentiation (Montgomery vs
+//! schoolbook), RSA sign/verify at the paper's key sizes, digests,
+//! record codec, DER, certificate parse/build/validate.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use tlsfoe_crypto::drbg::Drbg;
-use tlsfoe_crypto::{md5, sha1, sha256, HashAlg, RsaKeyPair};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tlsfoe_crypto::bigint::Ubig;
+use tlsfoe_crypto::drbg::{Drbg, RngCore64};
+use tlsfoe_crypto::{md5, sha1, sha256, HashAlg, MontgomeryCtx, RsaKeyPair};
 use tlsfoe_tls::record::{encode_records, ContentType, ProtocolVersion, RecordParser};
 use tlsfoe_x509::verify::demo_hierarchy;
 use tlsfoe_x509::{pem, Certificate, RootStore, Time};
@@ -41,9 +43,7 @@ fn bench_certificates(c: &mut Criterion) {
     let (root, intermediate, leaf) = demo_hierarchy(&rk, &ik, &lk, "h.example").unwrap();
     let leaf_der = leaf.to_der().to_vec();
 
-    c.bench_function("cert_parse", |b| {
-        b.iter(|| Certificate::from_der(&leaf_der).unwrap())
-    });
+    c.bench_function("cert_parse", |b| b.iter(|| Certificate::from_der(&leaf_der).unwrap()));
     c.bench_function("cert_sign_sha1_1024", |b| {
         b.iter(|| rk.sign(HashAlg::Sha1, &leaf_der).unwrap())
     });
@@ -59,5 +59,67 @@ fn bench_certificates(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_digests, bench_records, bench_certificates);
+fn bench_modpow(c: &mut Criterion) {
+    // The crypto hot path itself: full-size private-exponent modpow, with
+    // the seed's schoolbook square-and-multiply as the baseline.
+    let mut g = c.benchmark_group("modpow");
+    g.sample_size(10);
+    for bits in [512usize, 1024, 2048] {
+        let key = RsaKeyPair::generate(bits, &mut Drbg::new(bits as u64)).unwrap();
+        let n = &key.public.n;
+        let mut rng = Drbg::new(7 * bits as u64);
+        let mut base_bytes = vec![0u8; bits / 8];
+        rng.fill_bytes(&mut base_bytes);
+        let base = Ubig::from_bytes_be(&base_bytes).rem(n).unwrap();
+
+        g.bench_with_input(BenchmarkId::new("montgomery", bits), &bits, |b, _| {
+            b.iter(|| base.modpow(&key.d, n).unwrap())
+        });
+        let ctx = MontgomeryCtx::new(n).unwrap();
+        g.bench_with_input(BenchmarkId::new("montgomery_cached_ctx", bits), &bits, |b, _| {
+            b.iter(|| ctx.modpow(&base, &key.d).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("schoolbook", bits), &bits, |b, _| {
+            b.iter(|| base.modpow_schoolbook(&key.d, n).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_rsa_sign_verify(c: &mut Criterion) {
+    let msg = b"tbs certificate bytes stand-in";
+    let mut sign_group = c.benchmark_group("rsa_sign");
+    sign_group.sample_size(10);
+    for bits in [512usize, 1024, 2048] {
+        let key = RsaKeyPair::generate(bits, &mut Drbg::new(bits as u64)).unwrap();
+        let mut no_crt = key.clone();
+        no_crt.crt = None;
+        sign_group.bench_with_input(BenchmarkId::new("crt", bits), &bits, |b, _| {
+            b.iter(|| key.sign(HashAlg::Sha1, msg).unwrap())
+        });
+        sign_group.bench_with_input(BenchmarkId::new("no_crt", bits), &bits, |b, _| {
+            b.iter(|| no_crt.sign(HashAlg::Sha1, msg).unwrap())
+        });
+    }
+    sign_group.finish();
+
+    let mut verify_group = c.benchmark_group("rsa_verify");
+    for bits in [512usize, 1024, 2048] {
+        let key = RsaKeyPair::generate(bits, &mut Drbg::new(bits as u64)).unwrap();
+        let sig = key.sign(HashAlg::Sha1, msg).unwrap();
+        verify_group.bench_with_input(BenchmarkId::new("e65537", bits), &bits, |b, _| {
+            b.iter(|| key.public.verify(HashAlg::Sha1, msg, &sig).unwrap())
+        });
+    }
+    verify_group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_modpow,
+    bench_rsa_sign_verify,
+    bench_digests,
+    bench_records,
+    bench_certificates
+);
 criterion_main!(benches);

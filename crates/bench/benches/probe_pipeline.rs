@@ -44,11 +44,7 @@ fn bench_probe(c: &mut Criterion) {
 
     let model = PopulationModel::new(StudyEra::Study1, catalog.public_roots.clone());
     let bitdefender = ProductId(
-        model
-            .specs()
-            .iter()
-            .position(|s| s.display_name() == "Bitdefender")
-            .unwrap() as u16,
+        model.specs().iter().position(|s| s.display_name() == "Bitdefender").unwrap() as u16,
     );
     // Warm the substitute cache (steady-state proxy behaviour).
     let _ = model.factory(bitdefender);

@@ -1,9 +1,9 @@
 //! Run every experiment in sequence (studies are executed once and
 //! shared). This regenerates all paper tables/figures in one go and is
 //! what EXPERIMENTS.md records.
-use tlsfoe_core::{analysis, baseline, malware, negligence, tables};
-use tlsfoe_core::hosts::HostCatalog;
 use tlsfoe_core::audit;
+use tlsfoe_core::hosts::HostCatalog;
+use tlsfoe_core::{analysis, baseline, malware, negligence, tables};
 use tlsfoe_mitigation::eval;
 use tlsfoe_population::model::{PopulationModel, StudyEra};
 
@@ -66,10 +66,7 @@ fn main() {
 
     let catalog = HostCatalog::study1();
     let model = PopulationModel::new(StudyEra::Study1, catalog.public_roots.clone());
-    println!(
-        "{}",
-        tables::audit_table(&audit::audit_catalog(&model, audit::AUDITED_PRODUCTS))
-    );
+    println!("{}", tables::audit_table(&audit::audit_catalog(&model, audit::AUDITED_PRODUCTS)));
 
     let catalog2 = HostCatalog::study2();
     let model2 = PopulationModel::new(StudyEra::Study2, catalog2.public_roots.clone());

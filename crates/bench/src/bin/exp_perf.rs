@@ -1,0 +1,111 @@
+//! Crypto hot-path performance snapshot → `BENCH_crypto.json`.
+//!
+//! Times the primitives every simulated impression funnels through —
+//! full-width modular exponentiation (schoolbook vs Montgomery), RSA
+//! sign (CRT vs direct) and verify (e = 65537) — at the paper's three
+//! key sizes, and writes machine-readable medians so future PRs can
+//! diff perf trajectories in CI. Run with `--quick` to halve sample
+//! counts (useful in smoke jobs).
+
+use std::time::Instant;
+
+use tlsfoe_core::json::Json;
+use tlsfoe_crypto::bigint::Ubig;
+use tlsfoe_crypto::drbg::{Drbg, RngCore64};
+use tlsfoe_crypto::{HashAlg, MontgomeryCtx, RsaKeyPair};
+
+/// Median ns/iteration of `f`, with time-bounded calibration.
+fn median_ns(samples: usize, mut f: impl FnMut()) -> u64 {
+    // Calibrate: how many iterations fit ~20 ms?
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= 5 || iters >= 1 << 20 {
+            let per = elapsed.as_nanos().max(1) / iters as u128;
+            iters = (20_000_000 / per).clamp(1, 1 << 20) as u64;
+            break;
+        }
+        iters *= 2;
+    }
+    let mut results: Vec<u64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            (start.elapsed().as_nanos() / iters as u128) as u64
+        })
+        .collect();
+    results.sort_unstable();
+    results[results.len() / 2]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let samples = if quick { 5 } else { 11 };
+    let msg = b"tbs certificate bytes stand-in";
+
+    println!("{}", tlsfoe_bench::banner("exp_perf: crypto hot-path timings"));
+    let mut sizes = Vec::new();
+    for bits in [512usize, 1024, 2048] {
+        eprintln!("[exp_perf] measuring {bits}-bit primitives…");
+        let key = RsaKeyPair::generate(bits, &mut Drbg::new(bits as u64)).unwrap();
+        let n = &key.public.n;
+        let mut rng = Drbg::new(13 * bits as u64);
+        let mut base_bytes = vec![0u8; bits / 8];
+        rng.fill_bytes(&mut base_bytes);
+        let base = Ubig::from_bytes_be(&base_bytes).rem(n).unwrap();
+        let ctx = MontgomeryCtx::new(n).unwrap();
+        let mut no_crt = key.clone();
+        no_crt.crt = None;
+        let sig = key.sign(HashAlg::Sha1, msg).unwrap();
+
+        let modpow_schoolbook =
+            median_ns(samples, || drop(base.modpow_schoolbook(&key.d, n).unwrap()));
+        let modpow_montgomery = median_ns(samples, || drop(base.modpow(&key.d, n).unwrap()));
+        let modpow_cached_ctx = median_ns(samples, || drop(ctx.modpow(&base, &key.d).unwrap()));
+        let sign_crt = median_ns(samples, || drop(key.sign(HashAlg::Sha1, msg).unwrap()));
+        let sign_no_crt = median_ns(samples, || drop(no_crt.sign(HashAlg::Sha1, msg).unwrap()));
+        let verify = median_ns(samples, || key.public.verify(HashAlg::Sha1, msg, &sig).unwrap());
+
+        println!(
+            "{bits:>5} bits | modpow schoolbook {:>12} ns | montgomery {:>10} ns ({:>5.1}x) | \
+             sign crt {:>10} ns ({:>5.1}x vs schoolbook-era sign) | verify {:>8} ns",
+            modpow_schoolbook,
+            modpow_montgomery,
+            modpow_schoolbook as f64 / modpow_montgomery as f64,
+            sign_crt,
+            modpow_schoolbook as f64 / sign_crt as f64,
+            verify,
+        );
+
+        sizes.push((
+            bits,
+            Json::obj(vec![
+                ("modpow_schoolbook_ns", Json::Int(modpow_schoolbook as i64)),
+                ("modpow_montgomery_ns", Json::Int(modpow_montgomery as i64)),
+                ("modpow_montgomery_cached_ctx_ns", Json::Int(modpow_cached_ctx as i64)),
+                ("rsa_sign_crt_ns", Json::Int(sign_crt as i64)),
+                ("rsa_sign_no_crt_ns", Json::Int(sign_no_crt as i64)),
+                ("rsa_verify_e65537_ns", Json::Int(verify as i64)),
+                (
+                    "speedup_sign_vs_schoolbook_modpow",
+                    Json::Num((modpow_schoolbook as f64 / sign_crt as f64 * 100.0).round() / 100.0),
+                ),
+            ]),
+        ));
+    }
+
+    let doc = Json::obj(vec![
+        ("experiment", Json::str("exp_perf")),
+        ("unit", Json::str("nanoseconds_per_operation_median")),
+        ("samples", Json::Int(samples as i64)),
+        ("sizes", Json::Obj(sizes.into_iter().map(|(bits, v)| (bits.to_string(), v)).collect())),
+    ]);
+    std::fs::write("BENCH_crypto.json", format!("{doc}\n")).expect("write BENCH_crypto.json");
+    println!("\nwrote BENCH_crypto.json");
+}

@@ -7,7 +7,5 @@ fn main() {
     print!("{}", tlsfoe_bench::banner("Table 2"));
     let outcome = tlsfoe_bench::study2();
     print!("{}", tables::table2(outcome));
-    println!(
-        "(paper totals at scale 1/1: 5,079,298 impressions, 11,077 clicks, $6,090.19)"
-    );
+    println!("(paper totals at scale 1/1: 5,079,298 impressions, 11,077 clicks, $6,090.19)");
 }

@@ -8,6 +8,9 @@ fn main() {
     let outcome = tlsfoe_bench::study1();
     print!(
         "{}",
-        tables::table_classification(&outcome.db, "Table 5: Classification of claimed issuer (study 1)")
+        tables::table_classification(
+            &outcome.db,
+            "Table 5: Classification of claimed issuer (study 1)"
+        )
     );
 }

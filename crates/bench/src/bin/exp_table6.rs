@@ -8,6 +8,9 @@ fn main() {
     let outcome = tlsfoe_bench::study2();
     print!(
         "{}",
-        tables::table_classification(&outcome.db, "Table 6: Classification of claimed issuer (study 2)")
+        tables::table_classification(
+            &outcome.db,
+            "Table 6: Classification of claimed issuer (study 2)"
+        )
     );
 }

@@ -10,8 +10,5 @@ fn main() {
         "{}",
         tables::table_by_country(&outcome.db, "Table 7: Connections tested by country (study 2)")
     );
-    println!(
-        "\nproxied countries: {} (paper: 147)",
-        analysis::proxied_country_count(&outcome.db)
-    );
+    println!("\nproxied countries: {} (paper: 147)", analysis::proxied_country_count(&outcome.db));
 }

@@ -9,7 +9,9 @@
 //!   (default 20 ⇒ ~1/20th of the paper's impressions; rates are
 //!   scale-invariant),
 //! * `TLSFOE_SEED` — root seed (default 2014),
-//! * `TLSFOE_THREADS` — worker threads (default: all cores).
+//! * `TLSFOE_THREADS` — worker threads (default: all cores),
+//! * `TLSFOE_SCHOOLBOOK` — set to force the seed's schoolbook bignum
+//!   path (perf ablation; roughly doubles `exp_all` wall-clock).
 //!
 //! Run everything: `cargo run -p tlsfoe-bench --release --bin exp_all`.
 
@@ -22,18 +24,12 @@ use tlsfoe_population::model::StudyEra;
 
 /// Budget divisor vs the paper's campaigns (`TLSFOE_SCALE`, default 20).
 pub fn scale() -> u32 {
-    std::env::var("TLSFOE_SCALE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(20)
+    std::env::var("TLSFOE_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(20)
 }
 
 /// Root seed (`TLSFOE_SEED`, default 2014).
 pub fn seed() -> u64 {
-    std::env::var("TLSFOE_SEED")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2014)
+    std::env::var("TLSFOE_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(2014)
 }
 
 /// Worker threads (`TLSFOE_THREADS`, default: all cores).
@@ -41,11 +37,7 @@ pub fn threads() -> usize {
     std::env::var("TLSFOE_THREADS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-        })
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
 }
 
 /// Study config for an era at the environment's scale.
@@ -88,8 +80,7 @@ pub fn study_boosted(era: StudyEra) -> &'static StudyOutcome {
         cfg.proxy_boost = scale() as f64;
         eprintln!(
             "[tlsfoe] running {:?} with interception x{} (substitute-corpus mode)…",
-            era,
-            cfg.proxy_boost
+            era, cfg.proxy_boost
         );
         run_study(&cfg)
     })

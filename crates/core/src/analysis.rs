@@ -46,15 +46,11 @@ pub fn by_country(db: &Database, top_n: usize) -> (Vec<CountryRow>, CountryRow, 
     }
     let mut rows: Vec<CountryRow> = per
         .into_iter()
-        .map(|(c, (proxied, total))| CountryRow {
-            country: Some(c),
-            proxied,
-            total,
-        })
+        .map(|(c, (proxied, total))| CountryRow { country: Some(c), proxied, total })
         .collect();
     // Table 3 ranks by proxied count; Table 7 by total. Rank by proxied
     // then total, which reproduces both orderings' top sets closely.
-    rows.sort_by(|a, b| (b.proxied, b.total).cmp(&(a.proxied, a.total)));
+    rows.sort_by_key(|r| (std::cmp::Reverse(r.proxied), std::cmp::Reverse(r.total)));
 
     let tail = rows.split_off(rows.len().min(top_n));
     let other = CountryRow {
@@ -98,10 +94,7 @@ pub fn classification(db: &Database) -> Vec<(ProxyCategory, u64)> {
             *counts.entry(cat).or_default() += 1;
         }
     }
-    ProxyCategory::all()
-        .into_iter()
-        .map(|c| (c, counts.get(&c).copied().unwrap_or(0)))
-        .collect()
+    ProxyCategory::all().into_iter().map(|c| (c, counts.get(&c).copied().unwrap_or(0))).collect()
 }
 
 /// Per-host-type interception (Table 8).
@@ -119,10 +112,7 @@ pub fn by_host_type(db: &Database) -> Vec<(HostCategory, u64, u64)> {
         HostCategory::Authors,
         HostCategory::MegaPopular,
     ];
-    order
-        .into_iter()
-        .filter_map(|c| per.get(&c).map(|&(p, t)| (c, p, t)))
-        .collect()
+    order.into_iter().filter_map(|c| per.get(&c).map(|&(p, t)| (c, p, t))).collect()
 }
 
 /// The Figure-7 series: per-country proxied rate (countries with enough
@@ -130,9 +120,7 @@ pub fn by_host_type(db: &Database) -> Vec<(HostCategory, u64, u64)> {
 pub fn fig7_series(db: &Database, min_total: u64) -> Vec<(CountryCode, f64)> {
     let (mut rows, _, _) = by_country(db, usize::MAX);
     rows.retain(|r| r.total >= min_total);
-    rows.into_iter()
-        .map(|r| (r.country.expect("per-country row"), r.percent()))
-        .collect()
+    rows.into_iter().map(|r| (r.country.expect("per-country row"), r.percent())).collect()
 }
 
 /// Number of distinct countries with at least one proxied connection
@@ -195,10 +183,7 @@ mod tests {
     }
 
     fn db(records: Vec<MeasurementRecord>) -> Database {
-        Database {
-            records,
-            malformed_uploads: 0,
-        }
+        Database { records, malformed_uploads: 0 }
     }
 
     #[test]

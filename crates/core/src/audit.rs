@@ -8,7 +8,6 @@
 //! certificate; the product's proxy sits on the client path; the probe
 //! records what the client actually receives.
 
-
 use tlsfoe_netsim::{Ipv4, Network, NetworkConfig};
 use tlsfoe_population::keys;
 use tlsfoe_population::model::PopulationModel;
@@ -61,11 +60,7 @@ pub fn audit_product(model: &PopulationModel, product: Option<ProductId>) -> Aud
     let attacker_ip = Ipv4([203, 0, 113, 66]);
     let client_ip = Ipv4([11, 9, 9, 9]);
     let cfg = ServerConfig::new(attacker_chain());
-    net.listen(
-        attacker_ip,
-        443,
-        Box::new(move |_| Box::new(TlsCertServer::new(cfg.clone()))),
-    );
+    net.listen(attacker_ip, 443, Box::new(move |_| Box::new(TlsCertServer::new(cfg.clone()))));
     if let Some(pid) = product {
         net.install_interceptor(client_ip, Box::new(model.make_proxy(pid)));
     }
@@ -96,11 +91,8 @@ pub fn audit_product(model: &PopulationModel, product: Option<ProductId>) -> Aud
                 product: Some(pid),
             };
             let store = model.client_root_store(&profile);
-            let chain: Vec<Certificate> = o
-                .chain_der
-                .iter()
-                .filter_map(|d| Certificate::from_der(d).ok())
-                .collect();
+            let chain: Vec<Certificate> =
+                o.chain_der.iter().filter_map(|d| Certificate::from_der(d).ok()).collect();
             let trusted = store.validate(&chain, VICTIM_HOST, model.now()).is_ok();
             let product_issued = leaf.tbs.issuer == model.factory(pid).root_cert().tbs.subject;
             match (trusted, product_issued) {
@@ -124,10 +116,7 @@ pub fn audit_product(model: &PopulationModel, product: Option<ProductId>) -> Aud
 /// Audit the named products (the §5.2 lab set) plus the bare-client
 /// control.
 pub fn audit_catalog(model: &PopulationModel, products: &[&str]) -> Vec<AuditRow> {
-    let mut rows = vec![AuditRow {
-        product: "(no product)",
-        verdict: audit_product(model, None),
-    }];
+    let mut rows = vec![AuditRow { product: "(no product)", verdict: audit_product(model, None) }];
     for name in products {
         let pid = model
             .specs()
@@ -174,10 +163,7 @@ mod tests {
     fn bitdefender_blocks() {
         let m = model();
         let pid = ProductId(
-            m.specs()
-                .iter()
-                .position(|s| s.display_name() == "Bitdefender")
-                .unwrap() as u16,
+            m.specs().iter().position(|s| s.display_name() == "Bitdefender").unwrap() as u16,
         );
         assert_eq!(audit_product(&m, Some(pid)), AuditVerdict::Blocked);
     }
@@ -186,10 +172,7 @@ mod tests {
     fn kurupira_masks() {
         let m = model();
         let pid = ProductId(
-            m.specs()
-                .iter()
-                .position(|s| s.display_name() == "Kurupira.NET")
-                .unwrap() as u16,
+            m.specs().iter().position(|s| s.display_name() == "Kurupira.NET").unwrap() as u16,
         );
         assert_eq!(audit_product(&m, Some(pid)), AuditVerdict::MaskedTrusted);
     }
@@ -198,10 +181,7 @@ mod tests {
     fn blind_products_resign() {
         let m = model();
         let pid = ProductId(
-            m.specs()
-                .iter()
-                .position(|s| s.display_name() == "ESET spol. s r. o.")
-                .unwrap() as u16,
+            m.specs().iter().position(|s| s.display_name() == "ESET spol. s r. o.").unwrap() as u16,
         );
         assert_eq!(audit_product(&m, Some(pid)), AuditVerdict::ResignedBlindly);
     }

@@ -46,10 +46,7 @@ impl BaselineComparison {
 /// Run both methodologies on the same population/era/seed.
 pub fn compare(cfg: &StudyConfig) -> BaselineComparison {
     let ours = run_study(cfg);
-    let huang = run_study(&StudyConfig {
-        baseline: true,
-        ..cfg.clone()
-    });
+    let huang = run_study(&StudyConfig { baseline: true, ..cfg.clone() });
     BaselineComparison { ours, huang }
 }
 
@@ -77,9 +74,6 @@ mod tests {
         let huang = cmp.huang_rate();
         assert!(ours > huang, "ours {ours} must exceed baseline {huang}");
         let ratio = cmp.ratio();
-        assert!(
-            (1.3..3.5).contains(&ratio),
-            "ratio {ratio} should be near the paper's ≈2×"
-        );
+        assert!((1.3..3.5).contains(&ratio), "ratio {ratio} should be near the paper's ≈2×");
     }
 }

@@ -56,12 +56,7 @@ const CERT_AUTHORITIES: &[&str] = &["DigiCert Inc", "GeoTrust Inc", "VeriSign, I
 /// substitute certificate, exactly as captured.
 pub fn classify(org: Option<&str>, cn: Option<&str>) -> ProxyCategory {
     let fields = [org, cn];
-    let matches_list = |list: &[&str]| {
-        fields
-            .iter()
-            .flatten()
-            .any(|f| list.iter().any(|k| f == k))
-    };
+    let matches_list = |list: &[&str]| fields.iter().flatten().any(|f| list.iter().any(|k| f == k));
 
     if matches_list(MALWARE) {
         return ProxyCategory::Malware;
@@ -95,9 +90,7 @@ pub fn classify(org: Option<&str>, cn: Option<&str>) -> ProxyCategory {
     // Structural heuristics, mirroring the authors' manual buckets.
     let text = format!("{org_str} {cn_str}");
     let lower = text.to_lowercase();
-    if ["school", "university", "district", "academy", "college"]
-        .iter()
-        .any(|k| lower.contains(k))
+    if ["school", "university", "district", "academy", "college"].iter().any(|k| lower.contains(k))
     {
         return ProxyCategory::School;
     }
@@ -110,8 +103,20 @@ pub fn classify(org: Option<&str>, cn: Option<&str>) -> ProxyCategory {
     // Corporate-looking names → Organization (Lawrence Livermore,
     // Lincoln Financial, POSCO, Target, IBRD, "DSP", …).
     if [
-        "inc", "corp", "ltd", "llc", "group", "company", "laboratory", "financial",
-        "holdings", "trust", "systems", "manufacturing", "services", "department",
+        "inc",
+        "corp",
+        "ltd",
+        "llc",
+        "group",
+        "company",
+        "laboratory",
+        "financial",
+        "holdings",
+        "trust",
+        "systems",
+        "manufacturing",
+        "services",
+        "department",
     ]
     .iter()
     .any(|k| lower.contains(k))
@@ -132,14 +137,8 @@ mod tests {
             classify(Some("Bitdefender"), Some("Bitdefender")),
             ProxyCategory::BusinessPersonalFirewall
         );
-        assert_eq!(
-            classify(Some("Sendori, Inc"), None),
-            ProxyCategory::Malware
-        );
-        assert_eq!(
-            classify(Some("Superfish, Inc."), None),
-            ProxyCategory::Malware
-        );
+        assert_eq!(classify(Some("Sendori, Inc"), None), ProxyCategory::Malware);
+        assert_eq!(classify(Some("Superfish, Inc."), None), ProxyCategory::Malware);
         assert_eq!(classify(Some("Qustodio"), None), ProxyCategory::ParentalControl);
         assert_eq!(classify(Some("LG UPLUS"), None), ProxyCategory::Telecom);
         assert_eq!(
@@ -151,10 +150,7 @@ mod tests {
     #[test]
     fn iopfail_identified_by_cn_only() {
         // The malware self-identifies only in the Issuer Common Name.
-        assert_eq!(
-            classify(None, Some("IopFailZeroAccessCreate")),
-            ProxyCategory::Malware
-        );
+        assert_eq!(classify(None, Some("IopFailZeroAccessCreate")), ProxyCategory::Malware);
     }
 
     #[test]
@@ -165,10 +161,7 @@ mod tests {
 
     #[test]
     fn heuristic_buckets() {
-        assert_eq!(
-            classify(Some("Unified School District 12"), None),
-            ProxyCategory::School
-        );
+        assert_eq!(classify(Some("Unified School District 12"), None), ProxyCategory::School);
         assert_eq!(
             classify(Some("State University Network Services"), None),
             ProxyCategory::School
@@ -177,15 +170,9 @@ mod tests {
             classify(Some("Lawrence Livermore National Laboratory"), None),
             ProxyCategory::Organization
         );
-        assert_eq!(
-            classify(Some("Lincoln Financial Group"), None),
-            ProxyCategory::Organization
-        );
+        assert_eq!(classify(Some("Lincoln Financial Group"), None), ProxyCategory::Organization);
         assert_eq!(classify(None, Some("DSP")), ProxyCategory::Organization);
-        assert_eq!(
-            classify(Some("Acme Industrial Holdings"), None),
-            ProxyCategory::Organization
-        );
+        assert_eq!(classify(Some("Acme Industrial Holdings"), None), ProxyCategory::Organization);
     }
 
     #[test]
@@ -197,9 +184,6 @@ mod tests {
     #[test]
     fn malware_takes_priority_over_corporate_suffix() {
         // "Objectify Media Inc" contains "Inc" but is known malware.
-        assert_eq!(
-            classify(Some("Objectify Media Inc"), None),
-            ProxyCategory::Malware
-        );
+        assert_eq!(classify(Some("Objectify Media Inc"), None), ProxyCategory::Malware);
     }
 }

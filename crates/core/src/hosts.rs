@@ -172,11 +172,7 @@ impl HostCatalog {
             })
             .collect();
 
-        HostCatalog {
-            hosts,
-            public_roots: Rc::new(roots),
-            report_server: Ipv4([203, 0, 113, 9]),
-        }
+        HostCatalog { hosts, public_roots: Rc::new(roots), report_server: Ipv4([203, 0, 113, 9]) }
     }
 
     /// Find a host by name.
@@ -250,10 +246,7 @@ mod tests {
             assert!((0.0..=1.0).contains(&r));
         }
         // The authors' host (probed first, alone) completes most often.
-        assert!(
-            HostCategory::Authors.completion_rate()
-                > HostCategory::Business.completion_rate()
-        );
+        assert!(HostCategory::Authors.completion_rate() > HostCategory::Business.completion_rate());
     }
 
     #[test]

@@ -21,23 +21,15 @@ pub struct HttpPostClient {
 impl HttpPostClient {
     /// Create a POST client; `ok` is set to true on a 200 response.
     pub fn new(path: &str, body: Vec<u8>, ok: Rc<RefCell<bool>>) -> Self {
-        HttpPostClient {
-            path: path.to_string(),
-            body,
-            ok,
-            response: Vec::new(),
-        }
+        HttpPostClient { path: path.to_string(), body, ok, response: Vec::new() }
     }
 }
 
 impl Conduit for HttpPostClient {
     fn on_open(&mut self, io: &mut IoCtx<'_>) {
-        let mut req = format!(
-            "POST {} HTTP/1.0\r\nContent-Length: {}\r\n\r\n",
-            self.path,
-            self.body.len()
-        )
-        .into_bytes();
+        let mut req =
+            format!("POST {} HTTP/1.0\r\nContent-Length: {}\r\n\r\n", self.path, self.body.len())
+                .into_bytes();
         req.extend_from_slice(&self.body);
         io.send(&req);
     }
@@ -73,10 +65,7 @@ pub struct HttpPostServer<F: FnMut(PostRequest)> {
 impl<F: FnMut(PostRequest)> HttpPostServer<F> {
     /// Create with a request handler.
     pub fn new(handler: F) -> Self {
-        HttpPostServer {
-            handler,
-            buf: Vec::new(),
-        }
+        HttpPostServer { handler, buf: Vec::new() }
     }
 
     fn try_parse(&mut self) -> Option<PostRequest> {

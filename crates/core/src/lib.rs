@@ -37,6 +37,7 @@ pub mod baseline;
 pub mod classify;
 pub mod hosts;
 pub mod http;
+pub mod json;
 pub mod malware;
 pub mod negligence;
 pub mod report;

@@ -108,15 +108,12 @@ pub fn analyze(db: &Database, real_cas: &[(&str, &RsaPublicKey)]) -> NegligenceR
                     report.wrong_domain_subjects += 1;
                 }
             }
-        } else if sub
-            .chain_der
-            .first()
-            .and_then(|der| Certificate::from_der(der).ok())
-            .is_some_and(|leaf| {
+        } else if sub.chain_der.first().and_then(|der| Certificate::from_der(der).ok()).is_some_and(
+            |leaf| {
                 leaf.tbs.subject.organizational_unit().is_some()
                     || leaf.tbs.subject.organization().is_some()
-            })
-        {
+            },
+        ) {
             // Host covered but the subject carries extra attributes the
             // original never had.
             report.tweaked_subjects += 1;
@@ -243,10 +240,7 @@ mod tests {
                 chain_der: vec![cert.to_der().to_vec()],
             }),
         };
-        let db = Database {
-            records: vec![mk(&forged), mk(&legit)],
-            malformed_uploads: 0,
-        };
+        let db = Database { records: vec![mk(&forged), mk(&legit)], malformed_uploads: 0 };
         let rep = analyze(&db, &[("DigiCert Inc", &real_ca.public)]);
         assert_eq!(rep.forged_ca_issuer, 1, "only the impostor counts");
     }

@@ -105,27 +105,31 @@ impl Database {
     /// Serialize all records as JSON lines (the persisted dataset the
     /// paper promised on its website).
     pub fn to_jsonl(&self) -> String {
+        use crate::json::Json;
         let mut out = String::new();
         for r in &self.records {
-            let sub = r.substitute.as_ref().map(|s| {
-                serde_json::json!({
-                    "issuer_org": s.issuer_org,
-                    "issuer_cn": s.issuer_cn,
-                    "key_bits": s.key_bits,
-                    "sig_alg": s.sig_alg.name(),
-                    "subject_cn": s.subject_cn,
-                    "covers_host": s.covers_host,
-                    "leaf_key_fp": hex(&s.leaf_key_fp),
-                })
+            let sub = Json::opt(r.substitute.as_ref(), |s| {
+                Json::obj(vec![
+                    ("issuer_org", Json::opt(s.issuer_org.as_deref(), Json::str)),
+                    ("issuer_cn", Json::opt(s.issuer_cn.as_deref(), Json::str)),
+                    ("key_bits", Json::Int(s.key_bits as i64)),
+                    ("sig_alg", Json::str(s.sig_alg.name())),
+                    ("subject_cn", Json::opt(s.subject_cn.as_deref(), Json::str)),
+                    ("covers_host", Json::Bool(s.covers_host)),
+                    ("leaf_key_fp", Json::str(hex(&s.leaf_key_fp))),
+                ])
             });
-            let v = serde_json::json!({
-                "client_ip": r.client_ip.to_string(),
-                "country": r.country.map(|c| tlsfoe_geo::countries::info(c).code),
-                "host": r.host,
-                "category": r.category.label(),
-                "proxied": r.proxied,
-                "substitute": sub,
-            });
+            let v = Json::obj(vec![
+                ("client_ip", Json::str(r.client_ip.to_string())),
+                (
+                    "country",
+                    Json::opt(r.country, |c| Json::str(tlsfoe_geo::countries::info(c).code)),
+                ),
+                ("host", Json::str(r.host)),
+                ("category", Json::str(r.category.label())),
+                ("proxied", Json::Bool(r.proxied)),
+                ("substitute", sub),
+            ]);
             out.push_str(&v.to_string());
             out.push('\n');
         }
@@ -150,18 +154,9 @@ impl ReportServer {
         let authoritative = catalog
             .hosts
             .iter()
-            .map(|h| {
-                (
-                    h.name,
-                    (h.chain[0].to_der().to_vec(), h.name, h.category),
-                )
-            })
+            .map(|h| (h.name, (h.chain[0].to_der().to_vec(), h.name, h.category)))
             .collect();
-        ReportServer {
-            authoritative,
-            geo,
-            db,
-        }
+        ReportServer { authoritative, geo, db }
     }
 
     /// The shared database handle.
@@ -190,11 +185,7 @@ impl ReportServer {
         };
 
         let proxied = chain[0].to_der() != auth_leaf.as_slice();
-        let substitute = if proxied {
-            Some(extract_substitute(&chain, host))
-        } else {
-            None
-        };
+        let substitute = if proxied { Some(extract_substitute(&chain, host)) } else { None };
         self.db.borrow_mut().records.push(MeasurementRecord {
             client_ip,
             country: self.geo.lookup(client_ip),
@@ -241,11 +232,7 @@ mod tests {
     fn setup() -> (Rc<ReportServer>, Rc<RefCell<Database>>, HostCatalog) {
         let catalog = HostCatalog::study2();
         let db = Rc::new(RefCell::new(Database::new()));
-        let server = Rc::new(ReportServer::new(
-            &catalog,
-            GeoDb::allocate(1000),
-            db.clone(),
-        ));
+        let server = Rc::new(ReportServer::new(&catalog, GeoDb::allocate(1000), db.clone()));
         (server, db, catalog)
     }
 
@@ -322,14 +309,15 @@ mod tests {
     }
 
     #[test]
-    fn jsonl_export_roundtrips_through_serde() {
+    fn jsonl_export_roundtrips_through_parser() {
         let (server, db, catalog) = setup();
         let bad = pem::encode_certificates(&catalog.host("qq.com").unwrap().chain).into_bytes();
         server.ingest(client(), "/report?host=tlsresearch.byu.edu", &bad);
         let jsonl = db.borrow().to_jsonl();
-        let v: serde_json::Value = serde_json::from_str(jsonl.lines().next().unwrap()).unwrap();
-        assert_eq!(v["proxied"], true);
-        assert_eq!(v["substitute"]["issuer_org"], "DigiCert Inc");
-        assert_eq!(v["host"], "tlsresearch.byu.edu");
+        let v = crate::json::Json::parse(jsonl.lines().next().unwrap()).unwrap();
+        assert_eq!(v.get("proxied").unwrap().as_bool(), Some(true));
+        let sub = v.get("substitute").unwrap();
+        assert_eq!(sub.get("issuer_org").unwrap().as_str(), Some("DigiCert Inc"));
+        assert_eq!(v.get("host").unwrap().as_str(), Some("tlsresearch.byu.edu"));
     }
 }

@@ -19,13 +19,13 @@ use std::rc::Rc;
 
 use tlsfoe_crypto::drbg::RngCore64;
 use tlsfoe_netsim::policy::{PolicyClient, PolicyFetchResult};
+use tlsfoe_netsim::{Conduit, IoCtx, Ipv4};
 use tlsfoe_netsim::{Network, NetworkConfig};
 use tlsfoe_population::model::{ClientProfile, PopulationModel};
 use tlsfoe_tls::probe::{ProbeOutcome, ProbeState};
 use tlsfoe_tls::server::{ServerConfig, TlsCertServer};
 use tlsfoe_tls::ProbeClient;
 use tlsfoe_x509::pem;
-use tlsfoe_netsim::{Conduit, IoCtx, Ipv4};
 
 use crate::hosts::HostCatalog;
 use crate::http::HttpPostClient;
@@ -43,17 +43,9 @@ pub struct SessionRunner {
 impl SessionRunner {
     /// Build a runner for one worker.
     pub fn new(catalog: Rc<HostCatalog>, report_server: Rc<ReportServer>) -> SessionRunner {
-        let server_configs = catalog
-            .hosts
-            .iter()
-            .map(|h| ServerConfig::new(h.chain.clone()))
-            .collect();
-        SessionRunner {
-            catalog,
-            server_configs,
-            report_server,
-            authors_completion: None,
-        }
+        let server_configs =
+            catalog.hosts.iter().map(|h| ServerConfig::new(h.chain.clone())).collect();
+        SessionRunner { catalog, server_configs, report_server, authors_completion: None }
     }
 
     /// Override the authors'-host completion rate (study 1 probed a
@@ -86,11 +78,7 @@ impl SessionRunner {
         // report server listens for POSTs.
         for (host, cfg) in self.catalog.hosts.iter().zip(&self.server_configs) {
             let cfg = cfg.clone();
-            net.listen(
-                host.ip,
-                443,
-                Box::new(move |_| Box::new(TlsCertServer::new(cfg.clone()))),
-            );
+            net.listen(host.ip, 443, Box::new(move |_| Box::new(TlsCertServer::new(cfg.clone()))));
         }
         let authors_ip = self.catalog.hosts[0].ip;
         net.listen(
@@ -98,11 +86,7 @@ impl SessionRunner {
             80,
             Box::new(|_| Box::new(tlsfoe_netsim::PolicyServer::permissive())),
         );
-        net.listen(
-            self.catalog.report_server,
-            80,
-            self.report_server.clone().listener(),
-        );
+        net.listen(self.catalog.report_server, 80, self.report_server.clone().listener());
 
         // Interceptor, if the sampled client runs one.
         if let Some(pid) = profile.product {
@@ -238,11 +222,7 @@ mod tests {
         let (runner, db, geo) = runner();
         let m = model();
         let us = by_code("US").unwrap();
-        let profile = ClientProfile {
-            country: us,
-            ip: geo.client_addr(us, 0),
-            product: None,
-        };
+        let profile = ClientProfile { country: us, ip: geo.client_addr(us, 0), product: None };
         // Run a few sessions so at least some probes pass the gates.
         let mut rng = Drbg::new(1);
         for i in 0..20 {
@@ -260,16 +240,10 @@ mod tests {
         let m = model();
         let us = by_code("US").unwrap();
         let bitdefender = ProductId(
-            m.specs()
-                .iter()
-                .position(|s| s.display_name() == "Bitdefender")
-                .unwrap() as u16,
+            m.specs().iter().position(|s| s.display_name() == "Bitdefender").unwrap() as u16,
         );
-        let profile = ClientProfile {
-            country: us,
-            ip: geo.client_addr(us, 1),
-            product: Some(bitdefender),
-        };
+        let profile =
+            ClientProfile { country: us, ip: geo.client_addr(us, 1), product: Some(bitdefender) };
         let mut rng = Drbg::new(2);
         for i in 0..20 {
             runner.run_session(&m, &profile, &mut rng, 2000 + i);
@@ -289,15 +263,10 @@ mod tests {
         let (runner, _db, geo) = runner();
         let m = model();
         let us = by_code("US").unwrap();
-        let profile = ClientProfile {
-            country: us,
-            ip: geo.client_addr(us, 2),
-            product: None,
-        };
+        let profile = ClientProfile { country: us, ip: geo.client_addr(us, 2), product: None };
         let mut rng = Drbg::new(3);
-        let total: usize = (0..200)
-            .map(|i| runner.run_session(&m, &profile, &mut rng, 3000 + i))
-            .sum();
+        let total: usize =
+            (0..200).map(|i| runner.run_session(&m, &profile, &mut rng, 3000 + i)).sum();
         let avg = total as f64 / 200.0;
         // Expected ≈ 0.463 + 6×0.168 + 5×0.070 + 5×0.118 ≈ 2.41 probes
         // per impression (the paper's 12.3M measurements / 5.08M ads).

@@ -80,9 +80,7 @@ impl StudyConfig {
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
 }
 
 /// A Table-2 row.
@@ -171,27 +169,23 @@ pub fn run_study(cfg: &StudyConfig) -> StudyOutcome {
     if threads == 1 || impressions.len() < 256 {
         db.merge(run_shard(cfg, &impressions, 0));
     } else {
-        let shards: Vec<Database> = crossbeam::thread::scope(|s| {
+        let shards: Vec<Database> = std::thread::scope(|s| {
             let handles: Vec<_> = impressions
                 .chunks(chunk_size)
                 .enumerate()
                 .map(|(i, chunk)| {
                     let cfg = cfg.clone();
-                    s.spawn(move |_| run_shard(&cfg, chunk, (i * chunk_size) as u64))
+                    s.spawn(move || run_shard(&cfg, chunk, (i * chunk_size) as u64))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("shard panicked")).collect()
-        })
-        .expect("crossbeam scope");
+        });
         for shard in shards {
             db.merge(shard);
         }
     }
 
-    StudyOutcome {
-        campaigns: stats,
-        db,
-    }
+    StudyOutcome { campaigns: stats, db }
 }
 
 /// Process one contiguous range of impressions.
@@ -214,9 +208,7 @@ fn run_shard(cfg: &StudyConfig, countries: &[CountryCode], base_index: u64) -> D
 
     for (offset, &country) in countries.iter().enumerate() {
         let idx = base_index + offset as u64;
-        let mut rng = Drbg::new(
-            cfg.seed ^ idx.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17),
-        );
+        let mut rng = Drbg::new(cfg.seed ^ idx.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17));
         // Distinct IP per impression (global index within country block).
         let ip = geo.client_addr(country, (idx % GEO_BLOCK as u64) as u32);
         let mut profile = if cfg.proxy_boost == 1.0 {
@@ -224,9 +216,7 @@ fn run_shard(cfg: &StudyConfig, countries: &[CountryCode], base_index: u64) -> D
         } else {
             // Oversampled interception for substitute-corpus analyses.
             let rate = (model.proxy_rate(country) * cfg.proxy_boost).min(1.0);
-            let product = rng
-                .gen_bool(rate)
-                .then(|| model.sample_product(country, &mut rng));
+            let product = rng.gen_bool(rate).then(|| model.sample_product(country, &mut rng));
             tlsfoe_population::model::ClientProfile { country, ip, product }
         };
         // Single-origin products (corporate NAT egress): every client of
@@ -248,10 +238,7 @@ mod tests {
 
     #[test]
     fn tiny_study1_runs_and_measures() {
-        let cfg = StudyConfig {
-            threads: 2,
-            ..StudyConfig::study1(2000, 7)
-        };
+        let cfg = StudyConfig { threads: 2, ..StudyConfig::study1(2000, 7) };
         let out = run_study(&cfg);
         assert_eq!(out.campaigns.len(), 1);
         assert!(out.impressions() > 500, "impressions {}", out.impressions());
@@ -273,10 +260,7 @@ mod tests {
 
     #[test]
     fn study2_has_six_campaigns() {
-        let cfg = StudyConfig {
-            threads: 2,
-            ..StudyConfig::study2(5000, 3)
-        };
+        let cfg = StudyConfig { threads: 2, ..StudyConfig::study2(5000, 3) };
         let out = run_study(&cfg);
         assert_eq!(out.campaigns.len(), 6);
         assert_eq!(out.campaigns[0].name, "Global");
@@ -292,10 +276,7 @@ mod boost_tests {
     fn proxy_boost_multiplies_substitute_corpus() {
         let base = StudyConfig::study1(2000, 77);
         let plain = run_study(&base);
-        let boosted = run_study(&StudyConfig {
-            proxy_boost: 30.0,
-            ..base
-        });
+        let boosted = run_study(&StudyConfig { proxy_boost: 30.0, ..base });
         // Same ad delivery, near-identical measurement counts (proxied
         // clients consume one extra RNG draw for product sampling, which
         // can shift a handful of completion gates)…
@@ -319,10 +300,7 @@ mod boost_tests {
     fn single_origin_products_share_one_ip() {
         // Force heavy interception so DSP-style products appear, then
         // check all their reports come from one address.
-        let out = run_study(&StudyConfig {
-            proxy_boost: 100.0,
-            ..StudyConfig::study2(1500, 9)
-        });
+        let out = run_study(&StudyConfig { proxy_boost: 100.0, ..StudyConfig::study2(1500, 9) });
         let mut dsp_ips = std::collections::HashSet::new();
         for r in &out.db.records {
             if let Some(sub) = &r.substitute {

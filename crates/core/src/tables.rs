@@ -21,11 +21,7 @@ pub fn table1() -> String {
         crate::hosts::HostCategory::Pornographic,
         crate::hosts::HostCategory::Authors,
     ] {
-        let names: Vec<&str> = TABLE1
-            .iter()
-            .filter(|(_, c)| *c == cat)
-            .map(|(n, _)| *n)
-            .collect();
+        let names: Vec<&str> = TABLE1.iter().filter(|(_, c)| *c == cat).map(|(n, _)| *n).collect();
         out.push_str(&format!("  {:<14} {}\n", cat.label(), names.join(", ")));
     }
     out
@@ -48,19 +44,14 @@ pub fn table2(outcome: &StudyOutcome) -> String {
         tc += c.clicks;
         tcost += c.cost_usd;
     }
-    out.push_str(&format!(
-        "  {:<12} {:>11} {:>10} {:>10.2}\n",
-        "Total", ti, tc, tcost
-    ));
+    out.push_str(&format!("  {:<12} {:>11} {:>10} {:>10.2}\n", "Total", ti, tc, tcost));
     out
 }
 
 /// Tables 3 and 7: proxied connections by country.
 pub fn table_by_country(db: &Database, title: &str) -> String {
     let (rows, other, total) = analysis::by_country(db, 20);
-    let mut out = format!(
-        "{title}\n  Rank Country        Proxied      Total   Percent\n"
-    );
+    let mut out = format!("{title}\n  Rank Country        Proxied      Total   Percent\n");
     for (i, r) in rows.iter().enumerate() {
         let name = r.country.map(analysis::country_name).unwrap_or("?");
         out.push_str(&format!(
@@ -108,12 +99,7 @@ pub fn table_classification(db: &Database, title: &str) -> String {
     let mut out = format!("{title}\n  Proxy Type                    Connections   Percent\n");
     for (cat, n) in rows {
         let share = if total > 0 { n as f64 / total as f64 } else { 0.0 };
-        out.push_str(&format!(
-            "  {:<28} {:>12}   {:>7}\n",
-            cat.label(),
-            n,
-            pct(share)
-        ));
+        out.push_str(&format!("  {:<28} {:>12}   {:>7}\n", cat.label(), n, pct(share)));
     }
     out
 }
@@ -145,11 +131,7 @@ pub fn figure7(db: &Database, min_total: u64) -> (String, String) {
     let mut sorted = series.clone();
     sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite rates"));
     for (code, rate) in sorted {
-        csv.push_str(&format!(
-            "{},{:.6}\n",
-            tlsfoe_geo::countries::info(code).code,
-            rate
-        ));
+        csv.push_str(&format!("{},{:.6}\n", tlsfoe_geo::countries::info(code).code, rate));
     }
     (rendered, csv)
 }
@@ -160,22 +142,11 @@ pub fn negligence_report(rep: &NegligenceReport) -> String {
     out.push_str(&format!("  substitutes analyzed: {}\n", rep.substitutes));
     out.push_str("  public key sizes:\n");
     for (bits, n) in &rep.key_sizes {
-        out.push_str(&format!(
-            "    {:>5} bits: {:>7}  ({})\n",
-            bits,
-            n,
-            pct(rep.key_share(*bits))
-        ));
+        out.push_str(&format!("    {:>5} bits: {:>7}  ({})\n", bits, n, pct(rep.key_share(*bits))));
     }
-    out.push_str(&format!(
-        "  MD5-signed: {} ({} also 512-bit)\n",
-        rep.md5_signed, rep.md5_and_512
-    ));
+    out.push_str(&format!("  MD5-signed: {} ({} also 512-bit)\n", rep.md5_signed, rep.md5_and_512));
     out.push_str(&format!("  SHA-256-signed: {}\n", rep.sha256_signed));
-    out.push_str(&format!(
-        "  forged CA issuer strings: {}\n",
-        rep.forged_ca_issuer
-    ));
+    out.push_str(&format!("  forged CA issuer strings: {}\n", rep.forged_ca_issuer));
     out.push_str(&format!(
         "  subject modifications: {} total ({} mismatch host; {} wildcard-IP, {} wrong-domain)\n",
         rep.subject_modifications(),
@@ -200,10 +171,7 @@ pub fn malware_report(rep: &MalwareReport) -> String {
         rep.malware_connections()
     ));
     for f in &rep.spam {
-        out.push_str(&format!(
-            "    {:<28} {:>6} connections\n",
-            f.name, f.connections
-        ));
+        out.push_str(&format!("    {:<28} {:>6} connections\n", f.name, f.connections));
     }
     out.push_str("  Shared-key clusters:\n");
     for c in &rep.shared_keys {
@@ -224,9 +192,8 @@ pub fn malware_report(rep: &MalwareReport) -> String {
 
 /// §5.2 firewall audit.
 pub fn audit_table(rows: &[AuditRow]) -> String {
-    let mut out = String::from(
-        "Firewall audit (§5.2): forged upstream certificate behind each product\n",
-    );
+    let mut out =
+        String::from("Firewall audit (§5.2): forged upstream certificate behind each product\n");
     for r in rows {
         let verdict = match r.verdict {
             AuditVerdict::Blocked => "BLOCKED (protects the user)",

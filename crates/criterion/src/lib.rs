@@ -1,0 +1,256 @@
+//! Vendored, API-compatible subset of the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The workspace's build environment has no network access to crates.io,
+//! so the `tlsfoe-bench` benches link against this in-tree shim instead of
+//! the real crate. It implements exactly the surface those benches use —
+//! `criterion_group!`/`criterion_main!`, [`Criterion`], benchmark groups
+//! with `sample_size`/`throughput`, [`BenchmarkId`], `Bencher::iter` —
+//! with genuine wall-clock measurement (calibrated iteration counts,
+//! median-of-samples reporting), so relative numbers are meaningful.
+//!
+//! Behaviour mirrors upstream where it matters:
+//! * invoked with `--bench` (what `cargo bench` passes): full measurement;
+//! * invoked any other way (e.g. `cargo test` building the bench target):
+//!   each routine runs once as a smoke test, so CI stays fast.
+//!
+//! Swap this for the real `criterion = "0.5"` when the environment can
+//! reach a registry; no bench source changes are required.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one measurement sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(15);
+
+/// Is this process running under `cargo bench` (full measurement) rather
+/// than `cargo test` (smoke mode)?
+fn full_measurement() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Timing driver handed to benchmark routines.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` for the harness-chosen number of iterations, timing
+    /// the whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Identifies one benchmark within a group, e.g. `sign/1024`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI configuration here; the shim's configuration is
+    /// fixed, so this is the identity.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_string(), sample_size: 20, throughput: None }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measurement samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declare per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Upstream tunes target measurement time; the shim sizes samples
+    /// automatically, so this only exists for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a function within the group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id.into().id);
+        run_one(&full_id, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Benchmark a function parameterized by `input`.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &T),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Calibrate, sample, and report one benchmark.
+fn run_one<F>(id: &str, sample_size: usize, throughput: Option<Throughput>, mut routine: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    if !full_measurement() {
+        routine(&mut b); // smoke-test pass under `cargo test`
+        return;
+    }
+
+    // Calibrate: double the batch size until a batch is long enough to
+    // time reliably, which also serves as warmup.
+    loop {
+        routine(&mut b);
+        if b.elapsed >= Duration::from_millis(1) || b.iters >= 1 << 30 {
+            break;
+        }
+        b.iters *= 2;
+    }
+    let per_iter = b.elapsed.as_nanos().max(1) / b.iters as u128;
+    let sample_iters = (SAMPLE_TARGET.as_nanos() / per_iter).clamp(1, 1 << 30) as u64;
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        b.iters = sample_iters;
+        routine(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / sample_iters as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let max = samples[samples.len() - 1];
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!(" thrpt: {}/s", human_bytes(n as f64 * 1e9 / median)),
+        Throughput::Elements(n) => format!(" thrpt: {:.2} Melem/s", n as f64 * 1e3 / median),
+    });
+    println!(
+        "{id:<44} time: [{} {} {}]{}",
+        human_time(min),
+        human_time(median),
+        human_time(max),
+        rate.unwrap_or_default()
+    );
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn human_bytes(bps: f64) -> String {
+    if bps < 1024.0 * 1024.0 {
+        format!("{:.1} KiB", bps / 1024.0)
+    } else if bps < 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.1} MiB", bps / (1024.0 * 1024.0))
+    } else {
+        format!("{:.2} GiB", bps / (1024.0 * 1024.0 * 1024.0))
+    }
+}
+
+/// Define a function running a sequence of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

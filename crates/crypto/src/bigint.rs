@@ -4,12 +4,16 @@
 //! zero limbs (canonical form; zero is the empty limb vector). The
 //! operations implemented are exactly those RSA needs: comparison,
 //! add/sub/mul, Knuth Algorithm-D division, shifts, modular
-//! exponentiation (left-to-right square-and-multiply), gcd and modular
-//! inverse (extended binary Euclid on signed intermediates).
+//! exponentiation, gcd and modular inverse (extended binary Euclid on
+//! signed intermediates).
 //!
 //! Design note (mirroring the smoltcp philosophy the workspace follows):
 //! simplicity and robustness over cleverness — schoolbook multiplication
-//! and textbook division, heavily tested, no unsafe, no allocation tricks.
+//! and textbook division, heavily tested, no unsafe. The one performance
+//! concession lives in [`crate::montgomery`]: [`Ubig::modpow`] dispatches
+//! odd moduli to the division-free Montgomery path and keeps the
+//! schoolbook ladder ([`Ubig::modpow_schoolbook`]) as the reference
+//! implementation and even-modulus fallback.
 
 use crate::CryptoError;
 
@@ -131,6 +135,21 @@ impl Ubig {
         }
     }
 
+    /// The little-endian `u64` limbs (no trailing zeros; empty for 0).
+    ///
+    /// Exposed for the Montgomery subsystem, which works on fixed-width
+    /// limb slices of the modulus's length.
+    pub(crate) fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Construct from little-endian limbs (trailing zeros allowed).
+    pub(crate) fn from_limbs(limbs: Vec<u64>) -> Ubig {
+        let mut n = Ubig { limbs };
+        n.normalize();
+        n
+    }
+
     /// `self + other`.
     pub fn add(&self, other: &Ubig) -> Ubig {
         let (longer, shorter) = if self.limbs.len() >= other.limbs.len() {
@@ -140,9 +159,9 @@ impl Ubig {
         };
         let mut out = Vec::with_capacity(longer.len() + 1);
         let mut carry = 0u64;
-        for i in 0..longer.len() {
+        for (i, &l) in longer.iter().enumerate() {
             let b = shorter.get(i).copied().unwrap_or(0);
-            let (s1, c1) = longer[i].overflowing_add(b);
+            let (s1, c1) = l.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
             out.push(s2);
             carry = (c1 as u64) + (c2 as u64);
@@ -158,8 +177,7 @@ impl Ubig {
     /// `self - other`; panics in debug if `other > self` (checked variant
     /// below for fallible use).
     pub fn sub(&self, other: &Ubig) -> Ubig {
-        self.checked_sub(other)
-            .expect("Ubig::sub underflow (other > self)")
+        self.checked_sub(other).expect("Ubig::sub underflow (other > self)")
     }
 
     /// `self - other`, or `None` on underflow.
@@ -331,8 +349,7 @@ impl Ubig {
             let mut qhat = numer / v_top as u128;
             let mut rhat = numer % v_top as u128;
             // Refine: qhat is at most 2 too large.
-            while qhat >> 64 != 0
-                || qhat * v_second as u128 > ((rhat << 64) | u[j + n - 2] as u128)
+            while qhat >> 64 != 0 || qhat * v_second as u128 > ((rhat << 64) | u[j + n - 2] as u128)
             {
                 qhat -= 1;
                 rhat += v_top as u128;
@@ -370,9 +387,7 @@ impl Ubig {
 
         let mut quo = Ubig { limbs: q };
         quo.normalize();
-        let mut rem = Ubig {
-            limbs: u[..n].to_vec(),
-        };
+        let mut rem = Ubig { limbs: u[..n].to_vec() };
         rem.normalize();
         Ok((quo, rem.shr(shift)))
     }
@@ -382,13 +397,58 @@ impl Ubig {
         Ok(self.div_rem(m)?.1)
     }
 
+    /// `self mod d` for a single-limb divisor, without allocating.
+    ///
+    /// One `u128` division per limb — the cheap primitive behind the
+    /// batched small-prime trial division in [`crate::rsa`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn rem_u64(&self, d: u64) -> u64 {
+        assert!(d != 0, "rem_u64 divisor must be non-zero");
+        let mut rem = 0u128;
+        for &l in self.limbs.iter().rev() {
+            rem = ((rem << 64) | l as u128) % d as u128;
+        }
+        rem as u64
+    }
+
     /// `(self * other) mod m`.
     pub fn mulmod(&self, other: &Ubig, m: &Ubig) -> Result<Ubig, CryptoError> {
         self.mul(other).rem(m)
     }
 
-    /// `self^exp mod m` by left-to-right square-and-multiply.
+    /// `self^exp mod m`.
+    ///
+    /// Odd moduli (every RSA modulus, prime and Miller–Rabin candidate)
+    /// take the division-free Montgomery path
+    /// ([`crate::montgomery::MontgomeryCtx`]); even moduli fall back to
+    /// [`Ubig::modpow_schoolbook`]. Call sites that exponentiate
+    /// repeatedly against one modulus should build a `MontgomeryCtx` once
+    /// instead — this convenience wrapper re-derives the per-modulus
+    /// constants on every call.
     pub fn modpow(&self, exp: &Ubig, m: &Ubig) -> Result<Ubig, CryptoError> {
+        if m.is_zero() {
+            return Err(CryptoError::DivisionByZero);
+        }
+        if m.is_one() {
+            return Ok(Ubig::zero());
+        }
+        if m.is_odd() && !crate::schoolbook_forced() {
+            crate::montgomery::MontgomeryCtx::new(m)?.modpow(self, exp)
+        } else {
+            self.modpow_schoolbook(exp, m)
+        }
+    }
+
+    /// `self^exp mod m` by left-to-right square-and-multiply with a full
+    /// division per step.
+    ///
+    /// Works for any modulus (including even ones, which Montgomery
+    /// reduction cannot handle) and serves as the reference
+    /// implementation the property tests compare the fast path against.
+    pub fn modpow_schoolbook(&self, exp: &Ubig, m: &Ubig) -> Result<Ubig, CryptoError> {
         if m.is_zero() {
             return Err(CryptoError::DivisionByZero);
         }

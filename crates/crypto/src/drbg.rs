@@ -87,9 +87,7 @@ impl Drbg {
     /// Seed the generator (SplitMix64-expanded, per the reference code).
     pub fn new(seed: u64) -> Self {
         let mut sm = SplitMix64::new(seed);
-        Drbg {
-            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
-        }
+        Drbg { s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()] }
     }
 
     /// Derive an independent child generator for a named subsystem.

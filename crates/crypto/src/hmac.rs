@@ -74,11 +74,7 @@ mod tests {
             "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
         );
         assert_eq!(
-            hex(&hmac(
-                HashAlg::Sha256,
-                b"Jefe",
-                b"what do ya want for nothing?"
-            )),
+            hex(&hmac(HashAlg::Sha256, b"Jefe", b"what do ya want for nothing?")),
             "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
         );
     }

@@ -11,6 +11,7 @@
 
 use crate::bigint::Ubig;
 use crate::drbg::RngCore64;
+use crate::montgomery::MontgomeryCtx;
 use crate::{CryptoError, HashAlg};
 
 /// Public RSA key: modulus and exponent.
@@ -33,6 +34,66 @@ pub struct RsaKeyPair {
     pub p: Ubig,
     /// Prime factor `q`.
     pub q: Ubig,
+    /// Precomputed CRT material (populated by [`RsaKeyPair::generate`]).
+    /// `None` only for keys assembled by hand; signing then falls back to
+    /// a full-size exponentiation mod `n`.
+    pub crt: Option<RsaCrt>,
+}
+
+/// Precomputed Chinese-Remainder-Theorem private-key material.
+///
+/// Signing with CRT performs two half-size Montgomery exponentiations
+/// (`m^dp mod p`, `m^dq mod q`) plus a Garner recombination instead of
+/// one full-size exponentiation mod `n` — ~4× less work, since
+/// exponentiation cost grows roughly cubically with operand size. The
+/// Montgomery contexts for both primes are built once here and reused by
+/// every signature.
+#[derive(Debug, Clone)]
+pub struct RsaCrt {
+    /// `d mod (p-1)`.
+    dp: Ubig,
+    /// `d mod (q-1)`.
+    dq: Ubig,
+    /// `q⁻¹ mod p` (Garner's coefficient).
+    qinv: Ubig,
+    /// Montgomery context for arithmetic mod `p`.
+    p_ctx: MontgomeryCtx,
+    /// Montgomery context for arithmetic mod `q`.
+    q_ctx: MontgomeryCtx,
+}
+
+impl RsaCrt {
+    /// Precompute CRT parameters from the factors and private exponent.
+    pub fn new(p: &Ubig, q: &Ubig, d: &Ubig) -> Result<RsaCrt, CryptoError> {
+        let one = Ubig::one();
+        Ok(RsaCrt {
+            dp: d.rem(&p.sub(&one))?,
+            dq: d.rem(&q.sub(&one))?,
+            qinv: q.modinv(p)?,
+            p_ctx: MontgomeryCtx::new(p)?,
+            q_ctx: MontgomeryCtx::new(q)?,
+        })
+    }
+
+    /// `m^d mod pq` via Garner's recombination.
+    ///
+    /// Produces exactly the value a direct `m.modpow(d, n)` would, so CRT
+    /// and non-CRT signatures are byte-identical.
+    pub fn private_exp(&self, m: &Ubig) -> Result<Ubig, CryptoError> {
+        let p = self.p_ctx.modulus();
+        let q = self.q_ctx.modulus();
+        let m1 = self.p_ctx.modpow(m, &self.dp)?;
+        let m2 = self.q_ctx.modpow(m, &self.dq)?;
+        // h = qinv · (m1 − m2) mod p
+        let m2_mod_p = m2.rem(&p)?;
+        let diff = match m1.checked_sub(&m2_mod_p) {
+            Some(d) => d,
+            None => m1.add(&p).sub(&m2_mod_p),
+        };
+        let h = self.p_ctx.mulmod(&self.qinv, &diff)?;
+        // s = m2 + q·h  (already < pq)
+        Ok(m2.add(&q.mul(&h)))
+    }
 }
 
 /// DER DigestInfo prefixes per RFC 8017 §9.2 note 1.
@@ -55,9 +116,47 @@ fn digest_info_prefix(alg: HashAlg) -> &'static [u8] {
 
 const FIRST_PRIMES: [u64; 60] = [
     3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
-    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283,
 ];
+
+/// Products of consecutive `FIRST_PRIMES` packed greedily into `u64`s.
+///
+/// Trial division then needs one multi-limb-by-`u64` remainder per product
+/// (5 of them) instead of one full `div_rem` per prime (60 of them): a
+/// small prime `p` divides `n` iff `gcd(n mod P, P) > 1` for the product
+/// `P` containing `p`.
+fn prime_products() -> &'static [u64] {
+    static PRODUCTS: std::sync::OnceLock<Vec<u64>> = std::sync::OnceLock::new();
+    PRODUCTS.get_or_init(|| {
+        let mut products = Vec::new();
+        let mut acc: u64 = 1;
+        for &p in &FIRST_PRIMES {
+            match acc.checked_mul(p) {
+                Some(next) => acc = next,
+                None => {
+                    products.push(acc);
+                    acc = p;
+                }
+            }
+        }
+        products.push(acc);
+        products
+    })
+}
+
+fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// True iff some prime in `FIRST_PRIMES` divides `n` — without any
+/// multi-limb division beyond one short remainder per prime product.
+fn has_small_factor(n: &Ubig) -> bool {
+    prime_products().iter().any(|&prod| gcd_u64(n.rem_u64(prod), prod) > 1)
+}
 
 /// Miller–Rabin probabilistic primality test with `rounds` random bases.
 pub fn is_probable_prime(n: &Ubig, rounds: usize, rng: &mut dyn RngCore64) -> bool {
@@ -71,15 +170,14 @@ pub fn is_probable_prime(n: &Ubig, rounds: usize, rng: &mut dyn RngCore64) -> bo
     if !n.is_odd() {
         return false;
     }
-    // Trial division by small primes.
-    for &p in &FIRST_PRIMES {
-        let pb = Ubig::from_u64(p);
-        if n == &pb {
-            return true;
-        }
-        if n.rem(&pb).expect("nonzero divisor").is_zero() {
-            return false;
-        }
+    // Trial division by small primes via batched prime products. For n
+    // itself within the small-prime range the factor found is n, which is
+    // prime — hence the membership check instead.
+    if n <= &Ubig::from_u64(*FIRST_PRIMES.last().unwrap()) {
+        return FIRST_PRIMES.contains(&n.limbs()[0]); // single-limb by the guard
+    }
+    if has_small_factor(n) {
+        return false;
     }
     // Write n-1 = d * 2^r with d odd.
     let n_minus_1 = n.sub(&Ubig::one());
@@ -89,25 +187,34 @@ pub fn is_probable_prime(n: &Ubig, rounds: usize, rng: &mut dyn RngCore64) -> bo
         d = d.shr(1);
         r += 1;
     }
-    let byte_len = (n.bit_len() + 7) / 8;
+    // One Montgomery context serves every witness (n is odd here).
+    // `None` under TLSFOE_SCHOOLBOOK, the seed-equivalence perf ablation.
+    let ctx = (!crate::schoolbook_forced()).then(|| MontgomeryCtx::new(n).expect("odd modulus"));
+    let byte_len = n.bit_len().div_ceil(8);
     'witness: for _ in 0..rounds {
         // Random base a in [2, n-2].
         let a = loop {
             let mut bytes = vec![0u8; byte_len];
             rng.fill_bytes(&mut bytes);
-            let a = Ubig::from_bytes_be(&bytes)
-                .rem(&n_minus_1)
-                .expect("nonzero divisor");
+            let a = Ubig::from_bytes_be(&bytes).rem(&n_minus_1).expect("nonzero divisor");
             if a > Ubig::one() {
                 break a;
             }
         };
-        let mut x = a.modpow(&d, n).expect("nonzero modulus");
+        let mut x = match &ctx {
+            Some(ctx) => ctx.modpow(&a, &d),
+            None => a.modpow_schoolbook(&d, n),
+        }
+        .expect("nonzero modulus");
         if x.is_one() || x == n_minus_1 {
             continue 'witness;
         }
         for _ in 0..r.saturating_sub(1) {
-            x = x.mulmod(&x, n).expect("nonzero modulus");
+            x = match &ctx {
+                Some(ctx) => ctx.mulmod(&x, &x),
+                None => x.mulmod(&x, n),
+            }
+            .expect("nonzero modulus");
             if x == n_minus_1 {
                 continue 'witness;
             }
@@ -120,7 +227,7 @@ pub fn is_probable_prime(n: &Ubig, rounds: usize, rng: &mut dyn RngCore64) -> bo
 /// Generate a random prime with exactly `bits` bits.
 pub fn gen_prime(bits: usize, rng: &mut dyn RngCore64) -> Result<Ubig, CryptoError> {
     assert!(bits >= 16, "prime sizes below 16 bits are not supported");
-    let byte_len = (bits + 7) / 8;
+    let byte_len = bits.div_ceil(8);
     // MR round count per FIPS 186-4-ish guidance; generous for small sizes.
     let rounds = if bits >= 1024 { 5 } else { 16 };
     for _ in 0..100_000 {
@@ -163,12 +270,8 @@ impl RsaKeyPair {
                 Ok(d) => d,
                 Err(_) => continue, // e not coprime with phi; rare — retry
             };
-            return Ok(RsaKeyPair {
-                public: RsaPublicKey { n, e },
-                d,
-                p,
-                q,
-            });
+            let crt = Some(RsaCrt::new(&p, &q, &d)?);
+            return Ok(RsaKeyPair { public: RsaPublicKey { n, e }, d, p, q, crt });
         }
     }
 
@@ -180,16 +283,30 @@ impl RsaKeyPair {
     /// Sign `message` with RSASSA-PKCS1-v1_5 using `alg` as digest.
     ///
     /// Returns the signature as a big-endian byte string exactly as long
-    /// as the modulus.
+    /// as the modulus. Keys with precomputed [`RsaCrt`] material (all
+    /// generated keys) take the CRT fast path; the result is byte-
+    /// identical either way.
     pub fn sign(&self, alg: HashAlg, message: &[u8]) -> Result<Vec<u8>, CryptoError> {
-        let k = (self.public.n.bit_len() + 7) / 8;
+        let k = self.public.n.bit_len().div_ceil(8);
         let em = pkcs1v15_encode(alg, message, k)?;
         let m = Ubig::from_bytes_be(&em);
         if m >= self.public.n {
             return Err(CryptoError::MessageTooLong);
         }
-        let s = m.modpow(&self.d, &self.public.n)?;
+        let s = match &self.crt {
+            // The TLSFOE_SCHOOLBOOK check keeps the seed's full-size
+            // exponentiation reachable for end-to-end perf ablations.
+            Some(crt) if !crate::schoolbook_forced() => crt.private_exp(&m)?,
+            _ => m.modpow(&self.d, &self.public.n)?,
+        };
         s.to_bytes_be_padded(k).ok_or(CryptoError::MessageTooLong)
+    }
+
+    /// Recompute and attach the CRT acceleration material (for keys
+    /// assembled from raw parts rather than [`RsaKeyPair::generate`]).
+    pub fn precompute_crt(&mut self) -> Result<(), CryptoError> {
+        self.crt = Some(RsaCrt::new(&self.p, &self.q, &self.d)?);
+        Ok(())
     }
 }
 
@@ -206,7 +323,7 @@ impl RsaPublicKey {
         message: &[u8],
         signature: &[u8],
     ) -> Result<(), CryptoError> {
-        let k = (self.n.bit_len() + 7) / 8;
+        let k = self.n.bit_len().div_ceil(8);
         if signature.len() != k {
             return Err(CryptoError::BadSignature);
         }
@@ -215,9 +332,7 @@ impl RsaPublicKey {
             return Err(CryptoError::BadSignature);
         }
         let m = s.modpow(&self.e, &self.n)?;
-        let em = m
-            .to_bytes_be_padded(k)
-            .ok_or(CryptoError::BadSignature)?;
+        let em = m.to_bytes_be_padded(k).ok_or(CryptoError::BadSignature)?;
         let expected = pkcs1v15_encode(alg, message, k)?;
         if em == expected {
             Ok(())
@@ -254,10 +369,7 @@ mod tests {
     fn small_primes_recognized() {
         let mut rng = Drbg::new(1);
         for p in [2u64, 3, 5, 7, 11, 13, 257, 65537, 1_000_000_007] {
-            assert!(
-                is_probable_prime(&Ubig::from_u64(p), 16, &mut rng),
-                "{p} should be prime"
-            );
+            assert!(is_probable_prime(&Ubig::from_u64(p), 16, &mut rng), "{p} should be prime");
         }
         for c in [0u64, 1, 4, 9, 15, 21, 255, 65535, 1_000_000_008] {
             assert!(
@@ -341,6 +453,51 @@ mod tests {
         let key = RsaKeyPair::generate(512, &mut rng).unwrap();
         assert!(key.public.verify(HashAlg::Sha1, b"msg", &[0u8; 63]).is_err());
         assert!(key.public.verify(HashAlg::Sha1, b"msg", &[]).is_err());
+    }
+
+    #[test]
+    fn crt_and_direct_signatures_byte_identical() {
+        let mut rng = Drbg::new(20);
+        for bits in [512usize, 768] {
+            let key = RsaKeyPair::generate(bits, &mut rng).unwrap();
+            assert!(key.crt.is_some(), "generate must precompute CRT");
+            let mut slow = key.clone();
+            slow.crt = None;
+            for alg in [HashAlg::Md5, HashAlg::Sha1, HashAlg::Sha256] {
+                let fast_sig = key.sign(alg, b"garner recombination").unwrap();
+                let slow_sig = slow.sign(alg, b"garner recombination").unwrap();
+                assert_eq!(fast_sig, slow_sig, "bits={bits} alg={alg:?}");
+                key.public.verify(alg, b"garner recombination", &fast_sig).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn precompute_crt_restores_fast_path() {
+        let mut rng = Drbg::new(21);
+        let key = RsaKeyPair::generate(512, &mut rng).unwrap();
+        let mut stripped = key.clone();
+        stripped.crt = None;
+        stripped.precompute_crt().unwrap();
+        assert_eq!(
+            stripped.sign(HashAlg::Sha1, b"m").unwrap(),
+            key.sign(HashAlg::Sha1, b"m").unwrap()
+        );
+    }
+
+    #[test]
+    fn small_factor_batching_matches_direct_division() {
+        // The batched gcd trial division must agree with dividing by each
+        // prime individually on a mix of smooth and rough numbers.
+        let mut rng = Drbg::new(22);
+        for _ in 0..200 {
+            let mut bytes = [0u8; 24];
+            rng.fill_bytes(&mut bytes);
+            let mut n = Ubig::from_bytes_be(&bytes);
+            n.set_bit(0); // odd, as on the is_probable_prime path
+            let direct = FIRST_PRIMES.iter().any(|&p| n.rem_u64(p) == 0);
+            assert_eq!(has_small_factor(&n), direct, "n={n:?}");
+        }
     }
 
     #[test]

@@ -90,12 +90,8 @@ impl Sha1 {
                 2 => ((b & c) | (b & d) | (c & d), 0x8f1bbcdc),
                 _ => (b ^ c ^ d, 0xca62c1d6),
             };
-            let tmp = a
-                .rotate_left(5)
-                .wrapping_add(f)
-                .wrapping_add(e)
-                .wrapping_add(k)
-                .wrapping_add(wi);
+            let tmp =
+                a.rotate_left(5).wrapping_add(f).wrapping_add(e).wrapping_add(k).wrapping_add(wi);
             e = d;
             d = c;
             c = b.rotate_left(30);
@@ -135,9 +131,7 @@ mod tests {
             "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
         );
         assert_eq!(
-            hex(&sha1(
-                b"The quick brown fox jumps over the lazy dog"
-            )),
+            hex(&sha1(b"The quick brown fox jumps over the lazy dog")),
             "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"
         );
     }

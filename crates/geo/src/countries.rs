@@ -66,10 +66,7 @@ pub fn info(code: CountryCode) -> Country {
         NAMED[idx].clone()
     } else {
         let tail_index = idx - NAMED.len();
-        assert!(
-            (tail_index as u16) < TAIL_COUNT,
-            "country code {idx} out of registry"
-        );
+        assert!((tail_index as u16) < TAIL_COUNT, "country code {idx} out of registry");
         // Synthetic territories get stable generated codes/names. The
         // leaked &'static str is bounded by TAIL_COUNT distinct values.
         let code: &'static str = Box::leak(format!("T{tail_index:02}").into_boxed_str());
@@ -80,10 +77,7 @@ pub fn info(code: CountryCode) -> Country {
 
 /// Find a named country's code index by its two-letter code.
 pub fn by_code(code: &str) -> Option<CountryCode> {
-    NAMED
-        .iter()
-        .position(|c| c.code == code)
-        .map(|i| CountryCode(i as u16))
+    NAMED.iter().position(|c| c.code == code).map(|i| CountryCode(i as u16))
 }
 
 /// Iterate all codes (named + tail).

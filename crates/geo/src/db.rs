@@ -27,9 +27,7 @@ impl GeoDb {
         let mut base = Ipv4([11, 0, 0, 0]).as_u32();
         for code in countries::all_codes() {
             blocks.push((base, block_size, code));
-            base = base
-                .checked_add(block_size)
-                .expect("address space exhausted");
+            base = base.checked_add(block_size).expect("address space exhausted");
         }
         GeoDb { blocks }
     }

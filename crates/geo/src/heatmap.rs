@@ -25,19 +25,10 @@ pub const BIN_EDGES: [f64; 7] = [0.0, 0.0005, 0.001, 0.002, 0.004, 0.008, 0.12];
 
 /// Bin a (country → rate) series into the legend bins.
 pub fn bin_rates(rates: &[(CountryCode, f64)]) -> Vec<HeatBin> {
-    let mut bins: Vec<HeatBin> = BIN_EDGES
-        .windows(2)
-        .map(|w| HeatBin {
-            lo: w[0],
-            hi: w[1],
-            members: Vec::new(),
-        })
-        .collect();
+    let mut bins: Vec<HeatBin> =
+        BIN_EDGES.windows(2).map(|w| HeatBin { lo: w[0], hi: w[1], members: Vec::new() }).collect();
     for &(code, rate) in rates {
-        let idx = bins
-            .iter()
-            .position(|b| rate >= b.lo && rate < b.hi)
-            .unwrap_or(bins.len() - 1);
+        let idx = bins.iter().position(|b| rate >= b.lo && rate < b.hi).unwrap_or(bins.len() - 1);
         bins[idx].members.push(code);
     }
     bins
@@ -60,12 +51,7 @@ pub fn render_heatmap(rates: &[(CountryCode, f64)]) -> String {
             .unwrap_or(SHADES.len() - 1)
             .min(SHADES.len() - 1);
         let info = countries::info(*code);
-        out.push_str(&format!(
-            "{} {:<14} {:>7.3}%\n",
-            SHADES[bin],
-            info.name,
-            rate * 100.0
-        ));
+        out.push_str(&format!("{} {:<14} {:>7.3}%\n", SHADES[bin], info.name, rate * 100.0));
     }
     out.push('\n');
     for (i, w) in BIN_EDGES.windows(2).enumerate() {
@@ -96,9 +82,8 @@ mod tests {
 
     #[test]
     fn every_rate_lands_in_exactly_one_bin() {
-        let rates: Vec<(CountryCode, f64)> = (0..20)
-            .map(|i| (CountryCode(i), i as f64 * 0.0005))
-            .collect();
+        let rates: Vec<(CountryCode, f64)> =
+            (0..20).map(|i| (CountryCode(i), i as f64 * 0.0005)).collect();
         let bins = bin_rates(&rates);
         let total: usize = bins.iter().map(|b| b.members.len()).sum();
         assert_eq!(total, rates.len());

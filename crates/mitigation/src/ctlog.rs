@@ -102,11 +102,7 @@ impl CtLog {
         assert!(index < self.leaves.len(), "leaf index beyond log");
         let mut path = Vec::new();
         Self::audit_path(&self.leaves, index, &mut path);
-        InclusionProof {
-            index,
-            tree_size: self.leaves.len(),
-            path,
-        }
+        InclusionProof { index, tree_size: self.leaves.len(), path }
     }
 
     fn audit_path(leaves: &[[u8; 32]], index: usize, out: &mut Vec<[u8; 32]>) {
@@ -125,11 +121,7 @@ impl CtLog {
 
     /// Verify an inclusion proof against a tree head (the exact RFC 9162
     /// §2.1.3.2 algorithm).
-    pub fn verify_inclusion(
-        cert: &Certificate,
-        proof: &InclusionProof,
-        root: &[u8; 32],
-    ) -> bool {
+    pub fn verify_inclusion(cert: &Certificate, proof: &InclusionProof, root: &[u8; 32]) -> bool {
         if proof.tree_size == 0 || proof.index >= proof.tree_size {
             return false;
         }
@@ -202,10 +194,7 @@ mod tests {
             let root = log.root();
             for (i, c) in certs[..size].iter().enumerate() {
                 let proof = log.prove_inclusion(i);
-                assert!(
-                    CtLog::verify_inclusion(c, &proof, &root),
-                    "size {size} index {i}"
-                );
+                assert!(CtLog::verify_inclusion(c, &proof, &root), "size {size} index {i}");
             }
         }
     }

@@ -14,9 +14,9 @@
 
 use std::rc::Rc;
 
+use tlsfoe_netsim::Ipv4;
 use tlsfoe_population::model::{ClientProfile, PopulationModel};
 use tlsfoe_population::products::ProductId;
-use tlsfoe_netsim::Ipv4;
 use tlsfoe_x509::Certificate;
 
 use crate::ctlog::CtLog;
@@ -148,10 +148,8 @@ pub fn render(rows: &[EvalRow]) -> String {
             mark(r.ct)
         ));
     }
-    let missed_by_chrome = rows
-        .iter()
-        .filter(|r| r.chrome_pin == MitigationVerdict::Missed)
-        .count();
+    let missed_by_chrome =
+        rows.iter().filter(|r| r.chrome_pin == MitigationVerdict::Missed).count();
     out.push_str(&format!(
         "  chrome-style pinning misses {missed_by_chrome}/{} proxies (local-root bypass, §7)\n",
         rows.len()
@@ -169,11 +167,8 @@ mod tests {
     fn setup() -> (PopulationModel, Vec<Certificate>) {
         let ca = keys::keypair(720_001, 1024);
         let ca_name = NameBuilder::new().organization("DigiCert Inc").build();
-        let ca_cert = CertificateBuilder::new()
-            .subject(ca_name.clone())
-            .ca(None)
-            .self_sign(&ca)
-            .unwrap();
+        let ca_cert =
+            CertificateBuilder::new().subject(ca_name.clone()).ca(None).self_sign(&ca).unwrap();
         let leaf_key = keys::keypair(720_002, 1024);
         let leaf = CertificateBuilder::new()
             .issuer(ca_name)

@@ -144,10 +144,7 @@ mod tests {
         let obs = notary.observe(&mut net, dst, "h.example");
         // The client saw a proxy's substitute instead.
         let substitute = server_cert("h.example", 700_003);
-        assert_eq!(
-            notary.verdict(&substitute, &obs),
-            NotaryVerdict::ClientPathMitm
-        );
+        assert_eq!(notary.verdict(&substitute, &obs), NotaryVerdict::ClientPathMitm);
     }
 
     #[test]
@@ -184,9 +181,6 @@ mod tests {
         let obs = notary.observe(&mut net, dst, "h.example");
         let old_cert = server_cert("h.example", 700_007);
         // Client legitimately saw the OLD cert: flagged as MitM anyway.
-        assert_eq!(
-            notary.verdict(&old_cert, &obs),
-            NotaryVerdict::ClientPathMitm
-        );
+        assert_eq!(notary.verdict(&old_cert, &obs), NotaryVerdict::ClientPathMitm);
     }
 }

@@ -19,9 +19,10 @@ use tlsfoe_x509::verify::RootOrigin;
 use tlsfoe_x509::{Certificate, RootStore};
 
 /// How pins interact with locally installed roots.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PinPolicy {
     /// Pins always apply (TACK-style).
+    #[default]
     Strict,
     /// Pins are bypassed for chains anchoring at injected local roots
     /// (Chrome's behaviour, per §7).
@@ -49,12 +50,6 @@ pub struct PinStore {
     policy: PinPolicy,
 }
 
-impl Default for PinPolicy {
-    fn default() -> Self {
-        PinPolicy::Strict
-    }
-}
-
 fn key_fingerprint(cert: &Certificate) -> [u8; 32] {
     sha256(&cert.tbs.spki.key.n.to_bytes_be())
 }
@@ -62,10 +57,7 @@ fn key_fingerprint(cert: &Certificate) -> [u8; 32] {
 impl PinStore {
     /// Empty store with the given policy.
     pub fn new(policy: PinPolicy) -> PinStore {
-        PinStore {
-            pins: HashMap::new(),
-            policy,
-        }
+        PinStore { pins: HashMap::new(), policy }
     }
 
     /// Preload a pin (Chrome ships Google's pins — §7's TOFU exemption).
@@ -170,18 +162,12 @@ mod tests {
         let genuine = leaf("h.example", &key(1));
         let roots = RootStore::new();
         assert_eq!(
-            store.check("h.example", &[genuine.clone()], &roots),
+            store.check("h.example", std::slice::from_ref(&genuine), &roots),
             PinVerdict::NoPin
         );
-        assert_eq!(
-            store.check("h.example", &[genuine], &roots),
-            PinVerdict::Ok
-        );
+        assert_eq!(store.check("h.example", &[genuine], &roots), PinVerdict::Ok);
         let substitute = leaf("h.example", &key(2));
-        assert_eq!(
-            store.check("h.example", &[substitute], &roots),
-            PinVerdict::Violation
-        );
+        assert_eq!(store.check("h.example", &[substitute], &roots), PinVerdict::Violation);
     }
 
     #[test]
@@ -216,10 +202,7 @@ mod tests {
         // Strict policy on the same chain: caught.
         let mut strict = PinStore::new(PinPolicy::Strict);
         strict.preload("h.example", &genuine);
-        assert_eq!(
-            strict.check("h.example", &chain, &victim_roots),
-            PinVerdict::Violation
-        );
+        assert_eq!(strict.check("h.example", &chain, &victim_roots), PinVerdict::Violation);
     }
 
     #[test]
@@ -233,18 +216,12 @@ mod tests {
         // Chrome-style pins still fire.
         let mut roots = RootStore::new();
         roots.add_factory_root(chain[1].clone());
-        assert_eq!(
-            store.check("h.example", &chain, &roots),
-            PinVerdict::Violation
-        );
+        assert_eq!(store.check("h.example", &chain, &roots), PinVerdict::Violation);
     }
 
     #[test]
     fn empty_chain_is_violation() {
         let mut store = PinStore::new(PinPolicy::Strict);
-        assert_eq!(
-            store.check("h.example", &[], &RootStore::new()),
-            PinVerdict::Violation
-        );
+        assert_eq!(store.check("h.example", &[], &RootStore::new()), PinVerdict::Violation);
     }
 }

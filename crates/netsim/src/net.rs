@@ -76,10 +76,7 @@ pub struct NetworkConfig {
 
 impl Default for NetworkConfig {
     fn default() -> Self {
-        NetworkConfig {
-            default_link: LinkProfile::default(),
-            max_events: 50_000_000,
-        }
+        NetworkConfig { default_link: LinkProfile::default(), max_events: 50_000_000 }
     }
 }
 
@@ -189,10 +186,7 @@ impl Network {
     }
 
     fn link_for(&self, client: Ipv4) -> LinkProfile {
-        self.links
-            .get(&client)
-            .cloned()
-            .unwrap_or_else(|| self.config.default_link.clone())
+        self.links.get(&client).cloned().unwrap_or_else(|| self.config.default_link.clone())
     }
 
     /// Dial from a *client host* — the entry point the measurement tool
@@ -233,23 +227,13 @@ impl Network {
         if client.is_some() && link.blocked_ports.contains(&port) {
             return Err(DialError::PortBlocked);
         }
-        let info = DialInfo {
-            client: client.unwrap_or(Ipv4([0, 0, 0, 0])),
-            dst,
-            port,
-        };
+        let info = DialInfo { client: client.unwrap_or(Ipv4([0, 0, 0, 0])), dst, port };
 
         // Interceptor chain applies to client-originated dials only.
         let acceptor: Box<dyn Conduit> = if let Some(c) = client {
-            let claimed = self
-                .interceptors
-                .get(&c)
-                .is_some_and(|i| i.claims(dst, port));
+            let claimed = self.interceptors.get(&c).is_some_and(|i| i.claims(dst, port));
             if claimed {
-                self.interceptors
-                    .get_mut(&c)
-                    .expect("interceptor present")
-                    .accept(info)
+                self.interceptors.get_mut(&c).expect("interceptor present").accept(info)
             } else {
                 self.accept_from_listener(info)?
             }
@@ -298,11 +282,7 @@ impl Network {
     }
 
     fn push_event(&mut self, delay_us: u64, kind: EventKind) {
-        let ev = Event {
-            time_us: self.now_us + delay_us,
-            seq: self.seq,
-            kind,
-        };
+        let ev = Event { time_us: self.now_us + delay_us, seq: self.seq, kind };
         self.seq += 1;
         self.events.push(Reverse(ev));
     }
@@ -364,10 +344,7 @@ impl Network {
             return;
         };
         {
-            let mut io = IoCtx {
-                net: self,
-                current: tok,
-            };
+            let mut io = IoCtx { net: self, current: tok };
             f(conduit.as_mut(), &mut io);
         }
         // The slot may have been marked closed meanwhile; keep the conduit
@@ -426,9 +403,7 @@ mod tests {
             io.send(b"hello");
         }
         fn on_data(&mut self, data: &[u8], io: &mut IoCtx<'_>) {
-            self.log
-                .borrow_mut()
-                .push(String::from_utf8_lossy(data).into_owned());
+            self.log.borrow_mut().push(String::from_utf8_lossy(data).into_owned());
             io.close();
         }
         fn on_close(&mut self, _io: &mut IoCtx<'_>) {
@@ -448,13 +423,7 @@ mod tests {
         let mut net = Network::new(NetworkConfig::default(), 1);
         net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
         let log = Rc::new(RefCell::new(Vec::new()));
-        net.dial_from(
-            client_ip(),
-            server_ip(),
-            80,
-            Box::new(Client { log: log.clone() }),
-        )
-        .unwrap();
+        net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() })).unwrap();
         net.run();
         assert_eq!(log.borrow().as_slice(), ["HELLO".to_string()]);
     }
@@ -463,9 +432,8 @@ mod tests {
     fn refused_when_no_listener() {
         let mut net = Network::new(NetworkConfig::default(), 1);
         let log = Rc::new(RefCell::new(Vec::new()));
-        let err = net
-            .dial_from(client_ip(), server_ip(), 443, Box::new(Client { log }))
-            .unwrap_err();
+        let err =
+            net.dial_from(client_ip(), server_ip(), 443, Box::new(Client { log })).unwrap_err();
         assert_eq!(err, DialError::Refused);
     }
 
@@ -476,10 +444,7 @@ mod tests {
         net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
         net.set_link(
             client_ip(),
-            LinkProfile {
-                blocked_ports: vec![843],
-                ..LinkProfile::default()
-            },
+            LinkProfile { blocked_ports: vec![843], ..LinkProfile::default() },
         );
         let log = Rc::new(RefCell::new(Vec::new()));
         // Port 843 (classic Flash policy port) blocked...
@@ -489,8 +454,7 @@ mod tests {
             DialError::PortBlocked
         );
         // ...but port 80 works — the paper's §3.1 design decision.
-        net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() }))
-            .unwrap();
+        net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() })).unwrap();
         net.run();
         assert_eq!(log.borrow()[0], "HELLO");
     }
@@ -500,8 +464,7 @@ mod tests {
         let mut net = Network::new(NetworkConfig::default(), 1);
         net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
         let log = Rc::new(RefCell::new(Vec::new()));
-        net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log }))
-            .unwrap();
+        net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log })).unwrap();
         net.run();
         // open(2L) + send(L) + reply(L) = 4 × 20ms = 80 ms min.
         assert!(net.now_us() >= 80_000, "now = {}", net.now_us());
@@ -519,8 +482,7 @@ mod tests {
             },
         );
         let log = Rc::new(RefCell::new(Vec::new()));
-        net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() }))
-            .unwrap();
+        net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() })).unwrap();
         net.run();
         assert!(log.borrow().is_empty(), "reply should have been lost");
     }
@@ -550,8 +512,7 @@ mod tests {
         net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
         net.install_interceptor(client_ip(), Box::new(FakeProxy));
         let log = Rc::new(RefCell::new(Vec::new()));
-        net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() }))
-            .unwrap();
+        net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() })).unwrap();
         net.run();
         assert_eq!(log.borrow()[0], "intercepted");
     }
@@ -563,8 +524,7 @@ mod tests {
         net.install_interceptor(client_ip(), Box::new(FakeProxy));
         let other = Ipv4([198, 51, 100, 99]);
         let log = Rc::new(RefCell::new(Vec::new()));
-        net.dial_from(other, server_ip(), 80, Box::new(Client { log: log.clone() }))
-            .unwrap();
+        net.dial_from(other, server_ip(), 80, Box::new(Client { log: log.clone() })).unwrap();
         net.run();
         assert_eq!(log.borrow()[0], "HELLO");
     }
@@ -599,8 +559,7 @@ mod tests {
             fn on_open(&mut self, _io: &mut IoCtx<'_>) {}
             fn on_data(&mut self, _d: &[u8], _io: &mut IoCtx<'_>) {}
         }
-        net.dial_from(Ipv4([1, 1, 1, 1]), server_ip(), 9999, Box::new(Kick))
-            .unwrap();
+        net.dial_from(Ipv4([1, 1, 1, 1]), server_ip(), 9999, Box::new(Kick)).unwrap();
         net.run();
         assert_eq!(log.borrow()[0], "HELLO", "upstream leg must reach the real server");
     }
@@ -630,8 +589,7 @@ mod tests {
             let closed = closed.clone();
             Box::new(move |_| Box::new(Watcher { closed: closed.clone() }))
         });
-        net.dial_from(client_ip(), server_ip(), 80, Box::new(Closer))
-            .unwrap();
+        net.dial_from(client_ip(), server_ip(), 80, Box::new(Closer)).unwrap();
         net.run();
         assert!(*closed.borrow());
     }
@@ -661,8 +619,7 @@ mod tests {
             let got = got.clone();
             Box::new(move |_| Box::new(Sink { got: got.clone() }))
         });
-        net.dial_from(client_ip(), server_ip(), 80, Box::new(SendAfterClose))
-            .unwrap();
+        net.dial_from(client_ip(), server_ip(), 80, Box::new(SendAfterClose)).unwrap();
         net.run();
         assert!(got.borrow().is_empty());
     }

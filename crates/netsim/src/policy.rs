@@ -49,10 +49,7 @@ pub struct PolicyServer {
 impl PolicyServer {
     /// A server with the study's permissive policy.
     pub fn permissive() -> Self {
-        PolicyServer {
-            body: SOCKET_POLICY_BODY,
-            buf: Vec::new(),
-        }
+        PolicyServer { body: SOCKET_POLICY_BODY, buf: Vec::new() }
     }
 
     /// A server with a restrictive policy (no port 443) — used to model
@@ -94,10 +91,7 @@ pub struct PolicyClient {
 impl PolicyClient {
     /// Create a client writing its outcome into `result`.
     pub fn new(result: Rc<RefCell<PolicyFetchResult>>) -> Self {
-        PolicyClient {
-            result,
-            buf: Vec::new(),
-        }
+        PolicyClient { result, buf: Vec::new() }
     }
 
     fn classify(&self) -> PolicyFetchResult {

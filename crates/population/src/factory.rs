@@ -25,6 +25,12 @@ use crate::products::{ProductId, ProductSpec, SubjectStyle};
 const LEAF_POOL: u16 = 3;
 
 /// One product's certificate mint.
+///
+/// Minting cost is dominated by the root key's RSA signature over each
+/// substitute's TBS bytes; the cached [`keys::keypair`] root carries
+/// precomputed CRT/Montgomery material, so a cache-miss mint is two
+/// half-size exponentiations rather than the schoolbook full-size one
+/// the seed implementation paid.
 pub struct SubstituteFactory {
     /// The product this factory belongs to.
     pub product: ProductId,
@@ -95,9 +101,7 @@ impl SubstituteFactory {
             return chain.clone();
         }
         let chain = self.mint(host, dst, upstream_leaf);
-        self.cache
-            .borrow_mut()
-            .insert(host.to_string(), chain.clone());
+        self.cache.borrow_mut().insert(host.to_string(), chain.clone());
         chain
     }
 
@@ -106,31 +110,21 @@ impl SubstituteFactory {
         self.cache.borrow().len()
     }
 
-    fn mint(
-        &self,
-        host: &str,
-        dst: Ipv4,
-        upstream_leaf: Option<&Certificate>,
-    ) -> Vec<Certificate> {
+    fn mint(&self, host: &str, dst: Ipv4, upstream_leaf: Option<&Certificate>) -> Vec<Certificate> {
         let issuer = issuer_name(&self.spec, upstream_leaf);
         let (subject, san): (DistinguishedName, Vec<String>) = match self.spec.subject_style {
-            SubjectStyle::Exact => (
-                NameBuilder::new().common_name(host).build(),
-                vec![host.to_string()],
-            ),
+            SubjectStyle::Exact => {
+                (NameBuilder::new().common_name(host).build(), vec![host.to_string()])
+            }
             SubjectStyle::WildcardIpSubnet => {
                 // Wildcard over the destination's /24 — covers the subnet
                 // only, not the hostname (the §5.2 mismatch).
                 let pattern = format!("*.{}.{}.{}", dst.0[0], dst.0[1], dst.0[2]);
-                (
-                    NameBuilder::new().common_name(&pattern).build(),
-                    vec![pattern],
-                )
+                (NameBuilder::new().common_name(&pattern).build(), vec![pattern])
             }
-            SubjectStyle::WrongDomain(domain) => (
-                NameBuilder::new().common_name(domain).build(),
-                vec![domain.to_string()],
-            ),
+            SubjectStyle::WrongDomain(domain) => {
+                (NameBuilder::new().common_name(domain).build(), vec![domain.to_string()])
+            }
             SubjectStyle::Tweaked => (
                 NameBuilder::new()
                     .organizational_unit("content-filtered")
@@ -163,15 +157,10 @@ impl SubstituteFactory {
             .issuer(issuer)
             .subject(subject)
             .validity(Time::from_ymd(2013, 6, 1), Time::from_ymd(2016, 6, 1))
-            .extension(Extension::BasicConstraints {
-                ca: false,
-                path_len: None,
-            });
+            .extension(Extension::BasicConstraints { ca: false, path_len: None });
         let san_refs: Vec<&str> = san.iter().map(|s| s.as_str()).collect();
         builder = builder.san_dns(&san_refs);
-        let leaf = builder
-            .sign(&leaf_key.public, &self.root_key)
-            .expect("substitute sign");
+        let leaf = builder.sign(&leaf_key.public, &self.root_key).expect("substitute sign");
         vec![leaf, self.root_cert.clone()]
     }
 }
@@ -230,9 +219,7 @@ mod tests {
         assert_eq!(chain.len(), 2);
         let mut store = RootStore::new();
         store.inject_root(f.root_cert().clone());
-        store
-            .validate(&chain, "tlsresearch.byu.edu", Time::from_ymd(2014, 6, 1))
-            .unwrap();
+        store.validate(&chain, "tlsresearch.byu.edu", Time::from_ymd(2014, 6, 1)).unwrap();
     }
 
     #[test]
@@ -240,9 +227,7 @@ mod tests {
         let f = factory_for("Bitdefender");
         let chain = f.substitute_chain("tlsresearch.byu.edu", dst(), None);
         let store = RootStore::new();
-        assert!(store
-            .validate(&chain, "tlsresearch.byu.edu", Time::from_ymd(2014, 6, 1))
-            .is_err());
+        assert!(store.validate(&chain, "tlsresearch.byu.edu", Time::from_ymd(2014, 6, 1)).is_err());
     }
 
     #[test]
@@ -280,18 +265,23 @@ mod tests {
         assert_eq!(a[0].signature_alg, SignatureAlgorithm::Md5WithRsa);
         // Same public key on every substitute — the paper's fingerprint.
         assert_eq!(a[0].tbs.spki.key, b[0].tbs.spki.key);
-        assert_eq!(
-            a[0].tbs.issuer.common_name(),
-            Some("IopFailZeroAccessCreate")
-        );
+        assert_eq!(a[0].tbs.issuer.common_name(), Some("IopFailZeroAccessCreate"));
         assert_eq!(a[0].tbs.issuer.organization(), None);
     }
 
     #[test]
     fn non_shared_products_use_multiple_leaf_keys() {
         let f = factory_for("Bitdefender");
-        let hosts = ["a.example", "b.example", "c.example", "d.example", "e.example",
-                     "f.example", "g.example", "h.example"];
+        let hosts = [
+            "a.example",
+            "b.example",
+            "c.example",
+            "d.example",
+            "e.example",
+            "f.example",
+            "g.example",
+            "h.example",
+        ];
         let mut keys = std::collections::HashSet::new();
         for h in hosts {
             keys.insert(format!("{:?}", f.substitute_chain(h, dst(), None)[0].tbs.spki.key));
@@ -348,10 +338,7 @@ mod tests {
         let f = factory_for("Annotating Middlebox");
         let chain = f.substitute_chain("h.example", dst(), None);
         assert!(chain[0].matches_host("h.example"));
-        assert_eq!(
-            chain[0].tbs.subject.organizational_unit(),
-            Some("content-filtered")
-        );
+        assert_eq!(chain[0].tbs.subject.organizational_unit(), Some("content-filtered"));
     }
 
     #[test]

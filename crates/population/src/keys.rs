@@ -4,6 +4,12 @@
 //! seed, so the same catalog always mints byte-identical certificates.
 //! Generation is cached process-wide because RSA keygen is the only
 //! expensive operation in the simulator and tests/benches share products.
+//!
+//! Cached pairs carry their precomputed CRT material (`d mod p−1`,
+//! `d mod q−1`, `q⁻¹ mod p` and the per-prime Montgomery contexts), so
+//! every signature minted from the cache takes the division-free CRT
+//! fast path — the keygen cost *and* the per-modulus precomputation are
+//! both paid exactly once per `(seed, bits)`.
 
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
@@ -16,7 +22,8 @@ fn cache() -> &'static Mutex<HashMap<(u64, usize), RsaKeyPair>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-/// Get (or generate) the deterministic key for `(seed, bits)`.
+/// Get (or generate) the deterministic key for `(seed, bits)`, with CRT
+/// signing material precomputed.
 pub fn keypair(seed: u64, bits: usize) -> RsaKeyPair {
     let key = (seed, bits);
     if let Some(k) = cache().lock().expect("key cache poisoned").get(&key) {
@@ -24,10 +31,8 @@ pub fn keypair(seed: u64, bits: usize) -> RsaKeyPair {
     }
     let generated = RsaKeyPair::generate(bits, &mut Drbg::new(seed.wrapping_mul(0x9e37_79b9)))
         .expect("RSA keygen failed");
-    cache()
-        .lock()
-        .expect("key cache poisoned")
-        .insert(key, generated.clone());
+    debug_assert!(generated.crt.is_some(), "generate precomputes CRT");
+    cache().lock().expect("key cache poisoned").insert(key, generated.clone());
     generated
 }
 
@@ -57,6 +62,16 @@ mod tests {
         assert_eq!(a.public, b.public);
         let c = keypair(43, 512);
         assert_ne!(a.public, c.public);
+    }
+
+    #[test]
+    fn cached_keys_carry_crt_material() {
+        // Every signature minted by a SubstituteFactory must hit the CRT
+        // fast path; a cache returning stripped keys would silently cost
+        // ~4x per mint.
+        let k = keypair(77, 512);
+        assert!(k.crt.is_some());
+        assert!(cache().lock().unwrap().get(&(77, 512)).unwrap().crt.is_some());
     }
 
     #[test]

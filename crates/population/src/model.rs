@@ -109,18 +109,48 @@ impl PopulationModel {
         let code = countries::info(country).code;
         let named: &[(&str, f64)] = match self.era {
             StudyEra::Study1 => &[
-                ("US", 0.0079), ("BR", 0.0068), ("FR", 0.0109), ("GB", 0.0029),
-                ("RO", 0.0074), ("DE", 0.0027), ("CA", 0.0087), ("TR", 0.0046),
-                ("IN", 0.0059), ("ES", 0.0036), ("RU", 0.0038), ("IT", 0.0015),
-                ("KR", 0.0042), ("PT", 0.0062), ("PL", 0.0016), ("UA", 0.0026),
-                ("BE", 0.0081), ("JP", 0.0035), ("NL", 0.0033), ("TW", 0.0017),
+                ("US", 0.0079),
+                ("BR", 0.0068),
+                ("FR", 0.0109),
+                ("GB", 0.0029),
+                ("RO", 0.0074),
+                ("DE", 0.0027),
+                ("CA", 0.0087),
+                ("TR", 0.0046),
+                ("IN", 0.0059),
+                ("ES", 0.0036),
+                ("RU", 0.0038),
+                ("IT", 0.0015),
+                ("KR", 0.0042),
+                ("PT", 0.0062),
+                ("PL", 0.0016),
+                ("UA", 0.0026),
+                ("BE", 0.0081),
+                ("JP", 0.0035),
+                ("NL", 0.0033),
+                ("TW", 0.0017),
             ],
             StudyEra::Study2 => &[
-                ("CN", 0.0002), ("UA", 0.0027), ("RU", 0.0040), ("KR", 0.0021),
-                ("EG", 0.0056), ("PK", 0.0041), ("TR", 0.0048), ("US", 0.0086),
-                ("JP", 0.0074), ("GB", 0.0077), ("BR", 0.0081), ("TW", 0.0028),
-                ("RO", 0.0119), ("ID", 0.0044), ("DE", 0.0061), ("IT", 0.0050),
-                ("GR", 0.0040), ("PL", 0.0036), ("CZ", 0.0031), ("IN", 0.0070),
+                ("CN", 0.0002),
+                ("UA", 0.0027),
+                ("RU", 0.0040),
+                ("KR", 0.0021),
+                ("EG", 0.0056),
+                ("PK", 0.0041),
+                ("TR", 0.0048),
+                ("US", 0.0086),
+                ("JP", 0.0074),
+                ("GB", 0.0077),
+                ("BR", 0.0081),
+                ("TW", 0.0028),
+                ("RO", 0.0119),
+                ("ID", 0.0044),
+                ("DE", 0.0061),
+                ("IT", 0.0050),
+                ("GR", 0.0040),
+                ("PL", 0.0036),
+                ("CZ", 0.0031),
+                ("IN", 0.0070),
             ],
         };
         for &(c, r) in named {
@@ -173,11 +203,7 @@ impl PopulationModel {
     /// Sample which product intercepts a client in `country` (given that
     /// interception occurs).
     pub fn sample_product(&self, country: CountryCode, rng: &mut dyn RngCore64) -> ProductId {
-        let weights: Vec<f64> = self
-            .specs
-            .iter()
-            .map(|s| self.weight(s, country))
-            .collect();
+        let weights: Vec<f64> = self.specs.iter().map(|s| self.weight(s, country)).collect();
         let total: f64 = weights.iter().sum();
         debug_assert!(total > 0.0, "no products available for era");
         let mut x = rng.gen_f64() * total;
@@ -202,11 +228,7 @@ impl PopulationModel {
         } else {
             None
         };
-        ClientProfile {
-            country,
-            ip,
-            product,
-        }
+        ClientProfile { country, ip, product }
     }
 
     /// True when the product operates from a single egress address (a
@@ -223,10 +245,8 @@ impl PopulationModel {
     pub fn factory(&self, product: ProductId) -> Rc<SubstituteFactory> {
         let slot = &self.factories[product.0 as usize];
         if slot.borrow().is_none() {
-            let f = Rc::new(SubstituteFactory::new(
-                product,
-                self.specs[product.0 as usize].clone(),
-            ));
+            let f =
+                Rc::new(SubstituteFactory::new(product, self.specs[product.0 as usize].clone()));
             *slot.borrow_mut() = Some(f);
         }
         slot.borrow().as_ref().expect("factory just built").clone()
@@ -240,12 +260,7 @@ impl PopulationModel {
         } else {
             Rc::new(HashSet::new())
         };
-        TlsProxy::new(
-            self.factory(product),
-            self.public_roots.clone(),
-            whitelist,
-            self.now,
-        )
+        TlsProxy::new(self.factory(product), self.public_roots.clone(), whitelist, self.now)
     }
 
     /// The root store for a client: factory roots plus, if intercepted,
@@ -300,11 +315,7 @@ mod tests {
         let mut rng = Drbg::new(1);
         let n = 200_000;
         let proxied = (0..n)
-            .filter(|_| {
-                m.sample_client(us, Ipv4([11, 0, 0, 1]), &mut rng)
-                    .product
-                    .is_some()
-            })
+            .filter(|_| m.sample_client(us, Ipv4([11, 0, 0, 1]), &mut rng).product.is_some())
             .count();
         let rate = proxied as f64 / n as f64;
         assert!((0.006..0.010).contains(&rate), "rate {rate}");
@@ -338,10 +349,7 @@ mod tests {
         };
         let in_br = count(br, &mut rng);
         let in_gb = count(gb, &mut rng);
-        assert!(
-            in_br > 3 * in_gb.max(1),
-            "PSafe: BR {in_br} vs GB {in_gb}"
-        );
+        assert!(in_br > 3 * in_gb.max(1), "PSafe: BR {in_br} vs GB {in_gb}");
     }
 
     #[test]

@@ -157,12 +157,7 @@ impl ProductSpec {
     }
 }
 
-fn firewall(
-    org: &'static str,
-    w1: f64,
-    w2: f64,
-    key_bits: usize,
-) -> ProductSpec {
+fn firewall(org: &'static str, w1: f64, w2: f64, key_bits: usize) -> ProductSpec {
     ProductSpec {
         issuer_org: Some(org),
         issuer_cn: Some(org),
@@ -496,12 +491,7 @@ mod tests {
         let specs = catalog();
         let total = total_w1(&specs);
         let share = |cat: ProxyCategory| -> f64 {
-            specs
-                .iter()
-                .filter(|s| s.category == cat)
-                .map(|s| s.w1)
-                .sum::<f64>()
-                / total
+            specs.iter().filter(|s| s.category == cat).map(|s| s.w1).sum::<f64>() / total
         };
         let fw = share(ProxyCategory::BusinessPersonalFirewall);
         assert!((0.60..0.76).contains(&fw), "firewall share {fw}");
@@ -521,12 +511,7 @@ mod tests {
         let specs = catalog();
         let total = total_w2(&specs);
         let share = |cat: ProxyCategory| -> f64 {
-            specs
-                .iter()
-                .filter(|s| s.category == cat)
-                .map(|s| s.w2)
-                .sum::<f64>()
-                / total
+            specs.iter().filter(|s| s.category == cat).map(|s| s.w2).sum::<f64>() / total
         };
         let unk = share(ProxyCategory::Unknown);
         assert!((0.08..0.14).contains(&unk), "unknown share {unk}");
@@ -539,10 +524,7 @@ mod tests {
     #[test]
     fn bitdefender_is_top_product() {
         let specs = catalog();
-        let top = specs
-            .iter()
-            .max_by(|a, b| a.w1.partial_cmp(&b.w1).unwrap())
-            .unwrap();
+        let top = specs.iter().max_by(|a, b| a.w1.partial_cmp(&b.w1).unwrap()).unwrap();
         assert_eq!(top.display_name(), "Bitdefender");
         assert_eq!(top.upstream_policy, UpstreamPolicy::BlockInvalid);
     }
@@ -550,20 +532,14 @@ mod tests {
     #[test]
     fn kurupira_masks_forged_certs() {
         let specs = catalog();
-        let kurupira = specs
-            .iter()
-            .find(|s| s.display_name() == "Kurupira.NET")
-            .unwrap();
+        let kurupira = specs.iter().find(|s| s.display_name() == "Kurupira.NET").unwrap();
         assert_eq!(kurupira.upstream_policy, UpstreamPolicy::MaskInvalid);
     }
 
     #[test]
     fn iopfail_negligence_cluster() {
         let specs = catalog();
-        let iop = specs
-            .iter()
-            .find(|s| s.issuer_cn == Some("IopFailZeroAccessCreate"))
-            .unwrap();
+        let iop = specs.iter().find(|s| s.issuer_cn == Some("IopFailZeroAccessCreate")).unwrap();
         assert_eq!(iop.key_bits, 512);
         assert_eq!(iop.sig_alg, SignatureAlgorithm::Md5WithRsa);
         assert!(iop.shared_leaf_key);
@@ -574,10 +550,7 @@ mod tests {
     #[test]
     fn digicert_forgery_present() {
         let specs = catalog();
-        let dc = specs
-            .iter()
-            .find(|s| s.issuer_org == Some("DigiCert Inc"))
-            .unwrap();
+        let dc = specs.iter().find(|s| s.issuer_org == Some("DigiCert Inc")).unwrap();
         assert!(dc.copy_issuer);
         assert_eq!(dc.category, ProxyCategory::CertificateAuthority);
         assert_eq!(dc.w1, 49.0);
@@ -608,11 +581,7 @@ mod tests {
         // ~50.59% of study-1 substitutes had 1024-bit keys.
         let specs = catalog();
         let total = total_w1(&specs);
-        let downgraded: f64 = specs
-            .iter()
-            .filter(|s| s.key_bits == 1024)
-            .map(|s| s.w1)
-            .sum();
+        let downgraded: f64 = specs.iter().filter(|s| s.key_bits == 1024).map(|s| s.w1).sum();
         let frac = downgraded / total;
         assert!((0.45..0.56).contains(&frac), "1024-bit fraction {frac}");
         // 512-bit mass = 21 (IopFail) in study 1.
@@ -644,11 +613,8 @@ mod tests {
             .filter(|s| matches!(s.subject_style, SubjectStyle::WrongDomain(_)))
             .map(|s| s.w1)
             .sum();
-        let tweaked: f64 = specs
-            .iter()
-            .filter(|s| s.subject_style == SubjectStyle::Tweaked)
-            .map(|s| s.w1)
-            .sum();
+        let tweaked: f64 =
+            specs.iter().filter(|s| s.subject_style == SubjectStyle::Tweaked).map(|s| s.w1).sum();
         assert_eq!(wildcard, 49.0);
         assert_eq!(wrong, 2.0);
         assert_eq!(tweaked, 59.0);
@@ -660,11 +626,7 @@ mod tests {
     fn some_products_whitelist_popular_sites() {
         let specs = catalog();
         let total = total_w1(&specs);
-        let whitelisting: f64 = specs
-            .iter()
-            .filter(|s| s.whitelists_popular)
-            .map(|s| s.w1)
-            .sum();
+        let whitelisting: f64 = specs.iter().filter(|s| s.whitelists_popular).map(|s| s.w1).sum();
         let frac = whitelisting / total;
         // Huang's Facebook-only study saw 0.20% vs our 0.41% ⇒ roughly
         // half the proxy mass must skip mega-popular sites.

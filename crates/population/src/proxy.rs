@@ -52,12 +52,7 @@ impl TlsProxy {
         whitelist: Rc<HashSet<String>>,
         now: Time,
     ) -> TlsProxy {
-        TlsProxy {
-            factory,
-            public_roots,
-            whitelist,
-            now,
-        }
+        TlsProxy { factory, public_roots, whitelist, now }
     }
 }
 
@@ -122,9 +117,7 @@ impl Session {
     /// Answer the client with the substitute flight (MitM path).
     fn answer_with_substitute(&mut self, io: &mut IoCtx<'_>, upstream_leaf: Option<&Certificate>) {
         let host = self.sni_host();
-        let chain = self
-            .factory
-            .substitute_chain(&host, self.dst, upstream_leaf);
+        let chain = self.factory.substitute_chain(&host, self.dst, upstream_leaf);
         let config = ServerConfig::new(chain);
         let flight = config.hello_flight(self.client_version);
         if let Some(tok) = self.client_token {
@@ -161,10 +154,8 @@ impl Session {
         if self.mode != Mode::FetchingUpstream {
             return;
         }
-        let upstream_leaf = outcome
-            .chain_der
-            .first()
-            .and_then(|der| Certificate::from_der(der).ok());
+        let upstream_leaf =
+            outcome.chain_der.first().and_then(|der| Certificate::from_der(der).ok());
 
         let policy = self.factory.spec().upstream_policy;
         if policy != UpstreamPolicy::Blind {
@@ -175,11 +166,8 @@ impl Session {
                 .filter_map(|der| Certificate::from_der(der).ok())
                 .collect();
             let host = self.sni_host();
-            let valid = !parsed.is_empty()
-                && self
-                    .public_roots
-                    .validate(&parsed, &host, self.now)
-                    .is_ok();
+            let valid =
+                !parsed.is_empty() && self.public_roots.validate(&parsed, &host, self.now).is_ok();
             if !valid {
                 match policy {
                     UpstreamPolicy::BlockInvalid => {
@@ -228,10 +216,7 @@ impl Conduit for ClientSide {
             _ => {}
         }
         // Buffer raw bytes in case we end up splicing.
-        self.shared
-            .borrow_mut()
-            .raw_from_client
-            .extend_from_slice(data);
+        self.shared.borrow_mut().raw_from_client.extend_from_slice(data);
 
         self.records.feed(data);
         loop {
@@ -257,14 +242,10 @@ impl Conduit for ClientSide {
                                     let up = io.dial(
                                         dst,
                                         443,
-                                        Box::new(UpstreamRelay {
-                                            shared: shared.clone(),
-                                        }),
+                                        Box::new(UpstreamRelay { shared: shared.clone() }),
                                     );
                                     match up {
-                                        Ok(tok) => {
-                                            shared.borrow_mut().upstream_token = Some(tok)
-                                        }
+                                        Ok(tok) => shared.borrow_mut().upstream_token = Some(tok),
                                         Err(_) => {
                                             shared.borrow_mut().mode = Mode::Dead;
                                             io.close();
@@ -275,11 +256,8 @@ impl Conduit for ClientSide {
                                     let shared = self.shared.clone();
                                     drop(s);
                                     let outcome = ProbeOutcome::new();
-                                    let probe = ProbeClient::new(
-                                        &host,
-                                        [0xA5; 32],
-                                        outcome.clone(),
-                                    );
+                                    let probe =
+                                        ProbeClient::new(&host, [0xA5; 32], outcome.clone());
                                     let up = io.dial(
                                         dst,
                                         443,
@@ -431,11 +409,8 @@ mod tests {
             .organization("DigiCert Inc")
             .common_name("DigiCert High Assurance CA-3")
             .build();
-        let root = CertificateBuilder::new()
-            .subject(ca_name.clone())
-            .ca(None)
-            .self_sign(&ca)
-            .unwrap();
+        let root =
+            CertificateBuilder::new().subject(ca_name.clone()).ca(None).self_sign(&ca).unwrap();
         let leaf = CertificateBuilder::new()
             .issuer(ca_name)
             .subject(NameBuilder::new().common_name(host).build())
@@ -557,12 +532,8 @@ mod tests {
         let proxy = w.model.make_proxy(pid);
         w.net.install_interceptor(client_ip(), Box::new(proxy));
         let outcome = run_probe(&mut w, "tlsresearch.byu.edu");
-        let chain: Vec<Certificate> = outcome
-            .borrow()
-            .chain_der
-            .iter()
-            .map(|d| Certificate::from_der(d).unwrap())
-            .collect();
+        let chain: Vec<Certificate> =
+            outcome.borrow().chain_der.iter().map(|d| Certificate::from_der(d).unwrap()).collect();
 
         let victim_profile = crate::model::ClientProfile {
             country: tlsfoe_geo::countries::by_code("US").unwrap(),
@@ -570,15 +541,11 @@ mod tests {
             product: Some(pid),
         };
         let victim_store = w.model.client_root_store(&victim_profile);
-        victim_store
-            .validate(&chain, "tlsresearch.byu.edu", w.model.now())
-            .unwrap();
+        victim_store.validate(&chain, "tlsresearch.byu.edu", w.model.now()).unwrap();
 
         let clean_profile = crate::model::ClientProfile { product: None, ..victim_profile };
         let clean_store = w.model.client_root_store(&clean_profile);
-        assert!(clean_store
-            .validate(&chain, "tlsresearch.byu.edu", w.model.now())
-            .is_err());
+        assert!(clean_store.validate(&chain, "tlsresearch.byu.edu", w.model.now()).is_err());
     }
 
     /// Attacker scenario for the §5.2 firewall audit: the "server" is a
@@ -622,11 +589,8 @@ mod tests {
         let outcome = run_probe(&mut w, "victim.example");
         let o = outcome.borrow();
         assert_eq!(o.state, ProbeState::Done, "Kurupira must let it through");
-        let chain: Vec<Certificate> = o
-            .chain_der
-            .iter()
-            .map(|d| Certificate::from_der(d).unwrap())
-            .collect();
+        let chain: Vec<Certificate> =
+            o.chain_der.iter().map(|d| Certificate::from_der(d).unwrap()).collect();
         assert_eq!(chain[0].tbs.issuer.organization(), Some("Kurupira.NET"));
         // Victim (with Kurupira's root) validates it fine — the MitM is
         // fully masked.
@@ -659,10 +623,7 @@ mod tests {
         let leaf = Certificate::from_der(&outcome.borrow().chain_der[0]).unwrap();
         // Issuer string copied from the real upstream chain.
         assert_eq!(leaf.tbs.issuer.organization(), Some("DigiCert Inc"));
-        assert_eq!(
-            leaf.tbs.issuer.common_name(),
-            Some("DigiCert High Assurance CA-3")
-        );
+        assert_eq!(leaf.tbs.issuer.common_name(), Some("DigiCert High Assurance CA-3"));
         // But the signature is the proxy's, not the real CA's.
         let real_ca_key = keys::keypair(860_000, 1024);
         assert!(leaf.verify_signature_with(&real_ca_key.public).is_err());

@@ -114,19 +114,12 @@ impl ClientHello {
                     let name_type = lr.u8()?;
                     let name = lr.vec16()?;
                     if name_type == 0 {
-                        server_name =
-                            Some(String::from_utf8_lossy(name).into_owned());
+                        server_name = Some(String::from_utf8_lossy(name).into_owned());
                     }
                 }
             }
         }
-        Ok(ClientHello {
-            version,
-            random,
-            session_id,
-            cipher_suites,
-            server_name,
-        })
+        Ok(ClientHello { version, random, session_id, cipher_suites, server_name })
     }
 }
 
@@ -165,12 +158,7 @@ impl ServerHello {
         let cipher_suite = CipherSuite(r.u16()?);
         let _compression = r.u8()?;
         // Extensions, if any, are ignored by the probe.
-        Ok(ServerHello {
-            version,
-            random,
-            session_id,
-            cipher_suite,
-        })
+        Ok(ServerHello { version, random, session_id, cipher_suite })
     }
 }
 
@@ -309,18 +297,12 @@ impl Alert {
     /// Certificate (§3.2: "the handshake is aborted and the connection
     /// is closed").
     pub fn close_notify() -> Alert {
-        Alert {
-            level: AlertLevel::Warning,
-            description: 0,
-        }
+        Alert { level: AlertLevel::Warning, description: 0 }
     }
 
     /// user_canceled.
     pub fn user_canceled() -> Alert {
-        Alert {
-            level: AlertLevel::Warning,
-            description: 90,
-        }
+        Alert { level: AlertLevel::Warning, description: 90 }
     }
 
     /// Encode as a 2-byte alert payload.
@@ -338,10 +320,7 @@ impl Alert {
             2 => AlertLevel::Fatal,
             _ => return Err(TlsError::Malformed("alert level")),
         };
-        Ok(Alert {
-            level,
-            description: data[1],
-        })
+        Ok(Alert { level, description: data[1] })
     }
 }
 
@@ -396,9 +375,8 @@ mod tests {
 
     #[test]
     fn certificate_chain_roundtrip() {
-        let msg = CertificateMsg {
-            chain: vec![vec![0x30, 0x01, 0xaa], vec![0x30, 0x02, 0xbb, 0xcc]],
-        };
+        let msg =
+            CertificateMsg { chain: vec![vec![0x30, 0x01, 0xaa], vec![0x30, 0x02, 0xbb, 0xcc]] };
         let enc = HandshakeMsg::Certificate(msg.clone()).encode();
         let mut p = HandshakeParser::new();
         p.feed(&enc);

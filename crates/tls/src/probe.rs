@@ -189,11 +189,8 @@ mod tests {
         let ca = RsaKeyPair::generate(512, &mut Drbg::new(seed)).unwrap();
         let leaf_key = RsaKeyPair::generate(512, &mut Drbg::new(seed + 1)).unwrap();
         let ca_name = NameBuilder::new().organization("DigiCert Inc").build();
-        let ca_cert = CertificateBuilder::new()
-            .subject(ca_name.clone())
-            .ca(None)
-            .self_sign(&ca)
-            .unwrap();
+        let ca_cert =
+            CertificateBuilder::new().subject(ca_name.clone()).ca(None).self_sign(&ca).unwrap();
         let leaf = CertificateBuilder::new()
             .issuer(ca_name)
             .subject(NameBuilder::new().common_name(host).build())
@@ -217,11 +214,7 @@ mod tests {
             Ipv4([198, 51, 100, 1]),
             srv,
             443,
-            Box::new(ProbeClient::new(
-                "tlsresearch.byu.edu",
-                [3u8; 32],
-                outcome.clone(),
-            )),
+            Box::new(ProbeClient::new("tlsresearch.byu.edu", [3u8; 32], outcome.clone())),
         )
         .unwrap();
         net.run();

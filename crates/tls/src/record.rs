@@ -155,11 +155,7 @@ impl RecordParser {
         let payload = r.take(len)?.to_vec();
         let consumed = 5 + len;
         self.buf.drain(..consumed);
-        Ok(Some(Record {
-            content_type: ct,
-            version,
-            payload,
-        }))
+        Ok(Some(Record { content_type: ct, version, payload }))
     }
 }
 

@@ -158,10 +158,7 @@ mod tests {
             assert_eq!(rec.content_type, ContentType::Handshake);
             hp.feed(&rec.payload);
         }
-        assert!(matches!(
-            hp.next_message().unwrap(),
-            Some(HandshakeMsg::ServerHello(_))
-        ));
+        assert!(matches!(hp.next_message().unwrap(), Some(HandshakeMsg::ServerHello(_))));
         match hp.next_message().unwrap() {
             Some(HandshakeMsg::Certificate(c)) => {
                 assert_eq!(c.chain.len(), 1);

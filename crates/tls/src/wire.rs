@@ -1,27 +1,26 @@
 //! Big-endian primitive codec shared by every TLS message type.
 //!
 //! TLS vectors are length-prefixed with 1-, 2- or 3-byte lengths; this
-//! module provides a writer over `BytesMut` and a borrowing reader with
+//! module provides an append-only writer and a borrowing reader with
 //! exact truncation semantics.
 
 use crate::TlsError;
-use bytes::{BufMut, BytesMut};
 
 /// Append-only writer for TLS structures.
 #[derive(Debug, Default)]
 pub struct WireWriter {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl WireWriter {
     /// New empty writer.
     pub fn new() -> Self {
-        WireWriter { buf: BytesMut::new() }
+        WireWriter { buf: Vec::new() }
     }
 
     /// Finish, returning the raw bytes.
     pub fn finish(self) -> Vec<u8> {
-        self.buf.to_vec()
+        self.buf
     }
 
     /// Current length.
@@ -36,24 +35,24 @@ impl WireWriter {
 
     /// Write one byte.
     pub fn u8(&mut self, v: u8) {
-        self.buf.put_u8(v);
+        self.buf.push(v);
     }
 
     /// Write a big-endian u16.
     pub fn u16(&mut self, v: u16) {
-        self.buf.put_u16(v);
+        self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Write a big-endian 24-bit value (panics if it doesn't fit).
     pub fn u24(&mut self, v: u32) {
         assert!(v < (1 << 24), "u24 overflow");
-        self.buf.put_u8((v >> 16) as u8);
-        self.buf.put_u16(v as u16);
+        self.buf.push((v >> 16) as u8);
+        self.buf.extend_from_slice(&(v as u16).to_be_bytes());
     }
 
     /// Write raw bytes.
     pub fn bytes(&mut self, v: &[u8]) {
-        self.buf.put_slice(v);
+        self.buf.extend_from_slice(v);
     }
 
     /// Write a vector with a 1-byte length prefix.

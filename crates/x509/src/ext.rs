@@ -71,10 +71,7 @@ impl Extension {
 
     /// Whether this extension is marked critical when we encode it.
     fn critical(&self) -> bool {
-        matches!(
-            self,
-            Extension::BasicConstraints { .. } | Extension::KeyUsage { .. }
-        )
+        matches!(self, Extension::BasicConstraints { .. } | Extension::KeyUsage { .. })
     }
 
     /// Encode the extnValue content bytes (the DER that goes inside the
@@ -151,11 +148,8 @@ impl Extension {
     pub fn read_der(r: &mut DerReader<'_>) -> Result<Extension, X509Error> {
         let mut seq = r.read_sequence()?;
         let oid = seq.read_oid()?;
-        let critical = if seq.peek_tag() == Some(Tag::Boolean.byte()) {
-            seq.read_boolean()?
-        } else {
-            false
-        };
+        let critical =
+            if seq.peek_tag() == Some(Tag::Boolean.byte()) { seq.read_boolean()? } else { false };
         let value = seq.read_octet_string()?;
 
         if oid == known::basic_constraints() {
@@ -211,18 +205,10 @@ impl Extension {
                 let el = inner.read_any()?;
                 Ok(Extension::AuthorityKeyId(el.content.to_vec()))
             } else {
-                Ok(Extension::Unknown {
-                    oid,
-                    critical,
-                    value: value.to_vec(),
-                })
+                Ok(Extension::Unknown { oid, critical, value: value.to_vec() })
             }
         } else {
-            Ok(Extension::Unknown {
-                oid,
-                critical,
-                value: value.to_vec(),
-            })
+            Ok(Extension::Unknown { oid, critical, value: value.to_vec() })
         }
     }
 }

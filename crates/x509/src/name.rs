@@ -26,10 +26,7 @@ impl DistinguishedName {
 
     /// First value of the given attribute type, if present.
     pub fn get(&self, oid: &Oid) -> Option<&str> {
-        self.attrs
-            .iter()
-            .find(|(o, _)| o == oid)
-            .map(|(_, v)| v.as_str())
+        self.attrs.iter().find(|(o, _)| o == oid).map(|(_, v)| v.as_str())
     }
 
     /// `CN=` value.
@@ -190,8 +187,7 @@ impl NameBuilder {
 
     /// Add `OU=`.
     pub fn organizational_unit(mut self, v: &str) -> Self {
-        self.attrs
-            .push((known::organizational_unit(), v.to_string()));
+        self.attrs.push((known::organizational_unit(), v.to_string()));
         self
     }
 
@@ -284,18 +280,13 @@ mod tests {
 
     #[test]
     fn unknown_oid_displayed_dotted() {
-        let dn = NameBuilder::new()
-            .attr(Oid::new(&[1, 2, 3, 4]), "x")
-            .build();
+        let dn = NameBuilder::new().attr(Oid::new(&[1, 2, 3, 4]), "x").build();
         assert_eq!(dn.to_string(), "1.2.3.4=x");
     }
 
     #[test]
     fn duplicate_attribute_returns_first() {
-        let dn = NameBuilder::new()
-            .organization("First")
-            .organization("Second")
-            .build();
+        let dn = NameBuilder::new().organization("First").organization("Second").build();
         assert_eq!(dn.organization(), Some("First"));
     }
 }

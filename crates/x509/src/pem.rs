@@ -8,8 +8,7 @@
 use crate::cert::Certificate;
 use crate::X509Error;
 
-const B64_ALPHABET: &[u8; 64] =
-    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+const B64_ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
 
 /// Base64-encode (standard alphabet, with padding).
 pub fn base64_encode(data: &[u8]) -> String {
@@ -26,11 +25,7 @@ pub fn base64_encode(data: &[u8]) -> String {
         } else {
             '='
         });
-        out.push(if chunk.len() > 2 {
-            B64_ALPHABET[triple as usize & 0x3f] as char
-        } else {
-            '='
-        });
+        out.push(if chunk.len() > 2 { B64_ALPHABET[triple as usize & 0x3f] as char } else { '=' });
     }
     out
 }
@@ -99,9 +94,7 @@ pub fn pem_decode_all(text: &str) -> Result<Vec<Vec<u8>>, X509Error> {
     let mut rest = text;
     while let Some(start) = rest.find(BEGIN) {
         let after_begin = &rest[start + BEGIN.len()..];
-        let end = after_begin
-            .find(END)
-            .ok_or(X509Error::Pem("BEGIN without matching END"))?;
+        let end = after_begin.find(END).ok_or(X509Error::Pem("BEGIN without matching END"))?;
         out.push(base64_decode(&after_begin[..end])?);
         rest = &after_begin[end + END.len()..];
     }
@@ -115,10 +108,7 @@ pub fn encode_certificates(chain: &[Certificate]) -> String {
 
 /// Decode a concatenated-PEM report body back into certificates.
 pub fn decode_certificates(text: &str) -> Result<Vec<Certificate>, X509Error> {
-    pem_decode_all(text)?
-        .into_iter()
-        .map(|der| Certificate::from_der(&der))
-        .collect()
+    pem_decode_all(text)?.into_iter().map(|der| Certificate::from_der(&der)).collect()
 }
 
 #[cfg(test)]

@@ -137,7 +137,10 @@ impl Time {
         let hour = parse_2(&rest[4..6])?;
         let minute = parse_2(&rest[6..8])?;
         let second = parse_2(&rest[8..10])?;
-        if !(1..=12).contains(&month) || !(1..=31).contains(&day) || hour > 23 || minute > 59
+        if !(1..=12).contains(&month)
+            || !(1..=31).contains(&day)
+            || hour > 23
+            || minute > 59
             || second > 60
         {
             return Err(X509Error::Malformed("time component out of range"));
@@ -248,10 +251,7 @@ mod tests {
 
     #[test]
     fn display_format() {
-        assert_eq!(
-            Time::from_ymd_hms(2014, 10, 8, 22, 0, 0).to_string(),
-            "2014-10-08T22:00:00Z"
-        );
+        assert_eq!(Time::from_ymd_hms(2014, 10, 8, 22, 0, 0).to_string(), "2014-10-08T22:00:00Z");
     }
 
     #[test]

@@ -44,10 +44,7 @@ fn main() {
     assert_eq!(kurupira, AuditVerdict::MaskedTrusted);
 
     let bitdefender = audit_product(&model, Some(product(&model, "Bitdefender")));
-    println!(
-        "behind Bitdefender: {:?} — connection refused; the user is protected",
-        bitdefender
-    );
+    println!("behind Bitdefender: {:?} — connection refused; the user is protected", bitdefender);
     assert_eq!(bitdefender, AuditVerdict::Blocked);
 
     println!(

@@ -9,15 +9,15 @@
 
 use std::rc::Rc;
 
+use tlsfoe::crypto::drbg::Drbg;
+use tlsfoe::crypto::RsaKeyPair;
 use tlsfoe::netsim::{Ipv4, Network, NetworkConfig};
 use tlsfoe::population::model::{PopulationModel, StudyEra};
 use tlsfoe::population::products::ProductId;
 use tlsfoe::tls::probe::{ProbeOutcome, ProbeState};
 use tlsfoe::tls::server::{ServerConfig, TlsCertServer};
 use tlsfoe::tls::ProbeClient;
-use tlsfoe::x509::{Certificate, NameBuilder, CertificateBuilder, RootStore};
-use tlsfoe::crypto::drbg::Drbg;
-use tlsfoe::crypto::RsaKeyPair;
+use tlsfoe::x509::{Certificate, CertificateBuilder, NameBuilder, RootStore};
 
 fn main() {
     // 1. A legitimate web PKI: CA root + a server certificate.
@@ -77,10 +77,7 @@ fn main() {
     println!("client actually received:  {captured}");
     if captured.to_der() != server_cert.to_der() {
         println!("\n=> MISMATCH: this connection is TLS-proxied!");
-        println!(
-            "   substitute issuer organization: {:?}",
-            captured.tbs.issuer.organization()
-        );
+        println!("   substitute issuer organization: {:?}", captured.tbs.issuer.organization());
         println!("   substitute key size: {} bits", captured.key_bits());
     } else {
         println!("\n=> certificates match; no proxy on path");

@@ -27,9 +27,7 @@ fn main() {
     let (rows, _, total) = analysis::by_country(&outcome.db, usize::MAX);
     let rate_of = |code: &str| {
         let c = by_code(code).expect("country registered");
-        rows.iter()
-            .find(|r| r.country == Some(c))
-            .map(|r| r.percent())
+        rows.iter().find(|r| r.country == Some(c)).map(|r| r.percent())
     };
     println!("\n§6.2 findings at this scale:");
     if let (Some(cn), Some(us)) = (rate_of("CN"), rate_of("US")) {
@@ -40,10 +38,7 @@ fn main() {
             if cn > 0.0 { (us / cn).round() } else { f64::INFINITY }
         );
     }
-    println!(
-        "  overall proxied rate: {:.2}% (paper: 0.41%)",
-        total.percent() * 100.0
-    );
+    println!("  overall proxied rate: {:.2}% (paper: 0.41%)", total.percent() * 100.0);
     println!(
         "  countries with proxied users: {} (paper: 147 at full scale)",
         analysis::proxied_country_count(&outcome.db)

@@ -42,12 +42,7 @@ fn proxied_records_carry_substitute_evidence() {
         assert!(sub.key_bits >= 512);
     }
     // Un-proxied records never carry evidence.
-    assert!(out
-        .db
-        .records
-        .iter()
-        .filter(|r| !r.proxied)
-        .all(|r| r.substitute.is_none()));
+    assert!(out.db.records.iter().filter(|r| !r.proxied).all(|r| r.substitute.is_none()));
 }
 
 #[test]
@@ -73,10 +68,7 @@ fn classification_is_firewall_dominated() {
         .unwrap_or(0);
     assert!(total > 10, "too few proxied connections to classify");
     let share = firewall as f64 / total as f64;
-    assert!(
-        (0.4..0.95).contains(&share),
-        "firewall share {share} (paper: ~0.69)"
-    );
+    assert!((0.4..0.95).contains(&share), "firewall share {share} (paper: ~0.69)");
 }
 
 #[test]
@@ -87,10 +79,7 @@ fn key_downgrades_visible_in_negligence_report() {
     // Bitdefender + PSafe mint 1024-bit substitutes ⇒ downgrade share
     // near the paper's 50.59%.
     let share = report.key_share(1024);
-    assert!(
-        (0.25..0.75).contains(&share),
-        "1024-bit share {share} (paper: 0.5059)"
-    );
+    assert!((0.25..0.75).contains(&share), "1024-bit share {share} (paper: 0.5059)");
 }
 
 #[test]
@@ -113,7 +102,7 @@ fn jsonl_export_parses_back() {
     let jsonl = out.db.to_jsonl();
     let mut parsed = 0;
     for line in jsonl.lines().take(500) {
-        let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON line");
+        let v = tlsfoe::core::json::Json::parse(line).expect("valid JSON line");
         assert!(v.get("host").is_some());
         parsed += 1;
     }
