@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use tlsfoe_core::hosts::HostCatalog;
 use tlsfoe_core::report::{Database, ReportServer};
@@ -69,7 +70,7 @@ fn bench_probe(c: &mut Criterion) {
 
     // One complete impression session (policy fetch + gated probes +
     // report uploads) against the full study-2 catalog.
-    let catalog2 = Rc::new(HostCatalog::study2());
+    let catalog2 = Arc::new(HostCatalog::study2());
     let geo = GeoDb::allocate(1000);
     let db = Rc::new(RefCell::new(Database::new()));
     let report = Rc::new(ReportServer::new(&catalog2, geo.clone(), db.clone()));

@@ -1,22 +1,37 @@
 //! Crypto hot-path performance snapshot → `BENCH_crypto.json`.
 //!
 //! Times the primitives every simulated impression funnels through —
-//! full-width modular exponentiation (schoolbook vs Montgomery), RSA
-//! sign (CRT vs direct) and verify (e = 65537) — at the paper's three
-//! key sizes, and writes machine-readable medians so future PRs can
-//! diff perf trajectories in CI. Run with `--quick` to halve sample
-//! counts (useful in smoke jobs).
+//! full-width modular exponentiation (schoolbook vs Montgomery, fresh vs
+//! cached context), Montgomery multiply vs the squaring specialization,
+//! RSA sign (CRT vs direct) and verify (e = 65537) — at the paper's
+//! three key sizes, and writes machine-readable per-op times (min across sample blocks) so future PRs
+//! can diff perf trajectories in CI.
+//!
+//! Flags:
+//!
+//! * `--quick` — halve sample counts (smoke jobs);
+//! * `--check <baseline.json>` — after measuring, diff against the
+//!   committed baseline with `tlsfoe_bench::perf_gate` and exit non-zero
+//!   if any metric regressed beyond tolerance;
+//! * `--tol <pct>` — override the gate tolerance (default 25).
+//!
+//! Pairs whose *ratio* matters (fresh-vs-cached context, mul-vs-sqr) are
+//! measured with interleaved sample blocks, so slow drift of the
+//! machine's clock (turbo decay, thermal throttling) biases both sides
+//! equally instead of penalizing whichever ran second — exactly the
+//! artifact that once made the cached context look slower than the
+//! uncached one.
 
 use std::time::Instant;
 
+use tlsfoe_bench::perf_gate;
 use tlsfoe_core::json::Json;
 use tlsfoe_crypto::bigint::Ubig;
 use tlsfoe_crypto::drbg::{Drbg, RngCore64};
 use tlsfoe_crypto::{HashAlg, MontgomeryCtx, RsaKeyPair};
 
-/// Median ns/iteration of `f`, with time-bounded calibration.
-fn median_ns(samples: usize, mut f: impl FnMut()) -> u64 {
-    // Calibrate: how many iterations fit ~20 ms?
+/// Iterations of `f` that fit ~20 ms, time-bounded calibration.
+fn calibrate(f: &mut impl FnMut()) -> u64 {
     let mut iters = 1u64;
     loop {
         let start = Instant::now();
@@ -26,30 +41,54 @@ fn median_ns(samples: usize, mut f: impl FnMut()) -> u64 {
         let elapsed = start.elapsed();
         if elapsed.as_millis() >= 5 || iters >= 1 << 20 {
             let per = elapsed.as_nanos().max(1) / iters as u128;
-            iters = (20_000_000 / per).clamp(1, 1 << 20) as u64;
-            break;
+            return (20_000_000 / per).clamp(1, 1 << 20) as u64;
         }
         iters *= 2;
     }
-    let mut results: Vec<u64> = (0..samples)
-        .map(|_| {
-            let start = Instant::now();
-            for _ in 0..iters {
-                f();
-            }
-            (start.elapsed().as_nanos() / iters as u128) as u64
-        })
-        .collect();
-    results.sort_unstable();
-    results[results.len() / 2]
 }
 
-fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+fn sample_ns(iters: u64, f: &mut impl FnMut()) -> u64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    (start.elapsed().as_nanos() / iters as u128) as u64
+}
+
+/// Aggregate samples with the *minimum*: external interference (other
+/// processes, frequency steps) only ever adds time, so the fastest
+/// sample block is the most reproducible estimate — medians were
+/// observed to spike >80% on shared runners when a noisy neighbour
+/// overlapped most of a metric's sampling window, which is exactly the
+/// false-positive a CI perf gate cannot afford.
+fn best(v: Vec<u64>) -> u64 {
+    v.into_iter().min().expect("at least one sample")
+}
+
+/// Best (minimum) ns/iteration of `f` across sample blocks.
+fn best_ns(samples: usize, mut f: impl FnMut()) -> u64 {
+    let iters = calibrate(&mut f);
+    best((0..samples).map(|_| sample_ns(iters, &mut f)).collect())
+}
+
+/// Best ns/iteration of two closures, sample blocks interleaved
+/// `f,g,f,g,…` so clock drift cannot bias their ratio.
+fn best_ns_paired(samples: usize, mut f: impl FnMut(), mut g: impl FnMut()) -> (u64, u64) {
+    let fi = calibrate(&mut f);
+    let gi = calibrate(&mut g);
+    let mut fs = Vec::with_capacity(samples);
+    let mut gs = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        fs.push(sample_ns(fi, &mut f));
+        gs.push(sample_ns(gi, &mut g));
+    }
+    (best(fs), best(gs))
+}
+
+fn measure(quick: bool) -> Json {
     let samples = if quick { 5 } else { 11 };
     let msg = b"tbs certificate bytes stand-in";
 
-    println!("{}", tlsfoe_bench::banner("exp_perf: crypto hot-path timings"));
     let mut sizes = Vec::new();
     for bits in [512usize, 1024, 2048] {
         eprintln!("[exp_perf] measuring {bits}-bit primitives…");
@@ -65,21 +104,36 @@ fn main() {
         let sig = key.sign(HashAlg::Sha1, msg).unwrap();
 
         let modpow_schoolbook =
-            median_ns(samples, || drop(base.modpow_schoolbook(&key.d, n).unwrap()));
-        let modpow_montgomery = median_ns(samples, || drop(base.modpow(&key.d, n).unwrap()));
-        let modpow_cached_ctx = median_ns(samples, || drop(ctx.modpow(&base, &key.d).unwrap()));
-        let sign_crt = median_ns(samples, || drop(key.sign(HashAlg::Sha1, msg).unwrap()));
-        let sign_no_crt = median_ns(samples, || drop(no_crt.sign(HashAlg::Sha1, msg).unwrap()));
-        let verify = median_ns(samples, || key.public.verify(HashAlg::Sha1, msg, &sig).unwrap());
+            best_ns(samples, || drop(base.modpow_schoolbook(&key.d, n).unwrap()));
+        // Fresh-context vs cached-context: same inner ladder, the fresh
+        // path additionally pays MontgomeryCtx::new (the R² division).
+        let (modpow_montgomery, modpow_cached_ctx) = best_ns_paired(
+            samples,
+            || drop(base.modpow(&key.d, n).unwrap()),
+            || drop(ctx.modpow(&base, &key.d).unwrap()),
+        );
+        // Multiply vs the squaring specialization on in-range residues.
+        let (mont_mul, mont_sqr) = best_ns_paired(
+            samples,
+            || drop(ctx.mulmod(&base, &base).unwrap()),
+            || drop(ctx.sqrmod(&base).unwrap()),
+        );
+        let sign_crt = best_ns(samples, || drop(key.sign(HashAlg::Sha1, msg).unwrap()));
+        let sign_no_crt = best_ns(samples, || drop(no_crt.sign(HashAlg::Sha1, msg).unwrap()));
+        let verify = best_ns(samples, || key.public.verify(HashAlg::Sha1, msg, &sig).unwrap());
 
         println!(
             "{bits:>5} bits | modpow schoolbook {:>12} ns | montgomery {:>10} ns ({:>5.1}x) | \
-             sign crt {:>10} ns ({:>5.1}x vs schoolbook-era sign) | verify {:>8} ns",
+             cached ctx {:>10} ns | mul {:>7} ns vs sqr {:>7} ns ({:>4.2}x) | sign crt {:>9} ns | \
+             verify {:>7} ns",
             modpow_schoolbook,
             modpow_montgomery,
             modpow_schoolbook as f64 / modpow_montgomery as f64,
+            modpow_cached_ctx,
+            mont_mul,
+            mont_sqr,
+            mont_mul as f64 / mont_sqr as f64,
             sign_crt,
-            modpow_schoolbook as f64 / sign_crt as f64,
             verify,
         );
 
@@ -89,6 +143,8 @@ fn main() {
                 ("modpow_schoolbook_ns", Json::Int(modpow_schoolbook as i64)),
                 ("modpow_montgomery_ns", Json::Int(modpow_montgomery as i64)),
                 ("modpow_montgomery_cached_ctx_ns", Json::Int(modpow_cached_ctx as i64)),
+                ("mont_mul_ns", Json::Int(mont_mul as i64)),
+                ("mont_sqr_ns", Json::Int(mont_sqr as i64)),
                 ("rsa_sign_crt_ns", Json::Int(sign_crt as i64)),
                 ("rsa_sign_no_crt_ns", Json::Int(sign_no_crt as i64)),
                 ("rsa_verify_e65537_ns", Json::Int(verify as i64)),
@@ -100,12 +156,46 @@ fn main() {
         ));
     }
 
-    let doc = Json::obj(vec![
+    Json::obj(vec![
         ("experiment", Json::str("exp_perf")),
-        ("unit", Json::str("nanoseconds_per_operation_median")),
+        ("unit", Json::str("nanoseconds_per_operation_min_of_blocks")),
         ("samples", Json::Int(samples as i64)),
         ("sizes", Json::Obj(sizes.into_iter().map(|(bits, v)| (bits.to_string(), v)).collect())),
-    ]);
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .map(|i| args.get(i + 1).cloned().expect("--check requires a baseline path"));
+    let tolerance: f64 = args
+        .iter()
+        .position(|a| a == "--tol")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .expect("--tol requires a percentage, e.g. --tol 25")
+        })
+        .unwrap_or(perf_gate::DEFAULT_TOLERANCE_PCT);
+
+    println!("{}", tlsfoe_bench::banner("exp_perf: crypto hot-path timings"));
+    let doc = measure(quick);
     std::fs::write("BENCH_crypto.json", format!("{doc}\n")).expect("write BENCH_crypto.json");
     println!("\nwrote BENCH_crypto.json");
+
+    if let Some(path) = check_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline = Json::parse(text.trim())
+            .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+        let cmp = perf_gate::compare(&baseline, &doc, tolerance)
+            .unwrap_or_else(|e| panic!("perf gate comparison failed: {e}"));
+        println!("\n{}", perf_gate::render_table(&cmp));
+        if !cmp.regressions().is_empty() {
+            std::process::exit(1);
+        }
+    }
 }

@@ -17,6 +17,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod perf_gate;
+
 use std::sync::OnceLock;
 
 use tlsfoe_core::study::{run_study, StudyConfig, StudyOutcome};

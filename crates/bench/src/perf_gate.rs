@@ -1,0 +1,225 @@
+//! The CI perf-regression gate: diff a fresh `BENCH_crypto.json` against
+//! a committed baseline.
+//!
+//! `exp_perf --check BENCH_baseline.json` measures as usual, then feeds
+//! both documents through [`compare`]: every `*_ns` metric in the
+//! baseline must also exist in the current run and must not exceed the
+//! baseline by more than the tolerance (default
+//! [`DEFAULT_TOLERANCE_PCT`]%). Metrics present only in the current run
+//! are ignored, so new benchmarks can land before the baseline is
+//! refreshed; metrics *missing* from the current run are an error, so
+//! the gate cannot be silently weakened by deleting a benchmark.
+//!
+//! Min-of-sample-blocks aggregation (see `exp_perf`) plus a generous
+//! tolerance keep the gate usable on noisy shared CI runners while
+//! still catching the order-of-magnitude regressions (a dropped cache,
+//! an accidental schoolbook fallback) it exists for.
+
+use tlsfoe_core::json::Json;
+
+/// Default regression tolerance: fail when a metric is >25% slower.
+pub const DEFAULT_TOLERANCE_PCT: f64 = 25.0;
+
+/// One metric's baseline-vs-current comparison.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Key size ("512", "1024", "2048").
+    pub size: String,
+    /// Metric name (e.g. `rsa_sign_crt_ns`).
+    pub metric: String,
+    /// Baseline per-op time, nanoseconds.
+    pub baseline_ns: i64,
+    /// Current per-op time, nanoseconds.
+    pub current_ns: i64,
+    /// Percent change (positive = slower).
+    pub delta_pct: f64,
+    /// True when the change exceeds the tolerance.
+    pub regressed: bool,
+}
+
+/// A full gate run.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Every compared metric, baseline order.
+    pub rows: Vec<Row>,
+    /// The tolerance the rows were judged against.
+    pub tolerance_pct: f64,
+}
+
+impl Comparison {
+    /// The rows that exceeded the tolerance.
+    pub fn regressions(&self) -> Vec<&Row> {
+        self.rows.iter().filter(|r| r.regressed).collect()
+    }
+}
+
+/// Compare a current `exp_perf` document against a baseline document.
+///
+/// Walks every integer `*_ns` metric under the baseline's `sizes`
+/// object. Errors when either document is structurally unexpected or a
+/// baseline metric is missing from the current run.
+pub fn compare(baseline: &Json, current: &Json, tolerance_pct: f64) -> Result<Comparison, String> {
+    let base_sizes = match baseline.get("sizes") {
+        Some(Json::Obj(members)) => members,
+        _ => return Err("baseline has no `sizes` object".to_string()),
+    };
+    let mut rows = Vec::new();
+    for (size, base_metrics) in base_sizes {
+        let Json::Obj(base_metrics) = base_metrics else {
+            return Err(format!("baseline sizes.{size} is not an object"));
+        };
+        let cur_metrics = current
+            .get("sizes")
+            .and_then(|s| s.get(size))
+            .ok_or_else(|| format!("current run is missing sizes.{size}"))?;
+        for (metric, base_val) in base_metrics {
+            if !metric.ends_with("_ns") {
+                continue; // derived ratios are informational, not gated
+            }
+            let Some(baseline_ns) = base_val.as_i64() else {
+                return Err(format!("baseline {size}.{metric} is not an integer"));
+            };
+            let current_ns = cur_metrics
+                .get(metric)
+                .and_then(Json::as_i64)
+                .ok_or_else(|| format!("current run is missing {size}.{metric}"))?;
+            let delta_pct = if baseline_ns > 0 {
+                (current_ns - baseline_ns) as f64 / baseline_ns as f64 * 100.0
+            } else {
+                0.0
+            };
+            rows.push(Row {
+                size: size.clone(),
+                metric: metric.clone(),
+                baseline_ns,
+                current_ns,
+                delta_pct,
+                regressed: delta_pct > tolerance_pct,
+            });
+        }
+    }
+    if rows.is_empty() {
+        return Err("baseline contains no *_ns metrics to gate on".to_string());
+    }
+    Ok(Comparison { rows, tolerance_pct })
+}
+
+/// Render the comparison as the table the CI log shows.
+pub fn render_table(cmp: &Comparison) -> String {
+    let mut out = format!(
+        "perf gate (tolerance +{:.0}%)\n{:>5}  {:<34} {:>14} {:>14} {:>9}  verdict\n",
+        cmp.tolerance_pct, "bits", "metric", "baseline ns", "current ns", "delta"
+    );
+    for r in &cmp.rows {
+        out.push_str(&format!(
+            "{:>5}  {:<34} {:>14} {:>14} {:>+8.1}%  {}\n",
+            r.size,
+            r.metric,
+            r.baseline_ns,
+            r.current_ns,
+            r.delta_pct,
+            if r.regressed { "REGRESSED" } else { "ok" }
+        ));
+    }
+    let n = cmp.regressions().len();
+    if n == 0 {
+        out.push_str("perf gate: PASS — no metric regressed beyond tolerance\n");
+    } else {
+        out.push_str(&format!("perf gate: FAIL — {n} metric(s) regressed beyond tolerance\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(sign_ns: i64, verify_ns: i64) -> Json {
+        Json::obj(vec![(
+            "sizes",
+            Json::obj(vec![(
+                "1024",
+                Json::obj(vec![
+                    ("rsa_sign_crt_ns", Json::Int(sign_ns)),
+                    ("rsa_verify_e65537_ns", Json::Int(verify_ns)),
+                    ("speedup_sign_vs_schoolbook_modpow", Json::Num(9.3)),
+                ]),
+            )]),
+        )])
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let cmp = compare(&doc(180_000, 10_000), &doc(180_000, 10_000), 25.0).unwrap();
+        assert_eq!(cmp.rows.len(), 2, "only *_ns metrics are gated");
+        assert!(cmp.regressions().is_empty());
+        assert!(render_table(&cmp).contains("PASS"));
+    }
+
+    #[test]
+    fn small_drift_within_tolerance_passes() {
+        let cmp = compare(&doc(180_000, 10_000), &doc(200_000, 12_000), 25.0).unwrap();
+        assert!(cmp.regressions().is_empty());
+    }
+
+    #[test]
+    fn injected_regression_fails_the_gate() {
+        // The acceptance scenario: a >25% slowdown on one metric must
+        // flip the gate to FAIL.
+        let cmp = compare(&doc(180_000, 10_000), &doc(180_000, 14_000), 25.0).unwrap();
+        let regs = cmp.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "rsa_verify_e65537_ns");
+        assert!(regs[0].delta_pct > 25.0);
+        assert!(render_table(&cmp).contains("FAIL"));
+        assert!(render_table(&cmp).contains("REGRESSED"));
+    }
+
+    #[test]
+    fn improvements_always_pass() {
+        let cmp = compare(&doc(180_000, 10_000), &doc(90_000, 2_000), 25.0).unwrap();
+        assert!(cmp.regressions().is_empty());
+    }
+
+    #[test]
+    fn missing_metric_in_current_is_an_error() {
+        let mut current = doc(180_000, 10_000);
+        if let Json::Obj(sizes) = current.get("sizes").unwrap().clone() {
+            let trimmed: Vec<_> = sizes
+                .into_iter()
+                .map(|(size, v)| {
+                    let Json::Obj(metrics) = v else { unreachable!() };
+                    (
+                        size,
+                        Json::Obj(
+                            metrics.into_iter().filter(|(k, _)| k != "rsa_sign_crt_ns").collect(),
+                        ),
+                    )
+                })
+                .collect();
+            current = Json::Obj(vec![("sizes".to_string(), Json::Obj(trimmed))]);
+        }
+        let err = compare(&doc(180_000, 10_000), &current, 25.0).unwrap_err();
+        assert!(err.contains("rsa_sign_crt_ns"), "{err}");
+    }
+
+    #[test]
+    fn new_metrics_in_current_are_ignored() {
+        let mut current = doc(180_000, 10_000);
+        if let Json::Obj(ref mut members) = current {
+            if let Json::Obj(ref mut sizes) = members[0].1 {
+                if let Json::Obj(ref mut metrics) = sizes[0].1 {
+                    metrics.push(("brand_new_ns".to_string(), Json::Int(1)));
+                }
+            }
+        }
+        let cmp = compare(&doc(180_000, 10_000), &current, 25.0).unwrap();
+        assert_eq!(cmp.rows.len(), 2);
+    }
+
+    #[test]
+    fn malformed_baseline_rejected() {
+        assert!(compare(&Json::Null, &doc(1, 1), 25.0).is_err());
+        assert!(compare(&Json::obj(vec![("sizes", Json::obj(vec![]))]), &doc(1, 1), 25.0).is_err());
+    }
+}

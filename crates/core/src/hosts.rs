@@ -8,7 +8,7 @@
 //! (derived from Table 8: clients with slow connections completed only a
 //! subset of the parallel probes — §4.2).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use tlsfoe_netsim::Ipv4;
 use tlsfoe_population::keys;
@@ -75,7 +75,7 @@ pub struct HostCatalog {
     /// All hosts, authors' server first (probe order, §4.2).
     pub hosts: Vec<ProbeHost>,
     /// Public CA roots (what clean clients and validating proxies trust).
-    pub public_roots: Rc<RootStore>,
+    pub public_roots: Arc<RootStore>,
     /// The reporting server's address (same machine as the authors' host).
     pub report_server: Ipv4,
 }
@@ -172,7 +172,7 @@ impl HostCatalog {
             })
             .collect();
 
-        HostCatalog { hosts, public_roots: Rc::new(roots), report_server: Ipv4([203, 0, 113, 9]) }
+        HostCatalog { hosts, public_roots: Arc::new(roots), report_server: Ipv4([203, 0, 113, 9]) }
     }
 
     /// Find a host by name.

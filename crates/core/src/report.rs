@@ -62,7 +62,11 @@ pub struct MeasurementRecord {
 }
 
 /// The measurement database.
-#[derive(Debug, Default)]
+///
+/// `PartialEq` compares full record contents — including every captured
+/// DER chain — which is what the study's bit-identical-across-thread-
+/// counts guarantee is asserted against.
+#[derive(Debug, Default, PartialEq)]
 pub struct Database {
     /// All records, ingestion order.
     pub records: Vec<MeasurementRecord>,

@@ -16,6 +16,7 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use tlsfoe_crypto::drbg::RngCore64;
 use tlsfoe_netsim::policy::{PolicyClient, PolicyFetchResult};
@@ -34,15 +35,17 @@ use crate::report::ReportServer;
 /// Reusable per-worker session runner (shares server configs and the
 /// report server across impressions).
 pub struct SessionRunner {
-    catalog: Rc<HostCatalog>,
+    catalog: Arc<HostCatalog>,
     server_configs: Vec<Rc<ServerConfig>>,
     report_server: Rc<ReportServer>,
     authors_completion: Option<f64>,
 }
 
 impl SessionRunner {
-    /// Build a runner for one worker.
-    pub fn new(catalog: Rc<HostCatalog>, report_server: Rc<ReportServer>) -> SessionRunner {
+    /// Build a runner for one worker. The catalog is `Arc`-shared so all
+    /// worker threads of a sharded study reuse one set of host chains;
+    /// the report server (and its database) stays per-worker.
+    pub fn new(catalog: Arc<HostCatalog>, report_server: Rc<ReportServer>) -> SessionRunner {
         let server_configs =
             catalog.hosts.iter().map(|h| ServerConfig::new(h.chain.clone())).collect();
         SessionRunner { catalog, server_configs, report_server, authors_completion: None }
@@ -205,7 +208,7 @@ mod tests {
     use tlsfoe_population::products::ProductId;
 
     fn runner() -> (SessionRunner, Rc<RefCell<Database>>, GeoDb) {
-        let catalog = Rc::new(HostCatalog::study2());
+        let catalog = Arc::new(HostCatalog::study2());
         let geo = GeoDb::allocate(100_000);
         let db = Rc::new(RefCell::new(Database::new()));
         let report = Rc::new(ReportServer::new(&catalog, geo.clone(), db.clone()));

@@ -11,11 +11,15 @@
 //! scale-invariant, which is what the paper's tables report.
 //!
 //! Sharding: impressions are split across OS threads; every impression's
-//! randomness is derived from `(seed, impression index)`, so results are
-//! bit-identical regardless of thread count.
+//! randomness is derived from `(seed, impression index)`, and all threads
+//! share one [`PopulationModel`] — so the substitute-chain cache, product
+//! factories and host catalog are built once per run and results are
+//! bit-identical regardless of thread count (the cache's determinism
+//! contract, `tlsfoe_population::cache`, is what makes the sharing safe).
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use tlsfoe_adsim::{Campaign, Inventory};
 use tlsfoe_crypto::drbg::{Drbg, RngCore64};
@@ -162,12 +166,22 @@ pub fn run_study(cfg: &StudyConfig) -> StudyOutcome {
         impressions.extend(out.impressions.iter().map(|i| i.country));
     }
 
-    // Phase 2: measurement sessions, sharded by impression index.
+    // Phase 2: measurement sessions, sharded by impression index. The
+    // catalog and population model are built ONCE and shared by every
+    // worker thread: the model's factories and substitute cache are the
+    // cross-thread state that stops shard N re-minting (at RSA-signature
+    // cost) the per-host chains shard M already built.
+    let catalog = Arc::new(match (cfg.baseline, cfg.era) {
+        (true, _) => HostCatalog::baseline(),
+        (false, StudyEra::Study1) => HostCatalog::study1(),
+        (false, StudyEra::Study2) => HostCatalog::study2(),
+    });
+    let model = Arc::new(PopulationModel::new(cfg.era, catalog.public_roots.clone()));
     let threads = cfg.threads.max(1);
     let chunk_size = impressions.len().div_ceil(threads).max(1);
     let mut db = Database::new();
     if threads == 1 || impressions.len() < 256 {
-        db.merge(run_shard(cfg, &impressions, 0));
+        db.merge(run_shard(cfg, &catalog, &model, &impressions, 0));
     } else {
         let shards: Vec<Database> = std::thread::scope(|s| {
             let handles: Vec<_> = impressions
@@ -175,7 +189,11 @@ pub fn run_study(cfg: &StudyConfig) -> StudyOutcome {
                 .enumerate()
                 .map(|(i, chunk)| {
                     let cfg = cfg.clone();
-                    s.spawn(move || run_shard(&cfg, chunk, (i * chunk_size) as u64))
+                    let catalog = catalog.clone();
+                    let model = model.clone();
+                    s.spawn(move || {
+                        run_shard(&cfg, &catalog, &model, chunk, (i * chunk_size) as u64)
+                    })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("shard panicked")).collect()
@@ -188,23 +206,24 @@ pub fn run_study(cfg: &StudyConfig) -> StudyOutcome {
     StudyOutcome { campaigns: stats, db }
 }
 
-/// Process one contiguous range of impressions.
-fn run_shard(cfg: &StudyConfig, countries: &[CountryCode], base_index: u64) -> Database {
-    let catalog = Rc::new(match (cfg.baseline, cfg.era) {
-        (true, _) => HostCatalog::baseline(),
-        (false, StudyEra::Study1) => HostCatalog::study1(),
-        (false, StudyEra::Study2) => HostCatalog::study2(),
-    });
+/// Process one contiguous range of impressions against the run-wide
+/// catalog and population model.
+fn run_shard(
+    cfg: &StudyConfig,
+    catalog: &Arc<HostCatalog>,
+    model: &PopulationModel,
+    countries: &[CountryCode],
+    base_index: u64,
+) -> Database {
     let geo = GeoDb::allocate(GEO_BLOCK);
     let db = Rc::new(RefCell::new(Database::new()));
-    let report = Rc::new(ReportServer::new(&catalog, geo.clone(), db.clone()));
+    let report = Rc::new(ReportServer::new(catalog, geo.clone(), db.clone()));
     let mut runner = SessionRunner::new(catalog.clone(), report);
     if cfg.era == StudyEra::Study1 && !cfg.baseline {
         // Study 1's single-probe completion rate: 2.86M measurements out
         // of 4.63M ads ≈ 61.7%.
         runner = runner.with_authors_completion(0.617);
     }
-    let model = PopulationModel::new(cfg.era, catalog.public_roots.clone());
 
     for (offset, &country) in countries.iter().enumerate() {
         let idx = base_index + offset as u64;
@@ -226,7 +245,7 @@ fn run_shard(cfg: &StudyConfig, countries: &[CountryCode], base_index: u64) -> D
                 profile.ip = geo.client_addr(country, 0);
             }
         }
-        runner.run_session(&model, &profile, &mut rng, cfg.seed ^ idx);
+        runner.run_session(model, &profile, &mut rng, cfg.seed ^ idx);
     }
 
     db.replace(Database::new())
@@ -253,9 +272,22 @@ mod tests {
         let base = StudyConfig::study1(20_000, 11);
         let a = run_study(&StudyConfig { threads: 1, ..base.clone() });
         let b = run_study(&StudyConfig { threads: 4, ..base });
-        assert_eq!(a.db.total(), b.db.total());
-        assert_eq!(a.db.proxied(), b.db.proxied());
         assert_eq!(a.impressions(), b.impressions());
+        // Full-content equality: every record, every captured DER byte.
+        assert_eq!(a.db, b.db);
+    }
+
+    #[test]
+    fn shared_substitute_cache_bit_identical_across_thread_counts() {
+        // Force heavy interception so the shared cache actually mints
+        // many substitute chains, then require serial/8-thread runs to
+        // agree byte-for-byte — the cache determinism contract (chains
+        // are pure functions of their key, not of mint order).
+        let base = StudyConfig { proxy_boost: 60.0, ..StudyConfig::study1(4_000, 23) };
+        let a = run_study(&StudyConfig { threads: 1, ..base.clone() });
+        let b = run_study(&StudyConfig { threads: 8, ..base });
+        assert!(a.db.proxied() > 20, "need a substitute corpus, got {}", a.db.proxied());
+        assert_eq!(a.db, b.db);
     }
 
     #[test]

@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub mod bigint;
+pub mod ctxcache;
 pub mod drbg;
 pub mod hmac;
 pub mod md5;
@@ -71,6 +72,7 @@ pub mod sha1;
 pub mod sha256;
 
 pub use bigint::Ubig;
+pub use ctxcache::{verify_ctx_cache, MontCtxCache};
 pub use drbg::{Drbg, RngCore64};
 pub use montgomery::MontgomeryCtx;
 pub use rsa::{RsaCrt, RsaKeyPair, RsaPublicKey};

@@ -211,7 +211,7 @@ pub fn is_probable_prime(n: &Ubig, rounds: usize, rng: &mut dyn RngCore64) -> bo
         }
         for _ in 0..r.saturating_sub(1) {
             x = match &ctx {
-                Some(ctx) => ctx.mulmod(&x, &x),
+                Some(ctx) => ctx.sqrmod(&x),
                 None => x.mulmod(&x, n),
             }
             .expect("nonzero modulus");
@@ -317,6 +317,14 @@ impl RsaPublicKey {
     }
 
     /// Verify an RSASSA-PKCS1-v1_5 signature over `message`.
+    ///
+    /// The exponentiation rides the process-wide
+    /// [`crate::ctxcache::verify_ctx_cache`], so verifying many
+    /// signatures against the same key (chain validation, root-store
+    /// anchor search) re-derives the per-modulus Montgomery constants
+    /// once rather than per call. Even moduli and the
+    /// `TLSFOE_SCHOOLBOOK` ablation fall back to [`Ubig::modpow`]'s
+    /// uncached dispatch.
     pub fn verify(
         &self,
         alg: HashAlg,
@@ -331,7 +339,11 @@ impl RsaPublicKey {
         if s >= self.n {
             return Err(CryptoError::BadSignature);
         }
-        let m = s.modpow(&self.e, &self.n)?;
+        let m = if self.n.is_odd() && !crate::schoolbook_forced() {
+            crate::ctxcache::verify_ctx_cache().get(&self.n)?.modpow(&s, &self.e)?
+        } else {
+            s.modpow(&self.e, &self.n)?
+        };
         let em = m.to_bytes_be_padded(k).ok_or(CryptoError::BadSignature)?;
         let expected = pkcs1v15_encode(alg, message, k)?;
         if em == expected {

@@ -160,6 +160,7 @@ pub fn render(rows: &[EvalRow]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
     use tlsfoe_population::keys;
     use tlsfoe_population::model::StudyEra;
     use tlsfoe_x509::{CertificateBuilder, NameBuilder, RootStore};
@@ -178,7 +179,7 @@ mod tests {
             .unwrap();
         let mut roots = RootStore::new();
         roots.add_factory_root(ca_cert.clone());
-        let model = PopulationModel::new(StudyEra::Study2, Rc::new(roots));
+        let model = PopulationModel::new(StudyEra::Study2, Arc::new(roots));
         (model, vec![leaf, ca_cert])
     }
 

@@ -1,0 +1,190 @@
+//! Shared, sharded substitute-chain cache.
+//!
+//! Real interception products cache the substitute certificate they mint
+//! per site; the simulator does the same, but study runs shard
+//! impressions across OS threads, and before this module every worker
+//! owned a private [`crate::SubstituteFactory`] cache — so each thread
+//! re-minted (and re-signed, at RSA cost) the *same* per-host substitute
+//! the thread next door already had. A [`SubstituteCache`] is shared
+//! across all workers of a study via `Arc`, so every `(host, era,
+//! product)` chain is minted exactly once per run.
+//!
+//! ## Determinism contract
+//!
+//! The cache must not make study output depend on thread scheduling.
+//! That holds because a cached chain is a **pure function of its key**,
+//! never of which impression happened to mint it first:
+//!
+//! * all key material (root key, leaf-key pool) is derived from stable
+//!   per-product seeds ([`crate::keys`]);
+//! * serial numbers are derived from a [`tlsfoe_crypto::Drbg`] seeded by
+//!   `(product, host, variant)` — **not** from a first-writer-wins mint
+//!   counter (the pre-cache implementation numbered chains in per-thread
+//!   mint order, which was already order-dependent);
+//! * mint inputs beyond the hostname — the destination /24 for
+//!   wildcard-IP subjects, the upstream issuer for issuer-copying
+//!   products — are folded into [`SubstituteKey::variant`], so two
+//!   impressions with different mint inputs can never collide on one
+//!   cache slot.
+//!
+//! Under that contract a lost race is harmless (both minters produce
+//! byte-identical chains), but the cache still mints under the shard
+//! lock so the work happens exactly once and
+//! [`crate::SubstituteFactory::minted`] stays an exact count.
+//!
+//! ## Structure
+//!
+//! Lock-striped: keys hash to one of [`SHARDS`] independent
+//! `Mutex<HashMap>` shards, so concurrent misses on *different* hosts
+//! mint in parallel and concurrent hits rarely touch the same lock.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use tlsfoe_x509::Certificate;
+
+use crate::model::StudyEra;
+use crate::products::ProductId;
+
+/// Number of lock stripes. Plenty for the catalog's ~40 products × 18
+/// hosts spread across typical core counts.
+pub const SHARDS: usize = 16;
+
+/// Cache key: which chain, for whom.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SubstituteKey {
+    /// The minting product.
+    pub product: ProductId,
+    /// Study era the owning model runs under (eras are simulated in one
+    /// process by `exp_all`; their mints must not alias).
+    pub era: StudyEra,
+    /// Probed hostname (SNI) the substitute covers.
+    pub host: String,
+    /// Hash of mint inputs beyond the hostname (destination /24 for
+    /// wildcard-IP subjects, upstream issuer for issuer-copying
+    /// products); 0 for products whose chains depend on the host alone.
+    pub variant: u64,
+}
+
+/// A lock-striped map of minted substitute chains, shared across all
+/// worker threads of a study run.
+#[derive(Debug, Default)]
+pub struct SubstituteCache {
+    shards: [Mutex<HashMap<SubstituteKey, Arc<Vec<Certificate>>>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SubstituteCache {
+    /// An empty cache.
+    pub fn new() -> SubstituteCache {
+        SubstituteCache::default()
+    }
+
+    fn shard(&self, key: &SubstituteKey) -> &Mutex<HashMap<SubstituteKey, Arc<Vec<Certificate>>>> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Fetch the chain for `key`, minting it with `mint` on a miss.
+    ///
+    /// The mint runs while the shard lock is held: it only blocks other
+    /// keys in the same stripe, and it guarantees each chain is built
+    /// exactly once — which keeps per-factory mint counters exact and
+    /// avoids duplicate RSA signatures during warm-up stampedes.
+    pub fn get_or_mint(
+        &self,
+        key: SubstituteKey,
+        mint: impl FnOnce() -> Vec<Certificate>,
+    ) -> Arc<Vec<Certificate>> {
+        let mut shard = self.shard(&key).lock().expect("substitute cache poisoned");
+        if let Some(chain) = shard.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return chain.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let chain = Arc::new(mint());
+        shard.insert(key, chain.clone());
+        chain
+    }
+
+    /// Number of distinct chains cached.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("substitute cache poisoned").len()).sum()
+    }
+
+    /// True when nothing has been minted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters (for perf assertions in tests/benches).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(host: &str, variant: u64) -> SubstituteKey {
+        SubstituteKey {
+            product: ProductId(3),
+            era: StudyEra::Study1,
+            host: host.to_string(),
+            variant,
+        }
+    }
+
+    #[test]
+    fn mints_once_per_key() {
+        let cache = SubstituteCache::new();
+        let mut mints = 0;
+        for _ in 0..3 {
+            cache.get_or_mint(key("a.example", 0), || {
+                mints += 1;
+                Vec::new()
+            });
+        }
+        assert_eq!(mints, 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats(), (2, 1));
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_slots() {
+        let cache = SubstituteCache::new();
+        cache.get_or_mint(key("a.example", 0), Vec::new);
+        cache.get_or_mint(key("b.example", 0), Vec::new);
+        cache.get_or_mint(key("a.example", 1), Vec::new); // variant differs
+        let other_era = SubstituteKey { era: StudyEra::Study2, ..key("a.example", 0) };
+        cache.get_or_mint(other_era, Vec::new);
+        let other_product = SubstituteKey { product: ProductId(4), ..key("a.example", 0) };
+        cache.get_or_mint(other_product, Vec::new);
+        assert_eq!(cache.len(), 5);
+    }
+
+    #[test]
+    fn concurrent_requests_share_one_mint() {
+        let cache = SubstituteCache::new();
+        let mints = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for i in 0..32 {
+                        cache.get_or_mint(key(&format!("h{}.example", i % 4), 0), || {
+                            mints.fetch_add(1, Ordering::Relaxed);
+                            Vec::new()
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(mints.load(Ordering::Relaxed), 4, "each key minted exactly once");
+        assert_eq!(cache.len(), 4);
+    }
+}

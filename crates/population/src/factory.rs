@@ -4,11 +4,19 @@
 //! injected root CA and the leaf substitutes it mints per probed host —
 //! with all the behaviours the paper catalogued (issuer forgery, key-size
 //! downgrades, MD5 signatures, subject mutations, shared leaf keys).
-//! Substitutes are cached per host, as real proxies cache them per site.
+//! Substitutes are cached per host, as real proxies cache them per site;
+//! the cache is a [`SubstituteCache`] that a [`crate::PopulationModel`]
+//! shares across every factory *and every worker thread* of a study run.
+//!
+//! Minting is a pure function of the cache key (see [`crate::cache`]'s
+//! determinism contract): serial numbers come from a DRBG seeded by
+//! `(product, host, variant)`, leaf keys from the stable [`keys`] seeds —
+//! so a chain's bytes never depend on mint order or thread scheduling.
 
-use std::cell::RefCell;
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
+use tlsfoe_crypto::drbg::{Drbg, RngCore64};
 use tlsfoe_crypto::RsaKeyPair;
 use tlsfoe_netsim::Ipv4;
 use tlsfoe_x509::ext::Extension;
@@ -16,7 +24,9 @@ use tlsfoe_x509::name::{DistinguishedName, NameBuilder};
 use tlsfoe_x509::time::Time;
 use tlsfoe_x509::{Certificate, CertificateBuilder};
 
+use crate::cache::{SubstituteCache, SubstituteKey};
 use crate::keys;
+use crate::model::StudyEra;
 use crate::products::{ProductId, ProductSpec, SubjectStyle};
 
 /// Number of leaf keys in a non-shared product's pool. Real products
@@ -35,17 +45,35 @@ pub struct SubstituteFactory {
     /// The product this factory belongs to.
     pub product: ProductId,
     spec: ProductSpec,
+    era: StudyEra,
     root_key: RsaKeyPair,
     root_cert: Certificate,
     leaf_pool: u16,
-    leaf_keys: RefCell<HashMap<u16, RsaKeyPair>>,
-    cache: RefCell<HashMap<String, Vec<Certificate>>>,
-    serial_counter: RefCell<u64>,
+    /// Leaf-key pool, generated lazily and exactly once per slot.
+    leaf_keys: Vec<OnceLock<RsaKeyPair>>,
+    /// Minted chains — usually the owning model's shared cache.
+    cache: Arc<SubstituteCache>,
+    /// Chains actually minted (cache misses) through this factory.
+    minted: AtomicUsize,
 }
 
 impl SubstituteFactory {
-    /// Build the factory (generates/loads the product's key material).
+    /// Build a standalone factory with a private cache (tests, one-off
+    /// labs). Study runs use [`SubstituteFactory::with_cache`] through
+    /// [`crate::PopulationModel::factory`] instead, so chains are shared
+    /// across products and threads.
     pub fn new(product: ProductId, spec: ProductSpec) -> SubstituteFactory {
+        Self::with_cache(product, spec, StudyEra::Study1, Arc::new(SubstituteCache::new()))
+    }
+
+    /// Build the factory (generates/loads the product's key material),
+    /// minting into `cache` under `(product, era, host, …)` keys.
+    pub fn with_cache(
+        product: ProductId,
+        spec: ProductSpec,
+        era: StudyEra,
+        cache: Arc<SubstituteCache>,
+    ) -> SubstituteFactory {
         let root_key = keys::keypair(keys::root_seed(product.0), 2048);
         let root_name = issuer_name(&spec, None);
         let root_cert = CertificateBuilder::new()
@@ -59,12 +87,13 @@ impl SubstituteFactory {
         SubstituteFactory {
             product,
             spec,
+            era,
             root_key,
             root_cert,
             leaf_pool,
-            leaf_keys: RefCell::new(HashMap::new()),
-            cache: RefCell::new(HashMap::new()),
-            serial_counter: RefCell::new(1),
+            leaf_keys: (0..leaf_pool).map(|_| OnceLock::new()).collect(),
+            cache,
+            minted: AtomicUsize::new(0),
         }
     }
 
@@ -96,21 +125,49 @@ impl SubstituteFactory {
         host: &str,
         dst: Ipv4,
         upstream_leaf: Option<&Certificate>,
-    ) -> Vec<Certificate> {
-        if let Some(chain) = self.cache.borrow().get(host) {
-            return chain.clone();
-        }
-        let chain = self.mint(host, dst, upstream_leaf);
-        self.cache.borrow_mut().insert(host.to_string(), chain.clone());
-        chain
+    ) -> Arc<Vec<Certificate>> {
+        let variant = self.mint_variant(dst, upstream_leaf);
+        let key =
+            SubstituteKey { product: self.product, era: self.era, host: host.to_string(), variant };
+        self.cache.get_or_mint(key, || {
+            self.minted.fetch_add(1, Ordering::Relaxed);
+            self.mint(host, dst, upstream_leaf, variant)
+        })
     }
 
-    /// Number of distinct substitute chains minted so far.
+    /// Number of distinct substitute chains minted (not merely served)
+    /// through this factory.
     pub fn minted(&self) -> usize {
-        self.cache.borrow().len()
+        self.minted.load(Ordering::Relaxed)
     }
 
-    fn mint(&self, host: &str, dst: Ipv4, upstream_leaf: Option<&Certificate>) -> Vec<Certificate> {
+    /// Hash of the mint inputs beyond the hostname, for the cache key.
+    ///
+    /// Most products mint from the host alone (variant 0). Wildcard-IP
+    /// subjects depend on the destination /24; issuer-copying products
+    /// depend on the upstream issuer DN. Folding those into the key keeps
+    /// the cached chain a pure function of its key — the determinism
+    /// contract of [`crate::cache`].
+    fn mint_variant(&self, dst: Ipv4, upstream_leaf: Option<&Certificate>) -> u64 {
+        let mut v = 0u64;
+        if self.spec.subject_style == SubjectStyle::WildcardIpSubnet {
+            v ^= fnv(&format!("{}.{}.{}", dst.0[0], dst.0[1], dst.0[2]));
+        }
+        if self.spec.copy_issuer {
+            if let Some(up) = upstream_leaf {
+                v ^= fnv(&up.tbs.issuer.to_string()).rotate_left(1);
+            }
+        }
+        v
+    }
+
+    fn mint(
+        &self,
+        host: &str,
+        dst: Ipv4,
+        upstream_leaf: Option<&Certificate>,
+        variant: u64,
+    ) -> Vec<Certificate> {
         let issuer = issuer_name(&self.spec, upstream_leaf);
         let (subject, san): (DistinguishedName, Vec<String>) = match self.spec.subject_style {
             SubjectStyle::Exact => {
@@ -137,22 +194,24 @@ impl SubstituteFactory {
         // Leaf key: pooled by host hash (stable), or the single shared
         // key. Generated lazily — most sessions touch one key per product.
         let key_idx = (fnv(host) % self.leaf_pool as u64) as u16;
-        let leaf_key = self
-            .leaf_keys
-            .borrow_mut()
-            .entry(key_idx)
-            .or_insert_with(|| {
+        let leaf_key = self.leaf_keys[key_idx as usize]
+            .get_or_init(|| {
                 keys::keypair(keys::leaf_seed(self.product.0, key_idx), self.spec.key_bits)
             })
             .clone();
 
-        let serial = {
-            let mut c = self.serial_counter.borrow_mut();
-            *c += 1;
-            *c
-        };
+        // Serial derived from a DRBG over (product, host, variant) —
+        // independent of mint order, so shared-cache minting is
+        // thread-schedule-proof, and distinct mint variants of one host
+        // (different destination /24, different upstream issuer) get
+        // distinct serials under the shared root, as RFC 5280 requires.
+        let serial =
+            Drbg::new(keys::root_seed(self.product.0) ^ fnv(host) ^ variant.rotate_left(17))
+                .fork("substitute-serial")
+                .next_u64()
+                | 1; // keep it nonzero
         let mut builder = CertificateBuilder::new()
-            .serial_u64(serial ^ (fnv(host) << 8))
+            .serial_u64(serial)
             .signature_alg(self.spec.sig_alg)
             .issuer(issuer)
             .subject(subject)
@@ -313,6 +372,19 @@ mod tests {
         // But the signature is NOT DigiCert's — it's the proxy's root.
         assert!(chain[0].verify_signature_with(&upstream_ca.public).is_err());
         assert!(chain[0].verify_signature_with(&f.root_public().clone()).is_ok());
+    }
+
+    #[test]
+    fn distinct_mint_variants_get_distinct_serials() {
+        // A wildcard-IP product minting the same host toward two
+        // destinations produces two different certificates; they must
+        // not share a serial under the one issuing root (RFC 5280).
+        let f = factory_for("PerimeterWatch");
+        let a = f.substitute_chain("h.example", Ipv4([203, 0, 113, 9]), None);
+        let b = f.substitute_chain("h.example", Ipv4([198, 51, 100, 7]), None);
+        assert_eq!(f.minted(), 2, "different /24s must be distinct cache slots");
+        assert_ne!(a[0].tbs.subject, b[0].tbs.subject);
+        assert_ne!(a[0].tbs.serial, b[0].tbs.serial);
     }
 
     #[test]

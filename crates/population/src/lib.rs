@@ -14,6 +14,9 @@
 //!   forgery, subject mutation, shared keys),
 //! * [`keys`] — deterministic per-product key material (cached; the
 //!   IopFail malware's single shared 512-bit leaf key lives here),
+//! * [`cache`] — the sharded, lock-striped substitute-chain cache one
+//!   [`PopulationModel`] shares across every factory and worker thread
+//!   (with the determinism contract that makes that safe),
 //! * [`factory`] — substitute-certificate minting per product behaviour,
 //! * [`proxy`] — the actual TLS proxy: a netsim [`tlsfoe_netsim::net::Interceptor`]
 //!   that terminates TLS client-side with a substitute chain, optionally
@@ -26,12 +29,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod factory;
 pub mod keys;
 pub mod model;
 pub mod products;
 pub mod proxy;
 
+pub use cache::{SubstituteCache, SubstituteKey};
 pub use factory::SubstituteFactory;
 pub use model::{ClientProfile, PopulationModel, StudyEra};
 pub use products::{ProductId, ProductSpec, ProxyCategory, UpstreamPolicy};

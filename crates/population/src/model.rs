@@ -6,7 +6,7 @@
 //! The measurement pipeline must *recover* these numbers end-to-end.
 
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::{Arc, OnceLock};
 
 use tlsfoe_crypto::drbg::RngCore64;
 use tlsfoe_geo::countries::{self, CountryCode};
@@ -14,12 +14,13 @@ use tlsfoe_netsim::Ipv4;
 use tlsfoe_x509::time::Time;
 use tlsfoe_x509::RootStore;
 
+use crate::cache::SubstituteCache;
 use crate::factory::SubstituteFactory;
 use crate::products::{self, CountryBias, ProductId, ProductSpec};
 use crate::proxy::TlsProxy;
 
 /// Which study's population parameters to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StudyEra {
     /// January 2014: one probed host, global exposure.
     Study1,
@@ -42,14 +43,22 @@ pub struct ClientProfile {
 }
 
 /// The generative population model.
+///
+/// `Send + Sync`: one model is built per study run and shared across all
+/// worker threads via `Arc` — the factories (and through them the
+/// [`SubstituteCache`]) are the shared state that stops every thread
+/// re-minting identical per-host substitutes.
 pub struct PopulationModel {
     era: StudyEra,
     specs: Vec<ProductSpec>,
-    factories: Vec<std::cell::RefCell<Option<Rc<SubstituteFactory>>>>,
+    factories: Vec<OnceLock<Arc<SubstituteFactory>>>,
+    /// Minted substitute chains, shared by every factory of this model
+    /// (keyed by `(product, era, host, variant)` — see [`crate::cache`]).
+    substitutes: Arc<SubstituteCache>,
     /// Mega-popular hosts that whitelist-capable products skip.
-    popular_whitelist: Rc<HashSet<String>>,
+    popular_whitelist: Arc<HashSet<String>>,
     /// Trust store interception products use to validate upstream.
-    public_roots: Rc<RootStore>,
+    public_roots: Arc<RootStore>,
     /// Validation time for proxies.
     now: Time,
 }
@@ -58,10 +67,14 @@ impl PopulationModel {
     /// Build the model for an era.
     ///
     /// `public_roots` is the simulated web-PKI root set (products like
-    /// Bitdefender validate upstream chains against it).
-    pub fn new(era: StudyEra, public_roots: Rc<RootStore>) -> PopulationModel {
+    /// Bitdefender validate upstream chains against it). Its anchor
+    /// verification contexts are pre-warmed into the process-wide
+    /// Montgomery cache here, since every proxy upstream validation will
+    /// use them.
+    pub fn new(era: StudyEra, public_roots: Arc<RootStore>) -> PopulationModel {
+        public_roots.warm_verify_ctxs();
         let specs = products::catalog();
-        let factories = specs.iter().map(|_| std::cell::RefCell::new(None)).collect();
+        let factories = specs.iter().map(|_| OnceLock::new()).collect();
         let mut popular = HashSet::new();
         // The Facebook-class hosts of the era (none of the paper's 18
         // probe targets are in this class — §6.3's key point).
@@ -79,13 +92,19 @@ impl PopulationModel {
             era,
             specs,
             factories,
-            popular_whitelist: Rc::new(popular),
+            substitutes: Arc::new(SubstituteCache::new()),
+            popular_whitelist: Arc::new(popular),
             public_roots,
             now: match era {
                 StudyEra::Study1 => Time::from_ymd(2014, 1, 15),
                 StudyEra::Study2 => Time::from_ymd(2014, 10, 10),
             },
         }
+    }
+
+    /// The shared substitute-chain cache (for stats and tests).
+    pub fn substitute_cache(&self) -> &SubstituteCache {
+        &self.substitutes
     }
 
     /// The product catalog in use.
@@ -99,7 +118,7 @@ impl PopulationModel {
     }
 
     /// The mega-popular host set (for baseline experiments).
-    pub fn popular_hosts(&self) -> Rc<HashSet<String>> {
+    pub fn popular_hosts(&self) -> Arc<HashSet<String>> {
         self.popular_whitelist.clone()
     }
 
@@ -242,14 +261,22 @@ impl PopulationModel {
     }
 
     /// The (lazily built, shared) substitute factory for a product.
-    pub fn factory(&self, product: ProductId) -> Rc<SubstituteFactory> {
-        let slot = &self.factories[product.0 as usize];
-        if slot.borrow().is_none() {
-            let f =
-                Rc::new(SubstituteFactory::new(product, self.specs[product.0 as usize].clone()));
-            *slot.borrow_mut() = Some(f);
-        }
-        slot.borrow().as_ref().expect("factory just built").clone()
+    ///
+    /// Built at most once per model — `OnceLock` blocks racing threads —
+    /// and wired to the model-wide substitute cache, so concurrent
+    /// worker threads share both the factory's key material and every
+    /// chain it mints.
+    pub fn factory(&self, product: ProductId) -> Arc<SubstituteFactory> {
+        self.factories[product.0 as usize]
+            .get_or_init(|| {
+                Arc::new(SubstituteFactory::with_cache(
+                    product,
+                    self.specs[product.0 as usize].clone(),
+                    self.era,
+                    self.substitutes.clone(),
+                ))
+            })
+            .clone()
     }
 
     /// Build the interceptor to install for a client running `product`.
@@ -258,7 +285,7 @@ impl PopulationModel {
         let whitelist = if spec.whitelists_popular {
             self.popular_whitelist.clone()
         } else {
-            Rc::new(HashSet::new())
+            Arc::new(HashSet::new())
         };
         TlsProxy::new(self.factory(product), self.public_roots.clone(), whitelist, self.now)
     }
@@ -284,7 +311,7 @@ mod tests {
     use tlsfoe_geo::countries::by_code;
 
     fn model(era: StudyEra) -> PopulationModel {
-        PopulationModel::new(era, Rc::new(RootStore::new()))
+        PopulationModel::new(era, Arc::new(RootStore::new()))
     }
 
     #[test]
@@ -397,6 +424,48 @@ mod tests {
         let m = model(StudyEra::Study1);
         let a = m.factory(ProductId(0));
         let b = m.factory(ProductId(0));
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn model_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PopulationModel>();
+    }
+
+    #[test]
+    fn factories_share_the_model_cache() {
+        use tlsfoe_netsim::Ipv4;
+        let m = model(StudyEra::Study1);
+        let f0 = m.factory(ProductId(0));
+        let f1 = m.factory(ProductId(1));
+        f0.substitute_chain("shared.example", Ipv4([203, 0, 113, 2]), None);
+        f1.substitute_chain("shared.example", Ipv4([203, 0, 113, 2]), None);
+        // Both mints landed in the one model-wide cache, under distinct
+        // per-product keys.
+        assert_eq!(m.substitute_cache().len(), 2);
+    }
+
+    #[test]
+    fn threads_minting_same_host_share_one_chain() {
+        use tlsfoe_netsim::Ipv4;
+        let m = Arc::new(model(StudyEra::Study2));
+        let chains: Vec<Vec<u8>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let m = m.clone();
+                    s.spawn(move || {
+                        let f = m.factory(ProductId(0));
+                        f.substitute_chain("race.example", Ipv4([203, 0, 113, 3]), None)[0]
+                            .to_der()
+                            .to_vec()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("minter panicked")).collect()
+        });
+        assert!(chains.windows(2).all(|w| w[0] == w[1]), "all threads must see one chain");
+        let (_, misses) = m.substitute_cache().stats();
+        assert_eq!(misses, 1, "chain must be minted exactly once");
     }
 }

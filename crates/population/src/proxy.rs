@@ -18,6 +18,7 @@
 use std::cell::RefCell;
 use std::collections::HashSet;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use tlsfoe_netsim::net::{DialInfo, Interceptor};
 use tlsfoe_netsim::{Conduit, ConnToken, IoCtx, Ipv4};
@@ -34,12 +35,12 @@ use crate::products::UpstreamPolicy;
 
 /// The interceptor installed on a victim client's path.
 pub struct TlsProxy {
-    factory: Rc<SubstituteFactory>,
+    factory: Arc<SubstituteFactory>,
     /// The public-CA trust store the *product* uses to validate upstream
     /// certificates (only consulted by Block/Mask policies).
-    public_roots: Rc<RootStore>,
+    public_roots: Arc<RootStore>,
     /// Hosts the product treats as too popular to intercept.
-    whitelist: Rc<HashSet<String>>,
+    whitelist: Arc<HashSet<String>>,
     /// Wall-clock used for upstream validation.
     now: Time,
 }
@@ -47,9 +48,9 @@ pub struct TlsProxy {
 impl TlsProxy {
     /// Create the proxy for one client installation.
     pub fn new(
-        factory: Rc<SubstituteFactory>,
-        public_roots: Rc<RootStore>,
-        whitelist: Rc<HashSet<String>>,
+        factory: Arc<SubstituteFactory>,
+        public_roots: Arc<RootStore>,
+        whitelist: Arc<HashSet<String>>,
         now: Time,
     ) -> TlsProxy {
         TlsProxy { factory, public_roots, whitelist, now }
@@ -98,9 +99,9 @@ enum Mode {
 }
 
 struct Session {
-    factory: Rc<SubstituteFactory>,
-    public_roots: Rc<RootStore>,
-    whitelist: Rc<HashSet<String>>,
+    factory: Arc<SubstituteFactory>,
+    public_roots: Arc<RootStore>,
+    whitelist: Arc<HashSet<String>>,
     now: Time,
     dst: Ipv4,
     client_token: Option<ConnToken>,
@@ -432,7 +433,7 @@ mod tests {
         let (chain, root) = legit_chain(host, 860_000);
         let mut roots = RootStore::new();
         roots.add_factory_root(root);
-        let model = PopulationModel::new(StudyEra::Study1, Rc::new(roots));
+        let model = PopulationModel::new(StudyEra::Study1, Arc::new(roots));
         let mut net = Network::new(NetworkConfig::default(), 99);
         let cfg = ServerConfig::new(chain.clone());
         net.listen(srv_ip(), 443, Box::new(move |_| Box::new(TlsCertServer::new(cfg.clone()))));

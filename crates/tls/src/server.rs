@@ -7,6 +7,7 @@
 //! chain.
 
 use std::rc::Rc;
+use std::sync::Arc;
 
 use tlsfoe_netsim::{Conduit, IoCtx};
 use tlsfoe_x509::Certificate;
@@ -18,8 +19,10 @@ use crate::record::{encode_records, ContentType, ProtocolVersion, RecordParser};
 /// Immutable per-host serving configuration, shared by all sessions.
 #[derive(Debug)]
 pub struct ServerConfig {
-    /// Chain to present, leaf first.
-    pub chain: Vec<Certificate>,
+    /// Chain to present, leaf first. `Arc`'d so proxies serving chains
+    /// straight out of the shared substitute cache pay a refcount bump,
+    /// not a deep DER copy, per intercepted connection.
+    pub chain: Arc<Vec<Certificate>>,
     /// Cipher suite to select.
     pub cipher_suite: CipherSuite,
     /// Server random (fixed per config; the probe never checks freshness
@@ -28,10 +31,11 @@ pub struct ServerConfig {
 }
 
 impl ServerConfig {
-    /// Config serving `chain` with the era's default RSA suite.
-    pub fn new(chain: Vec<Certificate>) -> Rc<ServerConfig> {
+    /// Config serving `chain` with the era's default RSA suite (accepts
+    /// a plain `Vec` or an already-shared `Arc<Vec<_>>`).
+    pub fn new(chain: impl Into<Arc<Vec<Certificate>>>) -> Rc<ServerConfig> {
         Rc::new(ServerConfig {
-            chain,
+            chain: chain.into(),
             cipher_suite: CipherSuite::RSA_AES_128_CBC_SHA,
             server_random: [0x42; 32],
         })

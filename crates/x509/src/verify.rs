@@ -130,6 +130,24 @@ impl RootStore {
         self.roots.iter().any(|(_, o)| *o == RootOrigin::Injected)
     }
 
+    /// Pre-build the verification [`tlsfoe_crypto::MontgomeryCtx`] for
+    /// every anchor key in this store.
+    ///
+    /// [`RootStore::validate`]'s signature checks ride the process-wide
+    /// context LRU ([`tlsfoe_crypto::verify_ctx_cache`]) via
+    /// `RsaPublicKey::verify`, so warming is an optional latency
+    /// optimization: it moves each anchor's one-time `R² mod n` division
+    /// out of the first validation. Even-modulus anchor keys (none exist
+    /// in a sane store) are skipped.
+    pub fn warm_verify_ctxs(&self) {
+        for (cert, _) in &self.roots {
+            let key = &cert.tbs.spki.key;
+            if key.n.is_odd() {
+                let _ = tlsfoe_crypto::verify_ctx_cache().get(&key.n);
+            }
+        }
+    }
+
     /// Find a trusted anchor whose subject matches `issuer_name` and
     /// whose key verifies `cert`'s signature.
     fn find_anchor(&self, cert: &Certificate) -> Option<&Certificate> {
@@ -151,8 +169,12 @@ impl RootStore {
     ///
     /// Signature checks (steps 2–3) are the hot path of every simulated
     /// impression; with `e = 65537` everywhere in the corpus they ride
-    /// the crypto crate's short-exponent Montgomery verify, so a full
-    /// chain validation costs tens of microseconds, not milliseconds.
+    /// the crypto crate's short-exponent Montgomery verify *and* the
+    /// process-wide per-modulus context cache
+    /// ([`tlsfoe_crypto::verify_ctx_cache`]), so a full chain validation
+    /// costs tens of microseconds with no repeated `R² mod n`
+    /// derivation. See [`RootStore::warm_verify_ctxs`] to pre-pay even
+    /// the first-use cost.
     pub fn validate(
         &self,
         chain: &[Certificate],
@@ -391,6 +413,19 @@ mod tests {
             Err(ValidationError::UnknownAuthority),
             "forged signature must not anchor"
         );
+    }
+
+    #[test]
+    fn warming_caches_every_anchor_modulus() {
+        let (rk, ik, lk) = (key(40), key(41), key(42));
+        let (root, intermediate, leaf) = demo_hierarchy(&rk, &ik, &lk, "h.example").unwrap();
+        let mut store = RootStore::new();
+        store.add_factory_root(root);
+        store.warm_verify_ctxs();
+        assert!(tlsfoe_crypto::verify_ctx_cache().contains(&rk.public.n));
+        // Validation (which verifies against the cached anchor context)
+        // still succeeds.
+        store.validate(&[leaf, intermediate], "h.example", now()).unwrap();
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run --example quickstart`
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use tlsfoe::crypto::drbg::Drbg;
 use tlsfoe::crypto::RsaKeyPair;
@@ -48,7 +48,7 @@ fn main() {
 
     // 3. Install an interception product on the client's path — here
     //    Bitdefender's SSL-scanning feature from the paper's catalog.
-    let model = PopulationModel::new(StudyEra::Study1, Rc::new(roots));
+    let model = PopulationModel::new(StudyEra::Study1, Arc::new(roots));
     let bitdefender = ProductId(
         model
             .specs()

@@ -148,6 +148,25 @@ fn montgomery_mulmod_matches_schoolbook() {
 }
 
 #[test]
+fn montgomery_sqr_matches_mul_by_self() {
+    // The squaring specialization must be indistinguishable from a
+    // general multiply of x by itself, over DRBG-driven widths/values.
+    let mut rng = rng("sqr");
+    for _ in 0..CASES / 2 {
+        let mut m = Ubig::from_bytes_be(&random_bytes(&mut rng, 40));
+        m.set_bit(0);
+        if m.is_one() {
+            continue;
+        }
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let x = Ubig::from_bytes_be(&random_bytes(&mut rng, 48));
+        let sqr = ctx.sqrmod(&x).unwrap();
+        assert_eq!(sqr, ctx.mulmod(&x, &x).unwrap(), "x={x:?} m={m:?}");
+        assert_eq!(sqr, x.mulmod(&x, &m).unwrap(), "x={x:?} m={m:?}");
+    }
+}
+
+#[test]
 fn even_modulus_falls_back_to_schoolbook() {
     let mut rng = rng("even");
     for _ in 0..CASES / 8 {
