@@ -38,7 +38,7 @@ fn bench_probe(c: &mut Criterion) {
                 Box::new(ProbeClient::new("tlsresearch.byu.edu", [1; 32], outcome.clone())),
             )
             .unwrap();
-            net.run();
+            net.run().unwrap();
             assert!(outcome.borrow().chain_der.len() == 2);
         })
     });
@@ -64,7 +64,7 @@ fn bench_probe(c: &mut Criterion) {
                 Box::new(ProbeClient::new("tlsresearch.byu.edu", [1; 32], outcome.clone())),
             )
             .unwrap();
-            net.run();
+            net.run().unwrap();
         })
     });
 
@@ -74,7 +74,7 @@ fn bench_probe(c: &mut Criterion) {
     let geo = GeoDb::allocate(1000);
     let db = Rc::new(RefCell::new(Database::new()));
     let report = Rc::new(ReportServer::new(&catalog2, geo.clone(), db.clone()));
-    let runner = SessionRunner::new(catalog2.clone(), report);
+    let mut runner = SessionRunner::new(catalog2.clone(), report);
     let model2 = PopulationModel::new(StudyEra::Study2, catalog2.public_roots.clone());
     let us = tlsfoe_geo::countries::by_code("US").unwrap();
 
@@ -84,7 +84,7 @@ fn bench_probe(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            runner.run_session(&model2, &profile, &mut rng, i)
+            runner.run_session(&model2, &profile, &mut rng, i, i).unwrap()
         })
     });
 }

@@ -73,7 +73,7 @@ fn main() {
     println!("{}", eval::render(&eval::evaluate(&model2, &catalog2.hosts[0].chain)));
 
     eprintln!("[tlsfoe] running Huang baseline comparison…");
-    let cmp = baseline::compare(&tlsfoe_bench::config(StudyEra::Study1));
+    let cmp = tlsfoe_bench::or_die(baseline::compare(&tlsfoe_bench::config(StudyEra::Study1)));
     println!(
         "Baseline comparison (§8): ours {:.3}% vs Huang-style {:.3}% — ratio {:.2}x (paper: 0.41% vs 0.20%, ~2x)",
         cmp.our_rate() * 100.0,

@@ -7,7 +7,7 @@ use tlsfoe_population::model::StudyEra;
 fn main() {
     print!("{}", tlsfoe_bench::banner("Baseline comparison (§8)"));
     let cfg = tlsfoe_bench::config(StudyEra::Study1);
-    let cmp = baseline::compare(&cfg);
+    let cmp = tlsfoe_bench::or_die(baseline::compare(&cfg));
     println!(
         "our methodology:   {:>8} measurements, proxied rate {:.3}%  (paper: 0.41%)",
         cmp.ours.db.total(),

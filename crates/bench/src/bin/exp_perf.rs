@@ -26,6 +26,7 @@ use std::time::Instant;
 
 use tlsfoe_bench::perf_gate;
 use tlsfoe_core::json::Json;
+use tlsfoe_core::study::StudyConfig;
 use tlsfoe_crypto::bigint::Ubig;
 use tlsfoe_crypto::drbg::{Drbg, RngCore64};
 use tlsfoe_crypto::{HashAlg, MontgomeryCtx, RsaKeyPair};
@@ -83,6 +84,41 @@ fn best_ns_paired(samples: usize, mut f: impl FnMut(), mut g: impl FnMut()) -> (
         gs.push(sample_ns(gi, &mut g));
     }
     (best(fs), best(gs))
+}
+
+/// End-to-end sessions/sec through the shard-lifetime batched network:
+/// time a small single-threaded study 1 (per-core and stable across
+/// runner core counts) and divide by its impression count. Guarded by
+/// the same `--check` gate as the crypto numbers, so the batching win
+/// can't silently regress.
+fn measure_session_throughput(quick: bool) -> Json {
+    // The scale must match between quick (CI) and full (baseline) runs:
+    // run_study includes per-run fixed costs (model build, ad sim), so
+    // ns/session is only comparable at equal session counts. Quick mode
+    // trims samples instead.
+    let scale = 600;
+    let mut cfg = StudyConfig::study1(scale, 2014);
+    cfg.threads = 1;
+    let samples = if quick { 2 } else { 3 };
+    let mut session_ns = u64::MAX;
+    let mut sessions = 0u64;
+    eprintln!("[exp_perf] measuring session throughput (study 1, scale 1/{scale})…");
+    for _ in 0..samples {
+        let start = Instant::now();
+        let out = tlsfoe_core::study::run_study(&cfg).expect("throughput study");
+        let elapsed = start.elapsed();
+        sessions = out.impressions();
+        session_ns = session_ns.min((elapsed.as_nanos() / u128::from(sessions.max(1))) as u64);
+    }
+    let per_sec = 1e9 / session_ns as f64;
+    println!(
+        "sessions | {sessions} impressions | {session_ns:>9} ns/session | {per_sec:>8.0} sessions/sec (1 thread)"
+    );
+    Json::obj(vec![
+        ("session_ns", Json::Int(session_ns as i64)),
+        ("sessions_per_sec", Json::Num(per_sec.round())),
+        ("sessions_measured", Json::Int(sessions as i64)),
+    ])
 }
 
 fn measure(quick: bool) -> Json {
@@ -161,6 +197,7 @@ fn measure(quick: bool) -> Json {
         ("unit", Json::str("nanoseconds_per_operation_min_of_blocks")),
         ("samples", Json::Int(samples as i64)),
         ("sizes", Json::Obj(sizes.into_iter().map(|(bits, v)| (bits.to_string(), v)).collect())),
+        ("series", Json::obj(vec![("session_throughput", measure_session_throughput(quick))])),
     ])
 }
 

@@ -27,7 +27,7 @@ fn main() {
             Box::new(PolicyClient::new(result.clone())),
         )
         .expect("policy server listening");
-        net.run();
+        net.run().expect("policy fetch cannot livelock");
         if *result.borrow() == PolicyFetchResult::Permissive {
             permissive += 1;
         }

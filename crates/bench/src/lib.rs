@@ -10,6 +10,9 @@
 //!   scale-invariant),
 //! * `TLSFOE_SEED` — root seed (default 2014),
 //! * `TLSFOE_THREADS` — worker threads (default: all cores),
+//! * `TLSFOE_BATCH` — concurrent sessions per event-loop drive on each
+//!   worker's shard-lifetime network (default 64; results are
+//!   bit-identical for any value),
 //! * `TLSFOE_SCHOOLBOOK` — set to force the seed's schoolbook bignum
 //!   path (perf ablation; roughly doubles `exp_all` wall-clock).
 //!
@@ -42,6 +45,14 @@ pub fn threads() -> usize {
         .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
 }
 
+/// Sessions per event-loop drive (`TLSFOE_BATCH`, default 64).
+pub fn batch() -> usize {
+    std::env::var("TLSFOE_BATCH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(tlsfoe_core::session::DEFAULT_BATCH)
+}
+
 /// Study config for an era at the environment's scale.
 pub fn config(era: StudyEra) -> StudyConfig {
     StudyConfig {
@@ -51,7 +62,23 @@ pub fn config(era: StudyEra) -> StudyConfig {
         threads: threads(),
         baseline: false,
         proxy_boost: 1.0,
+        batch: batch(),
     }
+}
+
+/// Unwrap an experiment-level result, exiting the process with the
+/// failure context otherwise (a livelocked conduit must fail the whole
+/// experiment visibly, not abort a worker thread).
+pub fn or_die<T, E: std::fmt::Display>(result: Result<T, E>) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("[tlsfoe] fatal: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Run a study via [`or_die`].
+pub fn must_run(cfg: &StudyConfig) -> StudyOutcome {
+    or_die(run_study(cfg))
 }
 
 fn study1_cell() -> &'static OnceLock<StudyOutcome> {
@@ -84,7 +111,7 @@ pub fn study_boosted(era: StudyEra) -> &'static StudyOutcome {
             "[tlsfoe] running {:?} with interception x{} (substitute-corpus mode)…",
             era, cfg.proxy_boost
         );
-        run_study(&cfg)
+        must_run(&cfg)
     })
 }
 
@@ -97,7 +124,7 @@ pub fn study1() -> &'static StudyOutcome {
             seed(),
             threads()
         );
-        run_study(&config(StudyEra::Study1))
+        must_run(&config(StudyEra::Study1))
     })
 }
 
@@ -110,7 +137,7 @@ pub fn study2() -> &'static StudyOutcome {
             seed(),
             threads()
         );
-        run_study(&config(StudyEra::Study2))
+        must_run(&config(StudyEra::Study2))
     })
 }
 

@@ -23,7 +23,9 @@ pub const DEFAULT_TOLERANCE_PCT: f64 = 25.0;
 /// One metric's baseline-vs-current comparison.
 #[derive(Debug, Clone)]
 pub struct Row {
-    /// Key size ("512", "1024", "2048").
+    /// Metric group: a key size ("512", "1024", "2048") from the
+    /// document's `sizes` object, or a named series (e.g.
+    /// "session_throughput") from its `series` object.
     pub size: String,
     /// Metric name (e.g. `rsa_sign_crt_ns`).
     pub metric: String,
@@ -56,46 +58,54 @@ impl Comparison {
 /// Compare a current `exp_perf` document against a baseline document.
 ///
 /// Walks every integer `*_ns` metric under the baseline's `sizes`
-/// object. Errors when either document is structurally unexpected or a
-/// baseline metric is missing from the current run.
+/// object (per-key-size crypto metrics) and its optional `series`
+/// object (named end-to-end series like `session_throughput`). Errors
+/// when either document is structurally unexpected or a baseline metric
+/// is missing from the current run.
 pub fn compare(baseline: &Json, current: &Json, tolerance_pct: f64) -> Result<Comparison, String> {
-    let base_sizes = match baseline.get("sizes") {
-        Some(Json::Obj(members)) => members,
-        _ => return Err("baseline has no `sizes` object".to_string()),
-    };
     let mut rows = Vec::new();
-    for (size, base_metrics) in base_sizes {
-        let Json::Obj(base_metrics) = base_metrics else {
-            return Err(format!("baseline sizes.{size} is not an object"));
+    if baseline.get("sizes").is_none() {
+        return Err("baseline has no `sizes` object".to_string());
+    }
+    for group in ["sizes", "series"] {
+        let base_group = match baseline.get(group) {
+            Some(Json::Obj(members)) => members,
+            Some(_) => return Err(format!("baseline `{group}` is not an object")),
+            None => continue, // `series` is optional in older baselines
         };
-        let cur_metrics = current
-            .get("sizes")
-            .and_then(|s| s.get(size))
-            .ok_or_else(|| format!("current run is missing sizes.{size}"))?;
-        for (metric, base_val) in base_metrics {
-            if !metric.ends_with("_ns") {
-                continue; // derived ratios are informational, not gated
+        for (name, base_metrics) in base_group {
+            let Json::Obj(base_metrics) = base_metrics else {
+                return Err(format!("baseline {group}.{name} is not an object"));
+            };
+            let cur_metrics = current
+                .get(group)
+                .and_then(|s| s.get(name))
+                .ok_or_else(|| format!("current run is missing {group}.{name}"))?;
+            for (metric, base_val) in base_metrics {
+                if !metric.ends_with("_ns") {
+                    continue; // derived ratios are informational, not gated
+                }
+                let Some(baseline_ns) = base_val.as_i64() else {
+                    return Err(format!("baseline {name}.{metric} is not an integer"));
+                };
+                let current_ns = cur_metrics
+                    .get(metric)
+                    .and_then(Json::as_i64)
+                    .ok_or_else(|| format!("current run is missing {name}.{metric}"))?;
+                let delta_pct = if baseline_ns > 0 {
+                    (current_ns - baseline_ns) as f64 / baseline_ns as f64 * 100.0
+                } else {
+                    0.0
+                };
+                rows.push(Row {
+                    size: name.clone(),
+                    metric: metric.clone(),
+                    baseline_ns,
+                    current_ns,
+                    delta_pct,
+                    regressed: delta_pct > tolerance_pct,
+                });
             }
-            let Some(baseline_ns) = base_val.as_i64() else {
-                return Err(format!("baseline {size}.{metric} is not an integer"));
-            };
-            let current_ns = cur_metrics
-                .get(metric)
-                .and_then(Json::as_i64)
-                .ok_or_else(|| format!("current run is missing {size}.{metric}"))?;
-            let delta_pct = if baseline_ns > 0 {
-                (current_ns - baseline_ns) as f64 / baseline_ns as f64 * 100.0
-            } else {
-                0.0
-            };
-            rows.push(Row {
-                size: size.clone(),
-                metric: metric.clone(),
-                baseline_ns,
-                current_ns,
-                delta_pct,
-                regressed: delta_pct > tolerance_pct,
-            });
         }
     }
     if rows.is_empty() {
@@ -107,12 +117,12 @@ pub fn compare(baseline: &Json, current: &Json, tolerance_pct: f64) -> Result<Co
 /// Render the comparison as the table the CI log shows.
 pub fn render_table(cmp: &Comparison) -> String {
     let mut out = format!(
-        "perf gate (tolerance +{:.0}%)\n{:>5}  {:<34} {:>14} {:>14} {:>9}  verdict\n",
-        cmp.tolerance_pct, "bits", "metric", "baseline ns", "current ns", "delta"
+        "perf gate (tolerance +{:.0}%)\n{:>18}  {:<34} {:>14} {:>14} {:>9}  verdict\n",
+        cmp.tolerance_pct, "group", "metric", "baseline ns", "current ns", "delta"
     );
     for r in &cmp.rows {
         out.push_str(&format!(
-            "{:>5}  {:<34} {:>14} {:>14} {:>+8.1}%  {}\n",
+            "{:>18}  {:<34} {:>14} {:>14} {:>+8.1}%  {}\n",
             r.size,
             r.metric,
             r.baseline_ns,
@@ -215,6 +225,38 @@ mod tests {
         }
         let cmp = compare(&doc(180_000, 10_000), &current, 25.0).unwrap();
         assert_eq!(cmp.rows.len(), 2);
+    }
+
+    #[test]
+    fn series_group_is_gated_like_sizes() {
+        let with_series = |session_ns: i64| {
+            let Json::Obj(mut members) = doc(180_000, 10_000) else { unreachable!() };
+            members.push((
+                "series".to_string(),
+                Json::obj(vec![(
+                    "session_throughput",
+                    Json::obj(vec![
+                        ("session_ns", Json::Int(session_ns)),
+                        ("sessions_per_sec", Json::Num(1e9 / session_ns as f64)),
+                    ]),
+                )]),
+            ));
+            Json::Obj(members)
+        };
+        let cmp = compare(&with_series(17_000), &with_series(18_000), 25.0).unwrap();
+        assert_eq!(cmp.rows.len(), 3, "series metrics join the gate");
+        assert!(cmp.regressions().is_empty());
+        let cmp = compare(&with_series(17_000), &with_series(25_000), 25.0).unwrap();
+        let regs = cmp.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].size, "session_throughput");
+        assert_eq!(regs[0].metric, "session_ns");
+        // A baseline WITH a series but a current run missing it cannot
+        // silently weaken the gate...
+        let err = compare(&with_series(17_000), &doc(180_000, 10_000), 25.0).unwrap_err();
+        assert!(err.contains("session_throughput"), "{err}");
+        // ...but an old baseline without `series` still gates fine.
+        assert!(compare(&doc(180_000, 10_000), &with_series(17_000), 25.0).is_ok());
     }
 
     #[test]

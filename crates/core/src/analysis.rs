@@ -164,6 +164,7 @@ mod tests {
 
     fn record(country: &str, proxied: bool, issuer: Option<&str>) -> MeasurementRecord {
         MeasurementRecord {
+            impression: 0,
             client_ip: Ipv4([11, 0, 0, 1]),
             country: by_code(country),
             host: "tlsresearch.byu.edu",

@@ -72,7 +72,7 @@ pub fn audit_product(model: &PopulationModel, product: Option<ProductId>) -> Aud
         Box::new(ProbeClient::new(VICTIM_HOST, [7u8; 32], outcome.clone())),
     )
     .expect("attacker listening");
-    net.run();
+    net.run().expect("bounded audit scenario cannot livelock");
 
     let o = outcome.borrow();
     if o.state != ProbeState::Done {

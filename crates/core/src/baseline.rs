@@ -10,7 +10,7 @@
 //! population and reports the ratio, making the whitelisting explanation
 //! quantitative.
 
-use crate::study::{run_study, StudyConfig, StudyOutcome};
+use crate::study::{run_study, StudyConfig, StudyError, StudyOutcome};
 
 /// Results of the methodology comparison.
 #[derive(Debug)]
@@ -44,10 +44,10 @@ impl BaselineComparison {
 }
 
 /// Run both methodologies on the same population/era/seed.
-pub fn compare(cfg: &StudyConfig) -> BaselineComparison {
-    let ours = run_study(cfg);
-    let huang = run_study(&StudyConfig { baseline: true, ..cfg.clone() });
-    BaselineComparison { ours, huang }
+pub fn compare(cfg: &StudyConfig) -> Result<BaselineComparison, StudyError> {
+    let ours = run_study(cfg)?;
+    let huang = run_study(&StudyConfig { baseline: true, ..cfg.clone() })?;
+    Ok(BaselineComparison { ours, huang })
 }
 
 #[cfg(test)]
@@ -66,8 +66,9 @@ mod tests {
             threads: 4,
             baseline: false,
             proxy_boost: 1.0,
+            batch: crate::session::DEFAULT_BATCH,
         };
-        let cmp = compare(&cfg);
+        let cmp = compare(&cfg).expect("comparison runs");
         assert!(cmp.ours.db.total() > 5_000);
         assert!(cmp.huang.db.total() > 5_000);
         let ours = cmp.our_rate();

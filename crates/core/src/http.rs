@@ -134,7 +134,7 @@ mod tests {
             )),
         )
         .unwrap();
-        net.run();
+        net.run().unwrap();
         assert!(*ok.borrow());
         let reqs = received.borrow();
         assert_eq!(reqs.len(), 1);
@@ -165,7 +165,7 @@ mod tests {
             Box::new(HttpPostClient::new("/r", body, ok.clone())),
         )
         .unwrap();
-        net.run();
+        net.run().unwrap();
         assert!(*ok.borrow());
         assert_eq!(*got_len.borrow(), 100_000);
     }

@@ -47,4 +47,5 @@ pub mod tables;
 
 pub use hosts::{HostCatalog, HostCategory, ProbeHost};
 pub use report::{Database, MeasurementRecord, ReportServer, SubstituteInfo};
-pub use study::{StudyConfig, StudyOutcome};
+pub use session::SessionRunner;
+pub use study::{StudyConfig, StudyError, StudyOutcome};

@@ -145,6 +145,7 @@ mod tests {
         covers: bool,
     ) -> MeasurementRecord {
         MeasurementRecord {
+            impression: 0,
             client_ip: Ipv4([11, 0, 0, 1]),
             country: by_code("US"),
             host: "tlsresearch.byu.edu",
@@ -224,6 +225,7 @@ mod tests {
             .unwrap();
 
         let mk = |cert: &tlsfoe_x509::Certificate| MeasurementRecord {
+            impression: 0,
             client_ip: Ipv4([11, 0, 0, 1]),
             country: by_code("US"),
             host: "tlsresearch.byu.edu",

@@ -47,6 +47,12 @@ pub struct SubstituteInfo {
 /// One completed measurement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MeasurementRecord {
+    /// Shard-local impression ordinal (`imp=` on the upload path). When
+    /// a worker batches many concurrent sessions into one event-loop
+    /// drive, uploads interleave by virtual completion time; the runner
+    /// stable-sorts each batch's records by this ordinal so the database
+    /// is bit-identical for any batch size and thread count.
+    pub impression: u64,
     /// Reporting client address.
     pub client_ip: Ipv4,
     /// Geolocated country (None if the IP is outside the database).
@@ -124,6 +130,7 @@ impl Database {
                 ])
             });
             let v = Json::obj(vec![
+                ("impression", Json::Int(r.impression as i64)),
                 ("client_ip", Json::str(r.client_ip.to_string())),
                 (
                     "country",
@@ -168,10 +175,19 @@ impl ReportServer {
         self.db.clone()
     }
 
-    /// Process one upload: `path` is `/report?host=NAME`, `body` is the
-    /// concatenated PEM chain the probe captured.
+    /// Process one upload: `path` is `/report?host=NAME[&imp=N]`, `body`
+    /// is the concatenated PEM chain the probe captured.
     pub fn ingest(&self, client_ip: Ipv4, path: &str, body: &[u8]) {
-        let Some(host_name) = path.split("host=").nth(1) else {
+        let mut host_name = None;
+        let mut impression = 0u64;
+        for pair in path.split('?').nth(1).unwrap_or("").split('&') {
+            match pair.split_once('=') {
+                Some(("host", v)) => host_name = Some(v),
+                Some(("imp", v)) => impression = v.parse().unwrap_or(0),
+                _ => {}
+            }
+        }
+        let Some(host_name) = host_name else {
             self.db.borrow_mut().malformed_uploads += 1;
             return;
         };
@@ -191,6 +207,7 @@ impl ReportServer {
         let proxied = chain[0].to_der() != auth_leaf.as_slice();
         let substitute = if proxied { Some(extract_substitute(&chain, host)) } else { None };
         self.db.borrow_mut().records.push(MeasurementRecord {
+            impression,
             client_ip,
             country: self.geo.lookup(client_ip),
             host,
@@ -283,6 +300,19 @@ mod tests {
         let db = db.borrow();
         assert_eq!(db.total(), 0);
         assert_eq!(db.malformed_uploads, 3);
+    }
+
+    #[test]
+    fn impression_ordinal_parsed_from_upload_path() {
+        let (server, db, catalog) = setup();
+        let body = pem::encode_certificates(&catalog.hosts[0].chain).into_bytes();
+        server.ingest(client(), "/report?host=tlsresearch.byu.edu&imp=42", &body);
+        server.ingest(client(), "/report?imp=7&host=tlsresearch.byu.edu", &body);
+        server.ingest(client(), "/report?host=tlsresearch.byu.edu", &body);
+        let db = db.borrow();
+        assert_eq!(db.malformed_uploads, 0);
+        let imps: Vec<u64> = db.records.iter().map(|r| r.impression).collect();
+        assert_eq!(imps, [42, 7, 0], "imp= must parse in any position, defaulting to 0");
     }
 
     #[test]

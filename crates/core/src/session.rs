@@ -1,4 +1,4 @@
-//! One impression's measurement session.
+//! Measurement sessions over a worker's shard-lifetime network.
 //!
 //! When the ad loads on a client, the tool (§3.2, §4.2):
 //!
@@ -10,17 +10,36 @@
 //! 3. POSTs each captured chain back to the reporting server as
 //!    concatenated PEM.
 //!
-//! Everything runs through the event-driven network with the client's
-//! interceptor (if any) on-path, so a proxied client's uploads really do
-//! contain the substitute chain the proxy minted.
+//! A [`SessionRunner`] owns **one long-lived [`Network`]** for its whole
+//! shard: the catalog listeners, policy server and report server are
+//! registered once, then every impression's client (interceptor, link
+//! profile, policy fetch, probes) is *injected* into the shared event
+//! loop. Many concurrent sessions are batched per `run()` drive — the
+//! paper's deployment had thousands of clients sharing the same servers
+//! — which amortizes topology setup across the shard instead of paying
+//! it per impression.
+//!
+//! Determinism under batching rests on three invariants:
+//!
+//! * each session's randomness (completion gates, probe randoms, loss
+//!   streams) is derived from its own `(seed, impression)` identity, not
+//!   from shared sequential streams;
+//! * two sessions never share a client address within one batch (the
+//!   runner drives the pending batch to completion before reusing an
+//!   address, so interceptor/link state is always per-session);
+//! * each batch's report records are stable-sorted by impression
+//!   ordinal after the drive, collapsing the virtual-time interleaving
+//!   back to injection order.
 
 use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::Arc;
 
 use tlsfoe_crypto::drbg::RngCore64;
+use tlsfoe_geo::countries::CountryCode;
 use tlsfoe_netsim::policy::{PolicyClient, PolicyFetchResult};
-use tlsfoe_netsim::{Conduit, IoCtx, Ipv4};
+use tlsfoe_netsim::{Conduit, IoCtx, Ipv4, LinkProfile, NetRunError};
 use tlsfoe_netsim::{Network, NetworkConfig};
 use tlsfoe_population::model::{ClientProfile, PopulationModel};
 use tlsfoe_tls::probe::{ProbeOutcome, ProbeState};
@@ -30,25 +49,58 @@ use tlsfoe_x509::pem;
 
 use crate::hosts::HostCatalog;
 use crate::http::HttpPostClient;
-use crate::report::ReportServer;
+use crate::report::{Database, ReportServer};
 
-/// Reusable per-worker session runner (shares server configs and the
-/// report server across impressions).
+/// Default number of concurrent sessions batched into one event-loop
+/// drive. Results are bit-identical for any batch size (see module
+/// docs); larger batches amortize heap churn across more sessions.
+pub const DEFAULT_BATCH: usize = 64;
+
+/// Per-worker session runner owning the shard's one long-lived network.
 pub struct SessionRunner {
     catalog: Arc<HostCatalog>,
-    server_configs: Vec<Rc<ServerConfig>>,
-    report_server: Rc<ReportServer>,
+    db: Rc<RefCell<Database>>,
     authors_completion: Option<f64>,
+    net: Network,
+    batch_size: usize,
+    /// Clients injected but not yet driven; their per-client network
+    /// state (interceptor, link, dial scope) is reverted at batch end.
+    pending: Vec<Ipv4>,
+    pending_ips: HashSet<Ipv4>,
+    country_links: HashMap<CountryCode, LinkProfile>,
 }
 
 impl SessionRunner {
-    /// Build a runner for one worker. The catalog is `Arc`-shared so all
-    /// worker threads of a sharded study reuse one set of host chains;
-    /// the report server (and its database) stays per-worker.
+    /// Build a runner for one worker and register the full topology —
+    /// catalog TLS servers, the authors' policy server, the reporting
+    /// server — exactly once on its shard-lifetime network. The catalog
+    /// is `Arc`-shared so all worker threads of a sharded study reuse
+    /// one set of host chains (the `ServerConfig`s are `Arc` too); the
+    /// report server (and its database) stays per-worker.
     pub fn new(catalog: Arc<HostCatalog>, report_server: Rc<ReportServer>) -> SessionRunner {
-        let server_configs =
-            catalog.hosts.iter().map(|h| ServerConfig::new(h.chain.clone())).collect();
-        SessionRunner { catalog, server_configs, report_server, authors_completion: None }
+        let mut net = Network::new(NetworkConfig::default(), 0);
+        for host in catalog.hosts.iter() {
+            let cfg: Arc<ServerConfig> = ServerConfig::new(host.chain.clone());
+            net.listen(host.ip, 443, Box::new(move |_| Box::new(TlsCertServer::new(cfg.clone()))));
+        }
+        let authors_ip = catalog.hosts[0].ip;
+        net.listen(
+            authors_ip,
+            80,
+            Box::new(|_| Box::new(tlsfoe_netsim::PolicyServer::permissive())),
+        );
+        let db = report_server.db();
+        net.listen(catalog.report_server, 80, report_server.listener());
+        SessionRunner {
+            catalog,
+            db,
+            authors_completion: None,
+            net,
+            batch_size: DEFAULT_BATCH,
+            pending: Vec::new(),
+            pending_ips: HashSet::new(),
+            country_links: HashMap::new(),
+        }
     }
 
     /// Override the authors'-host completion rate (study 1 probed a
@@ -59,50 +111,91 @@ impl SessionRunner {
         self
     }
 
+    /// Set how many sessions share one event-loop drive (min 1).
+    pub fn with_batch_size(mut self, batch: usize) -> SessionRunner {
+        self.batch_size = batch.max(1);
+        self
+    }
+
+    /// Give every client from `country` a specific link profile (captive
+    /// portals, latency, loss) — the cross-client scenarios the paper's
+    /// deployment saw, as configuration instead of code. Applied to each
+    /// session at injection and reverted when its batch completes.
+    pub fn set_country_link(&mut self, country: CountryCode, link: LinkProfile) {
+        self.country_links.insert(country, link);
+    }
+
     /// The probed-host catalog.
     pub fn catalog(&self) -> &HostCatalog {
         &self.catalog
     }
 
-    /// Run one client's complete measurement session.
+    /// Events processed by the shard network so far. Monotonically
+    /// accumulates across sessions — the observable proof that one
+    /// `Network` serves the whole shard.
+    pub fn events_processed(&self) -> u64 {
+        self.net.events_processed()
+    }
+
+    /// High-water mark of the shard network's connection-side slab
+    /// (bounded by the concurrent working set, not total sessions).
+    pub fn sides_high_water(&self) -> usize {
+        self.net.sides_high_water()
+    }
+
+    /// Sessions injected but not yet driven.
+    pub fn pending_sessions(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Inject one client's measurement session into the shared event
+    /// loop; the batch is driven automatically once full (or explicitly
+    /// via [`SessionRunner::finish`]).
     ///
-    /// Returns the number of probes attempted (completion-gated).
-    pub fn run_session(
-        &self,
+    /// `impression` is the session's global impression index — recorded
+    /// on every upload and used as the batch sort key, so it must be
+    /// monotonically increasing across a runner's injections.
+    /// `session_seed` is the impression's global random identity (the
+    /// study uses `seed ^ impression`): per-connection loss streams are
+    /// derived from it. Both being *global* (not shard- or batch-local)
+    /// is what keeps results bit-identical across batch sizes and
+    /// thread counts.
+    ///
+    /// Returns the number of probes actually launched (completion-gated;
+    /// captive-portal-blocked and refused dials never ran, so they are
+    /// not counted as attempted).
+    pub fn enqueue_session(
+        &mut self,
         model: &PopulationModel,
         profile: &ClientProfile,
         rng: &mut dyn RngCore64,
-        net_seed: u64,
-    ) -> usize {
-        let mut net = Network::new(NetworkConfig::default(), net_seed);
-
-        // Topology: every catalog host listens on 443; the authors' web
-        // server also serves the socket-policy file on port 80; the
-        // report server listens for POSTs.
-        for (host, cfg) in self.catalog.hosts.iter().zip(&self.server_configs) {
-            let cfg = cfg.clone();
-            net.listen(host.ip, 443, Box::new(move |_| Box::new(TlsCertServer::new(cfg.clone()))));
+        impression: u64,
+        session_seed: u64,
+    ) -> Result<usize, NetRunError> {
+        if self.pending_ips.contains(&profile.ip) {
+            // Same source address already live in this batch (single-
+            // origin NAT products): drive to completion first so sessions
+            // never observe each other's interceptor or link state.
+            self.drive_batch()?;
         }
-        let authors_ip = self.catalog.hosts[0].ip;
-        net.listen(
-            authors_ip,
-            80,
-            Box::new(|_| Box::new(tlsfoe_netsim::PolicyServer::permissive())),
-        );
-        net.listen(self.catalog.report_server, 80, self.report_server.clone().listener());
 
+        self.net.begin_session(profile.ip, session_seed);
+        if let Some(link) = self.country_links.get(&profile.country) {
+            self.net.set_link(profile.ip, link.clone());
+        }
         // Interceptor, if the sampled client runs one.
         if let Some(pid) = profile.product {
-            net.install_interceptor(profile.ip, Box::new(model.make_proxy(pid)));
+            self.net.install_interceptor(profile.ip, Box::new(model.make_proxy(pid)));
         }
 
         // 1. Policy fetch (the Flash runtime's precondition).
         let policy_result = Rc::new(RefCell::new(PolicyFetchResult::Pending));
-        let _ = net.dial_from(
+        let authors_ip = self.catalog.hosts[0].ip;
+        let _ = self.net.dial_from(
             profile.ip,
             authors_ip,
             80,
-            Box::new(PolicyClient::new(policy_result.clone())),
+            Box::new(PolicyClient::new(policy_result)),
         );
 
         // 2. Completion-gated probes, authors' host first then the rest.
@@ -115,7 +208,6 @@ impl SessionRunner {
             if !rng.gen_bool(rate) {
                 continue;
             }
-            attempted += 1;
             let mut random = [0u8; 32];
             rng.fill_bytes(&mut random);
             let outcome = ProbeOutcome::new();
@@ -125,13 +217,76 @@ impl SessionRunner {
                 host_name: host.name,
                 client_ip: profile.ip,
                 report_server: self.catalog.report_server,
+                impression,
                 reported: false,
             };
-            let _ = net.dial_from(profile.ip, host.ip, 443, Box::new(reporter));
+            // Only dials that actually launch count as attempted.
+            if self.net.dial_from(profile.ip, host.ip, 443, Box::new(reporter)).is_ok() {
+                attempted += 1;
+            }
         }
 
-        net.run();
-        attempted
+        self.pending.push(profile.ip);
+        self.pending_ips.insert(profile.ip);
+        if self.pending.len() >= self.batch_size {
+            self.drive_batch()?;
+        }
+        Ok(attempted)
+    }
+
+    /// Drive any still-pending sessions to completion.
+    pub fn finish(&mut self) -> Result<(), NetRunError> {
+        self.drive_batch()
+    }
+
+    /// Run the shared event loop until the pending batch quiesces, then
+    /// revert per-session network state and restore the deterministic
+    /// record order.
+    fn drive_batch(&mut self) -> Result<(), NetRunError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let first_new = self.db.borrow().records.len();
+        let run_result = self.net.run();
+        // Per-session lifecycle teardown happens even when the drive
+        // errored, so the runner stays consistent for diagnostics. The
+        // removals are idempotent map removes, and this runner is the
+        // sole writer of all three maps, so no flags are needed.
+        for ip in self.pending.drain(..) {
+            self.net.remove_interceptor(ip);
+            self.net.clear_link(ip);
+            self.net.end_session(ip);
+        }
+        self.pending_ips.clear();
+        // Lossy links stall connections (lost packet, both ends waiting
+        // forever); at quiescence those can never wake, so reclaim their
+        // slots and conduit state before the next batch.
+        if run_result.is_ok() {
+            self.net.reap_stalled();
+        }
+        // Concurrent sessions' uploads interleave by virtual completion
+        // time; a stable sort by impression ordinal restores injection
+        // order (per-session relative order is already deterministic),
+        // making the database independent of batch size.
+        self.db.borrow_mut().records[first_new..].sort_by_key(|r| r.impression);
+        run_result.map(drop)
+    }
+
+    /// Run one client's complete measurement session immediately (a
+    /// batch of one — plus whatever was already pending).
+    ///
+    /// Returns the number of probes attempted (completion-gated).
+    pub fn run_session(
+        &mut self,
+        model: &PopulationModel,
+        profile: &ClientProfile,
+        rng: &mut dyn RngCore64,
+        impression: u64,
+        session_seed: u64,
+    ) -> Result<usize, NetRunError> {
+        let attempted = self.enqueue_session(model, profile, rng, impression, session_seed)?;
+        self.drive_batch()?;
+        Ok(attempted)
     }
 }
 
@@ -142,6 +297,7 @@ struct ReportingProbe {
     host_name: &'static str,
     client_ip: Ipv4,
     report_server: Ipv4,
+    impression: u64,
     reported: bool,
 }
 
@@ -171,7 +327,7 @@ impl ReportingProbe {
             text.into_bytes()
         };
         let ok = Rc::new(RefCell::new(false));
-        let path = format!("/report?host={}", self.host_name);
+        let path = format!("/report?host={}&imp={}", self.host_name, self.impression);
         let _ = io.dial_with_source(
             self.client_ip,
             self.report_server,
@@ -222,14 +378,14 @@ mod tests {
 
     #[test]
     fn clean_client_session_reports_unproxied() {
-        let (runner, db, geo) = runner();
+        let (mut runner, db, geo) = runner();
         let m = model();
         let us = by_code("US").unwrap();
         let profile = ClientProfile { country: us, ip: geo.client_addr(us, 0), product: None };
         // Run a few sessions so at least some probes pass the gates.
         let mut rng = Drbg::new(1);
         for i in 0..20 {
-            runner.run_session(&m, &profile, &mut rng, 1000 + i);
+            runner.run_session(&m, &profile, &mut rng, i, 1000 + i).unwrap();
         }
         let db = db.borrow();
         assert!(db.total() > 0, "some probes must have completed");
@@ -239,7 +395,7 @@ mod tests {
 
     #[test]
     fn proxied_client_session_reports_substitutes() {
-        let (runner, db, geo) = runner();
+        let (mut runner, db, geo) = runner();
         let m = model();
         let us = by_code("US").unwrap();
         let bitdefender = ProductId(
@@ -249,7 +405,7 @@ mod tests {
             ClientProfile { country: us, ip: geo.client_addr(us, 1), product: Some(bitdefender) };
         let mut rng = Drbg::new(2);
         for i in 0..20 {
-            runner.run_session(&m, &profile, &mut rng, 2000 + i);
+            runner.run_session(&m, &profile, &mut rng, i, 2000 + i).unwrap();
         }
         let db = db.borrow();
         assert!(db.total() > 0);
@@ -263,16 +419,129 @@ mod tests {
 
     #[test]
     fn attempted_counts_respect_completion_gates() {
-        let (runner, _db, geo) = runner();
+        let (mut runner, _db, geo) = runner();
         let m = model();
         let us = by_code("US").unwrap();
         let profile = ClientProfile { country: us, ip: geo.client_addr(us, 2), product: None };
         let mut rng = Drbg::new(3);
-        let total: usize =
-            (0..200).map(|i| runner.run_session(&m, &profile, &mut rng, 3000 + i)).sum();
+        let total: usize = (0..200)
+            .map(|i| runner.run_session(&m, &profile, &mut rng, i, 3000 + i).unwrap())
+            .sum();
         let avg = total as f64 / 200.0;
         // Expected ≈ 0.463 + 6×0.168 + 5×0.070 + 5×0.118 ≈ 2.41 probes
         // per impression (the paper's 12.3M measurements / 5.08M ads).
         assert!((2.0..2.9).contains(&avg), "avg attempts {avg}");
+    }
+
+    #[test]
+    fn captive_portal_blocked_probes_not_counted_attempted() {
+        // Regression: `attempted` used to be incremented before the dial,
+        // so captive-portal-blocked probes (and refused dials) inflated
+        // the completion-rate denominator.
+        let (mut runner, db, geo) = runner();
+        let m = model();
+        let us = by_code("US").unwrap();
+        runner.set_country_link(
+            us,
+            LinkProfile { blocked_ports: vec![443], ..LinkProfile::default() },
+        );
+        let profile = ClientProfile { country: us, ip: geo.client_addr(us, 3), product: None };
+        let mut rng = Drbg::new(4);
+        let total: usize =
+            (0..50).map(|i| runner.run_session(&m, &profile, &mut rng, i, 4000 + i).unwrap()).sum();
+        assert_eq!(total, 0, "no 443 dial launched, so none may count as attempted");
+        assert_eq!(db.borrow().total(), 0, "and nothing can have been measured");
+
+        // The portal rules are per-session state: a different country's
+        // clients (and later sessions after the link is cleared) probe
+        // normally.
+        let de = by_code("DE").unwrap();
+        let clean = ClientProfile { country: de, ip: geo.client_addr(de, 3), product: None };
+        let total: usize = (0..50)
+            .map(|i| runner.run_session(&m, &clean, &mut rng, 100 + i, 5000 + i).unwrap())
+            .sum();
+        assert!(total > 0, "unblocked clients must still probe");
+    }
+
+    #[test]
+    fn one_network_serves_the_whole_shard() {
+        // The runner must construct exactly one Network and reuse it:
+        // its event counter accumulates monotonically across sessions,
+        // and the side slab stays at the per-batch working set instead
+        // of growing with the session count.
+        let (mut runner, db, geo) = runner();
+        let m = model();
+        let us = by_code("US").unwrap();
+        let mut rng = Drbg::new(5);
+        let mut last_events = 0;
+        for i in 0..50 {
+            let profile =
+                ClientProfile { country: us, ip: geo.client_addr(us, 10 + i), product: None };
+            runner.run_session(&m, &profile, &mut rng, u64::from(i), 6000 + u64::from(i)).unwrap();
+            let events = runner.events_processed();
+            assert!(events > last_events, "session {i} must run on the SAME network");
+            last_events = events;
+        }
+        assert!(db.borrow().total() > 0);
+        // 50 sessions × up to 18 probes each would need thousands of
+        // side slots without recycling; one session's working set is
+        // well under 150.
+        assert!(
+            runner.sides_high_water() < 150,
+            "slot high water {} must track the concurrent working set, not total sessions",
+            runner.sides_high_water()
+        );
+    }
+
+    #[test]
+    fn lossy_shard_does_not_accumulate_stalled_sides() {
+        // A lossy country link stalls many probes (lost packet, both
+        // endpoints waiting forever). The runner reaps stalls at each
+        // batch boundary, so the slab must stay at the per-batch working
+        // set across many sessions instead of growing with stall count.
+        let (mut runner, _db, geo) = runner();
+        let m = model();
+        let us = by_code("US").unwrap();
+        runner.set_country_link(us, LinkProfile { loss: 0.5, ..LinkProfile::default() });
+        let mut rng = Drbg::new(7);
+        for i in 0..60 {
+            let profile =
+                ClientProfile { country: us, ip: geo.client_addr(us, 200 + i), product: None };
+            runner.run_session(&m, &profile, &mut rng, u64::from(i), 8000 + u64::from(i)).unwrap();
+        }
+        assert!(
+            runner.sides_high_water() < 150,
+            "stalled sides must be reaped per batch, high water {}",
+            runner.sides_high_water()
+        );
+    }
+
+    #[test]
+    fn batched_sessions_match_serial_sessions_bitwise() {
+        // The same impressions, once driven one-by-one and once batched
+        // 16 per event-loop drive, must produce identical databases.
+        let run = |batch: usize| {
+            let (runner, db, geo) = runner();
+            let mut runner = runner.with_batch_size(batch);
+            let m = model();
+            let us = by_code("US").unwrap();
+            let mut rng = Drbg::new(6);
+            for i in 0..40u32 {
+                let profile = ClientProfile {
+                    country: us,
+                    ip: geo.client_addr(us, 100 + i),
+                    product: (i % 5 == 0).then_some(ProductId(0)),
+                };
+                runner
+                    .enqueue_session(&m, &profile, &mut rng, u64::from(i), 7000 + u64::from(i))
+                    .unwrap();
+            }
+            runner.finish().unwrap();
+            db.replace(Database::new())
+        };
+        let serial = run(1);
+        let batched = run(16);
+        assert!(serial.total() > 0);
+        assert_eq!(serial, batched, "batch size must not change any record bit");
     }
 }

@@ -25,11 +25,37 @@ use tlsfoe_adsim::{Campaign, Inventory};
 use tlsfoe_crypto::drbg::{Drbg, RngCore64};
 use tlsfoe_geo::countries::{by_code, CountryCode};
 use tlsfoe_geo::GeoDb;
+use tlsfoe_netsim::NetRunError;
 use tlsfoe_population::model::{PopulationModel, StudyEra};
 
 use crate::hosts::HostCatalog;
 use crate::report::{Database, ReportServer};
-use crate::session::SessionRunner;
+use crate::session::{SessionRunner, DEFAULT_BATCH};
+
+/// A study failed in a way the orchestrator can report with context
+/// (instead of a worker thread aborting the process).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StudyError {
+    /// A worker's simulated network exceeded its event cap (livelocked
+    /// conduit) while driving a session batch.
+    Net(NetRunError),
+}
+
+impl core::fmt::Display for StudyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StudyError::Net(e) => write!(f, "study worker failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StudyError {}
+
+impl From<NetRunError> for StudyError {
+    fn from(e: NetRunError) -> StudyError {
+        StudyError::Net(e)
+    }
+}
 
 /// Per-country geo block size (must exceed the largest per-study
 /// impression count so client IPs stay distinct).
@@ -55,6 +81,11 @@ pub struct StudyConfig {
     /// scaled-down ad budget without touching the product mix. Prevalence
     /// tables (3/7/8) must use 1.0.
     pub proxy_boost: f64,
+    /// Concurrent sessions batched per event-loop drive on each worker's
+    /// shard-lifetime network (1 = fully serial injection). Results are
+    /// bit-identical for any value — this knob trades peak working-set
+    /// size against per-drive overhead.
+    pub batch: usize,
 }
 
 impl StudyConfig {
@@ -67,6 +98,7 @@ impl StudyConfig {
             threads: default_threads(),
             baseline: false,
             proxy_boost: 1.0,
+            batch: DEFAULT_BATCH,
         }
     }
 
@@ -79,6 +111,7 @@ impl StudyConfig {
             threads: default_threads(),
             baseline: false,
             proxy_boost: 1.0,
+            batch: DEFAULT_BATCH,
         }
     }
 }
@@ -145,7 +178,7 @@ fn build_campaigns(cfg: &StudyConfig) -> Vec<Campaign> {
 }
 
 /// Run a complete study.
-pub fn run_study(cfg: &StudyConfig) -> StudyOutcome {
+pub fn run_study(cfg: &StudyConfig) -> Result<StudyOutcome, StudyError> {
     // Phase 1: ad delivery.
     let inventory = match cfg.era {
         StudyEra::Study1 => Inventory::study1_global(),
@@ -181,9 +214,9 @@ pub fn run_study(cfg: &StudyConfig) -> StudyOutcome {
     let chunk_size = impressions.len().div_ceil(threads).max(1);
     let mut db = Database::new();
     if threads == 1 || impressions.len() < 256 {
-        db.merge(run_shard(cfg, &catalog, &model, &impressions, 0));
+        db.merge(run_shard(cfg, &catalog, &model, &impressions, 0)?);
     } else {
-        let shards: Vec<Database> = std::thread::scope(|s| {
+        let shards: Vec<Result<Database, StudyError>> = std::thread::scope(|s| {
             let handles: Vec<_> = impressions
                 .chunks(chunk_size)
                 .enumerate()
@@ -199,26 +232,30 @@ pub fn run_study(cfg: &StudyConfig) -> StudyOutcome {
             handles.into_iter().map(|h| h.join().expect("shard panicked")).collect()
         });
         for shard in shards {
-            db.merge(shard);
+            db.merge(shard?);
         }
     }
 
-    StudyOutcome { campaigns: stats, db }
+    Ok(StudyOutcome { campaigns: stats, db })
 }
 
 /// Process one contiguous range of impressions against the run-wide
 /// catalog and population model.
+///
+/// The shard owns exactly one [`SessionRunner`] — and through it exactly
+/// one long-lived `Network` — for its whole impression range; sessions
+/// are injected `cfg.batch` at a time into the shared event loop.
 fn run_shard(
     cfg: &StudyConfig,
     catalog: &Arc<HostCatalog>,
     model: &PopulationModel,
     countries: &[CountryCode],
     base_index: u64,
-) -> Database {
+) -> Result<Database, StudyError> {
     let geo = GeoDb::allocate(GEO_BLOCK);
     let db = Rc::new(RefCell::new(Database::new()));
     let report = Rc::new(ReportServer::new(catalog, geo.clone(), db.clone()));
-    let mut runner = SessionRunner::new(catalog.clone(), report);
+    let mut runner = SessionRunner::new(catalog.clone(), report).with_batch_size(cfg.batch);
     if cfg.era == StudyEra::Study1 && !cfg.baseline {
         // Study 1's single-probe completion rate: 2.86M measurements out
         // of 4.63M ads ≈ 61.7%.
@@ -245,10 +282,11 @@ fn run_shard(
                 profile.ip = geo.client_addr(country, 0);
             }
         }
-        runner.run_session(model, &profile, &mut rng, cfg.seed ^ idx);
+        runner.enqueue_session(model, &profile, &mut rng, idx, cfg.seed ^ idx)?;
     }
+    runner.finish()?;
 
-    db.replace(Database::new())
+    Ok(db.replace(Database::new()))
 }
 
 #[cfg(test)]
@@ -258,7 +296,7 @@ mod tests {
     #[test]
     fn tiny_study1_runs_and_measures() {
         let cfg = StudyConfig { threads: 2, ..StudyConfig::study1(2000, 7) };
-        let out = run_study(&cfg);
+        let out = run_study(&cfg).expect("study runs");
         assert_eq!(out.campaigns.len(), 1);
         assert!(out.impressions() > 500, "impressions {}", out.impressions());
         assert!(out.db.total() > 200, "measurements {}", out.db.total());
@@ -270,8 +308,8 @@ mod tests {
     #[test]
     fn deterministic_across_thread_counts() {
         let base = StudyConfig::study1(20_000, 11);
-        let a = run_study(&StudyConfig { threads: 1, ..base.clone() });
-        let b = run_study(&StudyConfig { threads: 4, ..base });
+        let a = run_study(&StudyConfig { threads: 1, ..base.clone() }).expect("study");
+        let b = run_study(&StudyConfig { threads: 4, ..base }).expect("study");
         assert_eq!(a.impressions(), b.impressions());
         // Full-content equality: every record, every captured DER byte.
         assert_eq!(a.db, b.db);
@@ -284,16 +322,43 @@ mod tests {
         // agree byte-for-byte — the cache determinism contract (chains
         // are pure functions of their key, not of mint order).
         let base = StudyConfig { proxy_boost: 60.0, ..StudyConfig::study1(4_000, 23) };
-        let a = run_study(&StudyConfig { threads: 1, ..base.clone() });
-        let b = run_study(&StudyConfig { threads: 8, ..base });
+        let a = run_study(&StudyConfig { threads: 1, ..base.clone() }).expect("study");
+        let b = run_study(&StudyConfig { threads: 8, ..base }).expect("study");
         assert!(a.db.proxied() > 20, "need a substitute corpus, got {}", a.db.proxied());
         assert_eq!(a.db, b.db);
     }
 
     #[test]
+    fn batched_network_bit_identical_across_threads_and_batch_sizes() {
+        // The shard-lifetime batched network's determinism contract:
+        // the study Database must be bit-identical whether sessions run
+        // one per drive or many, on one thread or eight — including with
+        // heavy interception so proxies, the substitute cache and the
+        // single-origin NAT path (same-address collisions within a
+        // batch) are all exercised.
+        let base = StudyConfig { proxy_boost: 60.0, ..StudyConfig::study1(8_000, 31) };
+        let serial_unbatched =
+            run_study(&StudyConfig { threads: 1, batch: 1, ..base.clone() }).expect("study");
+        let serial_batched =
+            run_study(&StudyConfig { threads: 1, batch: 64, ..base.clone() }).expect("study");
+        let sharded_batched =
+            run_study(&StudyConfig { threads: 8, batch: 64, ..base.clone() }).expect("study");
+        let sharded_odd_batch =
+            run_study(&StudyConfig { threads: 8, batch: 7, ..base }).expect("study");
+        assert!(
+            serial_unbatched.db.proxied() > 10,
+            "need proxied sessions in the batch mix, got {}",
+            serial_unbatched.db.proxied()
+        );
+        assert_eq!(serial_unbatched.db, serial_batched.db, "batch size changed the database");
+        assert_eq!(serial_batched.db, sharded_batched.db, "thread count changed the database");
+        assert_eq!(sharded_batched.db, sharded_odd_batch.db, "odd batch split changed the db");
+    }
+
+    #[test]
     fn study2_has_six_campaigns() {
         let cfg = StudyConfig { threads: 2, ..StudyConfig::study2(5000, 3) };
-        let out = run_study(&cfg);
+        let out = run_study(&cfg).expect("study runs");
         assert_eq!(out.campaigns.len(), 6);
         assert_eq!(out.campaigns[0].name, "Global");
         assert!(out.db.total() > 0);
@@ -307,8 +372,8 @@ mod boost_tests {
     #[test]
     fn proxy_boost_multiplies_substitute_corpus() {
         let base = StudyConfig::study1(2000, 77);
-        let plain = run_study(&base);
-        let boosted = run_study(&StudyConfig { proxy_boost: 30.0, ..base });
+        let plain = run_study(&base).expect("study");
+        let boosted = run_study(&StudyConfig { proxy_boost: 30.0, ..base }).expect("study");
         // Same ad delivery, near-identical measurement counts (proxied
         // clients consume one extra RNG draw for product sampling, which
         // can shift a handful of completion gates)…
@@ -332,7 +397,8 @@ mod boost_tests {
     fn single_origin_products_share_one_ip() {
         // Force heavy interception so DSP-style products appear, then
         // check all their reports come from one address.
-        let out = run_study(&StudyConfig { proxy_boost: 100.0, ..StudyConfig::study2(1500, 9) });
+        let out = run_study(&StudyConfig { proxy_boost: 100.0, ..StudyConfig::study2(1500, 9) })
+            .expect("study");
         let mut dsp_ips = std::collections::HashSet::new();
         for r in &out.db.records {
             if let Some(sub) = &r.substitute {

@@ -64,7 +64,7 @@ impl Notary {
                 Some(outcome)
             })
             .collect();
-        net.run();
+        net.run().expect("bounded notary probe scenario cannot livelock");
         outcomes
             .into_iter()
             .filter_map(|o| {

@@ -16,8 +16,18 @@ use crate::addr::Ipv4;
 use crate::net::Network;
 
 /// Identifies one side of one connection.
+///
+/// Tokens are generation-stamped: when a connection finishes, its slot
+/// returns to the network's free list and is reused by later dials, but
+/// the generation counter is bumped so a stale token held by a conduit
+/// (e.g. a proxy remembering a long-gone upstream leg) can never act on
+/// the slot's new occupant — sends and closes through a stale token are
+/// silently dropped, exactly like packets to a closed socket.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct ConnToken(pub(crate) usize);
+pub struct ConnToken {
+    pub(crate) slot: usize,
+    pub(crate) gen: u64,
+}
 
 /// Why a dial attempt failed synchronously.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,14 +110,17 @@ impl IoCtx<'_> {
     ///
     /// Dials made from within a conduit bypass the client's interceptor
     /// chain — they model the middlebox's own upstream traffic (a TLS
-    /// proxy does not intercept itself).
+    /// proxy does not intercept itself). They inherit the current
+    /// connection's dial scope, so loss sampling on the new leg stays a
+    /// pure function of the owning session.
     pub fn dial(
         &mut self,
         dst: Ipv4,
         port: u16,
         conduit: Box<dyn Conduit>,
     ) -> Result<ConnToken, DialError> {
-        self.net.dial_internal(None, dst, port, conduit)
+        let from = self.current;
+        self.net.dial_from_conduit(from, dst, port, conduit)
     }
 
     /// Dial a new connection announcing `src` as the originating address

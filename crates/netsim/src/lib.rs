@@ -32,5 +32,5 @@ pub mod policy;
 
 pub use addr::Ipv4;
 pub use conduit::{Conduit, ConnToken, IoCtx};
-pub use net::{DialError, LinkProfile, Network, NetworkConfig};
+pub use net::{DialError, LinkProfile, NetRunError, Network, NetworkConfig};
 pub use policy::{PolicyFetchResult, PolicyServer, SOCKET_POLICY_BODY};

@@ -1,9 +1,28 @@
 //! The network: listeners, interceptors, links and the event loop.
+//!
+//! A [`Network`] is built to be **long-lived**: one instance can drive
+//! many thousands of client sessions back to back (the sharded study
+//! keeps one per worker thread for its whole shard). Three mechanisms
+//! make that safe and deterministic:
+//!
+//! * **Slot recycling** — connection sides live in a slab with a free
+//!   list; finished connections return their slots, so memory tracks the
+//!   *concurrent* working set, not the total session count. Tokens are
+//!   generation-stamped ([`ConnToken`]) so stale handles never touch a
+//!   recycled slot.
+//! * **Per-connection loss streams** — loss sampling draws from a DRBG
+//!   derived from `(network seed, client, session salt, per-session dial
+//!   ordinal)` instead of one shared sequential stream, so outcomes are
+//!   bit-identical no matter how many unrelated sessions interleave in
+//!   the same event loop (see [`Network::begin_session`]).
+//! * **Deterministic teardown** — a side that closes itself is finalized
+//!   (conduit dropped, slot freed) by an explicit event rather than
+//!   lingering until the peer's Close round-trips.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
-use tlsfoe_crypto::drbg::{Drbg, RngCore64};
+use tlsfoe_crypto::drbg::{Drbg, RngCore64, SplitMix64};
 
 use crate::addr::Ipv4;
 use crate::conduit::{Conduit, ConnToken, IoCtx};
@@ -69,8 +88,9 @@ impl Default for LinkProfile {
 pub struct NetworkConfig {
     /// Link profile used when a client has no specific profile.
     pub default_link: LinkProfile,
-    /// Hard cap on processed events (guards against accidental livelock;
-    /// generous — a full probe session is a few dozen events).
+    /// Hard cap on events processed by a single [`Network::run`] call
+    /// (guards against accidental livelock; generous — a full probe
+    /// session is a few dozen events, a batched drive a few thousand).
     pub max_events: u64,
 }
 
@@ -80,10 +100,40 @@ impl Default for NetworkConfig {
     }
 }
 
+/// The event loop exceeded its per-run cap — almost always a conduit
+/// livelock (two endpoints ping-ponging forever). Returned by
+/// [`Network::run`] instead of panicking so a sharded study can fail the
+/// whole run gracefully with context rather than aborting a worker
+/// thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetRunError {
+    /// The cap that was exceeded ([`NetworkConfig::max_events`]).
+    pub max_events: u64,
+    /// Events processed by this `run` call before giving up.
+    pub events_this_run: u64,
+    /// Virtual time when the cap was hit.
+    pub now_us: u64,
+}
+
+impl core::fmt::Display for NetRunError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "netsim exceeded max_events={} in one run (processed {}, t={}µs) — livelocked conduit?",
+            self.max_events, self.events_this_run, self.now_us
+        )
+    }
+}
+
+impl std::error::Error for NetRunError {}
+
 enum EventKind {
     Open(ConnToken),
     Data(ConnToken, Vec<u8>),
     Close(ConnToken),
+    /// Deterministic teardown of a side that closed itself: drop its
+    /// conduit and recycle the slot without waiting for the peer.
+    Finalize(ConnToken),
 }
 
 struct Event {
@@ -110,11 +160,30 @@ impl Ord for Event {
 }
 
 struct Side {
+    /// Generation of the current occupant; bumped on every release so
+    /// stale tokens (and in-flight events) referencing a previous
+    /// occupant are ignored.
+    gen: u64,
     conduit: Option<Box<dyn Conduit>>,
     peer: ConnToken,
     latency_us: u64,
     loss: f64,
+    /// Private loss stream for this side (present iff `loss > 0`).
+    loss_rng: Option<Drbg>,
+    /// The dial scope this connection was opened under; further dials
+    /// made *by* this side's conduit (a proxy's upstream leg, a probe's
+    /// report upload) inherit it, so their loss streams stay a pure
+    /// function of the owning session.
+    scope: Ipv4,
     open: bool,
+}
+
+/// Per-client dial scope: the session salt plus how many connections the
+/// client has opened under it (the ordinal that keeps concurrent probes
+/// from one client on distinct loss streams).
+struct DialScope {
+    salt: u64,
+    conns: u64,
 }
 
 /// The deterministic event-driven network.
@@ -124,10 +193,14 @@ pub struct Network {
     seq: u64,
     events: BinaryHeap<Reverse<Event>>,
     sides: Vec<Side>,
+    /// Recycled side slots, ready for reuse by `connect_pair`.
+    free: Vec<usize>,
     listeners: HashMap<(Ipv4, u16), ListenerFactory>,
     interceptors: HashMap<Ipv4, Box<dyn Interceptor>>,
     links: HashMap<Ipv4, LinkProfile>,
-    rng: Drbg,
+    /// Root seed for per-connection loss-stream derivation.
+    seed: u64,
+    scopes: HashMap<Ipv4, DialScope>,
     processed: u64,
 }
 
@@ -141,10 +214,12 @@ impl Network {
             seq: 0,
             events: BinaryHeap::new(),
             sides: Vec::new(),
+            free: Vec::new(),
             listeners: HashMap::new(),
             interceptors: HashMap::new(),
             links: HashMap::new(),
-            rng: Drbg::new(seed).fork("netsim"),
+            seed,
+            scopes: HashMap::new(),
             processed: 0,
         }
     }
@@ -154,9 +229,46 @@ impl Network {
         self.now_us
     }
 
-    /// Total events processed so far.
+    /// Total events processed so far (cumulative over the network's
+    /// lifetime — a long-lived shard network keeps counting across
+    /// batches, which is how tests assert one network is being reused).
     pub fn events_processed(&self) -> u64 {
         self.processed
+    }
+
+    /// High-water mark of the side slab: the largest number of
+    /// *simultaneously live* connection sides ever needed. Stays bounded
+    /// by the concurrent working set (not total connections) thanks to
+    /// the free list.
+    pub fn sides_high_water(&self) -> usize {
+        self.sides.len()
+    }
+
+    /// Connection sides currently holding a conduit.
+    pub fn active_sides(&self) -> usize {
+        self.sides.iter().filter(|s| s.conduit.is_some()).count()
+    }
+
+    /// Release every side still occupied. Only meaningful at quiescence
+    /// (after [`Network::run`] drained the event queue): with no events
+    /// pending, a side that is still open or still holds its conduit is
+    /// a *stalled* connection — a lost packet left both endpoints
+    /// waiting forever — and nothing can ever wake it. A long-lived
+    /// shard network calls this between session batches so stalls don't
+    /// accumulate slots and conduit state for its whole lifetime.
+    ///
+    /// Returns the number of sides reclaimed.
+    pub fn reap_stalled(&mut self) -> usize {
+        let mut reaped = 0;
+        for slot in 0..self.sides.len() {
+            let side = &self.sides[slot];
+            if side.conduit.is_some() || side.open {
+                let tok = ConnToken { slot, gen: side.gen };
+                self.release(tok);
+                reaped += 1;
+            }
+        }
+        reaped
     }
 
     /// Register a listener at `(addr, port)`.
@@ -185,6 +297,26 @@ impl Network {
         self.links.insert(client, link);
     }
 
+    /// Remove a client's link profile (it falls back to the default).
+    pub fn clear_link(&mut self, client: Ipv4) {
+        self.links.remove(&client);
+    }
+
+    /// Open a dial scope for `client`: subsequent connections from this
+    /// client derive their loss streams from `(network seed, client,
+    /// salt, per-scope dial ordinal)` — a pure function of the session's
+    /// identity, not of how many other sessions share the event loop.
+    /// Call [`Network::end_session`] when the client's session completes
+    /// so a later session can reuse the address with a fresh salt.
+    pub fn begin_session(&mut self, client: Ipv4, salt: u64) {
+        self.scopes.insert(client, DialScope { salt, conns: 0 });
+    }
+
+    /// Close a client's dial scope (see [`Network::begin_session`]).
+    pub fn end_session(&mut self, client: Ipv4) {
+        self.scopes.remove(&client);
+    }
+
     fn link_for(&self, client: Ipv4) -> LinkProfile {
         self.links.get(&client).cloned().unwrap_or_else(|| self.config.default_link.clone())
     }
@@ -199,7 +331,19 @@ impl Network {
         port: u16,
         conduit: Box<dyn Conduit>,
     ) -> Result<ConnToken, DialError> {
-        self.dial_internal(Some(client), dst, port, conduit)
+        let link = self.link_for(client);
+        if link.blocked_ports.contains(&port) {
+            return Err(DialError::PortBlocked);
+        }
+        let info = DialInfo { client, dst, port };
+        // The client's interceptor chain may claim the connection.
+        let claimed = self.interceptors.get(&client).is_some_and(|i| i.claims(dst, port));
+        let acceptor: Box<dyn Conduit> = if claimed {
+            self.interceptors.get_mut(&client).expect("interceptor present").accept(info)
+        } else {
+            self.accept_from_listener(info)?
+        };
+        self.connect_pair(client, link, conduit, acceptor)
     }
 
     /// Conduit-originated dial that announces an explicit source address
@@ -213,62 +357,105 @@ impl Network {
     ) -> Result<ConnToken, DialError> {
         let info = DialInfo { client: src, dst, port };
         let acceptor = self.accept_from_listener(info)?;
-        self.connect_pair(self.link_for(src), conduit, acceptor)
+        self.connect_pair(src, self.link_for(src), conduit, acceptor)
     }
 
-    pub(crate) fn dial_internal(
+    /// Anonymous conduit-originated dial (e.g. a proxy's upstream leg):
+    /// bypasses interceptor chains and captive-portal rules, uses the
+    /// *destination's* link profile, and inherits the originating
+    /// connection's dial scope so its loss stream stays a pure function
+    /// of the owning session rather than of cross-session interleaving.
+    pub(crate) fn dial_from_conduit(
         &mut self,
-        client: Option<Ipv4>,
+        from: ConnToken,
         dst: Ipv4,
         port: u16,
         conduit: Box<dyn Conduit>,
     ) -> Result<ConnToken, DialError> {
-        let link = self.link_for(client.unwrap_or(dst));
-        if client.is_some() && link.blocked_ports.contains(&port) {
-            return Err(DialError::PortBlocked);
-        }
-        let info = DialInfo { client: client.unwrap_or(Ipv4([0, 0, 0, 0])), dst, port };
+        let scope =
+            self.sides.get(from.slot).filter(|s| s.gen == from.gen).map(|s| s.scope).unwrap_or(dst);
+        let info = DialInfo { client: Ipv4([0, 0, 0, 0]), dst, port };
+        let acceptor = self.accept_from_listener(info)?;
+        self.connect_pair(scope, self.link_for(dst), conduit, acceptor)
+    }
 
-        // Interceptor chain applies to client-originated dials only.
-        let acceptor: Box<dyn Conduit> = if let Some(c) = client {
-            let claimed = self.interceptors.get(&c).is_some_and(|i| i.claims(dst, port));
-            if claimed {
-                self.interceptors.get_mut(&c).expect("interceptor present").accept(info)
-            } else {
-                self.accept_from_listener(info)?
-            }
-        } else {
-            self.accept_from_listener(info)?
+    /// Seed for the next connection's loss stream under `scope`'s dial
+    /// scope: a SplitMix64 chain over (network seed, address, session
+    /// salt, dial ordinal). Always consumes the ordinal so stream
+    /// assignment is independent of which links happen to be lossy.
+    fn conn_stream_seed(&mut self, scope: Ipv4) -> u64 {
+        let (salt, ordinal) = {
+            let entry = self.scopes.entry(scope).or_insert(DialScope { salt: 0, conns: 0 });
+            let out = (entry.salt, entry.conns);
+            entry.conns += 1;
+            out
         };
+        let mut h = self.seed;
+        for v in [u64::from(scope.as_u32()), salt, ordinal] {
+            h = SplitMix64::new(h ^ v).next_u64();
+        }
+        h
+    }
 
-        self.connect_pair(link, conduit, acceptor)
+    fn alloc_slot(&mut self) -> usize {
+        if let Some(slot) = self.free.pop() {
+            slot
+        } else {
+            self.sides.push(Side {
+                gen: 0,
+                conduit: None,
+                peer: ConnToken { slot: 0, gen: u64::MAX },
+                latency_us: 0,
+                loss: 0.0,
+                loss_rng: None,
+                scope: Ipv4([0, 0, 0, 0]),
+                open: false,
+            });
+            self.sides.len() - 1
+        }
     }
 
     fn connect_pair(
         &mut self,
+        scope: Ipv4,
         link: LinkProfile,
         initiator: Box<dyn Conduit>,
         acceptor: Box<dyn Conduit>,
     ) -> Result<ConnToken, DialError> {
-        let a = ConnToken(self.sides.len());
-        let b = ConnToken(self.sides.len() + 1);
-        self.sides.push(Side {
+        let stream_seed = self.conn_stream_seed(scope);
+        let (rng_a, rng_b) = if link.loss > 0.0 {
+            let root = Drbg::new(stream_seed);
+            (Some(root.fork("initiator")), Some(root.fork("acceptor")))
+        } else {
+            (None, None)
+        };
+        let slot_a = self.alloc_slot();
+        let slot_b = self.alloc_slot();
+        let a = ConnToken { slot: slot_a, gen: self.sides[slot_a].gen };
+        let b = ConnToken { slot: slot_b, gen: self.sides[slot_b].gen };
+        let lat = link.latency_us;
+        self.sides[slot_a] = Side {
+            gen: a.gen,
             conduit: Some(initiator),
             peer: b,
-            latency_us: link.latency_us,
+            latency_us: lat,
             loss: link.loss,
+            loss_rng: rng_a,
+            scope,
             open: true,
-        });
-        self.sides.push(Side {
+        };
+        self.sides[slot_b] = Side {
+            gen: b.gen,
             conduit: Some(acceptor),
             peer: a,
-            latency_us: link.latency_us,
+            latency_us: lat,
             loss: link.loss,
+            loss_rng: rng_b,
+            scope,
             open: true,
-        });
+        };
         // Acceptor learns of the connection after one RTT/2; the initiator
         // after a full RTT (SYN → SYN/ACK).
-        let lat = link.latency_us;
         self.push_event(lat, EventKind::Open(b));
         self.push_event(2 * lat, EventKind::Open(a));
         Ok(a)
@@ -287,14 +474,38 @@ impl Network {
         self.events.push(Reverse(ev));
     }
 
+    /// The side `tok` refers to, iff the token's generation is current.
+    fn side_mut(&mut self, tok: ConnToken) -> Option<&mut Side> {
+        self.sides.get_mut(tok.slot).filter(|s| s.gen == tok.gen)
+    }
+
+    /// Return a side's slot to the free list, dropping its conduit and
+    /// bumping the generation so stale tokens/events can't touch the
+    /// next occupant. Idempotent through the generation check.
+    fn release(&mut self, tok: ConnToken) {
+        let Some(side) = self.sides.get_mut(tok.slot) else { return };
+        if side.gen != tok.gen {
+            return;
+        }
+        side.gen = side.gen.wrapping_add(1);
+        side.conduit = None;
+        side.loss_rng = None;
+        side.open = false;
+        self.free.push(tok.slot);
+    }
+
     pub(crate) fn queue_send(&mut self, from: ConnToken, bytes: &[u8]) {
-        let side = &self.sides[from.0];
+        let Some(side) = self.side_mut(from) else { return };
         if !side.open {
             return;
         }
         let peer = side.peer;
         let lat = side.latency_us;
-        let lost = side.loss > 0.0 && self.rng.gen_bool(side.loss);
+        let loss = side.loss;
+        let lost = match side.loss_rng.as_mut() {
+            Some(rng) if loss > 0.0 => rng.gen_bool(loss),
+            _ => false,
+        };
         if lost {
             return; // silently dropped; peer stalls (probe times out)
         }
@@ -302,7 +513,7 @@ impl Network {
     }
 
     pub(crate) fn queue_close(&mut self, from: ConnToken) {
-        let side = &mut self.sides[from.0];
+        let Some(side) = self.side_mut(from) else { return };
         if !side.open {
             return;
         }
@@ -310,37 +521,45 @@ impl Network {
         let peer = side.peer;
         let lat = side.latency_us;
         self.push_event(lat, EventKind::Close(peer));
+        // The closing side is done sending and receiving: tear it down
+        // deterministically (drop the conduit, recycle the slot) instead
+        // of retaining the Box until the peer's Close round-trips.
+        self.push_event(0, EventKind::Finalize(from));
     }
 
-    /// Run until quiescence (no pending events) or the event cap.
+    /// Run until quiescence (no pending events) or the per-run event cap.
     ///
-    /// Returns the number of events processed in this call.
-    pub fn run(&mut self) -> u64 {
+    /// Returns the number of events processed in this call, or a
+    /// [`NetRunError`] if the cap was exceeded (remaining events stay
+    /// queued; the network should be considered wedged).
+    pub fn run(&mut self) -> Result<u64, NetRunError> {
         let mut n = 0;
         while let Some(Reverse(ev)) = self.events.pop() {
             self.now_us = ev.time_us;
             self.processed += 1;
             n += 1;
-            if self.processed > self.config.max_events {
-                panic!(
-                    "netsim exceeded max_events={} — livelocked conduit?",
-                    self.config.max_events
-                );
+            if n > self.config.max_events {
+                return Err(NetRunError {
+                    max_events: self.config.max_events,
+                    events_this_run: n,
+                    now_us: self.now_us,
+                });
             }
             match ev.kind {
                 EventKind::Open(tok) => self.deliver_open(tok),
                 EventKind::Data(tok, bytes) => self.deliver_data(tok, &bytes),
                 EventKind::Close(tok) => self.deliver_close(tok),
+                EventKind::Finalize(tok) => self.release(tok),
             }
         }
-        n
+        Ok(n)
     }
 
     fn with_conduit(&mut self, tok: ConnToken, f: impl FnOnce(&mut dyn Conduit, &mut IoCtx<'_>)) {
         // Temporarily take the conduit out so callbacks can borrow the
         // network mutably; events queued by the callback cannot touch the
         // slot because all effects are deferred through the event queue.
-        let Some(mut conduit) = self.sides[tok.0].conduit.take() else {
+        let Some(mut conduit) = self.side_mut(tok).and_then(|s| s.conduit.take()) else {
             return;
         };
         {
@@ -348,33 +567,39 @@ impl Network {
             f(conduit.as_mut(), &mut io);
         }
         // The slot may have been marked closed meanwhile; keep the conduit
-        // anyway until its Close event is delivered.
-        self.sides[tok.0].conduit = Some(conduit);
+        // anyway until its Close/Finalize event is delivered.
+        if let Some(side) = self.side_mut(tok) {
+            side.conduit = Some(conduit);
+        }
     }
 
     fn deliver_open(&mut self, tok: ConnToken) {
-        if !self.sides[tok.0].open {
-            return;
+        match self.side_mut(tok) {
+            Some(side) if side.open => {}
+            _ => return,
         }
         self.with_conduit(tok, |c, io| c.on_open(io));
     }
 
     fn deliver_data(&mut self, tok: ConnToken, bytes: &[u8]) {
-        if !self.sides[tok.0].open {
-            return;
+        match self.side_mut(tok) {
+            Some(side) if side.open => {}
+            _ => return,
         }
         self.with_conduit(tok, |c, io| c.on_data(bytes, io));
     }
 
     fn deliver_close(&mut self, tok: ConnToken) {
-        if !self.sides[tok.0].open {
-            // Already closed from this side; just drop the conduit.
-            self.sides[tok.0].conduit = None;
+        let Some(side) = self.side_mut(tok) else { return };
+        if !side.open {
+            // Already closed from this side; its Finalize event (or this)
+            // completes the teardown.
+            self.release(tok);
             return;
         }
-        self.sides[tok.0].open = false;
+        side.open = false;
         self.with_conduit(tok, |c, io| c.on_close(io));
-        self.sides[tok.0].conduit = None;
+        self.release(tok);
     }
 }
 
@@ -424,7 +649,7 @@ mod tests {
         net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
         let log = Rc::new(RefCell::new(Vec::new()));
         net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() })).unwrap();
-        net.run();
+        net.run().unwrap();
         assert_eq!(log.borrow().as_slice(), ["HELLO".to_string()]);
     }
 
@@ -455,7 +680,7 @@ mod tests {
         );
         // ...but port 80 works — the paper's §3.1 design decision.
         net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() })).unwrap();
-        net.run();
+        net.run().unwrap();
         assert_eq!(log.borrow()[0], "HELLO");
     }
 
@@ -465,7 +690,7 @@ mod tests {
         net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
         let log = Rc::new(RefCell::new(Vec::new()));
         net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log })).unwrap();
-        net.run();
+        net.run().unwrap();
         // open(2L) + send(L) + reply(L) = 4 × 20ms = 80 ms min.
         assert!(net.now_us() >= 80_000, "now = {}", net.now_us());
     }
@@ -483,8 +708,110 @@ mod tests {
         );
         let log = Rc::new(RefCell::new(Vec::new()));
         net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() })).unwrap();
-        net.run();
+        net.run().unwrap();
         assert!(log.borrow().is_empty(), "reply should have been lost");
+    }
+
+    #[test]
+    fn loss_stream_is_per_session_not_per_network() {
+        // A client's loss outcomes must be a pure function of
+        // (seed, client, salt, dial ordinal) — injecting an unrelated
+        // second session into the same event loop must not perturb them.
+        fn lossy_exchange(with_bystander: bool) -> Vec<String> {
+            let mut net = Network::new(NetworkConfig::default(), 77);
+            net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
+            net.set_link(client_ip(), LinkProfile { loss: 0.5, ..LinkProfile::default() });
+            let bystander = Ipv4([198, 51, 100, 99]);
+            net.begin_session(client_ip(), 0xAB);
+            net.begin_session(bystander, 0xCD);
+            if with_bystander {
+                // Same lossy link for the bystander: in the old shared-
+                // stream design its sends consumed draws from the one
+                // sequential RNG and shifted the victim's outcomes.
+                net.set_link(bystander, LinkProfile { loss: 0.5, ..LinkProfile::default() });
+                let log = Rc::new(RefCell::new(Vec::new()));
+                net.dial_from(bystander, server_ip(), 80, Box::new(Client { log })).unwrap();
+            }
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for _ in 0..8 {
+                net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() }))
+                    .unwrap();
+            }
+            net.run().unwrap();
+            let out = log.borrow().clone();
+            out
+        }
+        let alone = lossy_exchange(false);
+        let crowded = lossy_exchange(true);
+        assert_eq!(alone, crowded, "bystander session must not shift loss sampling");
+        // Each completed exchange logs exactly one "HELLO"; with loss 0.5
+        // on both directions, some of the 8 must have stalled (this is
+        // deterministic for the fixed seed — if all 8 ever complete,
+        // loss sampling stopped being consulted).
+        assert!(
+            !alone.is_empty() && alone.len() < 8,
+            "loss must stall some but not all exchanges, got {}/8",
+            alone.len()
+        );
+    }
+
+    #[test]
+    fn conduit_dial_loss_streams_inherit_session_scope() {
+        // A conduit-originated dial (a proxy's upstream leg) onto a LOSSY
+        // destination link must sample loss from the owning session's
+        // stream — a concurrent bystander session relaying through the
+        // same destination must not perturb it.
+        struct Relay {
+            log: Rc<RefCell<Vec<String>>>,
+        }
+        impl Conduit for Relay {
+            fn on_open(&mut self, io: &mut IoCtx<'_>) {
+                let log = self.log.clone();
+                io.dial(server_ip(), 80, Box::new(Client { log })).unwrap();
+            }
+            fn on_data(&mut self, _d: &[u8], _io: &mut IoCtx<'_>) {}
+        }
+        struct Kick;
+        impl Conduit for Kick {
+            fn on_open(&mut self, _io: &mut IoCtx<'_>) {}
+            fn on_data(&mut self, _d: &[u8], _io: &mut IoCtx<'_>) {}
+        }
+        fn relayed_exchanges(with_bystander: bool) -> Vec<String> {
+            let mut net = Network::new(NetworkConfig::default(), 78);
+            net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
+            // The upstream leg (conduit dial to server_ip) is lossy.
+            net.set_link(server_ip(), LinkProfile { loss: 0.5, ..LinkProfile::default() });
+            let log = Rc::new(RefCell::new(Vec::new()));
+            net.listen(server_ip(), 9999, {
+                let log = log.clone();
+                Box::new(move |_| Box::new(Relay { log: log.clone() }))
+            });
+            let bystander = Ipv4([198, 51, 100, 99]);
+            net.begin_session(client_ip(), 0x11);
+            net.begin_session(bystander, 0x22);
+            if with_bystander {
+                let log = Rc::new(RefCell::new(Vec::new()));
+                net.listen(server_ip(), 9998, {
+                    let log = log.clone();
+                    Box::new(move |_| Box::new(Relay { log: log.clone() }))
+                });
+                net.dial_from(bystander, server_ip(), 9998, Box::new(Kick)).unwrap();
+            }
+            for _ in 0..8 {
+                net.dial_from(client_ip(), server_ip(), 9999, Box::new(Kick)).unwrap();
+            }
+            net.run().unwrap();
+            let out = log.borrow().clone();
+            out
+        }
+        let alone = relayed_exchanges(false);
+        let crowded = relayed_exchanges(true);
+        assert_eq!(alone, crowded, "bystander must not shift upstream-leg loss sampling");
+        assert!(
+            !alone.is_empty() && alone.len() < 8,
+            "upstream loss must stall some but not all exchanges, got {}/8",
+            alone.len()
+        );
     }
 
     /// An interceptor that claims port-80 connections and answers itself
@@ -513,7 +840,7 @@ mod tests {
         net.install_interceptor(client_ip(), Box::new(FakeProxy));
         let log = Rc::new(RefCell::new(Vec::new()));
         net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() })).unwrap();
-        net.run();
+        net.run().unwrap();
         assert_eq!(log.borrow()[0], "intercepted");
     }
 
@@ -525,7 +852,7 @@ mod tests {
         let other = Ipv4([198, 51, 100, 99]);
         let log = Rc::new(RefCell::new(Vec::new()));
         net.dial_from(other, server_ip(), 80, Box::new(Client { log: log.clone() })).unwrap();
-        net.run();
+        net.run().unwrap();
         assert_eq!(log.borrow()[0], "HELLO");
     }
 
@@ -560,7 +887,7 @@ mod tests {
             fn on_data(&mut self, _d: &[u8], _io: &mut IoCtx<'_>) {}
         }
         net.dial_from(Ipv4([1, 1, 1, 1]), server_ip(), 9999, Box::new(Kick)).unwrap();
-        net.run();
+        net.run().unwrap();
         assert_eq!(log.borrow()[0], "HELLO", "upstream leg must reach the real server");
     }
 
@@ -590,7 +917,7 @@ mod tests {
             Box::new(move |_| Box::new(Watcher { closed: closed.clone() }))
         });
         net.dial_from(client_ip(), server_ip(), 80, Box::new(Closer)).unwrap();
-        net.run();
+        net.run().unwrap();
         assert!(*closed.borrow());
     }
 
@@ -620,7 +947,177 @@ mod tests {
             Box::new(move |_| Box::new(Sink { got: got.clone() }))
         });
         net.dial_from(client_ip(), server_ip(), 80, Box::new(SendAfterClose)).unwrap();
-        net.run();
+        net.run().unwrap();
         assert!(got.borrow().is_empty());
+    }
+
+    #[test]
+    fn finished_connections_recycle_their_slots() {
+        // Run many sequential request/response sessions on ONE network:
+        // the side slab must stay at the size of a single session's
+        // working set, and every conduit must be dropped at quiescence.
+        let mut net = Network::new(NetworkConfig::default(), 7);
+        net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..100 {
+            net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() }))
+                .unwrap();
+            net.run().unwrap();
+            assert_eq!(net.active_sides(), 0, "all conduits must be torn down");
+        }
+        assert_eq!(log.borrow().iter().filter(|s| *s == "HELLO").count(), 100);
+        assert_eq!(
+            net.sides_high_water(),
+            2,
+            "100 sequential connections must reuse one pair of slots"
+        );
+    }
+
+    #[test]
+    fn self_closed_side_is_finalized_without_peer_roundtrip() {
+        // A conduit that closes its own side must be dropped (and its
+        // slot freed) deterministically — not retained until the peer's
+        // Close round-trips, and certainly not forever.
+        struct DropCanary {
+            dropped: Rc<RefCell<bool>>,
+        }
+        impl Conduit for DropCanary {
+            fn on_open(&mut self, io: &mut IoCtx<'_>) {
+                io.close();
+            }
+            fn on_data(&mut self, _d: &[u8], _io: &mut IoCtx<'_>) {}
+        }
+        impl Drop for DropCanary {
+            fn drop(&mut self) {
+                *self.dropped.borrow_mut() = true;
+            }
+        }
+        struct Mute;
+        impl Conduit for Mute {
+            fn on_open(&mut self, _io: &mut IoCtx<'_>) {}
+            fn on_data(&mut self, _d: &[u8], _io: &mut IoCtx<'_>) {}
+        }
+        let dropped = Rc::new(RefCell::new(false));
+        let mut net = Network::new(NetworkConfig::default(), 8);
+        net.listen(server_ip(), 80, Box::new(|_| Box::new(Mute)));
+        net.dial_from(
+            client_ip(),
+            server_ip(),
+            80,
+            Box::new(DropCanary { dropped: dropped.clone() }),
+        )
+        .unwrap();
+        net.run().unwrap();
+        assert!(*dropped.borrow(), "self-closing conduit must be dropped at quiescence");
+        assert_eq!(net.active_sides(), 0);
+    }
+
+    #[test]
+    fn stale_tokens_cannot_touch_recycled_slots() {
+        // An actor that remembers its token and fires sends/closes after
+        // the connection died must not corrupt whatever connection now
+        // occupies the recycled slot.
+        struct TokenKeeper {
+            token: Rc<RefCell<Option<ConnToken>>>,
+        }
+        impl Conduit for TokenKeeper {
+            fn on_open(&mut self, io: &mut IoCtx<'_>) {
+                *self.token.borrow_mut() = Some(io.token());
+                io.close();
+            }
+            fn on_data(&mut self, _d: &[u8], _io: &mut IoCtx<'_>) {}
+        }
+        struct LateSender {
+            stale: Rc<RefCell<Option<ConnToken>>>,
+            log: Rc<RefCell<Vec<String>>>,
+        }
+        impl Conduit for LateSender {
+            fn on_open(&mut self, io: &mut IoCtx<'_>) {
+                // Fire at the dead connection's token — its slot has been
+                // recycled for THIS connection by now.
+                let stale = self.stale.borrow().expect("first connection ran");
+                io.send_on(stale, b"ghost");
+                io.close_on(stale);
+                io.send(b"hello");
+            }
+            fn on_data(&mut self, data: &[u8], io: &mut IoCtx<'_>) {
+                self.log.borrow_mut().push(String::from_utf8_lossy(data).into_owned());
+                io.close();
+            }
+        }
+        let token = Rc::new(RefCell::new(None));
+        let mut net = Network::new(NetworkConfig::default(), 9);
+        net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
+        net.dial_from(client_ip(), server_ip(), 80, Box::new(TokenKeeper { token: token.clone() }))
+            .unwrap();
+        net.run().unwrap();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        net.dial_from(
+            client_ip(),
+            server_ip(),
+            80,
+            Box::new(LateSender { stale: token, log: log.clone() }),
+        )
+        .unwrap();
+        net.run().unwrap();
+        // The recycled connection must have completed untouched by the
+        // stale send/close.
+        assert_eq!(log.borrow().as_slice(), ["HELLO".to_string()]);
+    }
+
+    #[test]
+    fn livelock_returns_error_instead_of_panicking() {
+        // Two conduits ping-ponging forever: run() must surface a typed
+        // error (so a sharded study can fail gracefully), not panic.
+        struct PingPong;
+        impl Conduit for PingPong {
+            fn on_open(&mut self, io: &mut IoCtx<'_>) {
+                io.send(b"ping");
+            }
+            fn on_data(&mut self, _d: &[u8], io: &mut IoCtx<'_>) {
+                io.send(b"pong");
+            }
+        }
+        let mut net =
+            Network::new(NetworkConfig { max_events: 500, ..NetworkConfig::default() }, 10);
+        net.listen(server_ip(), 80, Box::new(|_| Box::new(PingPong)));
+        net.dial_from(client_ip(), server_ip(), 80, Box::new(PingPong)).unwrap();
+        let err = net.run().unwrap_err();
+        assert_eq!(err.max_events, 500);
+        assert!(err.events_this_run > 500);
+        assert!(err.to_string().contains("livelocked"));
+    }
+
+    #[test]
+    fn reap_stalled_reclaims_lossy_stalls() {
+        // Total loss stalls every exchange: both sides sit open forever.
+        // After quiescence, reaping must reclaim them so a long-lived
+        // network doesn't accumulate one dead pair per stalled session.
+        let mut net = Network::new(NetworkConfig::default(), 12);
+        net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
+        net.set_link(client_ip(), LinkProfile { loss: 1.0, ..LinkProfile::default() });
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..20 {
+            net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() }))
+                .unwrap();
+            net.run().unwrap();
+            assert_eq!(net.active_sides(), 2, "the stalled pair lingers at quiescence");
+            assert_eq!(net.reap_stalled(), 2);
+            assert_eq!(net.active_sides(), 0);
+        }
+        assert_eq!(net.sides_high_water(), 2, "reaped slots must be reused across stalls");
+    }
+
+    #[test]
+    fn events_processed_accumulates_across_runs() {
+        let mut net = Network::new(NetworkConfig::default(), 11);
+        net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() })).unwrap();
+        let first = net.run().unwrap();
+        assert_eq!(net.events_processed(), first);
+        net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() })).unwrap();
+        let second = net.run().unwrap();
+        assert_eq!(net.events_processed(), first + second);
     }
 }

@@ -154,7 +154,7 @@ mod tests {
             Box::new(PolicyClient::new(result.clone())),
         )
         .unwrap();
-        net.run();
+        net.run().unwrap();
         Rc::try_unwrap(result).unwrap().into_inner()
     }
 
@@ -188,7 +188,7 @@ mod tests {
             Box::new(PolicyClient::new(result.clone())),
         )
         .unwrap();
-        net.run();
+        net.run().unwrap();
         assert_eq!(*result.borrow(), PolicyFetchResult::NoPolicy);
     }
 

@@ -217,7 +217,7 @@ mod tests {
             Box::new(ProbeClient::new("tlsresearch.byu.edu", [3u8; 32], outcome.clone())),
         )
         .unwrap();
-        net.run();
+        net.run().unwrap();
 
         let o = outcome.borrow();
         assert_eq!(o.state, ProbeState::Done);
@@ -263,7 +263,7 @@ mod tests {
             Box::new(ProbeClient::new("x", [0u8; 32], outcome.clone())),
         )
         .unwrap();
-        net.run();
+        net.run().unwrap();
         assert_eq!(outcome.borrow().state, ProbeState::Failed);
     }
 
@@ -311,7 +311,7 @@ mod tests {
             Box::new(ProbeClient::new("h.example", [1u8; 32], outcome.clone())),
         )
         .unwrap();
-        net.run();
+        net.run().unwrap();
         assert_eq!(outcome.borrow().state, ProbeState::Done);
         assert!(*saw_alert.borrow(), "probe must abort with an alert");
     }
@@ -333,7 +333,7 @@ mod tests {
             ),
         )
         .unwrap();
-        net.run();
+        net.run().unwrap();
         assert_eq!(outcome.borrow().server_version, Some(ProtocolVersion::Tls12));
     }
 }

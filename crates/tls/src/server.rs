@@ -6,7 +6,6 @@
 //! the same responder for their client-facing leg, just with a substitute
 //! chain.
 
-use std::rc::Rc;
 use std::sync::Arc;
 
 use tlsfoe_netsim::{Conduit, IoCtx};
@@ -28,43 +27,60 @@ pub struct ServerConfig {
     /// Server random (fixed per config; the probe never checks freshness
     /// and determinism keeps experiments reproducible).
     pub server_random: [u8; 32],
+    /// Lazily-encoded hello flight per negotiated version. A config is
+    /// immutable and lives as long as its listener (a whole shard on the
+    /// long-lived network), while the flight bytes are identical for
+    /// every accepted connection — encode once, serve forever.
+    flights: [std::sync::OnceLock<Vec<u8>>; 4],
 }
 
 impl ServerConfig {
     /// Config serving `chain` with the era's default RSA suite (accepts
-    /// a plain `Vec` or an already-shared `Arc<Vec<_>>`).
-    pub fn new(chain: impl Into<Arc<Vec<Certificate>>>) -> Rc<ServerConfig> {
-        Rc::new(ServerConfig {
+    /// a plain `Vec` or an already-shared `Arc<Vec<_>>`). Returned
+    /// `Arc`'d so one config can back listener factories on every
+    /// worker's shard-lifetime network, not just a single thread.
+    pub fn new(chain: impl Into<Arc<Vec<Certificate>>>) -> Arc<ServerConfig> {
+        Arc::new(ServerConfig {
             chain: chain.into(),
             cipher_suite: CipherSuite::RSA_AES_128_CBC_SHA,
             server_random: [0x42; 32],
+            flights: [const { std::sync::OnceLock::new() }; 4],
         })
     }
 
     /// Encode the ServerHello → Certificate → ServerHelloDone flight for
-    /// the given negotiated version.
-    pub fn hello_flight(&self, version: ProtocolVersion) -> Vec<u8> {
-        let mut handshake = HandshakeMsg::ServerHello(ServerHello {
-            version,
-            random: self.server_random,
-            session_id: vec![0xab; 8],
-            cipher_suite: self.cipher_suite,
-        })
-        .encode();
-        handshake.extend(
-            HandshakeMsg::Certificate(CertificateMsg {
-                chain: self.chain.iter().map(|c| c.to_der().to_vec()).collect(),
+    /// the given negotiated version (cached per config+version; every
+    /// session serving this chain shares one encoding).
+    pub fn hello_flight(&self, version: ProtocolVersion) -> &[u8] {
+        let slot = match version {
+            ProtocolVersion::Ssl30 => 0,
+            ProtocolVersion::Tls10 => 1,
+            ProtocolVersion::Tls11 => 2,
+            ProtocolVersion::Tls12 => 3,
+        };
+        self.flights[slot].get_or_init(|| {
+            let mut handshake = HandshakeMsg::ServerHello(ServerHello {
+                version,
+                random: self.server_random,
+                session_id: vec![0xab; 8],
+                cipher_suite: self.cipher_suite,
             })
-            .encode(),
-        );
-        handshake.extend(HandshakeMsg::ServerHelloDone.encode());
-        encode_records(ContentType::Handshake, version, &handshake)
+            .encode();
+            handshake.extend(
+                HandshakeMsg::Certificate(CertificateMsg {
+                    chain: self.chain.iter().map(|c| c.to_der().to_vec()).collect(),
+                })
+                .encode(),
+            );
+            handshake.extend(HandshakeMsg::ServerHelloDone.encode());
+            encode_records(ContentType::Handshake, version, &handshake)
+        })
     }
 }
 
 /// One server-side handshake session.
 pub struct TlsCertServer {
-    config: Rc<ServerConfig>,
+    config: Arc<ServerConfig>,
     records: RecordParser,
     handshakes: HandshakeParser,
     answered: bool,
@@ -72,7 +88,7 @@ pub struct TlsCertServer {
 
 impl TlsCertServer {
     /// New session over the shared config.
-    pub fn new(config: Rc<ServerConfig>) -> Self {
+    pub fn new(config: Arc<ServerConfig>) -> Self {
         TlsCertServer {
             config,
             records: RecordParser::new(),
@@ -99,7 +115,7 @@ impl Conduit for TlsCertServer {
                                     // Negotiate: accept the client's version
                                     // (all era versions serve identically
                                     // for a certificate probe).
-                                    io.send(&self.config.hello_flight(ch.version));
+                                    io.send(self.config.hello_flight(ch.version));
                                 }
                                 Ok(Some(_)) => {} // ignore everything else
                                 Ok(None) => break,
@@ -156,7 +172,7 @@ mod tests {
         let cfg = ServerConfig::new(chain());
         let flight = cfg.hello_flight(ProtocolVersion::Tls10);
         let mut rp = RecordParser::new();
-        rp.feed(&flight);
+        rp.feed(flight);
         let mut hp = HandshakeParser::new();
         while let Some(rec) = rp.next_record().unwrap() {
             assert_eq!(rec.content_type, ContentType::Handshake);
@@ -180,7 +196,7 @@ mod tests {
         for v in [ProtocolVersion::Tls10, ProtocolVersion::Tls12] {
             let flight = cfg.hello_flight(v);
             let mut rp = RecordParser::new();
-            rp.feed(&flight);
+            rp.feed(flight);
             let rec = rp.next_record().unwrap().unwrap();
             assert_eq!(rec.version, v);
         }

@@ -41,6 +41,27 @@ fn days_from_civil(y: i64, m: u8, d: u8) -> i64 {
     era * 146097 + doe - 719468
 }
 
+/// Gregorian leap-year rule.
+fn is_leap_year(y: i64) -> bool {
+    y % 4 == 0 && (y % 100 != 0 || y % 400 == 0)
+}
+
+/// Days in a (validated, 1-based) month of a year.
+fn days_in_month(y: i64, m: u8) -> u8 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(y) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
 /// Civil date for days since the epoch (Hinnant's algorithm).
 fn civil_from_days(z: i64) -> (i64, u8, u8) {
     let z = z + 719468;
@@ -137,13 +158,18 @@ impl Time {
         let hour = parse_2(&rest[4..6])?;
         let minute = parse_2(&rest[6..8])?;
         let second = parse_2(&rest[8..10])?;
-        if !(1..=12).contains(&month)
-            || !(1..=31).contains(&day)
-            || hour > 23
-            || minute > 59
-            || second > 60
-        {
+        // Seconds stop at 59: X.509 times don't carry leap seconds, and
+        // :60 would be silently normalized into the next minute by the
+        // calendar arithmetic (the same non-roundtripping bug class as
+        // Feb 30).
+        if !(1..=12).contains(&month) || hour > 23 || minute > 59 || second > 59 {
             return Err(X509Error::Malformed("time component out of range"));
+        }
+        // Calendar-impossible days (Feb 30, Apr 31, Feb 29 off leap
+        // years) must be rejected, not silently normalized into the next
+        // month by Hinnant's arithmetic.
+        if day < 1 || day > days_in_month(year, month) {
+            return Err(X509Error::Malformed("day impossible for month"));
         }
         Ok(Time::from_ymd_hms(year, month, day, hour, minute, second))
     }
@@ -240,6 +266,46 @@ mod tests {
         assert!(Time::parse_ascii("141306000000Z").is_err()); // month 13
         assert!(Time::parse_ascii("1410010000000").is_err()); // no Z
         assert!(Time::parse_ascii("14100100000aZ").is_err()); // non-digit
+    }
+
+    #[test]
+    fn rejects_calendar_impossible_days() {
+        assert!(Time::parse_ascii("140230000000Z").is_err()); // Feb 30
+        assert!(Time::parse_ascii("140431000000Z").is_err()); // Apr 31
+        assert!(Time::parse_ascii("150229000000Z").is_err()); // Feb 29, 2015
+        assert!(Time::parse_ascii("21000229000000Z").is_err()); // 2100 not leap
+        assert!(Time::parse_ascii("140400000000Z").is_err()); // day 0
+        assert!(Time::parse_ascii("140101000060Z").is_err()); // leap second
+        assert!(Time::parse_ascii("160229000000Z").is_ok()); // Feb 29, 2016
+        assert!(Time::parse_ascii("20000229000000Z").is_ok()); // 2000 is leap
+    }
+
+    #[test]
+    fn parse_civil_roundtrip_property() {
+        // DRBG-driven: every valid civil date must survive
+        // format → parse_ascii → civil unchanged, and bumping the day
+        // past the month's length must be rejected.
+        use tlsfoe_crypto::drbg::{Drbg, RngCore64};
+        let mut rng = Drbg::new(0x7131);
+        for _ in 0..500 {
+            let year = 1951 + rng.gen_range(160) as i64; // UTCTime + GeneralizedTime
+            let month = 1 + rng.gen_range(12) as u8;
+            let dim = days_in_month(year, month);
+            let day = 1 + rng.gen_range(dim as u64) as u8;
+            let (h, mi, s) =
+                (rng.gen_range(24) as u8, rng.gen_range(60) as u8, rng.gen_range(60) as u8);
+            let text = format!("{year:04}{month:02}{day:02}{h:02}{mi:02}{s:02}Z");
+            let t = Time::parse_ascii(&text).unwrap_or_else(|e| panic!("{text}: {e:?}"));
+            let c = t.civil();
+            assert_eq!(
+                (c.year, c.month, c.day, c.hour, c.minute, c.second),
+                (year, month, day, h, mi, s),
+                "{text}"
+            );
+            // One past the end of the month is always impossible.
+            let bad = format!("{year:04}{month:02}{:02}{h:02}{mi:02}{s:02}Z", dim + 1);
+            assert!(Time::parse_ascii(&bad).is_err(), "{bad} should be rejected");
+        }
     }
 
     #[test]

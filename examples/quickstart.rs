@@ -67,7 +67,7 @@ fn main() {
         Box::new(ProbeClient::new("bank.example", [42; 32], outcome.clone())),
     )
     .expect("server reachable");
-    net.run();
+    net.run().expect("probe scenario quiesces");
 
     // 5. Compare what the client saw with what the server serves.
     let o = outcome.borrow();

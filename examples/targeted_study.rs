@@ -5,14 +5,14 @@
 //!
 //! Run: `cargo run --release --example targeted_study`
 
-use tlsfoe::core::study::{run_study, StudyConfig};
+use tlsfoe::core::study::{run_study, StudyConfig, StudyError};
 use tlsfoe::core::{analysis, tables};
 use tlsfoe::geo::countries::by_code;
 
-fn main() {
+fn main() -> Result<(), StudyError> {
     let cfg = StudyConfig::study2(60, 20141008);
     eprintln!("running scaled study 2 with country targeting…");
-    let outcome = run_study(&cfg);
+    let outcome = run_study(&cfg)?;
 
     print!("{}", tables::table2(&outcome));
     println!();
@@ -43,4 +43,5 @@ fn main() {
         "  countries with proxied users: {} (paper: 147 at full scale)",
         analysis::proxied_country_count(&outcome.db)
     );
+    Ok(())
 }

@@ -14,7 +14,9 @@ fn quick_study1(seed: u64) -> tlsfoe::core::StudyOutcome {
         threads: 4,
         baseline: false,
         proxy_boost: 1.0,
+        batch: tlsfoe::core::session::DEFAULT_BATCH,
     })
+    .expect("study runs to completion")
 }
 
 #[test]
