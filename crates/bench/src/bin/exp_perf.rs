@@ -121,6 +121,55 @@ fn measure_session_throughput(quick: bool) -> Json {
     ])
 }
 
+/// Keygen subsystem series: the sieved prime search and the population
+/// key cache, cold and warm — the startup-dominated costs `exp_all`
+/// spends most of its wall-clock on. Cold keypair timings clear the
+/// process-wide key cache each iteration so every call pays generation;
+/// fixed seeds keep the prime-finding work (and therefore the metric)
+/// reproducible across runs instead of at the mercy of prime-gap luck.
+fn measure_keygen(quick: bool) -> Json {
+    use tlsfoe_crypto::rsa::{gen_prime, keygen_stats};
+    use tlsfoe_population::keys;
+
+    let samples = if quick { 3 } else { 7 };
+    eprintln!("[exp_perf] measuring keygen (sieved prime search, key cache)…");
+    let gen_prime_512 =
+        best_ns(samples, || drop(gen_prime(512, &mut Drbg::new(0x9187_AA01)).unwrap()));
+    let keypair_cold = best_ns(samples, || {
+        keys::clear();
+        drop(keys::keypair(0xBEEF, 1024));
+    });
+    keys::keypair(0xBEEF, 1024); // ensure cached
+    let keypair_warm = best_ns(samples, || drop(keys::keypair(0xBEEF, 1024)));
+
+    let st = keygen_stats();
+    let per_prime = |v: u64| (v as f64 / st.primes.max(1) as f64 * 100.0).round() / 100.0;
+    println!(
+        "keygen | gen_prime 512 {gen_prime_512:>10} ns | keypair 1024 cold {keypair_cold:>10} ns \
+         | warm {keypair_warm:>6} ns | sieve: {:.1} candidates, {:.1} MR runs per prime \
+         ({:.0}% of composite MR runs stopped by base 2)",
+        per_prime(st.candidates),
+        per_prime(st.mr_runs),
+        st.base2_rejects as f64 / (st.mr_runs - st.primes).max(1) as f64 * 100.0,
+    );
+    Json::obj(vec![
+        ("gen_prime_512_ns", Json::Int(gen_prime_512 as i64)),
+        ("keypair_1024_ns", Json::Int(keypair_cold as i64)),
+        // Deliberately NOT `_ns`-suffixed (so the gate skips it): a warm
+        // hit is ~54 ns of mutex + hash probe + Arc bump, and a 25%
+        // tolerance on that is ~13 ns of absolute slack — pure flake on
+        // shared runners. The regression that matters (a hit silently
+        // becoming a multi-ms regeneration) is visible here informationally
+        // and would also crater the gated session/cold series.
+        ("keypair_1024_warm_hit", Json::Int(keypair_warm as i64)),
+        // Sieve effectiveness ratios — informational (not *_ns, so the
+        // gate ignores them) but recorded for the perf trajectory.
+        ("sieve_candidates_per_prime", Json::Num(per_prime(st.candidates))),
+        ("sieve_mr_runs_per_prime", Json::Num(per_prime(st.mr_runs))),
+        ("sieve_base2_rejects_per_prime", Json::Num(per_prime(st.base2_rejects))),
+    ])
+}
+
 fn measure(quick: bool) -> Json {
     let samples = if quick { 5 } else { 11 };
     let msg = b"tbs certificate bytes stand-in";
@@ -197,7 +246,13 @@ fn measure(quick: bool) -> Json {
         ("unit", Json::str("nanoseconds_per_operation_min_of_blocks")),
         ("samples", Json::Int(samples as i64)),
         ("sizes", Json::Obj(sizes.into_iter().map(|(bits, v)| (bits.to_string(), v)).collect())),
-        ("series", Json::obj(vec![("session_throughput", measure_session_throughput(quick))])),
+        (
+            "series",
+            Json::obj(vec![
+                ("keygen", measure_keygen(quick)),
+                ("session_throughput", measure_session_throughput(quick)),
+            ]),
+        ),
     ])
 }
 

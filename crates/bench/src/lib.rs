@@ -63,6 +63,7 @@ pub fn config(era: StudyEra) -> StudyConfig {
         baseline: false,
         proxy_boost: 1.0,
         batch: batch(),
+        warm_keys: true,
     }
 }
 
@@ -154,5 +155,5 @@ pub fn banner(what: &str) -> String {
 /// forged-issuer check (the study's hosts chain to this CA).
 pub fn real_ca_keys() -> Vec<(&'static str, tlsfoe_crypto::RsaPublicKey)> {
     let ca = tlsfoe_population::keys::keypair(tlsfoe_population::keys::server_seed(9_999), 1024);
-    vec![("DigiCert Inc", ca.public)]
+    vec![("DigiCert Inc", ca.public.clone())]
 }

@@ -67,6 +67,7 @@ mod tests {
             baseline: false,
             proxy_boost: 1.0,
             batch: crate::session::DEFAULT_BATCH,
+            warm_keys: true,
         };
         let cmp = compare(&cfg).expect("comparison runs");
         assert!(cmp.ours.db.total() > 5_000);

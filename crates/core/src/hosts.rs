@@ -107,26 +107,81 @@ pub const TABLE1: &[(&str, HostCategory)] = &[
 /// The baseline methodology's single target (§8 / Huang et al.).
 pub const BASELINE_HOST: (&str, HostCategory) = ("www.facebook.com", HostCategory::MegaPopular);
 
+/// The simulated commercial CA's key spec — one source shared by
+/// [`HostCatalog::build`] and [`prewarm_key_specs`], so the prewarm can
+/// never drift from what the build actually generates.
+const CA_KEY_SPEC: (u64, usize) = (keys::server_seed(9_999), 1024);
+
+/// Key spec for the `i`-th host of a catalog whose seeds start at
+/// `base` (same sharing rationale as [`CA_KEY_SPEC`]).
+fn host_key_spec(base: u16, i: usize) -> (u64, usize) {
+    (keys::server_seed(base + i as u16), 2048)
+}
+
+/// Host-seed namespace offset: the baseline catalog must not alias the
+/// paper catalogs' server keys.
+fn catalog_seed_base(baseline: bool) -> u16 {
+    if baseline {
+        150
+    } else {
+        1
+    }
+}
+
+/// The catalog entries a `(baseline, era)` study probes — the selection
+/// [`HostCatalog::study1`]/[`study2`](HostCatalog::study2)/
+/// [`baseline`](HostCatalog::baseline) build from.
+fn catalog_entries(
+    baseline: bool,
+    era: tlsfoe_population::model::StudyEra,
+) -> &'static [(&'static str, HostCategory)] {
+    static BASELINE_ENTRIES: [(&str, HostCategory); 1] = [BASELINE_HOST];
+    if baseline {
+        &BASELINE_ENTRIES
+    } else if era == tlsfoe_population::model::StudyEra::Study1 {
+        &TABLE1[..1]
+    } else {
+        TABLE1
+    }
+}
+
+/// The `(seed, bits)` key specs a catalog build for `(baseline, era)`
+/// will touch: the CA key plus one 2048-bit leaf key per probed host.
+/// `run_study` feeds these to `tlsfoe_population::keys::warm_keys` so
+/// the catalog's keygen is parallelized instead of paid serially inside
+/// [`HostCatalog::build`]'s host loop. Derived from the same constants
+/// the build consumes ([`CA_KEY_SPEC`], [`host_key_spec`],
+/// [`catalog_entries`]).
+pub fn prewarm_key_specs(
+    baseline: bool,
+    era: tlsfoe_population::model::StudyEra,
+) -> Vec<(u64, usize)> {
+    let base = catalog_seed_base(baseline);
+    let mut specs = vec![CA_KEY_SPEC];
+    specs.extend((0..catalog_entries(baseline, era).len()).map(|i| host_key_spec(base, i)));
+    specs
+}
+
 impl HostCatalog {
     /// Build the study-1 catalog (authors' host only).
     pub fn study1() -> HostCatalog {
-        Self::build(&TABLE1[..1], false)
+        Self::build(catalog_entries(false, tlsfoe_population::model::StudyEra::Study1), false)
     }
 
     /// Build the study-2 catalog (all 18 hosts).
     pub fn study2() -> HostCatalog {
-        Self::build(TABLE1, false)
+        Self::build(catalog_entries(false, tlsfoe_population::model::StudyEra::Study2), false)
     }
 
     /// Build the baseline catalog (facebook only, Huang methodology).
     pub fn baseline() -> HostCatalog {
-        Self::build(&[BASELINE_HOST], true)
+        Self::build(catalog_entries(true, tlsfoe_population::model::StudyEra::Study1), true)
     }
 
     fn build(entries: &[(&'static str, HostCategory)], baseline: bool) -> HostCatalog {
         // One simulated commercial CA signs every legitimate host cert —
         // "DigiCert High Assurance CA-3" signed the authors' real cert.
-        let ca_key = keys::keypair(keys::server_seed(9_999), 1024);
+        let ca_key = keys::keypair(CA_KEY_SPEC.0, CA_KEY_SPEC.1);
         let ca_name = NameBuilder::new()
             .country("US")
             .organization("DigiCert Inc")
@@ -143,12 +198,13 @@ impl HostCatalog {
         let mut roots = RootStore::new();
         roots.add_factory_root(ca_cert.clone());
 
-        let base = if baseline { 150 } else { 1 };
+        let base = catalog_seed_base(baseline);
         let hosts = entries
             .iter()
             .enumerate()
             .map(|(i, &(name, category))| {
-                let leaf_key = keys::keypair(keys::server_seed(base + i as u16), 2048);
+                let (leaf_seed, leaf_bits) = host_key_spec(base, i);
+                let leaf_key = keys::keypair(leaf_seed, leaf_bits);
                 let leaf = CertificateBuilder::new()
                     .serial_u64(1000 + base as u64 + i as u64)
                     .issuer(ca_name.clone())

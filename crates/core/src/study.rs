@@ -86,6 +86,12 @@ pub struct StudyConfig {
     /// bit-identical for any value — this knob trades peak working-set
     /// size against per-drive overhead.
     pub batch: usize,
+    /// Pre-generate every catalog/product key across `threads` workers
+    /// before the measurement phase (default true). Results are
+    /// bit-identical either way — keys are pure functions of
+    /// `(seed, bits)` — this knob only moves keygen cost off the session
+    /// hot path and onto all cores at startup.
+    pub warm_keys: bool,
 }
 
 impl StudyConfig {
@@ -99,6 +105,7 @@ impl StudyConfig {
             baseline: false,
             proxy_boost: 1.0,
             batch: DEFAULT_BATCH,
+            warm_keys: true,
         }
     }
 
@@ -112,6 +119,7 @@ impl StudyConfig {
             baseline: false,
             proxy_boost: 1.0,
             batch: DEFAULT_BATCH,
+            warm_keys: true,
         }
     }
 }
@@ -204,13 +212,24 @@ pub fn run_study(cfg: &StudyConfig) -> Result<StudyOutcome, StudyError> {
     // worker thread: the model's factories and substitute cache are the
     // cross-thread state that stops shard N re-minting (at RSA-signature
     // cost) the per-host chains shard M already built.
+    let threads = cfg.threads.max(1);
+    if cfg.warm_keys {
+        // Pre-pay every RSA keygen the run can touch — catalog CA/host
+        // keys (otherwise generated serially inside HostCatalog::build
+        // below) and product root/leaf pools (otherwise generated on
+        // first interception, blocking a session) — across all worker
+        // threads. Keys are pure functions of (seed, bits), so warming
+        // cannot change any output byte.
+        let mut specs = crate::hosts::prewarm_key_specs(cfg.baseline, cfg.era);
+        specs.extend(tlsfoe_population::keys::product_key_specs(cfg.era));
+        tlsfoe_population::keys::warm_keys(&specs, threads);
+    }
     let catalog = Arc::new(match (cfg.baseline, cfg.era) {
         (true, _) => HostCatalog::baseline(),
         (false, StudyEra::Study1) => HostCatalog::study1(),
         (false, StudyEra::Study2) => HostCatalog::study2(),
     });
     let model = Arc::new(PopulationModel::new(cfg.era, catalog.public_roots.clone()));
-    let threads = cfg.threads.max(1);
     let chunk_size = impressions.len().div_ceil(threads).max(1);
     let mut db = Database::new();
     if threads == 1 || impressions.len() < 256 {
@@ -353,6 +372,27 @@ mod tests {
         assert_eq!(serial_unbatched.db, serial_batched.db, "batch size changed the database");
         assert_eq!(serial_batched.db, sharded_batched.db, "thread count changed the database");
         assert_eq!(sharded_batched.db, sharded_odd_batch.db, "odd batch split changed the db");
+    }
+
+    #[test]
+    fn warm_and_cold_key_cache_bit_identical() {
+        // The parallel key prewarm must be observationally invisible:
+        // keys are pure functions of (seed, bits), so a run whose keys
+        // all come from warm_keys and a run that generates lazily on
+        // first touch must produce identical databases — with enough
+        // interception that product keys are actually exercised. The
+        // process-wide cache is cleared before each run so both paths
+        // really generate (otherwise whichever run goes second would
+        // just reuse the first run's entries and the comparison would be
+        // vacuous); concurrent tests at worst regenerate, since cached
+        // keys are pure.
+        let base = StudyConfig { proxy_boost: 40.0, ..StudyConfig::study1(8_000, 47) };
+        tlsfoe_population::keys::clear();
+        let cold = run_study(&StudyConfig { warm_keys: false, ..base.clone() }).expect("study");
+        tlsfoe_population::keys::clear();
+        let warm = run_study(&StudyConfig { warm_keys: true, ..base }).expect("study");
+        assert!(cold.db.proxied() > 5, "need interceptions, got {}", cold.db.proxied());
+        assert_eq!(cold.db, warm.db, "prewarm changed study output");
     }
 
     #[test]

@@ -158,7 +158,92 @@ fn has_small_factor(n: &Ubig) -> bool {
     prime_products().iter().any(|&prod| gcd_u64(n.rem_u64(prod), prod) > 1)
 }
 
-/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+/// Decompose `n - 1 = d · 2^r` with `d` odd.
+fn mr_decompose(n_minus_1: &Ubig) -> (Ubig, usize) {
+    let mut d = n_minus_1.clone();
+    let mut r = 0usize;
+    while !d.is_odd() {
+        d = d.shr(1);
+        r += 1;
+    }
+    (d, r)
+}
+
+/// One Miller–Rabin round: true iff base `a` *witnesses* that `n` is
+/// composite (so `false` means "n is probably prime as far as `a` can
+/// tell"). `ctx` is `None` under the `TLSFOE_SCHOOLBOOK` ablation.
+fn mr_composite_witness(
+    a: &Ubig,
+    d: &Ubig,
+    r: usize,
+    n: &Ubig,
+    n_minus_1: &Ubig,
+    ctx: Option<&MontgomeryCtx>,
+) -> bool {
+    let mut x = match ctx {
+        // Base 2 rides the square-and-double ladder: the multiply step
+        // degenerates to an O(k) modular doubling, ~20% off the ladder
+        // that kills almost every sieved-but-composite candidate.
+        Some(ctx) if a == &Ubig::from_u64(2) => ctx.pow2mod(d),
+        Some(ctx) => ctx.modpow(a, d),
+        None => a.modpow_schoolbook(d, n),
+    }
+    .expect("nonzero modulus");
+    if x.is_one() || &x == n_minus_1 {
+        return false;
+    }
+    for _ in 0..r.saturating_sub(1) {
+        x = match ctx {
+            Some(ctx) => ctx.sqrmod(&x),
+            None => x.mulmod(&x, n),
+        }
+        .expect("nonzero modulus");
+        if &x == n_minus_1 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Miller–Rabin core for an odd `n > 283` already known to have no small
+/// factor: one fixed base-2 round, then `rounds` random witnesses.
+///
+/// The base-2 round costs one ladder like any witness but draws nothing
+/// from `rng` and skips the random base's `rem(n-1)` bigint division —
+/// and almost every composite that survives the small-prime sieve dies
+/// there (base-2 strong pseudoprimes are vanishingly rare: the first is
+/// 2047, and their density keeps falling), so the random-witness loop
+/// with its per-base setup runs almost exclusively on actual primes.
+/// Returns `(probably_prime, rejected_by_base2)`.
+fn mr_probable_prime(n: &Ubig, rounds: usize, rng: &mut dyn RngCore64) -> (bool, bool) {
+    let n_minus_1 = n.sub(&Ubig::one());
+    let (d, r) = mr_decompose(&n_minus_1);
+    // One Montgomery context serves every witness (n is odd here).
+    // `None` under TLSFOE_SCHOOLBOOK, the seed-equivalence perf ablation.
+    let ctx = (!crate::schoolbook_forced()).then(|| MontgomeryCtx::new(n).expect("odd modulus"));
+    if mr_composite_witness(&Ubig::from_u64(2), &d, r, n, &n_minus_1, ctx.as_ref()) {
+        return (false, true);
+    }
+    let byte_len = n.bit_len().div_ceil(8);
+    for _ in 0..rounds {
+        // Random base a in [2, n-2].
+        let a = loop {
+            let mut bytes = vec![0u8; byte_len];
+            rng.fill_bytes(&mut bytes);
+            let a = Ubig::from_bytes_be(&bytes).rem(&n_minus_1).expect("nonzero divisor");
+            if a > Ubig::one() {
+                break a;
+            }
+        };
+        if mr_composite_witness(&a, &d, r, n, &n_minus_1, ctx.as_ref()) {
+            return (false, false);
+        }
+    }
+    (true, false)
+}
+
+/// Miller–Rabin probabilistic primality test: batched small-prime trial
+/// division, a fixed base-2 round, then `rounds` random bases.
 pub fn is_probable_prime(n: &Ubig, rounds: usize, rng: &mut dyn RngCore64) -> bool {
     if n.is_zero() || n.is_one() {
         return false;
@@ -179,72 +264,207 @@ pub fn is_probable_prime(n: &Ubig, rounds: usize, rng: &mut dyn RngCore64) -> bo
     if has_small_factor(n) {
         return false;
     }
-    // Write n-1 = d * 2^r with d odd.
-    let n_minus_1 = n.sub(&Ubig::one());
-    let mut d = n_minus_1.clone();
-    let mut r = 0usize;
-    while !d.is_odd() {
-        d = d.shr(1);
-        r += 1;
+    mr_probable_prime(n, rounds, rng).0
+}
+
+/// Cumulative [`gen_prime`] search statistics for this process.
+///
+/// The sieve's whole point is the ratio between these counters: most odd
+/// candidates must die in the `u64` residue walk (`candidates` vs
+/// `mr_runs`), and most sieve survivors that are composite must die in
+/// the fixed base-2 round (`base2_rejects`) without touching the
+/// random-witness machinery. `exp_perf` reports them and ROADMAP records
+/// them per PR.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KeygenStats {
+    /// Odd candidates examined by the incremental sieve.
+    pub candidates: u64,
+    /// Candidates that survived the small-prime sieve (each costs one
+    /// Miller–Rabin run, starting with the fixed base-2 round).
+    pub mr_runs: u64,
+    /// Sieve survivors rejected by the base-2 round alone.
+    pub base2_rejects: u64,
+    /// Primes returned.
+    pub primes: u64,
+}
+
+static KG_CANDIDATES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static KG_MR_RUNS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static KG_BASE2_REJECTS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static KG_PRIMES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Snapshot of the process-wide [`gen_prime`] counters.
+pub fn keygen_stats() -> KeygenStats {
+    use std::sync::atomic::Ordering::Relaxed;
+    KeygenStats {
+        candidates: KG_CANDIDATES.load(Relaxed),
+        mr_runs: KG_MR_RUNS.load(Relaxed),
+        base2_rejects: KG_BASE2_REJECTS.load(Relaxed),
+        primes: KG_PRIMES.load(Relaxed),
     }
-    // One Montgomery context serves every witness (n is odd here).
-    // `None` under TLSFOE_SCHOOLBOOK, the seed-equivalence perf ablation.
-    let ctx = (!crate::schoolbook_forced()).then(|| MontgomeryCtx::new(n).expect("odd modulus"));
-    let byte_len = n.bit_len().div_ceil(8);
-    'witness: for _ in 0..rounds {
-        // Random base a in [2, n-2].
-        let a = loop {
-            let mut bytes = vec![0u8; byte_len];
-            rng.fill_bytes(&mut bytes);
-            let a = Ubig::from_bytes_be(&bytes).rem(&n_minus_1).expect("nonzero divisor");
-            if a > Ubig::one() {
-                break a;
+}
+
+/// Odd steps examined per random start before redrawing. The expected
+/// prime gap among odd `bits`-bit numbers is ~`bits·ln2/2` (≈ 710/2 at
+/// 1024 bits), so 2¹⁴ steps make a windowless redraw vanishingly rare
+/// while keeping each interval short enough that the search still lands
+/// near its uniformly drawn start.
+const SIEVE_ODD_STEPS: usize = 1 << 14;
+
+/// Exclusive bound on the sieving primes. Much larger than the 60-entry
+/// trial-division table: each extra prime `p` removes a `1/p` slice of
+/// candidates *before* they cost a Miller–Rabin ladder, and with the
+/// window sieve a prime's per-start cost is `O(window/p)` bit marks —
+/// so big tables are nearly free here, while they would be useless in
+/// the old per-candidate trial division. Sieving to 2¹⁶ (6542 primes)
+/// passes ~15% of odd candidates to Miller–Rabin (measured:
+/// `sieve_mr_runs_per_prime / sieve_candidates_per_prime` in
+/// `BENCH_crypto.json`; the Mertens-theorem steady-state is ~10%, but a
+/// search stops at its prime, which skews the observed mix) vs ~20% at
+/// the old bound of 283.
+const SIEVE_PRIME_BOUND: usize = 1 << 16;
+
+/// The sieving primes (odd primes below [`SIEVE_PRIME_BOUND`]) together
+/// with consecutive runs packed greedily into `u64` products: residues
+/// of a bigint start are taken once per *product* (one multi-limb by
+/// `u64` remainder) and expanded to per-prime residues with `u64`
+/// arithmetic, cutting the bigint divisions per start ~3×.
+struct SieveTable {
+    primes: Vec<u32>,
+    /// `(product, range into primes)` — every prime in `range` divides
+    /// `product`, and `product` fits a `u64`.
+    products: Vec<(u64, core::ops::Range<usize>)>,
+}
+
+fn sieve_table() -> &'static SieveTable {
+    static TABLE: std::sync::OnceLock<SieveTable> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        // Sieve of Eratosthenes over the odd numbers below the bound.
+        let mut is_composite = vec![false; SIEVE_PRIME_BOUND];
+        let mut primes = Vec::new();
+        for n in (3..SIEVE_PRIME_BOUND).step_by(2) {
+            if is_composite[n] {
+                continue;
             }
-        };
-        let mut x = match &ctx {
-            Some(ctx) => ctx.modpow(&a, &d),
-            None => a.modpow_schoolbook(&d, n),
-        }
-        .expect("nonzero modulus");
-        if x.is_one() || x == n_minus_1 {
-            continue 'witness;
-        }
-        for _ in 0..r.saturating_sub(1) {
-            x = match &ctx {
-                Some(ctx) => ctx.sqrmod(&x),
-                None => x.mulmod(&x, n),
-            }
-            .expect("nonzero modulus");
-            if x == n_minus_1 {
-                continue 'witness;
+            primes.push(n as u32);
+            for multiple in (n * n..SIEVE_PRIME_BOUND).step_by(2 * n) {
+                is_composite[multiple] = true;
             }
         }
-        return false;
-    }
-    true
+        let mut products = Vec::new();
+        let mut acc: u64 = 1;
+        let mut run_start = 0usize;
+        for (i, &p) in primes.iter().enumerate() {
+            match acc.checked_mul(p as u64) {
+                Some(next) => acc = next,
+                None => {
+                    products.push((acc, run_start..i));
+                    acc = p as u64;
+                    run_start = i;
+                }
+            }
+        }
+        products.push((acc, run_start..primes.len()));
+        SieveTable { primes, products }
+    })
 }
 
 /// Generate a random prime with exactly `bits` bits.
+///
+/// Incremental sieved search: draw one random odd start per attempt
+/// (top two bits forced, as before, so `p·q` has full size), then sieve
+/// the window of [`SIEVE_ODD_STEPS`] odd candidates `start + 2j` in one
+/// pass — the residue of `start` modulo each packed prime product is
+/// taken once, expanded to per-prime residues, and each prime marks its
+/// multiples through the window with cheap `u64` strides. Only unmarked
+/// candidates pay for bigint work: one add to materialize the
+/// candidate, then a Miller–Rabin run opened by the fixed base-2
+/// doubling ladder. The draw-test-discard loop this replaces paid
+/// trial division plus, for survivors, a random-witness setup per
+/// candidate, and re-randomized every draw so no residue work could be
+/// shared.
+///
+/// Deterministic per RNG state, like every generation routine here: the
+/// population key cache relies on `(seed, bits) → key` being pure.
 pub fn gen_prime(bits: usize, rng: &mut dyn RngCore64) -> Result<Ubig, CryptoError> {
     assert!(bits >= 16, "prime sizes below 16 bits are not supported");
     let byte_len = bits.div_ceil(8);
-    // MR round count per FIPS 186-4-ish guidance; generous for small sizes.
-    let rounds = if bits >= 1024 { 5 } else { 16 };
-    for _ in 0..100_000 {
+    // MR round counts sized for *random* candidates (which these are):
+    // by the Damgård–Landrock–Pomerance average-case bounds, 8 rounds on
+    // random 512-bit candidates leave error far below 2⁻¹⁰⁰ (worst-case
+    // adversarial 4⁻ᵗ analysis does not apply to sieve output), matching
+    // FIPS 186-4 Table C.2's regime for RSA prime generation. Below 512
+    // bits — toy sizes reachable only from tests — stay generous.
+    let rounds = if bits >= 1024 {
+        5
+    } else if bits >= 512 {
+        8
+    } else {
+        16
+    };
+    let table = sieve_table();
+    // Sieving primes must stay below the candidates (which are ≥
+    // 2^(bits-1)); only bits = 16 can collide with the 2¹⁶ table bound.
+    let max_sieve_prime = if bits > 16 { u64::MAX } else { 1u64 << (bits - 1) };
+    let mut stats = KeygenStats::default();
+    let mut found = None;
+    let mut composite = vec![false; SIEVE_ODD_STEPS];
+    'attempt: for _ in 0..1024 {
         let mut bytes = vec![0u8; byte_len];
         rng.fill_bytes(&mut bytes);
-        let mut candidate = Ubig::from_bytes_be(&bytes);
+        let mut start = Ubig::from_bytes_be(&bytes);
         // Force exact bit length: clear any excess high bits, set the top
         // two bits (so p*q has full size) and the low bit (odd).
-        candidate = candidate.rem(&Ubig::one().shl(bits)).expect("nonzero");
-        candidate.set_bit(bits - 1);
-        candidate.set_bit(bits - 2);
-        candidate.set_bit(0);
-        if is_probable_prime(&candidate, rounds, rng) {
-            return Ok(candidate);
+        start = start.rem(&Ubig::one().shl(bits)).expect("nonzero");
+        start.set_bit(bits - 1);
+        start.set_bit(bits - 2);
+        start.set_bit(0);
+        // Mark every window slot a sieving prime divides: slot j holds
+        // start + 2j, so p strikes j ≡ -start·2⁻¹ ≡ (p - r)·(p+1)/2
+        // (mod p), where r = start mod p comes from the packed-product
+        // residue at u64 cost.
+        composite.fill(false);
+        for (product, range) in &table.products {
+            let product_residue = start.rem_u64(*product);
+            for &p in &table.primes[range.clone()] {
+                let p = p as u64;
+                if p >= max_sieve_prime {
+                    break; // primes are sorted; nothing further applies
+                }
+                let r = product_residue % p;
+                let inv2 = p.div_ceil(2); // 2⁻¹ mod p for odd p
+                let mut j = (((p - r) % p) * inv2 % p) as usize;
+                while j < SIEVE_ODD_STEPS {
+                    composite[j] = true;
+                    j += p as usize;
+                }
+            }
+        }
+        for (j, &is_composite) in composite.iter().enumerate() {
+            stats.candidates += 1;
+            if is_composite {
+                continue; // a sieving prime divides this candidate
+            }
+            let candidate = start.add(&Ubig::from_u64(j as u64 * 2));
+            if candidate.bit_len() != bits {
+                continue 'attempt; // walked off the top of the interval
+            }
+            stats.mr_runs += 1;
+            let (probably_prime, base2_reject) = mr_probable_prime(&candidate, rounds, rng);
+            stats.base2_rejects += base2_reject as u64;
+            if probably_prime {
+                stats.primes += 1;
+                found = Some(candidate);
+                break 'attempt;
+            }
         }
     }
-    Err(CryptoError::PrimeGenFailed)
+    use std::sync::atomic::Ordering::Relaxed;
+    KG_CANDIDATES.fetch_add(stats.candidates, Relaxed);
+    KG_MR_RUNS.fetch_add(stats.mr_runs, Relaxed);
+    KG_BASE2_REJECTS.fetch_add(stats.base2_rejects, Relaxed);
+    KG_PRIMES.fetch_add(stats.primes, Relaxed);
+    found.ok_or(CryptoError::PrimeGenFailed)
 }
 
 impl RsaKeyPair {
@@ -405,12 +625,53 @@ mod tests {
 
     #[test]
     fn gen_prime_exact_bits() {
+        // 16 and 17 bits straddle the sieve-table bound of 2¹⁶: at 16
+        // bits the candidates overlap the sieving-prime range, so the
+        // prime cap (`max_sieve_prime`) is what keeps the sieve from
+        // striking a candidate equal to a table prime.
         let mut rng = Drbg::new(3);
-        for bits in [64usize, 128, 256] {
+        for bits in [16usize, 17, 64, 128, 256] {
             let p = gen_prime(bits, &mut rng).unwrap();
             assert_eq!(p.bit_len(), bits);
             assert!(p.is_odd());
+            assert!(is_probable_prime(&p, 16, &mut rng), "{p:?} must be prime");
         }
+    }
+
+    #[test]
+    fn base2_strong_pseudoprimes_still_rejected() {
+        // These pass the fixed base-2 opening round (they are strong
+        // pseudoprimes base 2) — the random witnesses behind it must
+        // still reject them.
+        let mut rng = Drbg::new(27);
+        for c in [2047u64, 3277, 4033, 4681, 8321, 15841, 29341, 42799, 49141] {
+            assert!(!is_probable_prime(&Ubig::from_u64(c), 16, &mut rng), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn sieve_stats_accumulate_sensibly() {
+        let before = keygen_stats();
+        gen_prime(128, &mut Drbg::new(0x57A7)).unwrap();
+        gen_prime(192, &mut Drbg::new(0x57A8)).unwrap();
+        let after = keygen_stats();
+        let candidates = after.candidates - before.candidates;
+        let mr_runs = after.mr_runs - before.mr_runs;
+        let primes = after.primes - before.primes;
+        // ≥, not ==: the counters are process-wide and sibling tests
+        // generate keys concurrently; every invariant below also holds
+        // for sums of per-call stats.
+        assert!(primes >= 2);
+        assert!(mr_runs >= primes, "each prime costs at least one MR run");
+        assert!(candidates >= mr_runs, "the sieve can only shrink the MR load");
+        // The sieve's reason to exist: most candidates never reach MR.
+        // With 60 sieving primes ~1−∏(1−1/p) ≈ 82% of odd numbers are
+        // filtered; require a conservative majority to catch a sieve
+        // that silently stops filtering.
+        assert!(
+            mr_runs * 3 <= candidates,
+            "sieve passed {mr_runs} of {candidates} candidates to Miller–Rabin"
+        );
     }
 
     #[test]

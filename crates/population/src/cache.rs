@@ -34,22 +34,21 @@
 //!
 //! ## Structure
 //!
-//! Lock-striped: keys hash to one of [`SHARDS`] independent
+//! A [`crate::striped::Striped`] map (shared with the key cache,
+//! [`crate::keys`]): keys hash to one of [`SHARDS`] independent
 //! `Mutex<HashMap>` shards, so concurrent misses on *different* hosts
 //! mint in parallel and concurrent hits rarely touch the same lock.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
+use tlsfoe_tls::server::ServerConfig;
 use tlsfoe_x509::Certificate;
 
 use crate::model::StudyEra;
 use crate::products::ProductId;
+use crate::striped::Striped;
 
-/// Number of lock stripes. Plenty for the catalog's ~40 products × 18
-/// hosts spread across typical core counts.
-pub const SHARDS: usize = 16;
+pub use crate::striped::SHARDS;
 
 /// Cache key: which chain, for whom.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -67,13 +66,29 @@ pub struct SubstituteKey {
     pub variant: u64,
 }
 
-/// A lock-striped map of minted substitute chains, shared across all
-/// worker threads of a study run.
+/// One cached mint: the substitute chain plus the serving configuration
+/// built from it.
+///
+/// The config rides the cache because `answer_with_substitute` used to
+/// rebuild a fresh `ServerConfig` — and re-encode the hello flight —
+/// per intercepted connection; a config is a pure function of its chain
+/// (fixed cipher suite, fixed server random), so caching it next to the
+/// chain keeps the determinism contract while making the per-connection
+/// cost an `Arc` bump plus a `OnceLock` read of the encoded flight.
+/// Cloning the entry clones two `Arc`s.
+#[derive(Debug, Clone)]
+pub struct SubstituteEntry {
+    /// The minted chain, leaf first.
+    pub chain: Arc<Vec<Certificate>>,
+    /// TLS serving config over `chain` (shared hello-flight encoding).
+    pub config: Arc<ServerConfig>,
+}
+
+/// A lock-striped map of minted substitute chains (plus their serving
+/// configs), shared across all worker threads of a study run.
 #[derive(Debug, Default)]
 pub struct SubstituteCache {
-    shards: [Mutex<HashMap<SubstituteKey, Arc<Vec<Certificate>>>>; SHARDS],
-    hits: AtomicU64,
-    misses: AtomicU64,
+    entries: Striped<SubstituteKey, SubstituteEntry>,
 }
 
 impl SubstituteCache {
@@ -82,54 +97,46 @@ impl SubstituteCache {
         SubstituteCache::default()
     }
 
-    fn shard(&self, key: &SubstituteKey) -> &Mutex<HashMap<SubstituteKey, Arc<Vec<Certificate>>>> {
-        use std::hash::{Hash, Hasher};
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % SHARDS]
-    }
-
-    /// Fetch the chain for `key`, minting it with `mint` on a miss.
+    /// Fetch the entry for `key`, minting the chain with `mint` (and
+    /// building its `ServerConfig`) on a miss.
     ///
-    /// The mint runs while the shard lock is held: it only blocks other
-    /// keys in the same stripe, and it guarantees each chain is built
-    /// exactly once — which keeps per-factory mint counters exact and
-    /// avoids duplicate RSA signatures during warm-up stampedes.
+    /// The mint runs while the shard lock is held
+    /// ([`Striped::get_or_insert_with`]): it only blocks other keys in
+    /// the same stripe, and it guarantees each chain — and each config —
+    /// is built exactly once, which keeps per-factory mint counters
+    /// exact and avoids duplicate RSA signatures during warm-up
+    /// stampedes.
     pub fn get_or_mint(
         &self,
         key: SubstituteKey,
         mint: impl FnOnce() -> Vec<Certificate>,
-    ) -> Arc<Vec<Certificate>> {
-        let mut shard = self.shard(&key).lock().expect("substitute cache poisoned");
-        if let Some(chain) = shard.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return chain.clone();
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let chain = Arc::new(mint());
-        shard.insert(key, chain.clone());
-        chain
+    ) -> SubstituteEntry {
+        self.entries.get_or_insert_with(key, || {
+            let chain = Arc::new(mint());
+            SubstituteEntry { config: ServerConfig::new(chain.clone()), chain }
+        })
     }
 
     /// Number of distinct chains cached.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("substitute cache poisoned").len()).sum()
+        self.entries.len()
     }
 
     /// True when nothing has been minted yet.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.entries.is_empty()
     }
 
     /// `(hits, misses)` counters (for perf assertions in tests/benches).
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+        self.entries.stats()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     fn key(host: &str, variant: u64) -> SubstituteKey {
         SubstituteKey {

@@ -34,6 +34,17 @@ use crate::products::{ProductId, ProductSpec, SubjectStyle};
 /// forced to 1 (its defining fingerprint).
 const LEAF_POOL: u16 = 3;
 
+/// Leaf-pool size for a product spec (how many [`keys::leaf_seed`] slots
+/// it can touch) — shared with [`keys::product_key_specs`] so prewarm
+/// covers exactly the keys a factory can lazily generate.
+pub(crate) fn leaf_pool_size(spec: &ProductSpec) -> u16 {
+    if spec.shared_leaf_key {
+        1
+    } else {
+        LEAF_POOL
+    }
+}
+
 /// One product's certificate mint.
 ///
 /// Minting cost is dominated by the root key's RSA signature over each
@@ -46,11 +57,12 @@ pub struct SubstituteFactory {
     pub product: ProductId,
     spec: ProductSpec,
     era: StudyEra,
-    root_key: RsaKeyPair,
+    root_key: Arc<RsaKeyPair>,
     root_cert: Certificate,
     leaf_pool: u16,
-    /// Leaf-key pool, generated lazily and exactly once per slot.
-    leaf_keys: Vec<OnceLock<RsaKeyPair>>,
+    /// Leaf-key pool, resolved lazily and exactly once per slot (the
+    /// shared key cache hands out `Arc`s, so a slot is one refcount).
+    leaf_keys: Vec<OnceLock<Arc<RsaKeyPair>>>,
     /// Minted chains — usually the owning model's shared cache.
     cache: Arc<SubstituteCache>,
     /// Chains actually minted (cache misses) through this factory.
@@ -83,7 +95,7 @@ impl SubstituteFactory {
             .ca(None)
             .self_sign(&root_key)
             .expect("root self-sign");
-        let leaf_pool = if spec.shared_leaf_key { 1 } else { LEAF_POOL };
+        let leaf_pool = leaf_pool_size(&spec);
         SubstituteFactory {
             product,
             spec,
@@ -126,6 +138,18 @@ impl SubstituteFactory {
         dst: Ipv4,
         upstream_leaf: Option<&Certificate>,
     ) -> Arc<Vec<Certificate>> {
+        self.substitute_entry(host, dst, upstream_leaf).chain
+    }
+
+    /// Like [`SubstituteFactory::substitute_chain`], but returns the full
+    /// cache entry — chain plus the shared `ServerConfig` whose encoded
+    /// hello flight the proxy serves to every intercepted connection.
+    pub fn substitute_entry(
+        &self,
+        host: &str,
+        dst: Ipv4,
+        upstream_leaf: Option<&Certificate>,
+    ) -> crate::cache::SubstituteEntry {
         let variant = self.mint_variant(dst, upstream_leaf);
         let key =
             SubstituteKey { product: self.product, era: self.era, host: host.to_string(), variant };

@@ -10,44 +10,137 @@
 //! every signature minted from the cache takes the division-free CRT
 //! fast path — the keygen cost *and* the per-modulus precomputation are
 //! both paid exactly once per `(seed, bits)`.
+//!
+//! ## Structure
+//!
+//! The cache is a [`crate::striped::Striped`] map (the same machinery
+//! behind [`crate::cache::SubstituteCache`]): keys hash to independent
+//! `Mutex<HashMap>` stripes, and a miss **generates under its shard
+//! lock** — so two threads racing on the same key produce exactly one
+//! generation (the old global-mutex implementation dropped the lock
+//! around `generate` and let both run), while misses on different keys
+//! generate in parallel. Values are handed out as `Arc<RsaKeyPair>`: a
+//! hit is a refcount bump, not a deep clone of the CRT limbs.
+//!
+//! `(seed, bits) → key` is a pure function (the generation DRBG is
+//! seeded from nothing else), which is what makes both the sharing and
+//! the [`warm_keys`] parallel prewarm safe: study output can never
+//! depend on which thread generated a key first.
 
-use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use tlsfoe_crypto::drbg::Drbg;
 use tlsfoe_crypto::RsaKeyPair;
 
-fn cache() -> &'static Mutex<HashMap<(u64, usize), RsaKeyPair>> {
-    static CACHE: OnceLock<Mutex<HashMap<(u64, usize), RsaKeyPair>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+use crate::model::StudyEra;
+use crate::striped::Striped;
+
+fn cache() -> &'static Striped<(u64, usize), Arc<RsaKeyPair>> {
+    static CACHE: OnceLock<Striped<(u64, usize), Arc<RsaKeyPair>>> = OnceLock::new();
+    CACHE.get_or_init(Striped::new)
 }
 
-/// Get (or generate) the deterministic key for `(seed, bits)`, with CRT
-/// signing material precomputed.
-pub fn keypair(seed: u64, bits: usize) -> RsaKeyPair {
-    let key = (seed, bits);
-    if let Some(k) = cache().lock().expect("key cache poisoned").get(&key) {
-        return k.clone();
+/// Get (or generate, exactly once process-wide) the deterministic key
+/// for `(seed, bits)`, with CRT signing material precomputed. Hands out
+/// a shared `Arc` — callers that previously received an owned clone pay
+/// a refcount bump instead. Generation runs under the stripe's lock
+/// ([`Striped::get_or_insert_with`]), which is what closes the old
+/// unlock-generate-relock window where two racing threads both paid a
+/// keygen.
+pub fn keypair(seed: u64, bits: usize) -> Arc<RsaKeyPair> {
+    cache().get_or_insert_with((seed, bits), || {
+        let generated = Arc::new(
+            RsaKeyPair::generate(bits, &mut Drbg::new(seed.wrapping_mul(0x9e37_79b9)))
+                .expect("RSA keygen failed"),
+        );
+        debug_assert!(generated.crt.is_some(), "generate precomputes CRT");
+        generated
+    })
+}
+
+/// `(hits, misses)` counters (for warm/cold assertions in tests/benches).
+pub fn stats() -> (u64, u64) {
+    cache().stats()
+}
+
+/// Drop every cached key (and zero nothing else — counters keep
+/// accumulating). For cold-cache benchmarks (`exp_perf`'s keygen series)
+/// and tests; studies never need it because cached keys are pure
+/// functions of their key.
+pub fn clear() {
+    cache().clear();
+}
+
+/// Generate every `(seed, bits)` in `specs` across up to `threads` OS
+/// threads, so process-cold keygen is amortized over cores instead of
+/// serializing first-touch on the session hot path.
+///
+/// Safe at any point and with any concurrent traffic: keys are pure
+/// functions of `(seed, bits)` and the striped cache generates each
+/// exactly once, so warming changes *when* keygen cost is paid, never
+/// what any caller observes. Duplicate specs are collapsed; already-
+/// cached keys cost a map probe.
+pub fn warm_keys(specs: &[(u64, usize)], threads: usize) {
+    let mut work: Vec<(u64, usize)> = specs.to_vec();
+    work.sort_unstable();
+    work.dedup();
+    if work.is_empty() {
+        return;
     }
-    let generated = RsaKeyPair::generate(bits, &mut Drbg::new(seed.wrapping_mul(0x9e37_79b9)))
-        .expect("RSA keygen failed");
-    debug_assert!(generated.crt.is_some(), "generate precomputes CRT");
-    cache().lock().expect("key cache poisoned").insert(key, generated.clone());
-    generated
+    let threads = threads.clamp(1, work.len());
+    if threads == 1 {
+        for &(seed, bits) in &work {
+            keypair(seed, bits);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(seed, bits)) = work.get(i) else { break };
+                keypair(seed, bits);
+            });
+        }
+    });
+}
+
+/// The key specs a study era's product catalog can touch: every active
+/// product's 2048-bit root plus its leaf pool at the product's key size.
+/// Feed to [`warm_keys`] so factories never generate on the hot path.
+pub fn product_key_specs(era: StudyEra) -> Vec<(u64, usize)> {
+    let mut specs = Vec::new();
+    for (i, spec) in crate::products::catalog().iter().enumerate() {
+        let weight = match era {
+            StudyEra::Study1 => spec.w1,
+            StudyEra::Study2 => spec.w2,
+        };
+        if weight == 0.0 {
+            continue; // product absent from this era — never minted
+        }
+        let product = i as u16;
+        specs.push((root_seed(product), 2048));
+        for leaf in 0..crate::factory::leaf_pool_size(spec) {
+            specs.push((leaf_seed(product, leaf), spec.key_bits));
+        }
+    }
+    specs
 }
 
 /// Seed namespace for a product's root (CA) key.
-pub fn root_seed(product_index: u16) -> u64 {
+pub const fn root_seed(product_index: u16) -> u64 {
     0x524f_4f54_0000_0000 | product_index as u64
 }
 
 /// Seed namespace for a product's `i`-th leaf key.
-pub fn leaf_seed(product_index: u16, i: u16) -> u64 {
+pub const fn leaf_seed(product_index: u16, i: u16) -> u64 {
     0x4c45_4146_0000_0000 | ((product_index as u64) << 16) | i as u64
 }
 
 /// Seed namespace for legitimate web-server keys (per host index).
-pub fn server_seed(host_index: u16) -> u64 {
+pub const fn server_seed(host_index: u16) -> u64 {
     0x5345_5256_0000_0000 | host_index as u64
 }
 
@@ -60,6 +153,7 @@ mod tests {
         let a = keypair(42, 512);
         let b = keypair(42, 512);
         assert_eq!(a.public, b.public);
+        assert!(Arc::ptr_eq(&a, &b), "hits must share one allocation");
         let c = keypair(43, 512);
         assert_ne!(a.public, c.public);
     }
@@ -71,7 +165,6 @@ mod tests {
         // ~4x per mint.
         let k = keypair(77, 512);
         assert!(k.crt.is_some());
-        assert!(cache().lock().unwrap().get(&(77, 512)).unwrap().crt.is_some());
     }
 
     #[test]
@@ -80,6 +173,63 @@ mod tests {
         let b = keypair(7, 768);
         assert_eq!(a.bits(), 512);
         assert_eq!(b.bits(), 768);
+    }
+
+    #[test]
+    fn racing_threads_generate_exactly_once() {
+        // The old implementation released the lock around generate(), so
+        // two threads missing together both paid a keygen and the loser's
+        // allocation won the map. Every racer receiving the *same* `Arc`
+        // proves a single generation happened — and unlike the process-
+        // wide miss counter, pointer identity can't be perturbed by
+        // sibling tests generating unrelated keys concurrently.
+        let arcs: Vec<Arc<RsaKeyPair>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8).map(|_| s.spawn(|| keypair(0xAAC3_7E57, 512))).collect();
+            handles.into_iter().map(|h| h.join().expect("keygen thread panicked")).collect()
+        });
+        assert!(
+            arcs.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])),
+            "racing threads must all receive the one generated allocation"
+        );
+    }
+
+    #[test]
+    fn warm_keys_prefills_cache() {
+        let specs = [(0xF1A7_0001u64, 512usize), (0xF1A7_0002, 512), (0xF1A7_0001, 512)];
+        warm_keys(&specs, 4);
+        let (hits_before, _) = stats();
+        keypair(0xF1A7_0001, 512);
+        keypair(0xF1A7_0002, 512);
+        let (hits_after, _) = stats();
+        // ≥, not ==: the counters are process-wide and sibling tests may
+        // hit the cache concurrently; our two lookups are guaranteed
+        // hits only if warm_keys actually generated them.
+        assert!(hits_after - hits_before >= 2, "both warmed keys must be cache hits");
+    }
+
+    #[test]
+    fn warm_keys_matches_lazy_generation() {
+        // Warming must be observationally invisible: same key bytes as a
+        // lazy first touch (pure function of (seed, bits)).
+        warm_keys(&[(0xF1A7_0003, 512)], 2);
+        let warmed = keypair(0xF1A7_0003, 512);
+        let reference =
+            RsaKeyPair::generate(512, &mut Drbg::new(0xF1A7_0003u64.wrapping_mul(0x9e37_79b9)))
+                .unwrap();
+        assert_eq!(warmed.public, reference.public);
+    }
+
+    #[test]
+    fn product_specs_cover_roots_and_leaves() {
+        let specs = product_key_specs(StudyEra::Study1);
+        assert!(specs.iter().any(|&(s, b)| s == root_seed(0) && b == 2048));
+        assert!(specs.iter().any(|&(s, _)| s == leaf_seed(0, 0)));
+        // Study-2-only products must not be warmed for study 1 runs.
+        let catalog = crate::products::catalog();
+        for (i, spec) in catalog.iter().enumerate() {
+            let warmed = specs.iter().any(|&(s, _)| s == root_seed(i as u16));
+            assert_eq!(warmed, spec.w1 > 0.0, "{}", spec.display_name());
+        }
     }
 
     #[test]

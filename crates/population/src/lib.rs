@@ -35,8 +35,9 @@ pub mod keys;
 pub mod model;
 pub mod products;
 pub mod proxy;
+pub mod striped;
 
-pub use cache::{SubstituteCache, SubstituteKey};
+pub use cache::{SubstituteCache, SubstituteEntry, SubstituteKey};
 pub use factory::SubstituteFactory;
 pub use model::{ClientProfile, PopulationModel, StudyEra};
 pub use products::{ProductId, ProductSpec, ProxyCategory, UpstreamPolicy};

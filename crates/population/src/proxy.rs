@@ -25,7 +25,6 @@ use tlsfoe_netsim::{Conduit, ConnToken, IoCtx, Ipv4};
 use tlsfoe_tls::handshake::{Alert, AlertLevel, HandshakeMsg, HandshakeParser};
 use tlsfoe_tls::probe::{ProbeOutcome, ProbeState};
 use tlsfoe_tls::record::{encode_records, ContentType, ProtocolVersion, RecordParser};
-use tlsfoe_tls::server::ServerConfig;
 use tlsfoe_tls::ProbeClient;
 use tlsfoe_x509::time::Time;
 use tlsfoe_x509::{Certificate, RootStore};
@@ -118,13 +117,13 @@ impl Session {
     /// Answer the client with the substitute flight (MitM path).
     fn answer_with_substitute(&mut self, io: &mut IoCtx<'_>, upstream_leaf: Option<&Certificate>) {
         let host = self.sni_host();
-        let chain = self.factory.substitute_chain(&host, self.dst, upstream_leaf);
-        // Fresh config per answer: its flight cache never hits here (the
-        // chain Arc is shared via the substitute cache, the config is
-        // not). Fine while proxied connections are ~0.4% of traffic; see
-        // ROADMAP if that changes.
-        let config = ServerConfig::new(chain);
-        let flight = config.hello_flight(self.client_version);
+        // The serving config rides the substitute cache next to the
+        // chain, so repeated interceptions of one (product, era, host,
+        // variant) share a single ServerConfig — and its once-per-version
+        // encoded hello flight — instead of rebuilding and re-encoding
+        // per connection.
+        let entry = self.factory.substitute_entry(&host, self.dst, upstream_leaf);
+        let flight = entry.config.hello_flight(self.client_version);
         if let Some(tok) = self.client_token {
             io.send_on(tok, flight);
         }
@@ -394,7 +393,7 @@ mod tests {
     use crate::model::{PopulationModel, StudyEra};
     use crate::products::ProductId;
     use tlsfoe_netsim::{Network, NetworkConfig};
-    use tlsfoe_tls::server::TlsCertServer;
+    use tlsfoe_tls::server::{ServerConfig, TlsCertServer};
     use tlsfoe_x509::{CertificateBuilder, NameBuilder};
 
     fn srv_ip() -> Ipv4 {

@@ -1,0 +1,148 @@
+//! A lock-striped concurrent map with exactly-once insertion.
+//!
+//! The shared machinery behind the two process-level caches whose
+//! values are pure functions of their keys: the substitute-chain cache
+//! ([`crate::cache::SubstituteCache`]) and the RSA key cache
+//! ([`crate::keys`]). Keys hash to one of [`SHARDS`] independent
+//! `Mutex<HashMap>` stripes, so concurrent misses on *different* keys
+//! compute in parallel and concurrent hits rarely touch the same lock;
+//! a miss computes its value **while holding the shard lock**, so each
+//! key's value is built exactly once even under a warm-up stampede —
+//! the property that keeps mint/generation counters exact.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of lock stripes. Plenty for the catalog's ~40 products × 18
+/// hosts (or the study's few hundred keys) spread across typical core
+/// counts.
+pub const SHARDS: usize = 16;
+
+/// The striped map. `V` is expected to be cheap to clone (an `Arc` or a
+/// small struct of `Arc`s) — lookups hand out clones.
+#[derive(Debug)]
+pub struct Striped<K, V> {
+    shards: [Mutex<HashMap<K, V>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash, V: Clone> Striped<K, V> {
+    /// An empty map.
+    pub fn new() -> Striped<K, V> {
+        Striped {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+        use std::hash::Hasher;
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Fetch the value for `key`, computing it with `make` on a miss.
+    ///
+    /// `make` runs while the shard lock is held: it only blocks other
+    /// keys in the same stripe, and it guarantees each value is built
+    /// exactly once.
+    pub fn get_or_insert_with(&self, key: K, make: impl FnOnce() -> V) -> V {
+        let mut shard = self.shard(&key).lock().expect("striped map poisoned");
+        if let Some(v) = shard.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = make();
+        shard.insert(key, value.clone());
+        value
+    }
+
+    /// Number of distinct keys cached.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("striped map poisoned").len()).sum()
+    }
+
+    /// True when nothing has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters (for warm/cold assertions in
+    /// tests/benches). Counters accumulate across [`Striped::clear`].
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// Drop every cached value (counters keep accumulating). For
+    /// cold-cache benchmarks and tests; correctness never needs it when
+    /// values are pure functions of their keys.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("striped map poisoned").clear();
+        }
+    }
+}
+
+impl<K: Eq + Hash, V: Clone> Default for Striped<K, V> {
+    fn default() -> Striped<K, V> {
+        Striped::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_each_key_once() {
+        let map: Striped<u32, u32> = Striped::new();
+        let mut computed = 0;
+        for _ in 0..3 {
+            map.get_or_insert_with(7, || {
+                computed += 1;
+                42
+            });
+        }
+        assert_eq!(computed, 1);
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.stats(), (2, 1));
+    }
+
+    #[test]
+    fn concurrent_misses_collapse_to_one_compute() {
+        let map: Striped<u32, u32> = Striped::new();
+        let computes = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for key in 0..16 {
+                        map.get_or_insert_with(key % 4, || {
+                            computes.fetch_add(1, Ordering::Relaxed);
+                            key
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(computes.load(Ordering::Relaxed), 4, "each key computed exactly once");
+        assert_eq!(map.len(), 4);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let map: Striped<u32, u32> = Striped::new();
+        map.get_or_insert_with(1, || 1);
+        map.get_or_insert_with(1, || 1);
+        map.clear();
+        assert!(map.is_empty());
+        assert_eq!(map.stats(), (1, 1), "clear must not reset statistics");
+        map.get_or_insert_with(1, || 1);
+        assert_eq!(map.stats(), (1, 2), "cleared key recomputes");
+    }
+}

@@ -34,12 +34,26 @@ pub struct ServerConfig {
     flights: [std::sync::OnceLock<Vec<u8>>; 4],
 }
 
+/// Process-wide count of [`ServerConfig`]s ever constructed.
+///
+/// Regression hook for the caching layers that are supposed to make
+/// configs long-lived (listener configs per shard, the substitute
+/// cache's per-chain config): tests snapshot this around a workload and
+/// assert the delta, catching any path that quietly goes back to
+/// building a config per connection.
+pub fn configs_built() -> u64 {
+    CONFIGS_BUILT.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+static CONFIGS_BUILT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 impl ServerConfig {
     /// Config serving `chain` with the era's default RSA suite (accepts
     /// a plain `Vec` or an already-shared `Arc<Vec<_>>`). Returned
     /// `Arc`'d so one config can back listener factories on every
     /// worker's shard-lifetime network, not just a single thread.
     pub fn new(chain: impl Into<Arc<Vec<Certificate>>>) -> Arc<ServerConfig> {
+        CONFIGS_BUILT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Arc::new(ServerConfig {
             chain: chain.into(),
             cipher_suite: CipherSuite::RSA_AES_128_CBC_SHA,

@@ -15,6 +15,7 @@ fn quick_study1(seed: u64) -> tlsfoe::core::StudyOutcome {
         baseline: false,
         proxy_boost: 1.0,
         batch: tlsfoe::core::session::DEFAULT_BATCH,
+        warm_keys: true,
     })
     .expect("study runs to completion")
 }

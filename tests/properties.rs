@@ -191,7 +191,7 @@ fn crt_signatures_byte_identical_across_key_sizes() {
     for bits in [512usize, 1024, 2048] {
         let key = tlsfoe::population::keys::keypair(0xC47, bits);
         assert!(key.crt.is_some());
-        let mut slow = key.clone();
+        let mut slow = (*key).clone();
         slow.crt = None;
         let msg = b"every impression funnels through this sign";
         for alg in [HashAlg::Md5, HashAlg::Sha1, HashAlg::Sha256] {
@@ -199,6 +199,102 @@ fn crt_signatures_byte_identical_across_key_sizes() {
             assert_eq!(fast, slow.sign(alg, msg).unwrap(), "bits={bits} alg={alg:?}");
             key.public.verify(alg, msg, &fast).unwrap();
         }
+    }
+}
+
+// ---- sieved prime generation ------------------------------------------
+
+#[test]
+fn gen_prime_always_exact_bits_odd_and_deterministic() {
+    // The incremental sieve walks upward from a random start; it must
+    // still deliver exactly-`bits` odd primes (top two bits forced so
+    // p·q has full width) and remain a pure function of the RNG seed.
+    use tlsfoe::crypto::rsa::{gen_prime, is_probable_prime};
+    let mut seeds = rng("genprime");
+    for bits in [64usize, 96, 128, 192, 256] {
+        for _ in 0..4 {
+            let seed = seeds.next_u64();
+            let p = gen_prime(bits, &mut Drbg::new(seed)).unwrap();
+            assert_eq!(p, gen_prime(bits, &mut Drbg::new(seed)).unwrap(), "seed {seed}");
+            assert_eq!(p.bit_len(), bits, "seed {seed}");
+            assert!(p.is_odd());
+            assert!(p.bit(bits - 2), "second-top bit forced for full-width products");
+            // Independent witness run (different seed) must agree it's prime.
+            assert!(is_probable_prime(&p, 16, &mut Drbg::new(seed ^ 0x5EED)), "seed {seed}");
+        }
+    }
+}
+
+/// Reference Miller–Rabin over `u64` with *random witnesses only* (no
+/// fixed base-2 round) — the verdict the production path must agree
+/// with.
+fn mr_u64_random_witnesses(n: u64, rounds: usize, rng: &mut Drbg) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n.is_multiple_of(2) {
+        return n == 2;
+    }
+    if n == 3 {
+        return true;
+    }
+    let mulmod = |a: u64, b: u64| ((a as u128 * b as u128) % n as u128) as u64;
+    let powmod = |mut base: u64, mut e: u64| {
+        let mut acc = 1u64;
+        base %= n;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = mulmod(acc, base);
+            }
+            base = mulmod(base, base);
+            e >>= 1;
+        }
+        acc
+    };
+    let (mut d, mut r) = (n - 1, 0u32);
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for _ in 0..rounds {
+        let a = 2 + rng.gen_range(n - 3); // uniform in [2, n-2]
+        let mut x = powmod(a, d);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r.saturating_sub(1) {
+            x = mulmod(x, x);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[test]
+fn base2_opened_mr_agrees_with_random_witness_verdict() {
+    // The production test opens with a fixed base-2 round (so most
+    // composites die without the random-base `rem(n-1)` division). Its
+    // verdict must agree with a pure random-witness reference on:
+    // Carmichael numbers (Fermat liars to every coprime base — base 2
+    // kills them), base-2 strong pseudoprimes (the adversarial corpus:
+    // base 2 passes them, so the random witnesses must still catch
+    // them), and a DRBG-driven corpus of odd u64s.
+    use tlsfoe::crypto::rsa::is_probable_prime;
+    let carmichael = [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 62745, 825265];
+    let base2_pseudoprimes =
+        [2047u64, 3277, 4033, 4681, 8321, 15841, 29341, 42799, 49141, 52633, 65281, 74665, 90751];
+    let primes = [65537u64, 1_000_000_007, 2_147_483_647, 67_280_421_310_721];
+    let mut corpus: Vec<u64> =
+        carmichael.iter().chain(&base2_pseudoprimes).chain(&primes).copied().collect();
+    let mut draw = rng("mr-corpus");
+    corpus.extend((0..CASES).map(|_| (draw.next_u64() >> 16) | 1).filter(|&n| n > 5));
+    for n in corpus {
+        let production = is_probable_prime(&Ubig::from_u64(n), 16, &mut rng("mr-prod"));
+        let reference = mr_u64_random_witnesses(n, 24, &mut rng("mr-ref"));
+        assert_eq!(production, reference, "verdicts diverge on {n}");
     }
 }
 
