@@ -4,8 +4,9 @@
 //! full-width modular exponentiation (schoolbook vs Montgomery, fresh vs
 //! cached context), Montgomery multiply vs the squaring specialization,
 //! RSA sign (CRT vs direct) and verify (e = 65537) — at the paper's
-//! three key sizes, and writes machine-readable per-op times (min across sample blocks) so future PRs
-//! can diff perf trajectories in CI.
+//! three key sizes, plus named end-to-end series (`keygen`, `mint`,
+//! `session_throughput`), and writes machine-readable per-op times (min
+//! across sample blocks) so future PRs can diff perf trajectories in CI.
 //!
 //! Flags:
 //!
@@ -170,6 +171,81 @@ fn measure_keygen(quick: bool) -> Json {
     ])
 }
 
+/// Mint-path series: substitute-chain minting cold (fresh mint, one
+/// root-key RSA signature) and warm (cache hit), the allocation-free
+/// signing ladder against a reused [`tlsfoe_crypto::ModpowScratch`] vs a
+/// fresh workspace per call, signatures-per-mint accounting, and the
+/// shared Montgomery-context cache's hit/miss counters (previously
+/// invisible). `mint_chain_ns` and the two sign metrics are gated by
+/// `--check`; the warm hit and the counters are informational (the warm
+/// hit is ~100 ns of striped-map probe — 25% of that is pure flake on
+/// shared runners, same rationale as `keypair_1024_warm_hit`).
+fn measure_mint(quick: bool) -> Json {
+    use tlsfoe_crypto::{rsa, ModpowScratch};
+    use tlsfoe_netsim::Ipv4;
+    use tlsfoe_population::factory::SubstituteFactory;
+    use tlsfoe_population::products::{catalog, ProductId};
+
+    let samples = if quick { 3 } else { 7 };
+    eprintln!("[exp_perf] measuring mint path (substitute minting, scratch signing)…");
+    let specs = catalog();
+    let idx = specs
+        .iter()
+        .position(|s| s.display_name() == "Bitdefender")
+        .expect("Bitdefender in catalog");
+    let factory = SubstituteFactory::new(ProductId(idx as u16), specs[idx].clone());
+    let dst = Ipv4([203, 0, 113, 1]);
+
+    // Cold mints: a distinct host per iteration forces a fresh mint (and
+    // its root-key signature) every time; the counter survives across
+    // sample blocks so no host repeats. Track the signature counter
+    // around the whole run for signatures-per-mint.
+    let signs_before = rsa::signature_count();
+    let minted_before = factory.minted();
+    let mut host_no = 0u64;
+    let mint_cold = best_ns(samples, || {
+        host_no += 1;
+        factory.substitute_chain(&format!("mint{host_no}.example"), dst, None);
+    });
+    let signs_per_mint = (rsa::signature_count() - signs_before) as f64
+        / (factory.minted() - minted_before).max(1) as f64;
+    factory.substitute_chain("warm.example", dst, None);
+    let mint_warm = best_ns(samples, || {
+        factory.substitute_chain("warm.example", dst, None);
+    });
+
+    // Reused-scratch vs fresh-workspace signing, interleaved so clock
+    // drift cannot bias the ratio (this is the allocation ablation the
+    // tentpole exists for — a regression here means the ladder started
+    // allocating again).
+    let key = tlsfoe_crypto::RsaKeyPair::generate(1024, &mut Drbg::new(0x4d494e54)).unwrap();
+    let msg = b"tbs certificate bytes stand-in";
+    let mut reused = ModpowScratch::new();
+    let (sign_scratch, sign_alloc) = best_ns_paired(
+        samples,
+        || drop(key.sign_with(HashAlg::Sha1, msg, &mut reused).unwrap()),
+        || drop(key.sign_with(HashAlg::Sha1, msg, &mut ModpowScratch::new()).unwrap()),
+    );
+
+    let (ctx_hits, ctx_misses) = tlsfoe_crypto::shared_ctx_cache().stats();
+    println!(
+        "mint | chain cold {mint_cold:>9} ns | warm {mint_warm:>5} ns | sign 1024 scratch \
+         {sign_scratch:>7} ns vs alloc {sign_alloc:>7} ns ({:>5.2}x) | {signs_per_mint:.2} \
+         signatures/mint | ctx cache {ctx_hits} hits / {ctx_misses} misses",
+        sign_alloc as f64 / sign_scratch as f64,
+    );
+    Json::obj(vec![
+        ("mint_chain_ns", Json::Int(mint_cold as i64)),
+        // NOT `_ns`-suffixed: informational, skipped by the gate.
+        ("mint_chain_warm_hit", Json::Int(mint_warm as i64)),
+        ("rsa_sign_1024_ns", Json::Int(sign_scratch as i64)),
+        ("rsa_sign_1024_alloc_ns", Json::Int(sign_alloc as i64)),
+        ("signatures_per_mint", Json::Num((signs_per_mint * 100.0).round() / 100.0)),
+        ("ctx_cache_hits", Json::Int(ctx_hits as i64)),
+        ("ctx_cache_misses", Json::Int(ctx_misses as i64)),
+    ])
+}
+
 fn measure(quick: bool) -> Json {
     let samples = if quick { 5 } else { 11 };
     let msg = b"tbs certificate bytes stand-in";
@@ -192,9 +268,13 @@ fn measure(quick: bool) -> Json {
             best_ns(samples, || drop(base.modpow_schoolbook(&key.d, n).unwrap()));
         // Fresh-context vs cached-context: same inner ladder, the fresh
         // path additionally pays MontgomeryCtx::new (the R² division).
+        // The context is built explicitly here because `Ubig::modpow`
+        // now rides the shared ctx cache — measuring through it would
+        // time the cached path twice and let a `MontgomeryCtx::new`
+        // regression slip past the gate.
         let (modpow_montgomery, modpow_cached_ctx) = best_ns_paired(
             samples,
-            || drop(base.modpow(&key.d, n).unwrap()),
+            || drop(MontgomeryCtx::new(n).unwrap().modpow(&base, &key.d).unwrap()),
             || drop(ctx.modpow(&base, &key.d).unwrap()),
         );
         // Multiply vs the squaring specialization on in-range residues.
@@ -250,6 +330,7 @@ fn measure(quick: bool) -> Json {
             "series",
             Json::obj(vec![
                 ("keygen", measure_keygen(quick)),
+                ("mint", measure_mint(quick)),
                 ("session_throughput", measure_session_throughput(quick)),
             ]),
         ),

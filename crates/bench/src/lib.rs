@@ -64,6 +64,7 @@ pub fn config(era: StudyEra) -> StudyConfig {
         proxy_boost: 1.0,
         batch: batch(),
         warm_keys: true,
+        warm_substitutes: true,
     }
 }
 

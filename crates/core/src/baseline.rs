@@ -68,6 +68,7 @@ mod tests {
             proxy_boost: 1.0,
             batch: crate::session::DEFAULT_BATCH,
             warm_keys: true,
+            warm_substitutes: true,
         };
         let cmp = compare(&cfg).expect("comparison runs");
         assert!(cmp.ours.db.total() > 5_000);

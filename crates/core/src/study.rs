@@ -92,6 +92,21 @@ pub struct StudyConfig {
     /// `(seed, bits)` — this knob only moves keygen cost off the session
     /// hot path and onto all cores at startup.
     pub warm_keys: bool,
+    /// Pre-mint every deterministic variant-0 substitute chain (active
+    /// product × catalog host) across `threads` workers before the
+    /// measurement phase (default true). Results are bit-identical either
+    /// way — chains are pure functions of their cache key — this knob
+    /// only converts the session path's serial, shard-lock-contended
+    /// cache-miss mints (one root-key RSA signature each) into an
+    /// embarrassingly parallel startup prewarm. Only consulted when the
+    /// run will actually shard (more than one worker *and* enough
+    /// impressions — the same condition `run_study` serializes on): a
+    /// serial run has no mint contention to avoid and no idle cores to
+    /// fill, so prewarming there is pure reordering plus wasted
+    /// signatures for chains the run never requests (measured +68% on
+    /// the single-threaded `session_ns` series when warmed
+    /// unconditionally).
+    pub warm_substitutes: bool,
 }
 
 impl StudyConfig {
@@ -106,6 +121,7 @@ impl StudyConfig {
             proxy_boost: 1.0,
             batch: DEFAULT_BATCH,
             warm_keys: true,
+            warm_substitutes: true,
         }
     }
 
@@ -120,6 +136,7 @@ impl StudyConfig {
             proxy_boost: 1.0,
             batch: DEFAULT_BATCH,
             warm_keys: true,
+            warm_substitutes: true,
         }
     }
 }
@@ -230,9 +247,27 @@ pub fn run_study(cfg: &StudyConfig) -> Result<StudyOutcome, StudyError> {
         (false, StudyEra::Study2) => HostCatalog::study2(),
     });
     let model = Arc::new(PopulationModel::new(cfg.era, catalog.public_roots.clone()));
+    // Tiny runs execute on one thread regardless of cfg.threads — the
+    // prewarm decision below must match this, not the requested count.
+    let serial = threads == 1 || impressions.len() < 256;
+    if cfg.warm_substitutes && !serial {
+        // Pre-mint every deterministic variant-0 substitute chain the
+        // session phase can request lazily (active product × probed
+        // host), in parallel across the worker threads. Chains are pure
+        // functions of their cache key, so warming cannot change any
+        // output byte — it only moves the per-chain root-key RSA
+        // signature off the session hot path (where misses serialize on
+        // the cache's shard locks) into startup, where they mint
+        // embarrassingly parallel. Serial runs skip it (see the
+        // `warm_substitutes` field docs): with one worker there is no
+        // contention to avoid, and chains the run never requests would
+        // be paid for with nothing to amortize them against.
+        let hosts: Vec<&str> = catalog.hosts.iter().map(|h| h.name).collect();
+        model.warm_substitutes(&hosts, threads);
+    }
     let chunk_size = impressions.len().div_ceil(threads).max(1);
     let mut db = Database::new();
-    if threads == 1 || impressions.len() < 256 {
+    if serial {
         db.merge(run_shard(cfg, &catalog, &model, &impressions, 0)?);
     } else {
         let shards: Vec<Result<Database, StudyError>> = std::thread::scope(|s| {
@@ -393,6 +428,36 @@ mod tests {
         let warm = run_study(&StudyConfig { warm_keys: true, ..base }).expect("study");
         assert!(cold.db.proxied() > 5, "need interceptions, got {}", cold.db.proxied());
         assert_eq!(cold.db, warm.db, "prewarm changed study output");
+    }
+
+    #[test]
+    fn warm_and_lazy_substitute_minting_bit_identical_across_threads() {
+        // The substitute-prewarm determinism contract: the study Database
+        // must be bit-identical whether every chain was pre-minted at
+        // startup or minted lazily on first interception, on one thread
+        // or eight — with enough interception that the prewarmed chains
+        // are actually served. (Chains are pure functions of their cache
+        // key; prewarm only moves WHEN the mint happens.)
+        let base = StudyConfig { proxy_boost: 60.0, ..StudyConfig::study1(8_000, 53) };
+        let lazy_serial =
+            run_study(&StudyConfig { warm_substitutes: false, threads: 1, ..base.clone() })
+                .expect("study");
+        let warm_serial =
+            run_study(&StudyConfig { warm_substitutes: true, threads: 1, ..base.clone() })
+                .expect("study");
+        let warm_sharded =
+            run_study(&StudyConfig { warm_substitutes: true, threads: 8, ..base.clone() })
+                .expect("study");
+        let lazy_sharded =
+            run_study(&StudyConfig { warm_substitutes: false, threads: 8, ..base }).expect("study");
+        assert!(
+            lazy_serial.db.proxied() > 10,
+            "need served substitutes, got {}",
+            lazy_serial.db.proxied()
+        );
+        assert_eq!(lazy_serial.db, warm_serial.db, "prewarm changed study output");
+        assert_eq!(warm_serial.db, warm_sharded.db, "thread count changed warmed output");
+        assert_eq!(warm_sharded.db, lazy_sharded.db, "warm/lazy diverge when sharded");
     }
 
     #[test]

@@ -129,7 +129,9 @@ pub fn figure7(db: &Database, min_total: u64) -> (String, String) {
     let rendered = tlsfoe_geo::render_heatmap(&series);
     let mut csv = String::from("country,rate\n");
     let mut sorted = series.clone();
-    sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite rates"));
+    // Country-code tie-break keeps the CSV byte-stable run to run (the
+    // series arrives in hash-map order; many rates tie at 0%).
+    sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite rates").then(a.0.cmp(&b.0)));
     for (code, rate) in sorted {
         csv.push_str(&format!("{},{:.6}\n", tlsfoe_geo::countries::info(code).code, rate));
     }

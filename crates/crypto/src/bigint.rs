@@ -423,11 +423,15 @@ impl Ubig {
     ///
     /// Odd moduli (every RSA modulus, prime and Miller–Rabin candidate)
     /// take the division-free Montgomery path
-    /// ([`crate::montgomery::MontgomeryCtx`]); even moduli fall back to
-    /// [`Ubig::modpow_schoolbook`]. Call sites that exponentiate
-    /// repeatedly against one modulus should build a `MontgomeryCtx` once
-    /// instead — this convenience wrapper re-derives the per-modulus
-    /// constants on every call.
+    /// ([`crate::montgomery::MontgomeryCtx`]) through the process-wide
+    /// [`crate::ctxcache::shared_ctx_cache`], so repeated convenience
+    /// calls against one modulus — non-CRT signatures, ad-hoc lab
+    /// exponentiations — derive the per-modulus constants (`R² mod n`,
+    /// the one remaining division) once, not per call. Even moduli fall
+    /// back to [`Ubig::modpow_schoolbook`]. Call sites that hold a
+    /// context anyway should call
+    /// [`crate::montgomery::MontgomeryCtx::modpow`] directly and skip
+    /// the cache probe.
     pub fn modpow(&self, exp: &Ubig, m: &Ubig) -> Result<Ubig, CryptoError> {
         if m.is_zero() {
             return Err(CryptoError::DivisionByZero);
@@ -436,7 +440,7 @@ impl Ubig {
             return Ok(Ubig::zero());
         }
         if m.is_odd() && !crate::schoolbook_forced() {
-            crate::montgomery::MontgomeryCtx::new(m)?.modpow(self, exp)
+            crate::ctxcache::shared_ctx_cache().get(m)?.modpow(self, exp)
         } else {
             self.modpow_schoolbook(exp, m)
         }

@@ -1,12 +1,14 @@
-//! Process-wide LRU of verification [`MontgomeryCtx`]s, keyed by modulus.
+//! Process-wide LRU of [`MontgomeryCtx`]s, keyed by modulus.
 //!
 //! Chain validation verifies many signatures against a small, stable set
 //! of public keys (root-store anchors, a handful of proxy roots, the
-//! per-host server keys). Before this cache every
+//! per-host server keys), and non-CRT signing exponentiates repeatedly
+//! against the same public modulus. Before this cache every
 //! [`crate::RsaPublicKey::verify`] call re-derived the per-modulus
 //! Montgomery constants — one `R² mod n` division per call, the last
-//! division left on the verify hot path. The cache makes that a
-//! once-per-modulus cost.
+//! division left on the verify hot path — and every
+//! [`crate::Ubig::modpow`] convenience call still did. Both now ride
+//! [`shared_ctx_cache`], making that a once-per-modulus cost.
 //!
 //! Design:
 //!
@@ -137,9 +139,10 @@ impl MontCtxCache {
     }
 }
 
-/// The process-wide verification cache every [`crate::RsaPublicKey::verify`]
-/// call rides (capacity [`DEFAULT_CAPACITY`]).
-pub fn verify_ctx_cache() -> &'static MontCtxCache {
+/// The process-wide context cache (capacity [`DEFAULT_CAPACITY`]) that
+/// [`crate::RsaPublicKey::verify`], non-CRT signing and every odd-modulus
+/// [`crate::Ubig::modpow`] ride.
+pub fn shared_ctx_cache() -> &'static MontCtxCache {
     static CACHE: OnceLock<MontCtxCache> = OnceLock::new();
     CACHE.get_or_init(|| MontCtxCache::new(DEFAULT_CAPACITY))
 }

@@ -72,9 +72,9 @@ pub mod sha1;
 pub mod sha256;
 
 pub use bigint::Ubig;
-pub use ctxcache::{verify_ctx_cache, MontCtxCache};
+pub use ctxcache::{shared_ctx_cache, MontCtxCache};
 pub use drbg::{Drbg, RngCore64};
-pub use montgomery::MontgomeryCtx;
+pub use montgomery::{with_thread_scratch, ModpowPlan, ModpowScratch, MontgomeryCtx};
 pub use rsa::{RsaCrt, RsaKeyPair, RsaPublicKey};
 
 /// Digest algorithms supported by the workspace.

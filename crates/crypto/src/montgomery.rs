@@ -29,13 +29,27 @@
 //! * exponentiation is fixed 4-bit-window Montgomery ladder for long
 //!   exponents, with a short-exponent binary path (no window table) that
 //!   makes `e = 65537` verification cheap;
-//! * all scratch buffers are allocated once per [`MontgomeryCtx::modpow`]
-//!   call and reused across every window step, so the inner loop performs
-//!   zero allocations; operands already `< n` are copied, not re-divided.
+//! * the window ladder's working buffers live in a reusable
+//!   [`ModpowScratch`]: callers on the signing hot path thread one
+//!   workspace through any number of exponentiations
+//!   ([`MontgomeryCtx::modpow_with`]) and the inner loop performs zero
+//!   allocations; the convenience [`MontgomeryCtx::modpow`] borrows a
+//!   thread-local workspace ([`with_thread_scratch`]), so even ad-hoc
+//!   callers stop paying the per-call window-table allocation;
+//! * exponents that are exponentiated repeatedly (RSA CRT half-exponents)
+//!   can be *recoded once* into a [`ModpowPlan`] — the per-step window
+//!   extraction (`Ubig::bit` probes) happens at plan-build time, and
+//!   [`MontgomeryCtx::modpow_planned`] just walks the recoded windows.
+//!   The plan width is 4 or 5 bits; see `rsa::CRT_WINDOW_BITS` for the
+//!   measured decision between them;
+//! * leaving Montgomery form is a dedicated REDC pass (`mont_redc`,
+//!   `k²` limb multiplies) instead of a full `mont_mul` by plain 1
+//!   (`2k²`) — one free half-multiply per exponentiation;
+//! * operands already `< n` are copied, not re-divided.
 //!
 //! Callers that verify or exponentiate repeatedly against the *same*
 //! modulus should fetch their context from
-//! [`crate::ctxcache::verify_ctx_cache`] instead of rebuilding it — the
+//! [`crate::ctxcache::shared_ctx_cache`] instead of rebuilding it — the
 //! `R² mod n` division in [`MontgomeryCtx::new`] is the only division
 //! left on the hot path.
 //!
@@ -49,6 +63,130 @@ use crate::CryptoError;
 /// beats building the 4-bit window table (the table costs 14 multiplies;
 /// binary saves ~bits/4 of them). 65537 (17 bits) lands well below this.
 const WINDOW_THRESHOLD_BITS: usize = 64;
+
+/// Reusable working memory for [`MontgomeryCtx::modpow_with`] /
+/// [`MontgomeryCtx::modpow_planned`].
+///
+/// One `modpow` call needs a `k+2`-limb reduction scratch, three `k`-limb
+/// residues and (for long exponents) a `2^width · k`-limb window table.
+/// Allocating those per call costs several heap round-trips per
+/// signature; a `ModpowScratch` owns them across calls — buffers only
+/// ever grow, so a workspace that has signed once is allocation-free for
+/// every subsequent signature at the same (or smaller) key size.
+///
+/// The workspace carries no modulus state: it is just memory, safe to
+/// share across contexts of different widths (each call re-slices to its
+/// own `k`). Hot paths that cannot thread one explicitly (trait
+/// boundaries, shared `&self` mints) borrow the thread-local workspace
+/// via [`with_thread_scratch`].
+#[derive(Debug, Default)]
+pub struct ModpowScratch {
+    /// Reduction scratch (`k + 2` limbs).
+    t: Vec<u64>,
+    /// Running accumulator (`k` limbs).
+    acc: Vec<u64>,
+    /// Ping-pong partner of `acc` (`k` limbs).
+    tmp: Vec<u64>,
+    /// Montgomery form of the base (`k` limbs).
+    base: Vec<u64>,
+    /// Window table (`2^width · k` limbs, entry `w` at `w*k..(w+1)*k`).
+    table: Vec<u64>,
+}
+
+impl ModpowScratch {
+    /// An empty workspace; buffers are sized lazily by first use.
+    pub fn new() -> ModpowScratch {
+        ModpowScratch::default()
+    }
+
+    /// Ensure capacity for a `k`-limb modulus and `entries`-slot table.
+    fn ensure(&mut self, k: usize, entries: usize) {
+        if self.t.len() < k + 2 {
+            self.t.resize(k + 2, 0);
+        }
+        if self.acc.len() < k {
+            self.acc.resize(k, 0);
+            self.tmp.resize(k, 0);
+            self.base.resize(k, 0);
+        }
+        if self.table.len() < entries * k {
+            self.table.resize(entries * k, 0);
+        }
+    }
+}
+
+std::thread_local! {
+    static THREAD_SCRATCH: core::cell::RefCell<ModpowScratch> =
+        core::cell::RefCell::new(ModpowScratch::new());
+}
+
+/// Run `f` with this thread's shared [`ModpowScratch`].
+///
+/// This is what makes every signature in the process allocation-free
+/// without threading a workspace through every call chain: the first
+/// exponentiation on a thread sizes the buffers, every later one reuses
+/// them. Re-entrant calls (none exist today — exponentiation never signs)
+/// fall back to a fresh workspace rather than panicking on the borrow.
+pub fn with_thread_scratch<R>(f: impl FnOnce(&mut ModpowScratch) -> R) -> R {
+    THREAD_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut ModpowScratch::new()),
+    })
+}
+
+/// A window recoding of one exponent, computed once and replayed by
+/// [`MontgomeryCtx::modpow_planned`].
+///
+/// The general ladder re-extracts each window from the exponent limbs on
+/// every call (`width` [`Ubig::bit`] probes per window — bounds-checked
+/// limb indexing in the innermost loop). RSA signing exponentiates the
+/// *same two* half-exponents (`d mod p-1`, `d mod q-1`) for the life of a
+/// key, so [`crate::rsa::RsaCrt`] recodes them once at key construction
+/// and every signature walks the precomputed byte array instead.
+#[derive(Debug, Clone)]
+pub struct ModpowPlan {
+    /// Window width in bits (4 or 5).
+    width: u8,
+    /// Window values, most-significant window first; the leading window
+    /// is non-zero.
+    windows: Vec<u8>,
+    /// Exponent bit length (for cost accounting / tests).
+    bits: usize,
+}
+
+impl ModpowPlan {
+    /// Recode `exp` into `width`-bit windows (`width` must be 4 or 5;
+    /// `exp` must be non-zero — RSA private half-exponents always are).
+    pub fn new(exp: &Ubig, width: u8) -> ModpowPlan {
+        assert!(width == 4 || width == 5, "supported plan widths are 4 and 5");
+        let bits = exp.bit_len();
+        assert!(bits > 0, "cannot plan a zero exponent");
+        let w = width as usize;
+        let count = bits.div_ceil(w);
+        let mut windows = Vec::with_capacity(count);
+        for i in (0..count).rev() {
+            let mut v = 0u8;
+            for b in 0..w {
+                if exp.bit(i * w + b) {
+                    v |= 1 << b;
+                }
+            }
+            windows.push(v);
+        }
+        debug_assert!(windows[0] != 0, "leading window contains the top bit");
+        ModpowPlan { width, windows, bits }
+    }
+
+    /// Window width in bits.
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// Bit length of the planned exponent.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+}
 
 /// Precomputed per-modulus state for Montgomery arithmetic.
 ///
@@ -285,13 +423,114 @@ impl MontgomeryCtx {
         }
     }
 
+    /// Dedicated Montgomery reduction: `out ← a·R⁻¹ mod n` for a `k`-limb
+    /// residue `a < n`.
+    ///
+    /// This is how results leave Montgomery form. A `mont_mul` by plain 1
+    /// computes the same value with `2k²` limb multiplies, half of them
+    /// against a buffer of zeros; the reduction-only pass pays `k²`. `t`
+    /// needs `k + 1` limbs; `out` may alias `a` but not `t`.
+    fn mont_redc(&self, a: &[u64], t: &mut [u64], out: &mut [u64]) {
+        let k = self.n.len();
+        debug_assert!(a.len() == k && out.len() == k && t.len() > k);
+        let n = &self.n[..k];
+        let t = &mut t[..k + 1];
+        t[..k].copy_from_slice(a);
+        t[k] = 0;
+        for _ in 0..k {
+            // Cancel the low limb with m·n (its low 64 bits vanish by
+            // construction of n′), then shift the whole value down one
+            // limb — the same row structure as mont_mul with aᵢ = 0.
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let red = t[0] as u128 + m as u128 * n[0] as u128;
+            debug_assert_eq!(red as u64, 0);
+            let mut carry = red >> 64;
+            for j in 1..k {
+                let sum = t[j] as u128 + m as u128 * n[j] as u128 + carry;
+                carry = sum >> 64;
+                t[j - 1] = sum as u64;
+            }
+            let top = t[k] as u128 + carry;
+            t[k - 1] = top as u64;
+            t[k] = (top >> 64) as u64;
+        }
+        // a < n ≤ R keeps (a + M·n)/R < n + 1, so at most one subtraction.
+        let (lo, hi) = t.split_at(k);
+        cond_sub(lo, hi[0] != 0, n, out);
+    }
+
+    /// Write `v mod n` into `out[..k]` — without touching the division
+    /// machinery (or allocating) when `v < n` already, which is every
+    /// operand on the sign/verify hot paths.
+    fn stage_reduced(&self, v: &Ubig, out: &mut [u64]) -> Result<(), CryptoError> {
+        let k = self.n.len();
+        let src = v.limbs();
+        let already_reduced = src.len() < k
+            || (src.len() == k && cmp_limbs(src, &self.n) == core::cmp::Ordering::Less);
+        if already_reduced {
+            out[..k].fill(0);
+            out[..src.len()].copy_from_slice(src);
+        } else {
+            let reduced = v.rem(&self.modulus())?;
+            let src = reduced.limbs();
+            out[..k].fill(0);
+            out[..src.len()].copy_from_slice(src);
+        }
+        Ok(())
+    }
+
+    /// Convert `base` into Montgomery form in `scratch.base`, reducing
+    /// mod `n` first when necessary (`scratch.acc` is used as staging).
+    fn base_to_mont(&self, base: &Ubig, scratch: &mut ModpowScratch) -> Result<(), CryptoError> {
+        let k = self.n.len();
+        self.stage_reduced(base, &mut scratch.acc)?;
+        let (acc, base_m) = (&scratch.acc[..k], &mut scratch.base[..k]);
+        self.mont_mul(acc, &self.r2, &mut scratch.t, base_m);
+        Ok(())
+    }
+
+    /// [`mulmod`](Self::mulmod) against caller-owned working memory —
+    /// the one-off products on the signing path (Garner recombination)
+    /// ride this so a CRT signature allocates nothing but its results.
+    pub fn mulmod_with(
+        &self,
+        a: &Ubig,
+        b: &Ubig,
+        scratch: &mut ModpowScratch,
+    ) -> Result<Ubig, CryptoError> {
+        let k = self.n.len();
+        scratch.ensure(k, 0);
+        self.base_to_mont(a, scratch)?; // scratch.base ← a·R
+        self.stage_reduced(b, &mut scratch.acc)?;
+        let ModpowScratch { t, acc, tmp, base, .. } = scratch;
+        // a·R times plain b: the stray R cancels, leaving a·b mod n.
+        self.mont_mul(&base[..k], &acc[..k], t, &mut tmp[..k]);
+        Ok(Ubig::from_limbs(tmp[..k].to_vec()))
+    }
+
     /// `base^exp mod n`, division-free.
     ///
     /// Long exponents use a fixed 4-bit window (16-entry table); exponents
     /// of at most [`WINDOW_THRESHOLD_BITS`] bits use plain left-to-right
     /// binary, which is cheaper than amortizing the table — that is the
     /// fast path RSA verification with `e = 65537` takes.
+    ///
+    /// Working memory is borrowed from the thread-local [`ModpowScratch`];
+    /// callers that already hold one should use
+    /// [`modpow_with`](Self::modpow_with) directly.
     pub fn modpow(&self, base: &Ubig, exp: &Ubig) -> Result<Ubig, CryptoError> {
+        with_thread_scratch(|scratch| self.modpow_with(base, exp, scratch))
+    }
+
+    /// [`modpow`](Self::modpow) against caller-owned working memory: the
+    /// entire exponentiation performs no allocation beyond the returned
+    /// result (once `scratch` has grown to this width).
+    pub fn modpow_with(
+        &self,
+        base: &Ubig,
+        exp: &Ubig,
+        scratch: &mut ModpowScratch,
+    ) -> Result<Ubig, CryptoError> {
         let k = self.n.len();
         if k == 1 && self.n[0] == 1 {
             return Ok(Ubig::zero());
@@ -299,60 +538,102 @@ impl MontgomeryCtx {
         if exp.is_zero() {
             return Ok(Ubig::one());
         }
-
-        // Scratch buffers, allocated once and reused for every step.
-        let mut t = vec![0u64; k + 2];
-        let mut acc = vec![0u64; k];
-        let mut tmp = vec![0u64; k];
-
-        let base_m = {
-            let reduced = self.reduced_limbs(base)?;
-            self.mont_mul(&reduced, &self.r2, &mut t, &mut tmp);
-            tmp.clone()
-        };
-
         let bits = exp.bit_len();
+        scratch.ensure(k, if bits <= WINDOW_THRESHOLD_BITS { 0 } else { 16 });
+        self.base_to_mont(base, scratch)?;
+
+        let ModpowScratch { t, acc, tmp, base: base_buf, table } = scratch;
+        let (mut acc, mut tmp) = (&mut acc[..k], &mut tmp[..k]);
+        let base_m = &base_buf[..k];
         if bits <= WINDOW_THRESHOLD_BITS {
             // Short-exponent path: binary ladder, no table.
-            acc.copy_from_slice(&base_m);
+            acc.copy_from_slice(base_m);
             for i in (0..bits - 1).rev() {
-                self.mont_mul(&acc, &acc, &mut t, &mut tmp);
+                self.mont_mul(acc, acc, t, tmp);
                 if exp.bit(i) {
-                    self.mont_mul(&tmp, &base_m, &mut t, &mut acc);
+                    self.mont_mul(tmp, base_m, t, acc);
                 } else {
-                    acc.copy_from_slice(&tmp);
+                    acc.copy_from_slice(tmp);
                 }
             }
         } else {
-            // Fixed 4-bit windows, most-significant first.
-            let mut table = vec![0u64; 16 * k];
-            table[..k].copy_from_slice(&self.one);
-            table[k..2 * k].copy_from_slice(&base_m);
-            for w in 2..16 {
-                let (lo, hi) = table.split_at_mut(w * k);
-                self.mont_mul(&lo[(w - 1) * k..], &base_m, &mut t, &mut hi[..k]);
-            }
+            // Fixed 4-bit windows, most-significant first, extracted from
+            // the exponent limbs as the ladder walks.
+            self.fill_table(base_m, t, &mut table[..16 * k], 16);
             let windows = bits.div_ceil(4);
             let top = nibble(exp, windows - 1);
             acc.copy_from_slice(&table[top as usize * k..(top as usize + 1) * k]);
             for w in (0..windows - 1).rev() {
                 for _ in 0..4 {
-                    self.mont_mul(&acc, &acc, &mut t, &mut tmp);
+                    self.mont_mul(acc, acc, t, tmp);
                     core::mem::swap(&mut acc, &mut tmp);
                 }
                 let nib = nibble(exp, w) as usize;
                 if nib != 0 {
-                    self.mont_mul(&acc, &table[nib * k..(nib + 1) * k], &mut t, &mut tmp);
+                    self.mont_mul(acc, &table[nib * k..(nib + 1) * k], t, tmp);
                     core::mem::swap(&mut acc, &mut tmp);
                 }
             }
         }
 
-        // Leave Montgomery form: multiply by 1 (the plain integer).
-        let mut one_plain = vec![0u64; k];
-        one_plain[0] = 1;
-        self.mont_mul(&acc, &one_plain, &mut t, &mut tmp);
-        Ok(Ubig::from_limbs(tmp))
+        // Leave Montgomery form with the reduction-only pass. (`acc` is
+        // whichever ping-pong buffer holds the result after the swaps.)
+        let mut out = vec![0u64; k];
+        self.mont_redc(acc, t, &mut out);
+        Ok(Ubig::from_limbs(out))
+    }
+
+    /// `base^plan mod n`: replay a precomputed window recoding.
+    ///
+    /// Identical result to [`modpow_with`](Self::modpow_with) with the
+    /// planned exponent — the ladder just skips the per-window bit
+    /// extraction and drives a `width`-bit table instead. This is the
+    /// per-signature inner loop of `rsa::RsaCrt`.
+    pub fn modpow_planned(
+        &self,
+        base: &Ubig,
+        plan: &ModpowPlan,
+        scratch: &mut ModpowScratch,
+    ) -> Result<Ubig, CryptoError> {
+        let k = self.n.len();
+        if k == 1 && self.n[0] == 1 {
+            return Ok(Ubig::zero());
+        }
+        let width = plan.width as usize;
+        let entries = 1usize << width;
+        scratch.ensure(k, entries);
+        self.base_to_mont(base, scratch)?;
+
+        let ModpowScratch { t, acc, tmp, base: base_buf, table } = scratch;
+        let (mut acc, mut tmp) = (&mut acc[..k], &mut tmp[..k]);
+        self.fill_table(&base_buf[..k], t, &mut table[..entries * k], entries);
+        let top = plan.windows[0] as usize;
+        acc.copy_from_slice(&table[top * k..(top + 1) * k]);
+        for &w in &plan.windows[1..] {
+            for _ in 0..width {
+                self.mont_mul(acc, acc, t, tmp);
+                core::mem::swap(&mut acc, &mut tmp);
+            }
+            if w != 0 {
+                self.mont_mul(acc, &table[w as usize * k..(w as usize + 1) * k], t, tmp);
+                core::mem::swap(&mut acc, &mut tmp);
+            }
+        }
+        let mut out = vec![0u64; k];
+        self.mont_redc(acc, t, &mut out);
+        Ok(Ubig::from_limbs(out))
+    }
+
+    /// Fill the window `table` with `entries` Montgomery powers of
+    /// `base_m`: entry `w` (at `w·k..`) holds `base^w · R mod n`.
+    fn fill_table(&self, base_m: &[u64], t: &mut [u64], table: &mut [u64], entries: usize) {
+        let k = self.n.len();
+        table[..k].copy_from_slice(&self.one);
+        table[k..2 * k].copy_from_slice(base_m);
+        for w in 2..entries {
+            let (lo, hi) = table.split_at_mut(w * k);
+            self.mont_mul(&lo[(w - 1) * k..], base_m, t, &mut hi[..k]);
+        }
     }
 
     /// `2^exp mod n` via a square-and-*double* ladder.
@@ -634,6 +915,116 @@ mod tests {
         let three = MontgomeryCtx::new(&Ubig::from_u64(3)).unwrap();
         assert_eq!(three.pow2mod(&Ubig::from_u64(5)).unwrap(), Ubig::from_u64(2));
         assert_eq!(three.pow2mod(&Ubig::from_u64(6)).unwrap(), Ubig::one());
+    }
+
+    #[test]
+    fn planned_modpow_matches_general_ladder() {
+        // The per-key plan contract: replaying a recoded exponent through
+        // one shared scratch must be indistinguishable from the general
+        // ladder, at both supported widths, across operand widths, and
+        // with the SAME workspace reused between differently-sized moduli
+        // (the thread-local usage pattern).
+        let mut rng = Drbg::new(0x504c_414e);
+        let mut scratch = ModpowScratch::new();
+        for limbs in 1..=9 {
+            for _ in 0..6 {
+                let m = random_odd(&mut rng, limbs);
+                let a = random_ubig(&mut rng, limbs + 1);
+                let mut e = random_ubig(&mut rng, limbs.max(2));
+                e.set_bit(limbs.max(2) * 64 - 7); // non-trivial window count
+                let ctx = MontgomeryCtx::new(&m).unwrap();
+                let reference = ctx.modpow(&a, &e).unwrap();
+                for width in [4u8, 5] {
+                    let plan = ModpowPlan::new(&e, width);
+                    assert_eq!(plan.width(), width);
+                    assert_eq!(plan.bits(), e.bit_len());
+                    assert_eq!(
+                        ctx.modpow_planned(&a, &plan, &mut scratch).unwrap(),
+                        reference,
+                        "limbs={limbs} width={width} m={m:?} a={a:?} e={e:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn modpow_with_matches_modpow_across_scratch_reuse() {
+        // One workspace, alternating widths and short/long exponents —
+        // stale buffer contents from a previous call must never leak into
+        // the next result.
+        let mut rng = Drbg::new(0x5343_5241);
+        let mut scratch = ModpowScratch::new();
+        for round in 0..12 {
+            let limbs = 1 + (round * 5) % 9;
+            let m = random_odd(&mut rng, limbs);
+            let a = random_ubig(&mut rng, limbs);
+            let e = if round % 2 == 0 {
+                Ubig::from_u64(rng.next_u64()) // short (binary) path
+            } else {
+                random_ubig(&mut rng, limbs) // window path
+            };
+            let ctx = MontgomeryCtx::new(&m).unwrap();
+            assert_eq!(
+                ctx.modpow_with(&a, &e, &mut scratch).unwrap(),
+                a.modpow_schoolbook(&e, &m).unwrap(),
+                "round={round} limbs={limbs}"
+            );
+        }
+    }
+
+    #[test]
+    fn planned_modpow_edge_cases() {
+        let ctx = MontgomeryCtx::new(&Ubig::from_u64(1_000_003)).unwrap();
+        let mut scratch = ModpowScratch::new();
+        // Zero base, exponent one, modulus one.
+        let e = Ubig::from_u64(13);
+        let plan = ModpowPlan::new(&e, 4);
+        assert_eq!(ctx.modpow_planned(&Ubig::zero(), &plan, &mut scratch).unwrap(), Ubig::zero());
+        let one_exp = ModpowPlan::new(&Ubig::one(), 5);
+        assert_eq!(
+            ctx.modpow_planned(&Ubig::from_u64(7), &one_exp, &mut scratch).unwrap(),
+            Ubig::from_u64(7)
+        );
+        let unit = MontgomeryCtx::new(&Ubig::one()).unwrap();
+        assert_eq!(
+            unit.modpow_planned(&Ubig::from_u64(5), &plan, &mut scratch).unwrap(),
+            Ubig::zero()
+        );
+    }
+
+    #[test]
+    fn mulmod_with_matches_mulmod() {
+        let mut rng = Drbg::new(0x4d55_4c57);
+        let mut scratch = ModpowScratch::new();
+        for limbs in 1..=6 {
+            let m = random_odd(&mut rng, limbs);
+            let a = random_ubig(&mut rng, limbs + 1); // exercises staging rem
+            let b = random_ubig(&mut rng, limbs);
+            let ctx = MontgomeryCtx::new(&m).unwrap();
+            assert_eq!(
+                ctx.mulmod_with(&a, &b, &mut scratch).unwrap(),
+                ctx.mulmod(&a, &b).unwrap(),
+                "limbs={limbs}"
+            );
+        }
+    }
+
+    #[test]
+    fn thread_scratch_is_reused_and_reentrancy_safe() {
+        let ctx = MontgomeryCtx::new(&Ubig::from_u64(497)).unwrap();
+        let r = with_thread_scratch(|outer| {
+            // A nested borrow must fall back to a fresh workspace instead
+            // of panicking (no such caller exists today — this pins the
+            // contract).
+            let nested = with_thread_scratch(|inner| {
+                ctx.modpow_with(&Ubig::from_u64(4), &Ubig::from_u64(13), inner).unwrap()
+            });
+            let direct = ctx.modpow_with(&Ubig::from_u64(4), &Ubig::from_u64(13), outer).unwrap();
+            assert_eq!(nested, direct);
+            direct
+        });
+        assert_eq!(r, Ubig::from_u64(445));
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub fn bin_rates(rates: &[(CountryCode, f64)]) -> Vec<HeatBin> {
 pub fn render_heatmap(rates: &[(CountryCode, f64)]) -> String {
     const SHADES: [char; 6] = ['▁', '▂', '▃', '▅', '▆', '█'];
     let mut sorted: Vec<(CountryCode, f64)> = rates.to_vec();
-    sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("rates are finite"));
+    // Tie-break equal rates by country code: the input order comes from
+    // hash-map iteration, so without it the rendering (exp_all output)
+    // differs run to run among the long 0% tail.
+    sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("rates are finite").then(a.0.cmp(&b.0)));
 
     let mut out = String::new();
     out.push_str("TLS proxy prevalence by country (Figure 7)\n");

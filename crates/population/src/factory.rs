@@ -325,6 +325,30 @@ mod tests {
     }
 
     #[test]
+    fn minted_counts_distinct_chains_exactly_under_concurrent_misses() {
+        // The mint counter's exactness contract: stampeding threads
+        // racing on overlapping hosts must produce exactly one mint per
+        // distinct chain — no double-mints (the striped cache mints under
+        // its shard lock), no undercounting.
+        let f = std::sync::Arc::new(factory_for("Bitdefender"));
+        let distinct_hosts = 12;
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let f = f.clone();
+                s.spawn(move || {
+                    for i in 0..distinct_hosts * 4 {
+                        // Every thread walks the same host set, offset so
+                        // misses collide from different starting points.
+                        let h = format!("c{}.example", (i + t) % distinct_hosts);
+                        f.substitute_chain(&h, dst(), None);
+                    }
+                });
+            }
+        });
+        assert_eq!(f.minted(), distinct_hosts, "one mint per distinct chain");
+    }
+
+    #[test]
     fn issuer_org_matches_spec() {
         let f = factory_for("Bitdefender");
         let chain = f.substitute_chain("h.example", dst(), None);

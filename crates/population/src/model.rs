@@ -260,6 +260,94 @@ impl PopulationModel {
             && spec.category == crate::products::ProxyCategory::Organization
     }
 
+    /// Base product weight for this model's era (no geographic bias).
+    fn era_weight(&self, spec: &ProductSpec) -> f64 {
+        match self.era {
+            StudyEra::Study1 => spec.w1,
+            StudyEra::Study2 => spec.w2,
+        }
+    }
+
+    /// Pre-mint every deterministic variant-0 substitute chain for
+    /// `hosts` across up to `threads` OS threads — the mint-path sibling
+    /// of `tlsfoe_population::keys::warm_keys`.
+    ///
+    /// Enumerates the `(product, era, host)` chains a study run can
+    /// request lazily: every product active in this era whose mint is a
+    /// function of the hostname alone
+    /// ([`ProductSpec::mints_from_host_alone`] — wildcard-IP and
+    /// issuer-copying products also fold per-connection inputs into the
+    /// cache variant, so their chains cannot be enumerated up front),
+    /// skipping `(product, host)` pairs the product whitelists (those
+    /// splice and never mint). Each chain is minted exactly once into the
+    /// model-wide [`SubstituteCache`] under its real key, so the session
+    /// hot path turns contended shard-lock misses (one root-key RSA
+    /// signature each, serialized per stripe) into lock-free-ish hits.
+    ///
+    /// Determinism: chains are pure functions of their cache key (the
+    /// [`crate::cache`] contract), so warming changes *when* signatures
+    /// are paid — never a byte of study output, at any thread count.
+    /// Mint accounting stays exact: prewarmed chains count toward their
+    /// factory's [`crate::SubstituteFactory::minted`] exactly once, and
+    /// later sessions hit the cache instead of re-minting.
+    pub fn warm_substitutes(&self, hosts: &[&str], threads: usize) {
+        let work = self.warmable_chains(hosts);
+        if work.is_empty() {
+            return;
+        }
+        // The destination address is irrelevant for host-only mints (only
+        // wildcard-IP subjects read it, and they are excluded above).
+        let dst = Ipv4([0, 0, 0, 0]);
+        let mint = |&(product, host): &(ProductId, &str)| {
+            self.factory(product).substitute_entry(host, dst, None);
+        };
+        let threads = threads.clamp(1, work.len());
+        if threads == 1 {
+            work.iter().for_each(mint);
+            return;
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(item) = work.get(i) else { break };
+                    mint(item);
+                });
+            }
+        });
+    }
+
+    /// Number of `(product, host)` chains [`warm_substitutes`]
+    /// (`PopulationModel::warm_substitutes`) would mint for `hosts` —
+    /// the exact-accounting denominator for tests and `exp_perf`. Shares
+    /// [`warmable_chains`](Self::warmable_chains) with the warm itself,
+    /// so the two can never disagree about what counts.
+    pub fn warm_substitute_count(&self, hosts: &[&str]) -> usize {
+        self.warmable_chains(hosts).len()
+    }
+
+    /// The one enumeration both [`warm_substitutes`]
+    /// (`PopulationModel::warm_substitutes`) and
+    /// [`warm_substitute_count`](Self::warm_substitute_count) consume:
+    /// every era-active, host-only-minting product paired with every
+    /// host it would not whitelist.
+    fn warmable_chains<'a>(&self, hosts: &[&'a str]) -> Vec<(ProductId, &'a str)> {
+        self.specs
+            .iter()
+            .enumerate()
+            .filter(|(_, spec)| self.era_weight(spec) > 0.0 && spec.mints_from_host_alone())
+            .flat_map(|(i, spec)| {
+                hosts
+                    .iter()
+                    .filter(|host| {
+                        !(spec.whitelists_popular && self.popular_whitelist.contains(**host))
+                    })
+                    .map(move |&host| (ProductId(i as u16), host))
+            })
+            .collect()
+    }
+
     /// The (lazily built, shared) substitute factory for a product.
     ///
     /// Built at most once per model — `OnceLock` blocks racing threads —
@@ -444,6 +532,94 @@ mod tests {
         // Both mints landed in the one model-wide cache, under distinct
         // per-product keys.
         assert_eq!(m.substitute_cache().len(), 2);
+    }
+
+    #[test]
+    fn warm_substitutes_mints_each_chain_exactly_once() {
+        use tlsfoe_netsim::Ipv4;
+        let m = model(StudyEra::Study1);
+        let hosts = ["warm-a.example", "warm-b.example"];
+        let expected = m.warm_substitute_count(&hosts);
+        assert!(expected > 0, "study 1 must have host-only minting products");
+        m.warm_substitutes(&hosts, 4);
+        assert_eq!(m.substitute_cache().len(), expected, "one cache slot per enumerated chain");
+        let (_, misses) = m.substitute_cache().stats();
+        assert_eq!(misses as usize, expected, "no double-mints during parallel warm");
+        // Per-factory mint accounting covers exactly the warmed chains.
+        let minted: usize = m
+            .specs()
+            .iter()
+            .enumerate()
+            .map(|(i, _)| m.factory(ProductId(i as u16)).minted())
+            .sum();
+        assert_eq!(minted, expected);
+        // Idempotent: a second warm (and a session-path lookup) re-mints
+        // nothing.
+        m.warm_substitutes(&hosts, 4);
+        let f = m.factory(ProductId(0));
+        if m.specs()[0].mints_from_host_alone() {
+            f.substitute_chain("warm-a.example", Ipv4([203, 0, 113, 5]), None);
+        }
+        let (_, misses_after) = m.substitute_cache().stats();
+        assert_eq!(misses_after, misses, "re-warm or session hit must not re-mint");
+    }
+
+    #[test]
+    fn warmed_chains_identical_to_lazy_mints() {
+        use tlsfoe_netsim::Ipv4;
+        // Prewarm must be observationally invisible: a warmed model and a
+        // lazily-minting model produce byte-identical chains (chains are
+        // pure functions of their cache key).
+        let warm = model(StudyEra::Study1);
+        let lazy = model(StudyEra::Study1);
+        let host = "tlsresearch.byu.edu";
+        warm.warm_substitutes(&[host], 2);
+        for (i, spec) in warm.specs().iter().enumerate() {
+            if spec.w1 == 0.0 || !spec.mints_from_host_alone() {
+                continue;
+            }
+            let pid = ProductId(i as u16);
+            // Session-path dst differs from the warm placeholder — chains
+            // must not depend on it for host-only products.
+            let dst = Ipv4([203, 0, 113, 77]);
+            let warmed = warm.factory(pid).substitute_chain(host, dst, None);
+            let fresh = lazy.factory(pid).substitute_chain(host, dst, None);
+            assert_eq!(
+                warmed.iter().map(|c| c.to_der().to_vec()).collect::<Vec<_>>(),
+                fresh.iter().map(|c| c.to_der().to_vec()).collect::<Vec<_>>(),
+                "{}",
+                spec.display_name()
+            );
+        }
+        // The session-path lookups above were all cache hits on the
+        // warmed model: no new mints.
+        assert_eq!(
+            warm.substitute_cache().len(),
+            warm.warm_substitute_count(&[host]),
+            "session lookups after warm must hit, not re-mint"
+        );
+    }
+
+    #[test]
+    fn whitelisted_pairs_are_not_prewarmed() {
+        let m = model(StudyEra::Study1);
+        let whitelisting: Vec<usize> = m
+            .specs()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.w1 > 0.0 && s.whitelists_popular && s.mints_from_host_alone())
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!whitelisting.is_empty(), "catalog has whitelisting products");
+        // A popular host is spliced (never minted) by whitelisting
+        // products; prewarming it for them would inflate minted() with
+        // chains no session can request.
+        let popular = ["www.facebook.com"];
+        let plain = ["not-popular.example"];
+        let diff = m.warm_substitute_count(&plain) - m.warm_substitute_count(&popular);
+        assert_eq!(diff, whitelisting.len());
+        m.warm_substitutes(&popular, 2);
+        assert_eq!(m.substitute_cache().len(), m.warm_substitute_count(&popular));
     }
 
     #[test]

@@ -155,6 +155,19 @@ impl ProductSpec {
     pub fn display_name(&self) -> &'static str {
         self.issuer_org.or(self.issuer_cn).unwrap_or("Null")
     }
+
+    /// True when this product's substitute chains are a function of the
+    /// probed hostname alone — no destination-address input (wildcard-IP
+    /// subjects fold the /24 into the mint) and no upstream-certificate
+    /// input (issuer-copying products fold the upstream issuer DN in).
+    ///
+    /// Exactly these products mint under cache variant 0 for every
+    /// impression, which is what makes their `(product, era, host)`
+    /// chains enumerable — and therefore pre-mintable — from the host
+    /// catalog at study startup (`PopulationModel::warm_substitutes`).
+    pub fn mints_from_host_alone(&self) -> bool {
+        !self.copy_issuer && self.subject_style != SubjectStyle::WildcardIpSubnet
+    }
 }
 
 fn firewall(org: &'static str, w1: f64, w2: f64, key_bits: usize) -> ProductSpec {

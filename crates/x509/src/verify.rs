@@ -134,7 +134,7 @@ impl RootStore {
     /// every anchor key in this store.
     ///
     /// [`RootStore::validate`]'s signature checks ride the process-wide
-    /// context LRU ([`tlsfoe_crypto::verify_ctx_cache`]) via
+    /// context LRU ([`tlsfoe_crypto::shared_ctx_cache`]) via
     /// `RsaPublicKey::verify`, so warming is an optional latency
     /// optimization: it moves each anchor's one-time `R² mod n` division
     /// out of the first validation. Even-modulus anchor keys (none exist
@@ -143,7 +143,7 @@ impl RootStore {
         for (cert, _) in &self.roots {
             let key = &cert.tbs.spki.key;
             if key.n.is_odd() {
-                let _ = tlsfoe_crypto::verify_ctx_cache().get(&key.n);
+                let _ = tlsfoe_crypto::shared_ctx_cache().get(&key.n);
             }
         }
     }
@@ -171,7 +171,7 @@ impl RootStore {
     /// impression; with `e = 65537` everywhere in the corpus they ride
     /// the crypto crate's short-exponent Montgomery verify *and* the
     /// process-wide per-modulus context cache
-    /// ([`tlsfoe_crypto::verify_ctx_cache`]), so a full chain validation
+    /// ([`tlsfoe_crypto::shared_ctx_cache`]), so a full chain validation
     /// costs tens of microseconds with no repeated `R² mod n`
     /// derivation. See [`RootStore::warm_verify_ctxs`] to pre-pay even
     /// the first-use cost.
@@ -422,7 +422,7 @@ mod tests {
         let mut store = RootStore::new();
         store.add_factory_root(root);
         store.warm_verify_ctxs();
-        assert!(tlsfoe_crypto::verify_ctx_cache().contains(&rk.public.n));
+        assert!(tlsfoe_crypto::shared_ctx_cache().contains(&rk.public.n));
         // Validation (which verifies against the cached anchor context)
         // still succeeds.
         store.validate(&[leaf, intermediate], "h.example", now()).unwrap();

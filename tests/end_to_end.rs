@@ -16,6 +16,7 @@ fn quick_study1(seed: u64) -> tlsfoe::core::StudyOutcome {
         proxy_boost: 1.0,
         batch: tlsfoe::core::session::DEFAULT_BATCH,
         warm_keys: true,
+        warm_substitutes: true,
     })
     .expect("study runs to completion")
 }
