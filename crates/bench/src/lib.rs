@@ -65,6 +65,10 @@ pub fn config(era: StudyEra) -> StudyConfig {
         batch: batch(),
         warm_keys: true,
         warm_substitutes: true,
+        faults: tlsfoe_netsim::FaultProfile::none(),
+        retry: tlsfoe_core::session::RetryPolicy::disabled(),
+        shard_fault_budget: 0,
+        max_net_events: None,
     }
 }
 

@@ -154,6 +154,7 @@ pub fn country_name(code: CountryCode) -> &'static str {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::hosts::HostCategory;
@@ -165,6 +166,7 @@ mod tests {
     fn record(country: &str, proxied: bool, issuer: Option<&str>) -> MeasurementRecord {
         MeasurementRecord {
             impression: 0,
+            attempts: 1,
             client_ip: Ipv4([11, 0, 0, 1]),
             country: by_code(country),
             host: "tlsresearch.byu.edu",
@@ -184,7 +186,7 @@ mod tests {
     }
 
     fn db(records: Vec<MeasurementRecord>) -> Database {
-        Database { records, malformed_uploads: 0 }
+        Database { records, malformed_uploads: 0, failures: Vec::new() }
     }
 
     #[test]

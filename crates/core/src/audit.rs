@@ -144,6 +144,7 @@ pub const AUDITED_PRODUCTS: &[&str] = &[
 ];
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::hosts::HostCatalog;

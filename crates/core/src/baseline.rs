@@ -51,25 +51,15 @@ pub fn compare(cfg: &StudyConfig) -> Result<BaselineComparison, StudyError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
-    use tlsfoe_population::model::StudyEra;
 
     #[test]
     fn whitelisting_halves_the_baseline_rate() {
         // Small but statistically sufficient scale: the rates differ by
         // ~2× so a few thousand impressions suffice for the direction.
-        let cfg = StudyConfig {
-            era: StudyEra::Study1,
-            scale: 150,
-            seed: 42,
-            threads: 4,
-            baseline: false,
-            proxy_boost: 1.0,
-            batch: crate::session::DEFAULT_BATCH,
-            warm_keys: true,
-            warm_substitutes: true,
-        };
+        let cfg = StudyConfig { threads: 4, ..StudyConfig::study1(150, 42) };
         let cmp = compare(&cfg).expect("comparison runs");
         assert!(cmp.ours.db.total() > 5_000);
         assert!(cmp.huang.db.total() > 5_000);

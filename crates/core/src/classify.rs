@@ -128,6 +128,7 @@ pub fn classify(org: Option<&str>, cn: Option<&str>) -> ProxyCategory {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

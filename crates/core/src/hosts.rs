@@ -238,6 +238,7 @@ impl HostCatalog {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -104,6 +104,7 @@ impl<F: FnMut(PostRequest)> Conduit for HttpPostServer<F> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tlsfoe_netsim::{Ipv4, Network, NetworkConfig};

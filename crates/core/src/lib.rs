@@ -30,6 +30,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod analysis;
 pub mod audit;
@@ -46,6 +47,6 @@ pub mod study;
 pub mod tables;
 
 pub use hosts::{HostCatalog, HostCategory, ProbeHost};
-pub use report::{Database, MeasurementRecord, ReportServer, SubstituteInfo};
-pub use session::SessionRunner;
-pub use study::{StudyConfig, StudyError, StudyOutcome};
+pub use report::{Database, MeasurementRecord, ProbeFailureRecord, ReportServer, SubstituteInfo};
+pub use session::{RetryPolicy, SessionError, SessionRunner};
+pub use study::{ShardFailure, StudyConfig, StudyError, StudyOutcome};

@@ -128,6 +128,7 @@ fn looks_like_ip_prefix(s: &str) -> bool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::hosts::HostCategory;
@@ -146,6 +147,7 @@ mod tests {
     ) -> MeasurementRecord {
         MeasurementRecord {
             impression: 0,
+            attempts: 1,
             client_ip: Ipv4([11, 0, 0, 1]),
             country: by_code("US"),
             host: "tlsresearch.byu.edu",
@@ -175,6 +177,7 @@ mod tests {
                 sub_record(2432, SignatureAlgorithm::Sha1WithRsa, "h", true),
             ],
             malformed_uploads: 0,
+            failures: Vec::new(),
         };
         let rep = analyze(&db, &[]);
         assert_eq!(rep.substitutes, 5);
@@ -196,6 +199,7 @@ mod tests {
                 sub_record(1024, SignatureAlgorithm::Sha1WithRsa, "h", true),
             ],
             malformed_uploads: 0,
+            failures: Vec::new(),
         };
         let rep = analyze(&db, &[]);
         assert_eq!(rep.subject_mismatch, 2);
@@ -226,6 +230,7 @@ mod tests {
 
         let mk = |cert: &tlsfoe_x509::Certificate| MeasurementRecord {
             impression: 0,
+            attempts: 1,
             client_ip: Ipv4([11, 0, 0, 1]),
             country: by_code("US"),
             host: "tlsresearch.byu.edu",
@@ -242,7 +247,11 @@ mod tests {
                 chain_der: vec![cert.to_der().to_vec()],
             }),
         };
-        let db = Database { records: vec![mk(&forged), mk(&legit)], malformed_uploads: 0 };
+        let db = Database {
+            records: vec![mk(&forged), mk(&legit)],
+            malformed_uploads: 0,
+            failures: Vec::new(),
+        };
         let rep = analyze(&db, &[("DigiCert Inc", &real_ca.public)]);
         assert_eq!(rep.forged_ca_issuer, 1, "only the impostor counts");
     }

@@ -22,6 +22,7 @@ use tlsfoe_x509::{pem, Certificate};
 
 use crate::hosts::{HostCatalog, HostCategory};
 use crate::http::{HttpPostServer, PostRequest};
+use crate::session::SessionError;
 
 /// Evidence extracted from a substitute (mismatching) chain.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,6 +66,26 @@ pub struct MeasurementRecord {
     pub proxied: bool,
     /// Substitute evidence (present iff `proxied`).
     pub substitute: Option<SubstituteInfo>,
+    /// Which dial attempt produced this upload (`att=` param, default 1).
+    /// Anything above 1 means the session's retry layer recovered the
+    /// probe after an injected fault.
+    pub attempts: u32,
+}
+
+/// A probe that exhausted its retry budget — the typed record the session
+/// layer appends instead of silently dropping the measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeFailureRecord {
+    /// Global impression ordinal of the owning session.
+    pub impression: u64,
+    /// Client address that dialed the probe.
+    pub client_ip: Ipv4,
+    /// Probed hostname.
+    pub host: &'static str,
+    /// Why the final attempt was abandoned.
+    pub error: SessionError,
+    /// How many attempts were made before giving up.
+    pub attempts: u32,
 }
 
 /// The measurement database.
@@ -79,6 +100,10 @@ pub struct Database {
     /// Uploads that failed to parse (malformed PEM/DER) — counted, kept
     /// out of the analysis like the paper's unsuccessful measurements.
     pub malformed_uploads: u64,
+    /// Probes that exhausted their retry budget, with the typed reason.
+    /// Empty on a fault-free run; the chaos sweeps read completion rates
+    /// off `total() / (total() + failed())`.
+    pub failures: Vec<ProbeFailureRecord>,
 }
 
 impl Database {
@@ -106,10 +131,16 @@ impl Database {
         }
     }
 
+    /// Probes recorded as failed (retry budget exhausted).
+    pub fn failed(&self) -> u64 {
+        self.failures.len() as u64
+    }
+
     /// Merge another database (for sharded studies).
     pub fn merge(&mut self, other: Database) {
         self.records.extend(other.records);
         self.malformed_uploads += other.malformed_uploads;
+        self.failures.extend(other.failures);
     }
 
     /// Serialize all records as JSON lines (the persisted dataset the
@@ -140,6 +171,7 @@ impl Database {
                 ("category", Json::str(r.category.label())),
                 ("proxied", Json::Bool(r.proxied)),
                 ("substitute", sub),
+                ("attempts", Json::Int(i64::from(r.attempts))),
             ]);
             out.push_str(&v.to_string());
             out.push('\n');
@@ -180,10 +212,12 @@ impl ReportServer {
     pub fn ingest(&self, client_ip: Ipv4, path: &str, body: &[u8]) {
         let mut host_name = None;
         let mut impression = 0u64;
+        let mut attempts = 1u32;
         for pair in path.split('?').nth(1).unwrap_or("").split('&') {
             match pair.split_once('=') {
                 Some(("host", v)) => host_name = Some(v),
                 Some(("imp", v)) => impression = v.parse().unwrap_or(0),
+                Some(("att", v)) => attempts = v.parse().unwrap_or(1),
                 _ => {}
             }
         }
@@ -214,6 +248,7 @@ impl ReportServer {
             category,
             proxied,
             substitute,
+            attempts,
         });
     }
 
@@ -247,6 +282,7 @@ fn extract_substitute(chain: &[Certificate], host: &str) -> SubstituteInfo {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

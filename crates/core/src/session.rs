@@ -31,30 +31,153 @@
 //!   ordinal after the drive, collapsing the virtual-time interleaving
 //!   back to injection order.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::Arc;
 
-use tlsfoe_crypto::drbg::RngCore64;
+use tlsfoe_crypto::drbg::{Drbg, RngCore64};
 use tlsfoe_geo::countries::CountryCode;
-use tlsfoe_netsim::policy::{PolicyClient, PolicyFetchResult};
-use tlsfoe_netsim::{Conduit, IoCtx, Ipv4, LinkProfile, NetRunError};
+use tlsfoe_netsim::policy::fetch_policy;
+use tlsfoe_netsim::{Conduit, ConnToken, IoCtx, Ipv4, LinkProfile, NetRunError};
 use tlsfoe_netsim::{Network, NetworkConfig};
 use tlsfoe_population::model::{ClientProfile, PopulationModel};
-use tlsfoe_tls::probe::{ProbeOutcome, ProbeState};
+use tlsfoe_tls::probe::{ProbeError, ProbeOutcome, ProbeState};
 use tlsfoe_tls::server::{ServerConfig, TlsCertServer};
 use tlsfoe_tls::ProbeClient;
 use tlsfoe_x509::pem;
 
 use crate::hosts::HostCatalog;
 use crate::http::HttpPostClient;
-use crate::report::{Database, ReportServer};
+use crate::report::{Database, ProbeFailureRecord, ReportServer};
 
 /// Default number of concurrent sessions batched into one event-loop
 /// drive. Results are bit-identical for any batch size (see module
 /// docs); larger batches amortize heap churn across more sessions.
 pub const DEFAULT_BATCH: usize = 64;
+
+/// Why a probe session gave up — the typed taxonomy recorded on
+/// [`Database::failures`] instead of the old silent drop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionError {
+    /// No response before the dial timeout (blackholed SYN, stalled
+    /// server, or lost packets).
+    TimedOut,
+    /// The server answered with a fatal TLS alert.
+    TlsAlert,
+    /// Received bytes failed TLS parsing (wire corruption).
+    TlsParse,
+    /// The connection closed before a certificate was captured (reset
+    /// or truncation).
+    ClosedEarly,
+    /// The per-probe deadline expired with retry attempts still allowed.
+    DeadlineExceeded,
+}
+
+impl SessionError {
+    fn from_outcome(outcome: &ProbeOutcome, deadline_hit: bool) -> SessionError {
+        match outcome.error {
+            Some(ProbeError::Alert) => SessionError::TlsAlert,
+            Some(ProbeError::Parse(_)) => SessionError::TlsParse,
+            Some(ProbeError::ClosedEarly) => SessionError::ClosedEarly,
+            None if deadline_hit => SessionError::DeadlineExceeded,
+            None => SessionError::TimedOut,
+        }
+    }
+
+    /// Short stable label (used by `exp_chaos` tallies).
+    pub fn label(self) -> &'static str {
+        match self {
+            SessionError::TimedOut => "timeout",
+            SessionError::TlsAlert => "alert",
+            SessionError::TlsParse => "parse",
+            SessionError::ClosedEarly => "closed",
+            SessionError::DeadlineExceeded => "deadline",
+        }
+    }
+}
+
+impl core::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Session-level robustness policy: dial timeouts, per-probe deadlines
+/// and bounded exponential backoff with DRBG-jittered delays — the
+/// retry behavior the paper's Flash client exhibited on real networks.
+///
+/// All delays are **virtual-time** microseconds. Retry decisions are
+/// pure functions of per-probe DRBGs (`Drbg::new(session_seed)
+/// .fork(host).fork("retry")`) and elapsed virtual time since the
+/// probe's first dial, so retried runs stay bit-identical across thread
+/// counts and batch sizes. [`RetryPolicy::disabled`] schedules no timers
+/// at all, leaving the event stream byte-identical to a build without
+/// the retry layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per probe (1 = no retries).
+    pub max_attempts: u32,
+    /// Per-attempt timeout: how long after dialing to wait before
+    /// declaring the attempt dead. `None` disables the whole retry
+    /// machinery (no timers are ever scheduled).
+    pub dial_timeout_us: Option<u64>,
+    /// Overall per-probe deadline measured from the first dial; once
+    /// past, no further attempts are scheduled. `None` = unlimited.
+    pub probe_deadline_us: Option<u64>,
+    /// Base backoff before attempt 2 (doubles per attempt).
+    pub backoff_base_us: u64,
+    /// Backoff ceiling.
+    pub backoff_max_us: u64,
+    /// Jitter fraction of the backoff (0.0–1.0), drawn from the
+    /// per-probe DRBG.
+    pub jitter: f64,
+    /// Deadline for the session's policy fetch; past it the fetch
+    /// resolves to `PolicyFetchResult::Timeout` instead of hanging.
+    pub policy_timeout_us: Option<u64>,
+}
+
+impl RetryPolicy {
+    /// No timeouts, no retries — exactly the pre-retry behavior, with a
+    /// byte-identical event stream.
+    pub fn disabled() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            dial_timeout_us: None,
+            probe_deadline_us: None,
+            backoff_base_us: 0,
+            backoff_max_us: 0,
+            jitter: 0.0,
+            policy_timeout_us: None,
+        }
+    }
+
+    /// The Flash-client-like defaults `exp_chaos` sweeps against: 3
+    /// attempts, 2 s dial timeout, 15 s probe deadline, 250 ms → 2 s
+    /// backoff with 50% jitter, 5 s policy deadline.
+    pub fn standard() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            dial_timeout_us: Some(2_000_000),
+            probe_deadline_us: Some(15_000_000),
+            backoff_base_us: 250_000,
+            backoff_max_us: 2_000_000,
+            jitter: 0.5,
+            policy_timeout_us: Some(5_000_000),
+        }
+    }
+
+    /// Whether any timer-driven machinery is active.
+    fn is_active(&self) -> bool {
+        self.dial_timeout_us.is_some()
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::disabled()
+    }
+}
 
 /// Per-worker session runner owning the shard's one long-lived network.
 pub struct SessionRunner {
@@ -68,6 +191,7 @@ pub struct SessionRunner {
     pending: Vec<Ipv4>,
     pending_ips: HashSet<Ipv4>,
     country_links: HashMap<CountryCode, LinkProfile>,
+    retry: RetryPolicy,
 }
 
 impl SessionRunner {
@@ -100,6 +224,7 @@ impl SessionRunner {
             pending: Vec::new(),
             pending_ips: HashSet::new(),
             country_links: HashMap::new(),
+            retry: RetryPolicy::disabled(),
         }
     }
 
@@ -115,6 +240,28 @@ impl SessionRunner {
     pub fn with_batch_size(mut self, batch: usize) -> SessionRunner {
         self.batch_size = batch.max(1);
         self
+    }
+
+    /// Set the session retry/timeout policy. The default
+    /// ([`RetryPolicy::disabled`]) schedules no timers and reproduces
+    /// the retry-free event stream byte for byte.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> SessionRunner {
+        self.retry = retry;
+        self
+    }
+
+    /// Replace the shard network's default link profile — how a study
+    /// applies one [`tlsfoe_netsim::FaultProfile`] to every client that
+    /// has no country-specific link.
+    pub fn set_default_link(&mut self, link: LinkProfile) {
+        self.net.set_default_link(link);
+    }
+
+    /// Override the shard network's per-drive event cap (the
+    /// degradation tests and chaos sweeps shrink it to force
+    /// `NetRunError`s on demand).
+    pub fn set_max_events(&mut self, max_events: u64) {
+        self.net.set_max_events(max_events);
     }
 
     /// Give every client from `country` a specific link profile (captive
@@ -146,6 +293,13 @@ impl SessionRunner {
     /// Sessions injected but not yet driven.
     pub fn pending_sessions(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Current virtual time of the shard network (µs). Monotonic across
+    /// the runner's whole life; `exp_chaos` differences it around
+    /// single-session drives to measure virtual session latency.
+    pub fn now_us(&self) -> u64 {
+        self.net.now_us()
     }
 
     /// Inject one client's measurement session into the shared event
@@ -188,15 +342,12 @@ impl SessionRunner {
             self.net.install_interceptor(profile.ip, Box::new(model.make_proxy(pid)));
         }
 
-        // 1. Policy fetch (the Flash runtime's precondition).
-        let policy_result = Rc::new(RefCell::new(PolicyFetchResult::Pending));
+        // 1. Policy fetch (the Flash runtime's precondition). With a
+        // policy deadline configured, a stalled or blackholed fetch
+        // resolves to `PolicyFetchResult::Timeout` instead of hanging.
         let authors_ip = self.catalog.hosts[0].ip;
-        let _ = self.net.dial_from(
-            profile.ip,
-            authors_ip,
-            80,
-            Box::new(PolicyClient::new(policy_result)),
-        );
+        let _ =
+            fetch_policy(&mut self.net, profile.ip, authors_ip, 80, self.retry.policy_timeout_us);
 
         // 2. Completion-gated probes, authors' host first then the rest.
         let mut attempted = 0;
@@ -213,16 +364,39 @@ impl SessionRunner {
             let outcome = ProbeOutcome::new();
             let reporter = ReportingProbe {
                 probe: ProbeClient::new(host.name, random, outcome.clone()),
-                outcome,
+                outcome: outcome.clone(),
                 host_name: host.name,
                 client_ip: profile.ip,
                 report_server: self.catalog.report_server,
                 impression,
+                attempt: 1,
                 reported: false,
             };
             // Only dials that actually launch count as attempted.
-            if self.net.dial_from(profile.ip, host.ip, 443, Box::new(reporter)).is_ok() {
-                attempted += 1;
+            let Ok(tok) = self.net.dial_from(profile.ip, host.ip, 443, Box::new(reporter)) else {
+                continue;
+            };
+            attempted += 1;
+            if self.retry.is_active() {
+                // Arm the attempt check. All retry randomness comes from
+                // a per-probe DRBG (pure function of the session's
+                // identity), and the deadline is anchored to this dial's
+                // virtual time — so retried outcomes are batch- and
+                // thread-invariant.
+                let ctx = Rc::new(ProbeCtx {
+                    outcome,
+                    host_name: host.name,
+                    host_ip: host.ip,
+                    client_ip: profile.ip,
+                    report_server: self.catalog.report_server,
+                    impression,
+                    policy: self.retry.clone(),
+                    db: self.db.clone(),
+                    attempts: Cell::new(1),
+                    deadline_at: self.retry.probe_deadline_us.map(|d| self.net.now_us() + d),
+                    rng: RefCell::new(Drbg::new(session_seed).fork(host.name).fork("retry")),
+                });
+                arm_probe_check(&mut self.net, ctx, tok);
             }
         }
 
@@ -246,7 +420,10 @@ impl SessionRunner {
         if self.pending.is_empty() {
             return Ok(());
         }
-        let first_new = self.db.borrow().records.len();
+        let (first_new, first_new_failures) = {
+            let db = self.db.borrow();
+            (db.records.len(), db.failures.len())
+        };
         let run_result = self.net.run();
         // Per-session lifecycle teardown happens even when the drive
         // errored, so the runner stays consistent for diagnostics. The
@@ -268,7 +445,12 @@ impl SessionRunner {
         // time; a stable sort by impression ordinal restores injection
         // order (per-session relative order is already deterministic),
         // making the database independent of batch size.
-        self.db.borrow_mut().records[first_new..].sort_by_key(|r| r.impression);
+        let mut db = self.db.borrow_mut();
+        db.records[first_new..].sort_by_key(|r| r.impression);
+        // Failure records interleave the same way; (impression, host)
+        // restores injection order (hosts are probed in catalog order,
+        // and host names are unique within the catalog).
+        db.failures[first_new_failures..].sort_by_key(|f| (f.impression, f.host));
         run_result.map(drop)
     }
 
@@ -290,6 +472,102 @@ impl SessionRunner {
     }
 }
 
+/// Shared state for one probe's retry ladder. Owned jointly by the
+/// pending check timer and any backoff timer; everything a redial needs
+/// is captured here so the closures stay `FnOnce(&mut Network)`.
+struct ProbeCtx {
+    outcome: Rc<RefCell<ProbeOutcome>>,
+    host_name: &'static str,
+    host_ip: Ipv4,
+    client_ip: Ipv4,
+    report_server: Ipv4,
+    impression: u64,
+    policy: RetryPolicy,
+    db: Rc<RefCell<Database>>,
+    attempts: Cell<u32>,
+    /// Absolute virtual-time deadline, anchored at the first dial. Retry
+    /// decisions compare `now` against it, which reduces to *elapsed*
+    /// time since that dial — invariant across batch sizes and threads.
+    deadline_at: Option<u64>,
+    /// Per-probe DRBG for retry randoms and backoff jitter; forked from
+    /// the session's identity, never from a shared sequential stream.
+    rng: RefCell<Drbg>,
+}
+
+/// Schedule the attempt check `dial_timeout_us` after a dial.
+fn arm_probe_check(net: &mut Network, ctx: Rc<ProbeCtx>, tok: ConnToken) {
+    let Some(timeout) = ctx.policy.dial_timeout_us else { return };
+    net.after(timeout, move |net| check_probe(net, ctx, tok));
+}
+
+/// Fires once per attempt: a finished probe is left alone, anything else
+/// (stalled, blackholed, reset, corrupted) is torn down and either
+/// redialed after backoff or recorded as a typed failure.
+fn check_probe(net: &mut Network, ctx: Rc<ProbeCtx>, tok: ConnToken) {
+    if ctx.outcome.borrow().state == ProbeState::Done {
+        return;
+    }
+    net.close_conn(tok);
+    let attempt = ctx.attempts.get();
+    let deadline_hit = ctx.deadline_at.is_some_and(|d| net.now_us() >= d);
+    if attempt < ctx.policy.max_attempts && !deadline_hit {
+        let delay = backoff_delay(&ctx, attempt);
+        net.after(delay, move |net| redial_probe(net, ctx));
+    } else {
+        record_probe_failure(&ctx, deadline_hit);
+    }
+}
+
+/// Bounded exponential backoff before attempt `attempt + 1`, plus a
+/// DRBG-drawn jitter fraction.
+fn backoff_delay(ctx: &ProbeCtx, attempt: u32) -> u64 {
+    let exp = (attempt - 1).min(20);
+    let base = (ctx.policy.backoff_base_us << exp).min(ctx.policy.backoff_max_us);
+    let span = (base as f64 * ctx.policy.jitter) as u64;
+    if span > 0 {
+        base + ctx.rng.borrow_mut().gen_range(span)
+    } else {
+        base
+    }
+}
+
+/// Launch the next attempt: fresh ClientHello random from the per-probe
+/// DRBG, fresh conduit, outcome cell reset in place, check re-armed.
+fn redial_probe(net: &mut Network, ctx: Rc<ProbeCtx>) {
+    ctx.attempts.set(ctx.attempts.get() + 1);
+    ctx.outcome.borrow_mut().reset();
+    let mut random = [0u8; 32];
+    ctx.rng.borrow_mut().fill_bytes(&mut random);
+    let reporter = ReportingProbe {
+        probe: ProbeClient::new(ctx.host_name, random, ctx.outcome.clone()),
+        outcome: ctx.outcome.clone(),
+        host_name: ctx.host_name,
+        client_ip: ctx.client_ip,
+        report_server: ctx.report_server,
+        impression: ctx.impression,
+        attempt: ctx.attempts.get(),
+        reported: false,
+    };
+    match net.dial_from(ctx.client_ip, ctx.host_ip, 443, Box::new(reporter)) {
+        Ok(tok) => arm_probe_check(net, ctx, tok),
+        // A dial refused mid-retry (portal rules changed under us) ends
+        // the ladder with whatever the last outcome showed.
+        Err(_) => record_probe_failure(&ctx, false),
+    }
+}
+
+/// Retry budget exhausted: append the typed failure record.
+fn record_probe_failure(ctx: &ProbeCtx, deadline_hit: bool) {
+    let error = SessionError::from_outcome(&ctx.outcome.borrow(), deadline_hit);
+    ctx.db.borrow_mut().failures.push(ProbeFailureRecord {
+        impression: ctx.impression,
+        client_ip: ctx.client_ip,
+        host: ctx.host_name,
+        error,
+        attempts: ctx.attempts.get(),
+    });
+}
+
 /// A probe that uploads its captured chain once done (§3 step 3).
 struct ReportingProbe {
     probe: ProbeClient,
@@ -298,6 +576,8 @@ struct ReportingProbe {
     client_ip: Ipv4,
     report_server: Ipv4,
     impression: u64,
+    /// 1-based attempt ordinal; >1 only when the retry layer redialed.
+    attempt: u32,
     reported: bool,
 }
 
@@ -327,7 +607,12 @@ impl ReportingProbe {
             text.into_bytes()
         };
         let ok = Rc::new(RefCell::new(false));
-        let path = format!("/report?host={}&imp={}", self.host_name, self.impression);
+        // `att=` rides along only on retried attempts, keeping first-
+        // attempt wire bytes identical to the retry-free build.
+        let mut path = format!("/report?host={}&imp={}", self.host_name, self.impression);
+        if self.attempt > 1 {
+            path.push_str(&format!("&att={}", self.attempt));
+        }
         let _ = io.dial_with_source(
             self.client_ip,
             self.report_server,
@@ -354,6 +639,7 @@ impl Conduit for ReportingProbe {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::report::Database;
@@ -514,6 +800,96 @@ mod tests {
             "stalled sides must be reaped per batch, high water {}",
             runner.sides_high_water()
         );
+    }
+
+    #[test]
+    fn retry_recovers_blackholed_probes() {
+        // Half of all dials vanish (no Open ever fires). With 3 attempts
+        // and fresh per-attempt fault streams, most probes must still
+        // land — and recovered records carry attempts > 1. Probes whose
+        // every attempt was swallowed end up as typed TimedOut failures,
+        // never silent drops.
+        let (runner, db, geo) = runner();
+        let mut runner = runner.with_retry_policy(RetryPolicy::standard());
+        runner.set_default_link(LinkProfile {
+            faults: tlsfoe_netsim::FaultProfile { blackhole: 0.5, ..Default::default() },
+            ..LinkProfile::default()
+        });
+        let m = model();
+        let us = by_code("US").unwrap();
+        let mut rng = Drbg::new(11);
+        for i in 0..30 {
+            let profile =
+                ClientProfile { country: us, ip: geo.client_addr(us, 300 + i), product: None };
+            runner.run_session(&m, &profile, &mut rng, u64::from(i), 9000 + u64::from(i)).unwrap();
+        }
+        let db = db.borrow();
+        assert!(db.total() > 0, "most probes must recover");
+        assert!(db.records.iter().any(|r| r.attempts > 1), "some records must have needed a retry");
+        for f in &db.failures {
+            assert_eq!(f.error, SessionError::TimedOut, "blackhole reads as timeout");
+            assert_eq!(f.attempts, 3, "failures must have exhausted the budget");
+        }
+    }
+
+    #[test]
+    fn reset_storm_records_typed_failures() {
+        // Every connection is reset at a DRBG-chosen early frame, on
+        // both sides. Client-side resets surface as TimedOut (the probe
+        // never hears back), server-side resets as ClosedEarly; either
+        // way the ladder exhausts and records a typed failure.
+        let (runner, db, geo) = runner();
+        let mut runner = runner.with_retry_policy(RetryPolicy::standard());
+        runner.set_default_link(LinkProfile {
+            faults: tlsfoe_netsim::FaultProfile { reset: 1.0, ..Default::default() },
+            ..LinkProfile::default()
+        });
+        let m = model();
+        let us = by_code("US").unwrap();
+        let mut rng = Drbg::new(13);
+        for i in 0..20 {
+            let profile =
+                ClientProfile { country: us, ip: geo.client_addr(us, 400 + i), product: None };
+            runner.run_session(&m, &profile, &mut rng, u64::from(i), 9500 + u64::from(i)).unwrap();
+        }
+        let db = db.borrow();
+        assert!(!db.failures.is_empty(), "guaranteed resets must produce failures");
+        for f in &db.failures {
+            assert!(
+                matches!(f.error, SessionError::TimedOut | SessionError::ClosedEarly),
+                "unexpected taxonomy {:?}",
+                f.error
+            );
+            assert!(f.attempts >= 1);
+        }
+    }
+
+    #[test]
+    fn active_retry_policy_without_faults_changes_nothing() {
+        // On a clean network the retry machinery is pure overhead: every
+        // check timer finds its probe Done. Records must be identical to
+        // a disabled-policy run, with zero failures and attempts == 1.
+        let run = |retry: RetryPolicy| {
+            let (runner, db, geo) = runner();
+            let mut runner = runner.with_retry_policy(retry);
+            let m = model();
+            let us = by_code("US").unwrap();
+            let mut rng = Drbg::new(17);
+            for i in 0..25 {
+                let profile =
+                    ClientProfile { country: us, ip: geo.client_addr(us, 500 + i), product: None };
+                runner
+                    .run_session(&m, &profile, &mut rng, u64::from(i), 9800 + u64::from(i))
+                    .unwrap();
+            }
+            db.replace(Database::new())
+        };
+        let plain = run(RetryPolicy::disabled());
+        let retried = run(RetryPolicy::standard());
+        assert!(plain.total() > 0);
+        assert_eq!(plain, retried, "fault-free retry run must be bit-identical");
+        assert!(retried.failures.is_empty());
+        assert!(retried.records.iter().all(|r| r.attempts == 1));
     }
 
     #[test]

@@ -25,37 +25,72 @@ use tlsfoe_adsim::{Campaign, Inventory};
 use tlsfoe_crypto::drbg::{Drbg, RngCore64};
 use tlsfoe_geo::countries::{by_code, CountryCode};
 use tlsfoe_geo::GeoDb;
-use tlsfoe_netsim::NetRunError;
+use tlsfoe_netsim::{FaultProfile, LinkProfile, NetRunError};
 use tlsfoe_population::model::{PopulationModel, StudyEra};
 
 use crate::hosts::HostCatalog;
 use crate::report::{Database, ReportServer};
-use crate::session::{SessionRunner, DEFAULT_BATCH};
+use crate::session::{RetryPolicy, SessionRunner, DEFAULT_BATCH};
+
+/// One shard abandoning its remaining impressions: the network drive
+/// tripped its event cap (livelocked conduit or a cap shrunk by a chaos
+/// sweep). The shard's already-measured records survive — this is the
+/// context for what was lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// Which shard (chunk index) failed.
+    pub shard: usize,
+    /// The global impression index being enqueued when the drive failed
+    /// (for a failure in the final flush, the first impression past the
+    /// shard's range).
+    pub impression: u64,
+    /// Country of that impression (`None` for a final-flush failure,
+    /// which has no single impression to blame).
+    pub country: Option<CountryCode>,
+    /// The underlying network error.
+    pub error: NetRunError,
+}
+
+impl core::fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "shard {} failed at impression {}", self.shard, self.impression)?;
+        if let Some(c) = self.country {
+            write!(f, " ({})", tlsfoe_geo::countries::info(c).code)?;
+        }
+        write!(f, ": {}", self.error)
+    }
+}
 
 /// A study failed in a way the orchestrator can report with context
 /// (instead of a worker thread aborting the process).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StudyError {
-    /// A worker's simulated network exceeded its event cap (livelocked
-    /// conduit) while driving a session batch.
-    Net(NetRunError),
+    /// More shards abandoned their impression ranges than
+    /// [`StudyConfig::shard_fault_budget`] tolerates. Carries every
+    /// shard's failure context (shard index, impression, country).
+    FaultBudget {
+        /// Each failed shard's context.
+        failures: Vec<ShardFailure>,
+        /// The budget that was exceeded.
+        budget: u64,
+    },
 }
 
 impl core::fmt::Display for StudyError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            StudyError::Net(e) => write!(f, "study worker failed: {e}"),
+            StudyError::FaultBudget { failures, budget } => {
+                write!(f, "{} shard(s) failed (budget {budget})", failures.len())?;
+                for fail in failures {
+                    write!(f, "; {fail}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
 
 impl std::error::Error for StudyError {}
-
-impl From<NetRunError> for StudyError {
-    fn from(e: NetRunError) -> StudyError {
-        StudyError::Net(e)
-    }
-}
 
 /// Per-country geo block size (must exceed the largest per-study
 /// impression count so client IPs stay distinct).
@@ -107,6 +142,23 @@ pub struct StudyConfig {
     /// the single-threaded `session_ns` series when warmed
     /// unconditionally).
     pub warm_substitutes: bool,
+    /// Fault injection applied to every client link in every shard
+    /// (default [`FaultProfile::none`], which samples no fault DRBGs and
+    /// leaves the event stream byte-identical to a fault-free build).
+    pub faults: FaultProfile,
+    /// Session retry/timeout policy (default [`RetryPolicy::disabled`]:
+    /// no timers, byte-identical to the retry-free path).
+    pub retry: RetryPolicy,
+    /// How many shards may abandon their impression range (event-cap
+    /// trip) before the whole study errors. Within budget the study
+    /// completes with a partial database plus per-shard failure context
+    /// in [`StudyOutcome::shard_failures`]. Default 0: any shard failure
+    /// fails the study, matching the old fail-fast behavior.
+    pub shard_fault_budget: u64,
+    /// Override each shard network's per-drive event cap (`None` keeps
+    /// the netsim default). Chaos sweeps and degradation tests shrink it
+    /// to force `NetRunError`s on demand.
+    pub max_net_events: Option<u64>,
 }
 
 impl StudyConfig {
@@ -122,6 +174,10 @@ impl StudyConfig {
             batch: DEFAULT_BATCH,
             warm_keys: true,
             warm_substitutes: true,
+            faults: FaultProfile::none(),
+            retry: RetryPolicy::disabled(),
+            shard_fault_budget: 0,
+            max_net_events: None,
         }
     }
 
@@ -137,6 +193,10 @@ impl StudyConfig {
             batch: DEFAULT_BATCH,
             warm_keys: true,
             warm_substitutes: true,
+            faults: FaultProfile::none(),
+            retry: RetryPolicy::disabled(),
+            shard_fault_budget: 0,
+            max_net_events: None,
         }
     }
 }
@@ -165,6 +225,9 @@ pub struct StudyOutcome {
     pub campaigns: Vec<CampaignStats>,
     /// The measurement database (input to every analysis table).
     pub db: Database,
+    /// Shards that abandoned their impression range (within the
+    /// configured fault budget). Empty on a healthy run.
+    pub shard_failures: Vec<ShardFailure>,
 }
 
 impl StudyOutcome {
@@ -267,10 +330,13 @@ pub fn run_study(cfg: &StudyConfig) -> Result<StudyOutcome, StudyError> {
     }
     let chunk_size = impressions.len().div_ceil(threads).max(1);
     let mut db = Database::new();
+    let mut shard_failures = Vec::new();
     if serial {
-        db.merge(run_shard(cfg, &catalog, &model, &impressions, 0)?);
+        let (shard_db, failure) = run_shard(cfg, &catalog, &model, &impressions, 0, 0);
+        db.merge(shard_db);
+        shard_failures.extend(failure);
     } else {
-        let shards: Vec<Result<Database, StudyError>> = std::thread::scope(|s| {
+        let shards: Vec<(Database, Option<ShardFailure>)> = std::thread::scope(|s| {
             let handles: Vec<_> = impressions
                 .chunks(chunk_size)
                 .enumerate()
@@ -279,18 +345,28 @@ pub fn run_study(cfg: &StudyConfig) -> Result<StudyOutcome, StudyError> {
                     let catalog = catalog.clone();
                     let model = model.clone();
                     s.spawn(move || {
-                        run_shard(&cfg, &catalog, &model, chunk, (i * chunk_size) as u64)
+                        run_shard(&cfg, &catalog, &model, chunk, (i * chunk_size) as u64, i)
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("shard panicked")).collect()
         });
-        for shard in shards {
-            db.merge(shard?);
+        // Every shard's partial database is merged before the budget
+        // check: a tripped shard loses its remaining range, never its
+        // siblings' work (graceful degradation, not fail-fast).
+        for (shard_db, failure) in shards {
+            db.merge(shard_db);
+            shard_failures.extend(failure);
         }
     }
+    if shard_failures.len() as u64 > cfg.shard_fault_budget {
+        return Err(StudyError::FaultBudget {
+            failures: shard_failures,
+            budget: cfg.shard_fault_budget,
+        });
+    }
 
-    Ok(StudyOutcome { campaigns: stats, db })
+    Ok(StudyOutcome { campaigns: stats, db, shard_failures })
 }
 
 /// Process one contiguous range of impressions against the run-wide
@@ -299,21 +375,39 @@ pub fn run_study(cfg: &StudyConfig) -> Result<StudyOutcome, StudyError> {
 /// The shard owns exactly one [`SessionRunner`] — and through it exactly
 /// one long-lived `Network` — for its whole impression range; sessions
 /// are injected `cfg.batch` at a time into the shared event loop.
+///
+/// A network drive error (event-cap trip) abandons the shard's
+/// *remaining* impressions but keeps everything measured so far: the
+/// partial database is returned alongside the failure context, and the
+/// caller decides — against the study's fault budget — whether the run
+/// survives.
 fn run_shard(
     cfg: &StudyConfig,
     catalog: &Arc<HostCatalog>,
     model: &PopulationModel,
     countries: &[CountryCode],
     base_index: u64,
-) -> Result<Database, StudyError> {
+    shard: usize,
+) -> (Database, Option<ShardFailure>) {
     let geo = GeoDb::allocate(GEO_BLOCK);
     let db = Rc::new(RefCell::new(Database::new()));
     let report = Rc::new(ReportServer::new(catalog, geo.clone(), db.clone()));
-    let mut runner = SessionRunner::new(catalog.clone(), report).with_batch_size(cfg.batch);
+    let mut runner = SessionRunner::new(catalog.clone(), report)
+        .with_batch_size(cfg.batch)
+        .with_retry_policy(cfg.retry.clone());
     if cfg.era == StudyEra::Study1 && !cfg.baseline {
         // Study 1's single-probe completion rate: 2.86M measurements out
         // of 4.63M ads ≈ 61.7%.
         runner = runner.with_authors_completion(0.617);
+    }
+    if cfg.faults.any() {
+        // Chaos mode: every client link carries the fault profile. Gated
+        // on `any()` so the default config never touches the link map.
+        runner
+            .set_default_link(LinkProfile { faults: cfg.faults.clone(), ..LinkProfile::default() });
+    }
+    if let Some(cap) = cfg.max_net_events {
+        runner.set_max_events(cap);
     }
 
     for (offset, &country) in countries.iter().enumerate() {
@@ -336,14 +430,22 @@ fn run_shard(
                 profile.ip = geo.client_addr(country, 0);
             }
         }
-        runner.enqueue_session(model, &profile, &mut rng, idx, cfg.seed ^ idx)?;
+        if let Err(error) = runner.enqueue_session(model, &profile, &mut rng, idx, cfg.seed ^ idx) {
+            let failure = ShardFailure { shard, impression: idx, country: Some(country), error };
+            return (db.replace(Database::new()), Some(failure));
+        }
     }
-    runner.finish()?;
+    if let Err(error) = runner.finish() {
+        let impression = base_index + countries.len() as u64;
+        let failure = ShardFailure { shard, impression, country: None, error };
+        return (db.replace(Database::new()), Some(failure));
+    }
 
-    Ok(db.replace(Database::new()))
+    (db.replace(Database::new()), None)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -461,6 +563,113 @@ mod tests {
     }
 
     #[test]
+    fn chaos_study_bit_identical_across_threads_and_batch_sizes() {
+        // The fault-injection determinism contract: with faults and
+        // retries active, the full study database — records, attempt
+        // counts, typed failures — must be bit-identical whether
+        // sessions run serial/unbatched or sharded across 8 threads
+        // with any batch size. Per-connection fault streams derive from
+        // the session identity and retry decisions from elapsed virtual
+        // time, so nothing may depend on scheduling.
+        let base = StudyConfig {
+            faults: FaultProfile::uniform(0.05),
+            retry: crate::session::RetryPolicy::standard(),
+            ..StudyConfig::study1(3_000, 37)
+        };
+        let a = run_study(&StudyConfig { threads: 1, batch: 1, ..base.clone() }).expect("study");
+        let b = run_study(&StudyConfig { threads: 8, batch: 64, ..base.clone() }).expect("study");
+        let c = run_study(&StudyConfig { threads: 8, batch: 7, ..base }).expect("study");
+        assert!(
+            a.db.failed() > 0 || a.db.records.iter().any(|r| r.attempts > 1),
+            "chaos must actually bite (failures {} retried {})",
+            a.db.failed(),
+            a.db.records.iter().filter(|r| r.attempts > 1).count()
+        );
+        assert_eq!(a.db, b.db, "thread count changed a faulted database");
+        assert_eq!(b.db, c.db, "batch size changed a faulted database");
+    }
+
+    #[test]
+    fn zero_fault_chaos_config_reproduces_plain_study() {
+        // fault rates = 0 plus an armed retry policy must reproduce the
+        // plain study bit for bit: no fault DRBGs are sampled, and every
+        // retry check finds its probe already finished.
+        let base = StudyConfig::study1(8_000, 41);
+        let plain = run_study(&base).expect("study");
+        let chaos = run_study(&StudyConfig {
+            faults: FaultProfile::none(),
+            retry: crate::session::RetryPolicy::standard(),
+            shard_fault_budget: 8,
+            ..base
+        })
+        .expect("study");
+        assert!(plain.db.total() > 0);
+        assert_eq!(plain.db, chaos.db, "zero-fault chaos config must be invisible");
+        assert!(chaos.shard_failures.is_empty());
+    }
+
+    #[test]
+    fn wedged_shard_does_not_poison_siblings() {
+        // Regression (satellite): one shard tripping its event cap must
+        // not disturb what a sibling shard measures — the shards share
+        // the population model, key caches and substitute cache, and a
+        // wedged network must leave all of that clean.
+        let cfg = StudyConfig::study1(8_000, 43);
+        let catalog = Arc::new(HostCatalog::study1());
+        let model = PopulationModel::new(StudyEra::Study1, catalog.public_roots.clone());
+        let us = by_code("US").unwrap();
+        let de = by_code("DE").unwrap();
+        let chunk_a = vec![us; 40];
+        let chunk_b = vec![de; 40];
+
+        // Solo baseline for the sibling's chunk.
+        let (solo, f) = run_shard(&cfg, &catalog, &model, &chunk_b, 40, 1);
+        assert!(f.is_none());
+
+        // Wedge shard 0 (tiny per-drive event cap, batch 1 so the first
+        // enqueue drives and trips), then run the sibling normally.
+        let wedged_cfg = StudyConfig { max_net_events: Some(5), batch: 1, ..cfg.clone() };
+        let (_partial, failure) = run_shard(&wedged_cfg, &catalog, &model, &chunk_a, 0, 0);
+        let failure = failure.expect("a 5-event cap must trip immediately");
+        assert_eq!(failure.shard, 0);
+        assert_eq!(failure.impression, 0, "first enqueue must have tripped");
+        assert_eq!(failure.country, Some(us));
+        assert_eq!(failure.error.max_events, 5);
+
+        let (after, f) = run_shard(&cfg, &catalog, &model, &chunk_b, 40, 1);
+        assert!(f.is_none());
+        assert_eq!(solo, after, "wedged shard poisoned its sibling's results");
+    }
+
+    #[test]
+    fn fault_budget_gates_partial_completion() {
+        // End-to-end degradation: with a tiny event cap every shard
+        // abandons its range. Budget 0 fails the study but carries full
+        // per-shard context; a generous budget completes the run with
+        // the same failures attached to the outcome.
+        let base = StudyConfig {
+            threads: 4,
+            batch: 8,
+            max_net_events: Some(5),
+            ..StudyConfig::study1(2_000, 47)
+        };
+        let err = run_study(&StudyConfig { shard_fault_budget: 0, ..base.clone() }).unwrap_err();
+        let StudyError::FaultBudget { failures, budget } = err;
+        assert_eq!(budget, 0);
+        assert_eq!(failures.len(), 4, "every shard must have tripped");
+        for f in &failures {
+            assert!(f.country.is_some(), "enqueue-time trips must carry the country");
+            assert_eq!(f.error.max_events, 5);
+        }
+        let shards: std::collections::HashSet<usize> = failures.iter().map(|f| f.shard).collect();
+        assert_eq!(shards.len(), 4, "failures must identify distinct shards");
+
+        let out = run_study(&StudyConfig { shard_fault_budget: 4, ..base }).expect("degraded run");
+        assert_eq!(out.shard_failures.len(), 4);
+        assert!(out.impressions() > 0, "ad-delivery stats survive degradation");
+    }
+
+    #[test]
     fn study2_has_six_campaigns() {
         let cfg = StudyConfig { threads: 2, ..StudyConfig::study2(5000, 3) };
         let out = run_study(&cfg).expect("study runs");
@@ -471,6 +680,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod boost_tests {
     use super::*;
 

@@ -209,6 +209,7 @@ pub fn audit_table(rows: &[AuditRow]) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

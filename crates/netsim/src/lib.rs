@@ -24,13 +24,16 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod addr;
 pub mod conduit;
+pub mod fault;
 pub mod net;
 pub mod policy;
 
 pub use addr::Ipv4;
 pub use conduit::{Conduit, ConnToken, IoCtx};
+pub use fault::FaultProfile;
 pub use net::{DialError, LinkProfile, NetRunError, Network, NetworkConfig};
-pub use policy::{PolicyFetchResult, PolicyServer, SOCKET_POLICY_BODY};
+pub use policy::{fetch_policy, PolicyFetchResult, PolicyServer, SOCKET_POLICY_BODY};

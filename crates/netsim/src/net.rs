@@ -26,8 +26,10 @@ use tlsfoe_crypto::drbg::{Drbg, RngCore64, SplitMix64};
 
 use crate::addr::Ipv4;
 use crate::conduit::{Conduit, ConnToken, IoCtx};
+use crate::fault::{FaultAction, FaultState};
 
 pub use crate::conduit::DialError;
+pub use crate::fault::FaultProfile;
 
 /// Information about an incoming connection, handed to listener factories
 /// and interceptors.
@@ -71,6 +73,10 @@ pub struct LinkProfile {
     /// Ports a captive portal on this path blocks (empty = none). The
     /// paper serves its policy file on port 80 to survive exactly these.
     pub blocked_ports: Vec<u16>,
+    /// Typed fault model for this link (resets, blackholes, truncation,
+    /// corruption, stalls). Defaults to fault-free; see [`FaultProfile`]
+    /// for the per-connection determinism contract.
+    pub faults: FaultProfile,
 }
 
 impl Default for LinkProfile {
@@ -79,6 +85,7 @@ impl Default for LinkProfile {
             latency_us: 20_000, // 20 ms one-way
             loss: 0.0,
             blocked_ports: Vec::new(),
+            faults: FaultProfile::none(),
         }
     }
 }
@@ -134,6 +141,9 @@ enum EventKind {
     /// Deterministic teardown of a side that closed itself: drop its
     /// conduit and recycle the slot without waiting for the peer.
     Finalize(ConnToken),
+    /// A scheduled callback (see [`Network::after`]); the id indexes the
+    /// pending-timer table, so cancelled timers become no-op events.
+    Timer(u64),
 }
 
 struct Event {
@@ -170,6 +180,9 @@ struct Side {
     loss: f64,
     /// Private loss stream for this side (present iff `loss > 0`).
     loss_rng: Option<Drbg>,
+    /// Sampled fault plan for this side (present iff the link's
+    /// [`FaultProfile::any`] is true).
+    fault: Option<FaultState>,
     /// The dial scope this connection was opened under; further dials
     /// made *by* this side's conduit (a proxy's upstream leg, a probe's
     /// report upload) inherit it, so their loss streams stay a pure
@@ -202,7 +215,15 @@ pub struct Network {
     seed: u64,
     scopes: HashMap<Ipv4, DialScope>,
     processed: u64,
+    /// Pending timer callbacks, keyed by timer id (see [`Network::after`]).
+    timers: HashMap<u64, TimerFn>,
+    next_timer: u64,
 }
+
+/// A scheduled callback. Timers run with full access to the network —
+/// the retry layer uses them to inspect probe outcomes, close stalled
+/// connections and re-dial.
+pub type TimerFn = Box<dyn FnOnce(&mut Network)>;
 
 impl Network {
     /// Create a network with the given configuration and RNG seed (the
@@ -221,6 +242,8 @@ impl Network {
             seed,
             scopes: HashMap::new(),
             processed: 0,
+            timers: HashMap::new(),
+            next_timer: 0,
         }
     }
 
@@ -302,6 +325,18 @@ impl Network {
         self.links.remove(&client);
     }
 
+    /// Replace the default link profile (used by clients with no
+    /// specific profile) — how a study applies one fault model to every
+    /// client at once.
+    pub fn set_default_link(&mut self, link: LinkProfile) {
+        self.config.default_link = link;
+    }
+
+    /// Override the per-run event cap (see [`NetworkConfig::max_events`]).
+    pub fn set_max_events(&mut self, max_events: u64) {
+        self.config.max_events = max_events;
+    }
+
     /// Open a dial scope for `client`: subsequent connections from this
     /// client derive their loss streams from `(network seed, client,
     /// salt, per-scope dial ordinal)` — a pure function of the session's
@@ -315,6 +350,33 @@ impl Network {
     /// Close a client's dial scope (see [`Network::begin_session`]).
     pub fn end_session(&mut self, client: Ipv4) {
         self.scopes.remove(&client);
+    }
+
+    /// Schedule `f` to run after `delay_us` of virtual time, as a
+    /// first-class timestamped event. Returns a timer id usable with
+    /// [`Network::cancel_timer`]. This is the primitive dial timeouts,
+    /// probe deadlines and retry backoff are built on: the callback runs
+    /// inside the event loop with full mutable access, so it can inspect
+    /// outcomes, close stalled connections and dial replacements.
+    pub fn after(&mut self, delay_us: u64, f: impl FnOnce(&mut Network) + 'static) -> u64 {
+        let id = self.next_timer;
+        self.next_timer += 1;
+        self.timers.insert(id, Box::new(f));
+        self.push_event(delay_us, EventKind::Timer(id));
+        id
+    }
+
+    /// Cancel a pending timer. The already-queued event still pops (and
+    /// advances virtual time) but runs nothing. Idempotent.
+    pub fn cancel_timer(&mut self, id: u64) {
+        self.timers.remove(&id);
+    }
+
+    /// Close a connection side from outside its conduit (the timer-driven
+    /// retry path uses this to kill a stalled dial before re-dialing).
+    /// No-op if the token is stale or the side already closed.
+    pub fn close_conn(&mut self, tok: ConnToken) {
+        self.queue_close(tok);
     }
 
     fn link_for(&self, client: Ipv4) -> LinkProfile {
@@ -337,11 +399,9 @@ impl Network {
         }
         let info = DialInfo { client, dst, port };
         // The client's interceptor chain may claim the connection.
-        let claimed = self.interceptors.get(&client).is_some_and(|i| i.claims(dst, port));
-        let acceptor: Box<dyn Conduit> = if claimed {
-            self.interceptors.get_mut(&client).expect("interceptor present").accept(info)
-        } else {
-            self.accept_from_listener(info)?
+        let acceptor: Box<dyn Conduit> = match self.interceptors.get_mut(&client) {
+            Some(interceptor) if interceptor.claims(dst, port) => interceptor.accept(info),
+            _ => self.accept_from_listener(info)?,
         };
         self.connect_pair(client, link, conduit, acceptor)
     }
@@ -408,6 +468,7 @@ impl Network {
                 latency_us: 0,
                 loss: 0.0,
                 loss_rng: None,
+                fault: None,
                 scope: Ipv4([0, 0, 0, 0]),
                 open: false,
             });
@@ -429,6 +490,20 @@ impl Network {
         } else {
             (None, None)
         };
+        // Fault plans fork from the same per-connection stream seed under
+        // a distinct label, so enabling faults never perturbs loss
+        // sampling (and vice versa). A fault-free profile samples nothing.
+        let (fault_a, fault_b, blackholed) = if link.faults.any() {
+            let root = Drbg::new(stream_seed).fork("faults");
+            let blackholed = root.fork("dial").gen_bool(link.faults.blackhole);
+            (
+                Some(FaultState::sample(&link.faults, root.fork("initiator"))),
+                Some(FaultState::sample(&link.faults, root.fork("acceptor"))),
+                blackholed,
+            )
+        } else {
+            (None, None, false)
+        };
         let slot_a = self.alloc_slot();
         let slot_b = self.alloc_slot();
         let a = ConnToken { slot: slot_a, gen: self.sides[slot_a].gen };
@@ -441,6 +516,7 @@ impl Network {
             latency_us: lat,
             loss: link.loss,
             loss_rng: rng_a,
+            fault: fault_a,
             scope,
             open: true,
         };
@@ -451,13 +527,19 @@ impl Network {
             latency_us: lat,
             loss: link.loss,
             loss_rng: rng_b,
+            fault: fault_b,
             scope,
             open: true,
         };
-        // Acceptor learns of the connection after one RTT/2; the initiator
-        // after a full RTT (SYN → SYN/ACK).
-        self.push_event(lat, EventKind::Open(b));
-        self.push_event(2 * lat, EventKind::Open(a));
+        if !blackholed {
+            // Acceptor learns of the connection after one RTT/2; the
+            // initiator after a full RTT (SYN → SYN/ACK).
+            self.push_event(lat, EventKind::Open(b));
+            self.push_event(2 * lat, EventKind::Open(a));
+        }
+        // A blackholed dial's SYN vanishes: neither endpoint ever sees
+        // on_open, the pair just sits until a timeout closes it or
+        // `reap_stalled` reclaims it at quiescence.
         Ok(a)
     }
 
@@ -490,6 +572,7 @@ impl Network {
         side.gen = side.gen.wrapping_add(1);
         side.conduit = None;
         side.loss_rng = None;
+        side.fault = None;
         side.open = false;
         self.free.push(tok.slot);
     }
@@ -509,7 +592,38 @@ impl Network {
         if lost {
             return; // silently dropped; peer stalls (probe times out)
         }
-        self.push_event(lat, EventKind::Data(peer, bytes.to_vec()));
+        let action = match side.fault.as_mut() {
+            Some(fault) => fault.on_frame(bytes.len()),
+            None => FaultAction::Deliver,
+        };
+        match action {
+            FaultAction::Deliver => {
+                self.push_event(lat, EventKind::Data(peer, bytes.to_vec()));
+            }
+            FaultAction::CorruptByte { offset, mask } => {
+                // One flipped byte; the frame still arrives, so the peer's
+                // parser must surface the damage as a typed error.
+                let mut corrupted = bytes.to_vec();
+                corrupted[offset] ^= mask;
+                self.push_event(lat, EventKind::Data(peer, corrupted));
+            }
+            FaultAction::TruncateClose { keep } => {
+                // The wire cuts the frame short and the connection dies:
+                // the truncated bytes land first (same timestamp, earlier
+                // seq), then the close. queue_close tears down this side
+                // and notifies the peer.
+                if keep > 0 {
+                    self.push_event(lat, EventKind::Data(peer, bytes[..keep].to_vec()));
+                }
+                self.queue_close(from);
+            }
+            FaultAction::Reset => {
+                // RST: the frame is lost and both endpoints observe an
+                // abrupt close.
+                self.queue_close(from);
+            }
+            FaultAction::Drop => {} // stalled sender; peer waits forever
+        }
     }
 
     pub(crate) fn queue_close(&mut self, from: ConnToken) {
@@ -550,6 +664,11 @@ impl Network {
                 EventKind::Data(tok, bytes) => self.deliver_data(tok, &bytes),
                 EventKind::Close(tok) => self.deliver_close(tok),
                 EventKind::Finalize(tok) => self.release(tok),
+                EventKind::Timer(id) => {
+                    if let Some(f) = self.timers.remove(&id) {
+                        f(self);
+                    }
+                }
             }
         }
         Ok(n)
@@ -604,6 +723,7 @@ impl Network {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use std::cell::RefCell;
@@ -1106,6 +1226,244 @@ mod tests {
             assert_eq!(net.active_sides(), 0);
         }
         assert_eq!(net.sides_high_water(), 2, "reaped slots must be reused across stalls");
+    }
+
+    #[test]
+    fn blackholed_dial_never_opens() {
+        // blackhole = 1.0: the SYN vanishes — neither conduit sees
+        // on_open, and the stalled pair is reclaimable at quiescence.
+        struct OpenCanary {
+            opened: Rc<RefCell<bool>>,
+        }
+        impl Conduit for OpenCanary {
+            fn on_open(&mut self, _io: &mut IoCtx<'_>) {
+                *self.opened.borrow_mut() = true;
+            }
+            fn on_data(&mut self, _d: &[u8], _io: &mut IoCtx<'_>) {}
+        }
+        let mut net = Network::new(NetworkConfig::default(), 20);
+        let opened = Rc::new(RefCell::new(false));
+        net.listen(server_ip(), 80, {
+            let opened = opened.clone();
+            Box::new(move |_| Box::new(OpenCanary { opened: opened.clone() }))
+        });
+        net.set_link(
+            client_ip(),
+            LinkProfile {
+                faults: FaultProfile { blackhole: 1.0, ..FaultProfile::none() },
+                ..LinkProfile::default()
+            },
+        );
+        let log = Rc::new(RefCell::new(Vec::new()));
+        net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() })).unwrap();
+        net.run().unwrap();
+        assert!(!*opened.borrow(), "blackholed dial must never reach the acceptor");
+        assert!(log.borrow().is_empty());
+        assert_eq!(net.reap_stalled(), 2, "the dead pair must be reclaimable");
+    }
+
+    #[test]
+    fn reset_closes_both_endpoints() {
+        // reset = 1.0 schedules a reset on EVERY connection, but the
+        // sampled ordinal may lie beyond this one-frame exchange — so
+        // some of the 16 complete and some die. What must hold: resets
+        // actually kill exchanges, a reset peer observes on_close (the
+        // Client logs "closed"), and nothing leaks.
+        let mut net = Network::new(NetworkConfig::default(), 21);
+        net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
+        net.set_link(
+            client_ip(),
+            LinkProfile {
+                faults: FaultProfile { reset: 1.0, ..FaultProfile::none() },
+                ..LinkProfile::default()
+            },
+        );
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..16 {
+            net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() }))
+                .unwrap();
+        }
+        net.run().unwrap();
+        let completed = log.borrow().iter().filter(|s| *s == "HELLO").count();
+        assert!(completed < 16, "resets must kill some exchanges");
+        assert!(
+            log.borrow().iter().any(|s| s == "closed"),
+            "a reset must surface as on_close at the peer"
+        );
+        net.reap_stalled();
+        assert_eq!(net.active_sides(), 0);
+    }
+
+    #[test]
+    fn corruption_delivers_a_damaged_frame() {
+        // corrupt = 1.0 (and nothing else): frames still arrive, but at
+        // least one delivered frame differs from what was sent.
+        struct Recorder {
+            got: Rc<RefCell<Vec<Vec<u8>>>>,
+        }
+        impl Conduit for Recorder {
+            fn on_open(&mut self, _io: &mut IoCtx<'_>) {}
+            fn on_data(&mut self, d: &[u8], _io: &mut IoCtx<'_>) {
+                self.got.borrow_mut().push(d.to_vec());
+            }
+        }
+        struct Chatter;
+        impl Conduit for Chatter {
+            fn on_open(&mut self, io: &mut IoCtx<'_>) {
+                for _ in 0..4 {
+                    io.send(b"payload-payload-payload");
+                }
+                io.close();
+            }
+            fn on_data(&mut self, _d: &[u8], _io: &mut IoCtx<'_>) {}
+        }
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let mut net = Network::new(NetworkConfig::default(), 22);
+        net.listen(server_ip(), 80, {
+            let got = got.clone();
+            Box::new(move |_| Box::new(Recorder { got: got.clone() }))
+        });
+        net.set_link(
+            client_ip(),
+            LinkProfile {
+                faults: FaultProfile { corrupt: 1.0, ..FaultProfile::none() },
+                ..LinkProfile::default()
+            },
+        );
+        net.dial_from(client_ip(), server_ip(), 80, Box::new(Chatter)).unwrap();
+        net.run().unwrap();
+        let got = got.borrow();
+        assert_eq!(got.len(), 4, "corruption must not drop frames");
+        let damaged = got.iter().filter(|f| f.as_slice() != b"payload-payload-payload").count();
+        assert_eq!(damaged, 1, "exactly one frame carries the flipped byte");
+        // Same length, exactly one differing byte.
+        let bad = got.iter().find(|f| f.as_slice() != b"payload-payload-payload").unwrap();
+        assert_eq!(bad.len(), b"payload-payload-payload".len());
+        let diffs =
+            bad.iter().zip(b"payload-payload-payload".iter()).filter(|(a, b)| a != b).count();
+        assert_eq!(diffs, 1);
+    }
+
+    #[test]
+    fn fault_outcomes_are_bystander_invariant() {
+        // Fault sampling must be a pure function of (seed, client, salt,
+        // dial ordinal) — exactly the loss-stream contract. An unrelated
+        // faulty session sharing the event loop must not shift outcomes.
+        fn faulty_exchanges(with_bystander: bool) -> Vec<String> {
+            let mut net = Network::new(NetworkConfig::default(), 79);
+            net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
+            let faulty =
+                LinkProfile { faults: FaultProfile::uniform(0.25), ..LinkProfile::default() };
+            net.set_link(client_ip(), faulty.clone());
+            let bystander = Ipv4([198, 51, 100, 99]);
+            net.begin_session(client_ip(), 0xAB);
+            net.begin_session(bystander, 0xCD);
+            if with_bystander {
+                net.set_link(bystander, faulty);
+                let log = Rc::new(RefCell::new(Vec::new()));
+                net.dial_from(bystander, server_ip(), 80, Box::new(Client { log })).unwrap();
+            }
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for _ in 0..16 {
+                net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() }))
+                    .unwrap();
+            }
+            net.run().unwrap();
+            let out = log.borrow().clone();
+            out
+        }
+        let alone = faulty_exchanges(false);
+        let crowded = faulty_exchanges(true);
+        assert_eq!(alone, crowded, "bystander session must not shift fault sampling");
+        let completed = alone.iter().filter(|s| *s == "HELLO").count();
+        assert!(
+            completed > 0 && completed < 16,
+            "25% faults must fail some but not all of 16 exchanges, got {completed}/16"
+        );
+    }
+
+    #[test]
+    fn fault_free_profile_leaves_loss_streams_untouched() {
+        // Adding a FaultProfile with every rate at zero must not consume
+        // any draws: loss outcomes stay identical to a plain lossy link.
+        fn outcomes(faults: FaultProfile) -> Vec<String> {
+            let mut net = Network::new(NetworkConfig::default(), 80);
+            net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
+            net.set_link(client_ip(), LinkProfile { loss: 0.5, faults, ..LinkProfile::default() });
+            net.begin_session(client_ip(), 0x77);
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for _ in 0..8 {
+                net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() }))
+                    .unwrap();
+            }
+            net.run().unwrap();
+            let out = log.borrow().clone();
+            out
+        }
+        assert_eq!(outcomes(FaultProfile::none()), outcomes(FaultProfile::uniform(0.0)));
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_advance_virtual_time() {
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut net = Network::new(NetworkConfig::default(), 30);
+        for (delay, tag) in [(5_000u64, "b"), (1_000, "a"), (9_000, "c")] {
+            let fired = fired.clone();
+            net.after(delay, move |net| {
+                fired.borrow_mut().push((tag, net.now_us()));
+            });
+        }
+        net.run().unwrap();
+        assert_eq!(
+            fired.borrow().as_slice(),
+            [("a", 1_000), ("b", 5_000), ("c", 9_000)],
+            "timers must fire in timestamp order at their scheduled times"
+        );
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        let fired = Rc::new(RefCell::new(0u32));
+        let mut net = Network::new(NetworkConfig::default(), 31);
+        let id = net.after(1_000, {
+            let fired = fired.clone();
+            move |_| *fired.borrow_mut() += 1
+        });
+        net.after(2_000, {
+            let fired = fired.clone();
+            move |_| *fired.borrow_mut() += 10
+        });
+        net.cancel_timer(id);
+        net.cancel_timer(id); // idempotent
+        net.run().unwrap();
+        assert_eq!(*fired.borrow(), 10);
+    }
+
+    #[test]
+    fn timer_can_close_a_stalled_connection() {
+        // The retry layer's core move: a deadline that kills a dial whose
+        // SYN was blackholed. The conduit must be reclaimed by the close,
+        // with no reap needed.
+        let mut net = Network::new(NetworkConfig::default(), 32);
+        net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
+        net.set_link(
+            client_ip(),
+            LinkProfile {
+                faults: FaultProfile { blackhole: 1.0, ..FaultProfile::none() },
+                ..LinkProfile::default()
+            },
+        );
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let tok = net
+            .dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() }))
+            .unwrap();
+        net.after(500_000, move |net| net.close_conn(tok));
+        net.run().unwrap();
+        // close_conn finalizes the dialer and its Close event tears down
+        // the acceptor — nothing lingers, no reap needed.
+        assert_eq!(net.active_sides(), 0);
+        assert_eq!(net.reap_stalled(), 0);
+        assert!(net.now_us() >= 500_000);
     }
 
     #[test]

@@ -14,7 +14,9 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use crate::conduit::{Conduit, IoCtx};
+use crate::addr::Ipv4;
+use crate::conduit::{Conduit, DialError, IoCtx};
+use crate::net::Network;
 
 /// The permissive policy body the study's servers publish: any domain may
 /// connect to port 443 (and 80, where the policy itself is served).
@@ -37,6 +39,10 @@ pub enum PolicyFetchResult {
     Restrictive,
     /// Host closed without answering (or garbage).
     NoPolicy,
+    /// The deadline passed with no response — a blackholed or stalled
+    /// policy server. Only produced by [`fetch_policy`] with a deadline;
+    /// without one the fetch would hang at `Pending` forever.
+    Timeout,
 }
 
 /// Server-side conduit answering policy requests.
@@ -136,7 +142,36 @@ impl Conduit for PolicyClient {
     }
 }
 
+/// Dial a policy fetch from `client` to `server:port`, optionally with a
+/// deadline. If the response has not classified by `deadline_us` of
+/// virtual time, the shared result resolves to
+/// [`PolicyFetchResult::Timeout`] and the stalled connection is closed —
+/// without a deadline a stalled or blackholed server would leave the
+/// fetch `Pending` forever.
+pub fn fetch_policy(
+    net: &mut Network,
+    client: Ipv4,
+    server: Ipv4,
+    port: u16,
+    deadline_us: Option<u64>,
+) -> Result<Rc<RefCell<PolicyFetchResult>>, DialError> {
+    let result = Rc::new(RefCell::new(PolicyFetchResult::Pending));
+    let tok = net.dial_from(client, server, port, Box::new(PolicyClient::new(result.clone())))?;
+    if let Some(deadline) = deadline_us {
+        let result = result.clone();
+        net.after(deadline, move |net| {
+            let pending = *result.borrow() == PolicyFetchResult::Pending;
+            if pending {
+                *result.borrow_mut() = PolicyFetchResult::Timeout;
+                net.close_conn(tok);
+            }
+        });
+    }
+    Ok(result)
+}
+
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::addr::Ipv4;
@@ -190,6 +225,49 @@ mod tests {
         .unwrap();
         net.run().unwrap();
         assert_eq!(*result.borrow(), PolicyFetchResult::NoPolicy);
+    }
+
+    /// A server that accepts and then never answers (and never closes).
+    struct Stonewall;
+    impl Conduit for Stonewall {
+        fn on_open(&mut self, _io: &mut IoCtx<'_>) {}
+        fn on_data(&mut self, _d: &[u8], _io: &mut IoCtx<'_>) {}
+    }
+
+    #[test]
+    fn stalled_fetch_times_out_instead_of_hanging() {
+        let mut net = Network::new(NetworkConfig::default(), 1);
+        let srv = Ipv4([203, 0, 113, 1]);
+        net.listen(srv, 80, Box::new(|_| Box::new(Stonewall)));
+        let result =
+            fetch_policy(&mut net, Ipv4([198, 51, 100, 1]), srv, 80, Some(3_000_000)).unwrap();
+        net.run().unwrap();
+        assert_eq!(*result.borrow(), PolicyFetchResult::Timeout);
+        assert!(net.now_us() >= 3_000_000);
+        // The stalled connection was closed by the deadline, not leaked.
+        net.reap_stalled();
+        assert_eq!(net.active_sides(), 0);
+    }
+
+    #[test]
+    fn deadline_does_not_disturb_a_fast_answer() {
+        let mut net = Network::new(NetworkConfig::default(), 1);
+        let srv = Ipv4([203, 0, 113, 1]);
+        net.listen(srv, 80, Box::new(|_| Box::new(PolicyServer::permissive())));
+        let result =
+            fetch_policy(&mut net, Ipv4([198, 51, 100, 1]), srv, 80, Some(3_000_000)).unwrap();
+        net.run().unwrap();
+        assert_eq!(*result.borrow(), PolicyFetchResult::Permissive);
+    }
+
+    #[test]
+    fn fetch_without_deadline_matches_direct_dial() {
+        let mut net = Network::new(NetworkConfig::default(), 1);
+        let srv = Ipv4([203, 0, 113, 1]);
+        net.listen(srv, 80, Box::new(|_| Box::new(PolicyServer::restrictive())));
+        let result = fetch_policy(&mut net, Ipv4([198, 51, 100, 1]), srv, 80, None).unwrap();
+        net.run().unwrap();
+        assert_eq!(*result.borrow(), PolicyFetchResult::Restrictive);
     }
 
     #[test]

@@ -32,12 +32,12 @@ pub mod record;
 pub mod server;
 pub mod wire;
 
-pub use probe::{ProbeClient, ProbeOutcome, ProbeState};
+pub use probe::{ProbeClient, ProbeError, ProbeOutcome, ProbeState};
 pub use record::{ContentType, ProtocolVersion, RecordParser};
 pub use server::{ServerConfig, TlsCertServer};
 
 /// Errors from TLS message parsing.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TlsError {
     /// Ran out of bytes mid-structure.
     Truncated,

@@ -18,6 +18,30 @@ use tlsfoe_netsim::{Conduit, IoCtx};
 use crate::cipher::CipherSuite;
 use crate::handshake::{Alert, ClientHello, HandshakeMsg, HandshakeParser};
 use crate::record::{encode_records, ContentType, ProtocolVersion, RecordParser};
+use crate::TlsError;
+
+/// Why a probe failed — the typed taxonomy replacing silent drops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeError {
+    /// The server answered with a TLS alert before the certificate.
+    Alert,
+    /// Received bytes failed record/handshake parsing (wire corruption
+    /// or a non-TLS endpoint).
+    Parse(TlsError),
+    /// The connection closed before a certificate was captured
+    /// (reset, truncation, or a server that hung up).
+    ClosedEarly,
+}
+
+impl core::fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ProbeError::Alert => write!(f, "server sent a fatal alert"),
+            ProbeError::Parse(e) => write!(f, "TLS parse failed: {e:?}"),
+            ProbeError::ClosedEarly => write!(f, "connection closed before certificate"),
+        }
+    }
+}
 
 /// Probe lifecycle state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +69,9 @@ pub struct ProbeOutcome {
     pub chain_der: Vec<Vec<u8>>,
     /// Virtual time (µs) when the certificate was captured.
     pub completed_at_us: Option<u64>,
+    /// Why the probe failed (set iff `state` is [`ProbeState::Failed`];
+    /// the first failure observed wins).
+    pub error: Option<ProbeError>,
 }
 
 impl ProbeOutcome {
@@ -56,7 +83,19 @@ impl ProbeOutcome {
             cipher_suite: None,
             chain_der: Vec::new(),
             completed_at_us: None,
+            error: None,
         }))
+    }
+
+    /// Reset to a fresh pending outcome (in place, preserving sharing) —
+    /// the retry layer reuses one cell across attempts.
+    pub fn reset(&mut self) {
+        self.state = ProbeState::Started;
+        self.server_version = None;
+        self.cipher_suite = None;
+        self.chain_der.clear();
+        self.completed_at_us = None;
+        self.error = None;
     }
 }
 
@@ -92,10 +131,13 @@ impl ProbeClient {
         self
     }
 
-    fn fail(&mut self) {
+    fn fail(&mut self, error: ProbeError) {
         let mut o = self.outcome.borrow_mut();
         if o.state != ProbeState::Done {
             o.state = ProbeState::Failed;
+            if o.error.is_none() {
+                o.error = Some(error);
+            }
         }
     }
 }
@@ -146,8 +188,8 @@ impl Conduit for ProbeClient {
                                 }
                                 Ok(Some(_)) => {}
                                 Ok(None) => break,
-                                Err(_) => {
-                                    self.fail();
+                                Err(e) => {
+                                    self.fail(ProbeError::Parse(e));
                                     io.close();
                                     return;
                                 }
@@ -155,15 +197,15 @@ impl Conduit for ProbeClient {
                         }
                     }
                     ContentType::Alert => {
-                        self.fail();
+                        self.fail(ProbeError::Alert);
                         io.close();
                         return;
                     }
                     _ => {}
                 },
                 Ok(None) => break,
-                Err(_) => {
-                    self.fail();
+                Err(e) => {
+                    self.fail(ProbeError::Parse(e));
                     io.close();
                     return;
                 }
@@ -172,7 +214,7 @@ impl Conduit for ProbeClient {
     }
 
     fn on_close(&mut self, _io: &mut IoCtx<'_>) {
-        self.fail();
+        self.fail(ProbeError::ClosedEarly);
     }
 }
 

@@ -3,22 +3,11 @@
 
 use tlsfoe::core::study::{run_study, StudyConfig};
 use tlsfoe::core::{analysis, classify, negligence};
-use tlsfoe::population::model::StudyEra;
 use tlsfoe::population::products::ProxyCategory;
 
 fn quick_study1(seed: u64) -> tlsfoe::core::StudyOutcome {
-    run_study(&StudyConfig {
-        era: StudyEra::Study1,
-        scale: 300,
-        seed,
-        threads: 4,
-        baseline: false,
-        proxy_boost: 1.0,
-        batch: tlsfoe::core::session::DEFAULT_BATCH,
-        warm_keys: true,
-        warm_substitutes: true,
-    })
-    .expect("study runs to completion")
+    run_study(&StudyConfig { threads: 4, ..StudyConfig::study1(300, seed) })
+        .expect("study runs to completion")
 }
 
 #[test]
