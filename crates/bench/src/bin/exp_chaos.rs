@@ -83,7 +83,7 @@ fn run_cell(rate: f64, retry: &RetryPolicy, sessions: u32) -> CellStats {
 
     let db = db.borrow();
     let mut tally: Vec<(&'static str, u64)> = Vec::new();
-    for f in &db.failures {
+    for f in db.failures() {
         match tally.iter_mut().find(|(label, _)| *label == f.error.label()) {
             Some((_, n)) => *n += 1,
             None => tally.push((f.error.label(), 1)),
@@ -92,9 +92,9 @@ fn run_cell(rate: f64, retry: &RetryPolicy, sessions: u32) -> CellStats {
     tally.sort_by_key(|&(label, n)| (std::cmp::Reverse(n), label));
     CellStats {
         completed: db.total(),
-        retried: db.records.iter().filter(|r| r.attempts > 1).count() as u64,
-        attempts_sum: db.records.iter().map(|r| u64::from(r.attempts)).sum::<u64>()
-            + db.failures.iter().map(|f| u64::from(f.attempts)).sum::<u64>(),
+        retried: db.iter().filter(|r| r.attempts > 1).count() as u64,
+        attempts_sum: db.iter().map(|r| u64::from(r.attempts)).sum::<u64>()
+            + db.failures().iter().map(|f| u64::from(f.attempts)).sum::<u64>(),
         failures: tally,
         p50_ms: percentile(&latencies, 0.50) as f64 / 1_000.0,
         p99_ms: percentile(&latencies, 0.99) as f64 / 1_000.0,

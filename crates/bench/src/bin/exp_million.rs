@@ -1,0 +1,90 @@
+//! Scale-series bench for the columnar measurement store: sessions/sec
+//! and peak RSS as study 1 is pushed from 10⁵ toward 10⁶ impressions
+//! (ROADMAP item 2 — "heavy traffic from millions of users" as a
+//! measured claim).
+//!
+//! For each cell the study runs end to end (ads → sessions → report
+//! server → columnar `Database`) and the table reports:
+//!
+//! * wall-clock and sessions/sec at that impression count,
+//! * the store's record count and proxied-evidence interning stats —
+//!   `row-wise chain MB` is what a per-record `Vec<MeasurementRecord>`
+//!   would hold (every proxied record dragging its own DER chain copy),
+//!   `interned MB` is what the columnar store actually holds (each
+//!   distinct chain once), and `dedup` is their ratio: the factor by
+//!   which peak RSS stays sublinear in proxied traffic,
+//! * `VmRSS`/`VmHWM` from `/proc/self/status` (`n/a` off Linux).
+//!
+//! Flags: `--quick` runs only the 10⁵ cell (CI smoke; the workflow wraps
+//! it in `/usr/bin/time -v` for an independent peak-RSS reading). The
+//! full series ends at 10⁶ impressions, ~30 s single-threaded on the
+//! baseline box. Study 1 injects ~4.0M impressions at scale 1, so the
+//! cell scales are 40 → ~1e5, 20 → ~2e5, 8 → ~5e5, 4 → ~1e6.
+
+use std::time::Instant;
+
+use tlsfoe_bench::{current_rss_kb, or_die, peak_rss_kb, seed, threads};
+use tlsfoe_core::study::{run_study, StudyConfig};
+
+fn mb(kb: Option<u64>) -> String {
+    kb.map_or_else(|| "n/a".to_string(), |kb| format!("{:.0}", kb as f64 / 1024.0))
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scales: &[u32] = if quick { &[40] } else { &[40, 20, 8, 4] };
+
+    // No banner(): the scale column is the series axis here, not the
+    // TLSFOE_SCALE environment value the banner would print.
+    println!(
+        "=== exp_million: columnar store at scale ===  (seed {}, paper: O'Neill et al., IMC 2016)\n",
+        seed()
+    );
+    println!(
+        "{:>11} {:>8} {:>12} {:>9} {:>8} {:>7} {:>9} {:>9} {:>7} {:>8} {:>8}",
+        "impressions",
+        "wall s",
+        "sessions/s",
+        "records",
+        "proxied",
+        "chains",
+        "rowwiseMB",
+        "internMB",
+        "dedup",
+        "VmRSS",
+        "VmHWM"
+    );
+
+    for &scale in scales {
+        let mut cfg = StudyConfig::study1(scale, seed());
+        cfg.threads = threads();
+        let start = Instant::now();
+        let out = or_die(run_study(&cfg));
+        let wall = start.elapsed().as_secs_f64();
+        let impressions = out.impressions();
+        let db = &out.db;
+        let logical = db.logical_chain_bytes();
+        let interned = db.interned_chain_bytes();
+        let dedup = logical as f64 / interned.max(1) as f64;
+        println!(
+            "{:>11} {:>8.2} {:>12.0} {:>9} {:>8} {:>7} {:>9.1} {:>9.3} {:>6.0}x {:>8} {:>8}",
+            impressions,
+            wall,
+            impressions as f64 / wall,
+            db.len(),
+            db.proxied(),
+            db.distinct_substitutes(),
+            logical as f64 / (1024.0 * 1024.0),
+            interned as f64 / (1024.0 * 1024.0),
+            dedup,
+            mb(current_rss_kb()),
+            mb(peak_rss_kb()),
+        );
+    }
+    println!(
+        "\n(threads {}, seed {}; row-wise chain MB = what a per-record row vec would store, \
+         interned MB = what the columnar store stores; RSS columns in MB)",
+        threads(),
+        seed()
+    );
+}

@@ -5,8 +5,9 @@
 //! cached context), Montgomery multiply vs the squaring specialization,
 //! RSA sign (CRT vs direct) and verify (e = 65537) — at the paper's
 //! three key sizes, plus named end-to-end series (`keygen`, `mint`,
-//! `session_throughput`), and writes machine-readable per-op times (min
-//! across sample blocks) so future PRs can diff perf trajectories in CI.
+//! `session_throughput`, `million`), and writes machine-readable per-op
+//! times (min across sample blocks) so future PRs can diff perf
+//! trajectories in CI.
 //!
 //! Flags:
 //!
@@ -246,6 +247,59 @@ fn measure_mint(quick: bool) -> Json {
     ])
 }
 
+/// Columnar-store scale series: one study-1 run at ~10⁵ impressions
+/// (scale 40), single-threaded. `million_session_ns` is the gated
+/// metric — per-session cost at 15× the throughput series' session
+/// count, where store append/intern overhead would surface if the
+/// columnar redesign ever regressed. The interning stats and peak RSS
+/// ride along informationally (RSS depends on runner memory layout and
+/// sample order, too coarse for a hard gate); the full sweep up to 10⁶
+/// lives in `exp_million`.
+fn measure_million(quick: bool) -> Json {
+    let scale = 40;
+    let mut cfg = StudyConfig::study1(scale, 2014);
+    cfg.threads = 1;
+    let samples = if quick { 1 } else { 2 };
+    let mut session_ns = u64::MAX;
+    let mut impressions = 0u64;
+    let mut stats = (0u64, 0u64, 0usize, 0u64);
+    eprintln!(
+        "[exp_perf] measuring columnar store at ~1e5 impressions (study 1, scale 1/{scale})…"
+    );
+    for _ in 0..samples {
+        let start = Instant::now();
+        let out = tlsfoe_core::study::run_study(&cfg).expect("million-series study");
+        let elapsed = start.elapsed();
+        impressions = out.impressions();
+        session_ns = session_ns.min((elapsed.as_nanos() / u128::from(impressions.max(1))) as u64);
+        stats = (
+            out.db.total(),
+            out.db.logical_chain_bytes(),
+            out.db.distinct_substitutes(),
+            out.db.interned_chain_bytes(),
+        );
+    }
+    let (records, logical, distinct, interned) = stats;
+    let dedup = logical as f64 / interned.max(1) as f64;
+    let peak_kb = tlsfoe_bench::peak_rss_kb();
+    println!(
+        "million | {impressions} impressions | {session_ns:>9} ns/session | {records} records | \
+         {distinct} distinct chains, dedup {dedup:>5.0}x | peak RSS {} MB",
+        peak_kb.map_or_else(|| "n/a".to_string(), |kb| format!("{:.0}", kb as f64 / 1024.0)),
+    );
+    Json::obj(vec![
+        ("million_session_ns", Json::Int(session_ns as i64)),
+        ("impressions", Json::Int(impressions as i64)),
+        ("records", Json::Int(records as i64)),
+        // Informational (not `_ns`): interning effectiveness and memory.
+        ("distinct_substitute_chains", Json::Int(distinct as i64)),
+        ("rowwise_chain_kb", Json::Int((logical / 1024) as i64)),
+        ("interned_chain_kb", Json::Int((interned / 1024) as i64)),
+        ("chain_dedup_factor", Json::Num(dedup.round())),
+        ("peak_rss_kb", Json::Int(peak_kb.map_or(-1, |kb| kb as i64))),
+    ])
+}
+
 fn measure(quick: bool) -> Json {
     let samples = if quick { 5 } else { 11 };
     let msg = b"tbs certificate bytes stand-in";
@@ -332,6 +386,7 @@ fn measure(quick: bool) -> Json {
                 ("keygen", measure_keygen(quick)),
                 ("mint", measure_mint(quick)),
                 ("session_throughput", measure_session_throughput(quick)),
+                ("million", measure_million(quick)),
             ]),
         ),
     ])

@@ -147,6 +147,33 @@ pub fn study2() -> &'static StudyOutcome {
     })
 }
 
+/// Read one `kB`-valued field (e.g. `VmHWM`, `VmRSS`) from
+/// `/proc/self/status`. Returns `None` off Linux or if the field is
+/// absent — callers print `n/a` instead of failing, so the scale
+/// benches stay portable.
+fn proc_status_kb(key: &str) -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix(key) {
+            let rest = rest.strip_prefix(':')?;
+            return rest.trim().trim_end_matches("kB").trim().parse().ok();
+        }
+    }
+    None
+}
+
+/// Peak resident set size of this process in kB (`VmHWM`): the
+/// high-water mark the kernel tracked, which is what the million-client
+/// memory claims are measured against.
+pub fn peak_rss_kb() -> Option<u64> {
+    proc_status_kb("VmHWM")
+}
+
+/// Current resident set size of this process in kB (`VmRSS`).
+pub fn current_rss_kb() -> Option<u64> {
+    proc_status_kb("VmRSS")
+}
+
 /// Banner with the run parameters, printed by every experiment.
 pub fn banner(what: &str) -> String {
     format!(

@@ -37,7 +37,7 @@ impl CountryRow {
 /// Tables 3 and 7.
 pub fn by_country(db: &Database, top_n: usize) -> (Vec<CountryRow>, CountryRow, CountryRow) {
     let mut per: HashMap<CountryCode, (u64, u64)> = HashMap::new();
-    for r in &db.records {
+    for r in db.iter() {
         if let Some(c) = r.country {
             let e = per.entry(c).or_default();
             e.1 += 1;
@@ -69,8 +69,8 @@ pub fn by_country(db: &Database, top_n: usize) -> (Vec<CountryRow>, CountryRow, 
 /// Issuer-Organization counts (Table 4): top `top_n` plus other.
 pub fn issuer_orgs(db: &Database, top_n: usize) -> (Vec<(String, u64)>, u64) {
     let mut counts: HashMap<String, u64> = HashMap::new();
-    for r in &db.records {
-        if let Some(sub) = &r.substitute {
+    for r in db.iter() {
+        if let Some(sub) = r.substitute {
             let key = match &sub.issuer_org {
                 Some(org) if !org.trim().is_empty() => org.clone(),
                 _ => "Null".to_string(),
@@ -88,8 +88,8 @@ pub fn issuer_orgs(db: &Database, top_n: usize) -> (Vec<(String, u64)>, u64) {
 /// Claimed-issuer classification (Tables 5 and 6): counts per category.
 pub fn classification(db: &Database) -> Vec<(ProxyCategory, u64)> {
     let mut counts: HashMap<ProxyCategory, u64> = HashMap::new();
-    for r in &db.records {
-        if let Some(sub) = &r.substitute {
+    for r in db.iter() {
+        if let Some(sub) = r.substitute {
             let cat = classify::classify(sub.issuer_org.as_deref(), sub.issuer_cn.as_deref());
             *counts.entry(cat).or_default() += 1;
         }
@@ -100,7 +100,7 @@ pub fn classification(db: &Database) -> Vec<(ProxyCategory, u64)> {
 /// Per-host-type interception (Table 8).
 pub fn by_host_type(db: &Database) -> Vec<(HostCategory, u64, u64)> {
     let mut per: HashMap<HostCategory, (u64, u64)> = HashMap::new();
-    for r in &db.records {
+    for r in db.iter() {
         let e = per.entry(r.category).or_default();
         e.1 += 1;
         e.0 += r.proxied as u64;
@@ -127,7 +127,7 @@ pub fn fig7_series(db: &Database, min_total: u64) -> Vec<(CountryCode, f64)> {
 /// (the paper: 142 in study 1, 147 in study 2).
 pub fn proxied_country_count(db: &Database) -> usize {
     let mut set = std::collections::HashSet::new();
-    for r in &db.records {
+    for r in db.iter() {
         if r.proxied {
             if let Some(c) = r.country {
                 set.insert(c);
@@ -140,7 +140,7 @@ pub fn proxied_country_count(db: &Database) -> usize {
 /// Number of distinct proxied client IPs (8,589 in study 1).
 pub fn proxied_ip_count(db: &Database) -> usize {
     let mut set = std::collections::HashSet::new();
-    for r in &db.records {
+    for r in db.iter() {
         if r.proxied {
             set.insert(r.client_ip);
         }
@@ -186,7 +186,7 @@ mod tests {
     }
 
     fn db(records: Vec<MeasurementRecord>) -> Database {
-        Database { records, malformed_uploads: 0, failures: Vec::new() }
+        Database::from_records(records)
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Minimal JSON value, serializer and strict parser.
 //!
-//! The dataset export ([`crate::report::Database::to_jsonl`]) and the
+//! The dataset export ([`crate::store::Database::write_jsonl`]) and the
 //! tests that consume it need JSON, but the workspace is dependency-free
 //! by design — so this module provides the tiny subset a measurement
 //! dataset requires: objects (insertion-ordered), arrays, strings with

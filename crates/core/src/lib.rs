@@ -8,7 +8,10 @@
 //! * [`http`] — the minimal HTTP POST used to upload reports (§3, step 3),
 //! * [`report`] — the reporting server: receives PEM chains, compares
 //!   them with the authoritative certificates, geolocates the client and
-//!   stores a [`report::MeasurementRecord`],
+//!   stores a [`store::MeasurementRecord`],
+//! * [`store`] — the columnar measurement database: struct-of-arrays
+//!   rows, interned substitute evidence, sealed push/cursor/fold API
+//!   sized for million-client studies,
 //! * [`session`] — one ad impression's measurement session: policy
 //!   fetch, partial TLS probes, report upload — over the simulated
 //!   network with the client's interceptor installed,
@@ -43,10 +46,12 @@ pub mod malware;
 pub mod negligence;
 pub mod report;
 pub mod session;
+pub mod store;
 pub mod study;
 pub mod tables;
 
 pub use hosts::{HostCatalog, HostCategory, ProbeHost};
-pub use report::{Database, MeasurementRecord, ProbeFailureRecord, ReportServer, SubstituteInfo};
+pub use report::ReportServer;
 pub use session::{RetryPolicy, SessionError, SessionRunner};
+pub use store::{Database, MeasurementRecord, ProbeFailureRecord, RecordView, SubstituteInfo};
 pub use study::{ShardFailure, StudyConfig, StudyError, StudyOutcome};

@@ -68,8 +68,8 @@ impl NegligenceReport {
 /// by string comparison alone.
 pub fn analyze(db: &Database, real_cas: &[(&str, &RsaPublicKey)]) -> NegligenceReport {
     let mut report = NegligenceReport::default();
-    for r in &db.records {
-        let Some(sub) = &r.substitute else { continue };
+    for r in db.iter() {
+        let Some(sub) = r.substitute else { continue };
         report.substitutes += 1;
         *report.key_sizes.entry(sub.key_bits).or_default() += 1;
         match sub.sig_alg {
@@ -168,17 +168,13 @@ mod tests {
 
     #[test]
     fn key_size_and_hash_histograms() {
-        let db = Database {
-            records: vec![
-                sub_record(1024, SignatureAlgorithm::Sha1WithRsa, "h", true),
-                sub_record(1024, SignatureAlgorithm::Sha1WithRsa, "h", true),
-                sub_record(512, SignatureAlgorithm::Md5WithRsa, "h", true),
-                sub_record(2048, SignatureAlgorithm::Sha256WithRsa, "h", true),
-                sub_record(2432, SignatureAlgorithm::Sha1WithRsa, "h", true),
-            ],
-            malformed_uploads: 0,
-            failures: Vec::new(),
-        };
+        let db = Database::from_records(vec![
+            sub_record(1024, SignatureAlgorithm::Sha1WithRsa, "h", true),
+            sub_record(1024, SignatureAlgorithm::Sha1WithRsa, "h", true),
+            sub_record(512, SignatureAlgorithm::Md5WithRsa, "h", true),
+            sub_record(2048, SignatureAlgorithm::Sha256WithRsa, "h", true),
+            sub_record(2432, SignatureAlgorithm::Sha1WithRsa, "h", true),
+        ]);
         let rep = analyze(&db, &[]);
         assert_eq!(rep.substitutes, 5);
         assert_eq!(rep.key_sizes[&1024], 2);
@@ -192,15 +188,11 @@ mod tests {
 
     #[test]
     fn subject_mismatch_taxonomy() {
-        let db = Database {
-            records: vec![
-                sub_record(1024, SignatureAlgorithm::Sha1WithRsa, "*.203.0.113", false),
-                sub_record(1024, SignatureAlgorithm::Sha1WithRsa, "mail.google.com", false),
-                sub_record(1024, SignatureAlgorithm::Sha1WithRsa, "h", true),
-            ],
-            malformed_uploads: 0,
-            failures: Vec::new(),
-        };
+        let db = Database::from_records(vec![
+            sub_record(1024, SignatureAlgorithm::Sha1WithRsa, "*.203.0.113", false),
+            sub_record(1024, SignatureAlgorithm::Sha1WithRsa, "mail.google.com", false),
+            sub_record(1024, SignatureAlgorithm::Sha1WithRsa, "h", true),
+        ]);
         let rep = analyze(&db, &[]);
         assert_eq!(rep.subject_mismatch, 2);
         assert_eq!(rep.wildcard_ip_subjects, 1);
@@ -247,11 +239,7 @@ mod tests {
                 chain_der: vec![cert.to_der().to_vec()],
             }),
         };
-        let db = Database {
-            records: vec![mk(&forged), mk(&legit)],
-            malformed_uploads: 0,
-            failures: Vec::new(),
-        };
+        let db = Database::from_records(vec![mk(&forged), mk(&legit)]);
         let rep = analyze(&db, &[("DigiCert Inc", &real_ca.public)]);
         assert_eq!(rep.forged_ca_issuer, 1, "only the impostor counts");
     }

@@ -1,9 +1,10 @@
-//! The reporting server and measurement database.
+//! The reporting server.
 //!
 //! This is the server half of §3: it receives each client's concatenated
 //! PEM upload, parses it, compares the captured leaf byte-for-byte with
 //! the authoritative certificate for the probed host, geolocates the
-//! reporting IP, and appends a [`MeasurementRecord`].
+//! reporting IP, and appends a [`MeasurementRecord`] to the columnar
+//! [`Database`] (see [`crate::store`] for the storage design).
 //!
 //! Records keep a slim summary for matched (un-proxied) probes and the
 //! full substitute evidence — including the raw DER chain — for
@@ -13,176 +14,17 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use tlsfoe_geo::countries::CountryCode;
-use tlsfoe_geo::GeoDb;
 use tlsfoe_netsim::net::DialInfo;
 use tlsfoe_netsim::Ipv4;
-use tlsfoe_x509::cert::SignatureAlgorithm;
 use tlsfoe_x509::{pem, Certificate};
 
 use crate::hosts::{HostCatalog, HostCategory};
 use crate::http::{HttpPostServer, PostRequest};
-use crate::session::SessionError;
+use tlsfoe_geo::GeoDb;
 
-/// Evidence extracted from a substitute (mismatching) chain.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SubstituteInfo {
-    /// Issuer Organization field (None = null/absent — itself a finding).
-    pub issuer_org: Option<String>,
-    /// Issuer Common Name field.
-    pub issuer_cn: Option<String>,
-    /// Leaf public-key size in bits.
-    pub key_bits: usize,
-    /// Signature algorithm of the leaf.
-    pub sig_alg: SignatureAlgorithm,
-    /// Leaf subject CN.
-    pub subject_cn: Option<String>,
-    /// Whether the leaf's subject/SAN covers the probed host.
-    pub covers_host: bool,
-    /// SHA-256 over the leaf's public-key bytes (shared-key clustering).
-    pub leaf_key_fp: [u8; 32],
-    /// The full captured DER chain, leaf first.
-    pub chain_der: Vec<Vec<u8>>,
-}
-
-/// One completed measurement.
-#[derive(Debug, Clone, PartialEq)]
-pub struct MeasurementRecord {
-    /// Shard-local impression ordinal (`imp=` on the upload path). When
-    /// a worker batches many concurrent sessions into one event-loop
-    /// drive, uploads interleave by virtual completion time; the runner
-    /// stable-sorts each batch's records by this ordinal so the database
-    /// is bit-identical for any batch size and thread count.
-    pub impression: u64,
-    /// Reporting client address.
-    pub client_ip: Ipv4,
-    /// Geolocated country (None if the IP is outside the database).
-    pub country: Option<CountryCode>,
-    /// Probed hostname.
-    pub host: &'static str,
-    /// Probed host category.
-    pub category: HostCategory,
-    /// True when the captured leaf differed from the authoritative one.
-    pub proxied: bool,
-    /// Substitute evidence (present iff `proxied`).
-    pub substitute: Option<SubstituteInfo>,
-    /// Which dial attempt produced this upload (`att=` param, default 1).
-    /// Anything above 1 means the session's retry layer recovered the
-    /// probe after an injected fault.
-    pub attempts: u32,
-}
-
-/// A probe that exhausted its retry budget — the typed record the session
-/// layer appends instead of silently dropping the measurement.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ProbeFailureRecord {
-    /// Global impression ordinal of the owning session.
-    pub impression: u64,
-    /// Client address that dialed the probe.
-    pub client_ip: Ipv4,
-    /// Probed hostname.
-    pub host: &'static str,
-    /// Why the final attempt was abandoned.
-    pub error: SessionError,
-    /// How many attempts were made before giving up.
-    pub attempts: u32,
-}
-
-/// The measurement database.
-///
-/// `PartialEq` compares full record contents — including every captured
-/// DER chain — which is what the study's bit-identical-across-thread-
-/// counts guarantee is asserted against.
-#[derive(Debug, Default, PartialEq)]
-pub struct Database {
-    /// All records, ingestion order.
-    pub records: Vec<MeasurementRecord>,
-    /// Uploads that failed to parse (malformed PEM/DER) — counted, kept
-    /// out of the analysis like the paper's unsuccessful measurements.
-    pub malformed_uploads: u64,
-    /// Probes that exhausted their retry budget, with the typed reason.
-    /// Empty on a fault-free run; the chaos sweeps read completion rates
-    /// off `total() / (total() + failed())`.
-    pub failures: Vec<ProbeFailureRecord>,
-}
-
-impl Database {
-    /// New empty database.
-    pub fn new() -> Database {
-        Database::default()
-    }
-
-    /// Total successful measurements.
-    pub fn total(&self) -> u64 {
-        self.records.len() as u64
-    }
-
-    /// Proxied measurements.
-    pub fn proxied(&self) -> u64 {
-        self.records.iter().filter(|r| r.proxied).count() as u64
-    }
-
-    /// Overall proxied fraction (the paper's headline 0.41%).
-    pub fn proxied_rate(&self) -> f64 {
-        if self.records.is_empty() {
-            0.0
-        } else {
-            self.proxied() as f64 / self.total() as f64
-        }
-    }
-
-    /// Probes recorded as failed (retry budget exhausted).
-    pub fn failed(&self) -> u64 {
-        self.failures.len() as u64
-    }
-
-    /// Merge another database (for sharded studies).
-    pub fn merge(&mut self, other: Database) {
-        self.records.extend(other.records);
-        self.malformed_uploads += other.malformed_uploads;
-        self.failures.extend(other.failures);
-    }
-
-    /// Serialize all records as JSON lines (the persisted dataset the
-    /// paper promised on its website).
-    pub fn to_jsonl(&self) -> String {
-        use crate::json::Json;
-        let mut out = String::new();
-        for r in &self.records {
-            let sub = Json::opt(r.substitute.as_ref(), |s| {
-                Json::obj(vec![
-                    ("issuer_org", Json::opt(s.issuer_org.as_deref(), Json::str)),
-                    ("issuer_cn", Json::opt(s.issuer_cn.as_deref(), Json::str)),
-                    ("key_bits", Json::Int(s.key_bits as i64)),
-                    ("sig_alg", Json::str(s.sig_alg.name())),
-                    ("subject_cn", Json::opt(s.subject_cn.as_deref(), Json::str)),
-                    ("covers_host", Json::Bool(s.covers_host)),
-                    ("leaf_key_fp", Json::str(hex(&s.leaf_key_fp))),
-                ])
-            });
-            let v = Json::obj(vec![
-                ("impression", Json::Int(r.impression as i64)),
-                ("client_ip", Json::str(r.client_ip.to_string())),
-                (
-                    "country",
-                    Json::opt(r.country, |c| Json::str(tlsfoe_geo::countries::info(c).code)),
-                ),
-                ("host", Json::str(r.host)),
-                ("category", Json::str(r.category.label())),
-                ("proxied", Json::Bool(r.proxied)),
-                ("substitute", sub),
-                ("attempts", Json::Int(i64::from(r.attempts))),
-            ]);
-            out.push_str(&v.to_string());
-            out.push('\n');
-        }
-        out
-    }
-}
-
-fn hex(bytes: &[u8]) -> String {
-    bytes.iter().map(|b| format!("{b:02x}")).collect()
-}
+pub use crate::store::{
+    Database, MeasurementRecord, ProbeFailureRecord, RecordView, SubstituteInfo,
+};
 
 /// The reporting server: authoritative chains + geolocation + database.
 pub struct ReportServer {
@@ -207,8 +49,14 @@ impl ReportServer {
         self.db.clone()
     }
 
-    /// Process one upload: `path` is `/report?host=NAME[&imp=N]`, `body`
-    /// is the concatenated PEM chain the probe captured.
+    /// Process one upload: `path` is `/report?host=NAME[&imp=N][&att=N]`,
+    /// `body` is the concatenated PEM chain the probe captured.
+    ///
+    /// An unparsable `imp=` or `att=` value marks the whole upload
+    /// malformed: a client that cannot transmit its impression ordinal
+    /// intact cannot be trusted to have transmitted the chain intact
+    /// either, and silently coercing to a default would fabricate a
+    /// record at ordinal 0 / attempt 1 that never happened.
     pub fn ingest(&self, client_ip: Ipv4, path: &str, body: &[u8]) {
         let mut host_name = None;
         let mut impression = 0u64;
@@ -216,31 +64,43 @@ impl ReportServer {
         for pair in path.split('?').nth(1).unwrap_or("").split('&') {
             match pair.split_once('=') {
                 Some(("host", v)) => host_name = Some(v),
-                Some(("imp", v)) => impression = v.parse().unwrap_or(0),
-                Some(("att", v)) => attempts = v.parse().unwrap_or(1),
+                Some(("imp", v)) => match v.parse() {
+                    Ok(imp) => impression = imp,
+                    Err(_) => {
+                        self.db.borrow_mut().note_malformed();
+                        return;
+                    }
+                },
+                Some(("att", v)) => match v.parse() {
+                    Ok(att) => attempts = att,
+                    Err(_) => {
+                        self.db.borrow_mut().note_malformed();
+                        return;
+                    }
+                },
                 _ => {}
             }
         }
         let Some(host_name) = host_name else {
-            self.db.borrow_mut().malformed_uploads += 1;
+            self.db.borrow_mut().note_malformed();
             return;
         };
         let Some(&(ref auth_leaf, host, category)) = self.authoritative.get(host_name) else {
-            self.db.borrow_mut().malformed_uploads += 1;
+            self.db.borrow_mut().note_malformed();
             return;
         };
         let text = String::from_utf8_lossy(body);
         let chain = match pem::decode_certificates(&text) {
             Ok(chain) if !chain.is_empty() => chain,
             _ => {
-                self.db.borrow_mut().malformed_uploads += 1;
+                self.db.borrow_mut().note_malformed();
                 return;
             }
         };
 
         let proxied = chain[0].to_der() != auth_leaf.as_slice();
         let substitute = if proxied { Some(extract_substitute(&chain, host)) } else { None };
-        self.db.borrow_mut().records.push(MeasurementRecord {
+        self.db.borrow_mut().push(MeasurementRecord {
             impression,
             client_ip,
             country: self.geo.lookup(client_ip),
@@ -306,7 +166,7 @@ mod tests {
         let db = db.borrow();
         assert_eq!(db.total(), 1);
         assert_eq!(db.proxied(), 0);
-        let r = &db.records[0];
+        let r = db.get(0);
         assert_eq!(r.host, "tlsresearch.byu.edu");
         assert!(r.country.is_some());
         assert!(r.substitute.is_none());
@@ -320,7 +180,8 @@ mod tests {
         server.ingest(client(), "/report?host=tlsresearch.byu.edu", &body);
         let db = db.borrow();
         assert_eq!(db.proxied(), 1);
-        let sub = db.records[0].substitute.as_ref().unwrap();
+        let r = db.get(0);
+        let sub = r.substitute.unwrap();
         assert_eq!(sub.issuer_org.as_deref(), Some("DigiCert Inc"));
         assert_eq!(sub.key_bits, 2048);
         assert!(!sub.covers_host, "qq.com cert must not cover byu host");
@@ -335,7 +196,7 @@ mod tests {
         server.ingest(client(), "/nonsense", b"");
         let db = db.borrow();
         assert_eq!(db.total(), 0);
-        assert_eq!(db.malformed_uploads, 3);
+        assert_eq!(db.malformed_uploads(), 3);
     }
 
     #[test]
@@ -346,9 +207,36 @@ mod tests {
         server.ingest(client(), "/report?imp=7&host=tlsresearch.byu.edu", &body);
         server.ingest(client(), "/report?host=tlsresearch.byu.edu", &body);
         let db = db.borrow();
-        assert_eq!(db.malformed_uploads, 0);
-        let imps: Vec<u64> = db.records.iter().map(|r| r.impression).collect();
+        assert_eq!(db.malformed_uploads(), 0);
+        let imps: Vec<u64> = db.iter().map(|r| r.impression).collect();
         assert_eq!(imps, [42, 7, 0], "imp= must parse in any position, defaulting to 0");
+    }
+
+    #[test]
+    fn unparsable_ordinals_counted_malformed_not_coerced() {
+        let (server, db, catalog) = setup();
+        let body = pem::encode_certificates(&catalog.hosts[0].chain).into_bytes();
+        // An upload whose imp=/att= cannot parse must be dropped as
+        // malformed, not recorded at a fabricated ordinal-0/attempt-1.
+        server.ingest(client(), "/report?host=tlsresearch.byu.edu&imp=banana", &body);
+        server.ingest(client(), "/report?host=tlsresearch.byu.edu&imp=-3", &body);
+        server.ingest(client(), "/report?host=tlsresearch.byu.edu&att=", &body);
+        server.ingest(
+            client(),
+            "/report?host=tlsresearch.byu.edu&imp=5&att=18446744073709551616",
+            &body,
+        );
+        {
+            let db = db.borrow();
+            assert_eq!(db.total(), 0, "no record may be fabricated from a garbled ordinal");
+            assert_eq!(db.malformed_uploads(), 4);
+        }
+        // A parsable upload after the garbage still lands normally.
+        server.ingest(client(), "/report?host=tlsresearch.byu.edu&imp=5&att=2", &body);
+        let db = db.borrow();
+        assert_eq!(db.total(), 1);
+        assert_eq!(db.get(0).impression, 5);
+        assert_eq!(db.get(0).attempts, 2);
     }
 
     #[test]
@@ -359,7 +247,7 @@ mod tests {
         let us_ip = geo.client_addr(us, 7);
         let body = pem::encode_certificates(&catalog.hosts[0].chain).into_bytes();
         server.ingest(us_ip, "/report?host=tlsresearch.byu.edu", &body);
-        assert_eq!(db.borrow().records[0].country, Some(us));
+        assert_eq!(db.borrow().get(0).country, Some(us));
     }
 
     #[test]
@@ -389,5 +277,19 @@ mod tests {
         let sub = v.get("substitute").unwrap();
         assert_eq!(sub.get("issuer_org").unwrap().as_str(), Some("DigiCert Inc"));
         assert_eq!(v.get("host").unwrap().as_str(), Some("tlsresearch.byu.edu"));
+    }
+
+    #[test]
+    fn write_jsonl_streams_identically_to_string_export() {
+        let (server, db, catalog) = setup();
+        let good = pem::encode_certificates(&catalog.hosts[0].chain).into_bytes();
+        let bad = pem::encode_certificates(&catalog.host("qq.com").unwrap().chain).into_bytes();
+        server.ingest(client(), "/report?host=tlsresearch.byu.edu&imp=1", &good);
+        server.ingest(client(), "/report?host=tlsresearch.byu.edu&imp=2", &bad);
+        let db = db.borrow();
+        let mut streamed = Vec::new();
+        db.write_jsonl(&mut streamed).unwrap();
+        assert_eq!(String::from_utf8(streamed).unwrap(), db.to_jsonl());
+        assert_eq!(db.to_jsonl().lines().count(), 2);
     }
 }

@@ -420,10 +420,7 @@ impl SessionRunner {
         if self.pending.is_empty() {
             return Ok(());
         }
-        let (first_new, first_new_failures) = {
-            let db = self.db.borrow();
-            (db.records.len(), db.failures.len())
-        };
+        let mark = self.db.borrow().mark();
         let run_result = self.net.run();
         // Per-session lifecycle teardown happens even when the drive
         // errored, so the runner stays consistent for diagnostics. The
@@ -442,15 +439,10 @@ impl SessionRunner {
             self.net.reap_stalled();
         }
         // Concurrent sessions' uploads interleave by virtual completion
-        // time; a stable sort by impression ordinal restores injection
-        // order (per-session relative order is already deterministic),
-        // making the database independent of batch size.
-        let mut db = self.db.borrow_mut();
-        db.records[first_new..].sort_by_key(|r| r.impression);
-        // Failure records interleave the same way; (impression, host)
-        // restores injection order (hosts are probed in catalog order,
-        // and host names are unique within the catalog).
-        db.failures[first_new_failures..].sort_by_key(|f| (f.impression, f.host));
+        // time; `finish_batch` stable-sorts the batch tail by impression
+        // ordinal (failures by `(impression, host)`), restoring injection
+        // order and making the database independent of batch size.
+        self.db.borrow_mut().finish_batch(mark);
         run_result.map(drop)
     }
 
@@ -559,7 +551,7 @@ fn redial_probe(net: &mut Network, ctx: Rc<ProbeCtx>) {
 /// Retry budget exhausted: append the typed failure record.
 fn record_probe_failure(ctx: &ProbeCtx, deadline_hit: bool) {
     let error = SessionError::from_outcome(&ctx.outcome.borrow(), deadline_hit);
-    ctx.db.borrow_mut().failures.push(ProbeFailureRecord {
+    ctx.db.borrow_mut().push_failure(ProbeFailureRecord {
         impression: ctx.impression,
         client_ip: ctx.client_ip,
         host: ctx.host_name,
@@ -676,7 +668,7 @@ mod tests {
         let db = db.borrow();
         assert!(db.total() > 0, "some probes must have completed");
         assert_eq!(db.proxied(), 0);
-        assert_eq!(db.records[0].country, Some(us));
+        assert_eq!(db.get(0).country, Some(us));
     }
 
     #[test]
@@ -696,8 +688,8 @@ mod tests {
         let db = db.borrow();
         assert!(db.total() > 0);
         assert_eq!(db.proxied(), db.total(), "every probe behind the proxy is proxied");
-        for r in &db.records {
-            let sub = r.substitute.as_ref().unwrap();
+        for r in db.iter() {
+            let sub = r.substitute.unwrap();
             assert_eq!(sub.issuer_org.as_deref(), Some("Bitdefender"));
             assert_eq!(sub.key_bits, 1024);
         }
@@ -825,8 +817,8 @@ mod tests {
         }
         let db = db.borrow();
         assert!(db.total() > 0, "most probes must recover");
-        assert!(db.records.iter().any(|r| r.attempts > 1), "some records must have needed a retry");
-        for f in &db.failures {
+        assert!(db.iter().any(|r| r.attempts > 1), "some records must have needed a retry");
+        for f in db.failures() {
             assert_eq!(f.error, SessionError::TimedOut, "blackhole reads as timeout");
             assert_eq!(f.attempts, 3, "failures must have exhausted the budget");
         }
@@ -853,8 +845,8 @@ mod tests {
             runner.run_session(&m, &profile, &mut rng, u64::from(i), 9500 + u64::from(i)).unwrap();
         }
         let db = db.borrow();
-        assert!(!db.failures.is_empty(), "guaranteed resets must produce failures");
-        for f in &db.failures {
+        assert!(!db.failures().is_empty(), "guaranteed resets must produce failures");
+        for f in db.failures() {
             assert!(
                 matches!(f.error, SessionError::TimedOut | SessionError::ClosedEarly),
                 "unexpected taxonomy {:?}",
@@ -888,8 +880,8 @@ mod tests {
         let retried = run(RetryPolicy::standard());
         assert!(plain.total() > 0);
         assert_eq!(plain, retried, "fault-free retry run must be bit-identical");
-        assert!(retried.failures.is_empty());
-        assert!(retried.records.iter().all(|r| r.attempts == 1));
+        assert!(retried.failures().is_empty());
+        assert!(retried.iter().all(|r| r.attempts == 1));
     }
 
     #[test]

@@ -580,10 +580,10 @@ mod tests {
         let b = run_study(&StudyConfig { threads: 8, batch: 64, ..base.clone() }).expect("study");
         let c = run_study(&StudyConfig { threads: 8, batch: 7, ..base }).expect("study");
         assert!(
-            a.db.failed() > 0 || a.db.records.iter().any(|r| r.attempts > 1),
+            a.db.failed() > 0 || a.db.iter().any(|r| r.attempts > 1),
             "chaos must actually bite (failures {} retried {})",
             a.db.failed(),
-            a.db.records.iter().filter(|r| r.attempts > 1).count()
+            a.db.iter().filter(|r| r.attempts > 1).count()
         );
         assert_eq!(a.db, b.db, "thread count changed a faulted database");
         assert_eq!(b.db, c.db, "batch size changed a faulted database");
@@ -715,7 +715,7 @@ mod boost_tests {
         let out = run_study(&StudyConfig { proxy_boost: 100.0, ..StudyConfig::study2(1500, 9) })
             .expect("study");
         let mut dsp_ips = std::collections::HashSet::new();
-        for r in &out.db.records {
+        for r in out.db.iter() {
             if let Some(sub) = &r.substitute {
                 if sub.issuer_cn.as_deref() == Some("DSP") {
                     dsp_ips.insert(r.client_ip);

@@ -27,7 +27,7 @@ fn study1_recovers_headline_rate() {
 #[test]
 fn proxied_records_carry_substitute_evidence() {
     let out = quick_study1(2);
-    let proxied: Vec<_> = out.db.records.iter().filter(|r| r.proxied).collect();
+    let proxied: Vec<_> = out.db.iter().filter(|r| r.proxied).collect();
     assert!(!proxied.is_empty());
     for r in proxied {
         let sub = r.substitute.as_ref().expect("proxied ⇒ substitute evidence");
@@ -35,7 +35,7 @@ fn proxied_records_carry_substitute_evidence() {
         assert!(sub.key_bits >= 512);
     }
     // Un-proxied records never carry evidence.
-    assert!(out.db.records.iter().filter(|r| !r.proxied).all(|r| r.substitute.is_none()));
+    assert!(out.db.iter().filter(|r| !r.proxied).all(|r| r.substitute.is_none()));
 }
 
 #[test]
@@ -80,7 +80,7 @@ fn classifier_never_sees_ground_truth() {
     // The classifier works purely on captured strings: feed it the
     // measured corpus and check it buckets null issuers as Unknown.
     let out = quick_study1(6);
-    for r in out.db.records.iter().filter(|r| r.proxied) {
+    for r in out.db.iter().filter(|r| r.proxied) {
         let sub = r.substitute.as_ref().expect("proxied record has evidence");
         let cat = classify::classify(sub.issuer_org.as_deref(), sub.issuer_cn.as_deref());
         if sub.issuer_org.is_none() && sub.issuer_cn.is_none() {
@@ -107,5 +107,5 @@ fn malformed_uploads_do_not_reach_analysis() {
     let out = quick_study1(8);
     // The pipeline itself never produces malformed uploads — every probe
     // that completes uploads valid PEM.
-    assert_eq!(out.db.malformed_uploads, 0);
+    assert_eq!(out.db.malformed_uploads(), 0);
 }
