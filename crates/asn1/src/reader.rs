@@ -239,6 +239,7 @@ impl<'a> DerReader<'a> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::DerWriter;

@@ -184,6 +184,7 @@ fn write_len(out: &mut Vec<u8>, len: usize) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -331,7 +331,8 @@ impl Ubig {
         }
 
         // D1: normalize so the divisor's top limb has its MSB set.
-        let shift = div.limbs.last().unwrap().leading_zeros() as usize;
+        let shift =
+            div.limbs.last().expect("invariant: divisor is nonzero").leading_zeros() as usize;
         let v = div.shl(shift).limbs;
         let mut u = self.shl(shift).limbs;
         let n = v.len();
@@ -590,6 +591,7 @@ impl core::fmt::Debug for Ubig {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

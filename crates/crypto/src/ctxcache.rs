@@ -148,6 +148,7 @@ pub fn shared_ctx_cache() -> &'static MontCtxCache {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

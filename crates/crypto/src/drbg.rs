@@ -121,6 +121,7 @@ impl RngCore64 for Drbg {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -35,6 +35,7 @@ pub fn hmac(alg: HashAlg, key: &[u8], message: &[u8]) -> Vec<u8> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -60,6 +60,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod bigint;
 pub mod ctxcache;
@@ -127,6 +128,7 @@ impl HashAlg {
 /// `TLSFOE_SCHOOLBOOK=1 exp_all`. Read once per process.
 pub(crate) fn schoolbook_forced() -> bool {
     static FORCED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    // lint:allow(determinism, seed-equivalence ablation switch — both paths are asserted byte-identical, so the env read selects between two provably equal behaviors)
     *FORCED.get_or_init(|| std::env::var_os("TLSFOE_SCHOOLBOOK").is_some_and(|v| v != "0"))
 }
 

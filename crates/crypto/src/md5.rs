@@ -97,7 +97,7 @@ impl Md5 {
     fn compress(&mut self, block: &[u8; 64]) {
         let mut m = [0u32; 16];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
-            m[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+            m[i] = u32::from_le_bytes(chunk.try_into().expect("chunks_exact(4) yields 4 bytes"));
         }
         let [mut a, mut b, mut c, mut d] = self.state;
         for i in 0..64 {
@@ -130,6 +130,7 @@ pub fn md5(data: &[u8]) -> [u8; 16] {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -748,6 +748,7 @@ fn cmp_limbs(a: &[u64], b: &[u64]) -> core::cmp::Ordering {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::drbg::{Drbg, RngCore64};

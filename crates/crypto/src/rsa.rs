@@ -311,7 +311,7 @@ pub fn is_probable_prime(n: &Ubig, rounds: usize, rng: &mut dyn RngCore64) -> bo
     // Trial division by small primes via batched prime products. For n
     // itself within the small-prime range the factor found is n, which is
     // prime — hence the membership check instead.
-    if n <= &Ubig::from_u64(*FIRST_PRIMES.last().unwrap()) {
+    if n <= &Ubig::from_u64(*FIRST_PRIMES.last().expect("FIRST_PRIMES is a nonempty const")) {
         return FIRST_PRIMES.contains(&n.limbs()[0]); // single-limb by the guard
     }
     if has_small_factor(n) {
@@ -681,6 +681,7 @@ fn pkcs1v15_encode(alg: HashAlg, message: &[u8], k: usize) -> Result<Vec<u8>, Cr
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::drbg::Drbg;

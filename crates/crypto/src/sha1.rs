@@ -77,7 +77,7 @@ impl Sha1 {
     fn compress(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 80];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes(chunk.try_into().unwrap());
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("chunks_exact(4) yields 4 bytes"));
         }
         for i in 16..80 {
             w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
@@ -114,6 +114,7 @@ pub fn sha1(data: &[u8]) -> [u8; 20] {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -167,6 +167,7 @@ fn largest_power_of_two_below(n: usize) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tlsfoe_population::keys;

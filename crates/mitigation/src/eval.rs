@@ -158,6 +158,7 @@ pub fn render(rows: &[EvalRow]) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use std::sync::Arc;

@@ -101,6 +101,7 @@ impl Notary {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tlsfoe_netsim::NetworkConfig;

@@ -121,6 +121,7 @@ fn anchors_at_injected_root(chain: &[Certificate], roots: &RootStore) -> bool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tlsfoe_crypto::drbg::Drbg;

@@ -275,6 +275,7 @@ fn fnv(s: &str) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::products::{catalog, SubjectStyle};

@@ -145,6 +145,7 @@ pub const fn server_seed(host_index: u16) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -393,6 +393,7 @@ impl PopulationModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tlsfoe_crypto::drbg::Drbg;

@@ -479,6 +479,7 @@ pub fn total_w2(specs: &[ProductSpec]) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

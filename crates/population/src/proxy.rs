@@ -387,6 +387,7 @@ impl Conduit for UpstreamRelay {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::keys;

@@ -96,6 +96,7 @@ impl<K: Eq + Hash, V: Clone> Default for Striped<K, V> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -58,6 +58,7 @@ impl CipherSuite {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -219,6 +219,7 @@ impl Conduit for ProbeClient {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::server::{ServerConfig, TlsCertServer};

@@ -167,6 +167,7 @@ impl Conduit for TlsCertServer {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tlsfoe_crypto::drbg::Drbg;

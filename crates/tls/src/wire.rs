@@ -169,6 +169,7 @@ impl<'a> WireReader<'a> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -155,6 +155,7 @@ impl CertificateBuilder {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::name::NameBuilder;

@@ -378,6 +378,7 @@ impl core::fmt::Display for Certificate {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::name::NameBuilder;

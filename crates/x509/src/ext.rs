@@ -226,6 +226,7 @@ fn parse_ipv4(s: &str) -> Option<[u8; 4]> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -112,6 +112,7 @@ pub fn decode_certificates(text: &str) -> Result<Vec<Certificate>, X509Error> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::builder::CertificateBuilder;

@@ -194,6 +194,7 @@ impl core::fmt::Display for Time {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -259,6 +259,7 @@ pub fn demo_hierarchy(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::builder::CertificateBuilder;
