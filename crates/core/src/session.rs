@@ -394,6 +394,7 @@ impl SessionRunner {
                     db: self.db.clone(),
                     attempts: Cell::new(1),
                     deadline_at: self.retry.probe_deadline_us.map(|d| self.net.now_us() + d),
+                    // lint:allow(fork-label, per-host retry streams are intentional — host names are unique within the catalog, so the label set cannot collide)
                     rng: RefCell::new(Drbg::new(session_seed).fork(host.name).fork("retry")),
                 });
                 arm_probe_check(&mut self.net, ctx, tok);

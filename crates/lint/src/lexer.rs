@@ -1,0 +1,369 @@
+//! A minimal Rust lexer: enough structure for the lint rules, nothing
+//! more. Comments and string/char literals are recognized and stripped
+//! into dedicated tokens so rules never pattern-match inside them; line
+//! numbers are carried on every token so findings point at source.
+//!
+//! Deliberately NOT a full Rust grammar: no keywords table (keywords
+//! lex as identifiers), numbers are opaque, and multi-character
+//! operators arrive as single punctuation tokens. Every rule is written
+//! against that token shape.
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `let`, `HashMap`, ...).
+    Ident(String),
+    /// String literal — the *contents*, escapes undecoded. Covers
+    /// `"..."`, `r"..."`, `r#"..."#`, and their byte-string forms.
+    Str(String),
+    /// Character literal contents (`'a'`, `'\n'`, `b'x'`).
+    Char(String),
+    /// Numeric literal (opaque: `0x1F`, `42u64`, ...).
+    Num(String),
+    /// Lifetime (`'a`, `'static`), without the quote.
+    Lifetime(String),
+    /// Single punctuation character (`.`, `(`, `::` arrives as two `:`).
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line.
+    pub line: u32,
+    /// The token itself.
+    pub tok: Tok,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+
+    /// The string-literal contents, if this token is a string literal.
+    pub fn str_lit(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+/// An in-source waiver comment: `// lint:allow(rule-id, reason)`.
+///
+/// A waiver on line `L` covers findings on `L` and `L + 1`, so it can
+/// sit at the end of the offending line or on its own line above.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// 1-based line the waiver comment appears on.
+    pub line: u32,
+    /// Rule id being waived (must name a real rule).
+    pub rule: String,
+    /// Free-text justification (must be non-empty).
+    pub reason: String,
+}
+
+/// Lexer output: the token stream plus every waiver comment seen.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Waiver comments in source order.
+    pub waivers: Vec<Waiver>,
+}
+
+/// Lex `src` into tokens and waivers. Never fails: unterminated
+/// constructs simply consume to end of input (the compiler, not the
+/// linter, owns syntax errors).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i + 2;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                scan_waiver(&src[start..i], line, &mut out.waivers);
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Nested block comments, per the Rust grammar.
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let tok_line = line;
+                let (s, ni, nl) = lex_string(b, i + 1, line);
+                out.tokens.push(Token { line: tok_line, tok: Tok::Str(s) });
+                i = ni;
+                line = nl;
+            }
+            b'r' | b'b' if starts_string(b, i) => {
+                let tok_line = line;
+                let (tok, ni, nl) = lex_prefixed(b, i, line);
+                out.tokens.push(Token { line: tok_line, tok });
+                i = ni;
+                line = nl;
+            }
+            b'\'' => {
+                let tok_line = line;
+                let (tok, ni, nl) = lex_quote(b, i, line);
+                out.tokens.push(Token { line: tok_line, tok });
+                i = ni;
+                line = nl;
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(Token { line, tok: Tok::Ident(src[start..i].to_string()) });
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(Token { line, tok: Tok::Num(src[start..i].to_string()) });
+            }
+            _ => {
+                out.tokens.push(Token { line, tok: Tok::Punct(c as char) });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Does `b[i..]` start a raw/byte string (`r"`, `r#`, `b"`, `b'`, `br`)?
+fn starts_string(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if j < b.len() && b[j] == b'\'' {
+            return true;
+        }
+    }
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+        while j < b.len() && b[j] == b'#' {
+            j += 1;
+        }
+    }
+    j < b.len() && b[j] == b'"' && j > i
+}
+
+/// Lex a plain (escaped) string body starting just past the opening
+/// quote. Returns (contents, next index, next line).
+fn lex_string(b: &[u8], mut i: usize, mut line: u32) -> (String, usize, u32) {
+    let start = i;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                let s = String::from_utf8_lossy(&b[start..i]).into_owned();
+                return (s, i + 1, line);
+            }
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (String::from_utf8_lossy(&b[start..i]).into_owned(), i, line)
+}
+
+/// Lex `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`.
+fn lex_prefixed(b: &[u8], mut i: usize, line: u32) -> (Tok, usize, u32) {
+    if b[i] == b'b' {
+        i += 1;
+        if i < b.len() && b[i] == b'\'' {
+            let (tok, ni, nl) = lex_quote(b, i, line);
+            return (tok, ni, nl);
+        }
+    }
+    let mut hashes = 0usize;
+    if i < b.len() && b[i] == b'r' {
+        i += 1;
+        while i < b.len() && b[i] == b'#' {
+            hashes += 1;
+            i += 1;
+        }
+        // Raw string: scan for `"` followed by `hashes` hash marks.
+        debug_assert!(i < b.len() && b[i] == b'"');
+        i += 1;
+        let start = i;
+        let mut nl = line;
+        while i < b.len() {
+            if b[i] == b'\n' {
+                nl += 1;
+                i += 1;
+            } else if b[i] == b'"'
+                && b[i + 1..].len() >= hashes
+                && b[i + 1..i + 1 + hashes].iter().all(|&h| h == b'#')
+            {
+                let s = String::from_utf8_lossy(&b[start..i]).into_owned();
+                return (Tok::Str(s), i + 1 + hashes, nl);
+            } else {
+                i += 1;
+            }
+        }
+        return (Tok::Str(String::from_utf8_lossy(&b[start..]).into_owned()), i, nl);
+    }
+    // `b"..."` — plain escaped body.
+    debug_assert!(i < b.len() && b[i] == b'"');
+    let (s, ni, nl) = lex_string(b, i + 1, line);
+    (Tok::Str(s), ni, nl)
+}
+
+/// Lex a `'`-introduced token: a char literal or a lifetime.
+fn lex_quote(b: &[u8], i: usize, line: u32) -> (Tok, usize, u32) {
+    // i points at the quote. `'\...'` is always a char. `'x'` is a char
+    // iff the closing quote follows one scalar; otherwise it's a
+    // lifetime (`'a`, `'static`).
+    let mut j = i + 1;
+    if j < b.len() && b[j] == b'\\' {
+        j += 2;
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
+        }
+        let s = String::from_utf8_lossy(&b[i + 1..j.min(b.len())]).into_owned();
+        return (Tok::Char(s), (j + 1).min(b.len()), line);
+    }
+    // Try "one char then closing quote" (chars may be multi-byte UTF-8).
+    let mut k = j;
+    if k < b.len() {
+        k += 1;
+        while k < b.len() && (b[k] & 0xC0) == 0x80 {
+            k += 1; // UTF-8 continuation bytes
+        }
+        if k < b.len() && b[k] == b'\'' {
+            let s = String::from_utf8_lossy(&b[j..k]).into_owned();
+            return (Tok::Char(s), k + 1, line);
+        }
+    }
+    // Lifetime: consume the identifier after the quote.
+    let start = j;
+    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        j += 1;
+    }
+    (Tok::Lifetime(String::from_utf8_lossy(&b[start..j]).into_owned()), j, line)
+}
+
+/// Parse `lint:allow(rule, reason)` out of a line comment's text.
+///
+/// Only a comment that *begins* with the marker is a waiver (after the
+/// comment slashes, doc-comment `/`/`!` markers and whitespace) —
+/// prose that merely mentions the syntax, like this sentence's
+/// `lint:allow(rule, reason)`, never waives anything.
+fn scan_waiver(comment: &str, line: u32, out: &mut Vec<Waiver>) {
+    let text = comment.trim_start_matches(['/', '!']).trim_start();
+    if !text.starts_with("lint:allow(") {
+        return;
+    }
+    let rest = &text["lint:allow(".len()..];
+    let Some(close) = rest.find(')') else {
+        out.push(Waiver { line, rule: String::new(), reason: String::new() });
+        return;
+    };
+    let inner = &rest[..close];
+    let (rule, reason) = match inner.split_once(',') {
+        Some((r, why)) => (r.trim().to_string(), why.trim().to_string()),
+        None => (inner.trim().to_string(), String::new()),
+    };
+    out.push(Waiver { line, rule, reason });
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).tokens.iter().filter_map(|t| t.ident().map(String::from)).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_leak_tokens() {
+        let src = r##"
+// Instant::now in a comment
+/* SystemTime /* nested */ still comment */
+let s = "Instant::now inside a string";
+let r = r#"HashMap "quoted" raw"#;
+let c = 'x';
+let lt: &'static str = s;
+"##;
+        let ids = idents(src);
+        assert!(ids.contains(&"let".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        let toks = lex(src).tokens;
+        assert!(toks.iter().any(|t| t.str_lit() == Some("Instant::now inside a string")));
+        assert!(toks.iter().any(|t| matches!(&t.tok, Tok::Lifetime(l) if l == "static")));
+        assert!(toks.iter().any(|t| matches!(&t.tok, Tok::Char(c) if c == "x")));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nline\"\nb";
+        let toks = lex(src).tokens;
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2); // string starts on line 2
+        assert_eq!(toks[2].line, 4); // `b` after the embedded newline
+    }
+
+    #[test]
+    fn waivers_parse_rule_and_reason() {
+        let src = "x(); // lint:allow(unordered-iter, keys feed a sorted BTreeMap below)\n";
+        let w = &lex(src).waivers[0];
+        assert_eq!(w.line, 1);
+        assert_eq!(w.rule, "unordered-iter");
+        assert!(w.reason.starts_with("keys feed"));
+    }
+
+    #[test]
+    fn byte_and_raw_strings_lex_as_strings() {
+        let toks = lex(r##"let x = b"bytes"; let y = br#"raw bytes"#;"##).tokens;
+        assert!(toks.iter().any(|t| t.str_lit() == Some("bytes")));
+        assert!(toks.iter().any(|t| t.str_lit() == Some("raw bytes")));
+    }
+}

@@ -1,0 +1,111 @@
+//! `tlsfoe-lint` CLI — the CI gate.
+//!
+//! ```text
+//! cargo run -p tlsfoe-lint -- --check --json LINT_FINDINGS.jsonl
+//! ```
+//!
+//! Modes:
+//! * default / `--check` — lint the workspace, print findings; with
+//!   `--check` the exit code is 1 when anything fires (the CI gate).
+//! * `--json <path>` — additionally write findings as JSON lines (the
+//!   uploaded artifact).
+//! * `--census` — print the fork-label census instead of linting.
+//! * `--update-allowlist` — regenerate `panic_allowlist.txt` from the
+//!   current tree (the only sanctioned way to change it).
+//! * `--root <dir>` — lint a different workspace root (defaults to
+//!   this crate's workspace).
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut census = false;
+    let mut update = false;
+    let mut json_path: Option<PathBuf> = None;
+    let mut root = workspace_root();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--census" => census = true,
+            "--update-allowlist" => update = true,
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => return usage("--json needs a path"),
+            },
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage("--root needs a directory"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if update {
+        return match tlsfoe_lint::update_allowlist(&root) {
+            Ok(n) => {
+                println!("panic allowlist regenerated: {n} files carry panic surface");
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&format!("update-allowlist: {e}")),
+        };
+    }
+
+    let rep = match tlsfoe_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("lint: {e}")),
+    };
+
+    if census {
+        println!("# fork-label census: {} sites", rep.census.len());
+        for e in &rep.census {
+            let label = e.label.as_deref().unwrap_or("<dynamic>");
+            println!("{}:{} {}::{} <- fork(\"{}\")", e.file, e.line, e.func, e.receiver, label);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = json_path {
+        let mut out = String::new();
+        for f in &rep.findings {
+            out.push_str(&f.render_json());
+            out.push('\n');
+        }
+        if let Err(e) = std::fs::write(&path, out) {
+            return fail(&format!("writing {}: {e}", path.display()));
+        }
+    }
+
+    for f in &rep.findings {
+        println!("{}", f.render_text());
+    }
+    println!(
+        "tlsfoe-lint: {} findings across {} files ({} fork sites in census)",
+        rep.findings.len(),
+        rep.files,
+        rep.census.len()
+    );
+    if check && !rep.findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    fail(&format!(
+        "{err}\nusage: tlsfoe-lint [--check] [--json <path>] [--census] [--update-allowlist] [--root <dir>]"
+    ))
+}
+
+fn fail(msg: &str) -> ExitCode {
+    let _ = writeln!(std::io::stderr(), "tlsfoe-lint: {msg}");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,102 @@
+//! Findings: the machine-readable unit of linter output.
+
+use std::fmt::Write as _;
+
+/// The five rule families plus waiver hygiene. Rule ids are the
+/// stable, user-facing names used in waiver comments and CI output.
+pub const RULES: &[&str] =
+    &["determinism", "unordered-iter", "fork-label", "sealed-store", "panic-free", "waiver"];
+
+/// One linter finding, pointing at a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (one of [`RULES`]).
+    pub rule: &'static str,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix or waive it.
+    pub suggestion: String,
+}
+
+impl Finding {
+    /// `file:line rule message (suggestion)` — the human/CI-log form.
+    pub fn render_text(&self) -> String {
+        format!(
+            "{}:{} [{}] {} — {}",
+            self.file, self.line, self.rule, self.message, self.suggestion
+        )
+    }
+
+    /// One JSON object (no trailing newline) — the artifact form.
+    pub fn render_json(&self) -> String {
+        let mut s = String::from("{");
+        let _ = write!(
+            s,
+            "\"file\":{},\"line\":{},\"rule\":{},\"message\":{},\"suggestion\":{}",
+            json_str(&self.file),
+            self.line,
+            json_str(self.rule),
+            json_str(&self.message),
+            json_str(&self.suggestion)
+        );
+        s.push('}');
+        s
+    }
+}
+
+/// Deterministic ordering for output: file, then line, then rule.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+}
+
+/// Minimal JSON string escape (the linter is dependency-free).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_quotes_and_controls() {
+        let f = Finding {
+            file: "a.rs".into(),
+            line: 3,
+            rule: "determinism",
+            message: "uses \"Instant\"\n".into(),
+            suggestion: "virtual time".into(),
+        };
+        let j = f.render_json();
+        assert!(j.contains("\\\"Instant\\\"\\n"));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+}

@@ -1,0 +1,246 @@
+//! Rule `fork-label`: every `Drbg::fork(label)` must use a string
+//! literal (or a same-file `const` string), and sibling forks of one
+//! parent stream must use distinct labels.
+//!
+//! The whole fault/determinism model (PR 6) rests on stream derivation:
+//! `fork` with the same label on the same parent yields the *same*
+//! child stream, so a copy-pasted label silently correlates two
+//! supposedly independent random processes — the nastiest kind of
+//! simulation bug, invisible to every bit-identity test because it is
+//! deterministic. A dynamic label (`fork(host.name)`) defeats the
+//! workspace census entirely, so it requires an explicit waiver
+//! documenting why the runtime string set is collision-free.
+//!
+//! Sibling grouping is lexical: forks in the same function on the same
+//! receiver text belong to one group, and a `let <receiver> = ...`
+//! rebinding between them starts a new generation (a new parent
+//! stream). That matches how the workspace derives streams in practice.
+
+use crate::lexer::{Tok, Token};
+use crate::report::Finding;
+use crate::source::{FileClass, SourceFile};
+
+/// One `.fork(...)` call site, for the workspace census.
+#[derive(Debug, Clone)]
+pub struct CensusEntry {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the call.
+    pub line: u32,
+    /// Enclosing function name (`<top>` at module scope).
+    pub func: String,
+    /// Rendered receiver expression (`root`, `Drbg::new(seed)`, ...).
+    pub receiver: String,
+    /// Resolved label; `None` when dynamic.
+    pub label: Option<String>,
+}
+
+pub(crate) fn check(f: &SourceFile, out: &mut Vec<Finding>, census: &mut Vec<CensusEntry>) {
+    if f.class == FileClass::Test {
+        return;
+    }
+    let toks = &f.tokens;
+    let consts = const_strings(toks);
+    // (func, receiver, generation, label) seen so far — for sibling
+    // duplicate detection.
+    let mut seen: Vec<(String, String, usize, String)> = Vec::new();
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("fork")
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('(')))
+        {
+            continue;
+        }
+        let line = toks[i].line;
+        if f.in_test(line) {
+            continue;
+        }
+        let arg = argument_tokens(toks, i + 1);
+        let label: Option<String> = match arg.as_slice() {
+            [t] => match &t.tok {
+                Tok::Str(s) => Some(s.clone()),
+                Tok::Ident(name) => consts.iter().find(|(n, _)| n == name).map(|(_, v)| v.clone()),
+                _ => None,
+            },
+            _ => None,
+        };
+        let func = f.enclosing_fn(i).map_or("<top>".to_string(), |s| s.name.clone());
+        let receiver = render_receiver(toks, i - 1);
+        census.push(CensusEntry {
+            file: f.path.clone(),
+            line,
+            func: func.clone(),
+            receiver: receiver.clone(),
+            label: label.clone(),
+        });
+        let Some(label) = label else {
+            if !f.waived("fork-label", line) {
+                out.push(Finding {
+                    file: f.path.clone(),
+                    line,
+                    rule: "fork-label",
+                    message: format!(
+                        "dynamic `fork` label on `{receiver}` in `{func}` — label census cannot prove stream uniqueness"
+                    ),
+                    suggestion:
+                        "use a string literal or a named const; or waive: // lint:allow(fork-label, why the runtime label set is collision-free)"
+                            .into(),
+                });
+            }
+            continue;
+        };
+        let generation = receiver_generation(f, &receiver, i);
+        let key = (func.clone(), receiver.clone(), generation, label.clone());
+        if seen.contains(&key) {
+            if !f.waived("fork-label", line) {
+                out.push(Finding {
+                    file: f.path.clone(),
+                    line,
+                    rule: "fork-label",
+                    message: format!(
+                        "duplicate sibling fork label \"{label}\" on `{receiver}` in `{func}` — the two child streams coincide"
+                    ),
+                    suggestion:
+                        "pick a distinct label per sibling stream; or waive: // lint:allow(fork-label, reason)"
+                            .into(),
+                });
+            }
+        } else {
+            seen.push(key);
+        }
+    }
+}
+
+/// `const NAME: &str = "value";` definitions in this file.
+fn const_strings(toks: &[Token]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("const") {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).and_then(|t| t.ident()) else { continue };
+        // Find `= "..."` before the statement ends.
+        for j in i + 2..(i + 12).min(toks.len()) {
+            if toks[j].is_punct(';') {
+                break;
+            }
+            if toks[j].is_punct('=') {
+                if let Some(v) = toks.get(j + 1).and_then(|t| t.str_lit()) {
+                    out.push((name.to_string(), v.to_string()));
+                }
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Tokens of the single argument between the `(` at `open` and its
+/// matching `)`.
+fn argument_tokens(toks: &[Token], open: usize) -> Vec<Token> {
+    let mut depth = 0i32;
+    let mut out = Vec::new();
+    for t in &toks[open..] {
+        match &t.tok {
+            Tok::Punct('(') => {
+                depth += 1;
+                if depth > 1 {
+                    out.push(t.clone());
+                }
+            }
+            Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                out.push(t.clone());
+            }
+            _ => out.push(t.clone()),
+        }
+    }
+    out
+}
+
+/// Render the receiver expression ending at the `.` at index `dot` by
+/// walking backwards over a method/path chain.
+fn render_receiver(toks: &[Token], dot: usize) -> String {
+    let mut j = dot; // index of the `.`
+    let mut depth = 0i32;
+    let mut start = dot;
+    while j > 0 {
+        j -= 1;
+        match &toks[j].tok {
+            Tok::Punct(')' | ']') => depth += 1,
+            Tok::Punct('(' | '[') => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            Tok::Punct('.' | ':') => {}
+            Tok::Ident(_) | Tok::Str(_) | Tok::Num(_) | Tok::Char(_) => {}
+            Tok::Punct(',' | ';' | '{' | '}' | '=' | '&' | '!') if depth == 0 => break,
+            _ if depth == 0 => break,
+            _ => {}
+        }
+        start = j;
+    }
+    let mut s = String::new();
+    for t in &toks[start..dot] {
+        match &t.tok {
+            Tok::Ident(id) => {
+                if !s.is_empty() && s.ends_with(|c: char| c.is_ascii_alphanumeric() || c == '"') {
+                    s.push(' ');
+                }
+                s.push_str(id);
+            }
+            Tok::Str(v) => {
+                s.push('"');
+                s.push_str(v);
+                s.push('"');
+            }
+            Tok::Num(n) => s.push_str(n),
+            Tok::Char(c) => {
+                s.push('\'');
+                s.push_str(c);
+                s.push('\'');
+            }
+            Tok::Lifetime(l) => {
+                s.push('\'');
+                s.push_str(l);
+            }
+            Tok::Punct(p) => s.push(*p),
+        }
+    }
+    s
+}
+
+/// How many times the receiver's head identifier has been rebound
+/// (`let [mut] <head> =`) in the enclosing function before token `i` —
+/// rebinding starts a new parent stream, so sibling groups reset.
+fn receiver_generation(f: &SourceFile, receiver: &str, i: usize) -> usize {
+    let head: String =
+        receiver.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+    if head.is_empty() {
+        return 0;
+    }
+    let (lo, hi) = match f.enclosing_fn(i) {
+        Some(s) => (s.body_start, i.min(s.end)),
+        None => (0, i),
+    };
+    let toks = &f.tokens;
+    let mut generation = 0usize;
+    for k in lo..hi {
+        if toks[k].is_ident("let") {
+            let mut n = k + 1;
+            if toks.get(n).is_some_and(|t| t.is_ident("mut")) {
+                n += 1;
+            }
+            if toks.get(n).is_some_and(|t| t.is_ident(&head)) {
+                generation += 1;
+            }
+        }
+    }
+    generation
+}

@@ -1,0 +1,61 @@
+//! The rule registry. Each rule consumes a [`SourceFile`] and appends
+//! [`Finding`]s; rule-specific side products (panic counts, the fork
+//! census) surface through [`FileReport`].
+
+pub mod determinism;
+pub mod fork;
+pub mod panicfree;
+pub mod sealed;
+pub mod unordered;
+
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+/// Everything the rules produced for one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Rule findings (unwaived violations).
+    pub findings: Vec<Finding>,
+    /// Panic-freedom counters (None when the rule does not apply to
+    /// this file class).
+    pub panic_counts: Option<panicfree::PanicCounts>,
+    /// Fork-label census entries (every non-test `.fork(...)` site).
+    pub census: Vec<fork::CensusEntry>,
+}
+
+/// Run every rule over one parsed file.
+pub fn run_all(f: &SourceFile) -> FileReport {
+    let mut rep = FileReport::default();
+    determinism::check(f, &mut rep.findings);
+    unordered::check(f, &mut rep.findings);
+    fork::check(f, &mut rep.findings, &mut rep.census);
+    sealed::check(f, &mut rep.findings);
+    rep.panic_counts = panicfree::check(f, &mut rep.findings);
+    waiver_hygiene(f, &mut rep.findings);
+    rep
+}
+
+/// Waivers must name a real rule and carry a reason — a waiver that
+/// does neither is itself a finding, so the escape hatch can't rust
+/// shut silently.
+fn waiver_hygiene(f: &SourceFile, out: &mut Vec<Finding>) {
+    for w in &f.waivers {
+        if !crate::report::RULES.contains(&w.rule.as_str()) {
+            out.push(Finding {
+                file: f.path.clone(),
+                line: w.line,
+                rule: "waiver",
+                message: format!("waiver names unknown rule `{}`", w.rule),
+                suggestion: format!("use one of: {}", crate::report::RULES.join(", ")),
+            });
+        } else if w.reason.is_empty() {
+            out.push(Finding {
+                file: f.path.clone(),
+                line: w.line,
+                rule: "waiver",
+                message: format!("waiver for `{}` has no reason", w.rule),
+                suggestion: "write `// lint:allow(rule, why this is sound)`".into(),
+            });
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Rule `sealed-store`: the columnar `Database` representation stays
+//! inside `core::store`.
+//!
+//! PR 7 sealed the measurement store precisely so later PRs can change
+//! the physical representation (sharding, spilling, compression)
+//! without touching consumers. The compiler already enforces privacy,
+//! but this rule fails *fast at lint time* on the two ways the seal
+//! erodes:
+//!
+//! * naming a column or the interner outside `core/src/store.rs`
+//!   (`substitute_ids`, `proxied_col`, `attempts_col`, `proxied_count`,
+//!   `SubstituteInterner`) — including in new sibling modules of
+//!   `core` itself, where privacy alone would not stop a
+//!   `pub(crate)` leak,
+//! * reintroducing a `pub` field on `Database` / `SubstituteInterner`
+//!   inside `store.rs`, or constructing/destructuring `Database` with
+//!   a struct literal anywhere else.
+
+use crate::lexer::Tok;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+/// The file that owns the representation.
+const STORE_PATH: &str = "crates/core/src/store.rs";
+
+/// Column/internal names distinctive enough to flag anywhere else.
+const INTERNAL_NAMES: &[&str] =
+    &["substitute_ids", "proxied_col", "attempts_col", "proxied_count", "SubstituteInterner"];
+
+/// Types whose fields must stay private.
+const SEALED_STRUCTS: &[&str] = &["Database", "SubstituteInterner"];
+
+pub(crate) fn check(f: &SourceFile, out: &mut Vec<Finding>) {
+    if f.path == STORE_PATH {
+        check_no_pub_fields(f, out);
+        return;
+    }
+    let toks = &f.tokens;
+    for i in 0..toks.len() {
+        let Some(id) = toks[i].ident() else { continue };
+        let line = toks[i].line;
+        if INTERNAL_NAMES.contains(&id) {
+            if f.waived("sealed-store", line) {
+                continue;
+            }
+            out.push(Finding {
+                file: f.path.clone(),
+                line,
+                rule: "sealed-store",
+                message: format!("`{id}` is a sealed `core::store` internal"),
+                suggestion: "go through Database::push/get/iter/fold — the representation is private by design"
+                    .into(),
+            });
+            continue;
+        }
+        // `Database { field: ... }` / `Database { field, .. }` struct
+        // literal or destructure (impl blocks don't match: their first
+        // tokens after `{` are `fn`/`pub`/attribute punctuation).
+        if id == "Database"
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('{'))
+            // `-> Database { body }` / `=> Database { .. }` is a type
+            // or arm position, not a struct literal.
+            && !(i >= 1 && toks[i - 1].is_punct('>'))
+        {
+            let looks_like_literal = match (toks.get(i + 2), toks.get(i + 3)) {
+                (Some(a), Some(b)) => {
+                    (a.ident().is_some_and(|w| w != "fn" && w != "pub")
+                        && (b.is_punct(',') || b.is_punct('}')
+                            // `field: value` — but not a path `Seg::...`.
+                            || (b.is_punct(':')
+                                && !toks.get(i + 4).is_some_and(|t| t.is_punct(':')))))
+                        || (a.is_punct('.') && b.is_punct('.'))
+                }
+                _ => false,
+            };
+            if looks_like_literal && !f.waived("sealed-store", line) {
+                out.push(Finding {
+                    file: f.path.clone(),
+                    line,
+                    rule: "sealed-store",
+                    message: "`Database { .. }` literal outside core::store".into(),
+                    suggestion: "construct through Database::new()/from_records()".into(),
+                });
+            }
+        }
+    }
+}
+
+/// Inside `store.rs`: no `pub` (or `pub(...)`) field may reappear on
+/// the sealed structs.
+fn check_no_pub_fields(f: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &f.tokens;
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("struct") {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).and_then(|t| t.ident()) else { continue };
+        if !SEALED_STRUCTS.contains(&name) {
+            continue;
+        }
+        // Find the body `{` and scan fields at depth 1.
+        let mut j = i + 2;
+        while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+            j += 1;
+        }
+        if j >= toks.len() || toks[j].is_punct(';') {
+            continue;
+        }
+        let mut depth = 0i32;
+        while j < toks.len() {
+            match &toks[j].tok {
+                Tok::Punct('{' | '(' | '[') => depth += 1,
+                Tok::Punct('}' | ')' | ']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Ident(id) if id == "pub" && depth == 1 => {
+                    let line = toks[j].line;
+                    if !f.waived("sealed-store", line) {
+                        out.push(Finding {
+                            file: f.path.clone(),
+                            line,
+                            rule: "sealed-store",
+                            message: format!("`pub` field reintroduced on sealed `{name}`"),
+                            suggestion: "expose behavior through methods, not representation"
+                                .into(),
+                        });
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+}

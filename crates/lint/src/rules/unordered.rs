@@ -1,0 +1,276 @@
+//! Rule `unordered-iter`: iterating a `HashMap`/`HashSet` in a
+//! function that formats output or pushes records needs visible
+//! ordering downstream.
+//!
+//! `RandomState` makes hash-iteration order a per-process coin flip;
+//! any such order that reaches stdout, a table, or a record vector
+//! breaks run-to-run byte-identity. The rule is a heuristic over the
+//! token stream:
+//!
+//! * a variable/field is *hash-typed* if the file declares it with a
+//!   `HashMap`/`HashSet` type ascription or initializes it from
+//!   `HashMap::…`/`HashSet::…`,
+//! * an *iteration site* is `x.iter()`, `.keys()`, `.values()`,
+//!   `.iter_mut()`, `.values_mut()`, `.into_iter()`, `.drain(…)` on a
+//!   hash-typed name, or `for … in [&[mut]] x {`,
+//! * a site is fine if its own statement ends in an order-insensitive
+//!   reduction (`max`/`min`/`sum`/`count`/`len`/`any`/`all`/
+//!   `contains`/`is_empty`), or the enclosing function shows ordering
+//!   evidence (`sort*`, `BTreeMap`, `BTreeSet`, `BinaryHeap`),
+//! * otherwise, if the enclosing function also has an output sink
+//!   (`println!`/`writeln!`/`print!`/`eprintln!`/`write!`/`format!` or
+//!   `.push(`/`.push_str(`), the site is a finding.
+//!
+//! Intentionally unordered sites carry
+//! `// lint:allow(unordered-iter, reason)`.
+
+use crate::lexer::Token;
+use crate::report::Finding;
+use crate::source::{FileClass, SourceFile};
+
+const ITER_METHODS: &[&str] =
+    &["iter", "keys", "values", "iter_mut", "values_mut", "into_iter", "drain"];
+
+const INSENSITIVE_TERMINALS: &[&str] = &[
+    "max",
+    "min",
+    "max_by",
+    "min_by",
+    "max_by_key",
+    "min_by_key",
+    "sum",
+    "count",
+    "len",
+    "any",
+    "all",
+    "contains",
+    "is_empty",
+    "contains_key",
+];
+
+const SINK_MACROS: &[&str] = &["println", "writeln", "print", "eprintln", "write", "format"];
+
+pub(crate) fn check(f: &SourceFile, out: &mut Vec<Finding>) {
+    if f.class == FileClass::Tooling {
+        return;
+    }
+    let hashed = hash_typed_idents(f);
+    if hashed.is_empty() {
+        return;
+    }
+    for site in iteration_sites(f, &hashed) {
+        let line = f.tokens[site.tok].line;
+        if f.in_test(line) || f.waived("unordered-iter", line) {
+            continue;
+        }
+        if statement_is_insensitive(&f.tokens, site.tok) {
+            continue;
+        }
+        let (lo, hi) = match f.enclosing_fn(site.tok) {
+            Some(s) => (s.body_start, s.end),
+            None => (0, f.tokens.len()),
+        };
+        let region = &f.tokens[lo..hi];
+        if has_order_evidence(region) {
+            continue;
+        }
+        if !has_sink(region) {
+            continue;
+        }
+        let func = f.enclosing_fn(site.tok).map_or("<top>".to_string(), |s| s.name.clone());
+        out.push(Finding {
+            file: f.path.clone(),
+            line,
+            rule: "unordered-iter",
+            message: format!(
+                "`{}` iterates unordered `{}` in `{func}`, which formats output or pushes records, with no visible sort",
+                site.name, site.container
+            ),
+            suggestion:
+                "sort the results, switch to a BTreeMap/BTreeSet, or waive: // lint:allow(unordered-iter, reason)"
+                    .into(),
+        });
+    }
+}
+
+/// A name declared as HashMap/HashSet, valid within a token range:
+/// locals are scoped to their enclosing function, fields to the file.
+struct HashIdent {
+    name: String,
+    container: &'static str,
+    scope: (usize, usize),
+}
+
+/// Names the file declares as HashMap/HashSet, with which container.
+fn hash_typed_idents(f: &SourceFile) -> Vec<HashIdent> {
+    let toks = &f.tokens;
+    let mut found: Vec<HashIdent> = Vec::new();
+    let mut add = |name: &str, container: &'static str, at: usize| {
+        let scope = f.enclosing_fn(at).map_or((0, toks.len()), |s| (s.start, s.end));
+        if !found.iter().any(|h| h.name == name && h.scope == scope) {
+            found.push(HashIdent { name: name.to_string(), container, scope });
+        }
+    };
+    for i in 0..toks.len() {
+        let container = match toks[i].ident() {
+            Some("HashMap") => "HashMap",
+            Some("HashSet") => "HashSet",
+            _ => continue,
+        };
+        // Type ascription: `name : [path ::]* HashMap` (skipping `&`,
+        // `mut`, lifetimes in the type position).
+        let mut k = i;
+        while k >= 2 && toks[k - 1].is_punct(':') && toks[k - 2].is_punct(':') {
+            // `::` path segment — step over `seg ::`.
+            if k >= 3 && toks[k - 3].ident().is_some() {
+                k -= 3;
+            } else {
+                break;
+            }
+        }
+        let mut j = k.wrapping_sub(1);
+        while j > 0
+            && (toks[j].is_punct('&')
+                || toks[j].is_ident("mut")
+                || matches!(toks[j].tok, crate::lexer::Tok::Lifetime(_)))
+        {
+            j -= 1;
+        }
+        if j >= 1 && toks[j].is_punct(':') && !toks[j - 1].is_punct(':') {
+            if let Some(name) = toks[j - 1].ident() {
+                add(name, container, i);
+                continue;
+            }
+        }
+        // Initializer: `let [mut] name = ... HashMap ...` (same
+        // statement, bounded backward scan).
+        let mut b = i;
+        let mut depth = 0i32;
+        let floor = i.saturating_sub(32);
+        while b > floor {
+            b -= 1;
+            match &toks[b].tok {
+                crate::lexer::Tok::Punct(')' | ']' | '}') => depth += 1,
+                crate::lexer::Tok::Punct('(' | '[' | '{') if depth > 0 => depth -= 1,
+                crate::lexer::Tok::Punct('(' | '[' | '{' | ';') if depth == 0 => break,
+                _ => {}
+            }
+            if depth == 0 && toks[b].is_ident("let") {
+                let mut n = b + 1;
+                if toks.get(n).is_some_and(|t| t.is_ident("mut")) {
+                    n += 1;
+                }
+                if let Some(name) = toks.get(n).and_then(|t| t.ident()) {
+                    add(name, container, i);
+                }
+                break;
+            }
+        }
+    }
+    found
+}
+
+/// One iteration over a hash container.
+struct Site {
+    /// Token index of the site (the method name or the `for` binding).
+    tok: usize,
+    /// The iterated variable.
+    name: String,
+    /// "HashMap" or "HashSet".
+    container: &'static str,
+}
+
+fn iteration_sites(f: &SourceFile, hashed: &[HashIdent]) -> Vec<Site> {
+    let toks = &f.tokens;
+    let lookup = |name: &str, at: usize| {
+        hashed
+            .iter()
+            .filter(|h| h.name == name && h.scope.0 <= at && at < h.scope.1)
+            .max_by_key(|h| h.scope.0) // innermost declaration wins
+            .map(|h| h.container)
+    };
+    let mut sites = Vec::new();
+    for i in 0..toks.len() {
+        // `name . method (`
+        if let Some(m) = toks[i].ident() {
+            if ITER_METHODS.contains(&m)
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+                && i >= 2
+                && toks[i - 1].is_punct('.')
+            {
+                if let Some(name) = toks[i - 2].ident() {
+                    if let Some(container) = lookup(name, i) {
+                        sites.push(Site { tok: i, name: name.to_string(), container });
+                    }
+                }
+            }
+        }
+        // `for pat in [&[mut]] name {`
+        if toks[i].is_ident("in") {
+            let mut j = i + 1;
+            while toks.get(j).is_some_and(|t| t.is_punct('&') || t.is_ident("mut")) {
+                j += 1;
+            }
+            if let (Some(name), true) = (
+                toks.get(j).and_then(|t| t.ident()),
+                toks.get(j + 1).is_some_and(|t| t.is_punct('{')),
+            ) {
+                if let Some(container) = lookup(name, j) {
+                    sites.push(Site { tok: j, name: name.to_string(), container });
+                }
+            }
+        }
+    }
+    sites
+}
+
+/// Does the statement containing token `i` end in an order-insensitive
+/// reduction? Scans from the site to the terminating `;`/`{` at chain
+/// depth 0 (bounded).
+fn statement_is_insensitive(toks: &[Token], i: usize) -> bool {
+    let mut depth = 0i32;
+    for t in toks.iter().skip(i + 1).take(96) {
+        match &t.tok {
+            crate::lexer::Tok::Punct('(' | '[') => depth += 1,
+            crate::lexer::Tok::Punct(')' | ']') => {
+                depth -= 1;
+                if depth < 0 {
+                    return false;
+                }
+            }
+            crate::lexer::Tok::Punct(';' | '{') if depth == 0 => return false,
+            crate::lexer::Tok::Ident(id)
+                if depth == 0 && INSENSITIVE_TERMINALS.contains(&id.as_str()) =>
+            {
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+fn has_order_evidence(region: &[Token]) -> bool {
+    region.iter().any(|t| {
+        t.ident().is_some_and(|id| {
+            id.starts_with("sort") || id == "BTreeMap" || id == "BTreeSet" || id == "BinaryHeap"
+        })
+    })
+}
+
+fn has_sink(region: &[Token]) -> bool {
+    for i in 0..region.len() {
+        let Some(id) = region[i].ident() else { continue };
+        if SINK_MACROS.contains(&id) && region.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            return true;
+        }
+        if (id == "push" || id == "push_str")
+            && i >= 1
+            && region[i - 1].is_punct('.')
+            && region.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            return true;
+        }
+    }
+    false
+}

@@ -1,0 +1,42 @@
+//! Deterministic workspace file discovery (no globbing crates: the
+//! linter is dependency-free).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Collect every analyzable `.rs` file under the workspace `root`,
+/// as (workspace-relative path, class), sorted by path.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<(String, crate::source::FileClass)>> {
+    let mut rel_paths: Vec<String> = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect(&dir, root, &mut rel_paths)?;
+        }
+    }
+    rel_paths.sort();
+    Ok(rel_paths.into_iter().filter_map(|p| crate::source::classify(&p).map(|c| (p, c))).collect())
+}
+
+fn collect(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            // `target/` never appears under the roots we walk, but be
+            // safe against local build dirs and editor droppings.
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,16 @@
+// Known-bad fixture for rule `determinism`. Not compiled — lexed only.
+use std::time::Instant;
+
+pub fn elapsed_ms(deadline: u64) -> bool {
+    let now = Instant::now();
+    now.elapsed().as_millis() as u64 > deadline
+}
+
+pub fn ambient_seed() -> u64 {
+    let state = std::collections::hash_map::RandomState::new();
+    std::hash::BuildHasher::hash_one(&state, 0u8)
+}
+
+pub fn scale() -> u32 {
+    std::env::var("TLSFOE_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(20)
+}

@@ -1,0 +1,24 @@
+// Known-good fixture for rule `determinism`: virtual time and DRBG
+// streams only; the one env read carries a reasoned waiver; test-gated
+// code may do what it wants.
+
+pub fn deadline_passed(now_us: u64, deadline_us: u64) -> bool {
+    now_us > deadline_us
+}
+
+pub fn jitter_us(rng: &mut Drbg, base: u64) -> u64 {
+    base + rng.next_u64() % base
+}
+
+pub fn ablation_forced() -> bool {
+    // lint:allow(determinism, ablation switch selects between two byte-identical paths)
+    std::env::var_os("FIXTURE_ABLATION").is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_smoke() {
+        let _start = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,10 @@
+// Known-bad fixture for rule `fork-label`: one duplicate sibling label
+// and one dynamic label, both unwaived.
+
+pub fn derive(seed: u64, name: &str) -> (Drbg, Drbg, Drbg) {
+    let root = Drbg::new(seed);
+    let a = root.fork("alpha");
+    let b = root.fork("alpha");
+    let c = root.fork(name);
+    (a, b, c)
+}

@@ -1,0 +1,16 @@
+// Known-good fixture for rule `fork-label`: literal and const labels,
+// distinct among siblings; a rebound parent starts a fresh sibling
+// group; the one dynamic label is waived with a reason.
+
+const RETRY_LABEL: &str = "retry";
+
+pub fn derive(seed: u64, host: &str) -> (Drbg, Drbg, Drbg, Drbg) {
+    let root = Drbg::new(seed);
+    let a = root.fork("alpha");
+    let b = root.fork("beta");
+    let root = root.fork(RETRY_LABEL);
+    let c = root.fork("alpha");
+    // lint:allow(fork-label, host names are unique within the fixture catalog)
+    let d = root.fork(host);
+    (a, b, c, d)
+}

@@ -1,0 +1,16 @@
+// Known-bad fixture for rule `panic-free`: an unwrap in reachable
+// library code, plus expect / panic! / slice-index surface that the
+// allowlist must account for.
+
+pub fn first(v: &[u8]) -> u8 {
+    let head = v.first().unwrap();
+    v[0].wrapping_add(*head)
+}
+
+pub fn must(o: Option<u8>) -> u8 {
+    o.expect("fixture: value must be present")
+}
+
+pub fn die() -> ! {
+    panic!("fixture: unreachable configuration");
+}

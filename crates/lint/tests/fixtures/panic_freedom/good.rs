@@ -1,0 +1,24 @@
+// Known-good fixture for rule `panic-free`: fallible paths return
+// typed errors, slices are accessed through checked combinators, and
+// unwraps live only under #[cfg(test)].
+
+pub fn first(v: &[u8]) -> Result<u8, FixtureError> {
+    match v.first() {
+        Some(head) => Ok(*head),
+        None => Err(FixtureError::Empty),
+    }
+}
+
+pub fn must(o: Option<u8>) -> Result<u8, FixtureError> {
+    o.ok_or(FixtureError::Empty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_of_nonempty() {
+        assert_eq!(first(&[7]).unwrap(), 7);
+    }
+}

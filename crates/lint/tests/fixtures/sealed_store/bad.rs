@@ -1,0 +1,10 @@
+// Known-bad fixture for rule `sealed-store`: touches Database column
+// internals and forges a struct literal outside core::store.
+
+pub fn peek(db: &Database) -> usize {
+    db.proxied_count
+}
+
+pub fn forge() -> Database {
+    Database { substitute_ids: Vec::new(), intern: SubstituteInterner::default() }
+}

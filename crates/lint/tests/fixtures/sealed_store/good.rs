@@ -1,0 +1,10 @@
+// Known-good fixture for rule `sealed-store`: consumers go through the
+// sealed Database accessors and build instances via the constructor.
+
+pub fn proxied_share(db: &Database) -> f64 {
+    db.proxied() as f64 / db.len().max(1) as f64
+}
+
+pub fn build(records: Vec<MeasurementRecord>) -> Database {
+    Database::from_records(records)
+}

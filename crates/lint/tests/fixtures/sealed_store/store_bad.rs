@@ -1,0 +1,12 @@
+// Known-bad fixture for the store-side half of `sealed-store`: linted
+// under the path of core::store itself, where reintroducing a `pub`
+// column field is the violation.
+
+pub struct Database {
+    pub impressions: Vec<u64>,
+    countries: Vec<u16>,
+}
+
+pub struct SubstituteInterner {
+    pub table: Vec<String>,
+}

@@ -1,0 +1,17 @@
+// Known-bad fixture for rule `unordered-iter`: hash-order reaches
+// formatted output and a record vector with no visible sort.
+use std::collections::{HashMap, HashSet};
+
+pub fn render(per: HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in per.iter() {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}
+
+pub fn collect_records(seen: HashSet<u32>, records: &mut Vec<u32>) {
+    for id in &seen {
+        records.push(*id);
+    }
+}

@@ -1,0 +1,25 @@
+// Known-good fixture for rule `unordered-iter`: every hash iteration
+// that feeds output is sorted, reduced order-insensitively, or waived
+// with a reason.
+use std::collections::{HashMap, HashSet};
+
+pub fn render_sorted(per: HashMap<String, u64>) -> String {
+    let mut rows: Vec<(&String, &u64)> = per.iter().collect();
+    rows.sort_by(|a, b| a.0.cmp(b.0));
+    let mut out = String::new();
+    for (k, v) in rows {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}
+
+pub fn peak(per: HashMap<String, u64>) -> u64 {
+    per.values().copied().max().unwrap_or(0)
+}
+
+pub fn drain_waived(mut seen: HashSet<u32>, records: &mut Vec<u32>) {
+    // lint:allow(unordered-iter, records are stable-sorted by the caller before output)
+    for id in seen.drain() {
+        records.push(id);
+    }
+}

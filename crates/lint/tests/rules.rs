@@ -1,0 +1,146 @@
+//! Fixture-corpus snapshot tests: one known-bad and one known-good
+//! file per rule family, with the bad file's findings asserted against
+//! a checked-in `.expected` snapshot and the good file asserted clean.
+//!
+//! Regenerate snapshots with `UPDATE_SNAPSHOTS=1 cargo test -p tlsfoe-lint`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use tlsfoe_lint::{lint_file, sort_findings, FileReport};
+
+fn fixture_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(rel)
+}
+
+/// Lint a fixture's contents as if it lived at `lint_as` in the tree.
+fn lint_fixture(rel: &str, lint_as: &str) -> FileReport {
+    let src = fs::read_to_string(fixture_path(rel)).expect("fixture file readable");
+    lint_file(lint_as, &src).expect("fixture path must classify as lintable")
+}
+
+fn render_findings(rep: &FileReport) -> String {
+    let mut findings = rep.findings.clone();
+    sort_findings(&mut findings);
+    let mut out = String::new();
+    for f in &findings {
+        out.push_str(&f.render_text());
+        out.push('\n');
+    }
+    out
+}
+
+/// Compare rendered findings against `<fixture>.expected`, regenerating
+/// the snapshot when UPDATE_SNAPSHOTS is set.
+fn assert_snapshot(rel: &str, lint_as: &str) -> FileReport {
+    let rep = lint_fixture(rel, lint_as);
+    let actual = render_findings(&rep);
+    let snap_path = fixture_path(&format!("{rel}.expected"));
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        fs::write(&snap_path, &actual).expect("snapshot writable");
+        return rep;
+    }
+    let expected = fs::read_to_string(&snap_path).unwrap_or_else(|_| {
+        panic!("missing snapshot {} — run with UPDATE_SNAPSHOTS=1", snap_path.display())
+    });
+    assert_eq!(
+        actual, expected,
+        "findings for {rel} diverge from snapshot {rel}.expected \
+         (rerun with UPDATE_SNAPSHOTS=1 if the change is intentional)"
+    );
+    rep
+}
+
+const LIB_PATH: &str = "crates/core/src/fixture_under_test.rs";
+
+#[test]
+fn determinism_bad_is_flagged() {
+    let rep = assert_snapshot("determinism/bad.rs", LIB_PATH);
+    assert!(rep.findings.iter().all(|f| f.rule == "determinism"));
+    assert!(!rep.findings.is_empty());
+}
+
+#[test]
+fn determinism_good_is_clean() {
+    let rep = assert_snapshot("determinism/good.rs", LIB_PATH);
+    assert!(rep.findings.is_empty());
+}
+
+#[test]
+fn determinism_allowed_in_tooling_crates() {
+    let src = fs::read_to_string(fixture_path("determinism/bad.rs")).expect("fixture readable");
+    let rep = lint_file("crates/bench/src/fixture_under_test.rs", &src)
+        .expect("tooling path must classify");
+    assert!(rep.findings.is_empty(), "tooling crates may read clocks: {:?}", rep.findings);
+}
+
+#[test]
+fn unordered_iter_bad_is_flagged() {
+    let rep = assert_snapshot("unordered_iter/bad.rs", LIB_PATH);
+    assert!(rep.findings.iter().all(|f| f.rule == "unordered-iter"));
+    assert_eq!(rep.findings.len(), 2, "one finding per unsorted hash iteration");
+}
+
+#[test]
+fn unordered_iter_good_is_clean() {
+    let rep = assert_snapshot("unordered_iter/good.rs", LIB_PATH);
+    assert!(rep.findings.is_empty());
+}
+
+#[test]
+fn fork_discipline_bad_is_flagged() {
+    let rep = assert_snapshot("fork_discipline/bad.rs", LIB_PATH);
+    assert!(rep.findings.iter().all(|f| f.rule == "fork-label"));
+    assert_eq!(rep.census.len(), 3, "all three fork sites enter the census");
+}
+
+#[test]
+fn fork_discipline_good_is_clean() {
+    let rep = assert_snapshot("fork_discipline/good.rs", LIB_PATH);
+    assert!(rep.findings.is_empty());
+    assert_eq!(rep.census.len(), 5, "clean sites still enter the census");
+}
+
+#[test]
+fn sealed_store_bad_is_flagged() {
+    let rep = assert_snapshot("sealed_store/bad.rs", LIB_PATH);
+    assert!(rep.findings.iter().all(|f| f.rule == "sealed-store"));
+}
+
+#[test]
+fn sealed_store_good_is_clean() {
+    let rep = assert_snapshot("sealed_store/good.rs", LIB_PATH);
+    assert!(rep.findings.is_empty());
+}
+
+#[test]
+fn sealed_store_pub_fields_flagged_in_store_itself() {
+    let rep = assert_snapshot("sealed_store/store_bad.rs", "crates/core/src/store.rs");
+    assert!(rep.findings.iter().all(|f| f.rule == "sealed-store"));
+    assert_eq!(rep.findings.len(), 2, "one per reintroduced pub field");
+}
+
+#[test]
+fn panic_freedom_bad_is_flagged_and_counted() {
+    let rep = assert_snapshot("panic_freedom/bad.rs", LIB_PATH);
+    assert!(rep.findings.iter().all(|f| f.rule == "panic-free"));
+    let counts = rep.panic_counts.expect("library files report panic counts");
+    assert_eq!((counts.expect, counts.panic, counts.index), (1, 1, 1));
+}
+
+#[test]
+fn panic_freedom_good_is_clean_with_zero_counts() {
+    let rep = assert_snapshot("panic_freedom/good.rs", LIB_PATH);
+    assert!(rep.findings.is_empty());
+    let counts = rep.panic_counts.expect("library files report panic counts");
+    assert!(counts.is_zero(), "test-gated unwraps must not count: {counts:?}");
+}
+
+#[test]
+fn fixtures_are_not_walked_as_workspace_sources() {
+    assert!(
+        tlsfoe_lint::lint_file("crates/lint/tests/fixtures/determinism/bad.rs", "fn main() {}")
+            .is_none(),
+        "fixture corpus must be excluded from workspace walks"
+    );
+}

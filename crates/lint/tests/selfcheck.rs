@@ -1,0 +1,15 @@
+//! Workspace self-check: the linter must exit clean on its own tree.
+//! This is the same gate CI runs via `cargo run -p tlsfoe-lint -- --check`,
+//! kept as a test so `cargo test` alone catches a regression.
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let rep = tlsfoe_lint::lint_workspace(&root).expect("workspace walk succeeds");
+    assert!(rep.files > 50, "walk should cover the whole workspace, saw {} files", rep.files);
+    assert!(!rep.census.is_empty(), "fork census should find the workspace fork sites");
+    let rendered: Vec<String> = rep.findings.iter().map(|f| f.render_text()).collect();
+    assert!(rep.findings.is_empty(), "workspace must lint clean:\n{}", rendered.join("\n"));
+}
