@@ -5,9 +5,9 @@
 //! cached context), Montgomery multiply vs the squaring specialization,
 //! RSA sign (CRT vs direct) and verify (e = 65537) — at the paper's
 //! three key sizes, plus named end-to-end series (`keygen`, `mint`,
-//! `session_throughput`, `million`), and writes machine-readable per-op
-//! times (min across sample blocks) so future PRs can diff perf
-//! trajectories in CI.
+//! `session_phase`, `session_throughput`, `million`), and writes
+//! machine-readable per-op times (min across sample blocks) so future
+//! PRs can diff perf trajectories in CI.
 //!
 //! Flags:
 //!
@@ -26,67 +26,13 @@
 
 use std::time::Instant;
 
+use tlsfoe_bench::harness::{self, best_ns, best_ns_paired};
 use tlsfoe_bench::perf_gate;
 use tlsfoe_core::json::Json;
 use tlsfoe_core::study::StudyConfig;
 use tlsfoe_crypto::bigint::Ubig;
 use tlsfoe_crypto::drbg::{Drbg, RngCore64};
 use tlsfoe_crypto::{HashAlg, MontgomeryCtx, RsaKeyPair};
-
-/// Iterations of `f` that fit ~20 ms, time-bounded calibration.
-fn calibrate(f: &mut impl FnMut()) -> u64 {
-    let mut iters = 1u64;
-    loop {
-        let start = Instant::now();
-        for _ in 0..iters {
-            f();
-        }
-        let elapsed = start.elapsed();
-        if elapsed.as_millis() >= 5 || iters >= 1 << 20 {
-            let per = elapsed.as_nanos().max(1) / iters as u128;
-            return (20_000_000 / per).clamp(1, 1 << 20) as u64;
-        }
-        iters *= 2;
-    }
-}
-
-fn sample_ns(iters: u64, f: &mut impl FnMut()) -> u64 {
-    let start = Instant::now();
-    for _ in 0..iters {
-        f();
-    }
-    (start.elapsed().as_nanos() / iters as u128) as u64
-}
-
-/// Aggregate samples with the *minimum*: external interference (other
-/// processes, frequency steps) only ever adds time, so the fastest
-/// sample block is the most reproducible estimate — medians were
-/// observed to spike >80% on shared runners when a noisy neighbour
-/// overlapped most of a metric's sampling window, which is exactly the
-/// false-positive a CI perf gate cannot afford.
-fn best(v: Vec<u64>) -> u64 {
-    v.into_iter().min().expect("at least one sample")
-}
-
-/// Best (minimum) ns/iteration of `f` across sample blocks.
-fn best_ns(samples: usize, mut f: impl FnMut()) -> u64 {
-    let iters = calibrate(&mut f);
-    best((0..samples).map(|_| sample_ns(iters, &mut f)).collect())
-}
-
-/// Best ns/iteration of two closures, sample blocks interleaved
-/// `f,g,f,g,…` so clock drift cannot bias their ratio.
-fn best_ns_paired(samples: usize, mut f: impl FnMut(), mut g: impl FnMut()) -> (u64, u64) {
-    let fi = calibrate(&mut f);
-    let gi = calibrate(&mut g);
-    let mut fs = Vec::with_capacity(samples);
-    let mut gs = Vec::with_capacity(samples);
-    for _ in 0..samples {
-        fs.push(sample_ns(fi, &mut f));
-        gs.push(sample_ns(gi, &mut g));
-    }
-    (best(fs), best(gs))
-}
 
 /// End-to-end sessions/sec through the shard-lifetime batched network:
 /// time a small single-threaded study 1 (per-core and stable across
@@ -300,6 +246,33 @@ fn measure_million(quick: bool) -> Json {
     ])
 }
 
+/// Session-phase series: one measured impression cut into dial /
+/// handshake / upload / ingest (see
+/// [`tlsfoe_bench::harness::measure_session_phases`]). All four metrics
+/// are `_ns`-suffixed and therefore gated by `--check`: the TLS framing
+/// fast path answers to `dial_ns`/`handshake_ns`, the upload leg to
+/// `upload_ns`, and the report-ingestion memo to `ingest_ns` — a
+/// regression in any one layer is attributed to its phase instead of
+/// drowning in the end-to-end session number.
+fn measure_session_phase(quick: bool) -> Json {
+    // Each phase block times only ~100 µs of work (64 sessions), so a
+    // single scheduler preemption inflates a whole block; min-of-many
+    // cheap blocks is what keeps this series gate-stable.
+    let samples = if quick { 9 } else { 15 };
+    eprintln!("[exp_perf] measuring session phases (dial/handshake/upload/ingest)…");
+    let p = harness::measure_session_phases(samples);
+    println!(
+        "phases | dial {:>7} ns | handshake {:>7} ns | upload {:>7} ns | ingest {:>7} ns",
+        p.dial_ns, p.handshake_ns, p.upload_ns, p.ingest_ns,
+    );
+    Json::obj(vec![
+        ("dial_ns", Json::Int(p.dial_ns as i64)),
+        ("handshake_ns", Json::Int(p.handshake_ns as i64)),
+        ("upload_ns", Json::Int(p.upload_ns as i64)),
+        ("ingest_ns", Json::Int(p.ingest_ns as i64)),
+    ])
+}
+
 fn measure(quick: bool) -> Json {
     let samples = if quick { 5 } else { 11 };
     let msg = b"tbs certificate bytes stand-in";
@@ -385,6 +358,7 @@ fn measure(quick: bool) -> Json {
             Json::obj(vec![
                 ("keygen", measure_keygen(quick)),
                 ("mint", measure_mint(quick)),
+                ("session_phase", measure_session_phase(quick)),
                 ("session_throughput", measure_session_throughput(quick)),
                 ("million", measure_million(quick)),
             ]),

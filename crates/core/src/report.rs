@@ -26,11 +26,89 @@ pub use crate::store::{
     Database, MeasurementRecord, ProbeFailureRecord, RecordView, SubstituteInfo,
 };
 
+/// Upper bound on distinct `(host, body)` classifications the ingest
+/// memo retains. Healthy runs sit far below it (`exp_million` measured
+/// 39 distinct chains across 10⁶ impressions); a chaos run spraying
+/// corrupted-but-parseable bodies stops *inserting* past the cap and
+/// simply re-parses, so memory stays bounded and semantics unchanged.
+const INGEST_MEMO_MAX: usize = 4096;
+
+/// One memoized upload classification: the exact request bytes that
+/// produced it (full-body equality guards against hash collisions) and
+/// the parse-derived fields of the record it yields.
+struct MemoEntry {
+    host: &'static str,
+    body: Vec<u8>,
+    proxied: bool,
+    substitute: Option<SubstituteInfo>,
+}
+
+/// Upload-body → parsed-classification memo.
+///
+/// Probes upload the PEM encoding of whatever chain they captured, and
+/// distinct chains are rare (tens per run) while uploads number in the
+/// millions — so the PEM decode + X.509 parse + leaf comparison that
+/// [`ReportServer::ingest`] performs is overwhelmingly repeated work.
+/// The memo keys on an FNV hash of `(host, body)` with bucket entries
+/// compared by full body equality (never hash-only), and stores exactly
+/// the classification fields that are pure functions of `(host, body)`:
+/// `proxied` and the substitute evidence. Per-upload fields (impression
+/// ordinal, client IP, geolocation, attempts) are never memoized.
+///
+/// Malformed bodies are **not** cacheable: they produce no
+/// classification, only a `malformed_uploads` bump, and memoizing them
+/// could turn a later byte-identical-but-reparsed upload into a silent
+/// drop. The regression tests below pin this down.
+#[derive(Default)]
+struct IngestMemo {
+    buckets: HashMap<u64, Vec<MemoEntry>>,
+    entries: usize,
+}
+
+impl IngestMemo {
+    fn hash(host: &str, body: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in host.as_bytes().iter().chain(b"\0").chain(body) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        h
+    }
+
+    fn lookup(&self, host: &str, body: &[u8]) -> Option<(bool, Option<SubstituteInfo>)> {
+        let bucket = self.buckets.get(&Self::hash(host, body))?;
+        let e = bucket.iter().find(|e| e.host == host && e.body == body)?;
+        Some((e.proxied, e.substitute.clone()))
+    }
+
+    fn insert(
+        &mut self,
+        host: &'static str,
+        body: &[u8],
+        proxied: bool,
+        substitute: &Option<SubstituteInfo>,
+    ) {
+        if self.entries >= INGEST_MEMO_MAX {
+            return;
+        }
+        self.entries += 1;
+        self.buckets.entry(Self::hash(host, body)).or_default().push(MemoEntry {
+            host,
+            body: body.to_vec(),
+            proxied,
+            substitute: substitute.clone(),
+        });
+    }
+}
+
 /// The reporting server: authoritative chains + geolocation + database.
 pub struct ReportServer {
     authoritative: HashMap<&'static str, (Vec<u8>, &'static str, HostCategory)>,
     geo: GeoDb,
     db: Rc<RefCell<Database>>,
+    /// See [`IngestMemo`]. `RefCell`: a `ReportServer` is per-shard,
+    /// single-threaded state behind an `Rc`, like `db`.
+    memo: RefCell<IngestMemo>,
 }
 
 impl ReportServer {
@@ -41,7 +119,7 @@ impl ReportServer {
             .iter()
             .map(|h| (h.name, (h.chain[0].to_der().to_vec(), h.name, h.category)))
             .collect();
-        ReportServer { authoritative, geo, db }
+        ReportServer { authoritative, geo, db, memo: RefCell::new(IngestMemo::default()) }
     }
 
     /// The shared database handle.
@@ -89,17 +167,38 @@ impl ReportServer {
             self.db.borrow_mut().note_malformed();
             return;
         };
-        let text = String::from_utf8_lossy(body);
-        let chain = match pem::decode_certificates(&text) {
-            Ok(chain) if !chain.is_empty() => chain,
-            _ => {
-                self.db.borrow_mut().note_malformed();
-                return;
+        // Fast path: the 2nd..Nth sighting of a `(host, body)` pair skips
+        // PEM decode, X.509 parse and leaf comparison entirely — the
+        // classification is a pure function of those bytes (see
+        // [`IngestMemo`]); only the per-upload fields are computed fresh.
+        let memoized = self.memo.borrow().lookup(host, body);
+        let (proxied, substitute) = match memoized {
+            Some(hit) => hit,
+            None => {
+                let text = String::from_utf8_lossy(body);
+                let chain = match pem::decode_certificates(&text) {
+                    Ok(chain) => chain,
+                    // Unparsable bodies are counted and dropped, never
+                    // memoized: only successful classifications enter the
+                    // memo.
+                    Err(_) => {
+                        self.db.borrow_mut().note_malformed();
+                        return;
+                    }
+                };
+                // An empty (certificate-free) body is malformed too.
+                let Some((leaf, intermediates)) = chain.split_first() else {
+                    self.db.borrow_mut().note_malformed();
+                    return;
+                };
+                let leaf_der = leaf.to_der();
+                let proxied = leaf_der != auth_leaf.as_slice();
+                let substitute =
+                    proxied.then(|| extract_substitute(leaf, leaf_der, intermediates, host));
+                self.memo.borrow_mut().insert(host, body, proxied, &substitute);
+                (proxied, substitute)
             }
         };
-
-        let proxied = chain[0].to_der() != auth_leaf.as_slice();
-        let substitute = if proxied { Some(extract_substitute(&chain, host)) } else { None };
         self.db.borrow_mut().push(MeasurementRecord {
             impression,
             client_ip,
@@ -126,9 +225,20 @@ impl ReportServer {
 }
 
 /// Pull the analyzer-relevant fields out of a substitute chain.
-fn extract_substitute(chain: &[Certificate], host: &str) -> SubstituteInfo {
-    let leaf = &chain[0];
+///
+/// `leaf_der` is the leaf's DER as already borrowed for the
+/// authoritative comparison in `ingest` — passed in so the evidence copy
+/// reuses it instead of re-borrowing `to_der()` per certificate walk.
+fn extract_substitute(
+    leaf: &Certificate,
+    leaf_der: &[u8],
+    intermediates: &[Certificate],
+    host: &str,
+) -> SubstituteInfo {
     let spki_bytes = leaf.tbs.spki.key.n.to_bytes_be();
+    let mut chain_der = Vec::with_capacity(1 + intermediates.len());
+    chain_der.push(leaf_der.to_vec());
+    chain_der.extend(intermediates.iter().map(|c| c.to_der().to_vec()));
     SubstituteInfo {
         issuer_org: leaf.tbs.issuer.organization().map(str::to_string),
         issuer_cn: leaf.tbs.issuer.common_name().map(str::to_string),
@@ -137,7 +247,7 @@ fn extract_substitute(chain: &[Certificate], host: &str) -> SubstituteInfo {
         subject_cn: leaf.tbs.subject.common_name().map(str::to_string),
         covers_host: leaf.matches_host(host),
         leaf_key_fp: tlsfoe_crypto::sha256::sha256(&spki_bytes),
-        chain_der: chain.iter().map(|c| c.to_der().to_vec()).collect(),
+        chain_der,
     }
 }
 
@@ -197,6 +307,68 @@ mod tests {
         let db = db.borrow();
         assert_eq!(db.total(), 0);
         assert_eq!(db.malformed_uploads(), 3);
+    }
+
+    #[test]
+    fn truncated_pem_counted_malformed_every_time_and_never_memoized() {
+        // Satellite regression: a truncated/garbled PEM body must bump
+        // malformed_uploads on EVERY sighting — if a bad body ever
+        // entered the ingest memo as a classification, the second upload
+        // would fabricate a record (or silently drop) instead.
+        let (server, db, catalog) = setup();
+        let good = pem::encode_certificates(&catalog.hosts[0].chain);
+        // Truncate mid-base64: BEGIN without END → decode error.
+        let truncated = good.as_bytes()[..good.len() / 2].to_vec();
+        // Garble the base64 body but keep the armor → invalid character.
+        let garbled = good.replace(|c: char| c.is_ascii_digit(), "!").into_bytes();
+        for round in 1..=3u64 {
+            server.ingest(client(), "/report?host=tlsresearch.byu.edu", &truncated);
+            server.ingest(client(), "/report?host=tlsresearch.byu.edu", &garbled);
+            assert_eq!(
+                db.borrow().malformed_uploads(),
+                2 * round,
+                "every sighting of a bad body must count malformed"
+            );
+            assert_eq!(db.borrow().total(), 0, "bad bodies must never yield records");
+        }
+        // A PEM-free body (no BEGIN block at all) decodes to an empty
+        // chain: also malformed, also never memoized.
+        server.ingest(client(), "/report?host=tlsresearch.byu.edu", b"no pem here");
+        server.ingest(client(), "/report?host=tlsresearch.byu.edu", b"no pem here");
+        assert_eq!(db.borrow().malformed_uploads(), 8);
+        // The good body still classifies fine afterwards.
+        server.ingest(client(), "/report?host=tlsresearch.byu.edu", good.as_bytes());
+        assert_eq!(db.borrow().total(), 1);
+        assert!(!db.borrow().get(0).proxied);
+    }
+
+    #[test]
+    fn memoized_ingest_identical_to_cold_parse() {
+        // The memo's correctness contract: the 2nd..Nth sighting of a
+        // body (the memo hit) must produce a record identical to what a
+        // cold parse produces — including full substitute evidence — and
+        // per-upload fields (impression, attempts, client IP) must stay
+        // per-upload, never memoized.
+        let (server, db, catalog) = setup();
+        let sub = pem::encode_certificates(&catalog.host("qq.com").unwrap().chain).into_bytes();
+        server.ingest(client(), "/report?host=tlsresearch.byu.edu&imp=1", &sub);
+        server.ingest(client(), "/report?host=tlsresearch.byu.edu&imp=2&att=3", &sub);
+        // A cold server (fresh memo) parsing the same second upload.
+        let cold_db = Rc::new(RefCell::new(Database::new()));
+        let cold = ReportServer::new(&catalog, GeoDb::allocate(1000), cold_db.clone());
+        cold.ingest(client(), "/report?host=tlsresearch.byu.edu&imp=2&att=3", &sub);
+        // Same body under a DIFFERENT host is a different classification
+        // (the authoritative leaf differs), so it must not hit the first
+        // host's memo slot: qq.com's own chain is unproxied there.
+        server.ingest(client(), "/report?host=qq.com&imp=9", &sub);
+        let db = db.borrow();
+        let warm = db.get(1);
+        assert_eq!(warm, cold_db.borrow().get(0), "memo hit must equal cold parse");
+        assert_eq!(warm.impression, 2);
+        assert_eq!(warm.attempts, 3);
+        assert_eq!(db.get(0).impression, 1, "per-upload fields must not leak across hits");
+        assert_eq!(db.get(0).substitute, db.get(1).substitute);
+        assert!(!db.get(2).proxied, "host must be part of the memo key");
     }
 
     #[test]

@@ -149,6 +149,14 @@ pub struct StudyConfig {
     /// Session retry/timeout policy (default [`RetryPolicy::disabled`]:
     /// no timers, byte-identical to the retry-free path).
     pub retry: RetryPolicy,
+    /// Mint substitute chains into a cache private to this study instead
+    /// of the process-wide one (default false). Chains are pure functions
+    /// of their `(product, era, host, variant)` key, so the two modes are
+    /// bit-identical — CI asserts exactly that — and sharing only removes
+    /// duplicate RSA mints when several studies run in one process
+    /// (`exp_all`). The private mode exists for that assertion and for
+    /// benches that must measure cold mints.
+    pub private_substitute_cache: bool,
     /// How many shards may abandon their impression range (event-cap
     /// trip) before the whole study errors. Within budget the study
     /// completes with a partial database plus per-shard failure context
@@ -176,6 +184,7 @@ impl StudyConfig {
             warm_substitutes: true,
             faults: FaultProfile::none(),
             retry: RetryPolicy::disabled(),
+            private_substitute_cache: false,
             shard_fault_budget: 0,
             max_net_events: None,
         }
@@ -195,6 +204,7 @@ impl StudyConfig {
             warm_substitutes: true,
             faults: FaultProfile::none(),
             retry: RetryPolicy::disabled(),
+            private_substitute_cache: false,
             shard_fault_budget: 0,
             max_net_events: None,
         }
@@ -309,7 +319,11 @@ pub fn run_study(cfg: &StudyConfig) -> Result<StudyOutcome, StudyError> {
         (false, StudyEra::Study1) => HostCatalog::study1(),
         (false, StudyEra::Study2) => HostCatalog::study2(),
     });
-    let model = Arc::new(PopulationModel::new(cfg.era, catalog.public_roots.clone()));
+    let model = Arc::new(if cfg.private_substitute_cache {
+        PopulationModel::with_private_cache(cfg.era, catalog.public_roots.clone())
+    } else {
+        PopulationModel::new(cfg.era, catalog.public_roots.clone())
+    });
     // Tiny runs execute on one thread regardless of cfg.threads — the
     // prewarm decision below must match this, not the requested count.
     let serial = threads == 1 || impressions.len() < 256;
@@ -482,6 +496,43 @@ mod tests {
         let b = run_study(&StudyConfig { threads: 8, ..base }).expect("study");
         assert!(a.db.proxied() > 20, "need a substitute corpus, got {}", a.db.proxied());
         assert_eq!(a.db, b.db);
+    }
+
+    #[test]
+    fn process_wide_cache_bit_identical_to_private_caches() {
+        // The process-wide mint-sharing contract: a study minting into
+        // the process-wide substitute cache (possibly reading chains some
+        // *other* study already minted) and a study minting every chain
+        // itself into a private cache must produce bit-identical
+        // databases — across threads 1-vs-8 and batch 1-vs-64, with heavy
+        // interception so the cache is actually load-bearing.
+        let base = StudyConfig { proxy_boost: 60.0, ..StudyConfig::study1(6_000, 29) };
+        let private_serial = run_study(&StudyConfig {
+            private_substitute_cache: true,
+            threads: 1,
+            batch: 1,
+            ..base.clone()
+        })
+        .expect("study");
+        let shared_serial =
+            run_study(&StudyConfig { threads: 1, batch: 1, ..base.clone() }).expect("study");
+        let shared_sharded =
+            run_study(&StudyConfig { threads: 8, batch: 64, ..base.clone() }).expect("study");
+        let private_sharded = run_study(&StudyConfig {
+            private_substitute_cache: true,
+            threads: 8,
+            batch: 64,
+            ..base
+        })
+        .expect("study");
+        assert!(
+            private_serial.db.proxied() > 20,
+            "need a substitute corpus, got {}",
+            private_serial.db.proxied()
+        );
+        assert_eq!(private_serial.db, shared_serial.db, "shared cache changed study output");
+        assert_eq!(shared_serial.db, shared_sharded.db, "thread/batch changed shared-cache run");
+        assert_eq!(shared_sharded.db, private_sharded.db, "private sharded run diverged");
     }
 
     #[test]

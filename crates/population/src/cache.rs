@@ -39,7 +39,7 @@
 //! `Mutex<HashMap>` shards, so concurrent misses on *different* hosts
 //! mint in parallel and concurrent hits rarely touch the same lock.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use tlsfoe_tls::server::ServerConfig;
 use tlsfoe_x509::Certificate;
@@ -131,6 +131,27 @@ impl SubstituteCache {
     pub fn stats(&self) -> (u64, u64) {
         self.entries.stats()
     }
+}
+
+/// The process-wide substitute cache every [`crate::PopulationModel`]
+/// shares by default (the mint-path sibling of [`crate::keys`]' key
+/// cache).
+///
+/// `exp_all` runs seven studies in one process; before this cache went
+/// process-wide each study's model owned a private cache and re-minted —
+/// at RSA-signature cost — the same `(product, era, host, variant)`
+/// chains its six siblings had already built. Sharing is sound because
+/// the key carries the era (so cross-era mints cannot alias) and every
+/// entry is a pure function of its key (the determinism contract above):
+/// whichever study mints a chain first, every later study reads the same
+/// bytes it would have minted itself.
+///
+/// Tests and benches that need exact `len()`/`stats()` accounting build
+/// a private model via [`crate::PopulationModel::with_private_cache`]
+/// instead of asserting against this shared instance.
+pub fn process_cache() -> Arc<SubstituteCache> {
+    static CACHE: OnceLock<Arc<SubstituteCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Arc::new(SubstituteCache::new())).clone()
 }
 
 #[cfg(test)]

@@ -350,6 +350,57 @@ mod tests {
     }
 
     #[test]
+    fn cross_study_stampede_mints_each_chain_exactly_once() {
+        // The process-wide-cache sibling of the single-factory stampede
+        // above: two factories with the same (product, era) minting into
+        // ONE shared cache — exactly what two studies' models do through
+        // `cache::process_cache` — race from 8 threads over the same host
+        // set. Every chain must be minted exactly once across BOTH
+        // factories (first-mints-only), and both must serve identical
+        // bytes. A private shared cache keeps the counts exact under
+        // `cargo test`'s process-wide parallelism.
+        let specs = catalog();
+        let shared = std::sync::Arc::new(SubstituteCache::new());
+        let mk = || {
+            std::sync::Arc::new(SubstituteFactory::with_cache(
+                ProductId(0),
+                specs[0].clone(),
+                StudyEra::Study1,
+                shared.clone(),
+            ))
+        };
+        let (study_a, study_b) = (mk(), mk());
+        let distinct_hosts = 12;
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                // Odd threads act as study A, even threads as study B.
+                let f = if t % 2 == 0 { study_a.clone() } else { study_b.clone() };
+                s.spawn(move || {
+                    for i in 0..distinct_hosts * 4 {
+                        let h = format!("x{}.example", (i + t) % distinct_hosts);
+                        f.substitute_chain(&h, dst(), None);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            study_a.minted() + study_b.minted(),
+            distinct_hosts,
+            "one mint per distinct chain across both studies (a {} + b {})",
+            study_a.minted(),
+            study_b.minted()
+        );
+        let (_, misses) = shared.stats();
+        assert_eq!(misses as usize, distinct_hosts);
+        for i in 0..distinct_hosts {
+            let h = format!("x{i}.example");
+            let a = study_a.substitute_chain(&h, dst(), None);
+            let b = study_b.substitute_chain(&h, dst(), None);
+            assert!(std::sync::Arc::ptr_eq(&a, &b), "both studies must serve one chain");
+        }
+    }
+
+    #[test]
     fn issuer_org_matches_spec() {
         let f = factory_for("Bitdefender");
         let chain = f.substitute_chain("h.example", dst(), None);

@@ -52,7 +52,9 @@ pub struct PopulationModel {
     era: StudyEra,
     specs: Vec<ProductSpec>,
     factories: Vec<OnceLock<Arc<SubstituteFactory>>>,
-    /// Minted substitute chains, shared by every factory of this model
+    /// Minted substitute chains, shared by every factory of this model —
+    /// by default the process-wide [`crate::cache::process_cache`], so
+    /// chains are also shared *across* models/studies of one process
     /// (keyed by `(product, era, host, variant)` — see [`crate::cache`]).
     substitutes: Arc<SubstituteCache>,
     /// Mega-popular hosts that whitelist-capable products skip.
@@ -71,7 +73,30 @@ impl PopulationModel {
     /// verification contexts are pre-warmed into the process-wide
     /// Montgomery cache here, since every proxy upstream validation will
     /// use them.
+    ///
+    /// Substitute chains mint into the process-wide
+    /// [`crate::cache::process_cache`]: a second model of the same era
+    /// (another study in the same run, `exp_all`'s boosted re-runs)
+    /// reuses every chain the first one minted instead of re-signing it.
+    /// Tests and benches that assert exact cache accounting should use
+    /// [`PopulationModel::with_private_cache`].
     pub fn new(era: StudyEra, public_roots: Arc<RootStore>) -> PopulationModel {
+        Self::with_cache(era, public_roots, crate::cache::process_cache())
+    }
+
+    /// Like [`PopulationModel::new`], but minting into a fresh cache
+    /// private to this model — for tests/benches that count mints or
+    /// measure cold-mint cost, and for the per-study ablation knob
+    /// (`StudyConfig::private_substitute_cache` in `tlsfoe_core`).
+    pub fn with_private_cache(era: StudyEra, public_roots: Arc<RootStore>) -> PopulationModel {
+        Self::with_cache(era, public_roots, Arc::new(SubstituteCache::new()))
+    }
+
+    fn with_cache(
+        era: StudyEra,
+        public_roots: Arc<RootStore>,
+        substitutes: Arc<SubstituteCache>,
+    ) -> PopulationModel {
         public_roots.warm_verify_ctxs();
         let specs = products::catalog();
         let factories = specs.iter().map(|_| OnceLock::new()).collect();
@@ -92,7 +117,7 @@ impl PopulationModel {
             era,
             specs,
             factories,
-            substitutes: Arc::new(SubstituteCache::new()),
+            substitutes,
             popular_whitelist: Arc::new(popular),
             public_roots,
             now: match era {
@@ -403,6 +428,13 @@ mod tests {
         PopulationModel::new(era, Arc::new(RootStore::new()))
     }
 
+    /// A model with a cache private to the test — exact `len()`/`stats()`
+    /// assertions would race with every other test minting into the
+    /// process-wide cache.
+    fn private_model(era: StudyEra) -> PopulationModel {
+        PopulationModel::with_private_cache(era, Arc::new(RootStore::new()))
+    }
+
     #[test]
     fn rates_match_paper_tables() {
         let m1 = model(StudyEra::Study1);
@@ -525,7 +557,7 @@ mod tests {
     #[test]
     fn factories_share_the_model_cache() {
         use tlsfoe_netsim::Ipv4;
-        let m = model(StudyEra::Study1);
+        let m = private_model(StudyEra::Study1);
         let f0 = m.factory(ProductId(0));
         let f1 = m.factory(ProductId(1));
         f0.substitute_chain("shared.example", Ipv4([203, 0, 113, 2]), None);
@@ -538,7 +570,7 @@ mod tests {
     #[test]
     fn warm_substitutes_mints_each_chain_exactly_once() {
         use tlsfoe_netsim::Ipv4;
-        let m = model(StudyEra::Study1);
+        let m = private_model(StudyEra::Study1);
         let hosts = ["warm-a.example", "warm-b.example"];
         let expected = m.warm_substitute_count(&hosts);
         assert!(expected > 0, "study 1 must have host-only minting products");
@@ -571,8 +603,8 @@ mod tests {
         // Prewarm must be observationally invisible: a warmed model and a
         // lazily-minting model produce byte-identical chains (chains are
         // pure functions of their cache key).
-        let warm = model(StudyEra::Study1);
-        let lazy = model(StudyEra::Study1);
+        let warm = private_model(StudyEra::Study1);
+        let lazy = private_model(StudyEra::Study1);
         let host = "tlsresearch.byu.edu";
         warm.warm_substitutes(&[host], 2);
         for (i, spec) in warm.specs().iter().enumerate() {
@@ -603,7 +635,7 @@ mod tests {
 
     #[test]
     fn whitelisted_pairs_are_not_prewarmed() {
-        let m = model(StudyEra::Study1);
+        let m = private_model(StudyEra::Study1);
         let whitelisting: Vec<usize> = m
             .specs()
             .iter()
@@ -624,9 +656,36 @@ mod tests {
     }
 
     #[test]
+    fn same_era_models_share_process_wide_chains() {
+        use tlsfoe_netsim::Ipv4;
+        // Two default-built models (think: two studies of one exp_all
+        // run) must share minted chains through the process-wide cache:
+        // the second model's factory never mints, it only reads. The
+        // assertions ride the per-factory minted() counters — exact and
+        // test-local even though the cache itself is shared process-wide.
+        let host = "process-share.example";
+        let dst = Ipv4([203, 0, 113, 11]);
+        let first = model(StudyEra::Study1);
+        let second = model(StudyEra::Study1);
+        let a = first.factory(ProductId(0)).substitute_chain(host, dst, None);
+        assert_eq!(first.factory(ProductId(0)).minted(), 1);
+        let b = second.factory(ProductId(0)).substitute_chain(host, dst, None);
+        assert_eq!(
+            second.factory(ProductId(0)).minted(),
+            0,
+            "second model must reuse the first model's mint, not re-mint"
+        );
+        assert!(Arc::ptr_eq(&a, &b), "both models must serve the one cached chain");
+        // A different era is a different key: the same host mints again.
+        let other_era = model(StudyEra::Study2);
+        other_era.factory(ProductId(0)).substitute_chain(host, dst, None);
+        assert_eq!(other_era.factory(ProductId(0)).minted(), 1, "eras must not alias");
+    }
+
+    #[test]
     fn threads_minting_same_host_share_one_chain() {
         use tlsfoe_netsim::Ipv4;
-        let m = Arc::new(model(StudyEra::Study2));
+        let m = Arc::new(private_model(StudyEra::Study2));
         let chains: Vec<Vec<u8>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..8)
                 .map(|_| {

@@ -24,7 +24,7 @@ use tlsfoe_netsim::net::{DialInfo, Interceptor};
 use tlsfoe_netsim::{Conduit, ConnToken, IoCtx, Ipv4};
 use tlsfoe_tls::handshake::{Alert, AlertLevel, HandshakeMsg, HandshakeParser};
 use tlsfoe_tls::probe::{ProbeOutcome, ProbeState};
-use tlsfoe_tls::record::{encode_records, ContentType, ProtocolVersion, RecordParser};
+use tlsfoe_tls::record::{ContentType, ProtocolVersion, RecordParser};
 use tlsfoe_tls::ProbeClient;
 use tlsfoe_x509::time::Time;
 use tlsfoe_x509::{Certificate, RootStore};
@@ -134,15 +134,11 @@ impl Session {
         if let Some(tok) = self.client_token {
             io.send_on(
                 tok,
-                &encode_records(
-                    ContentType::Alert,
-                    self.client_version,
-                    &Alert {
-                        level: AlertLevel::Fatal,
-                        description: 48, // unknown_ca — what AV blocks show
-                    }
-                    .encode(),
-                ),
+                &Alert {
+                    level: AlertLevel::Fatal,
+                    description: 48, // unknown_ca — what AV blocks show
+                }
+                .encode_record(self.client_version),
             );
             io.close_on(tok);
         }
@@ -224,10 +220,10 @@ impl Conduit for ClientSide {
 
         self.records.feed(data);
         loop {
-            match self.records.next_record() {
+            match self.records.next_record_view() {
                 Ok(Some(rec)) => match rec.content_type {
                     ContentType::Handshake => {
-                        self.handshakes.feed(&rec.payload);
+                        self.handshakes.feed(rec.payload);
                         while let Ok(Some(msg)) = self.handshakes.next_message() {
                             if let HandshakeMsg::ClientHello(ch) = msg {
                                 let mut s = self.shared.borrow_mut();

@@ -55,19 +55,19 @@ pub struct ClientHello {
 }
 
 impl ClientHello {
-    /// Encode the handshake body (without the 4-byte handshake header).
-    fn encode_body(&self) -> Vec<u8> {
-        let mut w = WireWriter::new();
+    /// Encode the handshake body (without the 4-byte handshake header)
+    /// into `w`.
+    fn encode_body(&self, w: &mut WireWriter) {
         let (maj, min) = self.version.bytes();
         w.u8(maj);
         w.u8(min);
         w.bytes(&self.random);
         w.vec8(&self.session_id);
-        let mut suites = WireWriter::new();
-        for s in &self.cipher_suites {
-            suites.u16(s.0);
-        }
-        w.vec16(&suites.finish());
+        w.with_len16(|w| {
+            for s in &self.cipher_suites {
+                w.u16(s.0);
+            }
+        });
         w.vec8(&[0]); // compression: null only
         if let Some(name) = &self.server_name {
             w.with_len16(|w| {
@@ -82,7 +82,6 @@ impl ClientHello {
                 });
             });
         }
-        w.finish()
     }
 
     fn decode_body(body: &[u8]) -> Result<Self, TlsError> {
@@ -97,7 +96,7 @@ impl ClientHello {
         }
         let cipher_suites = suites_raw
             .chunks_exact(2)
-            .map(|c| CipherSuite(((c[0] as u16) << 8) | c[1] as u16))
+            .map(|c| CipherSuite(u16::from_be_bytes(c.try_into().unwrap_or([0, 0]))))
             .collect();
         let _compression = r.vec8()?;
         let mut server_name = None;
@@ -137,8 +136,7 @@ pub struct ServerHello {
 }
 
 impl ServerHello {
-    fn encode_body(&self) -> Vec<u8> {
-        let mut w = WireWriter::new();
+    fn encode_body(&self, w: &mut WireWriter) {
         let (maj, min) = self.version.bytes();
         w.u8(maj);
         w.u8(min);
@@ -146,7 +144,6 @@ impl ServerHello {
         w.vec8(&self.session_id);
         w.u16(self.cipher_suite.0);
         w.u8(0); // compression: null
-        w.finish()
     }
 
     fn decode_body(body: &[u8]) -> Result<Self, TlsError> {
@@ -170,14 +167,12 @@ pub struct CertificateMsg {
 }
 
 impl CertificateMsg {
-    fn encode_body(&self) -> Vec<u8> {
-        let mut w = WireWriter::new();
+    fn encode_body(&self, w: &mut WireWriter) {
         w.with_len24(|w| {
             for cert in &self.chain {
                 w.vec24(cert);
             }
         });
-        w.finish()
     }
 
     fn decode_body(body: &[u8]) -> Result<Self, TlsError> {
@@ -208,25 +203,47 @@ pub enum HandshakeMsg {
 impl HandshakeMsg {
     /// Encode with the 4-byte handshake header (type + u24 length).
     pub fn encode(&self) -> Vec<u8> {
-        let (ty, body) = match self {
-            HandshakeMsg::ClientHello(m) => (HandshakeType::ClientHello, m.encode_body()),
-            HandshakeMsg::ServerHello(m) => (HandshakeType::ServerHello, m.encode_body()),
-            HandshakeMsg::Certificate(m) => (HandshakeType::Certificate, m.encode_body()),
-            HandshakeMsg::ServerHelloDone => (HandshakeType::ServerHelloDone, Vec::new()),
-        };
         let mut w = WireWriter::new();
-        w.u8(ty as u8);
-        w.vec24(&body);
+        self.encode_into(&mut w);
         w.finish()
+    }
+
+    /// Encode into an existing writer: header plus body land in one
+    /// buffer (the u24 length is backpatched), so multi-message flights
+    /// and record-framed sends need no per-message scratch `Vec`.
+    pub fn encode_into(&self, w: &mut WireWriter) {
+        let ty = match self {
+            HandshakeMsg::ClientHello(_) => HandshakeType::ClientHello,
+            HandshakeMsg::ServerHello(_) => HandshakeType::ServerHello,
+            HandshakeMsg::Certificate(_) => HandshakeType::Certificate,
+            HandshakeMsg::ServerHelloDone => HandshakeType::ServerHelloDone,
+        };
+        w.u8(ty as u8);
+        w.with_len24(|w| match self {
+            HandshakeMsg::ClientHello(m) => m.encode_body(w),
+            HandshakeMsg::ServerHello(m) => m.encode_body(w),
+            HandshakeMsg::Certificate(m) => m.encode_body(w),
+            HandshakeMsg::ServerHelloDone => {}
+        });
     }
 }
 
 /// Streaming handshake-message reassembler. Feed it the payloads of
 /// Handshake-type records (messages may span record boundaries).
+///
+/// A cursor over an append-only buffer, like
+/// [`crate::record::RecordParser`]: popping a message advances `pos`
+/// instead of `drain`ing (no per-message memmove), and the body is
+/// decoded straight out of the buffer (no per-message copy).
 #[derive(Debug, Default)]
 pub struct HandshakeParser {
     buf: Vec<u8>,
+    pos: usize,
 }
+
+/// Compaction threshold for the dead prefix of a handshake buffer
+/// (matches the record layer's: one maximum record payload).
+const COMPACT_AT: usize = 1 << 14;
 
 impl HandshakeParser {
     /// New empty parser.
@@ -236,31 +253,38 @@ impl HandshakeParser {
 
     /// Feed a Handshake record payload.
     pub fn feed(&mut self, data: &[u8]) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > COMPACT_AT {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
         self.buf.extend_from_slice(data);
     }
 
     /// Pop the next complete handshake message, if any.
     pub fn next_message(&mut self) -> Result<Option<HandshakeMsg>, TlsError> {
-        if self.buf.len() < 4 {
+        if self.buf.len() - self.pos < 4 {
             return Ok(None);
         }
-        let mut r = WireReader::new(&self.buf);
+        let mut r = WireReader::new(self.buf.get(self.pos..).unwrap_or_default());
         let ty = HandshakeType::from_u8(r.u8()?)?;
         let len = r.u24()? as usize;
         if r.remaining() < len {
             return Ok(None);
         }
-        let body = r.take(len)?.to_vec();
-        self.buf.drain(..4 + len);
+        let body = r.take(len)?;
+        self.pos += 4 + len;
         let msg = match ty {
             HandshakeType::ClientHello => {
-                HandshakeMsg::ClientHello(ClientHello::decode_body(&body)?)
+                HandshakeMsg::ClientHello(ClientHello::decode_body(body)?)
             }
             HandshakeType::ServerHello => {
-                HandshakeMsg::ServerHello(ServerHello::decode_body(&body)?)
+                HandshakeMsg::ServerHello(ServerHello::decode_body(body)?)
             }
             HandshakeType::Certificate => {
-                HandshakeMsg::Certificate(CertificateMsg::decode_body(&body)?)
+                HandshakeMsg::Certificate(CertificateMsg::decode_body(body)?)
             }
             HandshakeType::ServerHelloDone => {
                 if !body.is_empty() {
@@ -310,17 +334,36 @@ impl Alert {
         vec![self.level as u8, self.description]
     }
 
+    /// Encode as a complete TLS record — the 7 bytes
+    /// `encode_records(Alert, version, &self.encode())` would produce,
+    /// without any allocation. Alerts are the one message every session
+    /// sends (the probe aborts with close_notify per §3.2), so the hot
+    /// paths use this constant-size form.
+    pub fn encode_record(&self, version: ProtocolVersion) -> [u8; 7] {
+        let (maj, min) = version.bytes();
+        [
+            crate::record::ContentType::Alert as u8,
+            maj,
+            min,
+            0,
+            2,
+            self.level as u8,
+            self.description,
+        ]
+    }
+
     /// Decode from an Alert record payload.
     pub fn decode(data: &[u8]) -> Result<Alert, TlsError> {
-        if data.len() != 2 {
-            return Err(TlsError::Malformed("alert payload length"));
-        }
-        let level = match data[0] {
+        let (raw_level, description) = match data {
+            [l, d] => (*l, *d),
+            _ => return Err(TlsError::Malformed("alert payload length")),
+        };
+        let level = match raw_level {
             1 => AlertLevel::Warning,
             2 => AlertLevel::Fatal,
             _ => return Err(TlsError::Malformed("alert level")),
         };
-        Ok(Alert { level, description: data[1] })
+        Ok(Alert { level, description })
     }
 }
 
@@ -444,5 +487,39 @@ mod tests {
         }
         assert!(Alert::decode(&[1]).is_err());
         assert!(Alert::decode(&[3, 0]).is_err());
+    }
+
+    #[test]
+    fn alert_record_matches_generic_framing() {
+        use crate::record::{encode_records, ContentType};
+        for alert in [
+            Alert::close_notify(),
+            Alert::user_canceled(),
+            Alert { level: AlertLevel::Fatal, description: 48 },
+        ] {
+            for version in [ProtocolVersion::Ssl30, ProtocolVersion::Tls10, ProtocolVersion::Tls12]
+            {
+                assert_eq!(
+                    alert.encode_record(version).as_slice(),
+                    encode_records(ContentType::Alert, version, &alert.encode()).as_slice(),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        let msgs = [
+            HandshakeMsg::ClientHello(sample_client_hello()),
+            HandshakeMsg::Certificate(CertificateMsg { chain: vec![vec![0x30, 0x01, 0xaa]] }),
+            HandshakeMsg::ServerHelloDone,
+        ];
+        let mut w = crate::wire::WireWriter::new();
+        let mut concat = Vec::new();
+        for m in &msgs {
+            m.encode_into(&mut w);
+            concat.extend(m.encode());
+        }
+        assert_eq!(w.finish(), concat);
     }
 }

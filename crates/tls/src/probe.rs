@@ -17,7 +17,7 @@ use tlsfoe_netsim::{Conduit, IoCtx};
 
 use crate::cipher::CipherSuite;
 use crate::handshake::{Alert, ClientHello, HandshakeMsg, HandshakeParser};
-use crate::record::{encode_records, ContentType, ProtocolVersion, RecordParser};
+use crate::record::{encode_single_record_with, ContentType, ProtocolVersion, RecordParser};
 use crate::TlsError;
 
 /// Why a probe failed — the typed taxonomy replacing silent drops.
@@ -144,24 +144,28 @@ impl ProbeClient {
 
 impl Conduit for ProbeClient {
     fn on_open(&mut self, io: &mut IoCtx<'_>) {
+        // A ClientHello is far below one record, so the whole dial flight
+        // — record header, handshake header, hello body — encodes into a
+        // single buffer with backpatched lengths.
         let hello = HandshakeMsg::ClientHello(ClientHello {
             version: self.version,
             random: self.random,
             session_id: Vec::new(),
             cipher_suites: CipherSuite::default_client_offer(),
             server_name: Some(self.host.clone()),
-        })
-        .encode();
-        io.send(&encode_records(ContentType::Handshake, self.version, &hello));
+        });
+        io.send(&encode_single_record_with(ContentType::Handshake, self.version, |w| {
+            hello.encode_into(w)
+        }));
     }
 
     fn on_data(&mut self, data: &[u8], io: &mut IoCtx<'_>) {
         self.records.feed(data);
         loop {
-            match self.records.next_record() {
+            match self.records.next_record_view() {
                 Ok(Some(rec)) => match rec.content_type {
                     ContentType::Handshake => {
-                        self.handshakes.feed(&rec.payload);
+                        self.handshakes.feed(rec.payload);
                         loop {
                             match self.handshakes.next_message() {
                                 Ok(Some(HandshakeMsg::ServerHello(sh))) => {
@@ -178,11 +182,7 @@ impl Conduit for ProbeClient {
                                         o.completed_at_us = Some(io.now_us());
                                     }
                                     // §3.2: abort the handshake and close.
-                                    io.send(&encode_records(
-                                        ContentType::Alert,
-                                        self.version,
-                                        &Alert::close_notify().encode(),
-                                    ));
+                                    io.send(&Alert::close_notify().encode_record(self.version));
                                     io.close();
                                     return;
                                 }

@@ -80,7 +80,8 @@ impl ProtocolVersion {
     }
 }
 
-/// A reassembled record.
+/// A reassembled record (owned; see [`RecordView`] for the zero-copy
+/// variant the session hot paths use).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Record {
     /// Content type.
@@ -91,32 +92,88 @@ pub struct Record {
     pub payload: Vec<u8>,
 }
 
+/// A reassembled record borrowing the parser's buffer — the hot-path
+/// sibling of [`Record`] that skips the per-record payload copy.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecordView<'a> {
+    /// Content type.
+    pub content_type: ContentType,
+    /// Record-layer version.
+    pub version: ProtocolVersion,
+    /// Payload bytes (borrowed from the parser until the next `feed`).
+    pub payload: &'a [u8],
+}
+
 /// Frame `payload` as one or more records (fragmenting at 2^14).
 pub fn encode_records(
     content_type: ContentType,
     version: ProtocolVersion,
     payload: &[u8],
 ) -> Vec<u8> {
-    let mut w = WireWriter::new();
+    let records = payload.len().div_ceil(MAX_RECORD_PAYLOAD).max(1);
+    let mut out = Vec::with_capacity(payload.len() + 5 * records);
+    encode_records_into(&mut out, content_type, version, payload);
+    out
+}
+
+/// [`encode_records`] into a caller-supplied buffer (appended), so
+/// per-session senders can frame without a fresh allocation per flight.
+pub fn encode_records_into(
+    out: &mut Vec<u8>,
+    content_type: ContentType,
+    version: ProtocolVersion,
+    payload: &[u8],
+) {
     let (major, minor) = version.bytes();
-    let mut chunks: Vec<&[u8]> = payload.chunks(MAX_RECORD_PAYLOAD).collect();
-    if chunks.is_empty() {
-        chunks.push(&[]);
+    let mut rest = payload;
+    loop {
+        let take = rest.len().min(MAX_RECORD_PAYLOAD);
+        let (chunk, tail) = rest.split_at(take);
+        out.push(content_type as u8);
+        out.push(major);
+        out.push(minor);
+        out.extend_from_slice(&(take as u16).to_be_bytes());
+        out.extend_from_slice(chunk);
+        rest = tail;
+        if rest.is_empty() {
+            break;
+        }
     }
-    for chunk in chunks {
-        w.u8(content_type as u8);
-        w.u8(major);
-        w.u8(minor);
-        w.vec16(chunk);
-    }
-    w.finish()
+}
+
+/// Frame a single record whose payload is produced by a closure writing
+/// into a [`WireWriter`] — header and payload land in one buffer, with
+/// the length backpatched. The payload must stay under
+/// [`MAX_RECORD_PAYLOAD`] (asserted); use [`encode_records`] when it
+/// might fragment.
+pub fn encode_single_record_with(
+    content_type: ContentType,
+    version: ProtocolVersion,
+    f: impl FnOnce(&mut WireWriter),
+) -> Vec<u8> {
+    let (major, minor) = version.bytes();
+    let mut w = WireWriter::new();
+    w.u8(content_type as u8);
+    w.u8(major);
+    w.u8(minor);
+    w.with_len16(f);
+    let out = w.finish();
+    assert!(out.len() <= 5 + MAX_RECORD_PAYLOAD, "single-record payload overflow");
+    out
 }
 
 /// Streaming record reassembler: feed arbitrary byte chunks, pop complete
 /// records.
+///
+/// Internally a cursor over an append-only buffer: popping a record
+/// advances `pos` instead of `drain`ing the front (which memmoved every
+/// remaining byte per record — quadratic across a multi-record flight).
+/// Consumed bytes are reclaimed wholesale on the next `feed` once the
+/// buffer is fully drained, which it always is between flights.
 #[derive(Debug, Default)]
 pub struct RecordParser {
     buf: Vec<u8>,
+    pos: usize,
 }
 
 impl RecordParser {
@@ -127,20 +184,44 @@ impl RecordParser {
 
     /// Feed received bytes.
     pub fn feed(&mut self, data: &[u8]) {
+        if self.pos == self.buf.len() {
+            // Fully consumed: reuse the buffer from the top.
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > MAX_RECORD_PAYLOAD {
+            // Partially consumed with a large dead prefix: compact once
+            // rather than letting the buffer grow without bound on a
+            // long-lived spliced connection.
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
         self.buf.extend_from_slice(data);
     }
 
     /// Bytes currently buffered (un-parsed).
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.pos
     }
 
-    /// Pop the next complete record, if any.
+    /// Pop the next complete record, if any (owned payload; the
+    /// streaming sessions use [`RecordParser::next_record_view`]).
     pub fn next_record(&mut self) -> Result<Option<Record>, TlsError> {
-        if self.buf.len() < 5 {
+        Ok(self.next_record_view()?.map(|v| Record {
+            content_type: v.content_type,
+            version: v.version,
+            payload: v.payload.to_vec(),
+        }))
+    }
+
+    /// Pop the next complete record as a borrowed view, if any. The
+    /// payload aliases the parser's buffer and is valid until the next
+    /// `feed`; consumers that only re-feed it onward (the handshake
+    /// layer) skip an allocation per record.
+    pub fn next_record_view(&mut self) -> Result<Option<RecordView<'_>>, TlsError> {
+        if self.buffered() < 5 {
             return Ok(None);
         }
-        let mut r = WireReader::new(&self.buf);
+        let mut r = WireReader::new(self.buf.get(self.pos..).unwrap_or_default());
         let ct = ContentType::from_u8(r.u8()?)?;
         let major = r.u8()?;
         let minor = r.u8()?;
@@ -152,10 +233,9 @@ impl RecordParser {
         if r.remaining() < len {
             return Ok(None);
         }
-        let payload = r.take(len)?.to_vec();
-        let consumed = 5 + len;
-        self.buf.drain(..consumed);
-        Ok(Some(Record { content_type: ct, version, payload }))
+        let payload = r.take(len)?;
+        self.pos += 5 + len;
+        Ok(Some(RecordView { content_type: ct, version, payload }))
     }
 }
 
@@ -206,6 +286,67 @@ mod tests {
         assert_eq!(p.next_record().unwrap(), None); // body missing
         p.feed(&[0xff]);
         assert!(p.next_record().unwrap().is_some());
+    }
+
+    #[test]
+    fn view_api_matches_owned_api() {
+        let payload = vec![0x11u8; 20_000]; // fragments into two records
+        let enc = encode_records(ContentType::ApplicationData, ProtocolVersion::Tls11, &payload);
+        let mut owned = RecordParser::new();
+        let mut viewed = RecordParser::new();
+        owned.feed(&enc);
+        viewed.feed(&enc);
+        loop {
+            let a = owned.next_record().unwrap();
+            let b = viewed.next_record_view().unwrap();
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.content_type, b.content_type);
+                    assert_eq!(a.version, b.version);
+                    assert_eq!(a.payload.as_slice(), b.payload);
+                }
+                (None, None) => break,
+                (a, b) => panic!("API divergence: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parser_buffer_reclaimed_between_flights() {
+        let mut p = RecordParser::new();
+        for _ in 0..3 {
+            let enc = encode_records(ContentType::Handshake, ProtocolVersion::Tls10, b"abc");
+            p.feed(&enc);
+            assert!(p.next_record().unwrap().is_some());
+            assert_eq!(p.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn encode_into_appends_identically() {
+        let payload = vec![0x33u8; 40_000];
+        let direct = encode_records(ContentType::Handshake, ProtocolVersion::Tls12, &payload);
+        let mut appended = vec![0xee, 0xff]; // pre-existing bytes survive
+        encode_records_into(
+            &mut appended,
+            ContentType::Handshake,
+            ProtocolVersion::Tls12,
+            &payload,
+        );
+        assert_eq!(&appended[..2], &[0xee, 0xff]);
+        assert_eq!(&appended[2..], direct.as_slice());
+    }
+
+    #[test]
+    fn single_record_with_matches_encode_records() {
+        let body = b"\x01\x02\x03handshake-ish";
+        let direct = encode_records(ContentType::Handshake, ProtocolVersion::Tls12, body);
+        let closure = encode_single_record_with(
+            ContentType::Handshake,
+            ProtocolVersion::Tls12,
+            |w| w.bytes(body),
+        );
+        assert_eq!(closure, direct);
     }
 
     #[test]

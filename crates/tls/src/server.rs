@@ -73,21 +73,20 @@ impl ServerConfig {
             ProtocolVersion::Tls12 => 3,
         };
         self.flights[slot].get_or_init(|| {
-            let mut handshake = HandshakeMsg::ServerHello(ServerHello {
+            let mut w = crate::wire::WireWriter::new();
+            HandshakeMsg::ServerHello(ServerHello {
                 version,
                 random: self.server_random,
                 session_id: vec![0xab; 8],
                 cipher_suite: self.cipher_suite,
             })
-            .encode();
-            handshake.extend(
-                HandshakeMsg::Certificate(CertificateMsg {
-                    chain: self.chain.iter().map(|c| c.to_der().to_vec()).collect(),
-                })
-                .encode(),
-            );
-            handshake.extend(HandshakeMsg::ServerHelloDone.encode());
-            encode_records(ContentType::Handshake, version, &handshake)
+            .encode_into(&mut w);
+            HandshakeMsg::Certificate(CertificateMsg {
+                chain: self.chain.iter().map(|c| c.to_der().to_vec()).collect(),
+            })
+            .encode_into(&mut w);
+            HandshakeMsg::ServerHelloDone.encode_into(&mut w);
+            encode_records(ContentType::Handshake, version, &w.finish())
         })
     }
 }
@@ -118,10 +117,10 @@ impl Conduit for TlsCertServer {
     fn on_data(&mut self, data: &[u8], io: &mut IoCtx<'_>) {
         self.records.feed(data);
         loop {
-            match self.records.next_record() {
+            match self.records.next_record_view() {
                 Ok(Some(rec)) => match rec.content_type {
                     ContentType::Handshake => {
-                        self.handshakes.feed(&rec.payload);
+                        self.handshakes.feed(rec.payload);
                         loop {
                             match self.handshakes.next_message() {
                                 Ok(Some(HandshakeMsg::ClientHello(ch))) if !self.answered => {
@@ -134,15 +133,13 @@ impl Conduit for TlsCertServer {
                                 Ok(Some(_)) => {} // ignore everything else
                                 Ok(None) => break,
                                 Err(_) => {
-                                    io.send(&encode_records(
-                                        ContentType::Alert,
-                                        ProtocolVersion::Tls10,
+                                    io.send(
                                         &Alert {
                                             level: crate::handshake::AlertLevel::Fatal,
                                             description: 50, // decode_error
                                         }
-                                        .encode(),
-                                    ));
+                                        .encode_record(ProtocolVersion::Tls10),
+                                    );
                                     io.close();
                                     return;
                                 }

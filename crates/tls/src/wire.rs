@@ -76,17 +76,37 @@ impl WireWriter {
     }
 
     /// Write a length-prefixed body produced by a closure (2-byte length).
+    ///
+    /// The length bytes are reserved up front and backpatched after the
+    /// closure runs, so the body is written straight into this writer's
+    /// buffer — no per-nesting-level scratch allocation. Nested TLS
+    /// vectors (SNI is three deep) encode in one contiguous grow.
     pub fn with_len16(&mut self, f: impl FnOnce(&mut WireWriter)) {
-        let mut inner = WireWriter::new();
-        f(&mut inner);
-        self.vec16(&inner.finish());
+        let at = self.buf.len();
+        self.u16(0);
+        f(self);
+        let body_len = self.buf.len() - at - 2;
+        assert!(body_len <= u16::MAX as usize, "vec16 overflow");
+        self.patch(at, &(body_len as u16).to_be_bytes());
     }
 
-    /// Write a length-prefixed body produced by a closure (3-byte length).
+    /// Write a length-prefixed body produced by a closure (3-byte length,
+    /// same reserve-and-backpatch scheme as [`WireWriter::with_len16`]).
     pub fn with_len24(&mut self, f: impl FnOnce(&mut WireWriter)) {
-        let mut inner = WireWriter::new();
-        f(&mut inner);
-        self.vec24(&inner.finish());
+        let at = self.buf.len();
+        self.u24(0);
+        f(self);
+        let body_len = self.buf.len() - at - 3;
+        assert!(body_len < (1 << 24), "u24 overflow");
+        self.patch(at, &[(body_len >> 16) as u8, (body_len >> 8) as u8, body_len as u8]);
+    }
+
+    /// Overwrite already-written bytes starting at `at` (the backpatch
+    /// primitive; `at + bytes.len()` must be within what was written).
+    fn patch(&mut self, at: usize, bytes: &[u8]) {
+        for (slot, b) in self.buf.iter_mut().skip(at).zip(bytes) {
+            *slot = *b;
+        }
     }
 }
 
@@ -132,10 +152,11 @@ impl<'a> WireReader<'a> {
 
     /// Read exactly `n` raw bytes.
     pub fn take(&mut self, n: usize) -> Result<&'a [u8], TlsError> {
-        if self.remaining() < n {
+        let rest = self.input.get(self.pos..).unwrap_or_default();
+        if rest.len() < n {
             return Err(TlsError::Truncated);
         }
-        let out = &self.input[self.pos..self.pos + n];
+        let (out, _) = rest.split_at(n);
         self.pos += n;
         Ok(out)
     }
@@ -219,6 +240,27 @@ mod tests {
             w.u16(0xbeef);
         });
         assert_eq!(w.finish(), vec![0, 0, 2, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn nested_closure_framing_backpatches_each_level() {
+        // Three levels deep (the SNI extension shape): every length
+        // prefix must cover exactly its own body.
+        let mut w = WireWriter::new();
+        w.u8(0xaa);
+        w.with_len16(|w| {
+            w.u16(0x0000);
+            w.with_len16(|w| {
+                w.with_len16(|w| {
+                    w.u8(0);
+                    w.vec16(b"host");
+                });
+            });
+        });
+        assert_eq!(
+            w.finish(),
+            vec![0xaa, 0, 13, 0, 0, 0, 9, 0, 7, 0, 0, 4, b'h', b'o', b's', b't'],
+        );
     }
 
     #[test]
