@@ -3,8 +3,6 @@
 //! on-path, plus one full impression session.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::cell::RefCell;
-use std::rc::Rc;
 use std::sync::Arc;
 
 use tlsfoe_core::hosts::HostCatalog;
@@ -12,7 +10,7 @@ use tlsfoe_core::report::{Database, ReportServer};
 use tlsfoe_core::session::SessionRunner;
 use tlsfoe_crypto::drbg::Drbg;
 use tlsfoe_geo::GeoDb;
-use tlsfoe_netsim::{Ipv4, Network, NetworkConfig};
+use tlsfoe_netsim::{Ipv4, Network, NetworkConfig, Shared};
 use tlsfoe_population::model::{ClientProfile, PopulationModel, StudyEra};
 use tlsfoe_population::products::ProductId;
 use tlsfoe_tls::probe::ProbeOutcome;
@@ -39,7 +37,7 @@ fn bench_probe(c: &mut Criterion) {
             )
             .unwrap();
             net.run().unwrap();
-            assert!(outcome.borrow().chain_der.len() == 2);
+            assert!(outcome.lock().chain_der.len() == 2);
         })
     });
 
@@ -72,8 +70,8 @@ fn bench_probe(c: &mut Criterion) {
     // report uploads) against the full study-2 catalog.
     let catalog2 = Arc::new(HostCatalog::study2());
     let geo = GeoDb::allocate(1000);
-    let db = Rc::new(RefCell::new(Database::new()));
-    let report = Rc::new(ReportServer::new(&catalog2, geo.clone(), db.clone()));
+    let db = Shared::new(Database::new());
+    let report = Arc::new(ReportServer::new(&catalog2, geo.clone(), db.clone()));
     let mut runner = SessionRunner::new(catalog2.clone(), report);
     let model2 = PopulationModel::new(StudyEra::Study2, catalog2.public_roots.clone());
     let us = tlsfoe_geo::countries::by_code("US").unwrap();

@@ -20,8 +20,6 @@
 //!
 //! Flags: `--quick` shrinks the sweep for smoke jobs.
 
-use std::cell::RefCell;
-use std::rc::Rc;
 use std::sync::Arc;
 
 use tlsfoe_core::report::{Database, ReportServer};
@@ -30,7 +28,7 @@ use tlsfoe_core::HostCatalog;
 use tlsfoe_crypto::drbg::Drbg;
 use tlsfoe_geo::countries::by_code;
 use tlsfoe_geo::GeoDb;
-use tlsfoe_netsim::{FaultProfile, LinkProfile};
+use tlsfoe_netsim::{FaultProfile, LinkProfile, Shared};
 use tlsfoe_population::model::{ClientProfile, PopulationModel, StudyEra};
 
 /// One sweep cell's aggregates.
@@ -54,8 +52,8 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 fn run_cell(rate: f64, retry: &RetryPolicy, sessions: u32) -> CellStats {
     let catalog = Arc::new(HostCatalog::study1());
     let geo = GeoDb::allocate(1_000_000);
-    let db = Rc::new(RefCell::new(Database::new()));
-    let report = Rc::new(ReportServer::new(&catalog, geo.clone(), db.clone()));
+    let db = Shared::new(Database::new());
+    let report = Arc::new(ReportServer::new(&catalog, geo.clone(), db.clone()));
     // Batch of one: each drive spans exactly one session, so the
     // virtual-clock delta around it is that session's latency.
     let mut runner =
@@ -81,7 +79,7 @@ fn run_cell(rate: f64, retry: &RetryPolicy, sessions: u32) -> CellStats {
     }
     latencies.sort_unstable();
 
-    let db = db.borrow();
+    let db = db.lock();
     let mut tally: Vec<(&'static str, u64)> = Vec::new();
     for f in db.failures() {
         match tally.iter_mut().find(|(label, _)| *label == f.error.label()) {

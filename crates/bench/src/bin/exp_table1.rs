@@ -1,13 +1,10 @@
 //! Table 1: second-study websites probed (the socket-policy scan's
 //! survivors), plus a live verification that every catalog host actually
 //! serves a permissive policy in the simulator.
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use tlsfoe_core::hosts::HostCatalog;
 use tlsfoe_core::tables;
 use tlsfoe_netsim::policy::{PolicyClient, PolicyFetchResult};
-use tlsfoe_netsim::{Ipv4, Network, NetworkConfig, PolicyServer};
+use tlsfoe_netsim::{Ipv4, Network, NetworkConfig, PolicyServer, Shared};
 
 fn main() {
     print!("{}", tlsfoe_bench::banner("Table 1"));
@@ -19,7 +16,7 @@ fn main() {
     for host in &catalog.hosts {
         let mut net = Network::new(NetworkConfig::default(), 1);
         net.listen(host.ip, 80, Box::new(|_| Box::new(PolicyServer::permissive())));
-        let result = Rc::new(RefCell::new(PolicyFetchResult::Pending));
+        let result = Shared::new(PolicyFetchResult::Pending);
         net.dial_from(
             Ipv4([11, 0, 0, 1]),
             host.ip,
@@ -28,7 +25,7 @@ fn main() {
         )
         .expect("policy server listening");
         net.run().expect("policy fetch cannot livelock");
-        if *result.borrow() == PolicyFetchResult::Permissive {
+        if *result.lock() == PolicyFetchResult::Permissive {
             permissive += 1;
         }
     }

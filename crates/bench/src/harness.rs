@@ -19,8 +19,6 @@
 //!   use, so a regression in any layer of the per-session fast path
 //!   shows up in the phase that owns it.
 
-use std::cell::RefCell;
-use std::rc::Rc;
 use std::time::Instant;
 
 use tlsfoe_core::hosts::HostCatalog;
@@ -30,7 +28,7 @@ use tlsfoe_core::store::Database;
 use tlsfoe_crypto::drbg::Drbg;
 use tlsfoe_crypto::RsaKeyPair;
 use tlsfoe_geo::GeoDb;
-use tlsfoe_netsim::{Ipv4, Network, NetworkConfig};
+use tlsfoe_netsim::{Ipv4, Network, NetworkConfig, Shared};
 use tlsfoe_tls::probe::{ProbeClient, ProbeOutcome, ProbeState};
 use tlsfoe_tls::server::{ServerConfig, TlsCertServer};
 use tlsfoe_x509::{pem, Certificate, CertificateBuilder, NameBuilder};
@@ -123,13 +121,11 @@ fn phase_chain() -> Vec<Certificate> {
     let leaf_key = die(RsaKeyPair::generate(512, &mut Drbg::new(0x7068_6174)));
     let ca_name = NameBuilder::new().organization("Phase CA").build();
     let ca_cert = die(CertificateBuilder::new().subject(ca_name.clone()).ca(None).self_sign(&ca));
-    let leaf = die(
-        CertificateBuilder::new()
-            .issuer(ca_name)
-            .subject(NameBuilder::new().common_name("phase.example").build())
-            .san_dns(&["phase.example"])
-            .sign(&leaf_key.public, &ca),
-    );
+    let leaf = die(CertificateBuilder::new()
+        .issuer(ca_name)
+        .subject(NameBuilder::new().common_name("phase.example").build())
+        .san_dns(&["phase.example"])
+        .sign(&leaf_key.public, &ca));
     vec![leaf, ca_cert]
 }
 
@@ -165,7 +161,7 @@ pub fn measure_session_phases(samples: usize) -> SessionPhases {
         die(net.run());
         handshake.push(start.elapsed().as_nanos() as u64 / PHASE_BATCH as u64);
         for outcome in &outcomes {
-            if outcome.borrow().state != ProbeState::Done {
+            if outcome.lock().state != ProbeState::Done {
                 die::<(), _>(Err("phase probe did not capture a certificate"));
             }
         }
@@ -179,7 +175,7 @@ pub fn measure_session_phases(samples: usize) -> SessionPhases {
     for block in 0..samples {
         let mut net = Network::new(NetworkConfig::default(), 70 + block as u64);
         net.listen(srv, 80, Box::new(move |_| Box::new(HttpPostServer::new(|_req| {}))));
-        let oks: Vec<_> = (0..PHASE_BATCH).map(|_| Rc::new(RefCell::new(false))).collect();
+        let oks: Vec<_> = (0..PHASE_BATCH).map(|_| Shared::new(false)).collect();
         let start = Instant::now();
         for (i, ok) in oks.iter().enumerate() {
             die(net.dial_from(
@@ -196,7 +192,7 @@ pub fn measure_session_phases(samples: usize) -> SessionPhases {
         die(net.run());
         upload.push(start.elapsed().as_nanos() as u64 / PHASE_BATCH as u64);
         for ok in &oks {
-            if !*ok.borrow() {
+            if !*ok.lock() {
                 die::<(), _>(Err("phase upload did not get a 200"));
             }
         }
@@ -206,7 +202,7 @@ pub fn measure_session_phases(samples: usize) -> SessionPhases {
     // chain — steady state, so the memo is warm after the first call and
     // each timed call is a memo lookup plus a columnar append.
     let catalog = HostCatalog::study1();
-    let db = Rc::new(RefCell::new(Database::new()));
+    let db = Shared::new(Database::new());
     let server = ReportServer::new(&catalog, GeoDb::allocate(1000), db);
     let ingest_body = pem::encode_certificates(&catalog.hosts[0].chain).into_bytes();
     let path = format!("/report?host={}", catalog.hosts[0].name);

@@ -74,7 +74,7 @@ pub fn audit_product(model: &PopulationModel, product: Option<ProductId>) -> Aud
     .expect("attacker listening");
     net.run().expect("bounded audit scenario cannot livelock");
 
-    let o = outcome.borrow();
+    let o = outcome.lock();
     if o.state != ProbeState::Done {
         return AuditVerdict::Blocked;
     }

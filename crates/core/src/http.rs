@@ -4,23 +4,20 @@
 //! POST request"; these conduits speak exactly enough HTTP/1.0 for that:
 //! a request line, `Content-Length`, a blank line and the body.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
-use tlsfoe_netsim::{Conduit, IoCtx};
+use tlsfoe_netsim::{Conduit, IoCtx, Shared};
 
 /// Client conduit: POSTs `body` to `path` on open, records whether a
 /// `200` came back, closes.
 pub struct HttpPostClient {
     path: String,
     body: Vec<u8>,
-    ok: Rc<RefCell<bool>>,
+    ok: Shared<bool>,
     response: Vec<u8>,
 }
 
 impl HttpPostClient {
     /// Create a POST client; `ok` is set to true on a 200 response.
-    pub fn new(path: &str, body: Vec<u8>, ok: Rc<RefCell<bool>>) -> Self {
+    pub fn new(path: &str, body: Vec<u8>, ok: Shared<bool>) -> Self {
         HttpPostClient { path: path.to_string(), body, ok, response: Vec::new() }
     }
 }
@@ -39,7 +36,7 @@ impl Conduit for HttpPostClient {
         if self.response.windows(4).any(|w| w == b"\r\n\r\n") {
             let line = String::from_utf8_lossy(&self.response);
             if line.starts_with("HTTP/1.0 200") || line.starts_with("HTTP/1.1 200") {
-                *self.ok.borrow_mut() = true;
+                *self.ok.lock() = true;
             }
             io.close();
         }
@@ -57,12 +54,12 @@ pub struct PostRequest {
 
 /// Server conduit: accumulates one POST, hands it to the handler,
 /// responds `200 OK`.
-pub struct HttpPostServer<F: FnMut(PostRequest)> {
+pub struct HttpPostServer<F: FnMut(PostRequest) + Send> {
     handler: F,
     buf: Vec<u8>,
 }
 
-impl<F: FnMut(PostRequest)> HttpPostServer<F> {
+impl<F: FnMut(PostRequest) + Send> HttpPostServer<F> {
     /// Create with a request handler.
     pub fn new(handler: F) -> Self {
         HttpPostServer { handler, buf: Vec::new() }
@@ -90,7 +87,7 @@ impl<F: FnMut(PostRequest)> HttpPostServer<F> {
     }
 }
 
-impl<F: FnMut(PostRequest)> Conduit for HttpPostServer<F> {
+impl<F: FnMut(PostRequest) + Send> Conduit for HttpPostServer<F> {
     fn on_open(&mut self, _io: &mut IoCtx<'_>) {}
 
     fn on_data(&mut self, data: &[u8], io: &mut IoCtx<'_>) {
@@ -113,17 +110,17 @@ mod tests {
     fn post_roundtrip() {
         let mut net = Network::new(NetworkConfig::default(), 1);
         let srv = Ipv4([203, 0, 113, 9]);
-        let received: Rc<RefCell<Vec<PostRequest>>> = Rc::new(RefCell::new(Vec::new()));
+        let received: Shared<Vec<PostRequest>> = Shared::new(Vec::new());
         net.listen(srv, 80, {
             let received = received.clone();
             Box::new(move |_| {
                 let received = received.clone();
                 Box::new(HttpPostServer::new(move |req| {
-                    received.borrow_mut().push(req);
+                    received.lock().push(req);
                 }))
             })
         });
-        let ok = Rc::new(RefCell::new(false));
+        let ok = Shared::new(false);
         net.dial_from(
             Ipv4([11, 0, 0, 1]),
             srv,
@@ -136,8 +133,8 @@ mod tests {
         )
         .unwrap();
         net.run().unwrap();
-        assert!(*ok.borrow());
-        let reqs = received.borrow();
+        assert!(*ok.lock());
+        let reqs = received.lock();
         assert_eq!(reqs.len(), 1);
         assert_eq!(reqs[0].path, "/report?host=qq.com");
         assert_eq!(reqs[0].body, b"PEM DATA HERE");
@@ -147,17 +144,17 @@ mod tests {
     fn large_body_spans_records() {
         let mut net = Network::new(NetworkConfig::default(), 1);
         let srv = Ipv4([203, 0, 113, 9]);
-        let got_len = Rc::new(RefCell::new(0usize));
+        let got_len = Shared::new(0usize);
         net.listen(srv, 80, {
             let got_len = got_len.clone();
             Box::new(move |_| {
                 let got_len = got_len.clone();
                 Box::new(HttpPostServer::new(move |req| {
-                    *got_len.borrow_mut() = req.body.len();
+                    *got_len.lock() = req.body.len();
                 }))
             })
         });
-        let ok = Rc::new(RefCell::new(false));
+        let ok = Shared::new(false);
         let body = vec![0x41u8; 100_000];
         net.dial_from(
             Ipv4([11, 0, 0, 1]),
@@ -167,8 +164,8 @@ mod tests {
         )
         .unwrap();
         net.run().unwrap();
-        assert!(*ok.borrow());
-        assert_eq!(*got_len.borrow(), 100_000);
+        assert!(*ok.lock());
+        assert_eq!(*got_len.lock(), 100_000);
     }
 
     #[test]

@@ -10,12 +10,11 @@
 //! full substitute evidence — including the raw DER chain — for
 //! mismatches, which is what every downstream analyzer consumes.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use tlsfoe_netsim::net::DialInfo;
-use tlsfoe_netsim::Ipv4;
+use tlsfoe_netsim::{Ipv4, Shared};
 use tlsfoe_x509::{pem, Certificate};
 
 use crate::hosts::{HostCatalog, HostCategory};
@@ -105,25 +104,30 @@ impl IngestMemo {
 pub struct ReportServer {
     authoritative: HashMap<&'static str, (Vec<u8>, &'static str, HostCategory)>,
     geo: GeoDb,
-    db: Rc<RefCell<Database>>,
-    /// See [`IngestMemo`]. `RefCell`: a `ReportServer` is per-shard,
-    /// single-threaded state behind an `Rc`, like `db`.
-    memo: RefCell<IngestMemo>,
+    db: Shared<Database>,
+    /// See [`IngestMemo`]. The lock is uncontended in a batched run (the
+    /// server is per-shard) and serializes concurrent uploads in a
+    /// partitioned run, where every client partition reports into the
+    /// one server partition.
+    memo: Mutex<IngestMemo>,
 }
 
 impl ReportServer {
     /// Create for a host catalog.
-    pub fn new(catalog: &HostCatalog, geo: GeoDb, db: Rc<RefCell<Database>>) -> ReportServer {
+    pub fn new(catalog: &HostCatalog, geo: GeoDb, db: Shared<Database>) -> ReportServer {
         let authoritative = catalog
             .hosts
             .iter()
-            .map(|h| (h.name, (h.chain[0].to_der().to_vec(), h.name, h.category)))
+            .filter_map(|h| {
+                let leaf = h.chain.first()?;
+                Some((h.name, (leaf.to_der().to_vec(), h.name, h.category)))
+            })
             .collect();
-        ReportServer { authoritative, geo, db, memo: RefCell::new(IngestMemo::default()) }
+        ReportServer { authoritative, geo, db, memo: Mutex::new(IngestMemo::default()) }
     }
 
     /// The shared database handle.
-    pub fn db(&self) -> Rc<RefCell<Database>> {
+    pub fn db(&self) -> Shared<Database> {
         self.db.clone()
     }
 
@@ -145,14 +149,14 @@ impl ReportServer {
                 Some(("imp", v)) => match v.parse() {
                     Ok(imp) => impression = imp,
                     Err(_) => {
-                        self.db.borrow_mut().note_malformed();
+                        self.db.lock().note_malformed();
                         return;
                     }
                 },
                 Some(("att", v)) => match v.parse() {
                     Ok(att) => attempts = att,
                     Err(_) => {
-                        self.db.borrow_mut().note_malformed();
+                        self.db.lock().note_malformed();
                         return;
                     }
                 },
@@ -160,18 +164,18 @@ impl ReportServer {
             }
         }
         let Some(host_name) = host_name else {
-            self.db.borrow_mut().note_malformed();
+            self.db.lock().note_malformed();
             return;
         };
         let Some(&(ref auth_leaf, host, category)) = self.authoritative.get(host_name) else {
-            self.db.borrow_mut().note_malformed();
+            self.db.lock().note_malformed();
             return;
         };
         // Fast path: the 2nd..Nth sighting of a `(host, body)` pair skips
         // PEM decode, X.509 parse and leaf comparison entirely — the
         // classification is a pure function of those bytes (see
         // [`IngestMemo`]); only the per-upload fields are computed fresh.
-        let memoized = self.memo.borrow().lookup(host, body);
+        let memoized = self.memo.lock().unwrap_or_else(|e| e.into_inner()).lookup(host, body);
         let (proxied, substitute) = match memoized {
             Some(hit) => hit,
             None => {
@@ -182,24 +186,29 @@ impl ReportServer {
                     // memoized: only successful classifications enter the
                     // memo.
                     Err(_) => {
-                        self.db.borrow_mut().note_malformed();
+                        self.db.lock().note_malformed();
                         return;
                     }
                 };
                 // An empty (certificate-free) body is malformed too.
                 let Some((leaf, intermediates)) = chain.split_first() else {
-                    self.db.borrow_mut().note_malformed();
+                    self.db.lock().note_malformed();
                     return;
                 };
                 let leaf_der = leaf.to_der();
                 let proxied = leaf_der != auth_leaf.as_slice();
                 let substitute =
                     proxied.then(|| extract_substitute(leaf, leaf_der, intermediates, host));
-                self.memo.borrow_mut().insert(host, body, proxied, &substitute);
+                self.memo.lock().unwrap_or_else(|e| e.into_inner()).insert(
+                    host,
+                    body,
+                    proxied,
+                    &substitute,
+                );
                 (proxied, substitute)
             }
         };
-        self.db.borrow_mut().push(MeasurementRecord {
+        self.db.lock().push(MeasurementRecord {
             impression,
             client_ip,
             country: self.geo.lookup(client_ip),
@@ -212,9 +221,9 @@ impl ReportServer {
     }
 
     /// Build a netsim listener factory serving this report server over
-    /// HTTP POST. The server is wrapped in `Rc` so every accepted
+    /// HTTP POST. The server is wrapped in `Arc` so every accepted
     /// connection shares the same database.
-    pub fn listener(self: Rc<Self>) -> tlsfoe_netsim::net::ListenerFactory {
+    pub fn listener(self: Arc<Self>) -> tlsfoe_netsim::net::ListenerFactory {
         Box::new(move |info: DialInfo| {
             let server = self.clone();
             Box::new(HttpPostServer::new(move |req: PostRequest| {
@@ -256,10 +265,10 @@ fn extract_substitute(
 mod tests {
     use super::*;
 
-    fn setup() -> (Rc<ReportServer>, Rc<RefCell<Database>>, HostCatalog) {
+    fn setup() -> (Arc<ReportServer>, Shared<Database>, HostCatalog) {
         let catalog = HostCatalog::study2();
-        let db = Rc::new(RefCell::new(Database::new()));
-        let server = Rc::new(ReportServer::new(&catalog, GeoDb::allocate(1000), db.clone()));
+        let db = Shared::new(Database::new());
+        let server = Arc::new(ReportServer::new(&catalog, GeoDb::allocate(1000), db.clone()));
         (server, db, catalog)
     }
 
@@ -273,7 +282,7 @@ mod tests {
         let (server, db, catalog) = setup();
         let body = pem::encode_certificates(&catalog.hosts[0].chain).into_bytes();
         server.ingest(client(), "/report?host=tlsresearch.byu.edu", &body);
-        let db = db.borrow();
+        let db = db.lock();
         assert_eq!(db.total(), 1);
         assert_eq!(db.proxied(), 0);
         let r = db.get(0);
@@ -288,7 +297,7 @@ mod tests {
         // Upload qq.com's cert claiming it came from the authors' host.
         let body = pem::encode_certificates(&catalog.host("qq.com").unwrap().chain).into_bytes();
         server.ingest(client(), "/report?host=tlsresearch.byu.edu", &body);
-        let db = db.borrow();
+        let db = db.lock();
         assert_eq!(db.proxied(), 1);
         let r = db.get(0);
         let sub = r.substitute.unwrap();
@@ -304,7 +313,7 @@ mod tests {
         server.ingest(client(), "/report?host=tlsresearch.byu.edu", b"not pem");
         server.ingest(client(), "/report?host=unknown.example", b"");
         server.ingest(client(), "/nonsense", b"");
-        let db = db.borrow();
+        let db = db.lock();
         assert_eq!(db.total(), 0);
         assert_eq!(db.malformed_uploads(), 3);
     }
@@ -325,21 +334,21 @@ mod tests {
             server.ingest(client(), "/report?host=tlsresearch.byu.edu", &truncated);
             server.ingest(client(), "/report?host=tlsresearch.byu.edu", &garbled);
             assert_eq!(
-                db.borrow().malformed_uploads(),
+                db.lock().malformed_uploads(),
                 2 * round,
                 "every sighting of a bad body must count malformed"
             );
-            assert_eq!(db.borrow().total(), 0, "bad bodies must never yield records");
+            assert_eq!(db.lock().total(), 0, "bad bodies must never yield records");
         }
         // A PEM-free body (no BEGIN block at all) decodes to an empty
         // chain: also malformed, also never memoized.
         server.ingest(client(), "/report?host=tlsresearch.byu.edu", b"no pem here");
         server.ingest(client(), "/report?host=tlsresearch.byu.edu", b"no pem here");
-        assert_eq!(db.borrow().malformed_uploads(), 8);
+        assert_eq!(db.lock().malformed_uploads(), 8);
         // The good body still classifies fine afterwards.
         server.ingest(client(), "/report?host=tlsresearch.byu.edu", good.as_bytes());
-        assert_eq!(db.borrow().total(), 1);
-        assert!(!db.borrow().get(0).proxied);
+        assert_eq!(db.lock().total(), 1);
+        assert!(!db.lock().get(0).proxied);
     }
 
     #[test]
@@ -354,16 +363,16 @@ mod tests {
         server.ingest(client(), "/report?host=tlsresearch.byu.edu&imp=1", &sub);
         server.ingest(client(), "/report?host=tlsresearch.byu.edu&imp=2&att=3", &sub);
         // A cold server (fresh memo) parsing the same second upload.
-        let cold_db = Rc::new(RefCell::new(Database::new()));
+        let cold_db = Shared::new(Database::new());
         let cold = ReportServer::new(&catalog, GeoDb::allocate(1000), cold_db.clone());
         cold.ingest(client(), "/report?host=tlsresearch.byu.edu&imp=2&att=3", &sub);
         // Same body under a DIFFERENT host is a different classification
         // (the authoritative leaf differs), so it must not hit the first
         // host's memo slot: qq.com's own chain is unproxied there.
         server.ingest(client(), "/report?host=qq.com&imp=9", &sub);
-        let db = db.borrow();
+        let db = db.lock();
         let warm = db.get(1);
-        assert_eq!(warm, cold_db.borrow().get(0), "memo hit must equal cold parse");
+        assert_eq!(warm, cold_db.lock().get(0), "memo hit must equal cold parse");
         assert_eq!(warm.impression, 2);
         assert_eq!(warm.attempts, 3);
         assert_eq!(db.get(0).impression, 1, "per-upload fields must not leak across hits");
@@ -378,7 +387,7 @@ mod tests {
         server.ingest(client(), "/report?host=tlsresearch.byu.edu&imp=42", &body);
         server.ingest(client(), "/report?imp=7&host=tlsresearch.byu.edu", &body);
         server.ingest(client(), "/report?host=tlsresearch.byu.edu", &body);
-        let db = db.borrow();
+        let db = db.lock();
         assert_eq!(db.malformed_uploads(), 0);
         let imps: Vec<u64> = db.iter().map(|r| r.impression).collect();
         assert_eq!(imps, [42, 7, 0], "imp= must parse in any position, defaulting to 0");
@@ -399,13 +408,13 @@ mod tests {
             &body,
         );
         {
-            let db = db.borrow();
+            let db = db.lock();
             assert_eq!(db.total(), 0, "no record may be fabricated from a garbled ordinal");
             assert_eq!(db.malformed_uploads(), 4);
         }
         // A parsable upload after the garbage still lands normally.
         server.ingest(client(), "/report?host=tlsresearch.byu.edu&imp=5&att=2", &body);
-        let db = db.borrow();
+        let db = db.lock();
         assert_eq!(db.total(), 1);
         assert_eq!(db.get(0).impression, 5);
         assert_eq!(db.get(0).attempts, 2);
@@ -419,7 +428,7 @@ mod tests {
         let us_ip = geo.client_addr(us, 7);
         let body = pem::encode_certificates(&catalog.hosts[0].chain).into_bytes();
         server.ingest(us_ip, "/report?host=tlsresearch.byu.edu", &body);
-        assert_eq!(db.borrow().get(0).country, Some(us));
+        assert_eq!(db.lock().get(0).country, Some(us));
     }
 
     #[test]
@@ -432,7 +441,7 @@ mod tests {
         }
         server.ingest(client(), "/report?host=tlsresearch.byu.edu", &bad);
         let mut merged = Database::new();
-        merged.merge(db.replace(Database::new()));
+        merged.merge(std::mem::replace(&mut *db.lock(), Database::new()));
         assert_eq!(merged.total(), 100);
         assert_eq!(merged.proxied(), 1);
         assert!((merged.proxied_rate() - 0.01).abs() < 1e-9);
@@ -443,7 +452,7 @@ mod tests {
         let (server, db, catalog) = setup();
         let bad = pem::encode_certificates(&catalog.host("qq.com").unwrap().chain).into_bytes();
         server.ingest(client(), "/report?host=tlsresearch.byu.edu", &bad);
-        let jsonl = db.borrow().to_jsonl();
+        let jsonl = db.lock().to_jsonl();
         let v = crate::json::Json::parse(jsonl.lines().next().unwrap()).unwrap();
         assert_eq!(v.get("proxied").unwrap().as_bool(), Some(true));
         let sub = v.get("substitute").unwrap();
@@ -458,7 +467,7 @@ mod tests {
         let bad = pem::encode_certificates(&catalog.host("qq.com").unwrap().chain).into_bytes();
         server.ingest(client(), "/report?host=tlsresearch.byu.edu&imp=1", &good);
         server.ingest(client(), "/report?host=tlsresearch.byu.edu&imp=2", &bad);
-        let db = db.borrow();
+        let db = db.lock();
         let mut streamed = Vec::new();
         db.write_jsonl(&mut streamed).unwrap();
         assert_eq!(String::from_utf8(streamed).unwrap(), db.to_jsonl());

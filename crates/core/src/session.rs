@@ -31,15 +31,14 @@
 //!   ordinal after the drive, collapsing the virtual-time interleaving
 //!   back to injection order.
 
-use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
 
 use tlsfoe_crypto::drbg::{Drbg, RngCore64};
 use tlsfoe_geo::countries::CountryCode;
 use tlsfoe_netsim::policy::fetch_policy;
-use tlsfoe_netsim::{Conduit, ConnToken, IoCtx, Ipv4, LinkProfile, NetRunError};
+use tlsfoe_netsim::{Conduit, ConnToken, IoCtx, Ipv4, LinkProfile, NetRunError, Shared};
 use tlsfoe_netsim::{Network, NetworkConfig};
 use tlsfoe_population::model::{ClientProfile, PopulationModel};
 use tlsfoe_tls::probe::{ProbeError, ProbeOutcome, ProbeState};
@@ -182,7 +181,7 @@ impl Default for RetryPolicy {
 /// Per-worker session runner owning the shard's one long-lived network.
 pub struct SessionRunner {
     catalog: Arc<HostCatalog>,
-    db: Rc<RefCell<Database>>,
+    db: Shared<Database>,
     authors_completion: Option<f64>,
     net: Network,
     batch_size: usize,
@@ -201,20 +200,27 @@ impl SessionRunner {
     /// is `Arc`-shared so all worker threads of a sharded study reuse
     /// one set of host chains (the `ServerConfig`s are `Arc` too); the
     /// report server (and its database) stays per-worker.
-    pub fn new(catalog: Arc<HostCatalog>, report_server: Rc<ReportServer>) -> SessionRunner {
-        let mut net = Network::new(NetworkConfig::default(), 0);
-        for host in catalog.hosts.iter() {
-            let cfg: Arc<ServerConfig> = ServerConfig::new(host.chain.clone());
-            net.listen(host.ip, 443, Box::new(move |_| Box::new(TlsCertServer::new(cfg.clone()))));
-        }
-        let authors_ip = catalog.hosts[0].ip;
-        net.listen(
-            authors_ip,
-            80,
-            Box::new(|_| Box::new(tlsfoe_netsim::PolicyServer::permissive())),
-        );
+    pub fn new(catalog: Arc<HostCatalog>, report_server: Arc<ReportServer>) -> SessionRunner {
+        let mut net = base_network(&catalog);
         let db = report_server.db();
         net.listen(catalog.report_server, 80, report_server.listener());
+        SessionRunner::assemble(catalog, db, net)
+    }
+
+    /// Build a runner for one *client partition* of a partitioned study:
+    /// the catalog TLS servers and the authors' policy server are local
+    /// (probe traffic never crosses partitions), but the report endpoint
+    /// is **not** registered — uploads to `catalog.report_server` leave
+    /// through the fabric's directory route toward the partition that
+    /// owns the report server. `db` is this partition's private database
+    /// collecting typed probe failures; measurement records accumulate in
+    /// the report partition's database and the study re-merges both.
+    pub fn new_partition(catalog: Arc<HostCatalog>, db: Shared<Database>) -> SessionRunner {
+        let net = base_network(&catalog);
+        SessionRunner::assemble(catalog, db, net)
+    }
+
+    fn assemble(catalog: Arc<HostCatalog>, db: Shared<Database>, net: Network) -> SessionRunner {
         SessionRunner {
             catalog,
             db,
@@ -332,7 +338,44 @@ impl SessionRunner {
             // never observe each other's interceptor or link state.
             self.drive_batch()?;
         }
+        let attempted = self.inject_session(model, profile, rng, impression, session_seed);
+        if self.pending.len() >= self.batch_size {
+            self.drive_batch()?;
+        }
+        Ok(attempted)
+    }
 
+    /// Partitioned-drive injection: like [`SessionRunner::enqueue_session`]
+    /// but never drives the event loop itself — the fabric owns driving.
+    /// Returns `None` (consuming nothing from `rng`) when `profile.ip` is
+    /// already live in the pending batch; the caller must let the batch
+    /// quiesce, call [`SessionRunner::drain_batch`], then re-derive and
+    /// retry the impression.
+    pub(crate) fn try_inject_session(
+        &mut self,
+        model: &PopulationModel,
+        profile: &ClientProfile,
+        rng: &mut dyn RngCore64,
+        impression: u64,
+        session_seed: u64,
+    ) -> Option<usize> {
+        if self.pending_ips.contains(&profile.ip) {
+            return None;
+        }
+        Some(self.inject_session(model, profile, rng, impression, session_seed))
+    }
+
+    /// Inject one session's conduits, timers and per-client network state
+    /// without driving the event loop (the shared core of both drive
+    /// modes).
+    fn inject_session(
+        &mut self,
+        model: &PopulationModel,
+        profile: &ClientProfile,
+        rng: &mut dyn RngCore64,
+        impression: u64,
+        session_seed: u64,
+    ) -> usize {
         self.net.begin_session(profile.ip, session_seed);
         if let Some(link) = self.country_links.get(&profile.country) {
             self.net.set_link(profile.ip, link.clone());
@@ -383,7 +426,7 @@ impl SessionRunner {
                 // identity), and the deadline is anchored to this dial's
                 // virtual time — so retried outcomes are batch- and
                 // thread-invariant.
-                let ctx = Rc::new(ProbeCtx {
+                let ctx = Arc::new(ProbeCtx {
                     outcome,
                     host_name: host.name,
                     host_ip: host.ip,
@@ -392,10 +435,10 @@ impl SessionRunner {
                     impression,
                     policy: self.retry.clone(),
                     db: self.db.clone(),
-                    attempts: Cell::new(1),
+                    attempts: AtomicU32::new(1),
                     deadline_at: self.retry.probe_deadline_us.map(|d| self.net.now_us() + d),
                     // lint:allow(fork-label, per-host retry streams are intentional — host names are unique within the catalog, so the label set cannot collide)
-                    rng: RefCell::new(Drbg::new(session_seed).fork(host.name).fork("retry")),
+                    rng: Mutex::new(Drbg::new(session_seed).fork(host.name).fork("retry")),
                 });
                 arm_probe_check(&mut self.net, ctx, tok);
             }
@@ -403,15 +446,34 @@ impl SessionRunner {
 
         self.pending.push(profile.ip);
         self.pending_ips.insert(profile.ip);
-        if self.pending.len() >= self.batch_size {
-            self.drive_batch()?;
-        }
-        Ok(attempted)
+        attempted
     }
 
     /// Drive any still-pending sessions to completion.
     pub fn finish(&mut self) -> Result<(), NetRunError> {
         self.drive_batch()
+    }
+
+    /// The runner's long-lived network — how a partitioned study hands
+    /// the event loop to the fabric (`LogicalProcess::net`).
+    pub(crate) fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// The partitioned drive's half of [`drive_batch`](Self::finish):
+    /// after the *fabric* has driven the pending batch to quiescence,
+    /// revert per-session network state and reap stalled connections —
+    /// but run nothing locally (the fabric owns driving) and skip the
+    /// per-batch record sort (the study does one global sort after
+    /// merging the partition databases, which subsumes it).
+    pub(crate) fn drain_batch(&mut self) {
+        for ip in self.pending.drain(..) {
+            self.net.remove_interceptor(ip);
+            self.net.clear_link(ip);
+            self.net.end_session(ip);
+        }
+        self.pending_ips.clear();
+        self.net.reap_stalled();
     }
 
     /// Run the shared event loop until the pending batch quiesces, then
@@ -421,7 +483,7 @@ impl SessionRunner {
         if self.pending.is_empty() {
             return Ok(());
         }
-        let mark = self.db.borrow().mark();
+        let mark = self.db.lock().mark();
         let run_result = self.net.run();
         // Per-session lifecycle teardown happens even when the drive
         // errored, so the runner stays consistent for diagnostics. The
@@ -443,7 +505,7 @@ impl SessionRunner {
         // time; `finish_batch` stable-sorts the batch tail by impression
         // ordinal (failures by `(impression, host)`), restoring injection
         // order and making the database independent of batch size.
-        self.db.borrow_mut().finish_batch(mark);
+        self.db.lock().finish_batch(mark);
         run_result.map(drop)
     }
 
@@ -465,30 +527,45 @@ impl SessionRunner {
     }
 }
 
+/// The topology both drive modes share: catalog TLS servers plus the
+/// authors' policy server, registered once on a fresh deterministic
+/// network. The catalog is `Arc`-shared so every runner (and every
+/// client partition) reuses one set of host chains.
+fn base_network(catalog: &HostCatalog) -> Network {
+    let mut net = Network::new(NetworkConfig::default(), 0);
+    for host in catalog.hosts.iter() {
+        let cfg: Arc<ServerConfig> = ServerConfig::new(host.chain.clone());
+        net.listen(host.ip, 443, Box::new(move |_| Box::new(TlsCertServer::new(cfg.clone()))));
+    }
+    let authors_ip = catalog.hosts[0].ip;
+    net.listen(authors_ip, 80, Box::new(|_| Box::new(tlsfoe_netsim::PolicyServer::permissive())));
+    net
+}
+
 /// Shared state for one probe's retry ladder. Owned jointly by the
 /// pending check timer and any backoff timer; everything a redial needs
 /// is captured here so the closures stay `FnOnce(&mut Network)`.
 struct ProbeCtx {
-    outcome: Rc<RefCell<ProbeOutcome>>,
+    outcome: Shared<ProbeOutcome>,
     host_name: &'static str,
     host_ip: Ipv4,
     client_ip: Ipv4,
     report_server: Ipv4,
     impression: u64,
     policy: RetryPolicy,
-    db: Rc<RefCell<Database>>,
-    attempts: Cell<u32>,
+    db: Shared<Database>,
+    attempts: AtomicU32,
     /// Absolute virtual-time deadline, anchored at the first dial. Retry
     /// decisions compare `now` against it, which reduces to *elapsed*
     /// time since that dial — invariant across batch sizes and threads.
     deadline_at: Option<u64>,
     /// Per-probe DRBG for retry randoms and backoff jitter; forked from
     /// the session's identity, never from a shared sequential stream.
-    rng: RefCell<Drbg>,
+    rng: Mutex<Drbg>,
 }
 
 /// Schedule the attempt check `dial_timeout_us` after a dial.
-fn arm_probe_check(net: &mut Network, ctx: Rc<ProbeCtx>, tok: ConnToken) {
+fn arm_probe_check(net: &mut Network, ctx: Arc<ProbeCtx>, tok: ConnToken) {
     let Some(timeout) = ctx.policy.dial_timeout_us else { return };
     net.after(timeout, move |net| check_probe(net, ctx, tok));
 }
@@ -496,12 +573,12 @@ fn arm_probe_check(net: &mut Network, ctx: Rc<ProbeCtx>, tok: ConnToken) {
 /// Fires once per attempt: a finished probe is left alone, anything else
 /// (stalled, blackholed, reset, corrupted) is torn down and either
 /// redialed after backoff or recorded as a typed failure.
-fn check_probe(net: &mut Network, ctx: Rc<ProbeCtx>, tok: ConnToken) {
-    if ctx.outcome.borrow().state == ProbeState::Done {
+fn check_probe(net: &mut Network, ctx: Arc<ProbeCtx>, tok: ConnToken) {
+    if ctx.outcome.lock().state == ProbeState::Done {
         return;
     }
     net.close_conn(tok);
-    let attempt = ctx.attempts.get();
+    let attempt = ctx.attempts.load(Ordering::Relaxed);
     let deadline_hit = ctx.deadline_at.is_some_and(|d| net.now_us() >= d);
     if attempt < ctx.policy.max_attempts && !deadline_hit {
         let delay = backoff_delay(&ctx, attempt);
@@ -518,7 +595,7 @@ fn backoff_delay(ctx: &ProbeCtx, attempt: u32) -> u64 {
     let base = (ctx.policy.backoff_base_us << exp).min(ctx.policy.backoff_max_us);
     let span = (base as f64 * ctx.policy.jitter) as u64;
     if span > 0 {
-        base + ctx.rng.borrow_mut().gen_range(span)
+        base + ctx.rng.lock().unwrap_or_else(|e| e.into_inner()).gen_range(span)
     } else {
         base
     }
@@ -526,11 +603,11 @@ fn backoff_delay(ctx: &ProbeCtx, attempt: u32) -> u64 {
 
 /// Launch the next attempt: fresh ClientHello random from the per-probe
 /// DRBG, fresh conduit, outcome cell reset in place, check re-armed.
-fn redial_probe(net: &mut Network, ctx: Rc<ProbeCtx>) {
-    ctx.attempts.set(ctx.attempts.get() + 1);
-    ctx.outcome.borrow_mut().reset();
+fn redial_probe(net: &mut Network, ctx: Arc<ProbeCtx>) {
+    ctx.attempts.fetch_add(1, Ordering::Relaxed);
+    ctx.outcome.lock().reset();
     let mut random = [0u8; 32];
-    ctx.rng.borrow_mut().fill_bytes(&mut random);
+    ctx.rng.lock().unwrap_or_else(|e| e.into_inner()).fill_bytes(&mut random);
     let reporter = ReportingProbe {
         probe: ProbeClient::new(ctx.host_name, random, ctx.outcome.clone()),
         outcome: ctx.outcome.clone(),
@@ -538,7 +615,7 @@ fn redial_probe(net: &mut Network, ctx: Rc<ProbeCtx>) {
         client_ip: ctx.client_ip,
         report_server: ctx.report_server,
         impression: ctx.impression,
-        attempt: ctx.attempts.get(),
+        attempt: ctx.attempts.load(Ordering::Relaxed),
         reported: false,
     };
     match net.dial_from(ctx.client_ip, ctx.host_ip, 443, Box::new(reporter)) {
@@ -551,20 +628,20 @@ fn redial_probe(net: &mut Network, ctx: Rc<ProbeCtx>) {
 
 /// Retry budget exhausted: append the typed failure record.
 fn record_probe_failure(ctx: &ProbeCtx, deadline_hit: bool) {
-    let error = SessionError::from_outcome(&ctx.outcome.borrow(), deadline_hit);
-    ctx.db.borrow_mut().push_failure(ProbeFailureRecord {
+    let error = SessionError::from_outcome(&ctx.outcome.lock(), deadline_hit);
+    ctx.db.lock().push_failure(ProbeFailureRecord {
         impression: ctx.impression,
         client_ip: ctx.client_ip,
         host: ctx.host_name,
         error,
-        attempts: ctx.attempts.get(),
+        attempts: ctx.attempts.load(Ordering::Relaxed),
     });
 }
 
 /// A probe that uploads its captured chain once done (§3 step 3).
 struct ReportingProbe {
     probe: ProbeClient,
-    outcome: Rc<RefCell<ProbeOutcome>>,
+    outcome: Shared<ProbeOutcome>,
     host_name: &'static str,
     client_ip: Ipv4,
     report_server: Ipv4,
@@ -579,7 +656,7 @@ impl ReportingProbe {
         if self.reported {
             return;
         }
-        let state = self.outcome.borrow().state;
+        let state = self.outcome.lock().state;
         if state != ProbeState::Done {
             // Failed probes upload nothing — the server never counts them
             // (they are the paper's incomplete measurements).
@@ -590,7 +667,7 @@ impl ReportingProbe {
         }
         self.reported = true;
         let body = {
-            let o = self.outcome.borrow();
+            let o = self.outcome.lock();
             // Re-encode the captured DER chain as concatenated PEM — the
             // exact §3.2 wire format.
             let mut text = String::new();
@@ -599,7 +676,7 @@ impl ReportingProbe {
             }
             text.into_bytes()
         };
-        let ok = Rc::new(RefCell::new(false));
+        let ok = Shared::new(false);
         // `att=` rides along only on retried attempts, keeping first-
         // attempt wire bytes identical to the retry-free build.
         let mut path = format!("/report?host={}&imp={}", self.host_name, self.impression);
@@ -642,11 +719,11 @@ mod tests {
     use tlsfoe_population::model::StudyEra;
     use tlsfoe_population::products::ProductId;
 
-    fn runner() -> (SessionRunner, Rc<RefCell<Database>>, GeoDb) {
+    fn runner() -> (SessionRunner, Shared<Database>, GeoDb) {
         let catalog = Arc::new(HostCatalog::study2());
         let geo = GeoDb::allocate(100_000);
-        let db = Rc::new(RefCell::new(Database::new()));
-        let report = Rc::new(ReportServer::new(&catalog, geo.clone(), db.clone()));
+        let db = Shared::new(Database::new());
+        let report = Arc::new(ReportServer::new(&catalog, geo.clone(), db.clone()));
         (SessionRunner::new(catalog, report), db, geo)
     }
 
@@ -666,7 +743,7 @@ mod tests {
         for i in 0..20 {
             runner.run_session(&m, &profile, &mut rng, i, 1000 + i).unwrap();
         }
-        let db = db.borrow();
+        let db = db.lock();
         assert!(db.total() > 0, "some probes must have completed");
         assert_eq!(db.proxied(), 0);
         assert_eq!(db.get(0).country, Some(us));
@@ -686,7 +763,7 @@ mod tests {
         for i in 0..20 {
             runner.run_session(&m, &profile, &mut rng, i, 2000 + i).unwrap();
         }
-        let db = db.borrow();
+        let db = db.lock();
         assert!(db.total() > 0);
         assert_eq!(db.proxied(), db.total(), "every probe behind the proxy is proxied");
         for r in db.iter() {
@@ -729,7 +806,7 @@ mod tests {
         let total: usize =
             (0..50).map(|i| runner.run_session(&m, &profile, &mut rng, i, 4000 + i).unwrap()).sum();
         assert_eq!(total, 0, "no 443 dial launched, so none may count as attempted");
-        assert_eq!(db.borrow().total(), 0, "and nothing can have been measured");
+        assert_eq!(db.lock().total(), 0, "and nothing can have been measured");
 
         // The portal rules are per-session state: a different country's
         // clients (and later sessions after the link is cleared) probe
@@ -761,7 +838,7 @@ mod tests {
             assert!(events > last_events, "session {i} must run on the SAME network");
             last_events = events;
         }
-        assert!(db.borrow().total() > 0);
+        assert!(db.lock().total() > 0);
         // 50 sessions × up to 18 probes each would need thousands of
         // side slots without recycling; one session's working set is
         // well under 150.
@@ -816,7 +893,7 @@ mod tests {
                 ClientProfile { country: us, ip: geo.client_addr(us, 300 + i), product: None };
             runner.run_session(&m, &profile, &mut rng, u64::from(i), 9000 + u64::from(i)).unwrap();
         }
-        let db = db.borrow();
+        let db = db.lock();
         assert!(db.total() > 0, "most probes must recover");
         assert!(db.iter().any(|r| r.attempts > 1), "some records must have needed a retry");
         for f in db.failures() {
@@ -845,7 +922,7 @@ mod tests {
                 ClientProfile { country: us, ip: geo.client_addr(us, 400 + i), product: None };
             runner.run_session(&m, &profile, &mut rng, u64::from(i), 9500 + u64::from(i)).unwrap();
         }
-        let db = db.borrow();
+        let db = db.lock();
         assert!(!db.failures().is_empty(), "guaranteed resets must produce failures");
         for f in db.failures() {
             assert!(
@@ -875,7 +952,8 @@ mod tests {
                     .run_session(&m, &profile, &mut rng, u64::from(i), 9800 + u64::from(i))
                     .unwrap();
             }
-            db.replace(Database::new())
+            let out = std::mem::replace(&mut *db.lock(), Database::new());
+            out
         };
         let plain = run(RetryPolicy::disabled());
         let retried = run(RetryPolicy::standard());
@@ -906,7 +984,8 @@ mod tests {
                     .unwrap();
             }
             runner.finish().unwrap();
-            db.replace(Database::new())
+            let out = std::mem::replace(&mut *db.lock(), Database::new());
+            out
         };
         let serial = run(1);
         let batched = run(16);

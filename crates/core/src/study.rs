@@ -17,16 +17,17 @@
 //! bit-identical regardless of thread count (the cache's determinism
 //! contract, `tlsfoe_population::cache`, is what makes the sharing safe).
 
-use std::cell::RefCell;
-use std::rc::Rc;
 use std::sync::Arc;
 
 use tlsfoe_adsim::{Campaign, Inventory};
 use tlsfoe_crypto::drbg::{Drbg, RngCore64};
 use tlsfoe_geo::countries::{by_code, CountryCode};
 use tlsfoe_geo::GeoDb;
-use tlsfoe_netsim::{FaultProfile, LinkProfile, NetRunError};
-use tlsfoe_population::model::{PopulationModel, StudyEra};
+use tlsfoe_netsim::{
+    Fabric, FaultProfile, LinkProfile, LogicalProcess, NetRunError, Network, NetworkConfig,
+    ServiceProcess, Shared,
+};
+use tlsfoe_population::model::{ClientProfile, PopulationModel, StudyEra};
 
 use crate::hosts::HostCatalog;
 use crate::report::{Database, ReportServer};
@@ -107,6 +108,18 @@ pub struct StudyConfig {
     pub seed: u64,
     /// Worker threads (1 = fully serial).
     pub threads: usize,
+    /// Client logical processes for the conservative-parallel drive
+    /// (default 1 = the batched single-loop path). With `partitions > 1`
+    /// the study becomes `partitions` client partitions — each owning a
+    /// full local topology and the impressions of the countries assigned
+    /// to it — plus one report-server partition, all exchanging
+    /// timestamped events through bounded queues and advancing only to
+    /// the safe time implied by their peers' published bounds (lookahead
+    /// = the default link latency). `threads` workers drive the
+    /// partitions work-stealing style; results are bit-identical to the
+    /// `partitions: 1` path for every `(partitions, threads, batch)`
+    /// combination — the equivalence oracle CI asserts.
+    pub partitions: usize,
     /// Use the Huang-et-al. baseline methodology (probe only a
     /// mega-popular whitelisted host) instead of the paper's catalog.
     pub baseline: bool,
@@ -177,6 +190,7 @@ impl StudyConfig {
             scale,
             seed,
             threads: default_threads(),
+            partitions: 1,
             baseline: false,
             proxy_boost: 1.0,
             batch: DEFAULT_BATCH,
@@ -197,6 +211,7 @@ impl StudyConfig {
             scale,
             seed,
             threads: default_threads(),
+            partitions: 1,
             baseline: false,
             proxy_boost: 1.0,
             batch: DEFAULT_BATCH,
@@ -326,8 +341,13 @@ pub fn run_study(cfg: &StudyConfig) -> Result<StudyOutcome, StudyError> {
     });
     // Tiny runs execute on one thread regardless of cfg.threads — the
     // prewarm decision below must match this, not the requested count.
-    let serial = threads == 1 || impressions.len() < 256;
-    if cfg.warm_substitutes && !serial {
+    // A partitioned drive always runs through the fabric (that is the
+    // point of the equivalence matrix), and prewarms only when more than
+    // one worker will actually mint concurrently.
+    let partitioned = cfg.partitions > 1;
+    let serial = !partitioned && (threads == 1 || impressions.len() < 256);
+    let warm = cfg.warm_substitutes && if partitioned { threads > 1 } else { !serial };
+    if warm {
         // Pre-mint every deterministic variant-0 substitute chain the
         // session phase can request lazily (active product × probed
         // host), in parallel across the worker threads. Chains are pure
@@ -345,7 +365,11 @@ pub fn run_study(cfg: &StudyConfig) -> Result<StudyOutcome, StudyError> {
     let chunk_size = impressions.len().div_ceil(threads).max(1);
     let mut db = Database::new();
     let mut shard_failures = Vec::new();
-    if serial {
+    if partitioned {
+        let (part_db, failures) = run_partitioned(cfg, &catalog, &model, &impressions);
+        db = part_db;
+        shard_failures = failures;
+    } else if serial {
         let (shard_db, failure) = run_shard(cfg, &catalog, &model, &impressions, 0, 0);
         db.merge(shard_db);
         shard_failures.extend(failure);
@@ -404,8 +428,8 @@ fn run_shard(
     shard: usize,
 ) -> (Database, Option<ShardFailure>) {
     let geo = GeoDb::allocate(GEO_BLOCK);
-    let db = Rc::new(RefCell::new(Database::new()));
-    let report = Rc::new(ReportServer::new(catalog, geo.clone(), db.clone()));
+    let db = Shared::new(Database::new());
+    let report = Arc::new(ReportServer::new(catalog, geo.clone(), db.clone()));
     let mut runner = SessionRunner::new(catalog.clone(), report)
         .with_batch_size(cfg.batch)
         .with_retry_policy(cfg.retry.clone());
@@ -426,36 +450,246 @@ fn run_shard(
 
     for (offset, &country) in countries.iter().enumerate() {
         let idx = base_index + offset as u64;
-        let mut rng = Drbg::new(cfg.seed ^ idx.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17));
-        // Distinct IP per impression (global index within country block).
-        let ip = geo.client_addr(country, (idx % GEO_BLOCK as u64) as u32);
-        let mut profile = if cfg.proxy_boost == 1.0 {
-            model.sample_client(country, ip, &mut rng)
-        } else {
-            // Oversampled interception for substitute-corpus analyses.
-            let rate = (model.proxy_rate(country) * cfg.proxy_boost).min(1.0);
-            let product = rng.gen_bool(rate).then(|| model.sample_product(country, &mut rng));
-            tlsfoe_population::model::ClientProfile { country, ip, product }
-        };
-        // Single-origin products (corporate NAT egress): every client of
-        // the product reports from one fixed address.
-        if let Some(pid) = profile.product {
-            if model.is_single_origin(pid) {
-                profile.ip = geo.client_addr(country, 0);
-            }
-        }
+        let (profile, mut rng) = derive_impression(cfg, model, &geo, idx, country);
         if let Err(error) = runner.enqueue_session(model, &profile, &mut rng, idx, cfg.seed ^ idx) {
             let failure = ShardFailure { shard, impression: idx, country: Some(country), error };
-            return (db.replace(Database::new()), Some(failure));
+            let partial = std::mem::replace(&mut *db.lock(), Database::new());
+            return (partial, Some(failure));
         }
     }
     if let Err(error) = runner.finish() {
         let impression = base_index + countries.len() as u64;
         let failure = ShardFailure { shard, impression, country: None, error };
-        return (db.replace(Database::new()), Some(failure));
+        let partial = std::mem::replace(&mut *db.lock(), Database::new());
+        return (partial, Some(failure));
     }
 
-    (db.replace(Database::new()), None)
+    let full = std::mem::replace(&mut *db.lock(), Database::new());
+    (full, None)
+}
+
+/// Derive impression `idx`'s client profile and session RNG — **the**
+/// per-impression derivation, shared verbatim by the batched and the
+/// partitioned drive so neither can drift: everything comes from the
+/// impression's global identity `(cfg.seed, idx)` and its country, never
+/// from which shard, partition or batch happens to execute it.
+fn derive_impression(
+    cfg: &StudyConfig,
+    model: &PopulationModel,
+    geo: &GeoDb,
+    idx: u64,
+    country: CountryCode,
+) -> (ClientProfile, Drbg) {
+    let mut rng = Drbg::new(cfg.seed ^ idx.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17));
+    // Distinct IP per impression (global index within country block).
+    let ip = geo.client_addr(country, (idx % GEO_BLOCK as u64) as u32);
+    let mut profile = if cfg.proxy_boost == 1.0 {
+        model.sample_client(country, ip, &mut rng)
+    } else {
+        // Oversampled interception for substitute-corpus analyses.
+        let rate = (model.proxy_rate(country) * cfg.proxy_boost).min(1.0);
+        let product = rng.gen_bool(rate).then(|| model.sample_product(country, &mut rng));
+        ClientProfile { country, ip, product }
+    };
+    // Single-origin products (corporate NAT egress): every client of
+    // the product reports from one fixed address.
+    if let Some(pid) = profile.product {
+        if model.is_single_origin(pid) {
+            profile.ip = geo.client_addr(country, 0);
+        }
+    }
+    (profile, rng)
+}
+
+/// Cross-partition event-queue capacity. Big enough that a report burst
+/// rarely stalls the sender; small enough to bound memory — a full queue
+/// makes the producing partition yield and retry (backpressure, never
+/// loss or reorder).
+const PARTITION_QUEUE: usize = 4096;
+
+/// One client partition of a partitioned study: a [`SessionRunner`]
+/// (without a local report listener) plus the slice of impressions whose
+/// countries map to this partition. The fabric calls
+/// [`LogicalProcess::on_quiescent`] whenever the partition's event loop
+/// has fully settled; the partition then tears down the finished batch
+/// and feeds the next one, exactly mirroring the batched path's
+/// enqueue/drive cadence.
+struct ClientPartition {
+    cfg: StudyConfig,
+    model: Arc<PopulationModel>,
+    geo: GeoDb,
+    runner: SessionRunner,
+    /// `(global impression index, country)` pairs assigned to this
+    /// partition, in global impression order.
+    assigned: Vec<(u64, CountryCode)>,
+    next: usize,
+    /// First impression of the in-flight batch — the failure context the
+    /// study reports if the fabric stops this partition on a network
+    /// error (read after `Fabric::run` returns).
+    progress: Shared<Option<(u64, CountryCode)>>,
+}
+
+impl LogicalProcess for ClientPartition {
+    fn net(&mut self) -> &mut Network {
+        self.runner.network_mut()
+    }
+
+    fn on_quiescent(&mut self) -> bool {
+        // The previous batch (if any) has fully settled — every probe
+        // finished and every report upload round-tripped through the
+        // report partition — so per-session state can be reverted.
+        self.runner.drain_batch();
+        let Some(&first) = self.assigned.get(self.next) else {
+            return false;
+        };
+        *self.progress.lock() = Some(first);
+        let mut fed = 0;
+        while fed < self.cfg.batch.max(1) {
+            let Some(&(idx, country)) = self.assigned.get(self.next) else {
+                break;
+            };
+            let (profile, mut rng) =
+                derive_impression(&self.cfg, &self.model, &self.geo, idx, country);
+            let injected = self.runner.try_inject_session(
+                &self.model,
+                &profile,
+                &mut rng,
+                idx,
+                self.cfg.seed ^ idx,
+            );
+            if injected.is_none() {
+                // Same source address already live (single-origin NAT):
+                // close out this batch first; the impression re-derives
+                // from scratch on the next quiescence, so the aborted
+                // derivation consumed nothing observable.
+                break;
+            }
+            self.next += 1;
+            fed += 1;
+        }
+        true
+    }
+}
+
+/// The conservative-parallel drive (`cfg.partitions > 1`): the study as
+/// `partitions` client logical processes plus one report-server service
+/// process, exchanging timestamped events through bounded queues under
+/// the fabric's safe-time protocol (see `tlsfoe_netsim::worker`).
+///
+/// * Impressions are assigned by `country code % partitions`, so a
+///   country's whole population — including its single-origin NAT
+///   clients, whose same-address sessions must serialize — lives in one
+///   partition, and client addresses can never collide across
+///   partitions.
+/// * Probe traffic stays partition-local (each client partition owns a
+///   full catalog topology); only report uploads cross the fabric, to
+///   the one partition owning `catalog.report_server`.
+/// * Records accumulate in the report partition's database, typed probe
+///   failures in each client partition's; all are merged and sorted once
+///   ([`Database::finish_partitioned`]), reproducing the batched path's
+///   incremental per-batch ordering exactly.
+///
+/// Failure mapping: a client partition whose drive trips its event cap
+/// abandons its remaining impressions and surfaces a [`ShardFailure`]
+/// with `shard` = partition index and the first impression of its
+/// in-flight batch; a report-partition failure uses `shard` =
+/// `cfg.partitions` with no impression context. Merged partial state
+/// survives either way, exactly like the sharded path's degradation.
+fn run_partitioned(
+    cfg: &StudyConfig,
+    catalog: &Arc<HostCatalog>,
+    model: &Arc<PopulationModel>,
+    impressions: &[CountryCode],
+) -> (Database, Vec<ShardFailure>) {
+    let clients = cfg.partitions;
+    let geo = GeoDb::allocate(GEO_BLOCK);
+    // Lookahead = the default link latency: every cross-partition event
+    // (report dial, POST bytes, close) rides a client link and therefore
+    // arrives at least one latency after it was sent.
+    let mut fabric = Fabric::new(LinkProfile::default().latency_us, PARTITION_QUEUE);
+
+    let server_db = Shared::new(Database::new());
+    let report = Arc::new(ReportServer::new(catalog, geo.clone(), server_db.clone()));
+    let mut server_net = Network::new(NetworkConfig::default(), 0);
+    if let Some(cap) = cfg.max_net_events {
+        server_net.set_max_events(cap);
+    }
+    server_net.listen(catalog.report_server, 80, report.listener());
+    let server_id = fabric.add_partition(Box::new(ServiceProcess::new(server_net)));
+    fabric.route(catalog.report_server, 80, server_id);
+
+    let mut client_dbs = Vec::with_capacity(clients);
+    let mut progresses = Vec::with_capacity(clients);
+    for p in 0..clients {
+        let assigned: Vec<(u64, CountryCode)> = impressions
+            .iter()
+            .enumerate()
+            .filter(|&(_, c)| c.0 as usize % clients == p)
+            .map(|(i, &c)| (i as u64, c))
+            .collect();
+        let db = Shared::new(Database::new());
+        let mut runner = SessionRunner::new_partition(catalog.clone(), db.clone())
+            .with_batch_size(cfg.batch)
+            .with_retry_policy(cfg.retry.clone());
+        if cfg.era == StudyEra::Study1 && !cfg.baseline {
+            // Study 1's single-probe completion rate (see `run_shard`).
+            runner = runner.with_authors_completion(0.617);
+        }
+        if cfg.faults.any() {
+            runner.set_default_link(LinkProfile {
+                faults: cfg.faults.clone(),
+                ..LinkProfile::default()
+            });
+        }
+        if let Some(cap) = cfg.max_net_events {
+            runner.set_max_events(cap);
+        }
+        let progress = Shared::new(None);
+        client_dbs.push(db);
+        progresses.push(progress.clone());
+        fabric.add_partition(Box::new(ClientPartition {
+            cfg: cfg.clone(),
+            model: model.clone(),
+            geo: geo.clone(),
+            runner,
+            assigned,
+            next: 0,
+            progress,
+        }));
+    }
+
+    let outcome = fabric.run(cfg.threads.max(1));
+
+    let mut failures = Vec::new();
+    for (pid, (_lp, error)) in outcome.processes.into_iter().enumerate() {
+        let Some(error) = error else { continue };
+        if pid == 0 {
+            // The report partition itself tripped: no single impression
+            // to blame, every client's in-flight uploads are suspect.
+            failures.push(ShardFailure {
+                shard: clients,
+                impression: impressions.len() as u64,
+                country: None,
+                error,
+            });
+        } else {
+            let at = progresses.get(pid - 1).and_then(|p| *p.lock());
+            let (impression, country) =
+                at.map_or((impressions.len() as u64, None), |(i, c)| (i, Some(c)));
+            failures.push(ShardFailure { shard: pid - 1, impression, country, error });
+        }
+    }
+
+    // Records live in the report partition, failures in the clients;
+    // merge in partition order, then restore the global deterministic
+    // order in one pass.
+    let mut db = std::mem::replace(&mut *server_db.lock(), Database::new());
+    for client_db in client_dbs {
+        let part = std::mem::replace(&mut *client_db.lock(), Database::new());
+        db.merge(part);
+    }
+    db.finish_partitioned();
+    (db, failures)
 }
 
 #[cfg(test)]
@@ -718,6 +952,84 @@ mod tests {
         let out = run_study(&StudyConfig { shard_fault_budget: 4, ..base }).expect("degraded run");
         assert_eq!(out.shard_failures.len(), 4);
         assert!(out.impressions() > 0, "ad-delivery stats survive degradation");
+    }
+
+    #[test]
+    fn partitioned_drive_bit_identical_to_batched() {
+        // The tentpole equivalence oracle: the conservative-parallel
+        // drive must reproduce the batched single-loop database bit for
+        // bit across the (partitions, threads, batch) matrix — with
+        // heavy interception so proxies, the substitute cache and the
+        // single-origin NAT serialization all cross the new code.
+        let base = StudyConfig { proxy_boost: 60.0, ..StudyConfig::study1(8_000, 31) };
+        let oracle =
+            run_study(&StudyConfig { threads: 1, batch: 64, ..base.clone() }).expect("study");
+        assert!(oracle.db.proxied() > 10, "need proxied sessions, got {}", oracle.db.proxied());
+        for (partitions, threads, batch) in [(2, 1, 64), (2, 8, 1), (8, 1, 1), (8, 8, 64)] {
+            let run = run_study(&StudyConfig { partitions, threads, batch, ..base.clone() })
+                .expect("study");
+            assert!(run.shard_failures.is_empty());
+            assert_eq!(
+                oracle.db, run.db,
+                "partitions {partitions} / threads {threads} / batch {batch} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_chaos_drive_bit_identical_to_batched() {
+        // Faulted equivalence: fault streams derive from session
+        // identity and retry decisions from elapsed virtual time, so
+        // even a chaos run must be invariant under partitioning.
+        let base = StudyConfig {
+            faults: FaultProfile::uniform(0.05),
+            retry: crate::session::RetryPolicy::standard(),
+            ..StudyConfig::study1(3_000, 37)
+        };
+        let oracle =
+            run_study(&StudyConfig { threads: 1, batch: 1, ..base.clone() }).expect("study");
+        assert!(
+            oracle.db.failed() > 0 || oracle.db.iter().any(|r| r.attempts > 1),
+            "chaos must actually bite"
+        );
+        for (partitions, threads, batch) in [(2, 8, 64), (8, 1, 64), (8, 8, 7)] {
+            let run = run_study(&StudyConfig { partitions, threads, batch, ..base.clone() })
+                .expect("study");
+            assert_eq!(
+                oracle.db, run.db,
+                "partitions {partitions} / threads {threads} / batch {batch} diverged (faulted)"
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_one_heavy_country_bit_identical_across_partitions() {
+        // Worst-case partition balance: nearly every impression lives in
+        // one country, so country-keyed assignment hands one client
+        // partition almost all the work while its siblings idle at the
+        // fabric horizon (publishing null bounds only). The drive must
+        // still terminate and reproduce the serial shard bit for bit.
+        let cfg = StudyConfig { proxy_boost: 60.0, ..StudyConfig::study1(8_000, 91) };
+        let catalog = Arc::new(HostCatalog::study1());
+        let model = Arc::new(PopulationModel::new(cfg.era, catalog.public_roots.clone()));
+        let heavy = by_code("US").expect("US registered");
+        let light = by_code("JP").expect("JP registered");
+        let impressions: Vec<CountryCode> =
+            (0..160).map(|i| if i % 16 == 0 { light } else { heavy }).collect();
+
+        let serial = StudyConfig { threads: 1, partitions: 1, batch: 64, ..cfg.clone() };
+        let (shard_db, failure) = run_shard(&serial, &catalog, &model, &impressions, 0, 0);
+        assert!(failure.is_none(), "serial oracle must not trip: {failure:?}");
+        let mut oracle = Database::new();
+        oracle.merge(shard_db);
+        assert!(oracle.total() > 60, "skewed oracle too small: {}", oracle.total());
+
+        for (partitions, threads) in [(2, 1), (4, 8), (8, 2)] {
+            let pcfg = StudyConfig { partitions, threads, batch: 64, ..cfg.clone() };
+            let (db, failures) = run_partitioned(&pcfg, &catalog, &model, &impressions);
+            assert!(failures.is_empty(), "partitions {partitions}/threads {threads}: {failures:?}");
+            assert_eq!(oracle, db, "partitions {partitions} / threads {threads} diverged on skew");
+        }
     }
 
     #[test]

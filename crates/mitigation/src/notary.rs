@@ -68,7 +68,7 @@ impl Notary {
         outcomes
             .into_iter()
             .filter_map(|o| {
-                let o = o.borrow();
+                let o = o.lock();
                 (o.state == ProbeState::Done).then(|| o.chain_der.first().cloned())?
             })
             .collect()

@@ -9,11 +9,53 @@
 //! Multi-connection actors — a TLS proxy holds a client-side and an
 //! upstream connection; a measurement probe runs a policy fetch, many TLS
 //! probes and a report upload — are built from several conduits sharing
-//! state through `Rc<RefCell<…>>`, which is safe because the simulator is
-//! strictly single-threaded and never re-enters a conduit.
+//! state through [`Shared`] cells. One event loop never re-enters a
+//! conduit, so the locks inside are uncontended; they exist because a
+//! partitioned simulation (see [`crate::worker`]) migrates whole event
+//! loops between OS threads, which requires every conduit to be `Send`.
+
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::addr::Ipv4;
 use crate::net::Network;
+
+/// Shared mutable state between the conduits of one actor (and the code
+/// that launched them): a cheap clone-able `Arc<Mutex<T>>` with a
+/// poison-tolerant lock.
+///
+/// Within one event loop access is strictly sequential (callbacks never
+/// re-enter), so `lock` never contends; the mutex is what lets actors
+/// move between OS threads with their partition. Poisoning is ignored —
+/// a panicking conduit aborts its whole study anyway, and tests that
+/// probe panic behavior still want to read the cell afterwards.
+#[derive(Debug, Default)]
+pub struct Shared<T>(Arc<Mutex<T>>);
+
+impl<T> Shared<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Shared<T> {
+        Shared(Arc::new(Mutex::new(value)))
+    }
+
+    /// Lock the cell (poison-tolerant, see type docs).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Take the value out if this is the last handle, else hand the
+    /// shared handle back.
+    pub fn into_inner(self) -> Result<T, Shared<T>> {
+        Arc::try_unwrap(self.0)
+            .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+            .map_err(Shared)
+    }
+}
+
+impl<T> Clone for Shared<T> {
+    fn clone(&self) -> Self {
+        Shared(self.0.clone())
+    }
+}
 
 /// Identifies one side of one connection.
 ///
@@ -52,7 +94,10 @@ impl core::fmt::Display for DialError {
 impl std::error::Error for DialError {}
 
 /// An endpoint state machine.
-pub trait Conduit {
+///
+/// `Send` because a partitioned simulation migrates event loops (and the
+/// conduits inside them) between OS threads; see [`crate::worker`].
+pub trait Conduit: Send {
     /// The connection is established (three-way handshake done).
     fn on_open(&mut self, io: &mut IoCtx<'_>);
 

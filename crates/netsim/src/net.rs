@@ -21,12 +21,14 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 use tlsfoe_crypto::drbg::{Drbg, RngCore64, SplitMix64};
 
 use crate::addr::Ipv4;
 use crate::conduit::{Conduit, ConnToken, IoCtx};
 use crate::fault::{FaultAction, FaultState};
+use crate::sync::{PartitionId, RemoteEvent, RemoteKind};
 
 pub use crate::conduit::DialError;
 pub use crate::fault::FaultProfile;
@@ -44,7 +46,9 @@ pub struct DialInfo {
 }
 
 /// Factory producing an accepting conduit for each inbound connection.
-pub type ListenerFactory = Box<dyn FnMut(DialInfo) -> Box<dyn Conduit>>;
+/// `Send` so a partitioned simulation can migrate a whole event loop —
+/// listeners included — between OS threads (see [`crate::worker`]).
+pub type ListenerFactory = Box<dyn FnMut(DialInfo) -> Box<dyn Conduit> + Send>;
 
 /// A middlebox installed on a client's path.
 ///
@@ -53,7 +57,7 @@ pub type ListenerFactory = Box<dyn FnMut(DialInfo) -> Box<dyn Conduit>>;
 /// returning `true` terminates the client's connection at the interceptor
 /// instead of the destination (Figure 3). The interceptor's conduit can
 /// then dial the real destination itself via [`IoCtx::dial`].
-pub trait Interceptor {
+pub trait Interceptor: Send {
     /// Whether to claim a client connection to `(dst, port)`.
     fn claims(&self, dst: Ipv4, port: u16) -> bool;
 
@@ -189,7 +193,54 @@ struct Side {
     /// function of the owning session.
     scope: Ipv4,
     open: bool,
+    /// When the peer endpoint lives in another partition, where to ship
+    /// frames instead of queuing local events (see [`crate::worker`]).
+    remote: Option<RemoteRef>,
 }
+
+/// Cross-partition peer of a connection side.
+///
+/// `key` identifies the connection fabric-wide: `(initiating partition,
+/// connection id allocated by the initiator)`. Both endpoints carry the
+/// same key; `peer` is the partition frames from this side are shipped
+/// to (the initiator's `peer` is the acceptor's partition and vice
+/// versa).
+#[derive(Debug, Clone, Copy)]
+struct RemoteRef {
+    peer: PartitionId,
+    key: (PartitionId, u64),
+}
+
+/// Partition-local state a [`Network`] keeps when it is one logical
+/// process of a partitioned simulation (see [`crate::worker::Fabric`]).
+struct RemoteCtx {
+    /// This partition's id.
+    id: PartitionId,
+    /// Where remote `(addr, port)` listeners live. Local listeners are
+    /// always consulted first, so the directory only matters for
+    /// addresses this partition does not serve itself.
+    directory: Arc<HashMap<(Ipv4, u16), PartitionId>>,
+    /// Events produced for other partitions since the last
+    /// [`Network::take_outbound`], in send order.
+    outbound: Vec<(PartitionId, RemoteEvent)>,
+    /// Live cross-partition connections: fabric-wide key → local token.
+    conns: HashMap<(PartitionId, u64), ConnToken>,
+    /// Connection-id allocator for dials this partition initiates.
+    next_conn: u64,
+    /// Max arrival timestamp over every event ever shipped out. A driver
+    /// may declare a batch finished only once every peer's safe-time
+    /// bound has passed this mark (all replies must be back).
+    max_shipped_arrival: u64,
+    /// Sequence allocator for remotely-injected events, offset by
+    /// [`REMOTE_SEQ_BASE`] so at equal virtual time locally-queued events
+    /// always order before injected ones — regardless of when the fabric
+    /// drained the inbound queue.
+    remote_seq: u64,
+}
+
+/// See [`RemoteCtx::remote_seq`]. Local `seq` values stay far below this
+/// for any realistic run (2^62 events ≈ centuries of simulation).
+const REMOTE_SEQ_BASE: u64 = 1 << 62;
 
 /// Per-client dial scope: the session salt plus how many connections the
 /// client has opened under it (the ordinal that keeps concurrent probes
@@ -197,6 +248,65 @@ struct Side {
 struct DialScope {
     salt: u64,
     conns: u64,
+}
+
+/// Outcome of resolving a dial destination (see
+/// [`Network::accept_or_route`]).
+enum Accepted {
+    /// A local listener (or interceptor) produced the accepting conduit.
+    Local(Box<dyn Conduit>),
+    /// The listener lives in another partition.
+    Remote(PartitionId),
+}
+
+/// One endpoint's share of a connection's derived randomness.
+struct EndpointHalf {
+    loss_rng: Option<Drbg>,
+    fault: Option<FaultState>,
+}
+
+/// Both endpoint halves of one connection, derived as a pure function of
+/// `(link, stream_seed)`.
+///
+/// This is the single site where per-connection DRBG forks happen, for
+/// local and cross-partition connections alike: a remote dial ships
+/// `stream_seed` (plus the link) to the accepting partition, which calls
+/// this same function — so loss and fault derivation is unchanged by
+/// construction no matter where the acceptor lives.
+struct ConnHalves {
+    initiator: EndpointHalf,
+    acceptor: EndpointHalf,
+    blackholed: bool,
+}
+
+impl ConnHalves {
+    fn derive(link: &LinkProfile, stream_seed: u64) -> ConnHalves {
+        let (rng_a, rng_b) = if link.loss > 0.0 {
+            let root = Drbg::new(stream_seed);
+            (Some(root.fork("initiator")), Some(root.fork("acceptor")))
+        } else {
+            (None, None)
+        };
+        // Fault plans fork from the same per-connection stream seed under
+        // a distinct label, so enabling faults never perturbs loss
+        // sampling (and vice versa). A fault-free profile samples nothing.
+        let (fault_a, fault_b, blackholed) = if link.faults.any() {
+            let root = Drbg::new(stream_seed).fork("faults");
+            let blackholed = root.fork("dial").gen_bool(link.faults.blackhole);
+            (
+                Some(FaultState::sample(&link.faults, root.fork("initiator"))),
+                Some(FaultState::sample(&link.faults, root.fork("acceptor"))),
+                blackholed,
+            )
+        } else {
+            (None, None, false)
+        };
+        ConnHalves {
+            initiator: EndpointHalf { loss_rng: rng_a, fault: fault_a },
+            acceptor: EndpointHalf { loss_rng: rng_b, fault: fault_b },
+            blackholed,
+        }
+    }
 }
 
 /// The deterministic event-driven network.
@@ -218,12 +328,15 @@ pub struct Network {
     /// Pending timer callbacks, keyed by timer id (see [`Network::after`]).
     timers: HashMap<u64, TimerFn>,
     next_timer: u64,
+    /// Present iff this network is one partition of a fabric.
+    remote: Option<RemoteCtx>,
 }
 
 /// A scheduled callback. Timers run with full access to the network —
 /// the retry layer uses them to inspect probe outcomes, close stalled
-/// connections and re-dial.
-pub type TimerFn = Box<dyn FnOnce(&mut Network)>;
+/// connections and re-dial. `Send` for the same reason as conduits: a
+/// partitioned run migrates event loops between OS threads.
+pub type TimerFn = Box<dyn FnOnce(&mut Network) + Send>;
 
 impl Network {
     /// Create a network with the given configuration and RNG seed (the
@@ -244,7 +357,47 @@ impl Network {
             processed: 0,
             timers: HashMap::new(),
             next_timer: 0,
+            remote: None,
         }
+    }
+
+    /// Attach this network to a fabric as partition `id`. Dials whose
+    /// `(addr, port)` has no local listener are routed through
+    /// `directory` to the owning partition instead of being refused.
+    pub(crate) fn set_remote(
+        &mut self,
+        id: PartitionId,
+        directory: Arc<HashMap<(Ipv4, u16), PartitionId>>,
+    ) {
+        self.remote = Some(RemoteCtx {
+            id,
+            directory,
+            outbound: Vec::new(),
+            conns: HashMap::new(),
+            next_conn: 0,
+            max_shipped_arrival: 0,
+            remote_seq: 0,
+        });
+    }
+
+    /// Drain the cross-partition events produced since the last call,
+    /// in send order.
+    pub(crate) fn take_outbound(&mut self) -> Vec<(PartitionId, RemoteEvent)> {
+        match self.remote.as_mut() {
+            Some(ctx) => std::mem::take(&mut ctx.outbound),
+            None => Vec::new(),
+        }
+    }
+
+    /// Max arrival time over all events ever shipped to other partitions
+    /// (see [`RemoteCtx::max_shipped_arrival`]).
+    pub(crate) fn max_shipped_arrival(&self) -> u64 {
+        self.remote.as_ref().map_or(0, |ctx| ctx.max_shipped_arrival)
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub(crate) fn next_event_time(&self) -> Option<u64> {
+        self.events.peek().map(|Reverse(ev)| ev.time_us)
     }
 
     /// Current virtual time in microseconds.
@@ -282,14 +435,16 @@ impl Network {
     ///
     /// Returns the number of sides reclaimed.
     pub fn reap_stalled(&mut self) -> usize {
-        let mut reaped = 0;
-        for slot in 0..self.sides.len() {
-            let side = &self.sides[slot];
-            if side.conduit.is_some() || side.open {
-                let tok = ConnToken { slot, gen: side.gen };
-                self.release(tok);
-                reaped += 1;
-            }
+        let stalled: Vec<ConnToken> = self
+            .sides
+            .iter()
+            .enumerate()
+            .filter(|(_, side)| side.conduit.is_some() || side.open)
+            .map(|(slot, side)| ConnToken { slot, gen: side.gen })
+            .collect();
+        let reaped = stalled.len();
+        for tok in stalled {
+            self.release(tok);
         }
         reaped
     }
@@ -358,7 +513,7 @@ impl Network {
     /// probe deadlines and retry backoff are built on: the callback runs
     /// inside the event loop with full mutable access, so it can inspect
     /// outcomes, close stalled connections and dial replacements.
-    pub fn after(&mut self, delay_us: u64, f: impl FnOnce(&mut Network) + 'static) -> u64 {
+    pub fn after(&mut self, delay_us: u64, f: impl FnOnce(&mut Network) + Send + 'static) -> u64 {
         let id = self.next_timer;
         self.next_timer += 1;
         self.timers.insert(id, Box::new(f));
@@ -399,11 +554,16 @@ impl Network {
         }
         let info = DialInfo { client, dst, port };
         // The client's interceptor chain may claim the connection.
-        let acceptor: Box<dyn Conduit> = match self.interceptors.get_mut(&client) {
-            Some(interceptor) if interceptor.claims(dst, port) => interceptor.accept(info),
-            _ => self.accept_from_listener(info)?,
+        let accepted = match self.interceptors.get_mut(&client) {
+            Some(interceptor) if interceptor.claims(dst, port) => {
+                Accepted::Local(interceptor.accept(info))
+            }
+            _ => self.accept_or_route(info)?,
         };
-        self.connect_pair(client, link, conduit, acceptor)
+        match accepted {
+            Accepted::Local(acceptor) => self.connect_pair(client, link, conduit, acceptor),
+            Accepted::Remote(target) => self.dial_remote(client, link, info, conduit, target),
+        }
     }
 
     /// Conduit-originated dial that announces an explicit source address
@@ -416,8 +576,11 @@ impl Network {
         conduit: Box<dyn Conduit>,
     ) -> Result<ConnToken, DialError> {
         let info = DialInfo { client: src, dst, port };
-        let acceptor = self.accept_from_listener(info)?;
-        self.connect_pair(src, self.link_for(src), conduit, acceptor)
+        let link = self.link_for(src);
+        match self.accept_or_route(info)? {
+            Accepted::Local(acceptor) => self.connect_pair(src, link, conduit, acceptor),
+            Accepted::Remote(target) => self.dial_remote(src, link, info, conduit, target),
+        }
     }
 
     /// Anonymous conduit-originated dial (e.g. a proxy's upstream leg):
@@ -435,8 +598,11 @@ impl Network {
         let scope =
             self.sides.get(from.slot).filter(|s| s.gen == from.gen).map(|s| s.scope).unwrap_or(dst);
         let info = DialInfo { client: Ipv4([0, 0, 0, 0]), dst, port };
-        let acceptor = self.accept_from_listener(info)?;
-        self.connect_pair(scope, self.link_for(dst), conduit, acceptor)
+        let link = self.link_for(dst);
+        match self.accept_or_route(info)? {
+            Accepted::Local(acceptor) => self.connect_pair(scope, link, conduit, acceptor),
+            Accepted::Remote(target) => self.dial_remote(scope, link, info, conduit, target),
+        }
     }
 
     /// Seed for the next connection's loss stream under `scope`'s dial
@@ -471,9 +637,40 @@ impl Network {
                 fault: None,
                 scope: Ipv4([0, 0, 0, 0]),
                 open: false,
+                remote: None,
             });
             self.sides.len() - 1
         }
+    }
+
+    /// Install `conduit` into a freshly allocated slot and return its
+    /// token. The slot is wired with one endpoint half of `link` (loss
+    /// stream + fault plan) but no peer yet.
+    fn install_side(
+        &mut self,
+        conduit: Box<dyn Conduit>,
+        link: &LinkProfile,
+        half: EndpointHalf,
+        scope: Ipv4,
+    ) -> ConnToken {
+        let slot = self.alloc_slot();
+        let gen = self.sides.get(slot).map_or(0, |s| s.gen);
+        let tok = ConnToken { slot, gen };
+        if let Some(side) = self.sides.get_mut(slot) {
+            *side = Side {
+                gen,
+                conduit: Some(conduit),
+                peer: ConnToken { slot: 0, gen: u64::MAX },
+                latency_us: link.latency_us,
+                loss: link.loss,
+                loss_rng: half.loss_rng,
+                fault: half.fault,
+                scope,
+                open: true,
+                remote: None,
+            };
+        }
+        tok
     }
 
     fn connect_pair(
@@ -484,54 +681,17 @@ impl Network {
         acceptor: Box<dyn Conduit>,
     ) -> Result<ConnToken, DialError> {
         let stream_seed = self.conn_stream_seed(scope);
-        let (rng_a, rng_b) = if link.loss > 0.0 {
-            let root = Drbg::new(stream_seed);
-            (Some(root.fork("initiator")), Some(root.fork("acceptor")))
-        } else {
-            (None, None)
-        };
-        // Fault plans fork from the same per-connection stream seed under
-        // a distinct label, so enabling faults never perturbs loss
-        // sampling (and vice versa). A fault-free profile samples nothing.
-        let (fault_a, fault_b, blackholed) = if link.faults.any() {
-            let root = Drbg::new(stream_seed).fork("faults");
-            let blackholed = root.fork("dial").gen_bool(link.faults.blackhole);
-            (
-                Some(FaultState::sample(&link.faults, root.fork("initiator"))),
-                Some(FaultState::sample(&link.faults, root.fork("acceptor"))),
-                blackholed,
-            )
-        } else {
-            (None, None, false)
-        };
-        let slot_a = self.alloc_slot();
-        let slot_b = self.alloc_slot();
-        let a = ConnToken { slot: slot_a, gen: self.sides[slot_a].gen };
-        let b = ConnToken { slot: slot_b, gen: self.sides[slot_b].gen };
+        let halves = ConnHalves::derive(&link, stream_seed);
+        let a = self.install_side(initiator, &link, halves.initiator, scope);
+        let b = self.install_side(acceptor, &link, halves.acceptor, scope);
+        if let Some(side) = self.side_mut(a) {
+            side.peer = b;
+        }
+        if let Some(side) = self.side_mut(b) {
+            side.peer = a;
+        }
         let lat = link.latency_us;
-        self.sides[slot_a] = Side {
-            gen: a.gen,
-            conduit: Some(initiator),
-            peer: b,
-            latency_us: lat,
-            loss: link.loss,
-            loss_rng: rng_a,
-            fault: fault_a,
-            scope,
-            open: true,
-        };
-        self.sides[slot_b] = Side {
-            gen: b.gen,
-            conduit: Some(acceptor),
-            peer: a,
-            latency_us: lat,
-            loss: link.loss,
-            loss_rng: rng_b,
-            fault: fault_b,
-            scope,
-            open: true,
-        };
-        if !blackholed {
+        if !halves.blackholed {
             // Acceptor learns of the connection after one RTT/2; the
             // initiator after a full RTT (SYN → SYN/ACK).
             self.push_event(lat, EventKind::Open(b));
@@ -550,10 +710,151 @@ impl Network {
         }
     }
 
+    /// Resolve a dial destination: a local listener wins; otherwise, on a
+    /// fabric-attached network, the partition directory may route the
+    /// dial to the partition owning the listener.
+    fn accept_or_route(&mut self, info: DialInfo) -> Result<Accepted, DialError> {
+        if self.listeners.contains_key(&(info.dst, info.port)) {
+            return self.accept_from_listener(info).map(Accepted::Local);
+        }
+        match self
+            .remote
+            .as_ref()
+            .and_then(|ctx| ctx.directory.get(&(info.dst, info.port)).copied())
+        {
+            Some(target) => Ok(Accepted::Remote(target)),
+            None => Err(DialError::Refused),
+        }
+    }
+
+    /// Initiate a cross-partition connection: install only the local
+    /// (initiator) endpoint, ship a `Dial` carrying the derived stream
+    /// seed and link profile to the partition owning the destination
+    /// listener, and schedule the local Open after a full RTT — exactly
+    /// mirroring [`Network::connect_pair`]'s timing and DRBG derivation.
+    fn dial_remote(
+        &mut self,
+        scope: Ipv4,
+        link: LinkProfile,
+        info: DialInfo,
+        conduit: Box<dyn Conduit>,
+        target: PartitionId,
+    ) -> Result<ConnToken, DialError> {
+        let stream_seed = self.conn_stream_seed(scope);
+        let halves = ConnHalves::derive(&link, stream_seed);
+        let tok = self.install_side(conduit, &link, halves.initiator, scope);
+        let Some(key) = self.remote.as_mut().map(|ctx| {
+            let conn = ctx.next_conn;
+            ctx.next_conn += 1;
+            let key = (ctx.id, conn);
+            ctx.conns.insert(key, tok);
+            key
+        }) else {
+            // Unreachable: `target` came from the directory, which only
+            // exists on fabric-attached networks.
+            return Err(DialError::Refused);
+        };
+        if let Some(side) = self.side_mut(tok) {
+            side.remote = Some(RemoteRef { peer: target, key });
+        }
+        let lat = link.latency_us;
+        if !halves.blackholed {
+            self.ship(
+                target,
+                RemoteEvent {
+                    time_us: self.now_us + lat,
+                    kind: RemoteKind::Dial {
+                        key,
+                        src: info.client,
+                        dst: info.dst,
+                        port: info.port,
+                        stream_seed,
+                        link,
+                    },
+                },
+            );
+            self.push_event(2 * lat, EventKind::Open(tok));
+        }
+        // A blackholed remote dial ships nothing: the acceptor partition
+        // never learns of it (unobservable — the pair would just stall),
+        // and the local side is reclaimed by timeout or reaping.
+        Ok(tok)
+    }
+
+    /// Inject an event shipped by another partition. The fabric calls
+    /// this only for events at or beyond every timestamp this loop still
+    /// has to process (guaranteed by the safe-time protocol), so virtual
+    /// time never runs backwards.
+    pub(crate) fn apply_remote(&mut self, ev: RemoteEvent) {
+        match ev.kind {
+            RemoteKind::Dial { key, src, dst, port, stream_seed, link } => {
+                let info = DialInfo { client: src, dst, port };
+                let acceptor = match self.listeners.get_mut(&(dst, port)) {
+                    Some(factory) => factory(info),
+                    // Directory said we own this listener but it is gone:
+                    // drop the dial; the initiator stalls and is reaped,
+                    // exactly like a blackholed SYN.
+                    None => return,
+                };
+                let halves = ConnHalves::derive(&link, stream_seed);
+                let tok = self.install_side(acceptor, &link, halves.acceptor, src);
+                if let Some(side) = self.side_mut(tok) {
+                    side.remote = Some(RemoteRef { peer: key.0, key });
+                }
+                if let Some(ctx) = self.remote.as_mut() {
+                    ctx.conns.insert(key, tok);
+                }
+                self.push_event_abs(ev.time_us, EventKind::Open(tok));
+            }
+            RemoteKind::Data { key, bytes } => {
+                // A missing entry is a frame for an already-released
+                // connection (peer closed first) — dropped, like a packet
+                // to a closed socket.
+                if let Some(tok) = self.remote.as_ref().and_then(|ctx| ctx.conns.get(&key).copied())
+                {
+                    self.push_event_abs(ev.time_us, EventKind::Data(tok, bytes));
+                }
+            }
+            RemoteKind::Close { key } => {
+                if let Some(tok) = self.remote.as_ref().and_then(|ctx| ctx.conns.get(&key).copied())
+                {
+                    self.push_event_abs(ev.time_us, EventKind::Close(tok));
+                }
+            }
+        }
+    }
+
+    /// Queue an event for another partition (see [`RemoteCtx`]).
+    fn ship(&mut self, to: PartitionId, ev: RemoteEvent) {
+        if let Some(ctx) = self.remote.as_mut() {
+            ctx.max_shipped_arrival = ctx.max_shipped_arrival.max(ev.time_us);
+            ctx.outbound.push((to, ev));
+        }
+    }
+
     fn push_event(&mut self, delay_us: u64, kind: EventKind) {
         let ev = Event { time_us: self.now_us + delay_us, seq: self.seq, kind };
         self.seq += 1;
         self.events.push(Reverse(ev));
+    }
+
+    /// Queue a remotely-injected event at an absolute timestamp, with a
+    /// sequence number above every locally-queued event's — so at equal
+    /// virtual time local events always order first, independent of when
+    /// the fabric happened to drain the inbound queue.
+    fn push_event_abs(&mut self, time_us: u64, kind: EventKind) {
+        let seq = match self.remote.as_mut() {
+            Some(ctx) => {
+                ctx.remote_seq += 1;
+                REMOTE_SEQ_BASE + ctx.remote_seq
+            }
+            None => {
+                let s = self.seq;
+                self.seq += 1;
+                s
+            }
+        };
+        self.events.push(Reverse(Event { time_us, seq, kind }));
     }
 
     /// The side `tok` refers to, iff the token's generation is current.
@@ -574,7 +875,27 @@ impl Network {
         side.loss_rng = None;
         side.fault = None;
         side.open = false;
+        let remote = side.remote.take();
         self.free.push(tok.slot);
+        if let (Some(r), Some(ctx)) = (remote, self.remote.as_mut()) {
+            ctx.conns.remove(&r.key);
+        }
+    }
+
+    /// Deliver one frame to a side's peer: locally after `lat`, or — for
+    /// a cross-partition connection — shipped to the peer's partition
+    /// with the same arrival timestamp.
+    fn send_frame(&mut self, peer: ConnToken, remote: Option<RemoteRef>, lat: u64, bytes: Vec<u8>) {
+        match remote {
+            Some(r) => self.ship(
+                r.peer,
+                RemoteEvent {
+                    time_us: self.now_us + lat,
+                    kind: RemoteKind::Data { key: r.key, bytes },
+                },
+            ),
+            None => self.push_event(lat, EventKind::Data(peer, bytes)),
+        }
     }
 
     pub(crate) fn queue_send(&mut self, from: ConnToken, bytes: &[u8]) {
@@ -583,6 +904,7 @@ impl Network {
             return;
         }
         let peer = side.peer;
+        let remote = side.remote;
         let lat = side.latency_us;
         let loss = side.loss;
         let lost = match side.loss_rng.as_mut() {
@@ -598,14 +920,16 @@ impl Network {
         };
         match action {
             FaultAction::Deliver => {
-                self.push_event(lat, EventKind::Data(peer, bytes.to_vec()));
+                self.send_frame(peer, remote, lat, bytes.to_vec());
             }
             FaultAction::CorruptByte { offset, mask } => {
                 // One flipped byte; the frame still arrives, so the peer's
                 // parser must surface the damage as a typed error.
                 let mut corrupted = bytes.to_vec();
-                corrupted[offset] ^= mask;
-                self.push_event(lat, EventKind::Data(peer, corrupted));
+                if let Some(byte) = corrupted.get_mut(offset) {
+                    *byte ^= mask;
+                }
+                self.send_frame(peer, remote, lat, corrupted);
             }
             FaultAction::TruncateClose { keep } => {
                 // The wire cuts the frame short and the connection dies:
@@ -613,7 +937,8 @@ impl Network {
                 // seq), then the close. queue_close tears down this side
                 // and notifies the peer.
                 if keep > 0 {
-                    self.push_event(lat, EventKind::Data(peer, bytes[..keep].to_vec()));
+                    let truncated = bytes.get(..keep).unwrap_or(bytes).to_vec();
+                    self.send_frame(peer, remote, lat, truncated);
                 }
                 self.queue_close(from);
             }
@@ -633,8 +958,15 @@ impl Network {
         }
         side.open = false;
         let peer = side.peer;
+        let remote = side.remote;
         let lat = side.latency_us;
-        self.push_event(lat, EventKind::Close(peer));
+        match remote {
+            Some(r) => self.ship(
+                r.peer,
+                RemoteEvent { time_us: self.now_us + lat, kind: RemoteKind::Close { key: r.key } },
+            ),
+            None => self.push_event(lat, EventKind::Close(peer)),
+        }
         // The closing side is done sending and receiving: tear it down
         // deterministically (drop the conduit, recycle the slot) instead
         // of retaining the Box until the peer's Close round-trips.
@@ -647,8 +979,20 @@ impl Network {
     /// [`NetRunError`] if the cap was exceeded (remaining events stay
     /// queued; the network should be considered wedged).
     pub fn run(&mut self) -> Result<u64, NetRunError> {
+        self.run_until(u64::MAX)
+    }
+
+    /// Run events with timestamps strictly before `limit_us` (or until
+    /// quiescence). The partitioned drive uses this to advance a logical
+    /// process only up to its current safe time.
+    pub(crate) fn run_until(&mut self, limit_us: u64) -> Result<u64, NetRunError> {
         let mut n = 0;
-        while let Some(Reverse(ev)) = self.events.pop() {
+        loop {
+            match self.events.peek() {
+                Some(Reverse(ev)) if ev.time_us < limit_us => {}
+                _ => break,
+            }
+            let Some(Reverse(ev)) = self.events.pop() else { break };
             self.now_us = ev.time_us;
             self.processed += 1;
             n += 1;
@@ -726,8 +1070,7 @@ impl Network {
 #[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use crate::conduit::Shared;
 
     /// Echo server: sends back whatever it receives, uppercased.
     struct EchoAcceptor;
@@ -741,18 +1084,18 @@ mod tests {
 
     /// Client: sends a greeting on open, records the reply, closes.
     struct Client {
-        log: Rc<RefCell<Vec<String>>>,
+        log: Shared<Vec<String>>,
     }
     impl Conduit for Client {
         fn on_open(&mut self, io: &mut IoCtx<'_>) {
             io.send(b"hello");
         }
         fn on_data(&mut self, data: &[u8], io: &mut IoCtx<'_>) {
-            self.log.borrow_mut().push(String::from_utf8_lossy(data).into_owned());
+            self.log.lock().push(String::from_utf8_lossy(data).into_owned());
             io.close();
         }
         fn on_close(&mut self, _io: &mut IoCtx<'_>) {
-            self.log.borrow_mut().push("closed".into());
+            self.log.lock().push("closed".into());
         }
     }
 
@@ -767,16 +1110,16 @@ mod tests {
     fn request_response_roundtrip() {
         let mut net = Network::new(NetworkConfig::default(), 1);
         net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Shared::new(Vec::new());
         net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() })).unwrap();
         net.run().unwrap();
-        assert_eq!(log.borrow().as_slice(), ["HELLO".to_string()]);
+        assert_eq!(log.lock().as_slice(), ["HELLO".to_string()]);
     }
 
     #[test]
     fn refused_when_no_listener() {
         let mut net = Network::new(NetworkConfig::default(), 1);
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Shared::new(Vec::new());
         let err =
             net.dial_from(client_ip(), server_ip(), 443, Box::new(Client { log })).unwrap_err();
         assert_eq!(err, DialError::Refused);
@@ -791,7 +1134,7 @@ mod tests {
             client_ip(),
             LinkProfile { blocked_ports: vec![843], ..LinkProfile::default() },
         );
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Shared::new(Vec::new());
         // Port 843 (classic Flash policy port) blocked...
         assert_eq!(
             net.dial_from(client_ip(), server_ip(), 843, Box::new(Client { log: log.clone() }))
@@ -801,14 +1144,14 @@ mod tests {
         // ...but port 80 works — the paper's §3.1 design decision.
         net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() })).unwrap();
         net.run().unwrap();
-        assert_eq!(log.borrow()[0], "HELLO");
+        assert_eq!(log.lock()[0], "HELLO");
     }
 
     #[test]
     fn virtual_time_advances_by_latency() {
         let mut net = Network::new(NetworkConfig::default(), 1);
         net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Shared::new(Vec::new());
         net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log })).unwrap();
         net.run().unwrap();
         // open(2L) + send(L) + reply(L) = 4 × 20ms = 80 ms min.
@@ -826,10 +1169,10 @@ mod tests {
                 ..LinkProfile::default()
             },
         );
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Shared::new(Vec::new());
         net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() })).unwrap();
         net.run().unwrap();
-        assert!(log.borrow().is_empty(), "reply should have been lost");
+        assert!(log.lock().is_empty(), "reply should have been lost");
     }
 
     #[test]
@@ -849,16 +1192,16 @@ mod tests {
                 // stream design its sends consumed draws from the one
                 // sequential RNG and shifted the victim's outcomes.
                 net.set_link(bystander, LinkProfile { loss: 0.5, ..LinkProfile::default() });
-                let log = Rc::new(RefCell::new(Vec::new()));
+                let log = Shared::new(Vec::new());
                 net.dial_from(bystander, server_ip(), 80, Box::new(Client { log })).unwrap();
             }
-            let log = Rc::new(RefCell::new(Vec::new()));
+            let log = Shared::new(Vec::new());
             for _ in 0..8 {
                 net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() }))
                     .unwrap();
             }
             net.run().unwrap();
-            let out = log.borrow().clone();
+            let out = log.lock().clone();
             out
         }
         let alone = lossy_exchange(false);
@@ -882,7 +1225,7 @@ mod tests {
         // stream — a concurrent bystander session relaying through the
         // same destination must not perturb it.
         struct Relay {
-            log: Rc<RefCell<Vec<String>>>,
+            log: Shared<Vec<String>>,
         }
         impl Conduit for Relay {
             fn on_open(&mut self, io: &mut IoCtx<'_>) {
@@ -901,7 +1244,7 @@ mod tests {
             net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
             // The upstream leg (conduit dial to server_ip) is lossy.
             net.set_link(server_ip(), LinkProfile { loss: 0.5, ..LinkProfile::default() });
-            let log = Rc::new(RefCell::new(Vec::new()));
+            let log = Shared::new(Vec::new());
             net.listen(server_ip(), 9999, {
                 let log = log.clone();
                 Box::new(move |_| Box::new(Relay { log: log.clone() }))
@@ -910,7 +1253,7 @@ mod tests {
             net.begin_session(client_ip(), 0x11);
             net.begin_session(bystander, 0x22);
             if with_bystander {
-                let log = Rc::new(RefCell::new(Vec::new()));
+                let log = Shared::new(Vec::new());
                 net.listen(server_ip(), 9998, {
                     let log = log.clone();
                     Box::new(move |_| Box::new(Relay { log: log.clone() }))
@@ -921,7 +1264,7 @@ mod tests {
                 net.dial_from(client_ip(), server_ip(), 9999, Box::new(Kick)).unwrap();
             }
             net.run().unwrap();
-            let out = log.borrow().clone();
+            let out = log.lock().clone();
             out
         }
         let alone = relayed_exchanges(false);
@@ -958,10 +1301,10 @@ mod tests {
         let mut net = Network::new(NetworkConfig::default(), 3);
         net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
         net.install_interceptor(client_ip(), Box::new(FakeProxy));
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Shared::new(Vec::new());
         net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() })).unwrap();
         net.run().unwrap();
-        assert_eq!(log.borrow()[0], "intercepted");
+        assert_eq!(log.lock()[0], "intercepted");
     }
 
     #[test]
@@ -970,10 +1313,10 @@ mod tests {
         net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
         net.install_interceptor(client_ip(), Box::new(FakeProxy));
         let other = Ipv4([198, 51, 100, 99]);
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Shared::new(Vec::new());
         net.dial_from(other, server_ip(), 80, Box::new(Client { log: log.clone() })).unwrap();
         net.run().unwrap();
-        assert_eq!(log.borrow()[0], "HELLO");
+        assert_eq!(log.lock()[0], "HELLO");
     }
 
     #[test]
@@ -981,7 +1324,7 @@ mod tests {
         // A conduit-originated dial (modeling the proxy's upstream leg)
         // must not be re-intercepted, or proxies would loop forever.
         struct Relay {
-            log: Rc<RefCell<Vec<String>>>,
+            log: Shared<Vec<String>>,
         }
         impl Conduit for Relay {
             fn on_open(&mut self, io: &mut IoCtx<'_>) {
@@ -995,7 +1338,7 @@ mod tests {
         let mut net = Network::new(NetworkConfig::default(), 4);
         net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
         net.install_interceptor(client_ip(), Box::new(FakeProxy));
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Shared::new(Vec::new());
         // The Relay is dialed directly (not via dial_from), then dials out.
         net.listen(server_ip(), 9999, {
             let log = log.clone();
@@ -1008,7 +1351,7 @@ mod tests {
         }
         net.dial_from(Ipv4([1, 1, 1, 1]), server_ip(), 9999, Box::new(Kick)).unwrap();
         net.run().unwrap();
-        assert_eq!(log.borrow()[0], "HELLO", "upstream leg must reach the real server");
+        assert_eq!(log.lock()[0], "HELLO", "upstream leg must reach the real server");
     }
 
     #[test]
@@ -1021,16 +1364,16 @@ mod tests {
             fn on_data(&mut self, _d: &[u8], _io: &mut IoCtx<'_>) {}
         }
         struct Watcher {
-            closed: Rc<RefCell<bool>>,
+            closed: Shared<bool>,
         }
         impl Conduit for Watcher {
             fn on_open(&mut self, _io: &mut IoCtx<'_>) {}
             fn on_data(&mut self, _d: &[u8], _io: &mut IoCtx<'_>) {}
             fn on_close(&mut self, _io: &mut IoCtx<'_>) {
-                *self.closed.borrow_mut() = true;
+                *self.closed.lock() = true;
             }
         }
-        let closed = Rc::new(RefCell::new(false));
+        let closed = Shared::new(false);
         let mut net = Network::new(NetworkConfig::default(), 5);
         net.listen(server_ip(), 80, {
             let closed = closed.clone();
@@ -1038,7 +1381,7 @@ mod tests {
         });
         net.dial_from(client_ip(), server_ip(), 80, Box::new(Closer)).unwrap();
         net.run().unwrap();
-        assert!(*closed.borrow());
+        assert!(*closed.lock());
     }
 
     #[test]
@@ -1051,14 +1394,14 @@ mod tests {
             }
             fn on_data(&mut self, _d: &[u8], _io: &mut IoCtx<'_>) {}
         }
-        let got = Rc::new(RefCell::new(Vec::<u8>::new()));
+        let got = Shared::new(Vec::<u8>::new());
         struct Sink {
-            got: Rc<RefCell<Vec<u8>>>,
+            got: Shared<Vec<u8>>,
         }
         impl Conduit for Sink {
             fn on_open(&mut self, _io: &mut IoCtx<'_>) {}
             fn on_data(&mut self, d: &[u8], _io: &mut IoCtx<'_>) {
-                self.got.borrow_mut().extend_from_slice(d);
+                self.got.lock().extend_from_slice(d);
             }
         }
         let mut net = Network::new(NetworkConfig::default(), 6);
@@ -1068,7 +1411,7 @@ mod tests {
         });
         net.dial_from(client_ip(), server_ip(), 80, Box::new(SendAfterClose)).unwrap();
         net.run().unwrap();
-        assert!(got.borrow().is_empty());
+        assert!(got.lock().is_empty());
     }
 
     #[test]
@@ -1078,14 +1421,14 @@ mod tests {
         // working set, and every conduit must be dropped at quiescence.
         let mut net = Network::new(NetworkConfig::default(), 7);
         net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Shared::new(Vec::new());
         for _ in 0..100 {
             net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() }))
                 .unwrap();
             net.run().unwrap();
             assert_eq!(net.active_sides(), 0, "all conduits must be torn down");
         }
-        assert_eq!(log.borrow().iter().filter(|s| *s == "HELLO").count(), 100);
+        assert_eq!(log.lock().iter().filter(|s| *s == "HELLO").count(), 100);
         assert_eq!(
             net.sides_high_water(),
             2,
@@ -1099,7 +1442,7 @@ mod tests {
         // slot freed) deterministically — not retained until the peer's
         // Close round-trips, and certainly not forever.
         struct DropCanary {
-            dropped: Rc<RefCell<bool>>,
+            dropped: Shared<bool>,
         }
         impl Conduit for DropCanary {
             fn on_open(&mut self, io: &mut IoCtx<'_>) {
@@ -1109,7 +1452,7 @@ mod tests {
         }
         impl Drop for DropCanary {
             fn drop(&mut self) {
-                *self.dropped.borrow_mut() = true;
+                *self.dropped.lock() = true;
             }
         }
         struct Mute;
@@ -1117,7 +1460,7 @@ mod tests {
             fn on_open(&mut self, _io: &mut IoCtx<'_>) {}
             fn on_data(&mut self, _d: &[u8], _io: &mut IoCtx<'_>) {}
         }
-        let dropped = Rc::new(RefCell::new(false));
+        let dropped = Shared::new(false);
         let mut net = Network::new(NetworkConfig::default(), 8);
         net.listen(server_ip(), 80, Box::new(|_| Box::new(Mute)));
         net.dial_from(
@@ -1128,7 +1471,7 @@ mod tests {
         )
         .unwrap();
         net.run().unwrap();
-        assert!(*dropped.borrow(), "self-closing conduit must be dropped at quiescence");
+        assert!(*dropped.lock(), "self-closing conduit must be dropped at quiescence");
         assert_eq!(net.active_sides(), 0);
     }
 
@@ -1138,40 +1481,40 @@ mod tests {
         // the connection died must not corrupt whatever connection now
         // occupies the recycled slot.
         struct TokenKeeper {
-            token: Rc<RefCell<Option<ConnToken>>>,
+            token: Shared<Option<ConnToken>>,
         }
         impl Conduit for TokenKeeper {
             fn on_open(&mut self, io: &mut IoCtx<'_>) {
-                *self.token.borrow_mut() = Some(io.token());
+                *self.token.lock() = Some(io.token());
                 io.close();
             }
             fn on_data(&mut self, _d: &[u8], _io: &mut IoCtx<'_>) {}
         }
         struct LateSender {
-            stale: Rc<RefCell<Option<ConnToken>>>,
-            log: Rc<RefCell<Vec<String>>>,
+            stale: Shared<Option<ConnToken>>,
+            log: Shared<Vec<String>>,
         }
         impl Conduit for LateSender {
             fn on_open(&mut self, io: &mut IoCtx<'_>) {
                 // Fire at the dead connection's token — its slot has been
                 // recycled for THIS connection by now.
-                let stale = self.stale.borrow().expect("first connection ran");
+                let stale = self.stale.lock().expect("first connection ran");
                 io.send_on(stale, b"ghost");
                 io.close_on(stale);
                 io.send(b"hello");
             }
             fn on_data(&mut self, data: &[u8], io: &mut IoCtx<'_>) {
-                self.log.borrow_mut().push(String::from_utf8_lossy(data).into_owned());
+                self.log.lock().push(String::from_utf8_lossy(data).into_owned());
                 io.close();
             }
         }
-        let token = Rc::new(RefCell::new(None));
+        let token = Shared::new(None);
         let mut net = Network::new(NetworkConfig::default(), 9);
         net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
         net.dial_from(client_ip(), server_ip(), 80, Box::new(TokenKeeper { token: token.clone() }))
             .unwrap();
         net.run().unwrap();
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Shared::new(Vec::new());
         net.dial_from(
             client_ip(),
             server_ip(),
@@ -1182,7 +1525,7 @@ mod tests {
         net.run().unwrap();
         // The recycled connection must have completed untouched by the
         // stale send/close.
-        assert_eq!(log.borrow().as_slice(), ["HELLO".to_string()]);
+        assert_eq!(log.lock().as_slice(), ["HELLO".to_string()]);
     }
 
     #[test]
@@ -1216,7 +1559,7 @@ mod tests {
         let mut net = Network::new(NetworkConfig::default(), 12);
         net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
         net.set_link(client_ip(), LinkProfile { loss: 1.0, ..LinkProfile::default() });
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Shared::new(Vec::new());
         for _ in 0..20 {
             net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() }))
                 .unwrap();
@@ -1233,16 +1576,16 @@ mod tests {
         // blackhole = 1.0: the SYN vanishes — neither conduit sees
         // on_open, and the stalled pair is reclaimable at quiescence.
         struct OpenCanary {
-            opened: Rc<RefCell<bool>>,
+            opened: Shared<bool>,
         }
         impl Conduit for OpenCanary {
             fn on_open(&mut self, _io: &mut IoCtx<'_>) {
-                *self.opened.borrow_mut() = true;
+                *self.opened.lock() = true;
             }
             fn on_data(&mut self, _d: &[u8], _io: &mut IoCtx<'_>) {}
         }
         let mut net = Network::new(NetworkConfig::default(), 20);
-        let opened = Rc::new(RefCell::new(false));
+        let opened = Shared::new(false);
         net.listen(server_ip(), 80, {
             let opened = opened.clone();
             Box::new(move |_| Box::new(OpenCanary { opened: opened.clone() }))
@@ -1254,11 +1597,11 @@ mod tests {
                 ..LinkProfile::default()
             },
         );
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Shared::new(Vec::new());
         net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() })).unwrap();
         net.run().unwrap();
-        assert!(!*opened.borrow(), "blackholed dial must never reach the acceptor");
-        assert!(log.borrow().is_empty());
+        assert!(!*opened.lock(), "blackholed dial must never reach the acceptor");
+        assert!(log.lock().is_empty());
         assert_eq!(net.reap_stalled(), 2, "the dead pair must be reclaimable");
     }
 
@@ -1278,16 +1621,16 @@ mod tests {
                 ..LinkProfile::default()
             },
         );
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Shared::new(Vec::new());
         for _ in 0..16 {
             net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() }))
                 .unwrap();
         }
         net.run().unwrap();
-        let completed = log.borrow().iter().filter(|s| *s == "HELLO").count();
+        let completed = log.lock().iter().filter(|s| *s == "HELLO").count();
         assert!(completed < 16, "resets must kill some exchanges");
         assert!(
-            log.borrow().iter().any(|s| s == "closed"),
+            log.lock().iter().any(|s| s == "closed"),
             "a reset must surface as on_close at the peer"
         );
         net.reap_stalled();
@@ -1299,12 +1642,12 @@ mod tests {
         // corrupt = 1.0 (and nothing else): frames still arrive, but at
         // least one delivered frame differs from what was sent.
         struct Recorder {
-            got: Rc<RefCell<Vec<Vec<u8>>>>,
+            got: Shared<Vec<Vec<u8>>>,
         }
         impl Conduit for Recorder {
             fn on_open(&mut self, _io: &mut IoCtx<'_>) {}
             fn on_data(&mut self, d: &[u8], _io: &mut IoCtx<'_>) {
-                self.got.borrow_mut().push(d.to_vec());
+                self.got.lock().push(d.to_vec());
             }
         }
         struct Chatter;
@@ -1317,7 +1660,7 @@ mod tests {
             }
             fn on_data(&mut self, _d: &[u8], _io: &mut IoCtx<'_>) {}
         }
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Shared::new(Vec::new());
         let mut net = Network::new(NetworkConfig::default(), 22);
         net.listen(server_ip(), 80, {
             let got = got.clone();
@@ -1332,7 +1675,7 @@ mod tests {
         );
         net.dial_from(client_ip(), server_ip(), 80, Box::new(Chatter)).unwrap();
         net.run().unwrap();
-        let got = got.borrow();
+        let got = got.lock();
         assert_eq!(got.len(), 4, "corruption must not drop frames");
         let damaged = got.iter().filter(|f| f.as_slice() != b"payload-payload-payload").count();
         assert_eq!(damaged, 1, "exactly one frame carries the flipped byte");
@@ -1360,16 +1703,16 @@ mod tests {
             net.begin_session(bystander, 0xCD);
             if with_bystander {
                 net.set_link(bystander, faulty);
-                let log = Rc::new(RefCell::new(Vec::new()));
+                let log = Shared::new(Vec::new());
                 net.dial_from(bystander, server_ip(), 80, Box::new(Client { log })).unwrap();
             }
-            let log = Rc::new(RefCell::new(Vec::new()));
+            let log = Shared::new(Vec::new());
             for _ in 0..16 {
                 net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() }))
                     .unwrap();
             }
             net.run().unwrap();
-            let out = log.borrow().clone();
+            let out = log.lock().clone();
             out
         }
         let alone = faulty_exchanges(false);
@@ -1391,13 +1734,13 @@ mod tests {
             net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
             net.set_link(client_ip(), LinkProfile { loss: 0.5, faults, ..LinkProfile::default() });
             net.begin_session(client_ip(), 0x77);
-            let log = Rc::new(RefCell::new(Vec::new()));
+            let log = Shared::new(Vec::new());
             for _ in 0..8 {
                 net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() }))
                     .unwrap();
             }
             net.run().unwrap();
-            let out = log.borrow().clone();
+            let out = log.lock().clone();
             out
         }
         assert_eq!(outcomes(FaultProfile::none()), outcomes(FaultProfile::uniform(0.0)));
@@ -1405,17 +1748,17 @@ mod tests {
 
     #[test]
     fn timers_fire_in_order_and_advance_virtual_time() {
-        let fired = Rc::new(RefCell::new(Vec::new()));
+        let fired = Shared::new(Vec::new());
         let mut net = Network::new(NetworkConfig::default(), 30);
         for (delay, tag) in [(5_000u64, "b"), (1_000, "a"), (9_000, "c")] {
             let fired = fired.clone();
             net.after(delay, move |net| {
-                fired.borrow_mut().push((tag, net.now_us()));
+                fired.lock().push((tag, net.now_us()));
             });
         }
         net.run().unwrap();
         assert_eq!(
-            fired.borrow().as_slice(),
+            fired.lock().as_slice(),
             [("a", 1_000), ("b", 5_000), ("c", 9_000)],
             "timers must fire in timestamp order at their scheduled times"
         );
@@ -1423,20 +1766,20 @@ mod tests {
 
     #[test]
     fn cancelled_timer_does_not_fire() {
-        let fired = Rc::new(RefCell::new(0u32));
+        let fired = Shared::new(0u32);
         let mut net = Network::new(NetworkConfig::default(), 31);
         let id = net.after(1_000, {
             let fired = fired.clone();
-            move |_| *fired.borrow_mut() += 1
+            move |_| *fired.lock() += 1
         });
         net.after(2_000, {
             let fired = fired.clone();
-            move |_| *fired.borrow_mut() += 10
+            move |_| *fired.lock() += 10
         });
         net.cancel_timer(id);
         net.cancel_timer(id); // idempotent
         net.run().unwrap();
-        assert_eq!(*fired.borrow(), 10);
+        assert_eq!(*fired.lock(), 10);
     }
 
     #[test]
@@ -1453,7 +1796,7 @@ mod tests {
                 ..LinkProfile::default()
             },
         );
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Shared::new(Vec::new());
         let tok = net
             .dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() }))
             .unwrap();
@@ -1470,7 +1813,7 @@ mod tests {
     fn events_processed_accumulates_across_runs() {
         let mut net = Network::new(NetworkConfig::default(), 11);
         net.listen(server_ip(), 80, Box::new(|_| Box::new(EchoAcceptor)));
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Shared::new(Vec::new());
         net.dial_from(client_ip(), server_ip(), 80, Box::new(Client { log: log.clone() })).unwrap();
         let first = net.run().unwrap();
         assert_eq!(net.events_processed(), first);

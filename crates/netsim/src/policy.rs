@@ -11,11 +11,8 @@
 //! Flash policy protocol: the client sends `<policy-file-request/>\0`,
 //! the server answers with an XML policy document, NUL-terminated.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use crate::addr::Ipv4;
-use crate::conduit::{Conduit, DialError, IoCtx};
+use crate::conduit::{Conduit, DialError, IoCtx, Shared};
 use crate::net::Network;
 
 /// The permissive policy body the study's servers publish: any domain may
@@ -90,13 +87,13 @@ impl Conduit for PolicyServer {
 /// Client-side conduit: sends the policy request, classifies the answer
 /// into the shared [`PolicyFetchResult`] slot.
 pub struct PolicyClient {
-    result: Rc<RefCell<PolicyFetchResult>>,
+    result: Shared<PolicyFetchResult>,
     buf: Vec<u8>,
 }
 
 impl PolicyClient {
     /// Create a client writing its outcome into `result`.
-    pub fn new(result: Rc<RefCell<PolicyFetchResult>>) -> Self {
+    pub fn new(result: Shared<PolicyFetchResult>) -> Self {
         PolicyClient { result, buf: Vec::new() }
     }
 
@@ -129,13 +126,13 @@ impl Conduit for PolicyClient {
         self.buf.extend_from_slice(data);
         if self.buf.ends_with(b"\0") {
             self.buf.pop();
-            *self.result.borrow_mut() = self.classify();
+            *self.result.lock() = self.classify();
             io.close();
         }
     }
 
     fn on_close(&mut self, _io: &mut IoCtx<'_>) {
-        let mut r = self.result.borrow_mut();
+        let mut r = self.result.lock();
         if *r == PolicyFetchResult::Pending {
             *r = self.classify();
         }
@@ -154,15 +151,16 @@ pub fn fetch_policy(
     server: Ipv4,
     port: u16,
     deadline_us: Option<u64>,
-) -> Result<Rc<RefCell<PolicyFetchResult>>, DialError> {
-    let result = Rc::new(RefCell::new(PolicyFetchResult::Pending));
+) -> Result<Shared<PolicyFetchResult>, DialError> {
+    let result = Shared::new(PolicyFetchResult::Pending);
     let tok = net.dial_from(client, server, port, Box::new(PolicyClient::new(result.clone())))?;
     if let Some(deadline) = deadline_us {
         let result = result.clone();
         net.after(deadline, move |net| {
-            let pending = *result.borrow() == PolicyFetchResult::Pending;
-            if pending {
-                *result.borrow_mut() = PolicyFetchResult::Timeout;
+            let mut r = result.lock();
+            if *r == PolicyFetchResult::Pending {
+                *r = PolicyFetchResult::Timeout;
+                drop(r);
                 net.close_conn(tok);
             }
         });
@@ -181,7 +179,7 @@ mod tests {
         let mut net = Network::new(NetworkConfig::default(), 1);
         let srv = Ipv4([203, 0, 113, 1]);
         net.listen(srv, 80, Box::new(move |_| Box::new(server())));
-        let result = Rc::new(RefCell::new(PolicyFetchResult::Pending));
+        let result = Shared::new(PolicyFetchResult::Pending);
         net.dial_from(
             Ipv4([198, 51, 100, 1]),
             srv,
@@ -190,7 +188,7 @@ mod tests {
         )
         .unwrap();
         net.run().unwrap();
-        Rc::try_unwrap(result).unwrap().into_inner()
+        result.into_inner().map_err(|_| "handles outstanding").unwrap()
     }
 
     #[test]
@@ -215,7 +213,7 @@ mod tests {
         let mut net = Network::new(NetworkConfig::default(), 1);
         let srv = Ipv4([203, 0, 113, 1]);
         net.listen(srv, 80, Box::new(|_| Box::new(Mute)));
-        let result = Rc::new(RefCell::new(PolicyFetchResult::Pending));
+        let result = Shared::new(PolicyFetchResult::Pending);
         net.dial_from(
             Ipv4([198, 51, 100, 1]),
             srv,
@@ -224,7 +222,7 @@ mod tests {
         )
         .unwrap();
         net.run().unwrap();
-        assert_eq!(*result.borrow(), PolicyFetchResult::NoPolicy);
+        assert_eq!(*result.lock(), PolicyFetchResult::NoPolicy);
     }
 
     /// A server that accepts and then never answers (and never closes).
@@ -242,7 +240,7 @@ mod tests {
         let result =
             fetch_policy(&mut net, Ipv4([198, 51, 100, 1]), srv, 80, Some(3_000_000)).unwrap();
         net.run().unwrap();
-        assert_eq!(*result.borrow(), PolicyFetchResult::Timeout);
+        assert_eq!(*result.lock(), PolicyFetchResult::Timeout);
         assert!(net.now_us() >= 3_000_000);
         // The stalled connection was closed by the deadline, not leaked.
         net.reap_stalled();
@@ -257,7 +255,7 @@ mod tests {
         let result =
             fetch_policy(&mut net, Ipv4([198, 51, 100, 1]), srv, 80, Some(3_000_000)).unwrap();
         net.run().unwrap();
-        assert_eq!(*result.borrow(), PolicyFetchResult::Permissive);
+        assert_eq!(*result.lock(), PolicyFetchResult::Permissive);
     }
 
     #[test]
@@ -267,7 +265,7 @@ mod tests {
         net.listen(srv, 80, Box::new(|_| Box::new(PolicyServer::restrictive())));
         let result = fetch_policy(&mut net, Ipv4([198, 51, 100, 1]), srv, 80, None).unwrap();
         net.run().unwrap();
-        assert_eq!(*result.borrow(), PolicyFetchResult::Restrictive);
+        assert_eq!(*result.lock(), PolicyFetchResult::Restrictive);
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Cross-partition plumbing for the conservative parallel drive.
+//!
+//! A partitioned simulation (see [`crate::worker`]) splits one logical
+//! network into several [`crate::Network`] event loops that exchange
+//! timestamped events through the primitives here:
+//!
+//! * [`RemoteEvent`] — a timestamped message between partitions. `Dial`
+//!   carries the initiator-derived stream seed and link profile, so the
+//!   accepting partition derives its endpoint half with the *same* pure
+//!   DRBG forks a local connection would use (loss/fault derivation is
+//!   unchanged by construction).
+//! * [`SourceQueue`] — a bounded FIFO, one per ordered partition pair.
+//!   Bounded so a fast producer exerts backpressure instead of growing
+//!   memory without limit; a full queue makes the sender yield and
+//!   retry, never drop or reorder.
+//! * [`TimeBound`] — a partition's published safe-time promise: "I will
+//!   never again ship an event with a send timestamp below this". A
+//!   receiver may advance to `min over sources (bound + lookahead)`,
+//!   where lookahead is the minimum cross-partition link latency. An
+//!   idle partition keeps republishing a growing bound — the null
+//!   message of classic conservative (CMB) synchronization — so peers
+//!   never deadlock waiting for traffic that will never come.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::addr::Ipv4;
+use crate::net::LinkProfile;
+
+/// Identifies one logical process (partition) within a fabric.
+pub type PartitionId = u32;
+
+/// Fabric-wide identity of a cross-partition connection: the initiating
+/// partition plus a connection ordinal from that partition's allocator.
+pub type ConnKey = (PartitionId, u64);
+
+/// What a shipped event does at the receiving partition.
+#[derive(Debug, Clone)]
+pub enum RemoteKind {
+    /// Open a connection to a listener owned by the receiver. Carries
+    /// everything the acceptor needs to derive its endpoint half of the
+    /// connection's randomness locally.
+    Dial {
+        /// Fabric-wide connection identity.
+        key: ConnKey,
+        /// Originating client address (as seen by the acceptor).
+        src: Ipv4,
+        /// Destination address dialed.
+        dst: Ipv4,
+        /// Destination port dialed.
+        port: u16,
+        /// The initiator's per-connection stream seed — input to the
+        /// same `ConnHalves` derivation `connect_pair` uses locally.
+        stream_seed: u64,
+        /// The link the connection runs over (the initiator's side chose
+        /// it; both halves must agree on latency, loss and faults).
+        link: LinkProfile,
+    },
+    /// Bytes for the receiving endpoint of `key`.
+    Data {
+        /// Fabric-wide connection identity.
+        key: ConnKey,
+        /// The frame.
+        bytes: Vec<u8>,
+    },
+    /// The sending endpoint of `key` closed.
+    Close {
+        /// Fabric-wide connection identity.
+        key: ConnKey,
+    },
+}
+
+/// A timestamped cross-partition event. `time_us` is the *arrival* time
+/// at the receiver (send time + link latency), on the shared virtual
+/// clock all partitions advance through the safe-time protocol.
+#[derive(Debug, Clone)]
+pub struct RemoteEvent {
+    /// Arrival timestamp in microseconds of virtual time.
+    pub time_us: u64,
+    /// Payload.
+    pub kind: RemoteKind,
+}
+
+/// A bounded FIFO carrying [`RemoteEvent`]s from one partition to
+/// another (single producer, single consumer by construction: the fabric
+/// creates one per ordered partition pair).
+#[derive(Debug)]
+pub struct SourceQueue {
+    fifo: Mutex<VecDeque<RemoteEvent>>,
+    capacity: usize,
+}
+
+impl SourceQueue {
+    /// A queue holding at most `capacity` undelivered events.
+    pub fn new(capacity: usize) -> SourceQueue {
+        SourceQueue { fifo: Mutex::new(VecDeque::new()), capacity: capacity.max(1) }
+    }
+
+    /// Enqueue `ev`; hands it back if the queue is full (the producer
+    /// must yield and retry later — backpressure, never loss).
+    ///
+    /// The `Err` variant deliberately carries the whole event: the
+    /// rejected value must go back to the sender's retry queue, and
+    /// boxing it would cost an allocation per cross-partition event on
+    /// the happy path too.
+    #[allow(clippy::result_large_err)]
+    pub fn push(&self, ev: RemoteEvent) -> Result<(), RemoteEvent> {
+        let mut fifo = self.fifo.lock().unwrap_or_else(|e| e.into_inner());
+        if fifo.len() >= self.capacity {
+            return Err(ev);
+        }
+        fifo.push_back(ev);
+        Ok(())
+    }
+
+    /// Drain every queued event, in send order, into `f`.
+    pub fn drain_into(&self, mut f: impl FnMut(RemoteEvent)) {
+        let drained: Vec<RemoteEvent> = {
+            let mut fifo = self.fifo.lock().unwrap_or_else(|e| e.into_inner());
+            fifo.drain(..).collect()
+        };
+        for ev in drained {
+            f(ev);
+        }
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.fifo.lock().unwrap_or_else(|e| e.into_inner()).is_empty()
+    }
+}
+
+/// A partition's published safe-time bound (see module docs).
+///
+/// Release/Acquire ordering pairs the bound with the queue contents: a
+/// producer flushes its outbound events *before* publishing the bound,
+/// and a consumer reads the bound *before* draining the queue — so every
+/// event below an observed bound is guaranteed to be in the FIFO (or
+/// already drained) when the consumer advances.
+#[derive(Debug)]
+pub struct TimeBound(AtomicU64);
+
+impl TimeBound {
+    /// A bound starting at zero (nothing promised yet).
+    pub fn new() -> TimeBound {
+        TimeBound(AtomicU64::new(0))
+    }
+
+    /// Publish a new bound (monotone by protocol; not enforced here).
+    pub fn publish(&self, time_us: u64) {
+        self.0.store(time_us, Ordering::Release);
+    }
+
+    /// Read the peer's current promise.
+    pub fn read(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+impl Default for TimeBound {
+    fn default() -> Self {
+        TimeBound::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> RemoteEvent {
+        RemoteEvent { time_us: t, kind: RemoteKind::Close { key: (0, t) } }
+    }
+
+    #[test]
+    fn queue_preserves_fifo_order() {
+        let q = SourceQueue::new(8);
+        for t in 0..5 {
+            q.push(ev(t)).map_err(|_| "full").expect("capacity 8 fits 5");
+        }
+        let mut seen = Vec::new();
+        q.drain_into(|e| seen.push(e.time_us));
+        assert_eq!(seen, [0, 1, 2, 3, 4]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_queue_rejects_without_dropping() {
+        let q = SourceQueue::new(2);
+        assert!(q.push(ev(1)).is_ok());
+        assert!(q.push(ev(2)).is_ok());
+        let rejected = q.push(ev(3)).expect_err("capacity 2 must reject the third");
+        assert_eq!(rejected.time_us, 3, "the rejected event is handed back intact");
+        let mut seen = Vec::new();
+        q.drain_into(|e| seen.push(e.time_us));
+        assert_eq!(seen, [1, 2], "rejection must not disturb queued events");
+    }
+
+    #[test]
+    fn bound_roundtrips() {
+        let b = TimeBound::new();
+        assert_eq!(b.read(), 0);
+        b.publish(1_234);
+        assert_eq!(b.read(), 1_234);
+    }
+}

@@ -1,0 +1,543 @@
+//! Conservative parallel drive: one simulation, many event loops.
+//!
+//! A [`Fabric`] runs several [`LogicalProcess`]es — each owning one
+//! [`Network`] event loop — against a shared virtual clock, using
+//! classic conservative (Chandy–Misra–Bryant) synchronization:
+//!
+//! * Cross-partition events travel through bounded per-source FIFOs
+//!   ([`SourceQueue`]); a full queue backpressures the sender (it keeps
+//!   the events and retries), never drops or reorders.
+//! * Each partition publishes a [`TimeBound`]: a promise never to ship
+//!   another event with a *send* timestamp below it. Because every
+//!   cross-partition link has latency at least the fabric's
+//!   `lookahead_us`, a receiver may safely advance to
+//!   `min over sources (bound + lookahead)`.
+//! * An idle partition keeps republishing a growing bound — the null
+//!   message of CMB — so peers never deadlock waiting for traffic that
+//!   will never come.
+//!
+//! The pump for one partition runs a strict order that makes the
+//! protocol sound: read source bounds (Acquire) **before** draining
+//! their FIFOs, advance the local loop only to the safe time, flush
+//! outbound events **before** publishing the new bound (Release). The
+//! Release/Acquire pair guarantees every event below an observed bound
+//! is already in (or through) the FIFO.
+//!
+//! # The `LogicalProcess` contract
+//!
+//! [`LogicalProcess::on_quiescent`] is the driver hook: the fabric calls
+//! it only when the partition is *settled* — local heap empty, inbound
+//! FIFOs empty, and every peer's bound past the arrival time of
+//! everything this partition ever shipped (all replies are home). The
+//! process may then inject more work anchored at the loop's current
+//! virtual time, or return `false` to declare itself done. Soundness of
+//! the published bounds additionally requires the topology to be
+//! request/response shaped: every cross-partition event a process ships
+//! must be answered (so the settle gate forces the local clock past the
+//! previously published bound before new work is fed). The study drive
+//! satisfies this by construction — the only cross-partition traffic is
+//! report uploads, and the report server always acknowledges.
+//!
+//! Partitions are multiplexed onto OS threads through a shared ready
+//! queue (work sharing): any free thread picks up any runnable
+//! partition, so one heavyweight partition never serializes the rest.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use crate::net::{NetRunError, Network};
+use crate::sync::{PartitionId, RemoteEvent, SourceQueue, TimeBound};
+
+/// One partition of a fabric: a [`Network`] event loop plus the driver
+/// that feeds it work (see the module docs for the contract).
+pub trait LogicalProcess: Send {
+    /// The event loop this process owns.
+    fn net(&mut self) -> &mut Network;
+
+    /// Called when the partition is settled (see module docs). Inject
+    /// more work and return `true`, or return `false` when no further
+    /// work will ever be fed. Must not run the network itself.
+    fn on_quiescent(&mut self) -> bool;
+}
+
+/// A [`LogicalProcess`] that only serves: it feeds no work of its own
+/// and simply reacts to connections other partitions dial into its
+/// listeners (the report server of a partitioned study, an echo server
+/// in tests).
+pub struct ServiceProcess {
+    net: Network,
+}
+
+impl ServiceProcess {
+    /// Wrap a network whose listeners are already registered.
+    pub fn new(net: Network) -> ServiceProcess {
+        ServiceProcess { net }
+    }
+
+    /// The wrapped network (e.g. to inspect counters after the run).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+}
+
+impl LogicalProcess for ServiceProcess {
+    fn net(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    fn on_quiescent(&mut self) -> bool {
+        false
+    }
+}
+
+/// Everything [`Fabric::run`] hands back.
+pub struct FabricOutcome {
+    /// The partitions, in [`Fabric::add_partition`] order, each with the
+    /// run error that wedged it (`None` = clean). A wedged partition
+    /// keeps its partial state, mirroring how a wedged serial shard
+    /// keeps its partial database.
+    pub processes: Vec<(Box<dyn LogicalProcess>, Option<NetRunError>)>,
+    /// How many times an outbound flush found a destination queue full
+    /// and had to yield (backpressure events; diagnostics and tests).
+    pub backpressure_stalls: u64,
+}
+
+struct Slot {
+    lp: Box<dyn LogicalProcess>,
+    /// Driver declared it will feed no further work.
+    done: bool,
+    failed: Option<NetRunError>,
+    /// Outbound events a full destination queue rejected, kept in send
+    /// order for retry (per-destination FIFO order is preserved).
+    unflushed: VecDeque<(PartitionId, RemoteEvent)>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RunState {
+    Idle,
+    Queued,
+    Running,
+    /// Running, and new inbound arrived meanwhile — re-queue when done.
+    RunningDirty,
+}
+
+struct Sched {
+    ready: VecDeque<usize>,
+    state: Vec<RunState>,
+    running: usize,
+    finished: Vec<bool>,
+    stalls: u64,
+}
+
+struct PumpResult {
+    /// Partition fully finished: driver done, heap/FIFOs/unflushed empty.
+    finished: bool,
+    /// Partitions that received at least one event this pump.
+    woke: Vec<PartitionId>,
+    stalls: u64,
+}
+
+/// A set of partitions driven against one shared virtual clock.
+pub struct Fabric {
+    lookahead_us: u64,
+    queue_capacity: usize,
+    procs: Vec<Box<dyn LogicalProcess>>,
+    directory: std::collections::HashMap<(crate::addr::Ipv4, u16), PartitionId>,
+}
+
+impl Fabric {
+    /// A fabric whose cross-partition links all have latency at least
+    /// `lookahead_us` (the caller must guarantee this — it is what makes
+    /// `bound + lookahead` a safe advancement limit), exchanging events
+    /// through queues of at most `queue_capacity` entries.
+    pub fn new(lookahead_us: u64, queue_capacity: usize) -> Fabric {
+        Fabric {
+            lookahead_us: lookahead_us.max(1),
+            queue_capacity: queue_capacity.max(1),
+            procs: Vec::new(),
+            directory: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Add a partition; returns its id.
+    pub fn add_partition(&mut self, lp: Box<dyn LogicalProcess>) -> PartitionId {
+        self.procs.push(lp);
+        (self.procs.len() - 1) as PartitionId
+    }
+
+    /// Declare that `(addr, port)` is served by a listener registered in
+    /// partition `owner`: dials to it from any *other* partition are
+    /// shipped there (a partition's own local listeners always win).
+    pub fn route(&mut self, addr: crate::addr::Ipv4, port: u16, owner: PartitionId) {
+        self.directory.insert((addr, port), owner);
+    }
+
+    /// Drive every partition to completion on up to `threads` OS
+    /// threads, then hand the partitions back for result extraction.
+    pub fn run(mut self, threads: usize) -> FabricOutcome {
+        let n = self.procs.len();
+        if n == 0 {
+            return FabricOutcome { processes: Vec::new(), backpressure_stalls: 0 };
+        }
+        let directory = std::sync::Arc::new(std::mem::take(&mut self.directory));
+        // Which partitions other partitions can dial into: they may have
+        // to respond to future dials, so they never publish the
+        // "finished forever" MAX bound (see `pump`).
+        let dialable: Vec<bool> =
+            (0..n).map(|i| directory.values().any(|&p| p as usize == i)).collect();
+        let mut slots: Vec<Mutex<Slot>> = Vec::with_capacity(n);
+        for (i, mut lp) in self.procs.drain(..).enumerate() {
+            lp.net().set_remote(i as PartitionId, directory.clone());
+            slots.push(Mutex::new(Slot {
+                lp,
+                done: false,
+                failed: None,
+                unflushed: VecDeque::new(),
+            }));
+        }
+        // One bounded FIFO per ordered pair; queues[src][dst].
+        let queues: Vec<Vec<SourceQueue>> = (0..n)
+            .map(|_| (0..n).map(|_| SourceQueue::new(self.queue_capacity)).collect())
+            .collect();
+        let bounds: Vec<TimeBound> = (0..n).map(|_| TimeBound::new()).collect();
+        let sched = Mutex::new(Sched {
+            ready: (0..n).collect(),
+            state: vec![RunState::Queued; n],
+            running: 0,
+            finished: vec![false; n],
+            stalls: 0,
+        });
+        let cvar = Condvar::new();
+        let workers = threads.clamp(1, n);
+        let lookahead = self.lookahead_us;
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let picked = {
+                        let mut guard = sched.lock().unwrap_or_else(|e| e.into_inner());
+                        loop {
+                            if let Some(i) = guard.ready.pop_front() {
+                                if let Some(st) = guard.state.get_mut(i) {
+                                    *st = RunState::Running;
+                                }
+                                guard.running += 1;
+                                break Some(i);
+                            }
+                            if guard.running == 0 {
+                                break None;
+                            }
+                            guard = cvar.wait(guard).unwrap_or_else(|e| e.into_inner());
+                        }
+                    };
+                    let Some(i) = picked else {
+                        cvar.notify_all();
+                        return;
+                    };
+                    let result = {
+                        let mut slot =
+                            slots.get(i).map(|m| m.lock().unwrap_or_else(|e| e.into_inner()));
+                        match slot.as_deref_mut() {
+                            Some(slot) => pump(i, slot, &queues, &bounds, lookahead, &dialable),
+                            None => PumpResult { finished: true, woke: Vec::new(), stalls: 0 },
+                        }
+                    };
+                    let mut guard = sched.lock().unwrap_or_else(|e| e.into_inner());
+                    guard.running -= 1;
+                    guard.stalls += result.stalls;
+                    if let Some(f) = guard.finished.get_mut(i) {
+                        *f = result.finished;
+                    }
+                    let dirty = guard.state.get(i).copied() == Some(RunState::RunningDirty);
+                    // A dialable partition that settles early must keep
+                    // pumping while any driver is still running: its bound is
+                    // other partitions' horizon, and only a fresh pump
+                    // republishes it above their growing bounds (the null
+                    // message of conservative simulation). Once every
+                    // non-dialable partition has finished, it may go idle —
+                    // that restores termination.
+                    let drivers_active =
+                        dialable.iter().zip(&guard.finished).any(|(&d, &f)| !d && !f);
+                    let keep_pumping = dialable.get(i).copied().unwrap_or(false) && drivers_active;
+                    let next = if !result.finished || dirty || keep_pumping {
+                        guard.ready.push_back(i);
+                        RunState::Queued
+                    } else {
+                        RunState::Idle
+                    };
+                    if let Some(st) = guard.state.get_mut(i) {
+                        *st = next;
+                    }
+                    for &to in &result.woke {
+                        let t = to as usize;
+                        match guard.state.get(t).copied() {
+                            Some(RunState::Idle) => {
+                                guard.ready.push_back(t);
+                                if let Some(st) = guard.state.get_mut(t) {
+                                    *st = RunState::Queued;
+                                }
+                            }
+                            Some(RunState::Running) => {
+                                if let Some(st) = guard.state.get_mut(t) {
+                                    *st = RunState::RunningDirty;
+                                }
+                            }
+                            _ => {} // already queued (or dirty), nothing to do
+                        }
+                    }
+                    drop(guard);
+                    cvar.notify_all();
+                });
+            }
+        });
+
+        let stalls = sched.into_inner().unwrap_or_else(|e| e.into_inner()).stalls;
+        let processes = slots
+            .into_iter()
+            .map(|m| {
+                let slot = m.into_inner().unwrap_or_else(|e| e.into_inner());
+                (slot.lp, slot.failed)
+            })
+            .collect();
+        FabricOutcome { processes, backpressure_stalls: stalls }
+    }
+}
+
+/// One scheduling quantum for partition `i`. See the module docs for
+/// why the step order (bounds → drain → advance → feed → flush →
+/// publish) is load-bearing.
+fn pump(
+    i: usize,
+    slot: &mut Slot,
+    queues: &[Vec<SourceQueue>],
+    bounds: &[TimeBound],
+    lookahead: u64,
+    dialable: &[bool],
+) -> PumpResult {
+    let n = bounds.len();
+    let inbound = |src: usize| queues.get(src).and_then(|row| row.get(i));
+    if slot.failed.is_some() {
+        // Wedged: discard inbound traffic so senders never backpressure
+        // against a dead partition, and promise silence.
+        for src in (0..n).filter(|&s| s != i) {
+            if let Some(q) = inbound(src) {
+                q.drain_into(|_| {});
+            }
+        }
+        if let Some(b) = bounds.get(i) {
+            b.publish(u64::MAX);
+        }
+        return PumpResult { finished: true, woke: Vec::new(), stalls: 0 };
+    }
+
+    // 1. Read each source's bound (Acquire) BEFORE draining its FIFO:
+    //    every event below the bound is then guaranteed to be seen.
+    let mut safe = u64::MAX;
+    let mut min_src_bound = u64::MAX;
+    for src in (0..n).filter(|&s| s != i) {
+        let b = bounds.get(src).map_or(u64::MAX, TimeBound::read);
+        min_src_bound = min_src_bound.min(b);
+        safe = safe.min(b.saturating_add(lookahead));
+        if let Some(q) = inbound(src) {
+            q.drain_into(|ev| slot.lp.net().apply_remote(ev));
+        }
+    }
+
+    // 2. Advance the local loop, but only strictly below the safe time.
+    if let Err(e) = slot.lp.net().run_until(safe) {
+        slot.failed = Some(e);
+        // Re-queue so the wedged branch above runs and stays draining.
+        return PumpResult { finished: false, woke: Vec::new(), stalls: 0 };
+    }
+
+    // 3. Settle gate: feed the driver only when nothing is pending
+    //    anywhere and every reply to shipped traffic is home.
+    let heap_empty = slot.lp.net().next_event_time().is_none();
+    let fifos_empty =
+        (0..n).filter(|&s| s != i).all(|src| inbound(src).is_none_or(SourceQueue::is_empty));
+    let max_shipped = slot.lp.net().max_shipped_arrival();
+    if !slot.done
+        && heap_empty
+        && fifos_empty
+        && slot.unflushed.is_empty()
+        && (max_shipped == 0 || min_src_bound > max_shipped)
+        && !slot.lp.on_quiescent()
+    {
+        slot.done = true;
+    }
+
+    // 4. Flush outbound — unflushed leftovers first, then new events —
+    //    preserving per-destination FIFO order under backpressure.
+    let mut stalls = 0;
+    let mut woke: Vec<PartitionId> = Vec::new();
+    slot.unflushed.extend(slot.lp.net().take_outbound());
+    let mut blocked = vec![false; n];
+    let mut kept = VecDeque::new();
+    for (to, ev) in slot.unflushed.drain(..) {
+        let t = to as usize;
+        if blocked.get(t).copied().unwrap_or(true) {
+            kept.push_back((to, ev));
+            continue;
+        }
+        let Some(q) = queues.get(i).and_then(|row| row.get(t)) else {
+            continue; // event addressed to a partition that doesn't exist
+        };
+        match q.push(ev) {
+            Ok(()) => {
+                if !woke.contains(&to) {
+                    woke.push(to);
+                }
+            }
+            Err(ev) => {
+                if let Some(b) = blocked.get_mut(t) {
+                    *b = true;
+                }
+                stalls += 1;
+                kept.push_back((to, ev));
+            }
+        }
+    }
+    slot.unflushed = kept;
+
+    // 5. Publish the new bound (Release) — strictly AFTER the flush, so
+    //    an observer of the bound finds every promised event queued.
+    let heap_top = slot.lp.net().next_event_time();
+    let fully = slot.done && heap_top.is_none() && slot.unflushed.is_empty() && fifos_empty;
+    if let Some(bound) = bounds.get(i) {
+        if fully && !dialable.get(i).copied().unwrap_or(false) {
+            // Never dials in, never feeds again: promise eternal silence
+            // so no peer ever waits on this partition.
+            bound.publish(u64::MAX);
+        } else {
+            let mut b = safe;
+            if let Some(t) = heap_top {
+                b = b.min(t);
+            }
+            // A backpressured event is a promise we already made but
+            // could not yet deliver: cap the bound at its send time.
+            for (_, ev) in &slot.unflushed {
+                b = b.min(ev.time_us.saturating_sub(lookahead));
+            }
+            bound.publish(b);
+        }
+    }
+    PumpResult { finished: fully, woke, stalls }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::addr::Ipv4;
+    use crate::conduit::{Conduit, IoCtx, Shared};
+    use crate::net::NetworkConfig;
+
+    const SRV: Ipv4 = Ipv4([203, 0, 113, 9]);
+    const CLI: Ipv4 = Ipv4([198, 51, 100, 7]);
+
+    struct Echo;
+    impl Conduit for Echo {
+        fn on_open(&mut self, _io: &mut IoCtx<'_>) {}
+        fn on_data(&mut self, data: &[u8], io: &mut IoCtx<'_>) {
+            let up: Vec<u8> = data.iter().map(|b| b.to_ascii_uppercase()).collect();
+            io.send(&up);
+        }
+    }
+
+    struct Pinger {
+        msg: String,
+        log: Shared<Vec<String>>,
+    }
+    impl Conduit for Pinger {
+        fn on_open(&mut self, io: &mut IoCtx<'_>) {
+            io.send(self.msg.as_bytes());
+        }
+        fn on_data(&mut self, data: &[u8], io: &mut IoCtx<'_>) {
+            self.log.lock().push(String::from_utf8_lossy(data).into_owned());
+            io.close();
+        }
+    }
+
+    /// Feeds `burst` cross-partition dials per settled round, `rounds`
+    /// times — the request/response shape the fabric contract requires.
+    struct PingDriver {
+        net: Network,
+        rounds: usize,
+        burst: usize,
+        sent: usize,
+        log: Shared<Vec<String>>,
+    }
+    impl LogicalProcess for PingDriver {
+        fn net(&mut self) -> &mut Network {
+            &mut self.net
+        }
+        fn on_quiescent(&mut self) -> bool {
+            if self.rounds == 0 {
+                return false;
+            }
+            self.rounds -= 1;
+            for _ in 0..self.burst {
+                let pinger = Pinger { msg: format!("ping{}", self.sent), log: self.log.clone() };
+                self.sent += 1;
+                self.net.dial_from(CLI, SRV, 7, Box::new(pinger)).unwrap();
+            }
+            true
+        }
+    }
+
+    fn run_pings(
+        threads: usize,
+        rounds: usize,
+        burst: usize,
+        capacity: usize,
+    ) -> (Vec<String>, u64) {
+        let mut fabric = Fabric::new(20_000, capacity);
+        let mut srv_net = Network::new(NetworkConfig::default(), 1);
+        srv_net.listen(SRV, 7, Box::new(|_| Box::new(Echo)));
+        let server = fabric.add_partition(Box::new(ServiceProcess::new(srv_net)));
+        let log = Shared::new(Vec::new());
+        fabric.add_partition(Box::new(PingDriver {
+            net: Network::new(NetworkConfig::default(), 2),
+            rounds,
+            burst,
+            sent: 0,
+            log: log.clone(),
+        }));
+        fabric.route(SRV, 7, server);
+        let outcome = fabric.run(threads);
+        for (_, err) in &outcome.processes {
+            assert!(err.is_none(), "no partition may wedge: {err:?}");
+        }
+        let replies = log.lock().clone();
+        (replies, outcome.backpressure_stalls)
+    }
+
+    #[test]
+    fn two_partition_request_response_completes() {
+        let (log, _) = run_pings(2, 3, 1, 64);
+        assert_eq!(log, ["PING0", "PING1", "PING2"]);
+    }
+
+    #[test]
+    fn fabric_is_deterministic_across_thread_counts() {
+        let (serial, _) = run_pings(1, 4, 2, 64);
+        let (parallel, _) = run_pings(2, 4, 2, 64);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), 8);
+    }
+
+    #[test]
+    fn tiny_queue_backpressures_without_deadlock_or_reorder() {
+        let (log, stalls) = run_pings(2, 2, 6, 1);
+        assert!(stalls > 0, "capacity-1 queues must stall a 6-dial burst");
+        let expected: Vec<String> = (0..12).map(|i| format!("PING{i}")).collect();
+        assert_eq!(log, expected, "backpressure must preserve order, never drop");
+    }
+
+    #[test]
+    fn empty_fabric_returns_immediately() {
+        let outcome = Fabric::new(1, 1).run(8);
+        assert!(outcome.processes.is_empty());
+        assert_eq!(outcome.backpressure_stalls, 0);
+    }
+}

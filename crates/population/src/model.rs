@@ -12,7 +12,7 @@ use tlsfoe_crypto::drbg::RngCore64;
 use tlsfoe_geo::countries::{self, CountryCode};
 use tlsfoe_netsim::Ipv4;
 use tlsfoe_x509::time::Time;
-use tlsfoe_x509::RootStore;
+use tlsfoe_x509::{RootStore, VerifyMemo};
 
 use crate::cache::SubstituteCache;
 use crate::factory::SubstituteFactory;
@@ -61,6 +61,10 @@ pub struct PopulationModel {
     popular_whitelist: Arc<HashSet<String>>,
     /// Trust store interception products use to validate upstream.
     public_roots: Arc<RootStore>,
+    /// Memoized upstream-chain verdicts for `public_roots` — every proxy
+    /// of this model shares it, so each distinct chain is fully
+    /// validated once per study instead of once per session.
+    verify_memo: Arc<VerifyMemo>,
     /// Validation time for proxies.
     now: Time,
 }
@@ -120,6 +124,7 @@ impl PopulationModel {
             substitutes,
             popular_whitelist: Arc::new(popular),
             public_roots,
+            verify_memo: Arc::new(VerifyMemo::new()),
             now: match era {
                 StudyEra::Study1 => Time::from_ymd(2014, 1, 15),
                 StudyEra::Study2 => Time::from_ymd(2014, 10, 10),
@@ -400,7 +405,13 @@ impl PopulationModel {
         } else {
             Arc::new(HashSet::new())
         };
-        TlsProxy::new(self.factory(product), self.public_roots.clone(), whitelist, self.now)
+        TlsProxy::new(
+            self.factory(product),
+            self.public_roots.clone(),
+            self.verify_memo.clone(),
+            whitelist,
+            self.now,
+        )
     }
 
     /// The root store for a client: factory roots plus, if intercepted,

@@ -15,19 +15,17 @@
 //!    * **masks** the invalid upstream behind a trusted substitute
 //!      (Kurupira — the §5.2 vulnerability).
 
-use std::cell::RefCell;
 use std::collections::HashSet;
-use std::rc::Rc;
 use std::sync::Arc;
 
 use tlsfoe_netsim::net::{DialInfo, Interceptor};
-use tlsfoe_netsim::{Conduit, ConnToken, IoCtx, Ipv4};
+use tlsfoe_netsim::{Conduit, ConnToken, IoCtx, Ipv4, Shared};
 use tlsfoe_tls::handshake::{Alert, AlertLevel, HandshakeMsg, HandshakeParser};
 use tlsfoe_tls::probe::{ProbeOutcome, ProbeState};
 use tlsfoe_tls::record::{ContentType, ProtocolVersion, RecordParser};
 use tlsfoe_tls::ProbeClient;
 use tlsfoe_x509::time::Time;
-use tlsfoe_x509::{Certificate, RootStore};
+use tlsfoe_x509::{Certificate, RootStore, VerifyMemo};
 
 use crate::factory::SubstituteFactory;
 use crate::products::UpstreamPolicy;
@@ -38,6 +36,10 @@ pub struct TlsProxy {
     /// The public-CA trust store the *product* uses to validate upstream
     /// certificates (only consulted by Block/Mask policies).
     public_roots: Arc<RootStore>,
+    /// Memoized verdicts for `public_roots` — shared across every proxy
+    /// of a population model so one distinct upstream chain costs one
+    /// full validation per study, not one per session.
+    verify_memo: Arc<VerifyMemo>,
     /// Hosts the product treats as too popular to intercept.
     whitelist: Arc<HashSet<String>>,
     /// Wall-clock used for upstream validation.
@@ -49,10 +51,11 @@ impl TlsProxy {
     pub fn new(
         factory: Arc<SubstituteFactory>,
         public_roots: Arc<RootStore>,
+        verify_memo: Arc<VerifyMemo>,
         whitelist: Arc<HashSet<String>>,
         now: Time,
     ) -> TlsProxy {
-        TlsProxy { factory, public_roots, whitelist, now }
+        TlsProxy { factory, public_roots, verify_memo, whitelist, now }
     }
 }
 
@@ -64,9 +67,10 @@ impl Interceptor for TlsProxy {
     }
 
     fn accept(&mut self, info: DialInfo) -> Box<dyn Conduit> {
-        let shared = Rc::new(RefCell::new(Session {
+        let shared = Shared::new(Session {
             factory: self.factory.clone(),
             public_roots: self.public_roots.clone(),
+            verify_memo: self.verify_memo.clone(),
             whitelist: self.whitelist.clone(),
             now: self.now,
             dst: info.dst,
@@ -76,7 +80,7 @@ impl Interceptor for TlsProxy {
             raw_from_client: Vec::new(),
             sni: None,
             mode: Mode::AwaitingHello,
-        }));
+        });
         Box::new(ClientSide {
             shared,
             records: RecordParser::new(),
@@ -100,6 +104,7 @@ enum Mode {
 struct Session {
     factory: Arc<SubstituteFactory>,
     public_roots: Arc<RootStore>,
+    verify_memo: Arc<VerifyMemo>,
     whitelist: Arc<HashSet<String>>,
     now: Time,
     dst: Ipv4,
@@ -159,15 +164,14 @@ impl Session {
 
         let policy = self.factory.spec().upstream_policy;
         if policy != UpstreamPolicy::Blind {
-            // Validate the upstream chain with the PRODUCT's trust store.
-            let parsed: Vec<Certificate> = outcome
-                .chain_der
-                .iter()
-                .filter_map(|der| Certificate::from_der(der).ok())
-                .collect();
+            // Validate the upstream chain with the PRODUCT's trust
+            // store, through the model-wide memo: each distinct chain is
+            // parsed and signature-checked once per study.
             let host = self.sni_host();
-            let valid =
-                !parsed.is_empty() && self.public_roots.validate(&parsed, &host, self.now).is_ok();
+            let valid = self
+                .verify_memo
+                .validate_der(&self.public_roots, &outcome.chain_der, &host, self.now)
+                .is_ok();
             if !valid {
                 match policy {
                     UpstreamPolicy::BlockInvalid => {
@@ -189,21 +193,21 @@ impl Session {
 
 /// Client-facing conduit.
 struct ClientSide {
-    shared: Rc<RefCell<Session>>,
+    shared: Shared<Session>,
     records: RecordParser,
     handshakes: HandshakeParser,
 }
 
 impl Conduit for ClientSide {
     fn on_open(&mut self, io: &mut IoCtx<'_>) {
-        self.shared.borrow_mut().client_token = Some(io.token());
+        self.shared.lock().client_token = Some(io.token());
     }
 
     fn on_data(&mut self, data: &[u8], io: &mut IoCtx<'_>) {
-        let mode = self.shared.borrow().mode;
+        let mode = self.shared.lock().mode;
         match mode {
             Mode::Splicing => {
-                let mut s = self.shared.borrow_mut();
+                let mut s = self.shared.lock();
                 match s.upstream_token {
                     Some(up) => io.send_on(up, data),
                     // Upstream not open yet: keep buffering; the relay
@@ -216,7 +220,7 @@ impl Conduit for ClientSide {
             _ => {}
         }
         // Buffer raw bytes in case we end up splicing.
-        self.shared.borrow_mut().raw_from_client.extend_from_slice(data);
+        self.shared.lock().raw_from_client.extend_from_slice(data);
 
         self.records.feed(data);
         loop {
@@ -226,7 +230,7 @@ impl Conduit for ClientSide {
                         self.handshakes.feed(rec.payload);
                         while let Ok(Some(msg)) = self.handshakes.next_message() {
                             if let HandshakeMsg::ClientHello(ch) = msg {
-                                let mut s = self.shared.borrow_mut();
+                                let mut s = self.shared.lock();
                                 if s.mode != Mode::AwaitingHello {
                                     continue;
                                 }
@@ -245,9 +249,9 @@ impl Conduit for ClientSide {
                                         Box::new(UpstreamRelay { shared: shared.clone() }),
                                     );
                                     match up {
-                                        Ok(tok) => shared.borrow_mut().upstream_token = Some(tok),
+                                        Ok(tok) => shared.lock().upstream_token = Some(tok),
                                         Err(_) => {
-                                            shared.borrow_mut().mode = Mode::Dead;
+                                            shared.lock().mode = Mode::Dead;
                                             io.close();
                                         }
                                     }
@@ -271,7 +275,7 @@ impl Conduit for ClientSide {
                                     if up.is_err() {
                                         // Upstream unreachable: mint from
                                         // the hostname alone.
-                                        let mut s = shared.borrow_mut();
+                                        let mut s = shared.lock();
                                         s.mode = Mode::FetchingUpstream;
                                         s.answer_with_substitute(io, None);
                                     }
@@ -281,7 +285,7 @@ impl Conduit for ClientSide {
                     }
                     ContentType::Alert => {
                         // Client aborting (the probe's §3.2 behaviour).
-                        let s = self.shared.borrow();
+                        let s = self.shared.lock();
                         if let Some(up) = s.upstream_token {
                             io.close_on(up);
                         }
@@ -300,7 +304,7 @@ impl Conduit for ClientSide {
     }
 
     fn on_close(&mut self, io: &mut IoCtx<'_>) {
-        let mut s = self.shared.borrow_mut();
+        let mut s = self.shared.lock();
         s.mode = Mode::Dead;
         if let Some(up) = s.upstream_token {
             io.close_on(up);
@@ -312,8 +316,8 @@ impl Conduit for ClientSide {
 /// back to the session.
 struct UpstreamFetch {
     probe: ProbeClient,
-    outcome: Rc<RefCell<ProbeOutcome>>,
-    shared: Rc<RefCell<Session>>,
+    outcome: Shared<ProbeOutcome>,
+    shared: Shared<Session>,
     reported: bool,
 }
 
@@ -322,18 +326,18 @@ impl UpstreamFetch {
         if self.reported {
             return;
         }
-        let state = self.outcome.borrow().state;
+        let state = self.outcome.lock().state;
         if state == ProbeState::Done || state == ProbeState::Failed {
             self.reported = true;
-            let outcome = self.outcome.borrow();
-            self.shared.borrow_mut().upstream_done(io, &outcome);
+            let outcome = self.outcome.lock();
+            self.shared.lock().upstream_done(io, &outcome);
         }
     }
 }
 
 impl Conduit for UpstreamFetch {
     fn on_open(&mut self, io: &mut IoCtx<'_>) {
-        self.shared.borrow_mut().upstream_token = Some(io.token());
+        self.shared.lock().upstream_token = Some(io.token());
         self.probe.on_open(io);
         self.maybe_report(io);
     }
@@ -351,12 +355,12 @@ impl Conduit for UpstreamFetch {
 
 /// Upstream leg in splice mode: transparent byte relay.
 struct UpstreamRelay {
-    shared: Rc<RefCell<Session>>,
+    shared: Shared<Session>,
 }
 
 impl Conduit for UpstreamRelay {
     fn on_open(&mut self, io: &mut IoCtx<'_>) {
-        let mut s = self.shared.borrow_mut();
+        let mut s = self.shared.lock();
         s.upstream_token = Some(io.token());
         // Flush everything the client already sent (its ClientHello).
         let buffered = std::mem::take(&mut s.raw_from_client);
@@ -367,14 +371,14 @@ impl Conduit for UpstreamRelay {
     }
 
     fn on_data(&mut self, data: &[u8], io: &mut IoCtx<'_>) {
-        let s = self.shared.borrow();
+        let s = self.shared.lock();
         if let Some(client) = s.client_token {
             io.send_on(client, data);
         }
     }
 
     fn on_close(&mut self, io: &mut IoCtx<'_>) {
-        let mut s = self.shared.borrow_mut();
+        let mut s = self.shared.lock();
         s.mode = Mode::Dead;
         if let Some(client) = s.client_token {
             io.close_on(client);
@@ -450,7 +454,7 @@ mod tests {
         )
     }
 
-    fn run_probe(world: &mut World, host: &str) -> Rc<RefCell<ProbeOutcome>> {
+    fn run_probe(world: &mut World, host: &str) -> Shared<ProbeOutcome> {
         let outcome = ProbeOutcome::new();
         world
             .net
@@ -473,7 +477,7 @@ mod tests {
         w.net.install_interceptor(client_ip(), Box::new(proxy));
 
         let outcome = run_probe(&mut w, "tlsresearch.byu.edu");
-        let o = outcome.borrow();
+        let o = outcome.lock();
         assert_eq!(o.state, ProbeState::Done);
         let leaf = Certificate::from_der(&o.chain_der[0]).unwrap();
         // The captured cert differs from the real one and names the proxy.
@@ -488,7 +492,7 @@ mod tests {
     fn no_interceptor_returns_real_chain() {
         let mut w = world("tlsresearch.byu.edu");
         let outcome = run_probe(&mut w, "tlsresearch.byu.edu");
-        let o = outcome.borrow();
+        let o = outcome.lock();
         assert_eq!(o.state, ProbeState::Done);
         assert_eq!(o.chain_der[0], w.real_chain[0].to_der().to_vec());
     }
@@ -504,7 +508,7 @@ mod tests {
         w.net.install_interceptor(client_ip(), Box::new(proxy));
 
         let outcome = run_probe(&mut w, "www.facebook.com");
-        let o = outcome.borrow();
+        let o = outcome.lock();
         assert_eq!(o.state, ProbeState::Done, "spliced probe must complete");
         assert_eq!(
             o.chain_der[0],
@@ -520,7 +524,7 @@ mod tests {
         let proxy = w.model.make_proxy(pid);
         w.net.install_interceptor(client_ip(), Box::new(proxy));
         let outcome = run_probe(&mut w, "www.facebook.com");
-        let o = outcome.borrow();
+        let o = outcome.lock();
         assert_eq!(o.state, ProbeState::Done);
         let leaf = Certificate::from_der(&o.chain_der[0]).unwrap();
         assert_eq!(leaf.tbs.issuer.organization(), Some("Sendori, Inc"));
@@ -534,7 +538,7 @@ mod tests {
         w.net.install_interceptor(client_ip(), Box::new(proxy));
         let outcome = run_probe(&mut w, "tlsresearch.byu.edu");
         let chain: Vec<Certificate> =
-            outcome.borrow().chain_der.iter().map(|d| Certificate::from_der(d).unwrap()).collect();
+            outcome.lock().chain_der.iter().map(|d| Certificate::from_der(d).unwrap()).collect();
 
         let victim_profile = crate::model::ClientProfile {
             country: tlsfoe_geo::countries::by_code("US").unwrap(),
@@ -573,7 +577,7 @@ mod tests {
         w.net.install_interceptor(client_ip(), Box::new(proxy));
         let outcome = run_probe(&mut w, "victim.example");
         assert_eq!(
-            outcome.borrow().state,
+            outcome.lock().state,
             ProbeState::Failed,
             "Bitdefender must block the forged upstream"
         );
@@ -588,7 +592,7 @@ mod tests {
         let proxy = w.model.make_proxy(pid);
         w.net.install_interceptor(client_ip(), Box::new(proxy));
         let outcome = run_probe(&mut w, "victim.example");
-        let o = outcome.borrow();
+        let o = outcome.lock();
         assert_eq!(o.state, ProbeState::Done, "Kurupira must let it through");
         let chain: Vec<Certificate> =
             o.chain_der.iter().map(|d| Certificate::from_der(d).unwrap()).collect();
@@ -611,7 +615,7 @@ mod tests {
         let proxy = w.model.make_proxy(pid);
         w.net.install_interceptor(client_ip(), Box::new(proxy));
         let outcome = run_probe(&mut w, "victim.example");
-        assert_eq!(outcome.borrow().state, ProbeState::Done);
+        assert_eq!(outcome.lock().state, ProbeState::Done);
     }
 
     #[test]
@@ -621,7 +625,7 @@ mod tests {
         let proxy = w.model.make_proxy(pid);
         w.net.install_interceptor(client_ip(), Box::new(proxy));
         let outcome = run_probe(&mut w, "tlsresearch.byu.edu");
-        let leaf = Certificate::from_der(&outcome.borrow().chain_der[0]).unwrap();
+        let leaf = Certificate::from_der(&outcome.lock().chain_der[0]).unwrap();
         // Issuer string copied from the real upstream chain.
         assert_eq!(leaf.tbs.issuer.organization(), Some("DigiCert Inc"));
         assert_eq!(leaf.tbs.issuer.common_name(), Some("DigiCert High Assurance CA-3"));

@@ -10,10 +10,7 @@
 //! 4. leave the captured chain in a shared [`ProbeOutcome`] cell for the
 //!    reporting stage.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
-use tlsfoe_netsim::{Conduit, IoCtx};
+use tlsfoe_netsim::{Conduit, IoCtx, Shared};
 
 use crate::cipher::CipherSuite;
 use crate::handshake::{Alert, ClientHello, HandshakeMsg, HandshakeParser};
@@ -76,15 +73,15 @@ pub struct ProbeOutcome {
 
 impl ProbeOutcome {
     /// Fresh pending outcome.
-    pub fn new() -> Rc<RefCell<ProbeOutcome>> {
-        Rc::new(RefCell::new(ProbeOutcome {
+    pub fn new() -> Shared<ProbeOutcome> {
+        Shared::new(ProbeOutcome {
             state: ProbeState::Started,
             server_version: None,
             cipher_suite: None,
             chain_der: Vec::new(),
             completed_at_us: None,
             error: None,
-        }))
+        })
     }
 
     /// Reset to a fresh pending outcome (in place, preserving sharing) —
@@ -104,7 +101,7 @@ pub struct ProbeClient {
     host: String,
     version: ProtocolVersion,
     random: [u8; 32],
-    outcome: Rc<RefCell<ProbeOutcome>>,
+    outcome: Shared<ProbeOutcome>,
     records: RecordParser,
     handshakes: HandshakeParser,
 }
@@ -114,7 +111,7 @@ impl ProbeClient {
     ///
     /// `random` seeds the ClientHello randomness — callers derive it from
     /// the experiment DRBG for reproducibility.
-    pub fn new(host: &str, random: [u8; 32], outcome: Rc<RefCell<ProbeOutcome>>) -> Self {
+    pub fn new(host: &str, random: [u8; 32], outcome: Shared<ProbeOutcome>) -> Self {
         ProbeClient {
             host: host.to_string(),
             version: ProtocolVersion::Tls10,
@@ -132,7 +129,7 @@ impl ProbeClient {
     }
 
     fn fail(&mut self, error: ProbeError) {
-        let mut o = self.outcome.borrow_mut();
+        let mut o = self.outcome.lock();
         if o.state != ProbeState::Done {
             o.state = ProbeState::Failed;
             if o.error.is_none() {
@@ -169,14 +166,14 @@ impl Conduit for ProbeClient {
                         loop {
                             match self.handshakes.next_message() {
                                 Ok(Some(HandshakeMsg::ServerHello(sh))) => {
-                                    let mut o = self.outcome.borrow_mut();
+                                    let mut o = self.outcome.lock();
                                     o.state = ProbeState::GotServerHello;
                                     o.server_version = Some(sh.version);
                                     o.cipher_suite = Some(sh.cipher_suite);
                                 }
                                 Ok(Some(HandshakeMsg::Certificate(cm))) => {
                                     {
-                                        let mut o = self.outcome.borrow_mut();
+                                        let mut o = self.outcome.lock();
                                         o.chain_der = cm.chain;
                                         o.state = ProbeState::Done;
                                         o.completed_at_us = Some(io.now_us());
@@ -262,7 +259,7 @@ mod tests {
         .unwrap();
         net.run().unwrap();
 
-        let o = outcome.borrow();
+        let o = outcome.lock();
         assert_eq!(o.state, ProbeState::Done);
         assert_eq!(o.server_version, Some(ProtocolVersion::Tls10));
         assert_eq!(o.chain_der, expected);
@@ -283,7 +280,7 @@ mod tests {
             Box::new(ProbeClient::new("x", [0u8; 32], outcome.clone())),
         );
         assert!(err.is_err());
-        assert_eq!(outcome.borrow().state, ProbeState::Started);
+        assert_eq!(outcome.lock().state, ProbeState::Started);
     }
 
     #[test]
@@ -307,19 +304,16 @@ mod tests {
         )
         .unwrap();
         net.run().unwrap();
-        assert_eq!(outcome.borrow().state, ProbeState::Failed);
+        assert_eq!(outcome.lock().state, ProbeState::Failed);
     }
 
     #[test]
     fn probe_aborts_before_key_exchange() {
         // The server session must observe an Alert (close_notify) right
         // after serving its flight — i.e. the probe never continues.
-        use std::cell::RefCell;
-        use std::rc::Rc;
-
         struct RecordingServer {
             inner: TlsCertServer,
-            saw_alert: Rc<RefCell<bool>>,
+            saw_alert: Shared<bool>,
         }
         impl Conduit for RecordingServer {
             fn on_open(&mut self, io: &mut IoCtx<'_>) {
@@ -327,7 +321,7 @@ mod tests {
             }
             fn on_data(&mut self, data: &[u8], io: &mut IoCtx<'_>) {
                 if data.first() == Some(&(ContentType::Alert as u8)) {
-                    *self.saw_alert.borrow_mut() = true;
+                    *self.saw_alert.lock() = true;
                 }
                 self.inner.on_data(data, io);
             }
@@ -336,7 +330,7 @@ mod tests {
         let mut net = Network::new(NetworkConfig::default(), 1);
         let srv = Ipv4([203, 0, 113, 1]);
         let cfg = ServerConfig::new(server_chain("h.example", 310));
-        let saw_alert = Rc::new(RefCell::new(false));
+        let saw_alert = Shared::new(false);
         net.listen(srv, 443, {
             let saw_alert = saw_alert.clone();
             Box::new(move |_| {
@@ -355,8 +349,8 @@ mod tests {
         )
         .unwrap();
         net.run().unwrap();
-        assert_eq!(outcome.borrow().state, ProbeState::Done);
-        assert!(*saw_alert.borrow(), "probe must abort with an alert");
+        assert_eq!(outcome.lock().state, ProbeState::Done);
+        assert!(*saw_alert.lock(), "probe must abort with an alert");
     }
 
     #[test]
@@ -377,6 +371,6 @@ mod tests {
         )
         .unwrap();
         net.run().unwrap();
-        assert_eq!(outcome.borrow().server_version, Some(ProtocolVersion::Tls12));
+        assert_eq!(outcome.lock().server_version, Some(ProtocolVersion::Tls12));
     }
 }

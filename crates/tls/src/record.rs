@@ -341,11 +341,10 @@ mod tests {
     fn single_record_with_matches_encode_records() {
         let body = b"\x01\x02\x03handshake-ish";
         let direct = encode_records(ContentType::Handshake, ProtocolVersion::Tls12, body);
-        let closure = encode_single_record_with(
-            ContentType::Handshake,
-            ProtocolVersion::Tls12,
-            |w| w.bytes(body),
-        );
+        let closure =
+            encode_single_record_with(ContentType::Handshake, ProtocolVersion::Tls12, |w| {
+                w.bytes(body)
+            });
         assert_eq!(closure, direct);
     }
 

@@ -33,7 +33,7 @@ pub use builder::CertificateBuilder;
 pub use cert::{Certificate, SignatureAlgorithm, SubjectPublicKeyInfo};
 pub use name::{DistinguishedName, NameBuilder};
 pub use time::Time;
-pub use verify::{RootStore, ValidationError};
+pub use verify::{RootStore, ValidationError, VerifyMemo};
 
 /// Errors produced by the X.509 layer.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -221,6 +221,130 @@ impl RootStore {
     }
 }
 
+/// Upper bound on memoized chains — a study observes tens of distinct
+/// chains, so thousands of entries means something is off; stop growing
+/// rather than let a pathological workload hoard memory.
+const VERIFY_MEMO_MAX: usize = 4096;
+
+struct VerifyEntry {
+    host: String,
+    now: Time,
+    chain_der: Vec<Vec<u8>>,
+    result: Result<(), ValidationError>,
+}
+
+#[derive(Default)]
+struct VerifyMemoInner {
+    buckets: std::collections::HashMap<u64, Vec<VerifyEntry>>,
+    entries: usize,
+}
+
+/// Chain-bytes → validation-result memo.
+///
+/// The probe side of a study validates the upstream chain once per
+/// intercepted session, yet distinct chains number in the tens per run
+/// while sessions number in the millions — the same shape as the report
+/// server's upload-ingest memo, so this mirrors it: entries key on an
+/// FNV hash of `(host, now, chain DER)` and are compared by **full**
+/// equality on a bucket hit, never hash-only. The cached value is the
+/// complete [`ValidationError`] outcome, which is a pure function of the
+/// key for a fixed trust store.
+///
+/// A memo is dedicated to one [`RootStore`]: the store is *not* part of
+/// the key, so sharing a memo across stores would conflate their
+/// verdicts. Hold it next to the store it serves.
+///
+/// Chains with any element that fails to re-parse are **never**
+/// memoized: a malformed blob has no classification, only an error
+/// message, and caching it would let a later byte-identical upload skip
+/// the parser whose behaviour (e.g. error detail) the caller may rely
+/// on. A regression test pins this down.
+#[derive(Default)]
+pub struct VerifyMemo {
+    inner: std::sync::Mutex<VerifyMemoInner>,
+}
+
+impl VerifyMemo {
+    /// An empty memo.
+    pub fn new() -> VerifyMemo {
+        VerifyMemo::default()
+    }
+
+    /// Number of memoized chains (diagnostics / tests).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).entries
+    }
+
+    /// True when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn hash(host: &str, now: Time, chain_der: &[Vec<u8>]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut feed = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0100_0000_01b3);
+            }
+        };
+        feed(host.as_bytes());
+        feed(b"\0");
+        feed(&now.0.to_le_bytes());
+        for der in chain_der {
+            // Length prefix keeps (ab, c) distinct from (a, bc).
+            feed(&(der.len() as u64).to_le_bytes());
+            feed(der);
+        }
+        h
+    }
+
+    /// Validate `chain_der` (leaf first, raw DER) against `store` for
+    /// `host` at `now`, consulting and filling the memo.
+    ///
+    /// Equivalent to parsing every element and calling
+    /// [`RootStore::validate`], except that a chain whose every byte was
+    /// seen before returns the cached verdict without touching the
+    /// parser or the big-integer stack. Any element that fails to parse
+    /// yields [`ValidationError::Malformed`] and is not memoized.
+    pub fn validate_der(
+        &self,
+        store: &RootStore,
+        chain_der: &[Vec<u8>],
+        host: &str,
+        now: Time,
+    ) -> Result<(), ValidationError> {
+        let key = Self::hash(host, now, chain_der);
+        {
+            let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(hit) = inner.buckets.get(&key).and_then(|bucket| {
+                bucket.iter().find(|e| e.now == now && e.host == host && e.chain_der == chain_der)
+            }) {
+                return hit.result.clone();
+            }
+        }
+        let mut parsed = Vec::with_capacity(chain_der.len());
+        for der in chain_der {
+            match Certificate::from_der(der) {
+                Ok(cert) => parsed.push(cert),
+                Err(e) => return Err(ValidationError::Malformed(e.to_string())),
+            }
+        }
+        let result = store.validate(&parsed, host, now);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.entries < VERIFY_MEMO_MAX {
+            inner.entries += 1;
+            inner.buckets.entry(key).or_default().push(VerifyEntry {
+                host: host.to_string(),
+                now,
+                chain_der: chain_der.to_vec(),
+                result: result.clone(),
+            });
+        }
+        result
+    }
+}
+
 /// Convenience: build the three-tier CA hierarchy used throughout the
 /// workspace tests and simulations (root → intermediate → leaf), returning
 /// `(root_cert, intermediate_cert, leaf_cert)`.
@@ -427,6 +551,65 @@ mod tests {
         // Validation (which verifies against the cached anchor context)
         // still succeeds.
         store.validate(&[leaf, intermediate], "h.example", now()).unwrap();
+    }
+
+    #[test]
+    fn verify_memo_caches_both_verdicts() {
+        let (rk, ik, lk) = (key(50), key(51), key(52));
+        let (root, intermediate, leaf) = demo_hierarchy(&rk, &ik, &lk, "h.example").unwrap();
+        let mut store = RootStore::new();
+        store.add_factory_root(root);
+        let chain: Vec<Vec<u8>> =
+            [&leaf, &intermediate].iter().map(|c| c.to_der().to_vec()).collect();
+
+        let memo = VerifyMemo::new();
+        assert!(memo.is_empty());
+        memo.validate_der(&store, &chain, "h.example", now()).unwrap();
+        assert_eq!(memo.len(), 1);
+        // Second identical call hits the memo (entry count is unchanged)
+        // and returns the same verdict.
+        memo.validate_der(&store, &chain, "h.example", now()).unwrap();
+        assert_eq!(memo.len(), 1);
+
+        // A failing verdict is memoized too, with the full error.
+        let wrong = memo.validate_der(&store, &chain, "x.example", now());
+        assert_eq!(wrong, Err(ValidationError::HostnameMismatch));
+        assert_eq!(memo.len(), 2);
+        assert_eq!(
+            memo.validate_der(&store, &chain, "x.example", now()),
+            Err(ValidationError::HostnameMismatch)
+        );
+        assert_eq!(memo.len(), 2);
+        // The memo's verdicts match the direct path exactly.
+        let parsed: Vec<Certificate> =
+            chain.iter().map(|d| Certificate::from_der(d).unwrap()).collect();
+        assert_eq!(store.validate(&parsed, "h.example", now()), Ok(()));
+        assert_eq!(
+            store.validate(&parsed, "x.example", now()),
+            Err(ValidationError::HostnameMismatch)
+        );
+    }
+
+    #[test]
+    fn verify_memo_never_caches_malformed_chains() {
+        let (rk, ik, lk) = (key(53), key(54), key(55));
+        let (root, intermediate, leaf) = demo_hierarchy(&rk, &ik, &lk, "h.example").unwrap();
+        let mut store = RootStore::new();
+        store.add_factory_root(root);
+
+        let memo = VerifyMemo::new();
+        // A chain with one unparseable element is rejected as Malformed
+        // and leaves the memo untouched — byte-identical retries must
+        // re-enter the parser, not replay a cached blob.
+        let mut broken: Vec<Vec<u8>> = vec![leaf.to_der().to_vec(), intermediate.to_der().to_vec()];
+        broken[1] = vec![0xde, 0xad, 0xbe, 0xef];
+        for _ in 0..2 {
+            match memo.validate_der(&store, &broken, "h.example", now()) {
+                Err(ValidationError::Malformed(_)) => {}
+                other => panic!("expected Malformed, got {other:?}"),
+            }
+            assert!(memo.is_empty(), "malformed chain must never be memoized");
+        }
     }
 
     #[test]

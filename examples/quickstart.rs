@@ -70,7 +70,7 @@ fn main() {
     net.run().expect("probe scenario quiesces");
 
     // 5. Compare what the client saw with what the server serves.
-    let o = outcome.borrow();
+    let o = outcome.lock();
     assert_eq!(o.state, ProbeState::Done, "probe must complete");
     let captured = Certificate::from_der(&o.chain_der[0]).expect("captured cert parses");
     println!("authoritative certificate: {server_cert}");

@@ -50,7 +50,7 @@ fn probe(net: &mut Network, host: &str) -> Vec<Vec<u8>> {
     net.dial_from(CLIENT, SRV, 443, Box::new(ProbeClient::new(host, [9u8; 32], outcome.clone())))
         .unwrap();
     net.run().unwrap();
-    let o = outcome.borrow();
+    let o = outcome.lock();
     assert_eq!(o.state, ProbeState::Done, "probe through the proxy must complete");
     o.chain_der.clone()
 }
